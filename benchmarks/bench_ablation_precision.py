@@ -1,0 +1,76 @@
+"""Ablation: precision paths (the paper's section-7 future work).
+
+Places the extension implementations next to the FP32 study results:
+FP16 on the Neural Engine (the tensor-core analogue the paper could not
+test), and FP64 via double-float emulation on the GPU (the paper's noted
+workaround for the missing native FP64).
+"""
+
+import pytest
+
+from benchmarks.conftest import model_machine
+from repro.calibration.gemm import build_gemm_operation
+
+
+def run_impl_gflops(machine, impl_key, n):
+    done = machine.execute(build_gemm_operation(machine.chip, impl_key, n))
+    return done.achieved_flops / 1e9
+
+
+@pytest.mark.parametrize("chip", ["M1", "M4"])
+def test_precision_ladder(benchmark, chip):
+    def run():
+        machine = model_machine(chip)
+        return {
+            key: run_impl_gflops(machine, key, 8192)
+            for key in ("gpu-fp64-emulated", "gpu-mps", "ane-fp16")
+        }
+
+    ladder = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\n{chip} precision ladder @ n=8192 (GFLOPS):")
+    for key, gflops in ladder.items():
+        print(f"  {key:20s} {gflops:9.1f}")
+
+    # FP64 emulation is an order of magnitude+ below FP32 MPS — the paper's
+    # argument that FP64 HPC is a poor fit for this GPU.
+    assert ladder["gpu-mps"] / ladder["gpu-fp64-emulated"] > 10.0
+    # The ANE's FP16 throughput exceeds the GPU's FP32 MPS path (the
+    # tensor-core analogy of section 2.3).
+    assert ladder["ane-fp16"] > ladder["gpu-mps"]
+
+
+def test_ane_generational_scaling(benchmark):
+    """The ANE grows faster across generations than the GPU (11->38 TOPS)."""
+
+    def run():
+        m1 = model_machine("M1")
+        m4 = model_machine("M4")
+        return (
+            run_impl_gflops(m1, "ane-fp16", 8192),
+            run_impl_gflops(m4, "ane-fp16", 8192),
+            run_impl_gflops(m1, "gpu-mps", 8192),
+            run_impl_gflops(m4, "gpu-mps", 8192),
+        )
+
+    ane_m1, ane_m4, mps_m1, mps_m4 = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(
+        f"\nANE FP16 M1->M4: {ane_m1:.0f} -> {ane_m4:.0f} GFLOPS "
+        f"({ane_m4 / ane_m1:.1f}x); GPU MPS: {mps_m4 / mps_m1:.1f}x"
+    )
+    assert ane_m4 / ane_m1 > mps_m4 / mps_m1
+
+
+def test_fp64_emulation_vs_cpu(benchmark):
+    """Emulated GPU FP64 lands near the CPU's FP32 Accelerate rate — the
+    CPU remains the sane place for double precision on this SoC."""
+
+    def run():
+        machine = model_machine("M4")
+        return (
+            run_impl_gflops(machine, "gpu-fp64-emulated", 8192),
+            run_impl_gflops(machine, "cpu-accelerate", 8192),
+        )
+
+    emu, acc = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nM4: emulated GPU FP64 {emu:.0f} vs CPU Accelerate FP32 {acc:.0f} GFLOPS")
+    assert emu < acc

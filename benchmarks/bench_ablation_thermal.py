@@ -1,0 +1,86 @@
+"""Ablation: cooling model on/off.
+
+DESIGN.md calls out the thermal cap as the mechanism behind the paper's
+laptop-vs-desktop power observation (section 7).  This bench runs a
+hypothetical heavy draw on the passively cooled M1 with and without the cap
+to quantify the clamp and the cube-root throttling stretch.
+"""
+
+import pytest
+
+from repro.sim.engine import EngineKind, Operation
+from repro.sim.machine import Machine
+from repro.sim.policy import NumericsConfig
+from repro.sim.roofline import OpCost
+from repro.soc.power import PowerComponent
+from repro.soc.thermal import ThermalModel
+
+
+def heavy_op(watts: float) -> Operation:
+    return Operation(
+        engine=EngineKind.GPU,
+        label="ablation/heavy-load",
+        cost=OpCost(flops=1e12),
+        peak_flops=2.61e12,
+        peak_bytes_per_s=67e9,
+        compute_efficiency=0.6,
+        power_draws_w={PowerComponent.GPU: watts},
+    )
+
+
+def make_m1(thermal_enabled: bool) -> Machine:
+    return Machine.for_chip(
+        "M1",
+        noise_sigma=0.0,
+        thermal_enabled=thermal_enabled,
+        numerics=NumericsConfig.model_only(),
+    )
+
+
+@pytest.mark.parametrize("draw_w", [10.0, 18.0, 25.0])
+def test_thermal_cap_ablation(benchmark, draw_w):
+    def run():
+        capped = make_m1(True).execute(heavy_op(draw_w))
+        uncapped = make_m1(False).execute(heavy_op(draw_w))
+        return capped, uncapped
+
+    capped, uncapped = benchmark.pedantic(run, rounds=3, iterations=1)
+    cap = ThermalModel.for_device(make_m1(True).device).sustained_cap_w
+    total_capped = sum(capped.draws_w.values())
+    print(
+        f"\nrequested {draw_w:.0f} W -> capped {total_capped:.1f} W "
+        f"(cap {cap:.0f} W), time x{capped.elapsed_s / uncapped.elapsed_s:.3f}"
+    )
+    assert sum(uncapped.draws_w.values()) == pytest.approx(draw_w)
+    if draw_w <= cap:
+        assert not capped.throttled
+        assert capped.elapsed_s == uncapped.elapsed_s
+    else:
+        assert capped.throttled
+        assert total_capped == pytest.approx(cap)
+        # Cube-root throttling: 2x power clamp costs ~1.26x time.
+        expected_stretch = (draw_w / cap) ** (1.0 / 3.0)
+        assert capped.elapsed_s / uncapped.elapsed_s == pytest.approx(
+            expected_stretch, rel=1e-6
+        )
+
+
+def test_passive_vs_active_cap_gap(benchmark):
+    """The same 25 W request lands differently on MacBook Air vs Mac mini."""
+
+    def run():
+        laptop = Machine.for_chip(
+            "M1", noise_sigma=0.0, numerics=NumericsConfig.model_only()
+        )
+        desktop = Machine.for_chip(
+            "M2", noise_sigma=0.0, numerics=NumericsConfig.model_only()
+        )
+        return (
+            sum(laptop.execute(heavy_op(25.0)).draws_w.values()),
+            sum(desktop.execute(heavy_op(25.0)).draws_w.values()),
+        )
+
+    laptop_w, desktop_w = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\n25 W request: MacBook Air sustains {laptop_w:.1f} W, "
+          f"Mac mini {desktop_w:.1f} W")
+    assert laptop_w < desktop_w

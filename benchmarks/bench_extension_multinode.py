@@ -1,0 +1,78 @@
+"""Extension bench: the multi-node future work of section 7.
+
+Quantifies how the M-series' single-node efficiency translates to a small
+cluster across interconnect classes: cluster STREAM (the no-communication
+upper bound) vs SUMMA GEMM (the communication-exposed reality).
+"""
+
+import pytest
+
+from repro.cluster import ClusterMachine, run_cluster_stream, run_summa_gemm
+from repro.sim.policy import NumericsConfig
+
+
+def make_cluster(interconnect: str, nodes: int = 4) -> ClusterMachine:
+    return ClusterMachine(
+        "M4", nodes, interconnect, numerics=NumericsConfig.model_only()
+    )
+
+
+@pytest.mark.parametrize(
+    "interconnect", ["10gbe", "thunderbolt-ip", "infiniband-ndr"]
+)
+def test_summa_by_interconnect(benchmark, interconnect):
+    def run():
+        return run_summa_gemm(make_cluster(interconnect), 16384)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    print(
+        f"\nSUMMA n=16384 on 4x M4 over {interconnect}: "
+        f"{result.aggregate_gflops:8.1f} GFLOPS aggregate, "
+        f"speedup {result.speedup:.2f}x, "
+        f"parallel efficiency {result.parallel_efficiency:.0%}, "
+        f"communication {result.communication_fraction:.0%}"
+    )
+    assert 0.0 < result.parallel_efficiency <= 1.0
+    if interconnect == "infiniband-ndr":
+        assert result.parallel_efficiency > 0.7
+    if interconnect == "10gbe":
+        assert result.communication_fraction > 0.5
+
+
+def test_stream_upper_bound_vs_summa(benchmark):
+    """STREAM aggregates perfectly; SUMMA does not — the gap is the fabric."""
+
+    def run():
+        cluster = make_cluster("10gbe")
+        stream = run_cluster_stream(cluster, n_elements=1 << 22, repeats=2)
+        summa = run_summa_gemm(make_cluster("10gbe"), 16384)
+        return stream["triad"], summa
+
+    triad, summa = benchmark.pedantic(run, rounds=2, iterations=1)
+    per_node = triad / 4
+    print(
+        f"\n4x M4 over 10GbE: aggregate triad {triad:.0f} GB/s "
+        f"(perfect 4x of {per_node:.0f}); SUMMA speedup only {summa.speedup:.2f}x"
+    )
+    assert triad == pytest.approx(4 * per_node, rel=1e-6)
+    assert summa.speedup < 2.0
+
+
+def test_scaling_curve(benchmark):
+    """Parallel efficiency decays with node count on the commodity fabric."""
+
+    def run():
+        return {
+            p: run_summa_gemm(make_cluster("thunderbolt-ip", nodes=p), 16384)
+            for p in (1, 4, 16)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nSUMMA scaling on thunderbolt-ip (n=16384):")
+    for p, r in results.items():
+        print(
+            f"  P={p:2d}: {r.aggregate_gflops:9.1f} GFLOPS, "
+            f"eff {r.parallel_efficiency:.0%}"
+        )
+    efficiencies = [results[p].parallel_efficiency for p in (1, 4, 16)]
+    assert efficiencies[0] >= efficiencies[1] >= efficiencies[2]

@@ -1,0 +1,57 @@
+"""Figure 1: STREAM bandwidths for every chip, CPU and GPU.
+
+Regenerates the bar chart's data: per-kernel maximum bandwidth over
+repetitions, with the OMP_NUM_THREADS sweep on the CPU side, against the
+theoretical peak line.
+"""
+
+import pytest
+
+from benchmarks.conftest import model_machine
+from repro.calibration import paper
+from repro.core.stream.runner import figure1_row
+
+
+@pytest.mark.parametrize("chip", list(paper.CHIPS))
+def test_figure1_row(benchmark, chip):
+    machine = model_machine(chip)
+
+    def run():
+        machine.reset_measurements()
+        return figure1_row(machine)
+
+    row = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    theoretical = machine.chip.memory.bandwidth_gbs
+    print(f"\nFigure 1 — {chip} (theoretical {theoretical:.0f} GB/s)")
+    for target in ("cpu", "gpu"):
+        cells = "  ".join(
+            f"{k}={r.max_gbs:6.1f}" for k, r in row[target].kernels.items()
+        )
+        print(f"  {target.upper():3s}: {cells}")
+
+    assert row["cpu"].max_gbs() == pytest.approx(
+        paper.FIG1_CPU_MAX_GBS[chip], rel=0.04
+    )
+    assert row["gpu"].max_gbs() == pytest.approx(
+        paper.FIG1_GPU_MAX_GBS[chip], rel=0.04
+    )
+    assert row["cpu"].max_gbs() < theoretical
+    assert row["gpu"].max_gbs() < theoretical
+
+
+def test_figure1_m2_cpu_anomaly(benchmark):
+    """The documented M2 Copy/Scale vs Add/Triad gap (section 5.1)."""
+    machine = model_machine("M2")
+
+    def run():
+        machine.reset_measurements()
+        return figure1_row(machine)["cpu"]
+
+    cpu = benchmark.pedantic(run, rounds=3, iterations=1)
+    gap = min(
+        cpu.kernels["add"].max_gbs, cpu.kernels["triad"].max_gbs
+    ) - max(cpu.kernels["copy"].max_gbs, cpu.kernels["scale"].max_gbs)
+    print(f"\nM2 CPU anomaly gap: {gap:.1f} GB/s (paper: 20-30)")
+    lo, hi = paper.FIG1_M2_CPU_ANOMALY_GAP_GBS
+    assert lo - 4.0 <= gap <= hi + 4.0

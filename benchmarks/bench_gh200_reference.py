@@ -1,0 +1,77 @@
+"""GH200 reference rows (sections 4-5): STREAM and cublasSgemm."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import paper
+from repro.cuda import CublasHandle, CudaMathMode, GH200Machine, run_gh200_stream
+from repro.cuda.cublas import CUBLAS_OP_N, cublas_sgemm
+from repro.sim.policy import NumericsConfig
+
+
+def gh200():
+    return GH200Machine(numerics=NumericsConfig.model_only())
+
+
+@pytest.mark.parametrize(
+    "target,paper_key",
+    [("cpu", "stream_cpu_gbs"), ("hbm3", "stream_hbm3_gbs")],
+)
+def test_gh200_stream(benchmark, target, paper_key):
+    machine = gh200()
+
+    def run():
+        return run_gh200_stream(machine, target, n_elements=1 << 25, repeats=5)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(
+        f"\nGH200 STREAM {target}: {result.max_gbs():.0f} GB/s "
+        f"({result.fraction_of_peak():.0%} of {result.theoretical_gbs:.0f}) "
+        f"— paper: {paper.GH200[paper_key]:.0f}"
+    )
+    assert result.max_gbs() == pytest.approx(paper.GH200[paper_key], rel=0.03)
+
+
+@pytest.mark.parametrize(
+    "mode,paper_key",
+    [
+        (CudaMathMode.CUDA_CORES_FP32, "sgemm_cuda_tflops"),
+        (CudaMathMode.TF32_TENSOR, "sgemm_tf32_tflops"),
+    ],
+)
+def test_gh200_sgemm(benchmark, mode, paper_key):
+    machine = gh200()
+    n = 16384
+    a = np.zeros((n, n), dtype=np.float32)
+    b = np.zeros((n, n), dtype=np.float32)
+    c = np.zeros((n, n), dtype=np.float32)
+
+    def run():
+        handle = CublasHandle(machine, math_mode=mode)
+        t0 = machine.now_ns()
+        cublas_sgemm(
+            handle, CUBLAS_OP_N, CUBLAS_OP_N, n, n, n, 1.0, a, n, b, n, 0.0, c, n
+        )
+        return n * n * (2 * n - 1) / (machine.now_ns() - t0) / 1e3
+
+    tflops = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nGH200 cublasSgemm {mode.value}: {tflops:.1f} TFLOPS "
+          f"— paper: {paper.GH200[paper_key]:.0f}")
+    assert tflops == pytest.approx(paper.GH200[paper_key], rel=0.04)
+
+
+def test_gh200_vs_m_series_factors(benchmark):
+    """The apples-to-oranges framing: GH200 wins raw throughput by orders of
+    magnitude while the M-series competes on efficiency."""
+
+    def run():
+        stream = run_gh200_stream(gh200(), "hbm3", n_elements=1 << 25, repeats=3)
+        return stream.max_gbs()
+
+    hbm = benchmark.pedantic(run, rounds=2, iterations=1)
+    m4_best = paper.FIG1_CPU_MAX_GBS["M4"]
+    print(f"\nGH200 HBM3 / M4 bandwidth factor: {hbm / m4_best:.0f}x")
+    assert hbm / m4_best > 30.0
+    assert paper.GH200["sgemm_tf32_tflops"] * 1e3 / paper.FIG2_PEAK_GFLOPS[
+        "gpu-mps"
+    ]["M4"] > 100.0

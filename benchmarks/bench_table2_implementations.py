@@ -1,0 +1,16 @@
+"""Table 2: GEMM implementation overview — regeneration bench."""
+
+from repro.analysis.tables import render_table2
+from repro.calibration import paper
+from repro.core.gemm.registry import table2_rows
+
+
+def test_table2_regeneration(benchmark):
+    text = benchmark(render_table2)
+    print("\n" + text)
+    assert "Cutlass-style tiled shader" in text
+
+
+def test_table2_rows_match_paper(benchmark):
+    rows = benchmark(table2_rows)
+    assert tuple(rows) == paper.PAPER_IMPLEMENTATIONS

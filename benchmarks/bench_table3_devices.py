@@ -1,0 +1,16 @@
+"""Table 3: devices used — regeneration bench."""
+
+from repro.analysis.tables import render_table3
+from repro.soc.device import device_catalog
+
+
+def test_table3_regeneration(benchmark):
+    text = benchmark(render_table3)
+    print("\n" + text)
+    assert "MacBook Air" in text and "Mac mini" in text
+
+
+def test_table3_cooling_split(benchmark):
+    devices = benchmark(device_catalog)
+    passive = [c for c, d in devices.items() if d.cooling.value == "Passive"]
+    assert passive == ["M1", "M3"]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Model a hypothetical chip and run the paper's benchmarks on it.
+
+The library is not limited to the four catalogued SoCs: any
+:class:`repro.soc.chip.ChipSpec` can be benchmarked.  Off-catalog chips use
+the generic (architecture-derived) calibration profiles, so the numbers are
+plausible projections rather than measurements — handy for what-if studies
+like the "M4 Ultra" below (double the GPU, 4x the bandwidth).
+
+Usage::
+
+    python examples/custom_chip.py
+"""
+
+import dataclasses
+
+import repro
+from repro.core.stream.runner import figure1_row
+from repro.sim import Machine, NumericsConfig
+from repro.soc.catalog import M4
+from repro.soc.chip import AMXSpec, GPUSpec, MemorySpec
+from repro.soc.device import Cooling, DeviceSpec
+
+
+def make_m4_ultra():
+    """A speculative desktop-class M4 variant."""
+    chip = dataclasses.replace(
+        M4,
+        name="M4-Ultra (hypothetical)",
+        gpu=GPUSpec(
+            cores_min=60,
+            cores_max=80,
+            clock_ghz=1.47,
+            table_fp32_tflops=(25.6, 34.1),
+        ),
+        amx=AMXSpec(precisions=M4.amx.precisions, peak_fp32_tflops=6.8, is_sme=True),
+        memory=MemorySpec(
+            technology="LPDDR5X",
+            max_gb_options=(64, 128, 192),
+            bandwidth_gbs=480.0,
+        ),
+    )
+    device = DeviceSpec(
+        model="Mac Studio",
+        chip_name=chip.name,
+        release_year=2025,
+        memory_gb=128,
+        cooling=Cooling.ACTIVE_AIR,
+        macos_version="15.2",
+    )
+    return chip, device
+
+
+def main() -> None:
+    chip, device = make_m4_ultra()
+    machine = Machine(chip, device, numerics=NumericsConfig.model_only())
+    runner = repro.ExperimentRunner(machine)
+
+    print(f"== {chip.name} on a {device.model} (projection) ==")
+    print(f"GPU: {chip.gpu.cores_max} cores, "
+          f"{chip.gpu.table_fp32_tflops[1]:.1f} theoretical FP32 TFLOPS")
+    print(f"Memory: {chip.memory.bandwidth_gbs:.0f} GB/s "
+          f"{chip.memory.technology}\n")
+
+    row = figure1_row(machine, n_elements=1 << 22, repeats=3)
+    print("STREAM (projected):")
+    for target in ("cpu", "gpu"):
+        print(f"  {target.upper():3s}: {row[target].max_gbs():7.1f} GB/s "
+              f"({row[target].fraction_of_peak():.0%} of peak)")
+
+    print("\nGEMM (projected, n=16384):")
+    for key in ("cpu-accelerate", "gpu-naive", "gpu-cutlass", "gpu-mps"):
+        result = runner.run_gemm(key, 16384)
+        print(f"  {key:16s} {result.best_gflops:10.1f} GFLOPS")
+
+    baseline = repro.ExperimentRunner(
+        Machine.for_chip("M4", numerics=NumericsConfig.model_only())
+    ).run_gemm("gpu-mps", 16384)
+    ultra = runner.run_gemm("gpu-mps", 16384)
+    print(f"\nProjected MPS speedup over the base M4: "
+          f"{ultra.best_gflops / baseline.best_gflops:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The paper's future work, answered: M-series chips in a distributed system.
+
+Projects a small cluster of M4 Mac minis running SUMMA distributed GEMM over
+three interconnect classes, against the perfectly scaling cluster STREAM
+upper bound.  The punchline mirrors the paper's apples-to-oranges framing:
+the chips' efficiency survives only as long as the fabric can feed them.
+
+Usage::
+
+    python examples/multinode_projection.py [chip] [n]
+"""
+
+import sys
+
+from repro.cluster import (
+    INTERCONNECTS,
+    ClusterMachine,
+    run_cluster_stream,
+    run_summa_gemm,
+)
+from repro.sim import NumericsConfig
+
+
+def main() -> None:
+    chip = sys.argv[1] if len(sys.argv) > 1 else "M4"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 16384
+
+    print(f"== Distributed GEMM projection: {chip} nodes, n={n} ==\n")
+    print(f"{'fabric':16s} {'nodes':>5s} {'aggregate':>12s} {'speedup':>8s} "
+          f"{'par.eff':>8s} {'comm':>6s}")
+    print("-" * 60)
+    for name in INTERCONNECTS:
+        for nodes in (4, 16):
+            cluster = ClusterMachine(
+                chip, nodes, name, numerics=NumericsConfig.model_only()
+            )
+            result = run_summa_gemm(cluster, n)
+            print(
+                f"{name:16s} {nodes:5d} {result.aggregate_gflops:10.1f} GF "
+                f"{result.speedup:7.2f}x {result.parallel_efficiency:8.0%} "
+                f"{result.communication_fraction:6.0%}"
+            )
+
+    cluster = ClusterMachine(chip, 4, "10gbe", numerics=NumericsConfig.model_only())
+    stream = run_cluster_stream(cluster, n_elements=1 << 22, repeats=2)
+    print(
+        f"\nFor contrast, communication-free cluster STREAM (4 nodes): "
+        f"triad {stream['triad']:.0f} GB/s — a perfect 4x."
+    )
+    print(
+        "\nConclusion: on commodity fabrics the interconnect, not the SoC,"
+        "\nbounds distributed performance — the M-series' efficiency story"
+        "\nis strongest inside a single package, as the paper suggests."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark one GEMM on a simulated M4 and measure its power.
+
+Runs the paper's flagship configuration — Metal Performance Shaders on the
+M4 at n = 4096 — through the full pipeline: page-aligned matrices, zero-copy
+Metal buffers, five chrono-timed repetitions, and the powermetrics protocol
+of section 3.3.
+
+Usage::
+
+    python examples/quickstart.py [chip] [n]
+"""
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    chip = sys.argv[1] if len(sys.argv) > 1 else "M4"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 4096
+
+    machine = repro.Machine.for_chip(chip)
+    runner = repro.ExperimentRunner(machine)
+
+    print(f"== {machine.device.model} ({machine.chip.name}) ==")
+    print(f"Unified memory: {machine.chip.memory.bandwidth_gbs:.0f} GB/s "
+          f"{machine.chip.memory.technology}")
+    print(f"GPU theoretical: {machine.chip.gpu.table_fp32_tflops[1]:.2f} FP32 TFLOPS\n")
+
+    result = runner.run_gemm("gpu-mps", n)
+    print(f"GPU-MPS GEMM n={n}:")
+    print(f"  best of {len(result.repetitions)} repetitions: "
+          f"{result.best_gflops:,.1f} GFLOPS "
+          f"({result.best_elapsed_ns / 1e6:.3f} ms)")
+    print(f"  numerics verified: {result.verified}")
+
+    powered = runner.run_powered_gemm("gpu-mps", n)
+    print(f"\nWith the powermetrics protocol (section 3.3):")
+    print(f"  mean combined CPU+GPU draw: {powered.mean_combined_w:.2f} W")
+    print(f"  efficiency: {powered.efficiency_gflops_per_w:.0f} GFLOPS/W")
+
+    cpu = runner.run_gemm("cpu-accelerate", n)
+    print(f"\nFor comparison, CPU Accelerate (AMX): {cpu.best_gflops:,.1f} GFLOPS "
+          f"({result.best_gflops / cpu.best_gflops:.2f}x slower than MPS)")
+
+
+if __name__ == "__main__":
+    main()

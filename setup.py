@@ -1,0 +1,9 @@
+"""Legacy-install shim: all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-use-pep517`` works on environments without
+the ``wheel`` package (PEP 517 editable installs require bdist_wheel).
+"""
+
+from setuptools import setup
+
+setup()

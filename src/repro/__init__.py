@@ -1,0 +1,68 @@
+"""repro — a reproduction of "Apple vs. Oranges: Evaluating the Apple Silicon
+M-Series SoCs for HPC Performance and Efficiency" (IPDPS 2025).
+
+Quickstart::
+
+    import repro
+
+    machine = repro.Machine.for_chip("M4")
+    runner = repro.ExperimentRunner(machine)
+    result = runner.run_gemm("gpu-mps", n=4096)
+    print(result.best_gflops)
+
+The package layers:
+
+* :mod:`repro.soc` — chip/device models (Tables 1 and 3);
+* :mod:`repro.sim` — the execution-driven timing/power simulator;
+* :mod:`repro.metal`, :mod:`repro.accelerate`, :mod:`repro.omp`,
+  :mod:`repro.powermetrics`, :mod:`repro.cuda` — framework substrates;
+* :mod:`repro.core` — the paper's STREAM/GEMM/power benchmark suite;
+* :mod:`repro.analysis` — figure/table regeneration and paper comparison.
+"""
+
+from repro._version import PAPER_ARXIV, PAPER_TITLE, __version__
+from repro.analysis import (
+    compare_to_paper,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    render_table1,
+    render_table2,
+    render_table3,
+    shape_checks,
+)
+from repro.calibration import paper
+from repro.core import ExperimentRunner
+from repro.core.gemm import get_implementation, implementation_keys
+from repro.core.stream import run_stream
+from repro.errors import ReproError
+from repro.sim import Machine, NumericsConfig, NumericsPolicy
+from repro.soc import chip_catalog, device_catalog, get_chip
+
+__all__ = [
+    "__version__",
+    "PAPER_TITLE",
+    "PAPER_ARXIV",
+    "ReproError",
+    "Machine",
+    "NumericsConfig",
+    "NumericsPolicy",
+    "ExperimentRunner",
+    "get_chip",
+    "chip_catalog",
+    "device_catalog",
+    "get_implementation",
+    "implementation_keys",
+    "run_stream",
+    "paper",
+    "figure1_data",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "compare_to_paper",
+    "shape_checks",
+]

@@ -1,0 +1,36 @@
+"""Simulation of Apple's Accelerate framework (BLAS + vDSP on AMX).
+
+The paper's best CPU GEMM goes through Accelerate: ``cblas_sgemm`` (Listing 1)
+and ``vDSP_mmul`` "perform nearly identically ... they assumedly both run on
+AMX" (section 5.2).  This package reproduces those call signatures exactly;
+numerics run on NumPy and the AMX timing/power comes from the simulator when
+driven through :class:`repro.core.gemm.cpu_accelerate.AccelerateGemm`.
+"""
+
+from repro.accelerate.blas import (
+    CBLAS_COL_MAJOR,
+    CBLAS_NO_TRANS,
+    CBLAS_ROW_MAJOR,
+    CBLAS_TRANS,
+    cblas_sgemm,
+)
+from repro.accelerate.vdsp import (
+    vDSP_dotpr,
+    vDSP_mmul,
+    vDSP_sve,
+    vDSP_vadd,
+    vDSP_vsmul,
+)
+
+__all__ = [
+    "CBLAS_ROW_MAJOR",
+    "CBLAS_COL_MAJOR",
+    "CBLAS_NO_TRANS",
+    "CBLAS_TRANS",
+    "cblas_sgemm",
+    "vDSP_mmul",
+    "vDSP_vadd",
+    "vDSP_vsmul",
+    "vDSP_dotpr",
+    "vDSP_sve",
+]

@@ -1,0 +1,129 @@
+"""CBLAS-compatible single-precision GEMM.
+
+Mirrors the exact call the paper makes (Listing 1)::
+
+    cblas_sgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans,
+                n, n, n, 1, left, n, right, n, 0, out, n)
+
+Arguments, layouts, transposes and leading dimensions follow the CBLAS
+specification; arrays are flat or 2-D float32 NumPy arrays and the result is
+written in place through ``c`` (no copies, as the zero-copy unified-memory
+story requires).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ValidationError
+
+__all__ = [
+    "CBLAS_ROW_MAJOR",
+    "CBLAS_COL_MAJOR",
+    "CBLAS_NO_TRANS",
+    "CBLAS_TRANS",
+    "cblas_sgemm",
+]
+
+CBLAS_ROW_MAJOR = 101
+CBLAS_COL_MAJOR = 102
+CBLAS_NO_TRANS = 111
+CBLAS_TRANS = 112
+
+
+def _as_matrix(
+    buf: np.ndarray,
+    rows: int,
+    cols: int,
+    ld: int,
+    order: int,
+    name: str,
+) -> np.ndarray:
+    """View a flat/2-D buffer as a (rows, cols) matrix honouring ld/order."""
+    arr = np.asarray(buf)
+    if arr.dtype != np.float32:
+        raise ConfigurationError(f"{name}: sgemm requires float32, got {arr.dtype}")
+    if not arr.flags["C_CONTIGUOUS"]:
+        # CBLAS receives raw pointers; a non-contiguous array has no single
+        # base buffer and reshape(-1) would silently copy, breaking the
+        # in-place contract for C.
+        raise ConfigurationError(f"{name}: sgemm buffers must be contiguous")
+    flat = arr.reshape(-1)
+    if rows == 0 or cols == 0:
+        return flat[:0].reshape(rows if rows else 0, cols if cols else 0)
+    if order == CBLAS_ROW_MAJOR:
+        if ld < cols:
+            raise ConfigurationError(
+                f"{name}: leading dimension {ld} < number of columns {cols}"
+            )
+        needed = (rows - 1) * ld + cols if rows > 0 else 0
+    elif order == CBLAS_COL_MAJOR:
+        if ld < rows:
+            raise ConfigurationError(
+                f"{name}: leading dimension {ld} < number of rows {rows}"
+            )
+        needed = (cols - 1) * ld + rows if cols > 0 else 0
+    else:
+        raise ConfigurationError(f"order must be CblasRowMajor or CblasColMajor")
+    if flat.size < needed:
+        raise ConfigurationError(
+            f"{name}: buffer of {flat.size} elements too small, needs {needed}"
+        )
+    if order == CBLAS_ROW_MAJOR:
+        strided = np.lib.stride_tricks.as_strided(
+            flat, shape=(rows, cols), strides=(ld * 4, 4), writeable=True
+        )
+    else:
+        strided = np.lib.stride_tricks.as_strided(
+            flat, shape=(rows, cols), strides=(4, ld * 4), writeable=True
+        )
+    return strided
+
+
+def cblas_sgemm(
+    order: int,
+    trans_a: int,
+    trans_b: int,
+    m: int,
+    n: int,
+    k: int,
+    alpha: float,
+    a: np.ndarray,
+    lda: int,
+    b: np.ndarray,
+    ldb: int,
+    beta: float,
+    c: np.ndarray,
+    ldc: int,
+) -> None:
+    """``C := alpha * op(A) @ op(B) + beta * C`` in place, single precision."""
+    for name, val in (("m", m), ("n", n), ("k", k)):
+        if val < 0:
+            raise ConfigurationError(f"{name} must be non-negative, got {val}")
+    for name, val in (("transA", trans_a), ("transB", trans_b)):
+        if val not in (CBLAS_NO_TRANS, CBLAS_TRANS):
+            raise ConfigurationError(f"{name} must be CblasNoTrans or CblasTrans")
+
+    # op(A) is m x k: A is stored m x k (no-trans) or k x m (trans).
+    a_rows, a_cols = (m, k) if trans_a == CBLAS_NO_TRANS else (k, m)
+    b_rows, b_cols = (k, n) if trans_b == CBLAS_NO_TRANS else (n, k)
+
+    mat_a = _as_matrix(a, a_rows, a_cols, lda, order, "A")
+    mat_b = _as_matrix(b, b_rows, b_cols, ldb, order, "B")
+    mat_c = _as_matrix(c, m, n, ldc, order, "C")
+
+    op_a = mat_a if trans_a == CBLAS_NO_TRANS else mat_a.T
+    op_b = mat_b if trans_b == CBLAS_NO_TRANS else mat_b.T
+
+    if m == 0 or n == 0:
+        return
+    if k == 0:
+        product = np.zeros((m, n), dtype=np.float32)
+    else:
+        product = (op_a @ op_b).astype(np.float32, copy=False)
+    if beta == 0.0:
+        mat_c[...] = np.float32(alpha) * product
+    else:
+        mat_c[...] = np.float32(alpha) * product + np.float32(beta) * mat_c
+    if not np.isfinite(mat_c).all() and np.isfinite(product).all():
+        raise ValidationError("sgemm produced non-finite values from finite inputs")

@@ -1,0 +1,97 @@
+"""A slice of the vDSP API (Accelerate's DSP/linear-algebra routines).
+
+The paper tested both BLAS and vDSP GEMMs and found them "nearly identical"
+(section 5.2); `vDSP_mmul` is the routine behind the "CPU-Accelerate" label
+in Figures 2-4.  The stride arguments follow the real vDSP conventions
+(element strides, usually 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["vDSP_mmul", "vDSP_vadd", "vDSP_vsmul", "vDSP_dotpr", "vDSP_sve"]
+
+
+def _check_f32(name: str, arr: np.ndarray) -> np.ndarray:
+    out = np.asarray(arr)
+    if out.dtype != np.float32:
+        raise ConfigurationError(f"{name}: vDSP single-precision routine needs float32")
+    return out
+
+
+def _strided(arr: np.ndarray, stride: int, count: int, name: str) -> np.ndarray:
+    if stride < 1:
+        raise ConfigurationError(f"{name}: stride must be >= 1")
+    flat = arr.reshape(-1)
+    needed = (count - 1) * stride + 1 if count > 0 else 0
+    if flat.size < needed:
+        raise ConfigurationError(f"{name}: buffer too small for stride/count")
+    return flat[: needed : stride] if count > 0 else flat[:0]
+
+
+def vDSP_mmul(
+    a: np.ndarray,
+    a_stride: int,
+    b: np.ndarray,
+    b_stride: int,
+    c: np.ndarray,
+    c_stride: int,
+    m: int,
+    n: int,
+    p: int,
+) -> None:
+    """``C = A @ B`` with A (m x p), B (p x n), C (m x n), row-major.
+
+    Matches the real signature ``vDSP_mmul(__A, __IA, __B, __IB, __C, __IC,
+    __M, __N, __P)``.
+    """
+    if min(m, n, p) < 0:
+        raise ConfigurationError("matrix dimensions must be non-negative")
+    fa = _strided(_check_f32("A", a), a_stride, m * p, "A").reshape(m, p)
+    fb = _strided(_check_f32("B", b), b_stride, p * n, "B").reshape(p, n)
+    fc = _strided(_check_f32("C", c), c_stride, m * n, "C").reshape(m, n)
+    if m == 0 or n == 0:
+        return
+    if p == 0:
+        fc[...] = 0.0
+        return
+    np.matmul(fa, fb, out=fc)
+
+
+def vDSP_vadd(
+    a: np.ndarray, a_stride: int, b: np.ndarray, b_stride: int,
+    c: np.ndarray, c_stride: int, count: int,
+) -> None:
+    """Elementwise ``C = A + B``."""
+    fa = _strided(_check_f32("A", a), a_stride, count, "A")
+    fb = _strided(_check_f32("B", b), b_stride, count, "B")
+    fc = _strided(_check_f32("C", c), c_stride, count, "C")
+    np.add(fa, fb, out=fc)
+
+
+def vDSP_vsmul(
+    a: np.ndarray, a_stride: int, scalar: float,
+    c: np.ndarray, c_stride: int, count: int,
+) -> None:
+    """``C = A * scalar``."""
+    fa = _strided(_check_f32("A", a), a_stride, count, "A")
+    fc = _strided(_check_f32("C", c), c_stride, count, "C")
+    np.multiply(fa, np.float32(scalar), out=fc)
+
+
+def vDSP_dotpr(
+    a: np.ndarray, a_stride: int, b: np.ndarray, b_stride: int, count: int
+) -> float:
+    """Dot product of two strided vectors."""
+    fa = _strided(_check_f32("A", a), a_stride, count, "A")
+    fb = _strided(_check_f32("B", b), b_stride, count, "B")
+    return float(np.dot(fa.astype(np.float64), fb.astype(np.float64)))
+
+
+def vDSP_sve(a: np.ndarray, a_stride: int, count: int) -> float:
+    """Sum of vector elements."""
+    fa = _strided(_check_f32("A", a), a_stride, count, "A")
+    return float(fa.astype(np.float64).sum())

@@ -1,0 +1,174 @@
+"""Paper-vs-measured comparison and qualitative shape checks.
+
+``compare_to_paper`` lines up measured headline numbers against the values
+quoted in the paper's text; ``shape_checks`` verifies the *qualitative*
+claims (who wins, by what factor, where crossovers fall) that a reproduction
+on different substrate must preserve.  EXPERIMENTS.md is generated from
+these rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.calibration import paper
+
+__all__ = ["ComparisonRow", "compare_to_paper", "shape_checks", "render_comparison"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-quoted value next to the measured one."""
+
+    experiment: str
+    quantity: str
+    paper_value: float
+    measured_value: float
+    unit: str
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_value == 0.0:
+            return float("inf")
+        return (self.measured_value - self.paper_value) / self.paper_value
+
+    def within(self, tolerance: float) -> bool:
+        """Whether the measured value is within ``tolerance`` of the paper's."""
+        return abs(self.relative_error) <= tolerance
+
+
+def compare_to_paper(
+    fig1: Mapping[str, Mapping] | None = None,
+    fig2: Mapping[str, Mapping[str, Mapping[int, float]]] | None = None,
+    fig4: Mapping[str, Mapping[str, Mapping[int, float]]] | None = None,
+) -> list[ComparisonRow]:
+    """Comparison rows for whichever figure data sets are provided."""
+    rows: list[ComparisonRow] = []
+    if fig1 is not None:
+        for chip, data in fig1.items():
+            if chip not in paper.FIG1_CPU_MAX_GBS:
+                continue
+            rows.append(
+                ComparisonRow(
+                    experiment="Figure 1",
+                    quantity=f"{chip} CPU max bandwidth",
+                    paper_value=paper.FIG1_CPU_MAX_GBS[chip],
+                    measured_value=max(data["cpu"].values()),
+                    unit="GB/s",
+                )
+            )
+            rows.append(
+                ComparisonRow(
+                    experiment="Figure 1",
+                    quantity=f"{chip} GPU max bandwidth",
+                    paper_value=paper.FIG1_GPU_MAX_GBS[chip],
+                    measured_value=max(data["gpu"].values()),
+                    unit="GB/s",
+                )
+            )
+    if fig2 is not None:
+        for impl, chip_targets in paper.FIG2_PEAK_GFLOPS.items():
+            for chip, target in chip_targets.items():
+                series = fig2.get(chip, {}).get(impl)
+                if not series:
+                    continue
+                rows.append(
+                    ComparisonRow(
+                        experiment="Figure 2",
+                        quantity=f"{chip} {impl} peak",
+                        paper_value=target,
+                        measured_value=max(series.values()),
+                        unit="GFLOPS",
+                    )
+                )
+    if fig4 is not None:
+        for impl, chip_targets in paper.FIG4_EFFICIENCY_GFLOPS_PER_W.items():
+            for chip, target in chip_targets.items():
+                series = fig4.get(chip, {}).get(impl)
+                if not series:
+                    continue
+                rows.append(
+                    ComparisonRow(
+                        experiment="Figure 4",
+                        quantity=f"{chip} {impl} efficiency",
+                        paper_value=target,
+                        measured_value=max(series.values()),
+                        unit="GFLOPS/W",
+                    )
+                )
+    return rows
+
+
+def shape_checks(
+    fig1: Mapping[str, Mapping] | None = None,
+    fig2: Mapping[str, Mapping[str, Mapping[int, float]]] | None = None,
+    fig4: Mapping[str, Mapping[str, Mapping[int, float]]] | None = None,
+) -> dict[str, bool]:
+    """The paper's qualitative claims as named boolean checks."""
+    checks: dict[str, bool] = {}
+    if fig1 is not None:
+        # "All chips get to ~85% of theoretical peak bandwidth."
+        for chip, data in fig1.items():
+            best = max(max(data["cpu"].values()), max(data["gpu"].values()))
+            checks[f"fig1/{chip}/reaches-80pct-of-peak"] = (
+                best >= 0.80 * data["theoretical"]
+            )
+        # The M2 CPU anomaly: Copy/Scale trail Add/Triad by 20-30 GB/s.
+        if "M2" in fig1:
+            cpu = fig1["M2"]["cpu"]
+            gap = min(cpu["add"], cpu["triad"]) - max(cpu["copy"], cpu["scale"])
+            lo, hi = paper.FIG1_M2_CPU_ANOMALY_GAP_GBS
+            checks["fig1/M2/cpu-copy-scale-anomaly"] = lo - 5.0 <= gap <= hi + 5.0
+    if fig2 is not None:
+        for chip, impls in fig2.items():
+            mps = impls.get("gpu-mps", {})
+            acc = impls.get("cpu-accelerate", {})
+            if mps and acc:
+                # "MPS demonstrates superior FLOPS on all processors."
+                checks[f"fig2/{chip}/mps-dominates"] = max(mps.values()) >= max(
+                    v for impl in impls.values() if impl for v in impl.values()
+                ) - 1e-9
+                # "From the M2, the GPU significantly outperforms the CPU."
+                if chip != "M1":
+                    checks[f"fig2/{chip}/gpu-beats-cpu"] = (
+                        max(mps.values()) > 1.4 * max(acc.values())
+                    )
+                else:
+                    # "The M1 CPU and GPU have similar performance."
+                    checks["fig2/M1/cpu-gpu-similar"] = (
+                        max(mps.values()) < 2.0 * max(acc.values())
+                    )
+            # GPU methods lose at small sizes (dispatch overhead).
+            if mps and acc and 32 in mps and 32 in acc:
+                checks[f"fig2/{chip}/gpu-overhead-at-small-n"] = mps[32] < acc[32]
+    if fig4 is not None:
+        for chip, impls in fig4.items():
+            mps = impls.get("gpu-mps", {})
+            if mps:
+                # "All four chips reached ... 200 GFLOPS per Watt with GPU-MPS."
+                checks[f"fig4/{chip}/mps-200-gflops-per-watt"] = (
+                    max(mps.values()) >= 200.0
+                )
+            for key in ("cpu-single", "cpu-omp"):
+                series = impls.get(key, {})
+                if series:
+                    # "Less than 1 GFLOPS per Watt across all four chips."
+                    checks[f"fig4/{chip}/{key}-below-1"] = (
+                        max(series.values()) < 1.0
+                    )
+    return checks
+
+
+def render_comparison(rows: list[ComparisonRow]) -> str:
+    """Markdown table of paper-vs-measured values."""
+    lines = [
+        "| Experiment | Quantity | Paper | Measured | Unit | Rel. err |",
+        "|---|---|---:|---:|---|---:|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.experiment} | {row.quantity} | {row.paper_value:.1f} | "
+            f"{row.measured_value:.1f} | {row.unit} | {row.relative_error:+.1%} |"
+        )
+    return "\n".join(lines)

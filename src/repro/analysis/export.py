@@ -1,0 +1,43 @@
+"""CSV/JSON export of figure data and comparison rows."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Mapping, Sequence
+
+__all__ = ["rows_to_csv", "to_json", "figure_series_to_rows"]
+
+
+def figure_series_to_rows(
+    data: Mapping[str, Mapping[str, Mapping[int, float]]],
+    value_name: str,
+) -> list[dict[str, Any]]:
+    """Flatten ``{chip: {impl: {n: value}}}`` into tidy records."""
+    rows: list[dict[str, Any]] = []
+    for chip, impls in data.items():
+        for impl, series in impls.items():
+            for n, value in sorted(series.items()):
+                rows.append(
+                    {"chip": chip, "implementation": impl, "n": n, value_name: value}
+                )
+    return rows
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Serialize tidy records to CSV text (stable column order)."""
+    if not rows:
+        return ""
+    fieldnames = list(rows[0].keys())
+    sink = io.StringIO()
+    writer = csv.DictWriter(sink, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return sink.getvalue()
+
+
+def to_json(data: Any, *, indent: int = 2) -> str:
+    """JSON text with deterministic key order."""
+    return json.dumps(data, indent=indent, sort_keys=True, default=str)

@@ -1,0 +1,147 @@
+"""Assembly of the data series behind Figures 1-4.
+
+Each ``figureN_data`` function runs the relevant experiments for the
+requested chips and returns the plottable series as plain dictionaries (the
+same rows/series the paper's figures display).  ``fast=True`` switches the
+machines to MODEL_ONLY numerics and trims repetitions so a full figure
+regenerates in well under a second — the benchmark harness uses this mode.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.calibration import paper
+from repro.core.gemm.registry import get_implementation, paper_implementation_keys
+from repro.core.harness import ExperimentRunner
+from repro.core.stream.runner import figure1_row
+from repro.sim.machine import Machine
+from repro.sim.policy import NumericsConfig
+
+__all__ = [
+    "make_machines",
+    "figure1_data",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+]
+
+
+def make_machines(
+    chips: Sequence[str] = paper.CHIPS,
+    *,
+    fast: bool = False,
+    seed: int = 0,
+) -> dict[str, Machine]:
+    """The study machines, optionally in fast (model-only) mode."""
+    numerics = NumericsConfig.model_only() if fast else None
+    return {
+        chip: Machine.for_chip(chip, seed=seed, numerics=numerics) for chip in chips
+    }
+
+
+def figure1_data(
+    machines: Mapping[str, Machine] | None = None,
+    *,
+    fast: bool = False,
+    n_elements: int | None = None,
+) -> dict[str, dict]:
+    """Figure 1: STREAM bandwidths per chip, target and kernel.
+
+    Returns ``{chip: {"theoretical": gbs, "cpu": {kernel: gbs}, "gpu": ...}}``.
+    """
+    # Fast mode skips numerics, so full-size arrays cost nothing; the array
+    # footprint must stay large or the GPU ramp underreports bandwidth.
+    machines = machines or make_machines(fast=fast)
+    elements = n_elements
+    out: dict[str, dict] = {}
+    for chip, machine in machines.items():
+        row = figure1_row(machine, n_elements=elements)
+        out[chip] = {
+            "theoretical": machine.chip.memory.bandwidth_gbs,
+            "cpu": {k: r.max_gbs for k, r in row["cpu"].kernels.items()},
+            "gpu": {k: r.max_gbs for k, r in row["gpu"].kernels.items()},
+        }
+    return out
+
+
+def figure2_data(
+    machines: Mapping[str, Machine] | None = None,
+    *,
+    sizes: tuple[int, ...] = paper.GEMM_SIZES,
+    impl_keys: Sequence[str] | None = None,
+    repeats: int = paper.GEMM_REPEATS,
+    fast: bool = False,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Figure 2: best GFLOPS per chip, implementation and size.
+
+    Returns ``{chip: {impl: {n: gflops}}}``; excluded cells are absent.
+    """
+    machines = machines or make_machines(fast=fast)
+    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
+    out: dict[str, dict[str, dict[int, float]]] = {}
+    for chip, machine in machines.items():
+        runner = ExperimentRunner(machine)
+        per_impl: dict[str, dict[int, float]] = {}
+        for key in keys:
+            impl = get_implementation(key)
+            sweep = runner.run_gemm_sweep(impl, sizes, repeats=repeats)
+            per_impl[key] = {n: r.best_gflops for n, r in sweep.items()}
+        out[chip] = per_impl
+    return out
+
+
+def figure3_data(
+    machines: Mapping[str, Machine] | None = None,
+    *,
+    sizes: tuple[int, ...] = paper.POWER_SIZES,
+    impl_keys: Sequence[str] | None = None,
+    repeats: int = paper.GEMM_REPEATS,
+    fast: bool = False,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Figure 3: mean combined CPU+GPU power (mW) per chip, impl and size."""
+    machines = machines or make_machines(fast=fast)
+    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
+    out: dict[str, dict[str, dict[int, float]]] = {}
+    for chip, machine in machines.items():
+        runner = ExperimentRunner(machine)
+        per_impl: dict[str, dict[int, float]] = {}
+        for key in keys:
+            impl = get_implementation(key)
+            series: dict[int, float] = {}
+            for n in sizes:
+                if not impl.supports(machine, n):
+                    continue
+                powered = runner.run_powered_gemm(impl, n, repeats=repeats)
+                series[n] = powered.mean_combined_mw
+            per_impl[key] = series
+        out[chip] = per_impl
+    return out
+
+
+def figure4_data(
+    machines: Mapping[str, Machine] | None = None,
+    *,
+    sizes: tuple[int, ...] = paper.POWER_SIZES,
+    impl_keys: Sequence[str] | None = None,
+    repeats: int = paper.GEMM_REPEATS,
+    fast: bool = False,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Figure 4: efficiency (GFLOPS/W) per chip, implementation and size."""
+    machines = machines or make_machines(fast=fast)
+    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
+    out: dict[str, dict[str, dict[int, float]]] = {}
+    for chip, machine in machines.items():
+        runner = ExperimentRunner(machine)
+        per_impl: dict[str, dict[int, float]] = {}
+        for key in keys:
+            impl = get_implementation(key)
+            series: dict[int, float] = {}
+            for n in sizes:
+                if not impl.supports(machine, n):
+                    continue
+                powered = runner.run_powered_gemm(impl, n, repeats=repeats)
+                series[n] = powered.efficiency_gflops_per_w
+            per_impl[key] = series
+        out[chip] = per_impl
+    return out

@@ -1,0 +1,194 @@
+"""Terminal plots of the paper's figures (no plotting dependency).
+
+Renders log-scale line charts and grouped bar charts as Unicode text so the
+figures can be *seen*, not just tabulated, in a headless environment:
+``repro figure2 --chart`` draws the Figure-2 panels the way the paper lays
+them out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart", "bar_chart", "figure1_chart", "figure2_chart"]
+
+_BLOCKS = "▏▎▍▌▋▊▉█"
+
+
+def _log_position(value: float, lo: float, hi: float, width: int) -> int:
+    if value <= 0:
+        return 0
+    span = math.log10(hi) - math.log10(lo)
+    if span <= 0:
+        return 0
+    frac = (math.log10(value) - math.log10(lo)) / span
+    return max(0, min(width - 1, int(round(frac * (width - 1)))))
+
+
+def line_chart(
+    series: Mapping[str, Mapping[float, float]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    log_x: bool = True,
+    log_y: bool = True,
+) -> str:
+    """Multi-series scatter/line chart on (optionally) log-log axes.
+
+    ``series`` maps a legend name to ``{x: y}`` points.  Each series is
+    drawn with its own marker; markers overwrite earlier series on
+    collisions (later series win, like matplotlib's z-order).
+    """
+    points = [
+        (x, y)
+        for data in series.values()
+        for x, y in data.items()
+        if y > 0 and x > 0
+    ]
+    if not points:
+        raise ConfigurationError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if not log_x:
+        x_lo, x_hi = 0.0, x_hi
+    markers = "ox+*#@%&"
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for idx, (name, data) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"{marker} {name}")
+        for x, y in sorted(data.items()):
+            if y <= 0:
+                continue
+            if log_x:
+                col = _log_position(x, x_lo, x_hi, width)
+            else:
+                col = max(
+                    0, min(width - 1, int(round((x - x_lo) / (x_hi - x_lo or 1) * (width - 1))))
+                )
+            if log_y:
+                row = _log_position(y, y_lo, y_hi, height)
+            else:
+                row = max(
+                    0,
+                    min(height - 1, int(round((y - y_lo) / (y_hi - y_lo or 1) * (height - 1)))),
+                )
+            grid[height - 1 - row][col] = marker
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    y_top = f"{y_hi:.3g}"
+    y_bot = f"{y_lo:.3g}"
+    label_width = max(len(y_top), len(y_bot), len(y_label))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = y_top
+        elif i == height - 1:
+            label = y_bot
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        out.append(f"{label:>{label_width}} |" + "".join(row_cells))
+    out.append(" " * label_width + " +" + "-" * width)
+    out.append(
+        " " * label_width + f"  {x_lo:<10.4g}" + " " * (width - 24) + f"{x_hi:>10.4g}"
+    )
+    out.append("  ".join(legend))
+    return "\n".join(out)
+
+
+def bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+    reference: Mapping[str, float] | None = None,
+) -> str:
+    """Horizontal grouped bars, one block row per (group, label).
+
+    ``reference`` draws a ``|`` marker per group (Figure 1's theoretical
+    peak line).
+    """
+    if not groups:
+        raise ConfigurationError("nothing to plot")
+    peak = max(
+        max(values.values(), default=0.0) for values in groups.values()
+    )
+    if reference:
+        peak = max(peak, max(reference.values()))
+    if peak <= 0:
+        raise ConfigurationError("bar chart needs positive values")
+    label_width = max(
+        len(label) for values in groups.values() for label in values
+    )
+    out: list[str] = []
+    if title:
+        out.append(title)
+    for group, values in groups.items():
+        out.append(f"{group}:")
+        ref_col = None
+        if reference and group in reference:
+            ref_col = min(width - 1, int(round(reference[group] / peak * width)))
+        for label, value in values.items():
+            filled = value / peak * width
+            whole = int(filled)
+            frac = filled - whole
+            bar = "█" * whole
+            if frac > 1e-9 and whole < width:
+                bar += _BLOCKS[min(len(_BLOCKS) - 1, int(frac * len(_BLOCKS)))]
+            bar = bar.ljust(width)
+            if ref_col is not None and 0 <= ref_col < len(bar):
+                bar = bar[:ref_col] + "|" + bar[ref_col + 1 :]
+            out.append(f"  {label:<{label_width}} {bar} {value:8.1f} {unit}")
+    return "\n".join(out)
+
+
+def figure1_chart(fig1: Mapping[str, Mapping], *, width: int = 50) -> str:
+    """Figure 1 as grouped bars with the theoretical-peak marker."""
+    groups = {}
+    reference = {}
+    for chip, entry in fig1.items():
+        bars = {}
+        for target in ("cpu", "gpu"):
+            for kernel, gbs in entry[target].items():
+                bars[f"{kernel} ({target.upper()})"] = gbs
+        groups[chip] = bars
+        reference[chip] = entry["theoretical"]
+    return bar_chart(
+        groups,
+        width=width,
+        title="Figure 1 — STREAM bandwidth (| = theoretical peak)",
+        unit="GB/s",
+        reference=reference,
+    )
+
+
+def figure2_chart(
+    fig2: Mapping[str, Mapping[str, Mapping[int, float]]],
+    *,
+    chips: Sequence[str] | None = None,
+) -> str:
+    """Figure 2 as per-chip log-log panels."""
+    panels = []
+    for chip, impls in fig2.items():
+        if chips is not None and chip not in chips:
+            continue
+        panels.append(
+            line_chart(
+                {k: {float(n): v for n, v in s.items()} for k, s in impls.items()},
+                title=f"Figure 2 — {chip} (GFLOPS vs n, log-log)",
+                y_label="GFLOPS",
+            )
+        )
+    return "\n\n".join(panels)

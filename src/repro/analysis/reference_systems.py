@@ -1,0 +1,77 @@
+"""Literature reference points quoted by the paper (sections 5 and 7)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.calibration import paper
+from repro.analysis.tables import render_table
+
+__all__ = ["ReferenceSystem", "REFERENCE_SYSTEMS", "render_reference_table"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReferenceSystem:
+    name: str
+    metric: str
+    value: float
+    unit: str
+    source: str
+    caveat: str = ""
+
+
+REFERENCE_SYSTEMS: tuple[ReferenceSystem, ...] = (
+    ReferenceSystem(
+        name="Green500 #1 (Nov 2024)",
+        metric="efficiency",
+        value=float(paper.LITERATURE["green500-top"]["gflops_per_w"]),
+        unit="GFLOPS/W",
+        source=str(paper.LITERATURE["green500-top"]["source"]),
+        caveat="HPL FP64; not directly comparable to powermetrics estimates",
+    ),
+    ReferenceSystem(
+        name="Nvidia A100",
+        metric="efficiency",
+        value=float(paper.LITERATURE["nvidia-a100"]["tflops_per_w"]) * 1000.0,
+        unit="GFLOPS/W",
+        source=str(paper.LITERATURE["nvidia-a100"]["source"]),
+        caveat="mixed-precision tensor-core MMA, not SGEMM",
+    ),
+    ReferenceSystem(
+        name="Nvidia RTX 4090",
+        metric="efficiency",
+        value=float(paper.LITERATURE["rtx-4090"]["tflops_per_w"]) * 1000.0,
+        unit="GFLOPS/W",
+        source=str(paper.LITERATURE["rtx-4090"]["source"]),
+        caveat="174 W draw; tensor-core MMA, not SGEMM",
+    ),
+    ReferenceSystem(
+        name="Intel Xeon Max 9468",
+        metric="compute",
+        value=float(paper.LITERATURE["xeon-max-9468"]["fp64_tflops"]) * 1000.0,
+        unit="GFLOPS",
+        source=str(paper.LITERATURE["xeon-max-9468"]["source"]),
+        caveat="double-precision matrix multiplication",
+    ),
+    ReferenceSystem(
+        name="AMD MI250X",
+        metric="bandwidth",
+        value=float(paper.LITERATURE["amd-mi250x"]["gbs"]),
+        unit="GB/s",
+        source=str(paper.LITERATURE["amd-mi250x"]["source"]),
+        caveat="85% of theoretical peak for fine-grained remote access",
+    ),
+)
+
+
+def render_reference_table() -> str:
+    """Render the literature reference points as a plain-text table."""
+    rows = [
+        [ref.name, ref.metric, f"{ref.value:g}", ref.unit, ref.source, ref.caveat]
+        for ref in REFERENCE_SYSTEMS
+    ]
+    return render_table(
+        ["System", "Metric", "Value", "Unit", "Source", "Caveat"],
+        rows,
+        title="Literature reference points quoted by the paper.",
+    )

@@ -1,0 +1,100 @@
+"""Roofline analysis of the measured results.
+
+Places every implementation on its chip's roofline: achieved FLOP rate
+against arithmetic intensity, under the compute ceiling (the engine's peak)
+and the memory diagonal (theoretical bandwidth).  This is the standard lens
+for exactly the question the paper asks — whether the M-series' unified
+memory can feed its compute — and makes the Figure-2 hierarchy legible:
+MPS sits near the GPU ceiling, the custom shaders idle far below it, and
+STREAM pins the memory diagonal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.calibration.gemm import build_gemm_operation, gemm_calibration
+from repro.sim.machine import Machine
+from repro.sim.roofline import arithmetic_intensity
+
+__all__ = ["RooflinePoint", "roofline_points", "render_roofline"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One implementation's position on the chip roofline."""
+
+    impl_key: str
+    n: int
+    arithmetic_intensity: float  # FLOP per DRAM byte
+    achieved_gflops: float
+    engine_peak_gflops: float
+    memory_bound_gflops: float  # bandwidth * AI
+
+    @property
+    def roofline_gflops(self) -> float:
+        """The ceiling at this intensity: min(compute peak, BW * AI)."""
+        return min(self.engine_peak_gflops, self.memory_bound_gflops)
+
+    @property
+    def fraction_of_roofline(self) -> float:
+        if self.roofline_gflops <= 0:
+            return 0.0
+        return self.achieved_gflops / self.roofline_gflops
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """Whether the binding ceiling is the engine peak (past the ridge)."""
+        return self.engine_peak_gflops <= self.memory_bound_gflops
+
+
+def roofline_points(
+    machine: Machine,
+    impl_keys: Sequence[str],
+    n: int = 16384,
+) -> list[RooflinePoint]:
+    """Execute each implementation once and locate it on the roofline.
+
+    Uses the calibrated DRAM traffic model for the intensity denominator
+    (cached re-reads do not count, as in measured rooflines).
+    """
+    points: list[RooflinePoint] = []
+    bandwidth_gbs = machine.chip.memory.bandwidth_gbs
+    for key in impl_keys:
+        cal = gemm_calibration(machine.chip, key)
+        size = n if cal.supports(n) else cal.max_n or n
+        op = build_gemm_operation(machine.chip, key, size)
+        done = machine.execute(op)
+        ai = arithmetic_intensity(op.cost)
+        points.append(
+            RooflinePoint(
+                impl_key=key,
+                n=size,
+                arithmetic_intensity=ai,
+                achieved_gflops=done.achieved_flops / 1e9,
+                engine_peak_gflops=op.peak_flops / 1e9,
+                memory_bound_gflops=bandwidth_gbs * ai,
+            )
+        )
+    return points
+
+
+def render_roofline(machine: Machine, points: Sequence[RooflinePoint]) -> str:
+    """Text report: the roofline position of every point."""
+    chip = machine.chip
+    lines = [
+        f"Roofline — {chip.name}: DRAM {chip.memory.bandwidth_gbs:.0f} GB/s, "
+        f"GPU ceiling {chip.gpu.peak_fp32_flops() / 1e9:.0f} GFLOPS, "
+        f"AMX ceiling {chip.amx.peak_fp32_flops() / 1e9:.0f} GFLOPS",
+        f"{'impl':20s} {'n':>6s} {'AI':>8s} {'achieved':>10s} "
+        f"{'ceiling':>10s} {'% roof':>7s} {'bound':>8s}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.impl_key:20s} {p.n:6d} {p.arithmetic_intensity:8.1f} "
+            f"{p.achieved_gflops:10.1f} {p.roofline_gflops:10.1f} "
+            f"{p.fraction_of_roofline:7.1%} "
+            f"{'compute' if p.is_compute_bound else 'memory':>8s}"
+        )
+    return "\n".join(lines)

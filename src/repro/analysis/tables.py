@@ -1,0 +1,128 @@
+"""ASCII renderers for the paper's tables (1, 2 and 3)."""
+
+from __future__ import annotations
+
+from repro.core.gemm.registry import table2_rows
+from repro.soc.catalog import CHIP_NAMES, get_chip
+from repro.soc.device import device_catalog
+
+__all__ = ["render_table", "render_table1", "render_table2", "render_table3"]
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Plain-text table with padded columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt(headers))
+    out.append(sep)
+    out.extend(fmt(row) for row in rows)
+    return "\n".join(out)
+
+
+def render_table1(chips: tuple[str, ...] = CHIP_NAMES) -> str:
+    """Table 1: Comparison of Baseline Apple Silicon M Series Architecture."""
+    specs = [get_chip(name) for name in chips]
+    features: list[tuple[str, list[str]]] = [
+        ("Process Technology (nm)", [c.process_nm for c in specs]),
+        ("CPU Architecture", [c.isa for c in specs]),
+        ("Performance/Efficiency Cores", [c.core_config_label() for c in specs]),
+        ("Clock Frequency (GHz)", [c.clock_label() for c in specs]),
+        (
+            "Vector Unit (name/size)",
+            [f"NEON/{c.performance_cluster.simd_width_bits}" for c in specs],
+        ),
+        (
+            "L1 Cache (KB)",
+            [
+                f"{c.performance_cluster.l1_kb} (P)/{c.efficiency_cluster.l1_kb} (E)"
+                for c in specs
+            ],
+        ),
+        (
+            "L2 Cache (MB)",
+            [
+                f"{c.performance_cluster.l2_mb} (P)/{c.efficiency_cluster.l2_mb} (E)"
+                for c in specs
+            ],
+        ),
+        (
+            "AMX Characteristics",
+            [
+                "FP16,32,64" + ("/BF16" if any(p.key == "bf16" for p in c.amx.precisions) else "")
+                for c in specs
+            ],
+        ),
+        (
+            "GPU Cores",
+            [
+                f"{c.gpu.cores_min}-{c.gpu.cores_max}"
+                if c.gpu.cores_min != c.gpu.cores_max
+                else str(c.gpu.cores_max)
+                for c in specs
+            ],
+        ),
+        (
+            "Native Precision Support",
+            ["FP32, FP16, INT8" for _ in specs],
+        ),
+        ("GPU Clock Frequency (GHz)", [f"{c.gpu.clock_ghz:g}" for c in specs]),
+        (
+            "Theoretical FP32 FLOPS (TFLOPS)",
+            [
+                f"{c.gpu.table_fp32_tflops[0]:g}-{c.gpu.table_fp32_tflops[1]:g}"
+                if c.gpu.table_fp32_tflops[0] != c.gpu.table_fp32_tflops[1]
+                else f"{c.gpu.table_fp32_tflops[1]:g}"
+                for c in specs
+            ],
+        ),
+        ("Neural Engine Units (Core)", [str(c.neural_engine.cores) for c in specs]),
+        ("Memory Technology", [c.memory.technology for c in specs]),
+        (
+            "Max Unified Memory (GB)",
+            ["-".join(str(g) for g in c.memory.max_gb_options) for c in specs],
+        ),
+        ("Memory Bandwidth (GB/s)", [f"{c.memory.bandwidth_gbs:g}" for c in specs]),
+    ]
+    rows = [[feature] + values for feature, values in features]
+    return render_table(
+        ["Feature"] + list(chips),
+        rows,
+        title="Table 1. Comparison of Baseline Apple Silicon M Series Architecture.",
+    )
+
+
+def render_table2() -> str:
+    """Table 2: Overview of matrix multiplication implementations."""
+    return render_table(
+        ["Implementation", "Framework", "Hardware"],
+        [list(row) for row in table2_rows()],
+        title="Table 2. Overview of matrix multiplication implementations.",
+    )
+
+
+def render_table3() -> str:
+    """Table 3: Basic information of devices used."""
+    devices = device_catalog()
+    chips = list(devices)
+    rows = [
+        ["Device", *[devices[c].model for c in chips]],
+        ["Release", *[str(devices[c].release_year) for c in chips]],
+        ["Memory", *[f"{devices[c].memory_gb}GB" for c in chips]],
+        ["Cooling", *[devices[c].cooling.value for c in chips]],
+        ["MacOS", *[devices[c].macos_version for c in chips]],
+    ]
+    return render_table(
+        ["Feature"] + chips,
+        rows,
+        title="Table 3. Basic information of devices used.",
+    )

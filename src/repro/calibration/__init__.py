@@ -1,0 +1,38 @@
+"""Calibration layer: paper-reported targets and derived model parameters.
+
+``repro.calibration.paper`` transcribes every number the paper reports
+(Figures 1-4, the HPC-perspective reference points, the experiment protocol
+constants).  ``repro.calibration.gemm`` and ``repro.calibration.stream`` turn
+those targets into roofline efficiencies, overheads and power draws for the
+simulator.  Nothing outside this package hard-codes a measured number.
+"""
+
+from repro.calibration import paper
+from repro.calibration.gemm import (
+    GemmCalibration,
+    build_gemm_operation,
+    gemm_calibration,
+    gemm_flops,
+    gemm_power_draws,
+)
+from repro.calibration.stream import (
+    StreamCalibration,
+    cpu_stream_bandwidth_gbs,
+    gpu_stream_bandwidth_gbs,
+    stream_calibration,
+    stream_power_draws,
+)
+
+__all__ = [
+    "paper",
+    "GemmCalibration",
+    "gemm_calibration",
+    "gemm_flops",
+    "gemm_power_draws",
+    "build_gemm_operation",
+    "StreamCalibration",
+    "stream_calibration",
+    "cpu_stream_bandwidth_gbs",
+    "gpu_stream_bandwidth_gbs",
+    "stream_power_draws",
+]

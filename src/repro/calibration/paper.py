@@ -1,0 +1,170 @@
+"""Every number the paper reports, transcribed as data.
+
+Sources are quoted by section so EXPERIMENTS.md and the comparison tests can
+trace each constant.  GFLOPS values follow the paper's convention of counting
+``n^2 (2n - 1)`` floating-point operations per n x n GEMM (section 3.2).
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = [
+    "CHIPS",
+    "GEMM_SIZES",
+    "POWER_SIZES",
+    "CPU_LOOP_MAX_N",
+    "STREAM_CPU_REPEATS",
+    "STREAM_GPU_REPEATS",
+    "GEMM_REPEATS",
+    "POWERMETRICS_WARMUP_S",
+    "THEORETICAL_BANDWIDTH_GBS",
+    "FIG1_CPU_MAX_GBS",
+    "FIG1_GPU_MAX_GBS",
+    "FIG1_M2_CPU_ANOMALY_GAP_GBS",
+    "FIG2_PEAK_GFLOPS",
+    "FIG4_EFFICIENCY_GFLOPS_PER_W",
+    "PAPER_IMPLEMENTATIONS",
+    "GH200",
+    "LITERATURE",
+    "gemm_flop_count",
+]
+
+#: Generational order used by every figure.
+CHIPS: tuple[str, ...] = ("M1", "M2", "M3", "M4")
+
+#: Section 4: "values of n as follows".
+GEMM_SIZES: tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+
+#: Figures 3-4 plot the power study over these sizes.
+POWER_SIZES: tuple[int, ...] = (2048, 4096, 8192, 16384)
+
+#: Section 4: CPU-Single and CPU-OMP "did not execute 8,192 and 16,384".
+CPU_LOOP_MAX_N: int = 4096
+
+#: Section 4: repetition counts; "only the maximum bandwidth is considered".
+STREAM_CPU_REPEATS: int = 10
+STREAM_GPU_REPEATS: int = 20
+GEMM_REPEATS: int = 5
+
+#: Section 3.3: "After two seconds (to ensure the utility is warmed up)".
+POWERMETRICS_WARMUP_S: float = 2.0
+
+#: Table 1 "Memory Bandwidth (GB/s)".
+THEORETICAL_BANDWIDTH_GBS: Mapping[str, float] = MappingProxyType(
+    {"M1": 67.0, "M2": 100.0, "M3": 100.0, "M4": 120.0}
+)
+
+#: Section 5.1: "M1 to M4 (respectively) see up to 59 GB/s, 78 GB/s, 92 GB/s,
+#: and 103 GB/s bandwidth for CPU; 60 GB/s, 91 GB/s, 92 GB/s, and 100 GB/s for GPU."
+FIG1_CPU_MAX_GBS: Mapping[str, float] = MappingProxyType(
+    {"M1": 59.0, "M2": 78.0, "M3": 92.0, "M4": 103.0}
+)
+FIG1_GPU_MAX_GBS: Mapping[str, float] = MappingProxyType(
+    {"M1": 60.0, "M2": 91.0, "M3": 92.0, "M4": 100.0}
+)
+
+#: Section 5.1: "The M2 CPU deviates with a 20-30 GB/s gap comparing the Copy
+#: and Scale to other kernels."
+FIG1_M2_CPU_ANOMALY_GAP_GBS: tuple[float, float] = (20.0, 30.0)
+
+#: Section 5.2 peak GFLOPS per implementation.  The running text describes
+#: the naive shader as "lagging" while giving it the *higher* numbers; the
+#: numbers are taken as ground truth (see DESIGN.md "Fidelity notes").
+FIG2_PEAK_GFLOPS: Mapping[str, Mapping[str, float]] = MappingProxyType(
+    {
+        "cpu-accelerate": MappingProxyType(
+            {"M1": 900.0, "M2": 1090.0, "M3": 1380.0, "M4": 1490.0}
+        ),
+        "gpu-mps": MappingProxyType(
+            {"M1": 1360.0, "M2": 2240.0, "M3": 2470.0, "M4": 2900.0}
+        ),
+        "gpu-naive": MappingProxyType(
+            {"M1": 200.0, "M2": 390.0, "M3": 450.0, "M4": 540.0}
+        ),
+        "gpu-cutlass": MappingProxyType(
+            {"M1": 150.0, "M2": 160.0, "M3": 270.0, "M4": 340.0}
+        ),
+    }
+)
+
+#: Section 5.3: GFLOPS per watt.  GPU-MPS: "0.21 TFLOPS/W on M1, 0.4 T/W on
+#: M2, 0.46 T/W on M3 and 0.33 T/W on M4"; CPU-Accelerate: "0.25 / 0.2 /
+#: 0.27 / 0.23"; CPU-Single and CPU-OMP "less than 1 GFLOPS per Watt".
+FIG4_EFFICIENCY_GFLOPS_PER_W: Mapping[str, Mapping[str, float]] = MappingProxyType(
+    {
+        "gpu-mps": MappingProxyType(
+            {"M1": 210.0, "M2": 400.0, "M3": 460.0, "M4": 330.0}
+        ),
+        "cpu-accelerate": MappingProxyType(
+            {"M1": 250.0, "M2": 200.0, "M3": 270.0, "M4": 230.0}
+        ),
+    }
+)
+
+#: Table 2 rows: (implementation, framework, hardware).  CPU-OMP appears in
+#: the experimental text (section 3.2) but not in Table 2 itself.
+PAPER_IMPLEMENTATIONS: tuple[tuple[str, str, str], ...] = (
+    ("Naive algorithm", "C++", "CPU"),
+    ("BLAS/vDSP", "Accelerate", "CPU"),
+    ("Naive algorithm as shader", "Metal", "GPU"),
+    ("Cutlass-style tiled shader", "Metal", "GPU"),
+    ("Metal Performance Shaders (MPS)", "Metal", "GPU"),
+)
+
+#: Section 4/5 GH200 reference points.  Theoretical peaks back-derived from
+#: the paper's percentages match the GH200-480GB datasheet (384 GB/s LPDDR5X,
+#: 4 TB/s HBM3, 67 TFLOPS FP32, 494.5 TFLOPS TF32 dense).
+GH200: Mapping[str, float] = MappingProxyType(
+    {
+        "stream_cpu_gbs": 310.0,
+        "stream_cpu_fraction": 0.81,
+        "stream_cpu_theoretical_gbs": 384.0,
+        "stream_hbm3_gbs": 3700.0,
+        "stream_hbm3_fraction": 0.94,
+        "stream_hbm3_theoretical_gbs": 4000.0,
+        "sgemm_cuda_tflops": 41.0,
+        "sgemm_cuda_fraction": 0.61,
+        "sgemm_cuda_theoretical_tflops": 67.0,
+        "sgemm_tf32_tflops": 338.0,
+        "sgemm_tf32_fraction": 0.69,
+        "sgemm_tf32_theoretical_tflops": 494.5,
+    }
+)
+
+#: Section 5/7 literature comparison points.
+LITERATURE: Mapping[str, Mapping[str, float | str]] = MappingProxyType(
+    {
+        "green500-top": MappingProxyType(
+            {"gflops_per_w": 72.0, "source": "Green500 Nov 2024 [27]"}
+        ),
+        "nvidia-a100": MappingProxyType(
+            {"tflops_per_w": 0.7, "source": "Luo et al. [13], mixed-precision MMA"}
+        ),
+        "rtx-4090": MappingProxyType(
+            {
+                "tflops_per_w": 0.51,
+                "watts": 174.0,
+                "source": "Luo et al. [13], tensor-core MMA",
+            }
+        ),
+        "xeon-max-9468": MappingProxyType(
+            {"fp64_tflops": 5.7, "source": "Siegmann et al. [24]"}
+        ),
+        "amd-mi250x": MappingProxyType(
+            {
+                "gbs": 28.0,
+                "fraction_of_peak": 0.85,
+                "source": "Schieffer et al. [21], fine-grained remote access",
+            }
+        ),
+    }
+)
+
+
+def gemm_flop_count(n: int) -> int:
+    """The paper's GEMM operation count ``n^2 (2n - 1)`` (section 3.2)."""
+    if n <= 0:
+        raise ValueError(f"matrix dimension must be positive, got {n}")
+    return n * n * (2 * n - 1)

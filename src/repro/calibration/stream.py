@@ -1,0 +1,173 @@
+"""STREAM calibration: per-chip, per-kernel effective bandwidths.
+
+Reproduces Figure 1: each chip reaches ~85 % of its theoretical unified-memory
+bandwidth from both the CPU and the GPU, with the documented M2 CPU anomaly
+(Copy and Scale trail Add and Triad by 20-30 GB/s, section 5.1).  The CPU
+model additionally provides the OpenMP thread-scaling curve the paper sweeps
+(1..physical cores, keeping the maximum), and the GPU model a ramp over the
+array footprint (small buffers cannot saturate the fabric).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.errors import CalibrationError
+from repro.soc.chip import ChipSpec
+from repro.soc.power import PowerComponent
+
+__all__ = [
+    "STREAM_KERNELS",
+    "StreamCalibration",
+    "stream_calibration",
+    "cpu_stream_bandwidth_gbs",
+    "gpu_stream_bandwidth_gbs",
+    "stream_power_draws",
+]
+
+#: Kernel names in the canonical STREAM order.
+STREAM_KERNELS: tuple[str, ...] = ("copy", "scale", "add", "triad")
+
+#: Saturated CPU bandwidth targets in GB/s (Figure 1).  The M2 Copy/Scale
+#: values encode the paper's unexplained CPU-link anomaly.
+_CPU_TARGETS_GBS: dict[str, dict[str, float]] = {
+    "M1": {"copy": 55.5, "scale": 56.2, "add": 58.1, "triad": 59.0},
+    "M2": {"copy": 50.0, "scale": 52.0, "add": 76.5, "triad": 78.0},
+    "M3": {"copy": 88.0, "scale": 89.0, "add": 91.0, "triad": 92.0},
+    "M4": {"copy": 97.0, "scale": 98.5, "add": 101.0, "triad": 103.0},
+}
+
+#: Saturated GPU bandwidth targets in GB/s (Figure 1).
+_GPU_TARGETS_GBS: dict[str, dict[str, float]] = {
+    "M1": {"copy": 57.0, "scale": 58.0, "add": 59.5, "triad": 60.0},
+    "M2": {"copy": 87.0, "scale": 88.5, "add": 90.0, "triad": 91.0},
+    "M3": {"copy": 88.5, "scale": 89.5, "add": 91.5, "triad": 92.0},
+    "M4": {"copy": 96.0, "scale": 97.0, "add": 99.0, "triad": 100.0},
+}
+
+#: Fractions of theoretical peak for non-catalog chips.
+_GENERIC_CPU_FRACTION: dict[str, float] = {
+    "copy": 0.82,
+    "scale": 0.83,
+    "add": 0.85,
+    "triad": 0.86,
+}
+_GENERIC_GPU_FRACTION: dict[str, float] = {
+    "copy": 0.87,
+    "scale": 0.88,
+    "add": 0.90,
+    "triad": 0.91,
+}
+
+#: CPU thread-scaling shape: bw(T) ~ T / (T + c), renormalised to the target
+#: at the full core count.
+_THREAD_HALF_CORES: float = 1.2
+
+#: GPU footprint ramp: bw(bytes) ~ bytes / (bytes + half).
+_GPU_RAMP_HALF_BYTES: float = 256.0 * 1024.0
+
+#: Saturated power draws in watts while STREAM runs.
+_CPU_STREAM_POWER_W: dict[str, float] = {"M1": 2.2, "M2": 3.4, "M3": 3.0, "M4": 3.6}
+_GPU_STREAM_POWER_W: dict[str, float] = {"M1": 3.2, "M2": 4.5, "M3": 4.2, "M4": 5.0}
+_GPU_STREAM_HOST_CPU_W: float = 0.3
+_STREAM_DRAM_W: float = 1.0
+
+#: Repeat-to-repeat jitter for STREAM (tighter than GEMM; pure bandwidth).
+STREAM_NOISE_SIGMA: float = 0.008
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamCalibration:
+    """Saturated per-kernel bandwidth targets for one chip."""
+
+    chip_name: str
+    cpu_targets_gbs: Mapping[str, float]
+    gpu_targets_gbs: Mapping[str, float]
+
+    def cpu_target(self, kernel: str) -> float:
+        """Saturated CPU bandwidth target for one kernel (GB/s)."""
+        return self.cpu_targets_gbs[_check_kernel(kernel)]
+
+    def gpu_target(self, kernel: str) -> float:
+        """Saturated GPU bandwidth target for one kernel (GB/s)."""
+        return self.gpu_targets_gbs[_check_kernel(kernel)]
+
+    def cpu_max_gbs(self) -> float:
+        """Best CPU kernel target — the Figure-1 'up to' number."""
+        return max(self.cpu_targets_gbs.values())
+
+    def gpu_max_gbs(self) -> float:
+        """Best GPU kernel target — the Figure-1 'up to' number."""
+        return max(self.gpu_targets_gbs.values())
+
+
+def _check_kernel(kernel: str) -> str:
+    key = kernel.lower()
+    if key not in STREAM_KERNELS:
+        raise CalibrationError(
+            f"unknown STREAM kernel {kernel!r}; known: {', '.join(STREAM_KERNELS)}"
+        )
+    return key
+
+
+def stream_calibration(chip: ChipSpec) -> StreamCalibration:
+    """Per-kernel targets for a chip (generic fractions off-catalog)."""
+    if chip.name in _CPU_TARGETS_GBS:
+        return StreamCalibration(
+            chip_name=chip.name,
+            cpu_targets_gbs=dict(_CPU_TARGETS_GBS[chip.name]),
+            gpu_targets_gbs=dict(_GPU_TARGETS_GBS[chip.name]),
+        )
+    theoretical = chip.memory.bandwidth_gbs
+    return StreamCalibration(
+        chip_name=chip.name,
+        cpu_targets_gbs={
+            k: theoretical * f for k, f in _GENERIC_CPU_FRACTION.items()
+        },
+        gpu_targets_gbs={
+            k: theoretical * f for k, f in _GENERIC_GPU_FRACTION.items()
+        },
+    )
+
+
+def cpu_stream_bandwidth_gbs(chip: ChipSpec, kernel: str, threads: int) -> float:
+    """Effective CPU STREAM bandwidth at a given OpenMP thread count.
+
+    The saturating shape means a single core reaches roughly half the link
+    bandwidth and the full complement of physical cores reaches the target,
+    matching the paper's observation that the maximum is obtained from the
+    OMP_NUM_THREADS sweep (section 3.1).
+    """
+    if threads < 1:
+        raise CalibrationError(f"thread count must be >= 1, got {threads}")
+    target = stream_calibration(chip).cpu_target(kernel)
+    max_threads = chip.total_cores
+    t = min(threads, max_threads)
+    shape = t / (t + _THREAD_HALF_CORES)
+    norm = max_threads / (max_threads + _THREAD_HALF_CORES)
+    return target * shape / norm
+
+
+def gpu_stream_bandwidth_gbs(chip: ChipSpec, kernel: str, array_bytes: int) -> float:
+    """Effective GPU STREAM bandwidth for a given per-array footprint."""
+    if array_bytes <= 0:
+        raise CalibrationError("array footprint must be positive")
+    target = stream_calibration(chip).gpu_target(kernel)
+    ramp = array_bytes / (array_bytes + _GPU_RAMP_HALF_BYTES)
+    return target * ramp
+
+
+def stream_power_draws(chip: ChipSpec, target: str) -> dict[PowerComponent, float]:
+    """Component draws (W) while a STREAM kernel runs on ``"cpu"`` or ``"gpu"``."""
+    if target == "cpu":
+        cpu_w = _CPU_STREAM_POWER_W.get(chip.name, 3.0)
+        return {PowerComponent.CPU: cpu_w, PowerComponent.DRAM: _STREAM_DRAM_W}
+    if target == "gpu":
+        gpu_w = _GPU_STREAM_POWER_W.get(chip.name, 4.0)
+        return {
+            PowerComponent.CPU: _GPU_STREAM_HOST_CPU_W,
+            PowerComponent.GPU: gpu_w,
+            PowerComponent.DRAM: _STREAM_DRAM_W,
+        }
+    raise CalibrationError(f"STREAM target must be 'cpu' or 'gpu', got {target!r}")

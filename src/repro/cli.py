@@ -1,0 +1,298 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    repro table1
+    repro figure1 --chips M1 M4
+    repro figure2 --fast
+    repro gh200
+    repro all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import PAPER_ARXIV, PAPER_TITLE, __version__
+from repro.analysis.compare import compare_to_paper, render_comparison, shape_checks
+from repro.analysis.export import figure_series_to_rows, rows_to_csv
+from repro.analysis.figures import (
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    make_machines,
+)
+from repro.analysis.reference_systems import render_reference_table
+from repro.analysis.tables import render_table1, render_table2, render_table3
+from repro.calibration import paper
+from repro.cuda import CublasHandle, CudaMathMode, GH200Machine, run_gh200_stream
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=f"Reproduction of '{PAPER_TITLE}' (arXiv:{PAPER_ARXIV})",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("table1", "architecture comparison (Table 1)"),
+        ("table2", "GEMM implementation overview (Table 2)"),
+        ("table3", "devices used (Table 3)"),
+        ("references", "literature reference points"),
+    ):
+        sub.add_parser(name, help=help_text)
+
+    def add_figure(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--chips",
+            nargs="+",
+            default=list(paper.CHIPS),
+            choices=list(paper.CHIPS),
+            help="chips to run (default: all four)",
+        )
+        p.add_argument(
+            "--fast",
+            action="store_true",
+            help="model-only numerics and trimmed repetitions",
+        )
+        p.add_argument("--csv", action="store_true", help="emit CSV instead of text")
+        p.add_argument(
+            "--chart", action="store_true", help="draw an ASCII chart of the figure"
+        )
+        return p
+
+    add_figure("figure1", "STREAM bandwidths (Figure 1)")
+    add_figure("figure2", "GEMM GFLOPS sweep (Figure 2)")
+    add_figure("figure3", "power dissipation (Figure 3)")
+    add_figure("figure4", "power efficiency (Figure 4)")
+    add_figure("compare", "paper-vs-measured summary across figures")
+
+    gh = sub.add_parser("gh200", help="GH200 reference points (sections 4-5)")
+    gh.add_argument("--fast", action="store_true")
+
+    stream = sub.add_parser(
+        "stream", help="one STREAM run with classic stream.c-style output"
+    )
+    stream.add_argument("--chip", default="M4", choices=list(paper.CHIPS))
+    stream.add_argument("--target", default="cpu", choices=["cpu", "gpu"])
+    stream.add_argument("--fast", action="store_true")
+
+    roof = sub.add_parser(
+        "roofline", help="roofline placement of the GEMM implementations"
+    )
+    roof.add_argument(
+        "--chips", nargs="+", default=list(paper.CHIPS), choices=list(paper.CHIPS)
+    )
+    roof.add_argument("--n", type=int, default=16384)
+
+    exp = sub.add_parser(
+        "experiments", help="run the reproduction and write EXPERIMENTS.md"
+    )
+    exp.add_argument("--output", default="EXPERIMENTS.md")
+    exp.add_argument("--seed", type=int, default=0)
+
+    alls = sub.add_parser("all", help="everything, in paper order")
+    alls.add_argument("--fast", action="store_true")
+    return parser
+
+
+def _print_figure1(chips: Sequence[str], fast: bool, as_csv: bool) -> None:
+    machines = make_machines(chips, fast=fast)
+    data = figure1_data(machines, fast=fast)
+    if as_csv:
+        rows = []
+        for chip, entry in data.items():
+            for target in ("cpu", "gpu"):
+                for kernel, gbs in entry[target].items():
+                    rows.append(
+                        {
+                            "chip": chip,
+                            "target": target,
+                            "kernel": kernel,
+                            "bandwidth_gbs": round(gbs, 2),
+                        }
+                    )
+        print(rows_to_csv(rows), end="")
+        return
+    print("Figure 1 — STREAM bandwidth (GB/s), max over repetitions")
+    for chip, entry in data.items():
+        print(f"\n{chip} (theoretical {entry['theoretical']:.0f} GB/s)")
+        for target in ("cpu", "gpu"):
+            cells = "  ".join(
+                f"{kernel}={gbs:6.1f}" for kernel, gbs in entry[target].items()
+            )
+            print(f"  {target.upper():3s}: {cells}")
+
+
+def _print_series_figure(
+    name: str,
+    data: dict,
+    value_name: str,
+    unit: str,
+    as_csv: bool,
+) -> None:
+    if as_csv:
+        print(rows_to_csv(figure_series_to_rows(data, value_name)), end="")
+        return
+    print(f"{name} ({unit})")
+    for chip, impls in data.items():
+        print(f"\n{chip}")
+        for impl, series in impls.items():
+            cells = "  ".join(f"n={n}:{v:9.1f}" for n, v in sorted(series.items()))
+            print(f"  {impl:16s} {cells}")
+
+
+def _run_gh200(fast: bool) -> None:
+    from repro.sim.policy import NumericsConfig
+    import numpy as np
+
+    machine = GH200Machine(
+        numerics=NumericsConfig.model_only() if fast else None
+    )
+    print("GH200 reference (sections 4-5)")
+    for target, label in (("cpu", "Grace LPDDR5X"), ("hbm3", "Hopper HBM3")):
+        # Large arrays keep overhead below 1%; with --fast the numerics are
+        # skipped so the footprint costs nothing.
+        result = run_gh200_stream(machine, target, n_elements=1 << 24)
+        print(
+            f"  STREAM {label:14s}: {result.max_gbs():7.1f} GB/s "
+            f"({result.fraction_of_peak():.0%} of {result.theoretical_gbs:.0f})"
+        )
+    n = 4096 if fast else 16384
+    for mode, label in (
+        (CudaMathMode.CUDA_CORES_FP32, "CUDA cores (FP32)"),
+        (CudaMathMode.TF32_TENSOR, "Tensor cores (TF32)"),
+    ):
+        handle = CublasHandle(machine, math_mode=mode)
+        a = np.zeros((n, n), dtype=np.float32)
+        b = np.zeros((n, n), dtype=np.float32)
+        c = np.zeros((n, n), dtype=np.float32)
+        t0 = machine.now_ns()
+        from repro.cuda.cublas import CUBLAS_OP_N, cublas_sgemm
+
+        cublas_sgemm(handle, CUBLAS_OP_N, CUBLAS_OP_N, n, n, n, 1.0, a, n, b, n, 0.0, c, n)
+        elapsed = machine.now_ns() - t0
+        tflops = n * n * (2 * n - 1) / elapsed / 1e3
+        print(f"  cublasSgemm {label:18s}: {tflops:6.1f} TFLOPS (n={n})")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "table1":
+        print(render_table1())
+    elif command == "table2":
+        print(render_table2())
+    elif command == "table3":
+        print(render_table3())
+    elif command == "references":
+        print(render_reference_table())
+    elif command == "figure1":
+        if args.chart:
+            from repro.analysis.plots import figure1_chart
+
+            machines = make_machines(args.chips, fast=args.fast)
+            print(figure1_chart(figure1_data(machines, fast=args.fast)))
+        else:
+            _print_figure1(args.chips, args.fast, args.csv)
+    elif command == "figure2":
+        machines = make_machines(args.chips, fast=args.fast)
+        data = figure2_data(machines, fast=args.fast)
+        if args.chart:
+            from repro.analysis.plots import figure2_chart
+
+            print(figure2_chart(data))
+        else:
+            _print_series_figure("Figure 2 — GEMM", data, "gflops", "GFLOPS", args.csv)
+    elif command == "figure3":
+        machines = make_machines(args.chips, fast=args.fast)
+        data = figure3_data(machines, fast=args.fast)
+        _print_series_figure("Figure 3 — power", data, "power_mw", "mW", args.csv)
+    elif command == "figure4":
+        machines = make_machines(args.chips, fast=args.fast)
+        data = figure4_data(machines, fast=args.fast)
+        _print_series_figure(
+            "Figure 4 — efficiency", data, "gflops_per_w", "GFLOPS/W", args.csv
+        )
+    elif command == "compare":
+        machines = make_machines(args.chips, fast=args.fast)
+        fig1 = figure1_data(machines, fast=args.fast)
+        fig2 = figure2_data(machines, fast=args.fast)
+        fig4 = figure4_data(machines, fast=args.fast)
+        print(render_comparison(compare_to_paper(fig1=fig1, fig2=fig2, fig4=fig4)))
+        print()
+        for name, ok in shape_checks(fig1=fig1, fig2=fig2, fig4=fig4).items():
+            print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    elif command == "gh200":
+        _run_gh200(args.fast)
+    elif command == "stream":
+        from repro.core.stream.report import render_stream_report
+        from repro.core.stream.runner import run_stream as _run_stream
+        from repro.sim.machine import Machine
+        from repro.sim.policy import NumericsConfig
+
+        machine = Machine.for_chip(
+            args.chip,
+            numerics=NumericsConfig.model_only() if args.fast else None,
+        )
+        print(render_stream_report(_run_stream(machine, args.target)))
+    elif command == "roofline":
+        from repro.analysis.roofline_analysis import render_roofline, roofline_points
+        from repro.core.gemm.registry import paper_implementation_keys
+        from repro.sim.policy import NumericsConfig
+        from repro.sim.machine import Machine
+
+        for chip in args.chips:
+            machine = Machine.for_chip(chip, numerics=NumericsConfig.model_only())
+            points = roofline_points(
+                machine, paper_implementation_keys(), n=args.n
+            )
+            print(render_roofline(machine, points))
+            print()
+    elif command == "experiments":
+        from repro.analysis.experiments_report import generate_experiments_report
+
+        report = generate_experiments_report(seed=args.seed)
+        import pathlib as _pathlib
+
+        _pathlib.Path(args.output).write_text(report)
+        print(f"wrote {args.output} ({len(report.splitlines())} lines)")
+    elif command == "all":
+        for block in (render_table1(), render_table2(), render_table3()):
+            print(block)
+            print()
+        _print_figure1(list(paper.CHIPS), args.fast, False)
+        print()
+        machines = make_machines(fast=args.fast)
+        data2 = figure2_data(machines, fast=args.fast)
+        _print_series_figure("Figure 2 — GEMM", data2, "gflops", "GFLOPS", False)
+        print()
+        data3 = figure3_data(machines, fast=args.fast)
+        _print_series_figure("Figure 3 — power", data3, "power_mw", "mW", False)
+        print()
+        data4 = figure4_data(machines, fast=args.fast)
+        _print_series_figure(
+            "Figure 4 — efficiency", data4, "gflops_per_w", "GFLOPS/W", False
+        )
+        print()
+        _run_gh200(args.fast)
+        print()
+        print(render_reference_table())
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(command)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Multi-node extension: the paper's section-7 future work.
+
+"Future work in this area could explore the performance of the M-Series
+chips in multi-node or distributed HPC systems."  This package models a
+cluster of Table-3 machines joined by a commodity interconnect (Thunderbolt
+IP or 10 GbE — what one can actually wire Mac minis with), an MPI-flavoured
+communication layer on top, and two distributed workloads:
+
+* a cluster-wide STREAM (embarrassingly parallel, aggregate bandwidth);
+* a SUMMA distributed GEMM, whose communication/computation balance exposes
+  how quickly a laptop-class interconnect starves the M-series' efficient
+  compute — the quantitative answer to the paper's open question.
+"""
+
+from repro.cluster.interconnect import INTERCONNECTS, InterconnectSpec
+from repro.cluster.machine import ClusterMachine
+from repro.cluster.comm import ClusterCommunicator
+from repro.cluster.summa import SummaResult, run_summa_gemm
+from repro.cluster.stream import run_cluster_stream
+
+__all__ = [
+    "InterconnectSpec",
+    "INTERCONNECTS",
+    "ClusterMachine",
+    "ClusterCommunicator",
+    "SummaResult",
+    "run_summa_gemm",
+    "run_cluster_stream",
+]

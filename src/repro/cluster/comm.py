@@ -1,0 +1,76 @@
+"""MPI-flavoured collectives over the cluster's link model.
+
+Cost formulas are the textbook ones (Chan et al. / MPICH defaults):
+broadcast and reduce are log2(P)-stage trees, allgather is a (P-1)-step
+ring.  Only the *timing* is modelled here; data placement is handled by the
+workloads, which keep per-node NumPy blocks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.machine import ClusterMachine
+from repro.errors import ConfigurationError
+
+__all__ = ["ClusterCommunicator"]
+
+
+class ClusterCommunicator:
+    """Collective timing over a :class:`ClusterMachine`."""
+
+    def __init__(self, cluster: ClusterMachine) -> None:
+        self.cluster = cluster
+
+    def _phase(self, duration_s: float) -> float:
+        self.cluster.barrier()
+        for node in self.cluster.nodes:
+            node.clock.advance(duration_s)
+        return duration_s
+
+    # -- collectives -----------------------------------------------------
+    def broadcast(self, nbytes: float, root: int = 0) -> float:
+        """Binomial-tree broadcast: ceil(log2 P) link transfers."""
+        self._check(nbytes, root)
+        p = self.cluster.node_count
+        if p == 1:
+            return 0.0
+        stages = math.ceil(math.log2(p))
+        duration = stages * self.cluster.interconnect.transfer_time_s(nbytes)
+        return self._phase(duration)
+
+    def reduce(self, nbytes: float, root: int = 0) -> float:
+        """Binomial-tree reduction (same link cost as broadcast)."""
+        self._check(nbytes, root)
+        p = self.cluster.node_count
+        if p == 1:
+            return 0.0
+        stages = math.ceil(math.log2(p))
+        duration = stages * self.cluster.interconnect.transfer_time_s(nbytes)
+        return self._phase(duration)
+
+    def allgather(self, nbytes_per_node: float) -> float:
+        """Ring allgather: (P-1) steps of one block each."""
+        self._check(nbytes_per_node, 0)
+        p = self.cluster.node_count
+        if p == 1:
+            return 0.0
+        duration = (p - 1) * self.cluster.interconnect.transfer_time_s(
+            nbytes_per_node
+        )
+        return self._phase(duration)
+
+    def ring_shift(self, nbytes: float) -> float:
+        """One neighbour exchange (Cannon-style shift)."""
+        self._check(nbytes, 0)
+        if self.cluster.node_count == 1:
+            return 0.0
+        return self._phase(self.cluster.interconnect.transfer_time_s(nbytes))
+
+    def _check(self, nbytes: float, root: int) -> None:
+        if nbytes < 0:
+            raise ConfigurationError("collective size must be non-negative")
+        if not (0 <= root < self.cluster.node_count):
+            raise ConfigurationError(
+                f"root {root} outside cluster of {self.cluster.node_count}"
+            )

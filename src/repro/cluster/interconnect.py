@@ -1,0 +1,56 @@
+"""Interconnects one can realistically build a Mac cluster with."""
+
+from __future__ import annotations
+
+import dataclasses
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["InterconnectSpec", "INTERCONNECTS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class InterconnectSpec:
+    """A simple latency/bandwidth (Hockney) link model."""
+
+    name: str
+    bandwidth_gbs: float  # per-link, each direction
+    latency_us: float
+    #: Fraction of nominal bandwidth achieved by a well-tuned transport.
+    efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.latency_us < 0:
+            raise ConfigurationError("interconnect needs positive bandwidth")
+        if not (0.0 < self.efficiency <= 1.0):
+            raise ConfigurationError("interconnect efficiency must be in (0, 1]")
+
+    def transfer_time_s(self, nbytes: float) -> float:
+        """Hockney model: latency + size / effective bandwidth."""
+        if nbytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        return self.latency_us * 1e-6 + nbytes / (
+            self.bandwidth_gbs * 1e9 * self.efficiency
+        )
+
+
+INTERCONNECTS: Mapping[str, InterconnectSpec] = MappingProxyType(
+    {
+        # Thunderbolt 4 IP networking: ~40 Gb/s nominal, high stack latency.
+        "thunderbolt-ip": InterconnectSpec(
+            name="thunderbolt-ip", bandwidth_gbs=5.0, latency_us=120.0,
+            efficiency=0.70,
+        ),
+        # 10 GbE through a switch (the Mac mini's built-in option).
+        "10gbe": InterconnectSpec(
+            name="10gbe", bandwidth_gbs=1.25, latency_us=30.0, efficiency=0.90
+        ),
+        # An HPC-class fabric, for contrast with what real clusters use.
+        "infiniband-ndr": InterconnectSpec(
+            name="infiniband-ndr", bandwidth_gbs=50.0, latency_us=2.0,
+            efficiency=0.92,
+        ),
+    }
+)

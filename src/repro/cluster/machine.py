@@ -1,0 +1,75 @@
+"""A cluster of simulated machines sharing a virtual timeline."""
+
+from __future__ import annotations
+
+from repro.cluster.interconnect import INTERCONNECTS, InterconnectSpec
+from repro.errors import ConfigurationError
+from repro.sim.machine import Machine
+from repro.sim.policy import NumericsConfig
+
+__all__ = ["ClusterMachine"]
+
+
+class ClusterMachine:
+    """``node_count`` identical machines plus one interconnect.
+
+    Nodes run in lockstep (BSP-style): collective phases advance every
+    node's clock by the same amount, which is how a well-balanced SUMMA or
+    STREAM executes.  Per-node state (power traces) stays per machine.
+    """
+
+    def __init__(
+        self,
+        chip_name: str,
+        node_count: int,
+        interconnect: InterconnectSpec | str = "10gbe",
+        *,
+        seed: int = 0,
+        numerics: NumericsConfig | None = None,
+    ) -> None:
+        if node_count < 1:
+            raise ConfigurationError("a cluster needs at least one node")
+        if isinstance(interconnect, str):
+            try:
+                interconnect = INTERCONNECTS[interconnect]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown interconnect {interconnect!r}; "
+                    f"known: {', '.join(INTERCONNECTS)}"
+                ) from None
+        self.interconnect = interconnect
+        self.nodes = [
+            Machine.for_chip(chip_name, seed=seed + rank, numerics=numerics)
+            for rank in range(node_count)
+        ]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def chip_name(self) -> str:
+        return self.nodes[0].chip.name
+
+    def now_s(self) -> float:
+        """Cluster time = the furthest-ahead node (the BSP frontier)."""
+        return max(node.now_s() for node in self.nodes)
+
+    def barrier(self) -> float:
+        """Synchronise all node clocks to the frontier; returns the time."""
+        frontier = self.now_s()
+        for node in self.nodes:
+            node.clock.advance_to(frontier)
+        return frontier
+
+    def communicate(self, nbytes_per_node: float, label: str = "exchange") -> float:
+        """A balanced exchange phase: every node moves ``nbytes`` on the link.
+
+        Advances every node's clock by the Hockney transfer time and returns
+        the phase duration.
+        """
+        self.barrier()
+        duration = self.interconnect.transfer_time_s(nbytes_per_node)
+        for node in self.nodes:
+            node.clock.advance(duration)
+        return duration

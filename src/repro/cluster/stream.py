@@ -1,0 +1,33 @@
+"""Cluster-wide STREAM: aggregate bandwidth of N independent nodes.
+
+STREAM has no communication, so a cluster's aggregate bandwidth is the sum
+of its nodes' — the optimistic upper bound against which the SUMMA result
+shows what coupling through a real interconnect costs.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import ClusterMachine
+from repro.core.stream.runner import run_stream
+
+__all__ = ["run_cluster_stream"]
+
+
+def run_cluster_stream(
+    cluster: ClusterMachine,
+    target: str = "gpu",
+    *,
+    n_elements: int | None = None,
+    repeats: int | None = None,
+) -> dict[str, float]:
+    """Per-kernel aggregate GB/s over all nodes (run in lockstep)."""
+    per_node = [
+        run_stream(node, target, n_elements=n_elements, repeats=repeats)
+        for node in cluster.nodes
+    ]
+    cluster.barrier()
+    kernels = per_node[0].kernels.keys()
+    return {
+        kernel: sum(result.kernels[kernel].max_gbs for result in per_node)
+        for kernel in kernels
+    }

@@ -1,0 +1,139 @@
+"""SUMMA distributed GEMM across a cluster of M-series nodes.
+
+SUMMA on a sqrt(P) x sqrt(P) process grid: in each of the K-panel steps the
+owning row/column broadcasts its A-panel and B-panel, and every node runs a
+local GEMM on its block through the single-node MPS path (the paper's best
+engine).  The result quantifies the paper's future-work question: how much
+of the M-series' efficiency survives a commodity interconnect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.calibration.gemm import build_gemm_operation
+from repro.cluster.comm import ClusterCommunicator
+from repro.cluster.machine import ClusterMachine
+from repro.errors import ConfigurationError, UnsupportedProblemError
+
+__all__ = ["SummaResult", "run_summa_gemm"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SummaResult:
+    """Outcome of one distributed multiplication."""
+
+    n: int
+    node_count: int
+    grid_dim: int
+    panel: int
+    elapsed_s: float
+    compute_s: float
+    communication_s: float
+    aggregate_gflops: float
+    single_node_gflops: float
+
+    @property
+    def speedup(self) -> float:
+        return self.aggregate_gflops / self.single_node_gflops
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.speedup / self.node_count
+
+    @property
+    def communication_fraction(self) -> float:
+        if self.elapsed_s == 0.0:
+            return 0.0
+        return self.communication_s / self.elapsed_s
+
+
+def run_summa_gemm(
+    cluster: ClusterMachine,
+    n: int,
+    *,
+    panel: int | None = None,
+    impl_key: str = "gpu-mps",
+) -> SummaResult:
+    """One n x n FP32 GEMM over the cluster via SUMMA.
+
+    Requires a square process grid (P a perfect square) and n divisible by
+    the grid dimension.
+    """
+    p = cluster.node_count
+    grid = int(math.isqrt(p))
+    if grid * grid != p:
+        raise ConfigurationError(
+            f"SUMMA needs a square node count, got {p}"
+        )
+    if n % grid != 0:
+        raise ConfigurationError(f"n={n} not divisible by grid dimension {grid}")
+    block = n // grid
+    panel = panel or min(block, 512)
+    if block % panel != 0:
+        raise ConfigurationError(f"block {block} not divisible by panel {panel}")
+
+    comm = ClusterCommunicator(cluster)
+    # The local multiply-accumulate is block x panel @ panel x block; map it
+    # to calibration through its cube-equivalent size.
+    local_equiv = max(1, int(round((block * block * panel) ** (1.0 / 3.0))))
+    for node in cluster.nodes:
+        from repro.calibration.gemm import gemm_calibration
+
+        if not gemm_calibration(node.chip, impl_key).supports(local_equiv):
+            raise UnsupportedProblemError(
+                f"{impl_key} cannot run local blocks of ~{local_equiv}"
+            )
+
+    start = cluster.barrier()
+    compute_s = 0.0
+    communication_s = 0.0
+    steps = n // panel
+    panel_bytes = float(block * panel * 4)
+    for step in range(steps):
+        # Row and column broadcasts of the current panels.
+        communication_s += comm.broadcast(panel_bytes)
+        communication_s += comm.broadcast(panel_bytes)
+        # Local rank-panel update on every node (lockstep, same size).
+        phase_start = cluster.barrier()
+        for node in cluster.nodes:
+            node.execute(
+                build_gemm_operation(
+                    node.chip,
+                    impl_key,
+                    local_equiv,
+                    label=f"summa/step{step}/local",
+                )
+            )
+        cluster.barrier()
+        compute_s += cluster.now_s() - phase_start
+    elapsed = cluster.barrier() - start
+
+    flops = float(n) * n * (2 * n - 1)
+    aggregate = flops / elapsed / 1e9 if elapsed > 0 else 0.0
+
+    # Single-node reference: the same total multiplication on one machine.
+    reference = cluster.nodes[0]
+    single_op = build_gemm_operation(reference.chip, impl_key, n)
+    single_gflops = (
+        flops
+        / (
+            flops
+            / (single_op.peak_flops * single_op.compute_efficiency)
+            + single_op.overhead_s
+        )
+        / 1e9
+    )
+
+    return SummaResult(
+        n=n,
+        node_count=p,
+        grid_dim=grid,
+        panel=panel,
+        elapsed_s=elapsed,
+        compute_s=compute_s,
+        communication_s=communication_s,
+        aggregate_gflops=aggregate,
+        single_node_gflops=single_gflops,
+    )

@@ -1,0 +1,22 @@
+"""The GEMM benchmark: Table 2's implementations and their registry."""
+
+from repro.core.gemm.base import GemmImplementation, GemmProblem
+from repro.core.gemm.registry import (
+    all_implementations,
+    get_implementation,
+    implementation_keys,
+    paper_implementation_keys,
+    table2_rows,
+)
+from repro.core.gemm.verify import verify_result
+
+__all__ = [
+    "GemmProblem",
+    "GemmImplementation",
+    "get_implementation",
+    "all_implementations",
+    "implementation_keys",
+    "paper_implementation_keys",
+    "table2_rows",
+    "verify_result",
+]

@@ -1,0 +1,109 @@
+"""GEMM problem setup and the implementation interface.
+
+A :class:`GemmProblem` owns the page-aligned input/output matrices of one
+benchmark cell (section 3.2's allocation rules).  A
+:class:`GemmImplementation` prepares once (shader/pipeline/buffer setup is
+"program setup time", excluded from timing) and executes per repetition.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from repro.calibration.gemm import gemm_calibration
+from repro.core.data import PageAlignedAllocation, make_matrix
+from repro.errors import UnsupportedProblemError
+from repro.sim.machine import Machine
+
+__all__ = ["GemmProblem", "GemmImplementation"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmProblem:
+    """Inputs and output of one n x n single-precision multiplication."""
+
+    n: int
+    seed: int
+    a: np.ndarray
+    b: np.ndarray
+    out: np.ndarray
+    a_alloc: PageAlignedAllocation
+    b_alloc: PageAlignedAllocation
+    out_alloc: PageAlignedAllocation
+
+    @classmethod
+    def generate(
+        cls, n: int, seed: int = 0, *, fill_random: bool = True
+    ) -> "GemmProblem":
+        """Dense matrices in [0, 1), page-aligned (section 3.2).
+
+        ``fill_random=False`` leaves the inputs zeroed — used by MODEL_ONLY
+        runs where numerics never execute and filling gigabyte matrices
+        would dominate the wall time.
+        """
+        a, a_alloc = make_matrix(n, seed=seed * 3 + 1, fill_random=fill_random)
+        b, b_alloc = make_matrix(n, seed=seed * 3 + 2, fill_random=fill_random)
+        out, out_alloc = make_matrix(n, seed=0, fill_random=False)
+        return cls(
+            n=n,
+            seed=seed,
+            a=a,
+            b=b,
+            out=out,
+            a_alloc=a_alloc,
+            b_alloc=b_alloc,
+            out_alloc=out_alloc,
+        )
+
+    @property
+    def memory_length(self) -> int:
+        """Padded byte length per matrix — the no-copy buffer length."""
+        return self.out_alloc.length
+
+    def reset_output(self) -> None:
+        """Zero the output matrix between repetitions."""
+        self.out.fill(0.0)
+
+
+class GemmImplementation(abc.ABC):
+    """One row of Table 2 (or an extension path)."""
+
+    #: Calibration key, e.g. ``"gpu-mps"``.
+    key: str
+    #: Display name as printed in Table 2.
+    display_name: str
+    #: Framework column of Table 2.
+    framework: str
+    #: Hardware column of Table 2.
+    hardware: str
+    #: Whether the paper's Table 2 lists this implementation.
+    in_table2: bool = True
+    #: Extension paths (ANE, emulated FP64) are not part of the paper's study.
+    extension: bool = False
+
+    def supports(self, machine: Machine, n: int) -> bool:
+        """Whether this implementation runs size ``n`` (section 4 exclusions)."""
+        return gemm_calibration(machine.chip, self.key).supports(n)
+
+    def check_supports(self, machine: Machine, n: int) -> None:
+        """Raise :class:`UnsupportedProblemError` for excluded sizes."""
+        if not self.supports(machine, n):
+            raise UnsupportedProblemError(
+                f"{self.key} does not execute n={n} "
+                f"(the paper excludes it for its long execution time)"
+            )
+
+    @abc.abstractmethod
+    def prepare(self, machine: Machine, problem: GemmProblem) -> Any:
+        """One-time setup (buffers, pipelines); excluded from timing."""
+
+    @abc.abstractmethod
+    def execute(self, machine: Machine, problem: GemmProblem, context: Any) -> None:
+        """Run one multiplication; advances the virtual clock."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} key={self.key!r}>"

@@ -1,0 +1,125 @@
+"""GPU-FP64-emulated: double precision via double-float shader arithmetic.
+
+The M-series GPUs "lack native FP64 support (which can be emulated)"
+(section 1).  This extension wraps the
+:mod:`repro.metal.shaders.gemm_fp64_emulated` kernel: inputs are split into
+(hi, lo) FP32 pairs on the host, multiplied with compensated arithmetic on
+the (simulated) GPU at a ~20x throughput penalty, and recombined.  The
+precision-ablation bench uses it to quantify what FP64 HPC would cost on
+this architecture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.data import aligned_alloc
+from repro.core.gemm.base import GemmImplementation, GemmProblem
+from repro.metal.buffer import MTLBuffer
+from repro.metal.command_buffer import MTLCommandQueue
+from repro.metal.device import MTLCreateSystemDefaultDevice
+from repro.metal.pipeline import MTLComputePipelineState
+from repro.metal.resources import MTLResourceStorageMode, MTLSize
+from repro.metal.shaders.gemm_fp64_emulated import (
+    merge_float_pair,
+    split_to_float_pair,
+)
+from repro.sim.machine import Machine
+
+__all__ = ["EmulatedFp64Gemm"]
+
+_TG = 8
+
+
+@dataclasses.dataclass
+class _Fp64Context:
+    queue: MTLCommandQueue
+    pipeline: MTLComputePipelineState
+    buffers: tuple[MTLBuffer, ...]  # a_hi, a_lo, b_hi, b_lo, c_hi, c_lo
+    c_views: tuple[np.ndarray, np.ndarray]
+
+
+class EmulatedFp64Gemm(GemmImplementation):
+    key = "gpu-fp64-emulated"
+    display_name = "Double-float emulated FP64 shader"
+    framework = "Metal"
+    hardware = "GPU"
+    in_table2 = False
+    extension = True
+
+    def prepare(self, machine: Machine, problem: GemmProblem) -> _Fp64Context:
+        device = MTLCreateSystemDefaultDevice(machine)
+        library = device.new_default_library()
+        pipeline = device.new_compute_pipeline_state_with_function(
+            library.new_function_with_name("gemm_fp64_emulated")
+        )
+        n = problem.n
+        from repro.sim.policy import NumericsPolicy
+
+        skip_numerics = machine.numerics.policy is NumericsPolicy.MODEL_ONLY
+        # Promote the FP32 study inputs to FP64 and split into pairs; each
+        # plane lives in its own page-aligned allocation.
+        planes: list[MTLBuffer] = []
+        views: list[np.ndarray] = []
+        if skip_numerics:
+            sources: tuple[np.ndarray, ...] = ()
+        else:
+            sources = (problem.a.astype(np.float64), problem.b.astype(np.float64))
+        for idx in range(2):
+            pair = split_to_float_pair(sources[idx]) if not skip_numerics else (None, None)
+            for plane in pair:
+                alloc = aligned_alloc(n * n * 4)
+                view = alloc.view(np.float32, n * n).reshape(n, n)
+                if plane is not None:
+                    view[...] = plane
+                planes.append(
+                    device.new_buffer_with_bytes_no_copy(
+                        alloc.data, alloc.length, MTLResourceStorageMode.SHARED
+                    )
+                )
+                views.append(view)
+        c_views: list[np.ndarray] = []
+        for _ in range(2):
+            alloc = aligned_alloc(n * n * 4)
+            view = alloc.view(np.float32, n * n).reshape(n, n)
+            planes.append(
+                device.new_buffer_with_bytes_no_copy(
+                    alloc.data, alloc.length, MTLResourceStorageMode.SHARED
+                )
+            )
+            c_views.append(view)
+        return _Fp64Context(
+            queue=device.new_command_queue(),
+            pipeline=pipeline,
+            buffers=tuple(planes),
+            c_views=(c_views[0], c_views[1]),
+        )
+
+    def execute(
+        self, machine: Machine, problem: GemmProblem, context: _Fp64Context
+    ) -> None:
+        self.check_supports(machine, problem.n)
+        n = problem.n
+        groups = (n + _TG - 1) // _TG
+        command_buffer = context.queue.command_buffer()
+        encoder = command_buffer.compute_command_encoder()
+        encoder.set_compute_pipeline_state(context.pipeline)
+        for index, buffer in enumerate(context.buffers):
+            encoder.set_buffer(buffer, 0, index)
+        encoder.set_bytes(np.uint32(n), 6)
+        encoder.dispatch_threadgroups(MTLSize(groups, groups), MTLSize(_TG, _TG))
+        encoder.end_encoding()
+        command_buffer.commit()
+        command_buffer.wait_until_completed()
+        from repro.sim.policy import NumericsPolicy
+
+        if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
+            # Fold the double-float result into the FP32 study output buffer
+            # so generic verification still applies (exact in FP32 range).
+            problem.out[...] = merge_float_pair(*context.c_views).astype(np.float32)
+
+    def result_fp64(self, context: _Fp64Context) -> np.ndarray:
+        """The full-precision FP64 result (hi + lo)."""
+        return merge_float_pair(*context.c_views)

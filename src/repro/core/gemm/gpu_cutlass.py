@@ -1,0 +1,15 @@
+"""GPU-CUTLASS: the CUTLASS-style tiled MSL shader (Table 2, row 4)."""
+
+from __future__ import annotations
+
+from repro.core.gemm.gpu_shader import ShaderGemmBase
+
+__all__ = ["CutlassShaderGemm"]
+
+
+class CutlassShaderGemm(ShaderGemmBase):
+    key = "gpu-cutlass"
+    display_name = "Cutlass-style tiled shader"
+    framework = "Metal"
+    hardware = "GPU"
+    shader_name = "gemm_tiled"

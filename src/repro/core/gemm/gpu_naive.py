@@ -1,0 +1,15 @@
+"""GPU-Naive: the naive MSL shader (Table 2, row 3)."""
+
+from __future__ import annotations
+
+from repro.core.gemm.gpu_shader import ShaderGemmBase
+
+__all__ = ["NaiveShaderGemm"]
+
+
+class NaiveShaderGemm(ShaderGemmBase):
+    key = "gpu-naive"
+    display_name = "Naive algorithm as shader"
+    framework = "Metal"
+    hardware = "GPU"
+    shader_name = "gemm_naive"

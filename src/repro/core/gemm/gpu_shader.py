@@ -1,0 +1,89 @@
+"""Shared host code for the custom-shader GPU implementations.
+
+Both the naive and the CUTLASS-style implementations follow the paper's host
+flow (section 3.2): the shader library is loaded at startup (``prepare``),
+matrices are wrapped in MTL-shared *no-copy* buffers, and every execution
+encodes one dispatch with 8x8-thread threadgroups, commits, and waits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.gemm.base import GemmImplementation, GemmProblem
+from repro.metal.buffer import MTLBuffer
+from repro.metal.command_buffer import MTLCommandQueue
+from repro.metal.device import MTLCreateSystemDefaultDevice, MTLDevice
+from repro.metal.pipeline import MTLComputePipelineState
+from repro.metal.resources import MTLResourceStorageMode, MTLSize
+from repro.sim.machine import Machine
+
+__all__ = ["ShaderGemmBase", "ShaderGemmContext", "THREADGROUP_EDGE"]
+
+#: "Eight horizontal and eight vertical thread groups were used" — the
+#: threadgroups are 8x8 threads; the grid scales with the matrix.
+THREADGROUP_EDGE = 8
+
+
+@dataclasses.dataclass
+class ShaderGemmContext:
+    device: MTLDevice
+    queue: MTLCommandQueue
+    pipeline: MTLComputePipelineState
+    buf_a: MTLBuffer
+    buf_b: MTLBuffer
+    buf_out: MTLBuffer
+
+
+class ShaderGemmBase(GemmImplementation):
+    """Template for custom-shader GEMMs; subclasses name the kernel."""
+
+    shader_name: str
+
+    def prepare(self, machine: Machine, problem: GemmProblem) -> ShaderGemmContext:
+        device = MTLCreateSystemDefaultDevice(machine)
+        # The paper compiles the two shaders into a .metallib and loads it on
+        # startup; our equivalent is a restricted library.
+        library = device.new_library_with_functions(("gemm_naive", "gemm_tiled"))
+        function = library.new_function_with_name(self.shader_name)
+        pipeline = device.new_compute_pipeline_state_with_function(function)
+        length = problem.memory_length
+        buf_a = device.new_buffer_with_bytes_no_copy(
+            problem.a_alloc.data, length, MTLResourceStorageMode.SHARED
+        )
+        buf_b = device.new_buffer_with_bytes_no_copy(
+            problem.b_alloc.data, length, MTLResourceStorageMode.SHARED
+        )
+        buf_out = device.new_buffer_with_bytes_no_copy(
+            problem.out_alloc.data, length, MTLResourceStorageMode.SHARED
+        )
+        return ShaderGemmContext(
+            device=device,
+            queue=device.new_command_queue(),
+            pipeline=pipeline,
+            buf_a=buf_a,
+            buf_b=buf_b,
+            buf_out=buf_out,
+        )
+
+    def execute(
+        self, machine: Machine, problem: GemmProblem, context: ShaderGemmContext
+    ) -> None:
+        self.check_supports(machine, problem.n)
+        n = problem.n
+        groups = (n + THREADGROUP_EDGE - 1) // THREADGROUP_EDGE
+        command_buffer = context.queue.command_buffer()
+        encoder = command_buffer.compute_command_encoder()
+        encoder.set_compute_pipeline_state(context.pipeline)
+        encoder.set_buffer(context.buf_a, 0, 0)
+        encoder.set_buffer(context.buf_b, 0, 1)
+        encoder.set_buffer(context.buf_out, 0, 2)
+        encoder.set_bytes(np.uint32(n), 3)
+        encoder.dispatch_threadgroups(
+            MTLSize(groups, groups), MTLSize(THREADGROUP_EDGE, THREADGROUP_EDGE)
+        )
+        encoder.end_encoding()
+        command_buffer.commit()
+        command_buffer.wait_until_completed()

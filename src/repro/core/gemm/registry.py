@@ -1,0 +1,86 @@
+"""Registry of GEMM implementations — Table 2 as executable objects."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.gemm.ane import AneFp16Gemm
+from repro.core.gemm.base import GemmImplementation
+from repro.core.gemm.cpu_accelerate import AccelerateGemm
+from repro.core.gemm.cpu_omp import OpenMPTiledGemm
+from repro.core.gemm.cpu_single import SingleThreadedGemm
+from repro.core.gemm.fp64_emulated import EmulatedFp64Gemm
+from repro.core.gemm.gpu_cutlass import CutlassShaderGemm
+from repro.core.gemm.gpu_mps import MpsGemm
+from repro.core.gemm.gpu_naive import NaiveShaderGemm
+from repro.errors import UnknownImplementationError
+
+__all__ = [
+    "get_implementation",
+    "all_implementations",
+    "implementation_keys",
+    "paper_implementation_keys",
+    "table2_rows",
+]
+
+_FACTORIES: dict[str, Callable[[], GemmImplementation]] = {
+    "cpu-single": SingleThreadedGemm,
+    "cpu-omp": OpenMPTiledGemm,
+    "cpu-accelerate": AccelerateGemm,
+    "gpu-naive": NaiveShaderGemm,
+    "gpu-cutlass": CutlassShaderGemm,
+    "gpu-mps": MpsGemm,
+    "ane-fp16": AneFp16Gemm,
+    "gpu-fp64-emulated": EmulatedFp64Gemm,
+}
+
+#: The six implementations the paper's figures plot, in legend order.
+_PAPER_KEYS: tuple[str, ...] = (
+    "cpu-single",
+    "cpu-omp",
+    "cpu-accelerate",
+    "gpu-naive",
+    "gpu-cutlass",
+    "gpu-mps",
+)
+
+
+def get_implementation(key: str) -> GemmImplementation:
+    """Instantiate an implementation by key."""
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise UnknownImplementationError(
+            f"unknown GEMM implementation {key!r}; "
+            f"known: {', '.join(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def implementation_keys(include_extensions: bool = True) -> tuple[str, ...]:
+    """All registry keys, optionally including the extension paths."""
+    if include_extensions:
+        return tuple(_FACTORIES)
+    return _PAPER_KEYS
+
+
+def paper_implementation_keys() -> tuple[str, ...]:
+    """The Figure-2/3/4 legend, in order."""
+    return _PAPER_KEYS
+
+
+def all_implementations(
+    include_extensions: bool = False,
+) -> list[GemmImplementation]:
+    """Instantiate every registered implementation (optionally with extensions)."""
+    return [get_implementation(k) for k in implementation_keys(include_extensions)]
+
+
+def table2_rows() -> list[tuple[str, str, str]]:
+    """(Implementation, Framework, Hardware) rows exactly as in Table 2."""
+    rows = []
+    for key in _PAPER_KEYS:
+        impl = get_implementation(key)
+        if impl.in_table2:
+            rows.append((impl.display_name, impl.framework, impl.hardware))
+    return rows

@@ -1,0 +1,179 @@
+"""The experiment runner of section 4.
+
+Runs each GEMM cell five times with chrono-style nanosecond timing that
+excludes setup, derives GFLOPS from the paper's ``n^2 (2n - 1)`` operation
+count, optionally piggybacks the powermetrics protocol onto every repetition,
+and optionally verifies the numerics.  STREAM runs delegate to
+:mod:`repro.core.stream.runner`.
+"""
+
+from __future__ import annotations
+
+from repro.calibration import paper
+from repro.core.gemm.base import GemmImplementation, GemmProblem
+from repro.core.gemm.registry import get_implementation
+from repro.core.gemm.verify import verify_result
+from repro.core.power.harness import measure_gemm_power
+from repro.core.results import (
+    GemmRepetition,
+    GemmResult,
+    PoweredGemmResult,
+    StreamResult,
+)
+from repro.core.stream.runner import run_stream
+from repro.core.timer import measure_ns
+from repro.errors import UnsupportedProblemError
+from repro.sim.machine import Machine
+from repro.sim.policy import NumericsPolicy
+
+__all__ = ["ExperimentRunner"]
+
+
+class ExperimentRunner:
+    """Drives the paper's experiments on one machine."""
+
+    def __init__(self, machine: Machine, *, seed: int = 0) -> None:
+        self.machine = machine
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # GEMM (Figure 2)
+    # ------------------------------------------------------------------
+    def run_gemm(
+        self,
+        implementation: GemmImplementation | str,
+        n: int,
+        *,
+        repeats: int = paper.GEMM_REPEATS,
+        verify: bool | None = None,
+    ) -> GemmResult:
+        """One Figure-2 cell: ``repeats`` timed multiplications.
+
+        ``verify=None`` verifies whenever numerics ran (FULL or SAMPLED).
+        """
+        impl = (
+            get_implementation(implementation)
+            if isinstance(implementation, str)
+            else implementation
+        )
+        if not impl.supports(self.machine, n):
+            raise UnsupportedProblemError(
+                f"{impl.key} does not execute n={n} on {self.machine.chip.name}"
+            )
+        fill = self.machine.numerics.policy is not NumericsPolicy.MODEL_ONLY
+        problem = GemmProblem.generate(n, seed=self.seed, fill_random=fill)
+        context = impl.prepare(self.machine, problem)
+
+        repetitions = []
+        for rep in range(repeats):
+            elapsed = measure_ns(
+                self.machine, lambda: impl.execute(self.machine, problem, context)
+            )
+            repetitions.append(GemmRepetition(repetition=rep, elapsed_ns=elapsed))
+
+        verified: bool | None = None
+        policy = self.machine.numerics.effective_policy(n)
+        want_verify = (
+            verify
+            if verify is not None
+            else policy is not NumericsPolicy.MODEL_ONLY
+        )
+        if want_verify:
+            verified = verify_result(
+                self.machine,
+                problem,
+                reduced_precision=(impl.key == "ane-fp16"),
+            )
+        return GemmResult(
+            impl_key=impl.key,
+            chip_name=self.machine.chip.name,
+            n=n,
+            flop_count=paper.gemm_flop_count(n),
+            repetitions=tuple(repetitions),
+            verified=verified,
+        )
+
+    def run_gemm_sweep(
+        self,
+        implementation: GemmImplementation | str,
+        sizes: tuple[int, ...] = paper.GEMM_SIZES,
+        *,
+        repeats: int = paper.GEMM_REPEATS,
+    ) -> dict[int, GemmResult]:
+        """One Figure-2 line: skip the sizes the implementation excludes."""
+        impl = (
+            get_implementation(implementation)
+            if isinstance(implementation, str)
+            else implementation
+        )
+        results: dict[int, GemmResult] = {}
+        for n in sizes:
+            if not impl.supports(self.machine, n):
+                continue
+            results[n] = self.run_gemm(impl, n, repeats=repeats)
+        return results
+
+    # ------------------------------------------------------------------
+    # GEMM + power (Figures 3-4)
+    # ------------------------------------------------------------------
+    def run_powered_gemm(
+        self,
+        implementation: GemmImplementation | str,
+        n: int,
+        *,
+        repeats: int = paper.GEMM_REPEATS,
+    ) -> PoweredGemmResult:
+        """Figure-3/4 cell: compute timing with the piggybacked power protocol.
+
+        "The power measurement occurs during the run in which CPU/GPU
+        performance is measured ... it too sees five repetitions."
+        """
+        impl = (
+            get_implementation(implementation)
+            if isinstance(implementation, str)
+            else implementation
+        )
+        if not impl.supports(self.machine, n):
+            raise UnsupportedProblemError(
+                f"{impl.key} does not execute n={n} on {self.machine.chip.name}"
+            )
+        fill = self.machine.numerics.policy is not NumericsPolicy.MODEL_ONLY
+        problem = GemmProblem.generate(n, seed=self.seed, fill_random=fill)
+        context = impl.prepare(self.machine, problem)
+
+        repetitions = []
+        measurements = []
+        for rep in range(repeats):
+            t0 = self.machine.now_ns()
+            measurement = measure_gemm_power(self.machine, impl, problem, context)
+            elapsed_protocol = self.machine.now_ns() - t0
+            # The multiplication window is the measurement window itself.
+            elapsed = int(measurement.elapsed_ms * 1e6)
+            del elapsed_protocol  # warm-up excluded from the compute timing
+            repetitions.append(
+                GemmRepetition(repetition=rep, elapsed_ns=max(1, elapsed))
+            )
+            measurements.append(measurement)
+        gemm = GemmResult(
+            impl_key=impl.key,
+            chip_name=self.machine.chip.name,
+            n=n,
+            flop_count=paper.gemm_flop_count(n),
+            repetitions=tuple(repetitions),
+        )
+        return PoweredGemmResult(gemm=gemm, measurements=tuple(measurements))
+
+    # ------------------------------------------------------------------
+    # STREAM (Figure 1)
+    # ------------------------------------------------------------------
+    def run_stream(
+        self,
+        target: str,
+        *,
+        n_elements: int | None = None,
+        repeats: int | None = None,
+    ) -> StreamResult:
+        """Run the Figure-1 STREAM study on one target processor."""
+        return run_stream(
+            self.machine, target, n_elements=n_elements, repeats=repeats
+        )

@@ -1,0 +1,11 @@
+"""The power-measurement framework of section 3.3."""
+
+from repro.core.power.harness import PowerInstrumentedRun, measure_gemm_power
+from repro.core.power.metrics import efficiency_gflops_per_w, energy_to_solution_j
+
+__all__ = [
+    "PowerInstrumentedRun",
+    "measure_gemm_power",
+    "efficiency_gflops_per_w",
+    "energy_to_solution_j",
+]

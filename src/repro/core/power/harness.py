@@ -1,0 +1,97 @@
+"""The paper's powermetrics protocol, reproduced step by step (section 3.3).
+
+1. Start ``powermetrics -i 0 -a 0 -s cpu_power,gpu_power -o FILE`` (no
+   periodic sampling; samples only on SIGINFO).
+2. Wait two seconds so the utility is warmed up.
+3. Send SIGINFO — this *resets* the sampler; the warm-up window's sample is
+   discarded.
+4. Run the multiplication (the same run in which compute performance is
+   timed — the measurement "piggybacks").
+5. Send the second SIGINFO — its sample covers exactly the multiplication —
+   then shut the monitor down and parse the output file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+from repro.calibration import paper
+from repro.core.gemm.base import GemmImplementation, GemmProblem
+from repro.core.results import PowerMeasurement
+from repro.errors import ProtocolError
+from repro.powermetrics import PowerMetrics, PowerMetricsOptions, parse_samples
+from repro.sim.machine import Machine
+
+__all__ = ["PowerInstrumentedRun", "measure_gemm_power"]
+
+
+@dataclasses.dataclass
+class PowerInstrumentedRun:
+    """Drives one workload under the section-3.3 measurement protocol."""
+
+    machine: Machine
+    warmup_s: float = paper.POWERMETRICS_WARMUP_S
+    output_path: str | pathlib.Path | None = None
+
+    def measure(self, workload) -> tuple[PowerMeasurement, str]:
+        """Run ``workload()`` under the protocol; returns (measurement, text).
+
+        The returned text is the full powermetrics output (two samples: the
+        discarded warm-up window and the measurement window).
+        """
+        tool = PowerMetrics(
+            self.machine,
+            PowerMetricsOptions(
+                interval_ms=0,
+                accumulate=0,
+                samplers=("cpu_power", "gpu_power"),
+                output_path=self.output_path,
+            ),
+        )
+        tool.start()
+        # "After two seconds (to ensure the utility is warmed up), a SIGINFO
+        # is sent to reset the sampler before the multiplication runs."
+        self.machine.sleep(self.warmup_s)
+        tool.siginfo()
+        workload()
+        # "After the multiplication, the second SIGINFO is sent, thereafter
+        # shutting down the monitor."
+        tool.siginfo()
+        text = tool.stop()
+
+        samples = parse_samples(text)
+        if len(samples) != 2:
+            raise ProtocolError(
+                f"expected warm-up + measurement samples, parsed {len(samples)}"
+            )
+        measurement_window = samples[1]
+        if measurement_window.elapsed_ms <= 0.0:
+            raise ProtocolError(
+                "measurement window is empty — the workload consumed no "
+                "simulated time"
+            )
+        return (
+            PowerMeasurement(
+                cpu_mw=measurement_window.cpu_mw,
+                gpu_mw=measurement_window.gpu_mw,
+                elapsed_ms=measurement_window.elapsed_ms,
+            ),
+            text,
+        )
+
+
+def measure_gemm_power(
+    machine: Machine,
+    implementation: GemmImplementation,
+    problem: GemmProblem,
+    context,
+    *,
+    warmup_s: float = paper.POWERMETRICS_WARMUP_S,
+) -> PowerMeasurement:
+    """One protocol pass around one multiplication execution."""
+    run = PowerInstrumentedRun(machine, warmup_s=warmup_s)
+    measurement, _ = run.measure(
+        lambda: implementation.execute(machine, problem, context)
+    )
+    return measurement

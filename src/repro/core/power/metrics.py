@@ -1,0 +1,22 @@
+"""Derived power metrics (Figure 4 and the HPC-perspective comparisons)."""
+
+from __future__ import annotations
+
+from repro.core.results import GemmResult, PowerMeasurement
+from repro.units import gflops_per_watt
+
+__all__ = ["efficiency_gflops_per_w", "energy_to_solution_j"]
+
+
+def efficiency_gflops_per_w(
+    gemm: GemmResult, measurement: PowerMeasurement
+) -> float:
+    """Figure-4 metric: achieved GFLOPS per watt of combined CPU+GPU draw."""
+    return gflops_per_watt(gemm.best_gflops, measurement.combined_w)
+
+
+def energy_to_solution_j(
+    gemm: GemmResult, measurement: PowerMeasurement
+) -> float:
+    """Joules to complete one multiplication at the measured draw."""
+    return measurement.combined_w * gemm.best_elapsed_ns / 1e9

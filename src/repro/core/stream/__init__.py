@@ -1,0 +1,26 @@
+"""The STREAM benchmark for CPU (OpenMP) and GPU (Metal) — section 3.1."""
+
+from repro.core.stream.kernels import (
+    KERNEL_ORDER,
+    StreamArrays,
+    expected_values,
+    kernel_bytes_per_element,
+    kernel_flops_per_element,
+)
+from repro.core.stream.cpu import CpuStreamBenchmark
+from repro.core.stream.gpu import GpuStreamBenchmark
+from repro.core.stream.report import render_stream_report
+from repro.core.stream.runner import figure1_row, run_stream
+
+__all__ = [
+    "render_stream_report",
+    "KERNEL_ORDER",
+    "StreamArrays",
+    "expected_values",
+    "kernel_bytes_per_element",
+    "kernel_flops_per_element",
+    "CpuStreamBenchmark",
+    "GpuStreamBenchmark",
+    "run_stream",
+    "figure1_row",
+]

@@ -1,0 +1,56 @@
+"""STREAM experiment entry points used by figures, benches and the CLI."""
+
+from __future__ import annotations
+
+from repro.calibration import paper
+from repro.core.results import StreamResult
+from repro.core.stream.cpu import DEFAULT_CPU_ELEMENTS, CpuStreamBenchmark
+from repro.core.stream.gpu import DEFAULT_GPU_ELEMENTS, GpuStreamBenchmark
+from repro.errors import ConfigurationError
+from repro.sim.machine import Machine
+
+__all__ = ["run_stream", "figure1_row"]
+
+
+def run_stream(
+    machine: Machine,
+    target: str,
+    *,
+    n_elements: int | None = None,
+    repeats: int | None = None,
+) -> StreamResult:
+    """Run the paper's STREAM study on one processor of one chip.
+
+    CPU runs sweep the OpenMP thread count and keep the per-kernel maximum
+    (10 repetitions per setting); GPU runs take 20 repetitions.
+    """
+    if target == "cpu":
+        bench = CpuStreamBenchmark(
+            machine,
+            n_elements=n_elements or DEFAULT_CPU_ELEMENTS,
+            ntimes=repeats or paper.STREAM_CPU_REPEATS,
+        )
+        return bench.run_sweep()
+    if target == "gpu":
+        gpu_bench = GpuStreamBenchmark(
+            machine,
+            n_elements=n_elements or DEFAULT_GPU_ELEMENTS,
+            ntimes=repeats or paper.STREAM_GPU_REPEATS,
+        )
+        return gpu_bench.run()
+    raise ConfigurationError(f"STREAM target must be 'cpu' or 'gpu', got {target!r}")
+
+
+def figure1_row(
+    machine: Machine,
+    *,
+    n_elements: int | None = None,
+    repeats: int | None = None,
+) -> dict[str, StreamResult]:
+    """Both bars of Figure 1 for one chip: ``{"cpu": ..., "gpu": ...}``."""
+    return {
+        target: run_stream(
+            machine, target, n_elements=n_elements, repeats=repeats
+        )
+        for target in ("cpu", "gpu")
+    }

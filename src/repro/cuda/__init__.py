@@ -1,0 +1,23 @@
+"""The Nvidia GH200 reference substrate (sections 4-5 comparisons).
+
+The paper benchmarks an internal GH200 to situate Apple Silicon against HPC
+state of the art: STREAM from the NVIDIA HPC benchmark suite on both the
+Grace LPDDR5X memory and the Hopper HBM3, and ``cublasSgemm`` on CUDA cores
+and (TF32) tensor cores.  This package models that superchip with the same
+roofline machinery used for the M-series.
+"""
+
+from repro.cuda.specs import GH200_SPEC, GraceHopperSpec, CudaMathMode
+from repro.cuda.machine import GH200Machine
+from repro.cuda.stream import run_gh200_stream
+from repro.cuda.cublas import CublasHandle, cublas_sgemm
+
+__all__ = [
+    "GraceHopperSpec",
+    "GH200_SPEC",
+    "CudaMathMode",
+    "GH200Machine",
+    "run_gh200_stream",
+    "CublasHandle",
+    "cublas_sgemm",
+]

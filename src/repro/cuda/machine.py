@@ -1,0 +1,71 @@
+"""A minimal virtual machine for the GH200 reference runs.
+
+The M-series :class:`~repro.sim.machine.Machine` is built around a
+:class:`~repro.soc.chip.ChipSpec`; the GH200 is a different beast, so it gets
+its own thin wrapper over the same clock/trace primitives.  Power is not
+modelled — the paper explicitly could not measure GH200 power ("We were
+unable to measure power consumption on the GH200 due to time constraints").
+"""
+
+from __future__ import annotations
+
+from repro.cuda.specs import GH200_SPEC, GraceHopperSpec
+from repro.sim.clock import VirtualClock
+from repro.sim.noise import DeterministicNoise
+from repro.sim.policy import NumericsConfig
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+__all__ = ["GH200Machine"]
+
+
+class GH200Machine:
+    """Virtual GH200 superchip: clock + trace, no power rail."""
+
+    def __init__(
+        self,
+        spec: GraceHopperSpec = GH200_SPEC,
+        *,
+        seed: int = 0,
+        noise_sigma: float = 0.01,
+        numerics: NumericsConfig | None = None,
+    ) -> None:
+        self.spec = spec
+        self.clock = VirtualClock()
+        self.trace = ExecutionTrace()
+        self.noise = DeterministicNoise(seed, noise_sigma)
+        self.numerics = numerics or NumericsConfig.sampled()
+
+    def now_s(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now_s()
+
+    def now_ns(self) -> int:
+        """Current virtual time in integral nanoseconds."""
+        return self.clock.now_ns()
+
+    def execute_timed(
+        self,
+        *,
+        label: str,
+        engine: str,
+        duration_s: float,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        noise_key: str | None = None,
+    ) -> float:
+        """Advance the clock by a jittered duration; returns actual seconds."""
+        jitter = self.noise.factor(noise_key or label)
+        actual = duration_s * jitter
+        start = self.clock.now_s()
+        end = self.clock.advance(actual)
+        self.trace.append(
+            TraceEvent(
+                start_s=start,
+                end_s=end,
+                engine=engine,
+                label=label,
+                flops=flops,
+                bytes_moved=bytes_moved,
+            )
+        )
+        return actual

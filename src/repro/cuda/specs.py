@@ -1,0 +1,62 @@
+"""GH200 Grace-Hopper specifications.
+
+Peaks follow the GH200-480GB datasheet and reconcile exactly with the
+fractions the paper reports: 310 GB/s is 81 % of the 384 GB/s LPDDR5X peak,
+3700 GB/s is ~94 % of the 4 TB/s HBM3 peak, 41 TFLOPS is 61 % of the 67
+TFLOPS FP32 peak and 338 TFLOPS is ~69 % of the 494.5 TFLOPS dense-TF32 peak.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["CudaMathMode", "GraceHopperSpec", "GH200_SPEC"]
+
+
+class CudaMathMode(enum.Enum):
+    """cuBLAS math modes the paper exercises for sgemm."""
+
+    CUDA_CORES_FP32 = "fp32-cuda-cores"
+    TF32_TENSOR = "tf32-tensor-cores"
+
+
+@dataclasses.dataclass(frozen=True)
+class GraceHopperSpec:
+    """The slice of the GH200 the reference benchmarks touch."""
+
+    name: str
+    # Grace CPU
+    cpu_cores: int
+    cpu_memory_gb: int
+    cpu_memory_technology: str
+    cpu_bandwidth_gbs: float
+    # Hopper GPU
+    gpu_memory_gb: int
+    gpu_memory_technology: str
+    hbm_bandwidth_gbs: float
+    fp32_tflops: float
+    tf32_tensor_tflops: float
+    # NVLink-C2C between the two
+    nvlink_c2c_gbs: float
+
+    def peak_flops(self, mode: CudaMathMode) -> float:
+        """Architectural FLOP/s peak for a cuBLAS math mode."""
+        if mode is CudaMathMode.CUDA_CORES_FP32:
+            return self.fp32_tflops * 1e12
+        return self.tf32_tensor_tflops * 1e12
+
+
+GH200_SPEC = GraceHopperSpec(
+    name="GH200",
+    cpu_cores=72,
+    cpu_memory_gb=480,
+    cpu_memory_technology="LPDDR5X",
+    cpu_bandwidth_gbs=384.0,
+    gpu_memory_gb=96,
+    gpu_memory_technology="HBM3",
+    hbm_bandwidth_gbs=4000.0,
+    fp32_tflops=67.0,
+    tf32_tensor_tflops=494.5,
+    nvlink_c2c_gbs=900.0,
+)

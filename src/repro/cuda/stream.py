@@ -1,0 +1,95 @@
+"""GH200 STREAM, after the NVIDIA HPC benchmark 24.9 runs in the paper.
+
+"For Grace CPU and Hopper GPU memory bandwidth measurements, the STREAM
+tests in the official Nvidia HPC benchmark 24.9 are used" (section 4).  The
+paper quotes 310 GB/s from CPU (LPDDR5X) memory and 3700 GB/s from HBM3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.calibration import paper
+from repro.core.results import StreamKernelResult, StreamResult
+from repro.core.stream.kernels import (
+    KERNEL_ORDER,
+    StreamArrays,
+    kernel_bytes_per_element,
+    validate_arrays,
+)
+from repro.cuda.machine import GH200Machine
+from repro.errors import ConfigurationError
+from repro.sim.policy import NumericsPolicy
+
+__all__ = ["run_gh200_stream", "DEFAULT_GH200_ELEMENTS"]
+
+DEFAULT_GH200_ELEMENTS = 1 << 23
+
+#: Saturated link efficiencies per kernel, tuned so the best kernel matches
+#: the paper's quoted maxima (310 / 3700 GB/s).
+_LINK_EFFICIENCY: dict[str, dict[str, float]] = {
+    "cpu": {"copy": 0.78, "scale": 0.785, "add": 0.80, "triad": 0.807},
+    "hbm3": {"copy": 0.90, "scale": 0.905, "add": 0.92, "triad": 0.925},
+}
+
+
+def run_gh200_stream(
+    machine: GH200Machine,
+    target: str,
+    *,
+    n_elements: int = DEFAULT_GH200_ELEMENTS,
+    repeats: int = 10,
+) -> StreamResult:
+    """STREAM on the Grace LPDDR5X (``"cpu"``) or Hopper HBM3 (``"hbm3"``)."""
+    if target not in ("cpu", "hbm3"):
+        raise ConfigurationError(
+            f"GH200 STREAM target must be 'cpu' or 'hbm3', got {target!r}"
+        )
+    spec = machine.spec
+    theoretical = (
+        spec.cpu_bandwidth_gbs if target == "cpu" else spec.hbm_bandwidth_gbs
+    )
+    element_bytes = 8  # the NVIDIA HPC STREAM uses FP64
+
+    run_numerics = machine.numerics.policy is not NumericsPolicy.MODEL_ONLY
+    arrays = StreamArrays.allocate(n_elements, np.float64) if run_numerics else None
+
+    bandwidths: dict[str, list[float]] = {k: [] for k in KERNEL_ORDER}
+    for rep in range(repeats):
+        for kernel in KERNEL_ORDER:
+            if arrays is not None:
+                arrays.run_kernel(kernel)
+            moved = float(kernel_bytes_per_element(kernel, element_bytes) * n_elements)
+            effective = theoretical * _LINK_EFFICIENCY[target][kernel]
+            duration = moved / (effective * 1e9) + 1e-6
+            actual = machine.execute_timed(
+                label=f"gh200/stream/{target}/{kernel}",
+                engine="grace" if target == "cpu" else "hopper",
+                duration_s=duration,
+                bytes_moved=moved,
+                noise_key=f"gh200/stream/{target}/{kernel}/rep={rep}",
+            )
+            bandwidths[kernel].append(moved / actual / 1e9)
+    if arrays is not None:
+        validate_arrays(arrays, repeats)
+
+    return StreamResult(
+        chip_name=spec.name,
+        target="cpu" if target == "cpu" else "gpu",
+        n_elements=n_elements,
+        element_bytes=element_bytes,
+        kernels={
+            kernel: StreamKernelResult(kernel=kernel, bandwidths_gbs=tuple(vals))
+            for kernel, vals in bandwidths.items()
+        },
+        theoretical_gbs=theoretical,
+    )
+
+
+def paper_reference_gbs(target: str) -> float:
+    """The paper's quoted GH200 STREAM result for a target."""
+    key = "stream_cpu_gbs" if target == "cpu" else "stream_hbm3_gbs"
+    return float(paper.GH200[key])
+
+
+__all__.append("paper_reference_gbs")

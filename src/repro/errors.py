@@ -1,0 +1,98 @@
+"""Exception hierarchy shared by every subsystem of :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so downstream users can
+catch one base class.  Subsystems raise the most specific subclass available;
+the Metal simulation layer additionally defines API-shaped errors in
+:mod:`repro.metal.errors` that derive from these.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "UnknownChipError",
+    "UnknownDeviceError",
+    "UnknownImplementationError",
+    "CalibrationError",
+    "SimulationError",
+    "ClockError",
+    "AllocationError",
+    "AlignmentError",
+    "ValidationError",
+    "ProtocolError",
+    "ParseError",
+    "UnsupportedProblemError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with inconsistent parameters."""
+
+
+class UnknownChipError(ConfigurationError):
+    """A chip name was not found in the catalog."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()) -> None:
+        msg = f"unknown chip {name!r}"
+        if known:
+            msg += f" (known: {', '.join(known)})"
+        super().__init__(msg)
+        self.name = name
+        self.known = known
+
+
+class UnknownDeviceError(ConfigurationError):
+    """A device model was not found in the catalog."""
+
+
+class UnknownImplementationError(ConfigurationError):
+    """A GEMM/STREAM implementation key was not found in the registry."""
+
+
+class CalibrationError(ConfigurationError):
+    """Calibration data is missing or internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class ClockError(SimulationError):
+    """The virtual clock was asked to move backwards or by a negative delta."""
+
+
+class AllocationError(ReproError):
+    """A simulated memory allocation failed (size, bounds, exhaustion)."""
+
+
+class AlignmentError(AllocationError):
+    """A buffer does not satisfy a page-alignment requirement.
+
+    The paper requires 16,384-byte page alignment so Metal can wrap matrices
+    with no-copy shared buffers (section 3.2).
+    """
+
+
+class ValidationError(ReproError):
+    """Numerical verification of a kernel result failed."""
+
+
+class ProtocolError(ReproError):
+    """A measurement protocol (e.g. powermetrics SIGINFO flow) was violated."""
+
+
+class ParseError(ReproError):
+    """Text output (e.g. powermetrics samples) could not be parsed."""
+
+
+class UnsupportedProblemError(ReproError):
+    """An implementation cannot run the requested problem size/precision.
+
+    Mirrors the paper's exclusion of n >= 8192 for the CPU-Single and CPU-OMP
+    implementations (section 4).
+    """

@@ -1,0 +1,68 @@
+"""Simulation of the Metal compute API.
+
+Reproduces the surface the paper's host code touches — devices, buffers
+(including page-aligned zero-copy wrapping), command queues/buffers/encoders,
+compute pipelines, a shader library, and Metal Performance Shaders — backed
+by the virtual machine in :mod:`repro.sim`.
+"""
+
+from repro.metal.errors import (
+    BufferError_,
+    CommandBufferError,
+    DispatchError,
+    EncoderError,
+    LibraryError,
+    MetalError,
+    MPSError,
+    NoCopyAlignmentError,
+    PipelineError,
+    StorageModeError,
+)
+from repro.metal.resources import MTLResourceStorageMode, MTLSize
+from repro.metal.buffer import MTLBuffer
+from repro.metal.library import MTLFunction, MTLLibrary
+from repro.metal.pipeline import MTLComputePipelineState
+from repro.metal.command_buffer import (
+    MTLBlitCommandEncoder,
+    MTLCommandBuffer,
+    MTLCommandBufferStatus,
+    MTLCommandQueue,
+    MTLComputeCommandEncoder,
+)
+from repro.metal.device import MTLCreateSystemDefaultDevice, MTLDevice
+from repro.metal.mps import (
+    MPSDataType,
+    MPSMatrix,
+    MPSMatrixDescriptor,
+    MPSMatrixMultiplication,
+)
+
+__all__ = [
+    "MetalError",
+    "BufferError_",
+    "NoCopyAlignmentError",
+    "StorageModeError",
+    "LibraryError",
+    "PipelineError",
+    "EncoderError",
+    "CommandBufferError",
+    "DispatchError",
+    "MPSError",
+    "MTLResourceStorageMode",
+    "MTLSize",
+    "MTLBuffer",
+    "MTLLibrary",
+    "MTLFunction",
+    "MTLComputePipelineState",
+    "MTLCommandQueue",
+    "MTLCommandBuffer",
+    "MTLCommandBufferStatus",
+    "MTLComputeCommandEncoder",
+    "MTLBlitCommandEncoder",
+    "MTLDevice",
+    "MTLCreateSystemDefaultDevice",
+    "MPSDataType",
+    "MPSMatrixDescriptor",
+    "MPSMatrix",
+    "MPSMatrixMultiplication",
+]

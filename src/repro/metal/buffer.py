@@ -1,0 +1,150 @@
+"""``MTLBuffer``: unified-memory allocations visible to CPU and/or GPU.
+
+The shared storage mode is the heart of the paper's zero-copy story: a
+page-aligned host allocation is wrapped without copying
+(``newBufferWithBytesNoCopy``) and both processors address the same bytes.
+Private buffers model GPU-optimal memory the CPU cannot touch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metal.errors import BufferError_, NoCopyAlignmentError, StorageModeError
+from repro.metal.resources import MTLResourceStorageMode
+from repro.units import PAGE_SIZE
+
+__all__ = ["MTLBuffer"]
+
+
+class MTLBuffer:
+    """A device buffer backed by a NumPy byte array."""
+
+    def __init__(
+        self,
+        backing: np.ndarray,
+        storage_mode: MTLResourceStorageMode,
+        *,
+        no_copy: bool = False,
+        label: str | None = None,
+    ) -> None:
+        flat = backing.reshape(-1).view(np.uint8)
+        if flat.size == 0:
+            raise BufferError_("buffer length must be positive")
+        self._backing = flat
+        self._storage_mode = storage_mode
+        self._no_copy = no_copy
+        self.label = label
+
+    # -- construction helpers (used by MTLDevice) -----------------------
+    @classmethod
+    def with_length(
+        cls, length: int, options: MTLResourceStorageMode, label: str | None = None
+    ) -> "MTLBuffer":
+        if length <= 0:
+            raise BufferError_(f"buffer length must be positive, got {length}")
+        return cls(np.zeros(length, dtype=np.uint8), options, label=label)
+
+    @classmethod
+    def with_bytes(
+        cls,
+        source: np.ndarray,
+        options: MTLResourceStorageMode,
+        label: str | None = None,
+    ) -> "MTLBuffer":
+        """Copying constructor (``newBufferWithBytes:``)."""
+        data = np.ascontiguousarray(source).view(np.uint8).reshape(-1).copy()
+        return cls(data, options, label=label)
+
+    @classmethod
+    def with_bytes_no_copy(
+        cls,
+        source: np.ndarray,
+        length: int,
+        options: MTLResourceStorageMode,
+        label: str | None = None,
+    ) -> "MTLBuffer":
+        """Zero-copy constructor (``newBufferWithBytesNoCopy:length:options:``).
+
+        Requires the base address and the length to be page-aligned, exactly
+        as Metal asserts on real hardware; use
+        :func:`repro.core.data.aligned_alloc` to satisfy this.
+        """
+        arr = np.asarray(source)
+        if not arr.flags["C_CONTIGUOUS"]:
+            raise NoCopyAlignmentError("no-copy buffers need contiguous memory")
+        if options is not MTLResourceStorageMode.SHARED:
+            raise StorageModeError(
+                "newBufferWithBytesNoCopy requires the shared storage mode"
+            )
+        if length <= 0 or length > arr.nbytes:
+            raise BufferError_(
+                f"no-copy length {length} outside (0, {arr.nbytes}]"
+            )
+        if length % PAGE_SIZE != 0:
+            raise NoCopyAlignmentError(
+                f"no-copy length {length} is not a multiple of the "
+                f"{PAGE_SIZE}-byte page size"
+            )
+        if arr.ctypes.data % PAGE_SIZE != 0:
+            raise NoCopyAlignmentError(
+                f"no-copy base address 0x{arr.ctypes.data:x} is not "
+                f"{PAGE_SIZE}-byte aligned; allocate with aligned_alloc"
+            )
+        flat = arr.view(np.uint8).reshape(-1)[:length]
+        return cls(flat, options, no_copy=True, label=label)
+
+    # -- properties ------------------------------------------------------
+    @property
+    def length(self) -> int:
+        return int(self._backing.size)
+
+    @property
+    def storage_mode(self) -> MTLResourceStorageMode:
+        return self._storage_mode
+
+    @property
+    def is_no_copy(self) -> bool:
+        return self._no_copy
+
+    # -- access ------------------------------------------------------------
+    def contents(self) -> np.ndarray:
+        """CPU-visible bytes; raises for private buffers (as Metal's nil)."""
+        if self._storage_mode is MTLResourceStorageMode.PRIVATE:
+            raise StorageModeError(
+                "contents() is undefined for MTLResourceStorageModePrivate buffers"
+            )
+        return self._backing
+
+    def _gpu_view(self) -> np.ndarray:
+        """GPU-side bytes (any storage mode); internal to the simulation."""
+        return self._backing
+
+    def as_array(
+        self,
+        dtype: np.dtype | type,
+        shape: tuple[int, ...],
+        *,
+        offset: int = 0,
+        gpu: bool = False,
+    ) -> np.ndarray:
+        """Typed view of (part of) the buffer.
+
+        ``gpu=True`` bypasses the CPU-visibility check — only shader code
+        inside :mod:`repro.metal.shaders` should use it.
+        """
+        data = self._gpu_view() if gpu else self.contents()
+        dt = np.dtype(dtype)
+        count = int(np.prod(shape))
+        end = offset + count * dt.itemsize
+        if offset < 0 or end > data.size:
+            raise BufferError_(
+                f"view [{offset}, {end}) outside buffer of {data.size} bytes"
+            )
+        return data[offset:end].view(dt).reshape(shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MTLBuffer(length={self.length}, mode={self._storage_mode.value}, "
+            f"no_copy={self._no_copy}, label={self.label!r})"
+        )

@@ -1,0 +1,150 @@
+"""GPU capture: per-dispatch profiling, in the spirit of Metal's GPU capture.
+
+Wraps a machine's execution trace into per-kernel statistics (dispatch
+counts, busy time, achieved FLOPS/bandwidth, occupancy against the
+architectural peaks) so benchmark authors can see *where* simulated time
+went — the tooling a downstream user of this library reaches for first when
+their numbers look off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.sim.machine import Machine
+from repro.sim.trace import TraceEvent
+
+__all__ = ["KernelStats", "GPUCaptureScope", "summarize_gpu_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelStats:
+    """Aggregated statistics for one kernel label prefix."""
+
+    label: str
+    dispatches: int
+    busy_s: float
+    flops: float
+    bytes_moved: float
+    peak_flops: float
+    peak_bytes_per_s: float
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.flops / self.busy_s if self.busy_s > 0 else 0.0
+
+    @property
+    def achieved_bytes_per_s(self) -> float:
+        return self.bytes_moved / self.busy_s if self.busy_s > 0 else 0.0
+
+    @property
+    def compute_occupancy(self) -> float:
+        """Achieved FLOPS as a fraction of the GPU's architectural peak."""
+        if self.peak_flops <= 0:
+            return 0.0
+        return min(1.0, self.achieved_flops / self.peak_flops)
+
+    @property
+    def bandwidth_occupancy(self) -> float:
+        if self.peak_bytes_per_s <= 0:
+            return 0.0
+        return min(1.0, self.achieved_bytes_per_s / self.peak_bytes_per_s)
+
+
+def _kernel_key(event: TraceEvent) -> str:
+    # Group by everything before the parameterisation, e.g.
+    # "shader/gemm_naive/n=64" -> "shader/gemm_naive".
+    parts = event.label.split("/")
+    return "/".join(p for p in parts if "=" not in p) or event.label
+
+
+def summarize_gpu_trace(machine: Machine) -> dict[str, KernelStats]:
+    """Per-kernel statistics over every GPU event in the machine's trace."""
+    from repro.sim.engine import EngineKind
+
+    peak_flops = machine.peak_flops(EngineKind.GPU)
+    peak_bw = machine.memory_bandwidth_bytes_per_s()
+    buckets: dict[str, list[TraceEvent]] = {}
+    for event in machine.trace.events(engine="gpu"):
+        buckets.setdefault(_kernel_key(event), []).append(event)
+    return {
+        key: KernelStats(
+            label=key,
+            dispatches=len(events),
+            busy_s=sum(e.duration_s for e in events),
+            flops=sum(e.flops for e in events),
+            bytes_moved=sum(e.bytes_moved for e in events),
+            peak_flops=peak_flops,
+            peak_bytes_per_s=peak_bw,
+        )
+        for key, events in buckets.items()
+    }
+
+
+class GPUCaptureScope:
+    """Capture GPU activity over a ``with`` block.
+
+    Example::
+
+        with GPUCaptureScope(machine) as capture:
+            run_benchmark()
+        print(capture.report())
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._start_index = 0
+        self._stats: Mapping[str, KernelStats] | None = None
+
+    def __enter__(self) -> "GPUCaptureScope":
+        self._start_index = len(self.machine.trace)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        from repro.sim.engine import EngineKind
+
+        events = [
+            e
+            for e in list(self.machine.trace)[self._start_index :]
+            if e.engine == "gpu"
+        ]
+        peak_flops = self.machine.peak_flops(EngineKind.GPU)
+        peak_bw = self.machine.memory_bandwidth_bytes_per_s()
+        buckets: dict[str, list[TraceEvent]] = {}
+        for event in events:
+            buckets.setdefault(_kernel_key(event), []).append(event)
+        self._stats = {
+            key: KernelStats(
+                label=key,
+                dispatches=len(evts),
+                busy_s=sum(e.duration_s for e in evts),
+                flops=sum(e.flops for e in evts),
+                bytes_moved=sum(e.bytes_moved for e in evts),
+                peak_flops=peak_flops,
+                peak_bytes_per_s=peak_bw,
+            )
+            for key, evts in buckets.items()
+        }
+
+    @property
+    def stats(self) -> Mapping[str, KernelStats]:
+        if self._stats is None:
+            raise RuntimeError("capture scope has not exited yet")
+        return self._stats
+
+    def report(self) -> str:
+        """Human-readable per-kernel summary."""
+        lines = [
+            f"{'kernel':32s} {'disp':>5s} {'busy':>10s} {'GFLOPS':>9s} "
+            f"{'GB/s':>8s} {'occ':>5s}"
+        ]
+        for key in sorted(self.stats):
+            s = self.stats[key]
+            lines.append(
+                f"{s.label:32s} {s.dispatches:5d} {s.busy_s * 1e3:9.3f}ms "
+                f"{s.achieved_flops / 1e9:9.1f} "
+                f"{s.achieved_bytes_per_s / 1e9:8.1f} "
+                f"{s.compute_occupancy:5.0%}"
+            )
+        return "\n".join(lines)

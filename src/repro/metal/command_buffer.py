@@ -1,0 +1,265 @@
+"""``MTLCommandBuffer`` and its encoders.
+
+The host-code lifecycle in the paper's Listing 2 is reproduced exactly:
+
+    encoder = [commandBuffer computeCommandEncoder]        -> compute_command_encoder()
+    ... set pipeline / buffers / dispatch ...
+    [encoder endEncoding]                                   -> end_encoding()
+    [commandBuffer commit]                                  -> commit()
+    [commandBuffer waitUntilCompleted]                      -> wait_until_completed()
+
+Encoded work executes on the simulated GPU timeline at ``commit()`` (the
+virtual clock advances by the modelled kernel durations and power intervals
+are recorded); ``wait_until_completed()`` transitions the status.  Lifecycle
+violations raise :class:`CommandBufferError`, mirroring Metal's assertions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable
+
+from repro.metal.errors import CommandBufferError, EncoderError
+from repro.metal.buffer import MTLBuffer
+from repro.metal.resources import MTLResourceStorageMode, MTLSize
+from repro.metal.pipeline import MTLComputePipelineState
+from repro.sim.engine import EngineKind, Operation
+from repro.sim.roofline import OpCost
+from repro.soc.power import PowerComponent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metal.device import MTLDevice
+
+__all__ = [
+    "MTLCommandBufferStatus",
+    "MTLCommandBuffer",
+    "MTLComputeCommandEncoder",
+    "MTLBlitCommandEncoder",
+]
+
+
+class MTLCommandBufferStatus(enum.Enum):
+    NOT_ENQUEUED = "not-enqueued"
+    COMMITTED = "committed"
+    COMPLETED = "completed"
+    ERROR = "error"
+
+
+class MTLComputeCommandEncoder:
+    """Records compute dispatches into its command buffer."""
+
+    def __init__(self, command_buffer: "MTLCommandBuffer") -> None:
+        self._cb = command_buffer
+        self._pipeline: MTLComputePipelineState | None = None
+        self._buffers: dict[int, tuple[MTLBuffer, int]] = {}
+        self._bytes: dict[int, object] = {}
+        self._ended = False
+
+    def set_compute_pipeline_state(self, pipeline: MTLComputePipelineState) -> None:
+        """Select the pipeline (kernel) for subsequent dispatches."""
+        self._check_open()
+        self._pipeline = pipeline
+
+    def set_buffer(self, buffer: MTLBuffer, offset: int, index: int) -> None:
+        """Bind a buffer (with byte offset) to a kernel argument index."""
+        self._check_open()
+        if index < 0:
+            raise EncoderError(f"buffer index must be non-negative, got {index}")
+        if offset < 0 or offset >= buffer.length:
+            raise EncoderError(
+                f"buffer offset {offset} outside [0, {buffer.length})"
+            )
+        self._buffers[index] = (buffer, offset)
+
+    def set_bytes(self, value: object, index: int) -> None:
+        """Small constant data (``setBytes:length:atIndex:``)."""
+        self._check_open()
+        if index < 0:
+            raise EncoderError(f"bytes index must be non-negative, got {index}")
+        self._bytes[index] = value
+
+    def dispatch_threadgroups(
+        self,
+        threadgroups_per_grid: MTLSize,
+        threads_per_threadgroup: MTLSize,
+    ) -> None:
+        """Record one kernel dispatch with the given grid geometry."""
+        self._check_open()
+        pipeline = self._pipeline
+        if pipeline is None:
+            raise EncoderError("dispatch without a compute pipeline state")
+        if (
+            threads_per_threadgroup.total
+            > pipeline.max_total_threads_per_threadgroup
+        ):
+            raise EncoderError(
+                f"threadgroup of {threads_per_threadgroup.total} threads exceeds "
+                f"the {pipeline.max_total_threads_per_threadgroup}-thread limit"
+            )
+        # Snapshot encoder state; execution happens at commit time.
+        shader = pipeline.function.shader
+        buffers = dict(self._buffers)
+        constants = dict(self._bytes)
+        device = self._cb.device
+
+        def run() -> None:
+            from repro.metal.shaders import ShaderContext
+
+            ctx = ShaderContext(
+                device=device,
+                buffers=buffers,
+                constants=constants,
+                threadgroups_per_grid=threadgroups_per_grid,
+                threads_per_threadgroup=threads_per_threadgroup,
+            )
+            shader.dispatch(ctx)
+
+        self._cb._enqueue(run)
+
+    def end_encoding(self) -> None:
+        """Close the encoder; further encoding is an error."""
+        self._check_open()
+        self._ended = True
+
+    def _check_open(self) -> None:
+        if self._ended:
+            raise EncoderError("encoder already ended")
+        if self._cb.status is not MTLCommandBufferStatus.NOT_ENQUEUED:
+            raise EncoderError("cannot encode into a committed command buffer")
+
+
+class MTLBlitCommandEncoder:
+    """DMA copies between buffers (used for private-storage staging)."""
+
+    def __init__(self, command_buffer: "MTLCommandBuffer") -> None:
+        self._cb = command_buffer
+        self._ended = False
+
+    def copy_from_buffer(
+        self,
+        source: MTLBuffer,
+        source_offset: int,
+        destination: MTLBuffer,
+        destination_offset: int,
+        size: int,
+    ) -> None:
+        """Record a DMA copy between (possibly private) buffers."""
+        if self._ended:
+            raise EncoderError("encoder already ended")
+        if size <= 0:
+            raise EncoderError("blit size must be positive")
+        if source_offset + size > source.length:
+            raise EncoderError("blit reads past the end of the source buffer")
+        if destination_offset + size > destination.length:
+            raise EncoderError("blit writes past the end of the destination buffer")
+        device = self._cb.device
+
+        def run() -> None:
+            src = source._gpu_view()[source_offset : source_offset + size]
+            destination._gpu_view()[
+                destination_offset : destination_offset + size
+            ] = src
+            machine = device.machine
+            op = Operation(
+                engine=EngineKind.GPU,
+                label=f"blit/{size}B",
+                cost=OpCost(bytes_read=float(size), bytes_written=float(size)),
+                peak_flops=machine.peak_flops(EngineKind.GPU),
+                peak_bytes_per_s=machine.memory_bandwidth_bytes_per_s(),
+                memory_efficiency=0.85,
+                overhead_s=20e-6,
+                power_draws_w={
+                    PowerComponent.GPU: 1.5,
+                    PowerComponent.DRAM: 1.0,
+                },
+            )
+            machine.execute(op)
+
+        self._cb._enqueue(run)
+
+    def end_encoding(self) -> None:
+        """Close the encoder; further encoding is an error."""
+        if self._ended:
+            raise EncoderError("encoder already ended")
+        self._ended = True
+
+
+class MTLCommandBuffer:
+    """A unit of work submitted to a command queue."""
+
+    def __init__(self, device: "MTLDevice") -> None:
+        self.device = device
+        self._status = MTLCommandBufferStatus.NOT_ENQUEUED
+        self._work: list[Callable[[], None]] = []
+        self._error: Exception | None = None
+        self._gpu_start_s: float | None = None
+        self._gpu_end_s: float | None = None
+
+    # -- encoder factories ----------------------------------------------
+    def compute_command_encoder(self) -> MTLComputeCommandEncoder:
+        """Open a compute encoder on this command buffer."""
+        if self._status is not MTLCommandBufferStatus.NOT_ENQUEUED:
+            raise CommandBufferError("cannot encode into a committed command buffer")
+        return MTLComputeCommandEncoder(self)
+
+    def blit_command_encoder(self) -> MTLBlitCommandEncoder:
+        """Open a blit (DMA) encoder on this command buffer."""
+        if self._status is not MTLCommandBufferStatus.NOT_ENQUEUED:
+            raise CommandBufferError("cannot encode into a committed command buffer")
+        return MTLBlitCommandEncoder(self)
+
+    def _enqueue(self, work: Callable[[], None]) -> None:
+        self._work.append(work)
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def status(self) -> MTLCommandBufferStatus:
+        return self._status
+
+    @property
+    def error(self) -> Exception | None:
+        return self._error
+
+    @property
+    def gpu_start_time(self) -> float | None:
+        """Virtual timestamp at which GPU execution began (``GPUStartTime``)."""
+        return self._gpu_start_s
+
+    @property
+    def gpu_end_time(self) -> float | None:
+        return self._gpu_end_s
+
+    def commit(self) -> None:
+        """Submit the encoded work; executes on the simulated GPU timeline."""
+        if self._status is not MTLCommandBufferStatus.NOT_ENQUEUED:
+            raise CommandBufferError("command buffer already committed")
+        self._status = MTLCommandBufferStatus.COMMITTED
+        self._gpu_start_s = self.device.machine.now_s()
+        try:
+            for work in self._work:
+                work()
+        except Exception as exc:
+            self._status = MTLCommandBufferStatus.ERROR
+            self._error = exc
+            raise
+        finally:
+            self._gpu_end_s = self.device.machine.now_s()
+
+    def wait_until_completed(self) -> None:
+        """Block until the committed work completes (state transition)."""
+        if self._status is MTLCommandBufferStatus.NOT_ENQUEUED:
+            raise CommandBufferError("waitUntilCompleted before commit")
+        if self._status is MTLCommandBufferStatus.ERROR:
+            return
+        self._status = MTLCommandBufferStatus.COMPLETED
+
+
+class MTLCommandQueue:
+    """Creates command buffers against one device."""
+
+    def __init__(self, device: "MTLDevice") -> None:
+        self.device = device
+
+    def command_buffer(self) -> MTLCommandBuffer:
+        """Create a fresh command buffer on this queue."""
+        return MTLCommandBuffer(self.device)

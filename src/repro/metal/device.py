@@ -1,0 +1,125 @@
+"""``MTLDevice``: the GPU handle, rooted in a simulated machine.
+
+Mirrors the slice of the Metal device API the paper's host code uses
+(Listing 2): buffer construction (including the zero-copy path), command
+queues, and shader-library access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metal.buffer import MTLBuffer
+from repro.metal.command_buffer import MTLCommandQueue
+from repro.metal.errors import BufferError_
+from repro.metal.library import MTLFunction, MTLLibrary
+from repro.metal.pipeline import MTLComputePipelineState
+from repro.metal.resources import MTLResourceStorageMode, MTLSize
+from repro.sim.machine import Machine
+from repro.units import GIB
+
+__all__ = ["MTLDevice", "MTLCreateSystemDefaultDevice"]
+
+
+class MTLDevice:
+    """A simulated Metal device bound to one :class:`Machine`."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._buffer_counter = 0
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"Apple {self.machine.chip.name}"
+
+    @property
+    def has_unified_memory(self) -> bool:
+        return True
+
+    @property
+    def max_threads_per_threadgroup(self) -> MTLSize:
+        return MTLSize(1024, 1024, 64)
+
+    @property
+    def recommended_max_working_set_size(self) -> int:
+        """Bytes of unified memory the GPU may reasonably use."""
+        return int(self.machine.device.memory_gb * GIB * 0.75)
+
+    # -- buffers -------------------------------------------------------------
+    def new_buffer_with_length(
+        self,
+        length: int,
+        options: MTLResourceStorageMode = MTLResourceStorageMode.SHARED,
+        label: str | None = None,
+    ) -> MTLBuffer:
+        """Allocate a zero-filled buffer of ``length`` bytes."""
+        if length > self.recommended_max_working_set_size:
+            raise BufferError_(
+                f"allocation of {length} bytes exceeds the working-set limit of "
+                f"{self.recommended_max_working_set_size} bytes"
+            )
+        self._buffer_counter += 1
+        return MTLBuffer.with_length(
+            length, options, label=label or f"buffer-{self._buffer_counter}"
+        )
+
+    def new_buffer_with_bytes(
+        self,
+        source: np.ndarray,
+        options: MTLResourceStorageMode = MTLResourceStorageMode.SHARED,
+        label: str | None = None,
+    ) -> MTLBuffer:
+        """Allocate a buffer initialised with a copy of ``source``."""
+        self._buffer_counter += 1
+        return MTLBuffer.with_bytes(
+            source, options, label=label or f"buffer-{self._buffer_counter}"
+        )
+
+    def new_buffer_with_bytes_no_copy(
+        self,
+        source: np.ndarray,
+        length: int,
+        options: MTLResourceStorageMode = MTLResourceStorageMode.SHARED,
+        deallocator: object | None = None,
+        label: str | None = None,
+    ) -> MTLBuffer:
+        """Zero-copy wrap of a page-aligned host allocation (Listing 2)."""
+        del deallocator  # the simulation has no ownership transfer to model
+        self._buffer_counter += 1
+        return MTLBuffer.with_bytes_no_copy(
+            source, length, options, label=label or f"buffer-{self._buffer_counter}"
+        )
+
+    # -- queues, pipelines & libraries ---------------------------------------
+    def new_command_queue(self) -> MTLCommandQueue:
+        """Create a command queue on this device."""
+        return MTLCommandQueue(self)
+
+    def new_compute_pipeline_state_with_function(
+        self, function: "MTLFunction"
+    ) -> "MTLComputePipelineState":
+        """Compile a kernel function into a compute pipeline."""
+        from repro.metal.pipeline import MTLComputePipelineState
+
+        return MTLComputePipelineState(function=function)
+
+    def new_default_library(self) -> MTLLibrary:
+        """All built-in kernels (our ``default.metallib``)."""
+        return MTLLibrary()
+
+    def new_library_with_functions(self, names: tuple[str, ...]) -> MTLLibrary:
+        """A restricted library (our compiled-from-source ``.metallib``)."""
+        return MTLLibrary(names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MTLDevice(name={self.name!r})"
+
+
+def MTLCreateSystemDefaultDevice(machine: Machine) -> MTLDevice:
+    """Factory mirroring the C function of the same name.
+
+    Real Metal discovers the system GPU; the simulation must be told which
+    machine is "the system", so the machine is an explicit argument.
+    """
+    return MTLDevice(machine)

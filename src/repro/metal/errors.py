@@ -1,0 +1,68 @@
+"""Metal-simulation error types.
+
+These mirror the failure modes of the real Metal API (assertion failures,
+nil returns, validation-layer errors) as Python exceptions rooted in the
+library-wide hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlignmentError, ReproError
+
+__all__ = [
+    "MetalError",
+    "BufferError_",
+    "NoCopyAlignmentError",
+    "StorageModeError",
+    "LibraryError",
+    "PipelineError",
+    "EncoderError",
+    "CommandBufferError",
+    "DispatchError",
+    "MPSError",
+]
+
+
+class MetalError(ReproError):
+    """Base class for Metal-simulation errors."""
+
+
+class BufferError_(MetalError):
+    """Invalid buffer construction or access."""
+
+
+class NoCopyAlignmentError(BufferError_, AlignmentError):
+    """``newBufferWithBytesNoCopy`` requires page-aligned base and length.
+
+    The paper allocates matrices with ``aligned_alloc`` on 16,384-byte pages
+    and extends lengths to page multiples precisely to satisfy this
+    constraint (section 3.2).
+    """
+
+
+class StorageModeError(BufferError_):
+    """CPU access to a ``MTLResourceStorageModePrivate`` buffer, etc."""
+
+
+class LibraryError(MetalError):
+    """Unknown shader function or bad library construction."""
+
+
+class PipelineError(MetalError):
+    """Compute pipeline construction/validation failure."""
+
+
+class EncoderError(MetalError):
+    """Encoder misuse (ended twice, missing pipeline, bad argument index)."""
+
+
+class CommandBufferError(MetalError):
+    """Command-buffer lifecycle violation (double commit, wait-before-commit)."""
+
+
+class DispatchError(MetalError):
+    """Threadgroup geometry does not cover the problem domain."""
+
+
+class MPSError(MetalError):
+    """Metal Performance Shaders misuse (descriptor/shape mismatch)."""

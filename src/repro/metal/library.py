@@ -1,0 +1,58 @@
+"""``MTLLibrary`` / ``MTLFunction``: the compiled shader collection.
+
+The paper compiles its naive and CUTLASS-style MSL shaders into a
+``.metallib`` loaded at startup (section 3.2).  Our equivalent is a registry
+of Python shader implementations (:mod:`repro.metal.shaders`); a library is a
+named view over that registry, and a function is a handle suitable for
+building a compute pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.metal.errors import LibraryError
+from repro.metal.shaders import ShaderFunction, registered_shaders, shader_by_name
+
+__all__ = ["MTLFunction", "MTLLibrary"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MTLFunction:
+    """A handle to one kernel entry point."""
+
+    name: str
+    shader: ShaderFunction
+
+    @property
+    def impl_key(self) -> str:
+        return self.shader.impl_key
+
+
+class MTLLibrary:
+    """A set of named kernel functions."""
+
+    def __init__(self, function_names: tuple[str, ...] | None = None) -> None:
+        available = registered_shaders()
+        if function_names is None:
+            self._names = tuple(sorted(available))
+        else:
+            unknown = [n for n in function_names if n not in available]
+            if unknown:
+                raise LibraryError(
+                    f"library references unknown shader(s): {', '.join(unknown)}"
+                )
+            self._names = tuple(function_names)
+
+    @property
+    def function_names(self) -> tuple[str, ...]:
+        return self._names
+
+    def new_function_with_name(self, name: str) -> MTLFunction:
+        """Look up a kernel; raises :class:`LibraryError` if absent (nil)."""
+        if name not in self._names:
+            raise LibraryError(
+                f"no function named {name!r} in library; "
+                f"available: {', '.join(self._names)}"
+            )
+        return MTLFunction(name=name, shader=shader_by_name(name))

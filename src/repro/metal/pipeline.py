@@ -1,0 +1,33 @@
+"""``MTLComputePipelineState``: a function prepared for dispatch."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.metal.errors import PipelineError
+from repro.metal.library import MTLFunction
+
+__all__ = ["MTLComputePipelineState"]
+
+#: Hardware limits of Apple-family GPUs.
+MAX_TOTAL_THREADS_PER_THREADGROUP = 1024
+THREAD_EXECUTION_WIDTH = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class MTLComputePipelineState:
+    """Compiled pipeline for one kernel function."""
+
+    function: MTLFunction
+    max_total_threads_per_threadgroup: int = MAX_TOTAL_THREADS_PER_THREADGROUP
+    thread_execution_width: int = THREAD_EXECUTION_WIDTH
+
+    def __post_init__(self) -> None:
+        if self.max_total_threads_per_threadgroup < 1:
+            raise PipelineError("threadgroup capacity must be positive")
+        if self.thread_execution_width < 1:
+            raise PipelineError("thread execution width must be positive")
+
+    @property
+    def label(self) -> str:
+        return self.function.name

@@ -1,0 +1,49 @@
+"""Metal resource options and geometry types."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.metal.errors import DispatchError
+
+__all__ = ["MTLResourceStorageMode", "MTLSize"]
+
+
+class MTLResourceStorageMode(enum.Enum):
+    """Buffer storage modes (section 2.4 of the paper).
+
+    * ``SHARED`` — one physical allocation visible to CPU and GPU (the
+      zero-copy unified-memory mode the paper's benchmarks rely on);
+    * ``PRIVATE`` — GPU-only; the CPU must blit data in and out;
+    * ``MANAGED`` — mirrored copies with explicit synchronisation (exists on
+      Intel Macs; kept for the storage-mode ablation).
+    """
+
+    SHARED = "shared"
+    PRIVATE = "private"
+    MANAGED = "managed"
+
+
+@dataclasses.dataclass(frozen=True)
+class MTLSize:
+    """A 3-D extent, as used for grids and threadgroups."""
+
+    width: int
+    height: int = 1
+    depth: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.width, self.height, self.depth) < 1:
+            raise DispatchError(
+                f"MTLSize extents must be >= 1, got "
+                f"({self.width}, {self.height}, {self.depth})"
+            )
+
+    @property
+    def total(self) -> int:
+        return self.width * self.height * self.depth
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """The extent as a ``(width, height, depth)`` tuple."""
+        return (self.width, self.height, self.depth)

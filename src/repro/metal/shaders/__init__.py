@@ -1,0 +1,130 @@
+"""The shader registry — this simulation's ``.metallib``.
+
+The paper compiles Metal Shading Language kernels into a library loaded at
+startup; here each kernel is a Python object implementing
+:class:`ShaderFunction`.  Kernels execute their numerics at threadgroup
+granularity (vectorised with NumPy) and account their simulated duration and
+power through the device's machine, so host code sees the same behaviour as
+on real hardware: correct results in the buffers, and time/energy on the
+(virtual) clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Mapping, Protocol
+
+import numpy as np
+
+from repro.metal.errors import EncoderError, LibraryError
+from repro.metal.buffer import MTLBuffer
+from repro.metal.resources import MTLSize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metal.device import MTLDevice
+
+__all__ = [
+    "ShaderContext",
+    "ShaderFunction",
+    "register_shader",
+    "registered_shaders",
+    "shader_by_name",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShaderContext:
+    """Everything a kernel sees at dispatch time."""
+
+    device: "MTLDevice"
+    buffers: Mapping[int, tuple[MTLBuffer, int]]
+    constants: Mapping[int, object]
+    threadgroups_per_grid: MTLSize
+    threads_per_threadgroup: MTLSize
+
+    # -- argument access helpers ----------------------------------------
+    def buffer(self, index: int) -> tuple[MTLBuffer, int]:
+        """The (buffer, offset) bound at a kernel argument index."""
+        try:
+            return self.buffers[index]
+        except KeyError:
+            raise EncoderError(f"kernel argument buffer {index} was not bound") from None
+
+    def array(
+        self, index: int, dtype: np.dtype | type, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Typed view of a bound buffer (GPU-side: works for private storage)."""
+        buf, offset = self.buffer(index)
+        return buf.as_array(dtype, shape, offset=offset, gpu=True)
+
+    def constant(self, index: int) -> object:
+        """The raw constant set via ``setBytes`` at an index."""
+        try:
+            return self.constants[index]
+        except KeyError:
+            raise EncoderError(f"kernel constant {index} was not set") from None
+
+    def uint_constant(self, index: int) -> int:
+        """A ``setBytes`` constant interpreted as a non-negative integer."""
+        value = self.constant(index)
+        out = int(np.asarray(value).reshape(-1)[0])
+        if out < 0:
+            raise EncoderError(f"constant {index} must be non-negative, got {out}")
+        return out
+
+    def float_constant(self, index: int) -> float:
+        """A ``setBytes`` constant interpreted as a float scalar."""
+        value = self.constant(index)
+        return float(np.asarray(value).reshape(-1)[0])
+
+    @property
+    def grid_threads_x(self) -> int:
+        return self.threadgroups_per_grid.width * self.threads_per_threadgroup.width
+
+    @property
+    def grid_threads_y(self) -> int:
+        return self.threadgroups_per_grid.height * self.threads_per_threadgroup.height
+
+
+class ShaderFunction(Protocol):
+    """A registered kernel: a name, a calibration key, and a dispatch entry."""
+
+    name: str
+    impl_key: str
+
+    def dispatch(self, ctx: ShaderContext) -> None:  # pragma: no cover - protocol
+        """Execute the kernel: numerics plus simulated timing/power."""
+        ...
+
+
+_REGISTRY: dict[str, ShaderFunction] = {}
+
+
+def register_shader(shader: ShaderFunction) -> ShaderFunction:
+    """Add a kernel to the global library (startup-time, like metallib load)."""
+    if not shader.name:
+        raise LibraryError("shader needs a non-empty name")
+    if shader.name in _REGISTRY:
+        raise LibraryError(f"shader {shader.name!r} registered twice")
+    _REGISTRY[shader.name] = shader
+    return shader
+
+
+def registered_shaders() -> tuple[str, ...]:
+    """Sorted names of every kernel in the global library."""
+    return tuple(sorted(_REGISTRY))
+
+
+def shader_by_name(name: str) -> ShaderFunction:
+    """Look up a registered kernel; raises :class:`LibraryError` if absent."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise LibraryError(f"unknown shader {name!r}") from None
+
+
+# Register the built-in kernels (import side effects, like loading .metallib).
+from repro.metal.shaders import stream as _stream  # noqa: E402,F401
+from repro.metal.shaders import gemm_naive as _gemm_naive  # noqa: E402,F401
+from repro.metal.shaders import gemm_tiled as _gemm_tiled  # noqa: E402,F401
+from repro.metal.shaders import gemm_fp64_emulated as _gemm_fp64  # noqa: E402,F401

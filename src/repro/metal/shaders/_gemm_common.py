@@ -1,0 +1,101 @@
+"""Shared machinery for the GEMM shaders.
+
+Each GEMM kernel supports three numerics paths:
+
+* an *exact threadgroup emulation* that walks the dispatch grid one
+  threadgroup at a time (used for small problems and by the semantics tests);
+* a *vectorised* path computing the same values with large NumPy operations
+  (used for FULL numerics on larger problems after the grid coverage has
+  been validated);
+* a *sampled* path computing a deterministic subset of output rows
+  (policy ``SAMPLED`` above the full threshold).
+
+All paths leave identical values in the covered entries (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.metal.errors import DispatchError
+from repro.metal.shaders import ShaderContext
+from repro.sim.policy import NumericsPolicy
+
+__all__ = [
+    "validate_gemm_grid",
+    "threadgroup_tiles",
+    "run_gemm_numerics",
+    "PER_THREADGROUP_LIMIT",
+]
+
+#: Below this dimension FULL numerics use the exact per-threadgroup walk.
+PER_THREADGROUP_LIMIT = 128
+
+
+def validate_gemm_grid(ctx: ShaderContext, n: int) -> None:
+    """The dispatch must cover every element of the n x n output."""
+    if n <= 0:
+        raise DispatchError("GEMM dimension must be positive")
+    if ctx.grid_threads_x < n or ctx.grid_threads_y < n:
+        raise DispatchError(
+            f"grid of {ctx.grid_threads_x}x{ctx.grid_threads_y} threads cannot "
+            f"cover an {n}x{n} output"
+        )
+
+
+def threadgroup_tiles(ctx: ShaderContext, n: int) -> list[tuple[slice, slice]]:
+    """(row-slice, col-slice) of C owned by each threadgroup, in dispatch order.
+
+    Threads map to output elements as ``C[y, x]`` with ``x`` horizontal;
+    threadgroups tile the output in row-major group order.  Slices are
+    clipped to the matrix, and threadgroups entirely outside it own nothing.
+    """
+    tw = ctx.threads_per_threadgroup.width
+    th = ctx.threads_per_threadgroup.height
+    tiles: list[tuple[slice, slice]] = []
+    for gy in range(ctx.threadgroups_per_grid.height):
+        r0 = gy * th
+        if r0 >= n:
+            continue
+        r1 = min(r0 + th, n)
+        for gx in range(ctx.threadgroups_per_grid.width):
+            c0 = gx * tw
+            if c0 >= n:
+                continue
+            c1 = min(c0 + tw, n)
+            tiles.append((slice(r0, r1), slice(c0, c1)))
+    return tiles
+
+
+def run_gemm_numerics(
+    ctx: ShaderContext,
+    n: int,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    *,
+    tile_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    vector_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+) -> None:
+    """Execute the policy-selected numerics path.
+
+    ``tile_fn(a_rows, b_cols) -> c_tile`` computes one output tile the way
+    the kernel's inner loop would; ``vector_fn(a, b) -> c`` computes the full
+    product with the same accumulation order at matrix scale.
+    """
+    machine = ctx.device.machine
+    policy = machine.numerics.effective_policy(n)
+    if policy is NumericsPolicy.MODEL_ONLY:
+        return
+    if policy is NumericsPolicy.SAMPLED:
+        rows = machine.numerics.sampled_row_indices(n)
+        c[rows, :] = vector_fn(a[rows, :], b)
+        return
+    # FULL
+    if n <= PER_THREADGROUP_LIMIT:
+        for row_slice, col_slice in threadgroup_tiles(ctx, n):
+            c[row_slice, col_slice] = tile_fn(a[row_slice, :], b[:, col_slice])
+        return
+    c[...] = vector_fn(a, b)

@@ -1,0 +1,121 @@
+"""GPU STREAM kernels (Copy, Scale, Add, Triad) in MSL spirit.
+
+Ports of the CUDA/HIP GPU STREAM kernels the paper adapted (section 3.1):
+one thread per element, float32 arrays ``a``, ``b``, ``c`` bound at indices
+0-2, the element count at constant index 0 and the Triad/Scale scalar at
+constant index 1.  Timing is memory-bound through the calibrated GPU link
+efficiency for the kernel and array footprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.calibration.stream import (
+    STREAM_NOISE_SIGMA,
+    gpu_stream_bandwidth_gbs,
+    stream_power_draws,
+)
+from repro.metal.errors import DispatchError
+from repro.metal.shaders import ShaderContext, register_shader
+from repro.sim.engine import EngineKind, Operation
+from repro.sim.policy import NumericsPolicy
+from repro.sim.roofline import OpCost
+
+__all__ = [
+    "StreamShader",
+    "STREAM_SHADER_NAMES",
+    "stream_moved_bytes",
+]
+
+#: (reads, writes) array counts per kernel — the STREAM accounting rule.
+_KERNEL_ARRAYS: dict[str, tuple[int, int]] = {
+    "copy": (1, 1),
+    "scale": (1, 1),
+    "add": (2, 1),
+    "triad": (2, 1),
+}
+
+
+def stream_moved_bytes(kernel: str, n_elements: int, element_bytes: int = 4) -> int:
+    """Bytes counted by STREAM for one kernel execution."""
+    reads, writes = _KERNEL_ARRAYS[kernel]
+    return (reads + writes) * n_elements * element_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamShader:
+    """One STREAM kernel as a Metal compute function."""
+
+    kernel: str
+
+    @property
+    def name(self) -> str:
+        return f"stream_{self.kernel}"
+
+    @property
+    def impl_key(self) -> str:
+        return f"gpu-stream-{self.kernel}"
+
+    def dispatch(self, ctx: ShaderContext) -> None:
+        """Run one STREAM kernel pass over the bound arrays."""
+        n = ctx.uint_constant(0)
+        if n == 0:
+            raise DispatchError("STREAM kernel needs a positive element count")
+        if ctx.grid_threads_x < n:
+            raise DispatchError(
+                f"grid of {ctx.grid_threads_x} threads cannot cover {n} elements"
+            )
+        machine = ctx.device.machine
+
+        # -- numerics (policy-gated; STREAM arrays are cheap, default FULL) --
+        if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
+            a = ctx.array(0, np.float32, (n,))
+            b = ctx.array(1, np.float32, (n,))
+            c = ctx.array(2, np.float32, (n,))
+            if self.kernel == "copy":
+                c[:] = a
+            elif self.kernel == "scale":
+                scalar = np.float32(ctx.float_constant(1))
+                b[:] = scalar * c
+            elif self.kernel == "add":
+                c[:] = a + b
+            elif self.kernel == "triad":
+                scalar = np.float32(ctx.float_constant(1))
+                a[:] = b + scalar * c
+            else:  # pragma: no cover - registry controls kernels
+                raise DispatchError(f"unknown STREAM kernel {self.kernel}")
+
+        # -- timing/power ---------------------------------------------------
+        chip = machine.chip
+        array_bytes = 4 * n
+        eff_gbs = gpu_stream_bandwidth_gbs(chip, self.kernel, array_bytes)
+        theoretical = chip.memory.bandwidth_gbs
+        moved = float(stream_moved_bytes(self.kernel, n))
+        reads, writes = _KERNEL_ARRAYS[self.kernel]
+        op = Operation(
+            engine=EngineKind.GPU,
+            label=f"stream/gpu/{self.kernel}/n={n}",
+            cost=OpCost(
+                flops=float(n) if self.kernel in ("scale", "add") else 2.0 * n
+                if self.kernel == "triad"
+                else 0.0,
+                bytes_read=moved * reads / (reads + writes),
+                bytes_written=moved * writes / (reads + writes),
+            ),
+            peak_flops=machine.peak_flops(EngineKind.GPU),
+            peak_bytes_per_s=machine.memory_bandwidth_bytes_per_s(),
+            memory_efficiency=min(1.0, eff_gbs / theoretical),
+            overhead_s=10e-6,
+            power_draws_w=stream_power_draws(chip, "gpu"),
+            noise_sigma=STREAM_NOISE_SIGMA,
+        )
+        machine.execute(op)
+
+
+STREAM_SHADER_NAMES: tuple[str, ...] = tuple(
+    register_shader(StreamShader(kernel)).name
+    for kernel in ("copy", "scale", "add", "triad")
+)

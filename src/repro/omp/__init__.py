@@ -1,0 +1,28 @@
+"""A small OpenMP-style runtime model.
+
+The paper's CPU benchmarks are OpenMP programs: the original ``stream.c``
+sweeps ``OMP_NUM_THREADS`` from one to the number of physical cores, and the
+CPU-OMP GEMM uses a blocked parallel-for.  This package reproduces that
+programming model: an environment-driven thread count, static/dynamic
+scheduling of a parallel loop, and a fork/join structure whose chunks really
+execute (on the caller's NumPy arrays) while the *timing* of the region is
+modelled by the simulator.
+"""
+
+from repro.omp.env import OpenMPEnvironment
+from repro.omp.runtime import (
+    Schedule,
+    ScheduleKind,
+    ChunkAssignment,
+    OpenMPRuntime,
+    parallel_chunks,
+)
+
+__all__ = [
+    "OpenMPEnvironment",
+    "ScheduleKind",
+    "Schedule",
+    "ChunkAssignment",
+    "OpenMPRuntime",
+    "parallel_chunks",
+]

@@ -1,0 +1,80 @@
+"""OpenMP environment handling (``OMP_NUM_THREADS`` et al.).
+
+The environment is injected as a mapping rather than read from ``os.environ``
+directly so tests and the STREAM sweep can drive it explicitly — the sweep
+re-runs the benchmark "with OMP_NUM_THREADS threads set from one to the
+number of physical cores" (section 3.1).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OpenMPEnvironment"]
+
+
+class OpenMPEnvironment:
+    """Parsed OpenMP environment controlling the runtime."""
+
+    def __init__(
+        self,
+        env: Mapping[str, str] | None = None,
+        *,
+        default_threads: int = 1,
+    ) -> None:
+        if default_threads < 1:
+            raise ConfigurationError("default thread count must be >= 1")
+        self._env = dict(env) if env is not None else dict(os.environ)
+        self._default_threads = default_threads
+
+    @classmethod
+    def with_threads(cls, num_threads: int) -> "OpenMPEnvironment":
+        """Environment equivalent to ``OMP_NUM_THREADS=<num_threads>``."""
+        return cls({"OMP_NUM_THREADS": str(num_threads)})
+
+    def num_threads(self) -> int:
+        """Value of ``OMP_NUM_THREADS`` (first item of a nested list)."""
+        raw = self._env.get("OMP_NUM_THREADS")
+        if raw is None:
+            return self._default_threads
+        first = raw.split(",")[0].strip()
+        try:
+            value = int(first)
+        except ValueError:
+            raise ConfigurationError(
+                f"OMP_NUM_THREADS must be an integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(f"OMP_NUM_THREADS must be >= 1, got {value}")
+        return value
+
+    def schedule(self) -> tuple[str, int | None]:
+        """Parsed ``OMP_SCHEDULE`` as (kind, chunk) with static default."""
+        raw = self._env.get("OMP_SCHEDULE", "static")
+        parts = [p.strip() for p in raw.split(",")]
+        kind = parts[0].lower() or "static"
+        if kind not in ("static", "dynamic", "guided"):
+            raise ConfigurationError(f"unsupported OMP_SCHEDULE kind {kind!r}")
+        chunk: int | None = None
+        if len(parts) > 1 and parts[1]:
+            try:
+                chunk = int(parts[1])
+            except ValueError:
+                raise ConfigurationError(
+                    f"OMP_SCHEDULE chunk must be an integer, got {parts[1]!r}"
+                ) from None
+            if chunk < 1:
+                raise ConfigurationError("OMP_SCHEDULE chunk must be >= 1")
+        return kind, chunk
+
+    def dynamic_enabled(self) -> bool:
+        """``OMP_DYNAMIC`` flag (defaults to off)."""
+        return self._env.get("OMP_DYNAMIC", "false").strip().lower() in (
+            "1",
+            "true",
+            "yes",
+            "on",
+        )

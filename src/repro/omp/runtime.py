@@ -1,0 +1,204 @@
+"""Fork/join parallel-for with OpenMP-style scheduling.
+
+Chunks execute sequentially in Python (the GIL makes real threading pointless
+for the simulation) but the *assignment* of iterations to virtual threads
+follows OpenMP semantics exactly: static scheduling deals contiguous blocks
+(or round-robin chunks), dynamic scheduling hands out chunks first-come
+first-served.  Callers obtain the assignment for introspection (e.g. to model
+per-thread time as the max over threads) and the runtime guarantees each
+iteration runs exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.omp.env import OpenMPEnvironment
+
+__all__ = [
+    "ScheduleKind",
+    "Schedule",
+    "ChunkAssignment",
+    "parallel_chunks",
+    "OpenMPRuntime",
+]
+
+
+class ScheduleKind(enum.Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclasses.dataclass(frozen=True)
+class Schedule:
+    """An OpenMP loop schedule clause."""
+
+    kind: ScheduleKind = ScheduleKind.STATIC
+    chunk: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk is not None and self.chunk < 1:
+            raise ConfigurationError("schedule chunk must be >= 1")
+
+    @classmethod
+    def parse(cls, kind: str, chunk: int | None = None) -> "Schedule":
+        return cls(ScheduleKind(kind.lower()), chunk)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkAssignment:
+    """A contiguous iteration chunk assigned to one virtual thread."""
+
+    thread: int
+    start: int
+    stop: int  # exclusive
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise ConfigurationError("chunk stop must be >= start")
+        if self.thread < 0:
+            raise ConfigurationError("thread id must be non-negative")
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def parallel_chunks(
+    n_iterations: int, num_threads: int, schedule: Schedule | None = None
+) -> list[ChunkAssignment]:
+    """Assign ``range(n_iterations)`` to threads per the schedule.
+
+    Returns chunks in execution order; every iteration appears in exactly one
+    chunk (property-tested).
+    """
+    if n_iterations < 0:
+        raise ConfigurationError("iteration count must be non-negative")
+    if num_threads < 1:
+        raise ConfigurationError("thread count must be >= 1")
+    sched = schedule or Schedule()
+    if n_iterations == 0:
+        return []
+
+    out: list[ChunkAssignment] = []
+    if sched.kind is ScheduleKind.STATIC and sched.chunk is None:
+        # Contiguous near-equal blocks, one per thread (OpenMP default).
+        base, extra = divmod(n_iterations, num_threads)
+        start = 0
+        for t in range(num_threads):
+            size = base + (1 if t < extra else 0)
+            if size == 0:
+                continue
+            out.append(ChunkAssignment(t, start, start + size))
+            start += size
+        return out
+
+    if sched.kind is ScheduleKind.STATIC:
+        # Round-robin chunks of the given size.
+        chunk = sched.chunk
+        assert chunk is not None
+        idx = 0
+        start = 0
+        while start < n_iterations:
+            stop = min(start + chunk, n_iterations)
+            out.append(ChunkAssignment(idx % num_threads, start, stop))
+            idx += 1
+            start = stop
+        return out
+
+    if sched.kind is ScheduleKind.DYNAMIC:
+        chunk = sched.chunk or 1
+        # Deterministic first-come model: threads take chunks round-robin.
+        idx = 0
+        start = 0
+        while start < n_iterations:
+            stop = min(start + chunk, n_iterations)
+            out.append(ChunkAssignment(idx % num_threads, start, stop))
+            idx += 1
+            start = stop
+        return out
+
+    # GUIDED: exponentially decreasing chunks bounded below by `chunk or 1`.
+    min_chunk = sched.chunk or 1
+    remaining = n_iterations
+    start = 0
+    idx = 0
+    while remaining > 0:
+        size = max(min_chunk, remaining // (2 * num_threads))
+        size = min(size, remaining)
+        out.append(ChunkAssignment(idx % num_threads, start, start + size))
+        start += size
+        remaining -= size
+        idx += 1
+    return out
+
+
+class OpenMPRuntime:
+    """Executes parallel-for regions under an :class:`OpenMPEnvironment`."""
+
+    def __init__(self, env: OpenMPEnvironment | None = None) -> None:
+        self._env = env or OpenMPEnvironment.with_threads(1)
+        self._num_threads_override: int | None = None
+
+    # -- thread-count API mirroring omp.h ------------------------------
+    def get_max_threads(self) -> int:
+        """``omp_get_max_threads``: the effective thread count."""
+        if self._num_threads_override is not None:
+            return self._num_threads_override
+        return self._env.num_threads()
+
+    def set_num_threads(self, num_threads: int) -> None:
+        """``omp_set_num_threads``: override the environment's count."""
+        if num_threads < 1:
+            raise ConfigurationError("omp_set_num_threads requires >= 1")
+        self._num_threads_override = num_threads
+
+    # -- parallel loop --------------------------------------------------
+    def parallel_for(
+        self,
+        n_iterations: int,
+        body: Callable[[int, int, int], None],
+        *,
+        schedule: Schedule | None = None,
+        num_threads: int | None = None,
+    ) -> list[ChunkAssignment]:
+        """Run ``body(start, stop, thread)`` for every assigned chunk.
+
+        Returns the chunk assignment so callers can model per-thread time.
+        """
+        threads = num_threads if num_threads is not None else self.get_max_threads()
+        chunks = parallel_chunks(n_iterations, threads, schedule)
+        for chunk in chunks:
+            body(chunk.start, chunk.stop, chunk.thread)
+        return chunks
+
+    def parallel_reduce(
+        self,
+        n_iterations: int,
+        body: Callable[[int, int], float],
+        *,
+        schedule: Schedule | None = None,
+        num_threads: int | None = None,
+    ) -> float:
+        """Sum-reduction over chunk partial results (order-deterministic)."""
+        threads = num_threads if num_threads is not None else self.get_max_threads()
+        chunks = parallel_chunks(n_iterations, threads, schedule)
+        partials: dict[int, float] = {}
+        for chunk in chunks:
+            partials[chunk.thread] = partials.get(chunk.thread, 0.0) + body(
+                chunk.start, chunk.stop
+            )
+        # Reduce in thread order, as an OpenMP reduction tree would.
+        return float(sum(partials[t] for t in sorted(partials)))
+
+    @staticmethod
+    def max_thread_share(chunks: Sequence[ChunkAssignment]) -> int:
+        """Largest per-thread iteration count (the critical path of the region)."""
+        totals: dict[int, int] = {}
+        for chunk in chunks:
+            totals[chunk.thread] = totals.get(chunk.thread, 0) + chunk.size
+        return max(totals.values(), default=0)

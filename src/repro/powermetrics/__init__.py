@@ -1,0 +1,24 @@
+"""Simulation of Apple's ``powermetrics`` utility.
+
+The paper's power framework (section 3.3) launches::
+
+    powermetrics -i 0 -a 0 -s cpu_power,gpu_power -o FILENAME
+
+then drives sampling with SIGINFO: the tool reports the energy dissipated
+*since the previous signal* (empirically confirmed by the authors).  This
+package reproduces the tool (sampling the machine's power trace), the text
+output format, and a parser for it, so the harness measures power exactly the
+way the paper does — including the two-second warm-up and the reset signal.
+"""
+
+from repro.powermetrics.tool import PowerMetrics, PowerMetricsOptions
+from repro.powermetrics.format import render_sample
+from repro.powermetrics.parse import PowerSample, parse_samples
+
+__all__ = [
+    "PowerMetrics",
+    "PowerMetricsOptions",
+    "render_sample",
+    "PowerSample",
+    "parse_samples",
+]

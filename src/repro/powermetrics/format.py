@@ -1,0 +1,45 @@
+"""Text output format of the simulated ``powermetrics``.
+
+Follows the structure of the real tool's ``cpu_power,gpu_power`` samplers
+closely enough that parsers written against genuine output (regexes over
+``"CPU Power: <n> mW"`` lines) work unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_header", "render_sample"]
+
+
+def render_header(machine_model: str, os_version: str) -> str:
+    """The banner the tool prints once at startup."""
+    return (
+        f"Machine model: {machine_model}\n"
+        f"OS version: {os_version}\n"
+        f"*** Simulated powermetrics (repro) ***\n"
+    )
+
+
+def render_sample(
+    *,
+    sample_index: int,
+    elapsed_ms: float,
+    cpu_mw: float,
+    gpu_mw: float,
+    ane_mw: float | None = None,
+) -> str:
+    """One sample block, reporting averages over the elapsed window."""
+    combined = cpu_mw + gpu_mw + (ane_mw or 0.0)
+    lines = [
+        f"*** Sampled system activity (sample {sample_index}) "
+        f"({elapsed_ms:.2f}ms elapsed) ***",
+        "",
+        "**** Processor usage ****",
+        "",
+        f"CPU Power: {cpu_mw:.0f} mW",
+        f"GPU Power: {gpu_mw:.0f} mW",
+    ]
+    if ane_mw is not None:
+        lines.append(f"ANE Power: {ane_mw:.0f} mW")
+    lines.append(f"Combined Power (CPU + GPU + ANE): {combined:.0f} mW")
+    lines.append("")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,75 @@
+"""Parser for ``powermetrics`` text output.
+
+The paper's harness writes the tool's output to a text file "which is then
+parsed into a numeric format" (section 4).  This parser handles the sample
+blocks produced by :mod:`repro.powermetrics.format` and by the real tool's
+``cpu_power,gpu_power`` samplers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.errors import ParseError
+
+__all__ = ["PowerSample", "parse_samples"]
+
+_SAMPLE_RE = re.compile(
+    r"\*\*\* Sampled system activity .*?\(([\d.]+)ms elapsed\) \*\*\*"
+)
+_CPU_RE = re.compile(r"^CPU Power:\s*([\d.]+)\s*mW\s*$", re.MULTILINE)
+_GPU_RE = re.compile(r"^GPU Power:\s*([\d.]+)\s*mW\s*$", re.MULTILINE)
+_ANE_RE = re.compile(r"^ANE Power:\s*([\d.]+)\s*mW\s*$", re.MULTILINE)
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerSample:
+    """Parsed measurements of one sample block."""
+
+    elapsed_ms: float
+    cpu_mw: float
+    gpu_mw: float
+    ane_mw: float | None = None
+
+    @property
+    def combined_mw(self) -> float:
+        """CPU + GPU, the quantity Figures 3-4 plot."""
+        return self.cpu_mw + self.gpu_mw
+
+    @property
+    def energy_j(self) -> float:
+        """Energy dissipated over the window (CPU + GPU)."""
+        return self.combined_mw / 1e3 * self.elapsed_ms / 1e3
+
+
+def parse_samples(text: str) -> list[PowerSample]:
+    """All sample blocks in file order.
+
+    Raises
+    ------
+    ParseError
+        If a sample block lacks the CPU or GPU power lines.
+    """
+    headers = list(_SAMPLE_RE.finditer(text))
+    samples: list[PowerSample] = []
+    for i, header in enumerate(headers):
+        start = header.end()
+        end = headers[i + 1].start() if i + 1 < len(headers) else len(text)
+        block = text[start:end]
+        cpu = _CPU_RE.search(block)
+        gpu = _GPU_RE.search(block)
+        if cpu is None or gpu is None:
+            raise ParseError(
+                f"sample {i}: missing CPU/GPU power lines in powermetrics output"
+            )
+        ane = _ANE_RE.search(block)
+        samples.append(
+            PowerSample(
+                elapsed_ms=float(header.group(1)),
+                cpu_mw=float(cpu.group(1)),
+                gpu_mw=float(gpu.group(1)),
+                ane_mw=float(ane.group(1)) if ane else None,
+            )
+        )
+    return samples

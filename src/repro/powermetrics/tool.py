@@ -1,0 +1,123 @@
+"""The ``powermetrics`` process model.
+
+Reproduces the signal-driven mode of the paper's measurement protocol
+(section 3.3): started with ``-i 0 -a 0`` the tool takes *no* periodic
+samples; each SIGINFO emits a sample covering the window since the previous
+signal (or since startup) and resets the accumulator.  Energy comes from the
+machine's :class:`~repro.sim.recorder.PowerRecorder`, i.e. the same trace the
+workloads write while executing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import pathlib
+
+from repro.errors import ProtocolError
+from repro.powermetrics.format import render_header, render_sample
+from repro.sim.machine import Machine
+from repro.soc.power import PowerComponent
+
+__all__ = ["PowerMetricsOptions", "PowerMetrics"]
+
+_KNOWN_SAMPLERS = ("cpu_power", "gpu_power", "ane_power")
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerMetricsOptions:
+    """Command-line options of the tool (`-i`, `-a`, `-s`, `-o`)."""
+
+    interval_ms: int = 0
+    accumulate: int = 0
+    samplers: tuple[str, ...] = ("cpu_power", "gpu_power")
+    output_path: str | pathlib.Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval_ms < 0 or self.accumulate < 0:
+            raise ProtocolError("interval and accumulate must be non-negative")
+        unknown = [s for s in self.samplers if s not in _KNOWN_SAMPLERS]
+        if unknown:
+            raise ProtocolError(
+                f"unknown sampler(s) {', '.join(unknown)}; "
+                f"known: {', '.join(_KNOWN_SAMPLERS)}"
+            )
+        if not self.samplers:
+            raise ProtocolError("at least one sampler is required")
+
+
+class PowerMetrics:
+    """A running (simulated) powermetrics process."""
+
+    def __init__(self, machine: Machine, options: PowerMetricsOptions | None = None):
+        self.machine = machine
+        self.options = options or PowerMetricsOptions()
+        self._running = False
+        self._mark_s: float | None = None
+        self._sample_index = 0
+        self._sink = io.StringIO()
+
+    # -- process lifecycle -------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Launch the tool; the accumulation window opens now."""
+        if self._running:
+            raise ProtocolError("powermetrics already running")
+        self._running = True
+        self._mark_s = self.machine.now_s()
+        self._sample_index = 0
+        self._sink = io.StringIO()
+        self._sink.write(
+            render_header(
+                machine_model=f"{self.machine.device.model} ({self.machine.chip.name})",
+                os_version=f"macOS {self.machine.device.macos_version}",
+            )
+        )
+
+    def siginfo(self) -> None:
+        """Deliver SIGINFO: emit a sample for the window and reset the mark."""
+        if not self._running:
+            raise ProtocolError("SIGINFO delivered to a stopped powermetrics")
+        assert self._mark_s is not None
+        now = self.machine.now_s()
+        window = (self._mark_s, now)
+        averages = self.machine.recorder.component_average_mw(*window)
+        self._sample_index += 1
+        self._sink.write(
+            render_sample(
+                sample_index=self._sample_index,
+                elapsed_ms=(now - self._mark_s) * 1e3,
+                cpu_mw=averages.get(PowerComponent.CPU, 0.0)
+                if "cpu_power" in self.options.samplers
+                else 0.0,
+                gpu_mw=averages.get(PowerComponent.GPU, 0.0)
+                if "gpu_power" in self.options.samplers
+                else 0.0,
+                ane_mw=averages.get(PowerComponent.ANE, 0.0)
+                if "ane_power" in self.options.samplers
+                else None,
+            )
+        )
+        self._mark_s = now
+
+    def stop(self) -> str:
+        """Terminate the tool, flush the output file, return the text."""
+        if not self._running:
+            raise ProtocolError("powermetrics is not running")
+        self._running = False
+        text = self._sink.getvalue()
+        if self.options.output_path is not None:
+            pathlib.Path(self.options.output_path).write_text(text)
+        return text
+
+    # -- context-manager sugar ----------------------------------------------
+    def __enter__(self) -> "PowerMetrics":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._running:
+            self.stop()

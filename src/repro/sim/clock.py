@@ -1,0 +1,59 @@
+"""A monotonic virtual clock.
+
+All benchmark timing in this repository is virtual: operations advance the
+clock by their modelled duration, and the harness reads timestamps exactly
+like the paper reads ``std::chrono::high_resolution_clock::now()`` —
+including the nanosecond-granularity truncation (section 4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+from repro.units import NS_PER_S
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonic simulated time in seconds, starting at zero."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        if start_s < 0.0:
+            raise ClockError(f"clock cannot start before zero, got {start_s}")
+        self._now = float(start_s)
+
+    def now_s(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def now_ns(self) -> int:
+        """Current virtual time in integral nanoseconds (chrono-style)."""
+        return int(self._now * NS_PER_S)
+
+    def advance(self, dt_s: float) -> float:
+        """Advance the clock by ``dt_s`` seconds and return the new time.
+
+        Raises
+        ------
+        ClockError
+            If ``dt_s`` is negative or not finite.
+        """
+        if not (dt_s >= 0.0) or dt_s != dt_s or dt_s == float("inf"):
+            raise ClockError(f"cannot advance clock by {dt_s!r} seconds")
+        self._now += dt_s
+        return self._now
+
+    def sleep(self, dt_s: float) -> float:
+        """Alias of :meth:`advance`; reads like host code (`sleep(2)`)."""
+        return self.advance(dt_s)
+
+    def advance_to(self, t_s: float) -> float:
+        """Move the clock forward to an absolute time (no-op if in the past)."""
+        if t_s > self._now:
+            self._now = float(t_s)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.9f}s)"

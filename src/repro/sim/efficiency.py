@@ -1,0 +1,146 @@
+"""Size-dependent efficiency curves.
+
+The fraction of an engine's architectural peak that an implementation
+achieves depends on the problem size: GPU kernels ramp up as occupancy grows,
+cache-unfriendly CPU code decays once the working set spills the last-level
+cache.  These parametric curves are the knobs the calibration layer turns to
+match the paper's Figure-2 shapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EfficiencyCurve",
+    "ConstantCurve",
+    "LogisticCurve",
+    "PeakDecayCurve",
+    "TableCurve",
+]
+
+
+@runtime_checkable
+class EfficiencyCurve(Protocol):
+    """Maps a positive problem size to an efficiency in (0, 1]."""
+
+    def __call__(self, x: float) -> float:  # pragma: no cover - protocol
+        ...
+
+
+def _check_peak(peak: float) -> None:
+    if not (0.0 < peak <= 1.0):
+        raise ConfigurationError(f"peak efficiency must be in (0, 1], got {peak}")
+
+
+def _check_x(x: float) -> None:
+    if x <= 0.0:
+        raise ConfigurationError(f"curve argument must be positive, got {x}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ConstantCurve:
+    """Size-independent efficiency."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        _check_peak(self.value)
+
+    def __call__(self, x: float) -> float:
+        _check_x(x)
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class LogisticCurve:
+    """Monotone ramp ``peak / (1 + (x_half / x) ** steepness)``.
+
+    At ``x == x_half`` the curve reaches half the peak; for ``x >> x_half``
+    it saturates at ``peak``.
+    """
+
+    peak: float
+    x_half: float
+    steepness: float = 1.5
+
+    def __post_init__(self) -> None:
+        _check_peak(self.peak)
+        if self.x_half <= 0.0 or self.steepness <= 0.0:
+            raise ConfigurationError("x_half and steepness must be positive")
+
+    def __call__(self, x: float) -> float:
+        _check_x(x)
+        return self.peak / (1.0 + (self.x_half / x) ** self.steepness)
+
+
+@dataclasses.dataclass(frozen=True)
+class PeakDecayCurve:
+    """Ramp to a peak, then decay — cache-spill behaviour of naive CPU code.
+
+    ``eff(x) = peak * ramp(x) * (decay_start / max(x, decay_start)) ** decay_exponent``
+    where ``ramp`` is the logistic ramp of :class:`LogisticCurve`.
+    """
+
+    peak: float
+    rise_half: float
+    decay_start: float
+    rise_steepness: float = 2.0
+    decay_exponent: float = 0.35
+
+    def __post_init__(self) -> None:
+        _check_peak(self.peak)
+        if min(self.rise_half, self.decay_start, self.rise_steepness) <= 0.0:
+            raise ConfigurationError("curve scales must be positive")
+        if self.decay_exponent < 0.0:
+            raise ConfigurationError("decay exponent must be non-negative")
+
+    def __call__(self, x: float) -> float:
+        _check_x(x)
+        ramp = 1.0 / (1.0 + (self.rise_half / x) ** self.rise_steepness)
+        decay = (self.decay_start / max(x, self.decay_start)) ** self.decay_exponent
+        return self.peak * ramp * decay
+
+
+@dataclasses.dataclass(frozen=True)
+class TableCurve:
+    """Piecewise log-linear interpolation through explicit anchors.
+
+    Anchors are ``(x, efficiency)`` pairs; queries outside the anchor range
+    clamp to the first/last efficiency.  Used where a parametric shape cannot
+    match a measured irregularity (e.g. the M2 CPU STREAM anomaly).
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise ConfigurationError("table curve needs at least one anchor")
+        xs = [p[0] for p in self.points]
+        if any(x <= 0.0 for x in xs):
+            raise ConfigurationError("anchor positions must be positive")
+        if sorted(xs) != xs or len(set(xs)) != len(xs):
+            raise ConfigurationError("anchor positions must be strictly increasing")
+        for _, eff in self.points:
+            _check_peak(eff)
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[tuple[float, float]]) -> "TableCurve":
+        return cls(tuple((float(x), float(e)) for x, e in pairs))
+
+    def __call__(self, x: float) -> float:
+        _check_x(x)
+        pts = self.points
+        if x <= pts[0][0]:
+            return pts[0][1]
+        if x >= pts[-1][0]:
+            return pts[-1][1]
+        for (x0, e0), (x1, e1) in zip(pts, pts[1:]):
+            if x0 <= x <= x1:
+                t = (math.log(x) - math.log(x0)) / (math.log(x1) - math.log(x0))
+                return e0 + t * (e1 - e0)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,80 @@
+"""Numerics execution policy.
+
+The simulated timing never depends on actually crunching the numbers, but the
+library runs real NumPy numerics so results can be *verified*.  For very
+large problems (the paper sweeps GEMM up to n = 16,384, i.e. 8.8 TFLOP per
+multiply) full numerics on the host would dwarf everything else, so the
+policy gates how much real arithmetic happens:
+
+* ``FULL`` — compute everything (default below ``full_threshold``);
+* ``SAMPLED`` — compute a deterministic subset of output rows for spot
+  verification;
+* ``MODEL_ONLY`` — skip numerics entirely (used inside pytest-benchmark
+  loops where only the simulated timing matters).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NumericsPolicy", "NumericsConfig"]
+
+
+class NumericsPolicy(enum.Enum):
+    FULL = "full"
+    SAMPLED = "sampled"
+    MODEL_ONLY = "model-only"
+
+
+@dataclasses.dataclass(frozen=True)
+class NumericsConfig:
+    """Policy plus its parameters.
+
+    Attributes
+    ----------
+    policy:
+        Requested policy; ``FULL`` is silently honoured for any size.
+    full_threshold:
+        With ``SAMPLED``, problems of dimension <= this still run full
+        numerics (sampling tiny problems would be slower than computing them).
+    sample_rows:
+        Number of output rows computed under ``SAMPLED``.
+    """
+
+    policy: NumericsPolicy = NumericsPolicy.SAMPLED
+    full_threshold: int = 1024
+    sample_rows: int = 4
+
+    def __post_init__(self) -> None:
+        if self.full_threshold < 1:
+            raise ConfigurationError("full_threshold must be >= 1")
+        if self.sample_rows < 1:
+            raise ConfigurationError("sample_rows must be >= 1")
+
+    @classmethod
+    def full(cls) -> "NumericsConfig":
+        return cls(policy=NumericsPolicy.FULL)
+
+    @classmethod
+    def sampled(cls, full_threshold: int = 1024, sample_rows: int = 4) -> "NumericsConfig":
+        return cls(NumericsPolicy.SAMPLED, full_threshold, sample_rows)
+
+    @classmethod
+    def model_only(cls) -> "NumericsConfig":
+        return cls(policy=NumericsPolicy.MODEL_ONLY)
+
+    def effective_policy(self, n: int) -> NumericsPolicy:
+        """Policy actually applied to a problem of dimension ``n``."""
+        if self.policy is NumericsPolicy.SAMPLED and n <= self.full_threshold:
+            return NumericsPolicy.FULL
+        return self.policy
+
+    def sampled_row_indices(self, n: int) -> np.ndarray:
+        """Deterministic, evenly spread output-row sample for dimension ``n``."""
+        k = min(self.sample_rows, n)
+        return np.unique(np.linspace(0, n - 1, k).astype(np.int64))

@@ -1,0 +1,142 @@
+"""Power trace recording and integration.
+
+The recorder stores absolute per-component draws over time intervals; when no
+interval covers a point in time the component sits at its idle floor.  Energy
+over any window is the exact integral of that piecewise-constant trace —
+which is what ``powermetrics`` reports between two SIGINFO marks (section 3.3).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Iterable, Mapping
+
+from repro.errors import SimulationError
+from repro.soc.power import PowerComponent, PowerEnvelope
+
+__all__ = ["PowerInterval", "PowerRecorder"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerInterval:
+    """Absolute component draws (watts) over ``[start_s, end_s)``."""
+
+    start_s: float
+    end_s: float
+    draws_w: Mapping[PowerComponent, float]
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise SimulationError("power interval must not end before it starts")
+        for comp, watts in self.draws_w.items():
+            if watts < 0.0:
+                raise SimulationError(f"negative draw for {comp}: {watts}")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def _overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+class PowerRecorder:
+    """Per-component power trace with idle floors from a :class:`PowerEnvelope`."""
+
+    def __init__(self, envelope: PowerEnvelope) -> None:
+        self._envelope = envelope
+        # Per component: parallel sorted lists of (start, end, watts).
+        self._intervals: dict[PowerComponent, list[tuple[float, float, float]]] = {
+            comp: [] for comp in envelope.components
+        }
+
+    @property
+    def envelope(self) -> PowerEnvelope:
+        return self._envelope
+
+    def record(self, interval: PowerInterval) -> None:
+        """Add an active interval; per-component overlap is an error.
+
+        The machine executes operations sequentially on the virtual clock, so
+        a per-component overlap indicates a simulation bug.
+        """
+        if interval.duration_s == 0.0:
+            return
+        for comp, watts in interval.draws_w.items():
+            if comp not in self._intervals:
+                raise SimulationError(f"component {comp} not in power envelope")
+            lst = self._intervals[comp]
+            idx = bisect.bisect_left(lst, (interval.start_s, interval.end_s, watts))
+            for neighbour in lst[max(0, idx - 1) : idx + 1]:
+                if _overlap(neighbour[0], neighbour[1], interval.start_s, interval.end_s) > 0.0:
+                    raise SimulationError(
+                        f"overlapping power interval for {comp}: "
+                        f"[{interval.start_s}, {interval.end_s}) vs "
+                        f"[{neighbour[0]}, {neighbour[1]})"
+                    )
+            lst.insert(idx, (interval.start_s, interval.end_s, watts))
+
+    def intervals(self, component: PowerComponent) -> list[PowerInterval]:
+        """The recorded active intervals of one component, in time order."""
+        return [
+            PowerInterval(s, e, {component: w})
+            for (s, e, w) in self._intervals.get(component, [])
+        ]
+
+    # ------------------------------------------------------------------
+    # Integration
+    # ------------------------------------------------------------------
+    def energy_j(
+        self,
+        start_s: float,
+        end_s: float,
+        components: Iterable[PowerComponent] | None = None,
+    ) -> float:
+        """Energy in joules dissipated over ``[start_s, end_s)``."""
+        if end_s < start_s:
+            raise SimulationError("energy window must not end before it starts")
+        comps = tuple(components) if components is not None else tuple(self._intervals)
+        total = 0.0
+        window = end_s - start_s
+        for comp in comps:
+            idle = self._envelope.idle_watts(comp)
+            active_time = 0.0
+            active_energy = 0.0
+            for (s, e, w) in self._intervals.get(comp, []):
+                if e <= start_s:
+                    continue
+                if s >= end_s:
+                    break
+                dt = _overlap(s, e, start_s, end_s)
+                active_time += dt
+                active_energy += dt * w
+            total += active_energy + (window - active_time) * idle
+        return total
+
+    def average_power_w(
+        self,
+        start_s: float,
+        end_s: float,
+        components: Iterable[PowerComponent] | None = None,
+    ) -> float:
+        """Mean power over the window in watts (idle power if window empty)."""
+        if end_s <= start_s:
+            comps = tuple(components) if components is not None else tuple(self._intervals)
+            return sum(self._envelope.idle_watts(c) for c in comps)
+        return self.energy_j(start_s, end_s, components) / (end_s - start_s)
+
+    def component_average_mw(
+        self, start_s: float, end_s: float
+    ) -> dict[PowerComponent, float]:
+        """Per-component average draw in milliwatts (powermetrics units)."""
+        return {
+            comp: self.average_power_w(start_s, end_s, (comp,)) * 1e3
+            for comp in self._intervals
+        }
+
+    def clear(self) -> None:
+        """Drop all recorded intervals (measurement reset)."""
+        for lst in self._intervals.values():
+            lst.clear()

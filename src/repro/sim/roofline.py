@@ -1,0 +1,124 @@
+"""Roofline cost model.
+
+An operation's duration is the maximum of its compute time (FLOPs over an
+effective FLOP rate) and its memory time (bytes over an effective bandwidth)
+plus a fixed dispatch overhead.  This single model produces both regimes the
+paper measures: STREAM kernels are purely memory-bound, large GEMMs are
+compute-bound, and small GPU GEMMs are overhead-bound (the "less optimal at
+smaller sizes for their large overhead" behaviour in Figure 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OpCost", "TimeBreakdown", "roofline_time", "arithmetic_intensity"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OpCost:
+    """Work content of an operation."""
+
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in ("flops", "bytes_read", "bytes_written"):
+            if getattr(self, field) < 0.0:
+                raise ConfigurationError(f"{field} must be non-negative")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def scaled(self, factor: float) -> "OpCost":
+        """A cost scaled by ``factor`` (e.g. per-thread share)."""
+        if factor < 0.0:
+            raise ConfigurationError("scale factor must be non-negative")
+        return OpCost(
+            flops=self.flops * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+        )
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            flops=self.flops + other.flops,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TimeBreakdown:
+    """Where an operation's time went."""
+
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+    total_s: float
+    bound: str  # "compute" | "memory" | "overhead"
+
+
+def arithmetic_intensity(cost: OpCost) -> float:
+    """FLOPs per byte moved; infinite for pure compute."""
+    if cost.total_bytes == 0.0:
+        return float("inf") if cost.flops > 0.0 else 0.0
+    return cost.flops / cost.total_bytes
+
+
+def roofline_time(
+    cost: OpCost,
+    peak_flops: float,
+    peak_bytes_per_s: float,
+    compute_efficiency: float = 1.0,
+    memory_efficiency: float = 1.0,
+    overhead_s: float = 0.0,
+) -> TimeBreakdown:
+    """Duration of an operation under the roofline model.
+
+    Parameters
+    ----------
+    peak_flops, peak_bytes_per_s:
+        Architectural peaks of the executing engine and the memory system.
+    compute_efficiency, memory_efficiency:
+        Fractions in (0, 1] of those peaks the implementation achieves.
+    overhead_s:
+        Fixed dispatch/launch latency added on top.
+    """
+    if peak_flops <= 0.0 and cost.flops > 0.0:
+        raise ConfigurationError("compute work requires a positive peak FLOP rate")
+    if peak_bytes_per_s <= 0.0 and cost.total_bytes > 0.0:
+        raise ConfigurationError("memory work requires a positive peak bandwidth")
+    for name, eff in (("compute", compute_efficiency), ("memory", memory_efficiency)):
+        if not (0.0 < eff <= 1.0):
+            raise ConfigurationError(f"{name} efficiency must be in (0, 1], got {eff}")
+    if overhead_s < 0.0:
+        raise ConfigurationError("overhead must be non-negative")
+
+    compute_s = (
+        cost.flops / (peak_flops * compute_efficiency) if cost.flops > 0.0 else 0.0
+    )
+    memory_s = (
+        cost.total_bytes / (peak_bytes_per_s * memory_efficiency)
+        if cost.total_bytes > 0.0
+        else 0.0
+    )
+    busy = max(compute_s, memory_s)
+    total = busy + overhead_s
+    if overhead_s > busy:
+        bound = "overhead"
+    elif compute_s >= memory_s:
+        bound = "compute"
+    else:
+        bound = "memory"
+    return TimeBreakdown(
+        compute_s=compute_s,
+        memory_s=memory_s,
+        overhead_s=overhead_s,
+        total_s=total,
+        bound=bound,
+    )

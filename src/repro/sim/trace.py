@@ -1,0 +1,97 @@
+"""Execution trace of simulated operations.
+
+Every operation the machine executes leaves a :class:`TraceEvent`; the trace
+is the simulator's equivalent of a profiler timeline and is used by tests to
+assert that benchmarks drive the hardware they claim to drive (e.g. the
+Accelerate GEMM touches the AMX engine, not the GPU).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One completed operation on the virtual timeline."""
+
+    start_s: float
+    end_s: float
+    engine: str
+    label: str
+    flops: float
+    bytes_moved: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("trace event must not end before it starts")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def achieved_flops(self) -> float:
+        """FLOP/s achieved by this event (0 for pure data movement)."""
+        if self.duration_s == 0.0:
+            return 0.0
+        return self.flops / self.duration_s
+
+    def achieved_bandwidth(self) -> float:
+        """Bytes/s achieved by this event."""
+        if self.duration_s == 0.0:
+            return 0.0
+        return self.bytes_moved / self.duration_s
+
+
+class ExecutionTrace:
+    """Append-only collection of :class:`TraceEvent`."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        """Add an event; events must arrive in start-time order."""
+        if self._events and event.start_s < self._events[-1].start_s:
+            raise ValueError("trace events must be appended in start-time order")
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, idx: int) -> TraceEvent:
+        return self._events[idx]
+
+    def events(
+        self,
+        engine: str | None = None,
+        label_prefix: str | None = None,
+    ) -> list[TraceEvent]:
+        """Filtered view of the trace."""
+        out: Iterable[TraceEvent] = self._events
+        if engine is not None:
+            out = (e for e in out if e.engine == engine)
+        if label_prefix is not None:
+            out = (e for e in out if e.label.startswith(label_prefix))
+        return list(out)
+
+    def total_flops(self) -> float:
+        """Sum of FLOPs over all events."""
+        return sum(e.flops for e in self._events)
+
+    def total_bytes(self) -> float:
+        """Sum of bytes moved over all events."""
+        return sum(e.bytes_moved for e in self._events)
+
+    def busy_time_s(self, engine: str | None = None) -> float:
+        """Total event duration, optionally restricted to one engine."""
+        return sum(e.duration_s for e in self.events(engine=engine))
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()

@@ -1,0 +1,65 @@
+"""Hardware models of the Apple Silicon M-series SoCs (and their parts).
+
+This package captures the architectural review in section 2 of the paper as
+data: chip specifications (Table 1), the devices used in the study (Table 3),
+per-component power envelopes and the cooling model behind the paper's
+laptop-vs-desktop power observation (section 7).
+"""
+
+from repro.soc.precision import Precision
+from repro.soc.chip import (
+    AMXSpec,
+    ChipSpec,
+    CoreKind,
+    CPUClusterSpec,
+    GPUSpec,
+    MemorySpec,
+    NeuralEngineSpec,
+)
+from repro.soc.catalog import (
+    CHIP_NAMES,
+    chip_catalog,
+    get_chip,
+    M1,
+    M2,
+    M3,
+    M4,
+)
+from repro.soc.device import (
+    Cooling,
+    DeviceSpec,
+    device_catalog,
+    device_for_chip,
+    get_device,
+)
+from repro.soc.power import ComponentPower, PowerEnvelope, PowerComponent
+from repro.soc.thermal import ThermalModel
+from repro.soc.ane import ane_peak_flops
+
+__all__ = [
+    "Precision",
+    "CoreKind",
+    "CPUClusterSpec",
+    "AMXSpec",
+    "GPUSpec",
+    "NeuralEngineSpec",
+    "MemorySpec",
+    "ChipSpec",
+    "CHIP_NAMES",
+    "chip_catalog",
+    "get_chip",
+    "M1",
+    "M2",
+    "M3",
+    "M4",
+    "Cooling",
+    "DeviceSpec",
+    "device_catalog",
+    "device_for_chip",
+    "get_device",
+    "PowerComponent",
+    "ComponentPower",
+    "PowerEnvelope",
+    "ThermalModel",
+    "ane_peak_flops",
+]

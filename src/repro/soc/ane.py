@@ -1,0 +1,39 @@
+"""Neural Engine helpers (section 2.3, and the paper's named future work).
+
+The paper does not benchmark the Neural Engine ("A large gap left behind in
+this research is the lack of Neural Engine testing", section 7) because Core
+ML offers no granular control.  We model it anyway so the precision-ablation
+bench can place an ANE FP16 GEMM next to the Figure-2 FP32 results, the way
+the paper situates Nvidia tensor cores.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedProblemError
+from repro.soc.chip import ChipSpec
+from repro.soc.precision import Precision
+
+__all__ = ["ane_peak_flops", "ane_supports"]
+
+
+def ane_supports(chip: ChipSpec, precision: Precision) -> bool:
+    """Whether the chip's Neural Engine can run the precision natively."""
+    return precision in chip.neural_engine.precisions
+
+
+def ane_peak_flops(chip: ChipSpec, precision: Precision) -> float:
+    """Peak FLOP/s of the Neural Engine at the given precision.
+
+    INT8 runs at twice the FP16 rate (standard for NPU MAC arrays); other
+    precisions are unsupported, mirroring Core ML's constraints.
+    """
+    if not ane_supports(chip, precision):
+        raise UnsupportedProblemError(
+            f"Neural Engine on {chip.name} supports only "
+            f"{sorted(p.key for p in chip.neural_engine.precisions)}, "
+            f"not {precision.key}"
+        )
+    base = chip.neural_engine.peak_fp16_flops()
+    if precision is Precision.INT8:
+        return 2.0 * base
+    return base

@@ -1,0 +1,287 @@
+"""Chip specification dataclasses mirroring Table 1 of the paper.
+
+Every field that appears in Table 1 has a corresponding attribute here;
+derived quantities (theoretical FLOP rates, cluster peak bandwidths) are
+exposed as properties so the analysis layer can print both the table values
+and the first-principles estimates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.soc.precision import Precision
+from repro.units import GHZ, TFLOP
+
+__all__ = [
+    "CoreKind",
+    "CPUClusterSpec",
+    "AMXSpec",
+    "GPUSpec",
+    "NeuralEngineSpec",
+    "MemorySpec",
+    "ChipSpec",
+]
+
+
+import enum
+
+
+class CoreKind(enum.Enum):
+    """big.LITTLE core role (section 2.1)."""
+
+    PERFORMANCE = "performance"
+    EFFICIENCY = "efficiency"
+
+    @property
+    def short(self) -> str:
+        return "P" if self is CoreKind.PERFORMANCE else "E"
+
+
+@dataclasses.dataclass(frozen=True)
+class CPUClusterSpec:
+    """A homogeneous CPU cluster (e.g. the four Firestorm P-cores of the M1).
+
+    Attributes
+    ----------
+    name:
+        Microarchitecture name (Firestorm, Avalanche, ...).
+    kind:
+        Performance or efficiency cluster.
+    cores:
+        Number of cores in the cluster.
+    clock_ghz:
+        Maximum clock frequency in GHz (Table 1).
+    l1_kb, l2_mb:
+        Per-core L1 (KB) and shared L2 (MB) cache sizes (Table 1).
+    simd_width_bits:
+        NEON vector width; 128 for every M-series generation (Table 1).
+    fma_pipes:
+        Number of 128-bit FMA-capable vector pipes per core.  Together with
+        the SIMD width this yields the per-core FP32 peak:
+        ``lanes * 2 flops * pipes * clock``.
+    """
+
+    name: str
+    kind: CoreKind
+    cores: int
+    clock_ghz: float
+    l1_kb: int
+    l2_mb: int
+    simd_width_bits: int = 128
+    fma_pipes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"cluster {self.name!r}: cores must be positive")
+        if self.clock_ghz <= 0:
+            raise ConfigurationError(f"cluster {self.name!r}: clock must be positive")
+        if self.simd_width_bits % 32 != 0:
+            raise ConfigurationError(
+                f"cluster {self.name!r}: SIMD width must be a multiple of 32 bits"
+            )
+
+    @property
+    def simd_lanes_fp32(self) -> int:
+        """FP32 lanes per vector register (4 for NEON-128)."""
+        return self.simd_width_bits // 32
+
+    def scalar_fp32_flops(self) -> float:
+        """Peak FP32 FLOP/s of *one* core executing scalar FMA code."""
+        return 2.0 * self.clock_ghz * GHZ
+
+    def core_simd_fp32_flops(self) -> float:
+        """Peak FP32 FLOP/s of one core using all NEON pipes (FMA = 2 flops)."""
+        return self.simd_lanes_fp32 * 2.0 * self.fma_pipes * self.clock_ghz * GHZ
+
+    def cluster_simd_fp32_flops(self) -> float:
+        """Peak FP32 FLOP/s of the whole cluster using NEON."""
+        return self.cores * self.core_simd_fp32_flops()
+
+
+@dataclasses.dataclass(frozen=True)
+class AMXSpec:
+    """The (undocumented) Apple Matrix eXtension coprocessor (section 2.1).
+
+    AMX is driven by CPU instructions and processes fixed-dimension tiles;
+    from the M4 onwards it is the standardised ARM SME unit.  ``peak_fp32_tflops``
+    is our calibrated architectural peak — Apple publishes none.
+    """
+
+    precisions: frozenset[Precision]
+    peak_fp32_tflops: float
+    is_sme: bool = False
+    tile_dim: int = 8  # fixed 8x8 FP32 tiles (section 2.1: "4x4 or 8x8")
+
+    def __post_init__(self) -> None:
+        if self.peak_fp32_tflops <= 0:
+            raise ConfigurationError("AMX peak must be positive")
+        if Precision.FP32 not in self.precisions:
+            raise ConfigurationError("AMX always supports FP32")
+
+    def peak_fp32_flops(self) -> float:
+        """Calibrated FP32 peak of the AMX unit in FLOP/s."""
+        return self.peak_fp32_tflops * TFLOP
+
+    def supports(self, precision: Precision) -> bool:
+        """Whether AMX handles the precision natively."""
+        return precision in self.precisions
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """Integrated TBDR GPU (section 2.2).
+
+    ``table_fp32_tflops`` stores Table 1's "Theoretical FP32 FLOPS" range
+    verbatim (min, max over core configurations); ``derived_fp32_tflops``
+    recomputes cores x ALUs x 2 x clock.  For the M4 the two disagree (the
+    table lists 4.26 TFLOPS, the derivation at 1.47 GHz yields 3.76); the
+    simulator always uses the *table maximum* as the architectural peak, as
+    the paper's "percentage of theoretical peak" statements do.
+    """
+
+    cores_min: int
+    cores_max: int
+    clock_ghz: float
+    table_fp32_tflops: tuple[float, float]
+    alus_per_core: int = 128
+    native_precisions: frozenset[Precision] = frozenset(
+        {Precision.FP32, Precision.FP16, Precision.INT8}
+    )
+
+    def __post_init__(self) -> None:
+        if not (0 < self.cores_min <= self.cores_max):
+            raise ConfigurationError("GPU core range must satisfy 0 < min <= max")
+        lo, hi = self.table_fp32_tflops
+        if not (0 < lo <= hi):
+            raise ConfigurationError("GPU table TFLOPS range must satisfy 0 < min <= max")
+        if Precision.FP64 in self.native_precisions:
+            raise ConfigurationError(
+                "M-series GPUs lack native FP64 (section 1); use emulation"
+            )
+
+    @property
+    def derived_fp32_tflops(self) -> float:
+        """First-principles estimate at the max core count."""
+        return self.cores_max * self.alus_per_core * 2.0 * self.clock_ghz * GHZ / TFLOP
+
+    def peak_fp32_flops(self) -> float:
+        """Architectural FP32 peak (FLOP/s) used by the simulator."""
+        return self.table_fp32_tflops[1] * TFLOP
+
+    def supports_native(self, precision: Precision) -> bool:
+        """Whether the GPU executes the precision natively (no FP64)."""
+        return precision in self.native_precisions
+
+
+@dataclasses.dataclass(frozen=True)
+class NeuralEngineSpec:
+    """16-core Neural Engine (section 2.3): FP16/INT8 tensor accelerator."""
+
+    cores: int
+    peak_fp16_tops: float
+    precisions: frozenset[Precision] = frozenset({Precision.FP16, Precision.INT8})
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.peak_fp16_tops <= 0:
+            raise ConfigurationError("Neural Engine cores/TOPS must be positive")
+
+    def peak_fp16_flops(self) -> float:
+        """FP16 peak of the Neural Engine in FLOP/s."""
+        return self.peak_fp16_tops * 1e12
+
+
+@dataclasses.dataclass(frozen=True)
+class MemorySpec:
+    """Unified memory subsystem (section 2.4, Table 1)."""
+
+    technology: str
+    max_gb_options: tuple[int, ...]
+    bandwidth_gbs: float
+    page_size: int = 16_384
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ConfigurationError("memory bandwidth must be positive")
+        if not self.max_gb_options:
+            raise ConfigurationError("memory spec needs at least one capacity option")
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ConfigurationError("page size must be a positive power of two")
+
+    @property
+    def max_gb(self) -> int:
+        return max(self.max_gb_options)
+
+    def bandwidth_bytes_per_s(self) -> float:
+        """Theoretical bandwidth converted to bytes/second."""
+        return self.bandwidth_gbs * 1e9
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipSpec:
+    """A complete SoC specification (one column of Table 1)."""
+
+    name: str
+    process_nm: str
+    isa: str
+    cpu_clusters: tuple[CPUClusterSpec, ...]
+    amx: AMXSpec
+    gpu: GPUSpec
+    neural_engine: NeuralEngineSpec
+    memory: MemorySpec
+
+    def __post_init__(self) -> None:
+        if not self.cpu_clusters:
+            raise ConfigurationError(f"chip {self.name!r} needs at least one CPU cluster")
+        kinds = [c.kind for c in self.cpu_clusters]
+        if CoreKind.PERFORMANCE not in kinds:
+            raise ConfigurationError(f"chip {self.name!r} needs a performance cluster")
+
+    # -- cluster accessors -------------------------------------------------
+    def clusters_of(self, kind: CoreKind) -> tuple[CPUClusterSpec, ...]:
+        """All CPU clusters of one kind (performance/efficiency)."""
+        return tuple(c for c in self.cpu_clusters if c.kind is kind)
+
+    @property
+    def performance_cluster(self) -> CPUClusterSpec:
+        return self.clusters_of(CoreKind.PERFORMANCE)[0]
+
+    @property
+    def efficiency_cluster(self) -> CPUClusterSpec:
+        clusters = self.clusters_of(CoreKind.EFFICIENCY)
+        if not clusters:
+            raise ConfigurationError(f"chip {self.name!r} has no efficiency cluster")
+        return clusters[0]
+
+    @property
+    def performance_cores(self) -> int:
+        return sum(c.cores for c in self.clusters_of(CoreKind.PERFORMANCE))
+
+    @property
+    def efficiency_cores(self) -> int:
+        return sum(c.cores for c in self.clusters_of(CoreKind.EFFICIENCY))
+
+    @property
+    def total_cores(self) -> int:
+        return sum(c.cores for c in self.cpu_clusters)
+
+    # -- derived peaks -----------------------------------------------------
+    def cpu_simd_fp32_flops(self, cores: Iterable[CPUClusterSpec] | None = None) -> float:
+        """Aggregate NEON FP32 peak over the selected clusters (default: all)."""
+        clusters = tuple(cores) if cores is not None else self.cpu_clusters
+        return sum(c.cluster_simd_fp32_flops() for c in clusters)
+
+    def core_config_label(self) -> str:
+        """Table-1 style "P/E" core count label, e.g. ``"4/4"``."""
+        return f"{self.performance_cores}/{self.efficiency_cores}"
+
+    def clock_label(self) -> str:
+        """Table-1 style clock label, e.g. ``"3.2 (P)/2.06 (E)"``."""
+        p = self.performance_cluster.clock_ghz
+        try:
+            e = self.efficiency_cluster.clock_ghz
+        except ConfigurationError:
+            return f"{p:g} (P)"
+        return f"{p:g} (P)/{e:g} (E)"

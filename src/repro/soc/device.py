@@ -1,0 +1,118 @@
+"""The devices used in the study: Table 3 of the paper as data.
+
+The paper benchmarks consumer machines, not reference boards, and explicitly
+attributes part of the M1/M3 vs M2/M4 power gap to the device class: the
+MacBook Airs are passively cooled, the Mac minis have active air cooling
+(section 7).  The cooling type feeds the :class:`repro.soc.thermal.ThermalModel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import UnknownDeviceError
+from repro.soc.catalog import get_chip
+from repro.soc.chip import ChipSpec
+
+__all__ = [
+    "Cooling",
+    "DeviceSpec",
+    "device_catalog",
+    "device_for_chip",
+    "get_device",
+]
+
+
+class Cooling(enum.Enum):
+    """Cooling solution of the device (Table 3: "Passive" / "Air")."""
+
+    PASSIVE = "Passive"
+    ACTIVE_AIR = "Air"
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """One column of Table 3 ("Basic information of devices used")."""
+
+    model: str
+    chip_name: str
+    release_year: int
+    memory_gb: int
+    cooling: Cooling
+    macos_version: str
+
+    @property
+    def chip(self) -> ChipSpec:
+        return get_chip(self.chip_name)
+
+    @property
+    def is_laptop(self) -> bool:
+        return "MacBook" in self.model
+
+    def identifier(self) -> str:
+        """Short unique key, e.g. ``"macbook-air-m1"``."""
+        return f"{self.model.lower().replace(' ', '-')}-{self.chip_name.lower()}"
+
+
+_DEVICES: dict[str, DeviceSpec] = {
+    "M1": DeviceSpec(
+        model="MacBook Air",
+        chip_name="M1",
+        release_year=2020,
+        memory_gb=8,
+        cooling=Cooling.PASSIVE,
+        macos_version="14.7.2",
+    ),
+    "M2": DeviceSpec(
+        model="Mac mini",
+        chip_name="M2",
+        release_year=2023,
+        memory_gb=8,
+        cooling=Cooling.ACTIVE_AIR,
+        macos_version="15.1.1",
+    ),
+    "M3": DeviceSpec(
+        model="MacBook Air",
+        chip_name="M3",
+        release_year=2024,
+        memory_gb=16,
+        cooling=Cooling.PASSIVE,
+        macos_version="15.2",
+    ),
+    "M4": DeviceSpec(
+        model="Mac mini",
+        chip_name="M4",
+        release_year=2024,
+        memory_gb=16,
+        cooling=Cooling.ACTIVE_AIR,
+        macos_version="15.1.1",
+    ),
+}
+
+
+def device_catalog() -> Mapping[str, DeviceSpec]:
+    """Read-only view of the Table-3 device catalog, keyed by chip name."""
+    return MappingProxyType(_DEVICES)
+
+
+def device_for_chip(chip_name: str) -> DeviceSpec:
+    """The device the paper used for a given chip (Table 3)."""
+    key = chip_name.strip().upper()
+    try:
+        return _DEVICES[key]
+    except KeyError:
+        raise UnknownDeviceError(
+            f"no study device recorded for chip {chip_name!r}; "
+            f"known chips: {', '.join(_DEVICES)}"
+        ) from None
+
+
+def get_device(identifier: str) -> DeviceSpec:
+    """Look up a device by its :meth:`DeviceSpec.identifier`."""
+    for dev in _DEVICES.values():
+        if dev.identifier() == identifier:
+            return dev
+    raise UnknownDeviceError(f"unknown device identifier {identifier!r}")

@@ -1,0 +1,70 @@
+"""Numerical precisions discussed by the paper.
+
+The M-series CPUs support FP64/FP32/FP16 (+BF16 from M2 on via AMX); the GPUs
+natively support FP32/FP16/INT8 but not FP64 (section 1); the Neural Engine
+is FP16/INT8 (section 2.3); the GH200 tensor-core path uses TF32 (section 4).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["Precision"]
+
+
+class Precision(enum.Enum):
+    """A numerical precision with its storage width in bytes."""
+
+    FP64 = ("fp64", 8)
+    FP32 = ("fp32", 4)
+    TF32 = ("tf32", 4)  # stored as fp32, reduced mantissa in compute
+    FP16 = ("fp16", 2)
+    BF16 = ("bf16", 2)
+    INT8 = ("int8", 1)
+
+    def __init__(self, key: str, nbytes: int) -> None:
+        self.key = key
+        self.nbytes = nbytes
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The NumPy dtype used to *store* values of this precision.
+
+        TF32 and BF16 have no native NumPy dtype; they are stored as FP32 and
+        the reduced compute precision is modelled by rounding helpers.
+        """
+        mapping = {
+            Precision.FP64: np.float64,
+            Precision.FP32: np.float32,
+            Precision.TF32: np.float32,
+            Precision.FP16: np.float16,
+            Precision.BF16: np.float32,
+            Precision.INT8: np.int8,
+        }
+        return np.dtype(mapping[self])
+
+    @property
+    def mantissa_bits(self) -> int:
+        """Explicit mantissa bits carried in compute."""
+        mapping = {
+            Precision.FP64: 52,
+            Precision.FP32: 23,
+            Precision.TF32: 10,
+            Precision.FP16: 10,
+            Precision.BF16: 7,
+            Precision.INT8: 7,  # signed 8-bit integer magnitude bits
+        }
+        return mapping[self]
+
+    @classmethod
+    def from_key(cls, key: str) -> "Precision":
+        """Look up a precision by its short key (e.g. ``"fp32"``)."""
+        for p in cls:
+            if p.key == key.lower():
+                return p
+        raise KeyError(f"unknown precision key {key!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.key.upper()

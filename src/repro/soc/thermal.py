@@ -1,0 +1,82 @@
+"""Cooling / sustained-power model.
+
+The paper observes that "the Apple laptops with M1 and M3 SoCs have
+relatively lower Power Dissipation compared to desktops (M2, M4), which might
+show the impact of power strategy and cooling methods" (section 7).  We model
+this as a sustained package-power cap per cooling class: passively cooled
+devices clamp the aggregate draw, and sustained clamping proportionally
+stretches execution time (thermal throttling).
+
+The cap is deliberately a *device* property rather than a chip property so the
+ablation bench can swap cooling solutions under the same chip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.soc.device import Cooling, DeviceSpec
+
+__all__ = ["ThermalModel"]
+
+#: Sustained package-power caps in watts by cooling class.
+_DEFAULT_CAPS: dict[Cooling, float] = {
+    Cooling.PASSIVE: 14.0,
+    Cooling.ACTIVE_AIR: 30.0,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalModel:
+    """Sustained power cap and its effect on power and duration.
+
+    Attributes
+    ----------
+    sustained_cap_w:
+        Maximum aggregate package power the cooling solution can dissipate
+        indefinitely.
+    enabled:
+        Ablation switch; with ``False`` the model passes power through
+        unchanged (used by ``bench_ablation_thermal``).
+    """
+
+    sustained_cap_w: float
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sustained_cap_w <= 0:
+            raise ConfigurationError("thermal cap must be positive")
+
+    @classmethod
+    def for_device(cls, device: DeviceSpec, enabled: bool = True) -> "ThermalModel":
+        return cls(sustained_cap_w=_DEFAULT_CAPS[device.cooling], enabled=enabled)
+
+    @classmethod
+    def unlimited(cls) -> "ThermalModel":
+        return cls(sustained_cap_w=float("inf"), enabled=False)
+
+    def clamp_factor(self, requested_total_w: float) -> float:
+        """Multiplier in (0, 1] applied to component draws.
+
+        If the uncapped aggregate draw exceeds the sustained cap, every
+        component is scaled down proportionally.
+        """
+        if not self.enabled or requested_total_w <= self.sustained_cap_w:
+            return 1.0
+        if requested_total_w <= 0:
+            return 1.0
+        return self.sustained_cap_w / requested_total_w
+
+    def throttle_time_factor(self, requested_total_w: float) -> float:
+        """Multiplier >= 1 applied to execution time when power is clamped.
+
+        Dynamic power scales roughly with f*V^2 ~ f^3; we use the cube-root
+        relation so a 2x power clamp costs ~1.26x time.  This keeps throttled
+        runs slower but not absurdly so, matching the mild M1/M3 deficits in
+        Figure 2.
+        """
+        factor = self.clamp_factor(requested_total_w)
+        if factor >= 1.0:
+            return 1.0
+        return factor ** (-1.0 / 3.0)

@@ -1,0 +1,201 @@
+"""Unit conversions, constants and formatting helpers.
+
+The paper mixes several unit conventions: bandwidths in GB/s (decimal
+gigabytes, as STREAM reports), compute rates in GFLOPS/TFLOPS, power in mW
+(as ``powermetrics`` prints) and W (as the figures discuss), and a 16,384-byte
+page size for aligned allocation.  This module centralises those conversions
+so no magic constants leak into the rest of the code base.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "PAGE_SIZE",
+    "GHZ",
+    "MHZ",
+    "GFLOP",
+    "TFLOP",
+    "NS_PER_S",
+    "US_PER_S",
+    "MS_PER_S",
+    "MW_PER_W",
+    "bytes_to_gb",
+    "gb_to_bytes",
+    "gbs_to_bytes_per_s",
+    "bytes_per_s_to_gbs",
+    "flops_to_gflops",
+    "gflops_to_flops",
+    "flops_to_tflops",
+    "tflops_to_flops",
+    "watts_to_mw",
+    "mw_to_watts",
+    "seconds_to_ns",
+    "ns_to_seconds",
+    "gflops_per_watt",
+    "round_up",
+    "pages_for",
+    "is_page_aligned_length",
+    "fmt_bandwidth",
+    "fmt_gflops",
+    "fmt_power",
+    "fmt_seconds",
+]
+
+# Decimal byte units (GB/s in STREAM and memory-bandwidth specs are decimal).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Binary byte units (cache sizes in Table 1 are binary).
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+#: Apple Silicon page size in bytes (section 3.2: "a page size of 16,384 bytes").
+PAGE_SIZE = 16_384
+
+GHZ = 1_000_000_000.0
+MHZ = 1_000_000.0
+
+GFLOP = 1.0e9
+TFLOP = 1.0e12
+
+NS_PER_S = 1_000_000_000
+US_PER_S = 1_000_000
+MS_PER_S = 1_000
+
+MW_PER_W = 1_000.0
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes."""
+    return n_bytes / GB
+
+
+def gb_to_bytes(gb: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return gb * GB
+
+
+def gbs_to_bytes_per_s(gbs: float) -> float:
+    """Convert a GB/s bandwidth to bytes/second."""
+    return gbs * GB
+
+
+def bytes_per_s_to_gbs(bps: float) -> float:
+    """Convert bytes/second to GB/s."""
+    return bps / GB
+
+
+def flops_to_gflops(flops: float) -> float:
+    """Convert a FLOP/s rate to GFLOPS."""
+    return flops / GFLOP
+
+
+def gflops_to_flops(gflops: float) -> float:
+    """Convert GFLOPS to FLOP/s."""
+    return gflops * GFLOP
+
+
+def flops_to_tflops(flops: float) -> float:
+    """Convert a FLOP/s rate to TFLOPS."""
+    return flops / TFLOP
+
+
+def tflops_to_flops(tflops: float) -> float:
+    """Convert TFLOPS to FLOP/s."""
+    return tflops * TFLOP
+
+
+def watts_to_mw(watts: float) -> float:
+    """Convert watts to milliwatts (powermetrics prints mW)."""
+    return watts * MW_PER_W
+
+
+def mw_to_watts(mw: float) -> float:
+    """Convert milliwatts to watts."""
+    return mw / MW_PER_W
+
+
+def seconds_to_ns(seconds: float) -> int:
+    """Convert seconds to integral nanoseconds.
+
+    The paper reports time deltas "in nanosecond granularity" (section 4);
+    the harness truncates exactly like ``std::chrono`` duration_cast does.
+    """
+    return int(seconds * NS_PER_S)
+
+
+def ns_to_seconds(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def gflops_per_watt(gflops: float, watts: float) -> float:
+    """Figure-4 efficiency metric; raises on non-positive power."""
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive, got {watts!r} W")
+    return gflops / watts
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest positive ``multiple``."""
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def pages_for(n_bytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of whole pages needed to hold ``n_bytes``."""
+    return round_up(n_bytes, page_size) // page_size
+
+
+def is_page_aligned_length(n_bytes: int, page_size: int = PAGE_SIZE) -> bool:
+    """Whether a length is an exact multiple of the page size."""
+    return n_bytes >= 0 and n_bytes % page_size == 0
+
+
+def _fmt(value: float, unit: str, precision: int) -> str:
+    if not math.isfinite(value):
+        return f"{value} {unit}"
+    return f"{value:.{precision}f} {unit}"
+
+
+def fmt_bandwidth(gbs: float, precision: int = 1) -> str:
+    """Format a bandwidth as e.g. ``'103.0 GB/s'``."""
+    return _fmt(gbs, "GB/s", precision)
+
+
+def fmt_gflops(gflops: float, precision: int = 1) -> str:
+    """Format a compute rate, switching to TFLOPS above 1000 GFLOPS."""
+    if math.isfinite(gflops) and abs(gflops) >= 1000.0:
+        return _fmt(gflops / 1000.0, "TFLOPS", 2)
+    return _fmt(gflops, "GFLOPS", precision)
+
+
+def fmt_power(watts: float, precision: int = 2) -> str:
+    """Format power as watts (figures) with mW in parentheses (powermetrics)."""
+    return f"{watts:.{precision}f} W ({watts * MW_PER_W:.0f} mW)"
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-readable duration from nanoseconds to seconds."""
+    if seconds < 0:
+        return f"-{fmt_seconds(-seconds)}"
+    if seconds < 1e-6:
+        return f"{seconds * NS_PER_S:.0f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * US_PER_S:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * MS_PER_S:.2f} ms"
+    return f"{seconds:.3f} s"

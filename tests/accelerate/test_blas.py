@@ -1,0 +1,167 @@
+"""cblas_sgemm conformance against NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerate import (
+    CBLAS_COL_MAJOR,
+    CBLAS_NO_TRANS,
+    CBLAS_ROW_MAJOR,
+    CBLAS_TRANS,
+    cblas_sgemm,
+)
+from repro.errors import ConfigurationError
+
+
+def random_f32(rng, *shape):
+    return rng.random(shape, dtype=np.float32)
+
+
+class TestListing1Call:
+    def test_paper_call_shape(self):
+        """The exact call from Listing 1."""
+        rng = np.random.default_rng(0)
+        n = 17
+        left = random_f32(rng, n, n)
+        right = random_f32(rng, n, n)
+        out = np.zeros((n, n), dtype=np.float32)
+        cblas_sgemm(
+            CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, CBLAS_NO_TRANS,
+            n, n, n, 1, left, n, right, n, 0, out, n,
+        )
+        np.testing.assert_allclose(out, left @ right, rtol=1e-5)
+
+    def test_flat_buffers_accepted(self):
+        rng = np.random.default_rng(1)
+        n = 8
+        left = random_f32(rng, n * n)
+        right = random_f32(rng, n * n)
+        out = np.zeros(n * n, dtype=np.float32)
+        cblas_sgemm(
+            CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, CBLAS_NO_TRANS,
+            n, n, n, 1.0, left, n, right, n, 0.0, out, n,
+        )
+        np.testing.assert_allclose(
+            out.reshape(n, n), left.reshape(n, n) @ right.reshape(n, n), rtol=1e-5
+        )
+
+
+class TestGeneralCases:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(1, 12),
+        n=st.integers(1, 12),
+        k=st.integers(1, 12),
+        ta=st.sampled_from([CBLAS_NO_TRANS, CBLAS_TRANS]),
+        tb=st.sampled_from([CBLAS_NO_TRANS, CBLAS_TRANS]),
+        order=st.sampled_from([CBLAS_ROW_MAJOR, CBLAS_COL_MAJOR]),
+        alpha=st.floats(-2.0, 2.0),
+        beta=st.floats(-2.0, 2.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_matches_numpy_property(self, m, n, k, ta, tb, order, alpha, beta, seed):
+        rng = np.random.default_rng(seed)
+        a_shape = (m, k) if ta == CBLAS_NO_TRANS else (k, m)
+        b_shape = (k, n) if tb == CBLAS_NO_TRANS else (n, k)
+        a = random_f32(rng, *a_shape)
+        b = random_f32(rng, *b_shape)
+        c = random_f32(rng, m, n)
+        expected = np.float32(alpha) * (
+            (a if ta == CBLAS_NO_TRANS else a.T)
+            @ (b if tb == CBLAS_NO_TRANS else b.T)
+        ).astype(np.float32) + np.float32(beta) * c
+
+        if order == CBLAS_ROW_MAJOR:
+            lda, ldb, ldc = a_shape[1], b_shape[1], n
+            aa, bb, cc = a.copy(), b.copy(), c.copy()
+            cblas_sgemm(order, ta, tb, m, n, k, alpha, aa, lda, bb, ldb, beta, cc, ldc)
+            produced = cc
+        else:
+            # Column-major storage: flat buffers holding the transpose
+            # row-major (i.e. the matrix column by column).
+            lda, ldb, ldc = a_shape[0], b_shape[0], m
+            aa = np.ascontiguousarray(a.T).reshape(-1)
+            bb = np.ascontiguousarray(b.T).reshape(-1)
+            cc = np.ascontiguousarray(c.T).reshape(-1)
+            cblas_sgemm(order, ta, tb, m, n, k, alpha, aa, lda, bb, ldb, beta, cc, ldc)
+            produced = cc.reshape(n, m).T
+        np.testing.assert_allclose(produced, expected, rtol=2e-4, atol=2e-4)
+
+    def test_beta_zero_ignores_garbage_c(self):
+        """BLAS semantics: beta == 0 must not read C (NaNs allowed)."""
+        rng = np.random.default_rng(2)
+        n = 4
+        a, b = random_f32(rng, n, n), random_f32(rng, n, n)
+        c = np.full((n, n), np.nan, dtype=np.float32)
+        cblas_sgemm(
+            CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, CBLAS_NO_TRANS,
+            n, n, n, 1.0, a, n, b, n, 0.0, c, n,
+        )
+        assert np.isfinite(c).all()
+
+    def test_k_zero_scales_c(self):
+        c = np.ones((2, 2), dtype=np.float32)
+        cblas_sgemm(
+            CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, CBLAS_NO_TRANS,
+            2, 2, 0, 1.0,
+            np.zeros(0, dtype=np.float32), 1,
+            np.zeros(0, dtype=np.float32), 2,
+            2.0, c, 2,
+        )
+        np.testing.assert_allclose(c, 2.0 * np.ones((2, 2)))
+
+    def test_padded_leading_dimension(self):
+        rng = np.random.default_rng(3)
+        m, n, k, ld = 3, 3, 3, 5
+        a = random_f32(rng, m, ld)
+        b = random_f32(rng, k, ld)
+        c = np.zeros((m, ld), dtype=np.float32)
+        cblas_sgemm(
+            CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, CBLAS_NO_TRANS,
+            m, n, k, 1.0, a, ld, b, ld, 0.0, c, ld,
+        )
+        np.testing.assert_allclose(c[:, :n], a[:, :k] @ b[:k, :n], rtol=1e-5)
+
+
+class TestValidation:
+    def test_rejects_float64(self):
+        a = np.zeros((2, 2))
+        with pytest.raises(ConfigurationError):
+            cblas_sgemm(
+                CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, CBLAS_NO_TRANS,
+                2, 2, 2, 1.0, a, 2, a, 2, 0.0, a, 2,
+            )
+
+    def test_rejects_small_ld(self):
+        a = np.zeros((4, 4), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            cblas_sgemm(
+                CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, CBLAS_NO_TRANS,
+                4, 4, 4, 1.0, a, 2, a, 4, 0.0, a, 4,
+            )
+
+    def test_rejects_short_buffer(self):
+        a = np.zeros(4, dtype=np.float32)
+        big = np.zeros(64, dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            cblas_sgemm(
+                CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, CBLAS_NO_TRANS,
+                8, 8, 8, 1.0, a, 8, big, 8, 0.0, big, 8,
+            )
+
+    def test_rejects_bad_order_and_trans(self):
+        a = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            cblas_sgemm(999, CBLAS_NO_TRANS, CBLAS_NO_TRANS, 2, 2, 2, 1.0, a, 2, a, 2, 0.0, a, 2)
+        with pytest.raises(ConfigurationError):
+            cblas_sgemm(CBLAS_ROW_MAJOR, 999, CBLAS_NO_TRANS, 2, 2, 2, 1.0, a, 2, a, 2, 0.0, a, 2)
+
+    def test_rejects_negative_dims(self):
+        a = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            cblas_sgemm(
+                CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, CBLAS_NO_TRANS,
+                -1, 2, 2, 1.0, a, 2, a, 2, 0.0, a, 2,
+            )

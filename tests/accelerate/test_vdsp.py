@@ -1,0 +1,88 @@
+"""vDSP routine conformance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerate import vDSP_dotpr, vDSP_mmul, vDSP_sve, vDSP_vadd, vDSP_vsmul
+from repro.errors import ConfigurationError
+
+
+class TestMmul:
+    def test_square(self):
+        rng = np.random.default_rng(0)
+        n = 9
+        a = rng.random((n, n), dtype=np.float32)
+        b = rng.random((n, n), dtype=np.float32)
+        c = np.zeros((n, n), dtype=np.float32)
+        vDSP_mmul(a, 1, b, 1, c, 1, n, n, n)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 10), n=st.integers(1, 10), p=st.integers(1, 10),
+        seed=st.integers(0, 100),
+    )
+    def test_rectangular_property(self, m, n, p, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((m, p), dtype=np.float32)
+        b = rng.random((p, n), dtype=np.float32)
+        c = np.zeros((m, n), dtype=np.float32)
+        vDSP_mmul(a, 1, b, 1, c, 1, m, n, p)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-4)
+
+    def test_p_zero_zeroes_output(self):
+        c = np.ones((2, 3), dtype=np.float32)
+        vDSP_mmul(
+            np.zeros(0, dtype=np.float32), 1,
+            np.zeros(0, dtype=np.float32), 1,
+            c, 1, 2, 3, 0,
+        )
+        assert (c == 0).all()
+
+    def test_rejects_float64(self):
+        a = np.zeros((2, 2))
+        with pytest.raises(ConfigurationError):
+            vDSP_mmul(a, 1, a, 1, a, 1, 2, 2, 2)
+
+    def test_rejects_short_buffer(self):
+        a = np.zeros(3, dtype=np.float32)
+        b = np.zeros(16, dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            vDSP_mmul(a, 1, b, 1, b, 1, 4, 4, 4)
+
+
+class TestVectorRoutines:
+    def test_vadd(self):
+        a = np.arange(5, dtype=np.float32)
+        b = np.full(5, 2.0, dtype=np.float32)
+        c = np.zeros(5, dtype=np.float32)
+        vDSP_vadd(a, 1, b, 1, c, 1, 5)
+        np.testing.assert_allclose(c, a + b)
+
+    def test_vsmul(self):
+        a = np.arange(4, dtype=np.float32)
+        c = np.zeros(4, dtype=np.float32)
+        vDSP_vsmul(a, 1, 3.0, c, 1, 4)
+        np.testing.assert_allclose(c, 3.0 * a)
+
+    def test_strided_access(self):
+        a = np.arange(10, dtype=np.float32)
+        c = np.zeros(5, dtype=np.float32)
+        vDSP_vsmul(a, 2, 2.0, c, 1, 5)
+        np.testing.assert_allclose(c, 2.0 * a[::2])
+
+    def test_dotpr(self):
+        a = np.arange(6, dtype=np.float32)
+        b = np.ones(6, dtype=np.float32)
+        assert vDSP_dotpr(a, 1, b, 1, 6) == pytest.approx(15.0)
+
+    def test_sve(self):
+        a = np.arange(6, dtype=np.float32)
+        assert vDSP_sve(a, 1, 6) == pytest.approx(15.0)
+
+    def test_rejects_zero_stride(self):
+        a = np.zeros(4, dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            vDSP_sve(a, 0, 4)

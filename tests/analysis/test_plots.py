@@ -1,0 +1,99 @@
+"""ASCII figure plotting."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, figure1_chart, figure2_chart, line_chart
+from repro.errors import ConfigurationError
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart(
+            {"a": {32: 1.0, 1024: 100.0}, "b": {32: 10.0, 1024: 1000.0}},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "o a" in text and "x b" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels(self):
+        text = line_chart({"s": {1: 1.0, 1000: 1000.0}}, y_label="GFLOPS")
+        assert "GFLOPS" in text
+        assert "1000" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": {}})
+
+    def test_non_positive_values_skipped(self):
+        text = line_chart({"a": {10: 0.0, 20: 5.0}})
+        assert "o" in text
+
+    def test_single_point(self):
+        text = line_chart({"a": {64: 42.0}})
+        assert text.count("o") >= 1
+
+    def test_grid_dimensions(self):
+        text = line_chart({"a": {1: 1.0, 100: 100.0}}, width=40, height=8)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_rows) == 8
+
+
+class TestBarChart:
+    def test_render_with_reference(self):
+        text = bar_chart(
+            {"M1": {"triad": 59.0}},
+            reference={"M1": 67.0},
+            unit="GB/s",
+        )
+        assert "M1:" in text
+        assert "|" in text  # the theoretical marker
+        assert "59.0 GB/s" in text
+
+    def test_bars_scale(self):
+        text = bar_chart(
+            {"g": {"small": 10.0, "big": 100.0}}, width=20
+        )
+        lines = {l.split()[0]: l for l in text.splitlines() if "█" in l or "▏" in l}
+        assert lines["big"].count("█") > lines["small"].count("█")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+        with pytest.raises(ConfigurationError):
+            bar_chart({"g": {"x": 0.0}})
+
+
+class TestFigureCharts:
+    def _fig1(self):
+        return {
+            "M1": {
+                "theoretical": 67.0,
+                "cpu": {"copy": 55.5, "scale": 56.2, "add": 58.1, "triad": 59.0},
+                "gpu": {"copy": 57.0, "scale": 58.0, "add": 59.5, "triad": 60.0},
+            }
+        }
+
+    def test_figure1_chart(self):
+        text = figure1_chart(self._fig1())
+        assert "Figure 1" in text
+        assert "triad (CPU)" in text and "triad (GPU)" in text
+
+    def test_figure2_chart(self):
+        fig2 = {
+            "M4": {
+                "gpu-mps": {32: 0.4, 1024: 800.0, 16384: 2900.0},
+                "cpu-single": {32: 1.0, 1024: 1.5},
+            }
+        }
+        text = figure2_chart(fig2)
+        assert "Figure 2 — M4" in text
+        assert "gpu-mps" in text
+
+    def test_figure2_chart_chip_filter(self):
+        fig2 = {
+            "M1": {"gpu-mps": {32: 1.0}},
+            "M4": {"gpu-mps": {32: 1.0}},
+        }
+        text = figure2_chart(fig2, chips=("M4",))
+        assert "M4" in text and "M1" not in text

@@ -1,0 +1,73 @@
+"""Roofline analysis of the GEMM implementations."""
+
+import pytest
+
+from repro.analysis.roofline_analysis import (
+    RooflinePoint,
+    render_roofline,
+    roofline_points,
+)
+
+from tests.conftest import make_model_machine
+
+
+class TestRooflinePoints:
+    def test_all_paper_impls_placed(self):
+        machine = make_model_machine("M4")
+        keys = ("cpu-single", "cpu-omp", "cpu-accelerate",
+                "gpu-naive", "gpu-cutlass", "gpu-mps")
+        points = roofline_points(machine, keys)
+        assert [p.impl_key for p in points] == list(keys)
+        for p in points:
+            assert p.arithmetic_intensity > 0
+            assert 0.0 < p.fraction_of_roofline <= 1.0001
+
+    def test_gemm_at_16384_is_compute_bound(self):
+        """Large dense GEMM sits right of the ridge on every chip."""
+        for chip in ("M1", "M4"):
+            machine = make_model_machine(chip)
+            for p in roofline_points(machine, ("gpu-mps", "cpu-accelerate")):
+                assert p.is_compute_bound, (chip, p.impl_key)
+
+    def test_mps_nearest_to_the_roof(self):
+        machine = make_model_machine("M3")
+        points = {
+            p.impl_key: p
+            for p in roofline_points(
+                machine, ("gpu-naive", "gpu-cutlass", "gpu-mps")
+            )
+        }
+        assert (
+            points["gpu-mps"].fraction_of_roofline
+            > points["gpu-naive"].fraction_of_roofline
+            > points["gpu-cutlass"].fraction_of_roofline
+        )
+
+    def test_cpu_loops_clamped_to_supported_size(self):
+        machine = make_model_machine("M1")
+        (point,) = roofline_points(machine, ("cpu-single",), n=16384)
+        assert point.n == 4096  # excluded beyond (section 4)
+
+    def test_achieved_below_ceiling(self):
+        machine = make_model_machine("M2")
+        for p in roofline_points(machine, ("gpu-mps",)):
+            assert p.achieved_gflops <= p.roofline_gflops * 1.0001
+
+
+class TestRenderRoofline:
+    def test_report_structure(self):
+        machine = make_model_machine("M4")
+        points = roofline_points(machine, ("gpu-mps", "cpu-accelerate"))
+        text = render_roofline(machine, points)
+        assert "Roofline — M4" in text
+        assert "gpu-mps" in text and "compute" in text
+
+    def test_point_properties(self):
+        p = RooflinePoint(
+            impl_key="x", n=64, arithmetic_intensity=10.0,
+            achieved_gflops=500.0, engine_peak_gflops=1000.0,
+            memory_bound_gflops=670.0,
+        )
+        assert p.roofline_gflops == 670.0
+        assert not p.is_compute_bound
+        assert p.fraction_of_roofline == pytest.approx(500 / 670)

@@ -1,0 +1,90 @@
+"""Table renderers reproduce the paper's tables."""
+
+from repro.analysis.tables import (
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+class TestRenderTable:
+    def test_columns_padded_and_separated(self):
+        text = render_table(["A", "Blong"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A   | Blong")
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        text = render_table(["A"], [["x"]], title="Table 9.")
+        assert text.splitlines()[0] == "Table 9."
+
+
+class TestTable1:
+    def test_contains_all_features(self):
+        text = render_table1()
+        for feature in (
+            "Process Technology (nm)",
+            "CPU Architecture",
+            "Performance/Efficiency Cores",
+            "Clock Frequency (GHz)",
+            "Vector Unit (name/size)",
+            "L1 Cache (KB)",
+            "L2 Cache (MB)",
+            "AMX Characteristics",
+            "GPU Cores",
+            "Native Precision Support",
+            "GPU Clock Frequency (GHz)",
+            "Theoretical FP32 FLOPS",
+            "Neural Engine Units (Core)",
+            "Memory Technology",
+            "Max Unified Memory (GB)",
+            "Memory Bandwidth (GB/s)",
+        ):
+            assert feature in text, feature
+
+    def test_key_cells_verbatim(self):
+        text = render_table1()
+        for cell in (
+            "ARMv8.5-A",
+            "ARMv9.2-A",
+            "3.2 (P)/2.06 (E)",
+            "4.4 (P)/2.85 (E)",
+            "NEON/128",
+            "FP16,32,64/BF16",
+            "2.29-2.61",
+            "4.26",
+            "LPDDR4X",
+            "LPDDR5X",
+            "8-16-24",
+            "120",
+        ):
+            assert cell in text, cell
+
+    def test_chip_subset(self):
+        text = render_table1(("M1", "M4"))
+        assert "M2" not in text.splitlines()[1]
+
+
+class TestTable2:
+    def test_exact_rows(self):
+        text = render_table2()
+        for row in (
+            "Naive algorithm",
+            "BLAS/vDSP",
+            "Naive algorithm as shader",
+            "Cutlass-style tiled shader",
+            "Metal Performance Shaders (MPS)",
+        ):
+            assert row in text
+        assert "Accelerate" in text and "Metal" in text
+
+
+class TestTable3:
+    def test_device_rows(self):
+        text = render_table3()
+        assert "MacBook Air" in text
+        assert "Mac mini" in text
+        assert "Passive" in text and "Air" in text
+        assert "14.7.2" in text and "15.2" in text
+        assert "8GB" in text and "16GB" in text

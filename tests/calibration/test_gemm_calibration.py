@@ -1,0 +1,152 @@
+"""GEMM calibration layer: completeness and target consistency."""
+
+import pytest
+
+from repro.calibration import paper
+from repro.calibration.gemm import (
+    KNOWN_IMPL_KEYS,
+    build_gemm_operation,
+    gemm_calibration,
+    gemm_flops,
+    gemm_power_draws,
+)
+from repro.errors import CalibrationError
+from repro.sim.engine import EngineKind
+from repro.soc.catalog import CHIP_NAMES, get_chip
+from repro.soc.chip import ChipSpec
+from repro.soc.power import PowerComponent
+
+
+class TestCalibrationCompleteness:
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    @pytest.mark.parametrize("impl", KNOWN_IMPL_KEYS)
+    def test_every_pair_resolves(self, chip, impl):
+        cal = gemm_calibration(get_chip(chip), impl)
+        assert cal.impl_key == impl
+        assert cal.overhead_s >= 0.0
+        assert 0.0 < cal.memory_efficiency <= 1.0
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(CalibrationError):
+            gemm_calibration(get_chip("M1"), "gpu-magic")
+
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    @pytest.mark.parametrize("impl", KNOWN_IMPL_KEYS)
+    def test_efficiencies_bounded(self, chip, impl):
+        cal = gemm_calibration(get_chip(chip), impl)
+        for n in paper.GEMM_SIZES:
+            assert 0.0 < cal.efficiency(n) <= 1.0
+
+    def test_cpu_loops_capped_at_4096(self):
+        for impl in ("cpu-single", "cpu-omp"):
+            cal = gemm_calibration(get_chip("M1"), impl)
+            assert cal.supports(4096)
+            assert not cal.supports(8192)
+
+    def test_other_impls_unlimited(self):
+        for impl in ("cpu-accelerate", "gpu-mps", "gpu-naive", "gpu-cutlass"):
+            assert gemm_calibration(get_chip("M1"), impl).supports(16384)
+
+
+class TestEngineRouting:
+    def test_engines(self):
+        chip = get_chip("M1")
+        assert gemm_calibration(chip, "cpu-single").engine is EngineKind.CPU_SCALAR
+        assert gemm_calibration(chip, "cpu-omp").engine is EngineKind.CPU_SIMD
+        assert gemm_calibration(chip, "cpu-accelerate").engine is EngineKind.AMX
+        assert gemm_calibration(chip, "gpu-mps").engine is EngineKind.GPU
+        assert gemm_calibration(chip, "ane-fp16").engine is EngineKind.ANE
+
+
+class TestPowerDraws:
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    def test_cpu_impls_draw_no_gpu_power(self, chip):
+        for impl in ("cpu-single", "cpu-omp", "cpu-accelerate"):
+            draws = gemm_power_draws(get_chip(chip), impl, 16384)
+            assert PowerComponent.GPU not in draws
+            assert draws[PowerComponent.CPU] > 0
+
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    def test_gpu_impls_draw_host_cpu_power(self, chip):
+        for impl in ("gpu-naive", "gpu-cutlass", "gpu-mps"):
+            draws = gemm_power_draws(get_chip(chip), impl, 16384)
+            assert draws[PowerComponent.GPU] > draws[PowerComponent.CPU] > 0
+
+    def test_power_grows_with_size(self):
+        chip = get_chip("M4")
+        small = gemm_power_draws(chip, "gpu-mps", 2048)[PowerComponent.GPU]
+        large = gemm_power_draws(chip, "gpu-mps", 16384)[PowerComponent.GPU]
+        assert small < large
+
+    def test_m4_cutlass_is_the_power_peak(self):
+        """Figure 3: M4 GPU-CUTLASS is the maximum (~20 W)."""
+        def combined(chip, impl):
+            draws = gemm_power_draws(get_chip(chip), impl, 16384)
+            return draws.get(PowerComponent.CPU, 0) + draws.get(PowerComponent.GPU, 0)
+
+        m4_cutlass = combined("M4", "gpu-cutlass")
+        assert 17.0 <= m4_cutlass <= 21.0
+        for chip in CHIP_NAMES:
+            for impl in ("cpu-single", "cpu-omp", "cpu-accelerate",
+                         "gpu-naive", "gpu-cutlass", "gpu-mps"):
+                assert combined(chip, impl) <= m4_cutlass + 1e-9
+
+    def test_laptops_below_desktops(self):
+        """Section 7: M1/M3 (laptops) dissipate less than M2/M4 (desktops)."""
+        def peak_draw(chip):
+            return max(
+                sum(
+                    w
+                    for c, w in gemm_power_draws(get_chip(chip), impl, 16384).items()
+                    if c in (PowerComponent.CPU, PowerComponent.GPU)
+                )
+                for impl in ("cpu-omp", "gpu-cutlass", "gpu-mps", "gpu-naive")
+            )
+
+        assert peak_draw("M1") < peak_draw("M2")
+        assert peak_draw("M3") < peak_draw("M4")
+
+
+class TestOperationBuilder:
+    def test_flop_count_matches_paper_formula(self):
+        assert gemm_flops(128) == paper.gemm_flop_count(128)
+        op = build_gemm_operation(get_chip("M1"), "gpu-mps", 128)
+        assert op.cost.flops == paper.gemm_flop_count(128)
+
+    def test_excluded_size_raises(self):
+        with pytest.raises(CalibrationError):
+            build_gemm_operation(get_chip("M1"), "cpu-single", 8192)
+
+    def test_element_bytes_scales_traffic(self):
+        fp32 = build_gemm_operation(get_chip("M1"), "gpu-mps", 256)
+        fp64 = build_gemm_operation(
+            get_chip("M1"), "gpu-fp64-emulated", 256, element_bytes=8
+        )
+        assert fp64.cost.bytes_written == 2 * fp32.cost.bytes_written
+
+    def test_custom_chip_falls_back_to_generic(self):
+        """Calibration must keep working for user-defined chips."""
+        import dataclasses
+
+        m4 = get_chip("M4")
+        custom = dataclasses.replace(m4, name="M5-hypothetical")
+        cal = gemm_calibration(custom, "gpu-mps")
+        assert 0.0 < cal.efficiency(16384) <= 1.0
+        draws = gemm_power_draws(custom, "gpu-mps", 16384)
+        assert draws[PowerComponent.GPU] > 0
+
+
+class TestCalibratedPeaks:
+    """The headline check: simulated best GFLOPS hits the paper's numbers."""
+
+    @pytest.mark.parametrize("impl", ["cpu-accelerate", "gpu-naive", "gpu-cutlass", "gpu-mps"])
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    def test_peak_gflops_within_3pct(self, impl, chip):
+        from tests.conftest import make_model_machine
+
+        machine = make_model_machine(chip)
+        target = paper.FIG2_PEAK_GFLOPS[impl][chip]
+        n = paper.GEMM_SIZES[-1]
+        done = machine.execute(build_gemm_operation(machine.chip, impl, n))
+        measured = done.achieved_flops / 1e9
+        assert measured == pytest.approx(target, rel=0.03)

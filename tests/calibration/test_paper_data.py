@@ -1,0 +1,129 @@
+"""Internal consistency of the transcribed paper data."""
+
+import pytest
+
+from repro.calibration import paper
+
+
+class TestProtocolConstants:
+    def test_chips(self):
+        assert paper.CHIPS == ("M1", "M2", "M3", "M4")
+
+    def test_gemm_sizes_are_the_papers(self):
+        assert paper.GEMM_SIZES == (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+
+    def test_power_sizes_subset_of_gemm_sizes(self):
+        assert set(paper.POWER_SIZES) <= set(paper.GEMM_SIZES)
+
+    def test_repeats(self):
+        assert paper.STREAM_CPU_REPEATS == 10
+        assert paper.STREAM_GPU_REPEATS == 20
+        assert paper.GEMM_REPEATS == 5
+
+    def test_cpu_loop_exclusion(self):
+        # "Except for CPU-Single (Baseline) and CPU-OMP, which did not
+        # execute 8,192 and 16,384".
+        assert paper.CPU_LOOP_MAX_N == 4096
+
+    def test_warmup(self):
+        assert paper.POWERMETRICS_WARMUP_S == 2.0
+
+
+class TestFlopCount:
+    def test_formula(self):
+        # n^2 (2n - 1): multiplications plus additions (section 3.2).
+        assert paper.gemm_flop_count(2) == 4 * 3
+        assert paper.gemm_flop_count(32) == 32 * 32 * 63
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            paper.gemm_flop_count(0)
+
+
+class TestFigure1Data:
+    def test_measured_below_theoretical(self):
+        for chip in paper.CHIPS:
+            theory = paper.THEORETICAL_BANDWIDTH_GBS[chip]
+            assert paper.FIG1_CPU_MAX_GBS[chip] <= theory
+            assert paper.FIG1_GPU_MAX_GBS[chip] <= theory
+
+    def test_quoted_maxima(self):
+        assert paper.FIG1_CPU_MAX_GBS == {
+            "M1": 59.0, "M2": 78.0, "M3": 92.0, "M4": 103.0
+        }
+        assert paper.FIG1_GPU_MAX_GBS == {
+            "M1": 60.0, "M2": 91.0, "M3": 92.0, "M4": 100.0
+        }
+
+    def test_roughly_85_percent_claim(self):
+        # "All chips get to ~85% of theoretical peak bandwidth" — within
+        # the paper's own slack (the M2 CPU is the outlier at 78%).
+        for chip in paper.CHIPS:
+            best = max(paper.FIG1_CPU_MAX_GBS[chip], paper.FIG1_GPU_MAX_GBS[chip])
+            assert best / paper.THEORETICAL_BANDWIDTH_GBS[chip] >= 0.78
+
+
+class TestFigure2Data:
+    def test_mps_dominates_everywhere(self):
+        for chip in paper.CHIPS:
+            mps = paper.FIG2_PEAK_GFLOPS["gpu-mps"][chip]
+            for impl, targets in paper.FIG2_PEAK_GFLOPS.items():
+                assert mps >= targets[chip]
+
+    def test_quoted_peaks(self):
+        assert paper.FIG2_PEAK_GFLOPS["gpu-mps"]["M4"] == 2900.0
+        assert paper.FIG2_PEAK_GFLOPS["cpu-accelerate"]["M1"] == 900.0
+
+    def test_generational_improvement_for_mps_and_accelerate(self):
+        for impl in ("gpu-mps", "cpu-accelerate"):
+            series = [paper.FIG2_PEAK_GFLOPS[impl][c] for c in paper.CHIPS]
+            assert series == sorted(series)
+
+    def test_naive_beats_cutlass(self):
+        # The paper's numbers put the naive shader above the tiled one.
+        for chip in paper.CHIPS:
+            assert (
+                paper.FIG2_PEAK_GFLOPS["gpu-naive"][chip]
+                > paper.FIG2_PEAK_GFLOPS["gpu-cutlass"][chip]
+            )
+
+
+class TestFigure4Data:
+    def test_mps_efficiency_all_above_200(self):
+        for chip in paper.CHIPS:
+            assert paper.FIG4_EFFICIENCY_GFLOPS_PER_W["gpu-mps"][chip] >= 200.0
+
+    def test_consistency_with_figure2(self):
+        """Implied power (GFLOPS / efficiency) sits in the paper's 'few W
+        to 10-20 W' envelope."""
+        for impl in ("gpu-mps", "cpu-accelerate"):
+            for chip in paper.CHIPS:
+                watts = (
+                    paper.FIG2_PEAK_GFLOPS[impl][chip]
+                    / paper.FIG4_EFFICIENCY_GFLOPS_PER_W[impl][chip]
+                )
+                assert 2.0 <= watts <= 20.0
+
+
+class TestGH200Data:
+    def test_fractions_reconcile_with_peaks(self):
+        g = paper.GH200
+        assert g["stream_cpu_gbs"] / g["stream_cpu_theoretical_gbs"] == pytest.approx(
+            g["stream_cpu_fraction"], abs=0.02
+        )
+        assert g["sgemm_cuda_tflops"] / g[
+            "sgemm_cuda_theoretical_tflops"
+        ] == pytest.approx(g["sgemm_cuda_fraction"], abs=0.02)
+        assert g["sgemm_tf32_tflops"] / g[
+            "sgemm_tf32_theoretical_tflops"
+        ] == pytest.approx(g["sgemm_tf32_fraction"], abs=0.02)
+
+    def test_two_orders_of_magnitude_claim(self):
+        # "a state-of-the-art Nvidia GH200 achieves similar efficiencies at
+        # two orders of magnitude better performance" (HBM vs M-series).
+        assert paper.GH200["stream_hbm3_gbs"] / 103.0 > 30.0
+        assert paper.GH200["sgemm_tf32_tflops"] * 1000.0 / 2900.0 > 100.0
+
+    def test_table2_rows_quoted(self):
+        assert len(paper.PAPER_IMPLEMENTATIONS) == 5
+        assert paper.PAPER_IMPLEMENTATIONS[0] == ("Naive algorithm", "C++", "CPU")

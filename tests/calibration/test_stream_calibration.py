@@ -1,0 +1,132 @@
+"""STREAM calibration: Figure-1 targets, thread scaling, footprint ramp."""
+
+import dataclasses
+
+import pytest
+
+from repro.calibration import paper
+from repro.calibration.stream import (
+    STREAM_KERNELS,
+    cpu_stream_bandwidth_gbs,
+    gpu_stream_bandwidth_gbs,
+    stream_calibration,
+    stream_power_draws,
+)
+from repro.errors import CalibrationError
+from repro.soc.catalog import CHIP_NAMES, get_chip
+from repro.soc.power import PowerComponent
+
+
+class TestTargets:
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    def test_cpu_max_matches_paper(self, chip):
+        cal = stream_calibration(get_chip(chip))
+        assert cal.cpu_max_gbs() == pytest.approx(
+            paper.FIG1_CPU_MAX_GBS[chip], rel=0.01
+        )
+
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    def test_gpu_max_matches_paper(self, chip):
+        cal = stream_calibration(get_chip(chip))
+        assert cal.gpu_max_gbs() == pytest.approx(
+            paper.FIG1_GPU_MAX_GBS[chip], rel=0.01
+        )
+
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    def test_targets_below_theoretical(self, chip):
+        spec = get_chip(chip)
+        cal = stream_calibration(spec)
+        for kernel in STREAM_KERNELS:
+            assert cal.cpu_target(kernel) < spec.memory.bandwidth_gbs
+            assert cal.gpu_target(kernel) < spec.memory.bandwidth_gbs
+
+    def test_m2_cpu_anomaly_encoded(self):
+        """Copy/Scale trail Add/Triad by 20-30 GB/s on the M2 CPU only."""
+        cal = stream_calibration(get_chip("M2"))
+        gap = min(cal.cpu_target("add"), cal.cpu_target("triad")) - max(
+            cal.cpu_target("copy"), cal.cpu_target("scale")
+        )
+        lo, hi = paper.FIG1_M2_CPU_ANOMALY_GAP_GBS
+        assert lo <= gap <= hi
+        # The other chips show no such gap.
+        for chip in ("M1", "M3", "M4"):
+            other = stream_calibration(get_chip(chip))
+            other_gap = min(
+                other.cpu_target("add"), other.cpu_target("triad")
+            ) - max(other.cpu_target("copy"), other.cpu_target("scale"))
+            assert other_gap < 10.0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(CalibrationError):
+            stream_calibration(get_chip("M1")).cpu_target("mul")
+
+
+class TestThreadScaling:
+    def test_monotone_in_threads(self):
+        chip = get_chip("M1")
+        series = [
+            cpu_stream_bandwidth_gbs(chip, "triad", t) for t in range(1, 9)
+        ]
+        assert series == sorted(series)
+
+    def test_full_cores_reach_target(self):
+        chip = get_chip("M4")
+        bw = cpu_stream_bandwidth_gbs(chip, "triad", chip.total_cores)
+        assert bw == pytest.approx(103.0, rel=0.01)
+
+    def test_single_thread_well_below_target(self):
+        chip = get_chip("M1")
+        assert cpu_stream_bandwidth_gbs(chip, "triad", 1) < 0.7 * 59.0
+
+    def test_excess_threads_saturate(self):
+        chip = get_chip("M1")
+        at_cores = cpu_stream_bandwidth_gbs(chip, "triad", chip.total_cores)
+        beyond = cpu_stream_bandwidth_gbs(chip, "triad", chip.total_cores * 4)
+        assert beyond == pytest.approx(at_cores)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(CalibrationError):
+            cpu_stream_bandwidth_gbs(get_chip("M1"), "triad", 0)
+
+
+class TestFootprintRamp:
+    def test_monotone_in_bytes(self):
+        chip = get_chip("M4")
+        series = [
+            gpu_stream_bandwidth_gbs(chip, "triad", 1 << k) for k in range(12, 28, 2)
+        ]
+        assert series == sorted(series)
+
+    def test_large_arrays_reach_target(self):
+        chip = get_chip("M4")
+        bw = gpu_stream_bandwidth_gbs(chip, "triad", 64 * 2**20)
+        assert bw == pytest.approx(100.0, rel=0.01)
+
+    def test_tiny_arrays_underutilise(self):
+        chip = get_chip("M4")
+        assert gpu_stream_bandwidth_gbs(chip, "triad", 64 * 1024) < 50.0
+
+    def test_rejects_non_positive_bytes(self):
+        with pytest.raises(CalibrationError):
+            gpu_stream_bandwidth_gbs(get_chip("M1"), "copy", 0)
+
+
+class TestStreamPower:
+    def test_cpu_stream_draws(self):
+        draws = stream_power_draws(get_chip("M1"), "cpu")
+        assert draws[PowerComponent.CPU] > 0
+        assert PowerComponent.GPU not in draws
+
+    def test_gpu_stream_draws(self):
+        draws = stream_power_draws(get_chip("M1"), "gpu")
+        assert draws[PowerComponent.GPU] > draws[PowerComponent.CPU]
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(CalibrationError):
+            stream_power_draws(get_chip("M1"), "ane")
+
+    def test_generic_chip_fallback(self):
+        custom = dataclasses.replace(get_chip("M4"), name="M5")
+        cal = stream_calibration(custom)
+        for kernel in STREAM_KERNELS:
+            assert 0 < cal.cpu_target(kernel) < custom.memory.bandwidth_gbs

@@ -1,0 +1,181 @@
+"""Multi-node extension: interconnects, collectives, SUMMA, cluster STREAM."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    INTERCONNECTS,
+    ClusterCommunicator,
+    ClusterMachine,
+    InterconnectSpec,
+    run_cluster_stream,
+    run_summa_gemm,
+)
+from repro.errors import ConfigurationError
+from repro.sim.policy import NumericsConfig
+
+
+def make_cluster(chip="M4", nodes=4, interconnect="10gbe"):
+    return ClusterMachine(
+        chip, nodes, interconnect, numerics=NumericsConfig.model_only()
+    )
+
+
+class TestInterconnect:
+    def test_catalog(self):
+        assert set(INTERCONNECTS) == {"thunderbolt-ip", "10gbe", "infiniband-ndr"}
+
+    def test_hockney_model(self):
+        link = InterconnectSpec("test", bandwidth_gbs=1.0, latency_us=10.0,
+                                efficiency=1.0)
+        assert link.transfer_time_s(0) == pytest.approx(10e-6)
+        assert link.transfer_time_s(1e9) == pytest.approx(1.0 + 10e-6)
+
+    def test_efficiency_derates_bandwidth(self):
+        link = InterconnectSpec("test", bandwidth_gbs=10.0, latency_us=0.0,
+                                efficiency=0.5)
+        assert link.transfer_time_s(1e9) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectSpec("x", bandwidth_gbs=0.0, latency_us=1.0)
+        with pytest.raises(ConfigurationError):
+            InterconnectSpec("x", bandwidth_gbs=1.0, latency_us=1.0, efficiency=0.0)
+        link = INTERCONNECTS["10gbe"]
+        with pytest.raises(ConfigurationError):
+            link.transfer_time_s(-1)
+
+    def test_hpc_fabric_fastest(self):
+        nbytes = 1e8
+        times = {
+            name: link.transfer_time_s(nbytes)
+            for name, link in INTERCONNECTS.items()
+        }
+        assert times["infiniband-ndr"] < times["thunderbolt-ip"] < times["10gbe"]
+
+
+class TestClusterMachine:
+    def test_node_seeds_differ(self):
+        cluster = make_cluster(nodes=3)
+        assert len({node.noise.seed for node in cluster.nodes}) == 3
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ConfigurationError):
+            ClusterMachine("M4", 0)
+
+    def test_unknown_interconnect(self):
+        with pytest.raises(ConfigurationError):
+            ClusterMachine("M4", 2, "carrier-pigeon")
+
+    def test_barrier_aligns_clocks(self):
+        cluster = make_cluster(nodes=2)
+        cluster.nodes[0].clock.advance(1.0)
+        cluster.barrier()
+        assert cluster.nodes[1].now_s() == pytest.approx(1.0)
+        assert cluster.now_s() == pytest.approx(1.0)
+
+    def test_communicate_advances_everyone(self):
+        cluster = make_cluster(nodes=2)
+        duration = cluster.communicate(1e6)
+        assert duration > 0
+        for node in cluster.nodes:
+            assert node.now_s() == pytest.approx(duration)
+
+
+class TestCollectives:
+    def test_single_node_is_free(self):
+        comm = ClusterCommunicator(make_cluster(nodes=1))
+        assert comm.broadcast(1e6) == 0.0
+        assert comm.allgather(1e6) == 0.0
+        assert comm.ring_shift(1e6) == 0.0
+
+    def test_broadcast_log_stages(self):
+        cluster = make_cluster(nodes=8)
+        comm = ClusterCommunicator(cluster)
+        single = cluster.interconnect.transfer_time_s(1e6)
+        assert comm.broadcast(1e6) == pytest.approx(3 * single)
+
+    def test_allgather_ring_steps(self):
+        cluster = make_cluster(nodes=4)
+        comm = ClusterCommunicator(cluster)
+        single = cluster.interconnect.transfer_time_s(1e6)
+        assert comm.allgather(1e6) == pytest.approx(3 * single)
+
+    def test_root_validation(self):
+        comm = ClusterCommunicator(make_cluster(nodes=2))
+        with pytest.raises(ConfigurationError):
+            comm.broadcast(10.0, root=5)
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_broadcast_stage_count_property(self, p):
+        cluster = make_cluster(nodes=p)
+        comm = ClusterCommunicator(cluster)
+        single = cluster.interconnect.transfer_time_s(1e5)
+        expected = 0.0 if p == 1 else math.ceil(math.log2(p)) * single
+        assert comm.broadcast(1e5) == pytest.approx(expected)
+
+
+class TestSumma:
+    def test_requires_square_grid(self):
+        with pytest.raises(ConfigurationError):
+            run_summa_gemm(make_cluster(nodes=3), 4096)
+
+    def test_requires_divisible_n(self):
+        with pytest.raises(ConfigurationError):
+            run_summa_gemm(make_cluster(nodes=4), 1001)  # odd, grid dim 2
+
+    def test_speedup_bounded_by_node_count(self):
+        result = run_summa_gemm(make_cluster(nodes=4), 8192)
+        assert 0.0 < result.speedup <= 4.0
+        assert 0.0 < result.parallel_efficiency <= 1.0
+
+    def test_better_interconnect_wins(self):
+        slow = run_summa_gemm(make_cluster(interconnect="10gbe"), 16384)
+        fast = run_summa_gemm(make_cluster(interconnect="infiniband-ndr"), 16384)
+        assert fast.aggregate_gflops > slow.aggregate_gflops
+        assert fast.communication_fraction < slow.communication_fraction
+
+    def test_commodity_interconnect_starves_compute(self):
+        """The headline answer to the paper's future-work question."""
+        result = run_summa_gemm(make_cluster(interconnect="10gbe"), 16384)
+        assert result.communication_fraction > 0.5
+        assert result.parallel_efficiency < 0.5
+
+    def test_hpc_fabric_restores_efficiency(self):
+        result = run_summa_gemm(
+            make_cluster(interconnect="infiniband-ndr"), 16384
+        )
+        assert result.parallel_efficiency > 0.7
+
+    def test_accounting_consistent(self):
+        result = run_summa_gemm(make_cluster(), 8192)
+        assert result.elapsed_s == pytest.approx(
+            result.compute_s + result.communication_s, rel=0.01
+        )
+        assert result.grid_dim == 2
+        assert result.node_count == 4
+
+    def test_single_node_degenerate_case(self):
+        result = run_summa_gemm(make_cluster(nodes=1), 4096)
+        assert result.communication_s == 0.0
+        assert result.speedup == pytest.approx(1.0, rel=0.15)
+
+
+class TestClusterStream:
+    def test_aggregate_scales_with_nodes(self):
+        one = run_cluster_stream(
+            make_cluster(nodes=1), n_elements=1 << 18, repeats=2
+        )
+        four = run_cluster_stream(
+            make_cluster(nodes=4), n_elements=1 << 18, repeats=2
+        )
+        assert four["triad"] == pytest.approx(4 * one["triad"], rel=0.05)
+
+    def test_all_kernels_present(self):
+        result = run_cluster_stream(
+            make_cluster(nodes=2), n_elements=1 << 16, repeats=1
+        )
+        assert set(result) == {"copy", "scale", "add", "triad"}

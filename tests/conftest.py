@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Machines come in two flavours: ``machine`` (noise-free, FULL numerics — for
+deterministic correctness tests on small problems) and ``study_machine``
+(paper-default noise, SAMPLED numerics — for calibration/tolerance tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import paper
+from repro.sim.machine import Machine
+from repro.sim.policy import NumericsConfig
+
+
+def make_exact_machine(chip: str = "M1") -> Machine:
+    """Noise-free machine with FULL numerics."""
+    return Machine.for_chip(chip, noise_sigma=0.0, numerics=NumericsConfig.full())
+
+
+def make_study_machine(chip: str = "M1", *, seed: int = 0) -> Machine:
+    """Paper-configuration machine (default noise, sampled numerics)."""
+    return Machine.for_chip(chip, seed=seed)
+
+
+def make_model_machine(chip: str = "M1") -> Machine:
+    """Noise-free machine that skips numerics (timing-model tests)."""
+    return Machine.for_chip(
+        chip, noise_sigma=0.0, numerics=NumericsConfig.model_only()
+    )
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return make_exact_machine("M1")
+
+
+@pytest.fixture(params=list(paper.CHIPS))
+def each_chip_machine(request) -> Machine:
+    return make_exact_machine(request.param)
+
+
+@pytest.fixture(params=list(paper.CHIPS))
+def each_chip_model_machine(request) -> Machine:
+    return make_model_machine(request.param)
+
+
+@pytest.fixture
+def study_machine() -> Machine:
+    return make_study_machine("M1")

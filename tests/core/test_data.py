@@ -1,0 +1,85 @@
+"""Page-aligned allocation and matrix generation (section 3.2 rules)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.data import aligned_alloc, make_matrix
+from repro.errors import AllocationError
+from repro.units import PAGE_SIZE
+
+
+class TestAlignedAlloc:
+    def test_base_is_page_aligned(self):
+        alloc = aligned_alloc(100)
+        assert alloc.data.ctypes.data % PAGE_SIZE == 0
+
+    def test_length_extended_to_page_multiple(self):
+        # "Allocation lengths were automatically extended to the nearest
+        # page multiple."
+        alloc = aligned_alloc(PAGE_SIZE + 1)
+        assert alloc.length == 2 * PAGE_SIZE
+        assert alloc.requested_bytes == PAGE_SIZE + 1
+
+    def test_exact_page_multiple_not_extended(self):
+        assert aligned_alloc(3 * PAGE_SIZE).length == 3 * PAGE_SIZE
+
+    def test_zero_rejected(self):
+        with pytest.raises(AllocationError):
+            aligned_alloc(0)
+
+    def test_zero_initialised(self):
+        assert (aligned_alloc(64).data == 0).all()
+
+    def test_view_bounds(self):
+        alloc = aligned_alloc(64)
+        view = alloc.view(np.float32, 16)
+        assert view.size == 16
+        with pytest.raises(AllocationError):
+            alloc.view(np.float64, alloc.length)  # 8x too large
+
+    @given(st.integers(min_value=1, max_value=10 * PAGE_SIZE))
+    def test_invariants_property(self, nbytes):
+        alloc = aligned_alloc(nbytes)
+        assert alloc.length >= nbytes
+        assert alloc.length % PAGE_SIZE == 0
+        assert alloc.data.ctypes.data % PAGE_SIZE == 0
+        assert alloc.data.size == alloc.length
+
+
+class TestMakeMatrix:
+    def test_values_in_unit_interval(self):
+        matrix, _ = make_matrix(64, seed=1)
+        assert matrix.dtype == np.float32
+        assert (matrix >= 0.0).all() and (matrix < 1.0).all()
+
+    def test_seeded_reproducibility(self):
+        m1, _ = make_matrix(32, seed=7)
+        m2, _ = make_matrix(32, seed=7)
+        np.testing.assert_array_equal(m1, m2)
+        m3, _ = make_matrix(32, seed=8)
+        assert not np.array_equal(m1, m3)
+
+    def test_matrix_lives_in_page_aligned_allocation(self):
+        matrix, alloc = make_matrix(50, seed=0)  # 50*50*4 = 10000 -> 1 page
+        assert alloc.length == PAGE_SIZE
+        assert matrix.base is not None
+
+    def test_zero_fill_option(self):
+        matrix, _ = make_matrix(16, seed=0, fill_random=False)
+        assert (matrix == 0.0).all()
+
+    def test_float64_variant(self):
+        matrix, _ = make_matrix(8, seed=0, dtype=np.float64)
+        assert matrix.dtype == np.float64
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(AllocationError):
+            make_matrix(0, seed=0)
+
+    def test_paper_sizes_page_geometry(self):
+        """All the paper's power-of-two sizes are page-divisible already."""
+        for n in (32, 64, 128, 256, 512, 1024):
+            _, alloc = make_matrix(n, seed=0)
+            assert alloc.length == max(PAGE_SIZE, n * n * 4)

@@ -1,0 +1,175 @@
+"""The six study GEMM implementations plus extensions: correctness & routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.gemm.base import GemmProblem
+from repro.core.gemm.cpu_single import triple_loop_matmul
+from repro.core.gemm.registry import get_implementation, paper_implementation_keys
+from repro.core.gemm.verify import fp32_gemm_tolerance, verify_result
+from repro.errors import UnsupportedProblemError, ValidationError
+
+from tests.conftest import make_exact_machine, make_model_machine
+
+ALL_KEYS = paper_implementation_keys()
+
+
+def run_impl(machine, key, n, seed=0):
+    impl = get_implementation(key)
+    problem = GemmProblem.generate(n, seed=seed)
+    context = impl.prepare(machine, problem)
+    impl.execute(machine, problem, context)
+    return impl, problem
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_full_numerics_match_reference(self, key):
+        machine = make_exact_machine("M2")
+        _, problem = run_impl(machine, key, 64)
+        assert verify_result(machine, problem)
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_sampled_numerics_match_reference(self, key):
+        from repro.sim.policy import NumericsConfig
+        from repro.sim.machine import Machine
+
+        machine = Machine.for_chip(
+            "M2",
+            noise_sigma=0.0,
+            numerics=NumericsConfig.sampled(full_threshold=16, sample_rows=3),
+        )
+        _, problem = run_impl(machine, key, 96)
+        assert verify_result(machine, problem)
+
+    def test_triple_loop_reference(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((6, 6), dtype=np.float32)
+        b = rng.random((6, 6), dtype=np.float32)
+        out = np.zeros((6, 6), dtype=np.float32)
+        triple_loop_matmul(a, b, out)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-5)
+
+    def test_cpu_single_tiny_uses_literal_loop(self):
+        machine = make_exact_machine("M1")
+        _, problem = run_impl(machine, "cpu-single", 16)
+        np.testing.assert_allclose(
+            problem.out,
+            problem.a @ problem.b,
+            rtol=fp32_gemm_tolerance(16),
+        )
+
+    def test_implementations_agree_pairwise(self):
+        machine = make_exact_machine("M3")
+        outputs = {}
+        for key in ALL_KEYS:
+            _, problem = run_impl(machine, key, 32, seed=5)
+            outputs[key] = problem.out.copy()
+        reference = outputs["cpu-accelerate"]
+        for key, out in outputs.items():
+            np.testing.assert_allclose(out, reference, rtol=1e-3)
+
+
+class TestEngineRouting:
+    def test_accelerate_runs_on_amx(self):
+        machine = make_exact_machine("M1")
+        run_impl(machine, "cpu-accelerate", 32)
+        assert machine.trace.events(engine="amx")
+        assert not machine.trace.events(engine="gpu")
+
+    def test_gpu_impls_run_on_gpu(self):
+        for key in ("gpu-naive", "gpu-cutlass", "gpu-mps"):
+            machine = make_exact_machine("M1")
+            run_impl(machine, key, 32)
+            assert machine.trace.events(engine="gpu"), key
+
+    def test_cpu_single_runs_scalar(self):
+        machine = make_exact_machine("M1")
+        run_impl(machine, "cpu-single", 32)
+        assert machine.trace.events(engine="cpu-scalar")
+
+    def test_omp_runs_simd_cluster(self):
+        machine = make_exact_machine("M1")
+        run_impl(machine, "cpu-omp", 32)
+        assert machine.trace.events(engine="cpu-simd")
+
+
+class TestExclusions:
+    @pytest.mark.parametrize("key", ["cpu-single", "cpu-omp"])
+    def test_cpu_loops_refuse_8192(self, key):
+        machine = make_model_machine("M1")
+        impl = get_implementation(key)
+        assert impl.supports(machine, 4096)
+        assert not impl.supports(machine, 8192)
+        problem = GemmProblem.generate(32)  # placeholder
+        with pytest.raises(UnsupportedProblemError):
+            impl.check_supports(machine, 8192)
+        del problem
+
+    @pytest.mark.parametrize("key", ["cpu-accelerate", "gpu-naive", "gpu-cutlass", "gpu-mps"])
+    def test_others_support_16384(self, key):
+        machine = make_model_machine("M1")
+        assert get_implementation(key).supports(machine, 16384)
+
+
+class TestZeroCopyPlumbing:
+    def test_gpu_impl_writes_through_no_copy_buffer(self):
+        """The shader writes land in the problem's own allocation — the
+        unified-memory zero-copy contract."""
+        machine = make_exact_machine("M2")
+        impl = get_implementation("gpu-mps")
+        problem = GemmProblem.generate(32, seed=3)
+        context = impl.prepare(machine, problem)
+        assert (problem.out == 0).all()
+        impl.execute(machine, problem, context)
+        assert not (problem.out == 0).all()
+
+    def test_shader_impl_uses_compiled_metallib_function(self):
+        machine = make_exact_machine("M1")
+        impl = get_implementation("gpu-naive")
+        problem = GemmProblem.generate(16)
+        context = impl.prepare(machine, problem)
+        assert context.pipeline.function.name == "gemm_naive"
+        assert context.buf_a.is_no_copy and context.buf_out.is_no_copy
+
+
+class TestExtensions:
+    def test_ane_reduced_precision_verifies_with_fp16_tolerance(self):
+        machine = make_exact_machine("M4")
+        _, problem = run_impl(machine, "ane-fp16", 48)
+        assert verify_result(machine, problem, reduced_precision=True)
+
+    def test_ane_fails_fp32_tolerance(self):
+        """Half-precision inputs cannot meet the FP32 bound — the paper's
+        point about the Neural Engine and HPC accuracy."""
+        machine = make_exact_machine("M4")
+        _, problem = run_impl(machine, "ane-fp16", 256)
+        with pytest.raises(ValidationError):
+            verify_result(machine, problem, rtol=1e-6)
+
+    def test_ane_runs_on_its_own_engine(self):
+        machine = make_exact_machine("M4")
+        run_impl(machine, "ane-fp16", 32)
+        assert machine.trace.events(engine="ane")
+
+    def test_fp64_emulated_correct(self):
+        machine = make_exact_machine("M2")
+        impl = get_implementation("gpu-fp64-emulated")
+        problem = GemmProblem.generate(48, seed=1)
+        context = impl.prepare(machine, problem)
+        impl.execute(machine, problem, context)
+        result64 = impl.result_fp64(context)
+        reference = problem.a.astype(np.float64) @ problem.b.astype(np.float64)
+        np.testing.assert_allclose(result64, reference, rtol=2.0**-40)
+
+    def test_fp64_emulated_much_slower_than_mps(self):
+        machine = make_model_machine("M2")
+        t_mps = machine.execute(
+            __import__("repro.calibration.gemm", fromlist=["build_gemm_operation"])
+            .build_gemm_operation(machine.chip, "gpu-mps", 4096)
+        ).elapsed_s
+        t_emu = machine.execute(
+            __import__("repro.calibration.gemm", fromlist=["build_gemm_operation"])
+            .build_gemm_operation(machine.chip, "gpu-fp64-emulated", 4096)
+        ).elapsed_s
+        assert t_emu > 10.0 * t_mps

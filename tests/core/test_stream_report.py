@@ -1,0 +1,67 @@
+"""The stream.c-style report renderer."""
+
+import re
+
+import pytest
+
+from repro.core.results import StreamKernelResult, StreamResult
+from repro.core.stream.report import render_stream_report
+
+
+def make_result():
+    return StreamResult(
+        chip_name="M1",
+        target="cpu",
+        n_elements=1 << 20,
+        element_bytes=8,
+        kernels={
+            kernel: StreamKernelResult(kernel, (50.0, 59.0, 55.0))
+            for kernel in ("copy", "scale", "add", "triad")
+        },
+        theoretical_gbs=67.0,
+    )
+
+
+class TestStreamReport:
+    def test_classic_header(self):
+        text = render_stream_report(make_result())
+        assert "Function" in text and "Best Rate MB/s" in text
+        assert "Min time" in text and "Max time" in text
+
+    def test_all_four_rows(self):
+        text = render_stream_report(make_result())
+        for label in ("Copy:", "Scale:", "Add:", "Triad:"):
+            assert label in text
+
+    def test_best_rate_in_decimal_mb(self):
+        text = render_stream_report(make_result())
+        # 59 GB/s = 59000 MB/s
+        assert re.search(r"Copy:\s+59000\.0", text)
+
+    def test_min_time_corresponds_to_best_rate(self):
+        text = render_stream_report(make_result())
+        row = next(l for l in text.splitlines() if l.startswith("Triad:"))
+        cols = row.split()
+        best_mb, avg_t, min_t, max_t = map(float, cols[1:])
+        assert min_t < avg_t < max_t
+        # min time * best rate == bytes moved (to table rounding precision:
+        # times print with 6 decimals, ~2e-3 relative at these magnitudes)
+        bytes_moved = 3 * 8 * (1 << 20)
+        assert min_t * best_mb * 1e6 == pytest.approx(bytes_moved, rel=3e-3)
+
+    def test_validation_line_present(self):
+        assert "Solution Validates" in render_stream_report(make_result())
+
+    def test_fraction_of_peak_line(self):
+        text = render_stream_report(make_result())
+        assert "88% of the 67 GB/s theoretical peak" in text
+
+    def test_end_to_end_with_real_run(self):
+        from repro.core.stream.runner import run_stream
+        from tests.conftest import make_model_machine
+
+        result = run_stream(
+            make_model_machine("M4"), "gpu", n_elements=1 << 16, repeats=3
+        )
+        text = render_stream_report(result)
+        assert "STREAM (GPU, M4)" in text

@@ -1,0 +1,161 @@
+"""GH200 reference substrate: STREAM and cublasSgemm."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import paper
+from repro.cuda import (
+    CublasHandle,
+    CudaMathMode,
+    GH200Machine,
+    GH200_SPEC,
+    cublas_sgemm,
+    run_gh200_stream,
+)
+from repro.cuda.cublas import CUBLAS_OP_N, CUBLAS_OP_T
+from repro.errors import ConfigurationError
+from repro.sim.policy import NumericsConfig
+
+
+def model_machine():
+    return GH200Machine(noise_sigma=0.0, numerics=NumericsConfig.model_only())
+
+
+class TestSpec:
+    def test_datasheet_values(self):
+        assert GH200_SPEC.cpu_cores == 72
+        assert GH200_SPEC.cpu_memory_gb == 480
+        assert GH200_SPEC.cpu_bandwidth_gbs == 384.0
+        assert GH200_SPEC.gpu_memory_gb == 96
+        assert GH200_SPEC.hbm_bandwidth_gbs == 4000.0
+
+    def test_peak_flops_by_mode(self):
+        assert GH200_SPEC.peak_flops(CudaMathMode.CUDA_CORES_FP32) == 67.0e12
+        assert GH200_SPEC.peak_flops(CudaMathMode.TF32_TENSOR) == 494.5e12
+
+
+class TestStream:
+    def test_cpu_stream_matches_paper(self):
+        result = run_gh200_stream(model_machine(), "cpu", n_elements=1 << 23)
+        assert result.max_gbs() == pytest.approx(
+            paper.GH200["stream_cpu_gbs"], rel=0.02
+        )
+        assert result.fraction_of_peak() == pytest.approx(
+            paper.GH200["stream_cpu_fraction"], abs=0.02
+        )
+
+    def test_hbm3_stream_matches_paper(self):
+        result = run_gh200_stream(model_machine(), "hbm3", n_elements=1 << 25)
+        assert result.max_gbs() == pytest.approx(
+            paper.GH200["stream_hbm3_gbs"], rel=0.02
+        )
+
+    def test_hbm_dwarfs_m_series(self):
+        """'Two orders of magnitude better performance' (section 7)."""
+        result = run_gh200_stream(model_machine(), "hbm3", n_elements=1 << 25)
+        assert result.max_gbs() > 30 * 103.0
+
+    def test_numerics_validated_when_enabled(self):
+        machine = GH200Machine(noise_sigma=0.0)  # sampled => stream runs full
+        result = run_gh200_stream(machine, "cpu", n_elements=1 << 12, repeats=3)
+        assert set(result.kernels) == {"copy", "scale", "add", "triad"}
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_gh200_stream(model_machine(), "vram")
+
+
+class TestCublasSgemm:
+    def _run(self, machine, mode, n):
+        handle = CublasHandle(machine, math_mode=mode)
+        a = np.zeros((n, n), dtype=np.float32)
+        b = np.zeros((n, n), dtype=np.float32)
+        c = np.zeros((n, n), dtype=np.float32)
+        t0 = machine.now_ns()
+        cublas_sgemm(
+            handle, CUBLAS_OP_N, CUBLAS_OP_N, n, n, n, 1.0, a, n, b, n, 0.0, c, n
+        )
+        elapsed = machine.now_ns() - t0
+        return n * n * (2 * n - 1) / elapsed / 1e3  # TFLOPS
+
+    def test_cuda_core_peak_matches_paper(self):
+        tflops = self._run(model_machine(), CudaMathMode.CUDA_CORES_FP32, 16384)
+        assert tflops == pytest.approx(paper.GH200["sgemm_cuda_tflops"], rel=0.03)
+
+    def test_tensor_core_peak_matches_paper(self):
+        tflops = self._run(model_machine(), CudaMathMode.TF32_TENSOR, 16384)
+        assert tflops == pytest.approx(paper.GH200["sgemm_tf32_tflops"], rel=0.03)
+
+    def test_small_sizes_ramp(self):
+        machine = model_machine()
+        small = self._run(machine, CudaMathMode.CUDA_CORES_FP32, 512)
+        large = self._run(machine, CudaMathMode.CUDA_CORES_FP32, 16384)
+        assert small < large
+
+    def test_numerics_correct(self):
+        machine = GH200Machine(noise_sigma=0.0, numerics=NumericsConfig.full())
+        handle = CublasHandle(machine)
+        rng = np.random.default_rng(0)
+        n = 16
+        # Column-major flat buffers.
+        a = rng.random((n, n), dtype=np.float32)
+        b = rng.random((n, n), dtype=np.float32)
+        a_cm = np.ascontiguousarray(a.T).reshape(-1)
+        b_cm = np.ascontiguousarray(b.T).reshape(-1)
+        c_cm = np.zeros(n * n, dtype=np.float32)
+        cublas_sgemm(
+            handle, CUBLAS_OP_N, CUBLAS_OP_N, n, n, n, 1.0, a_cm, n, b_cm, n, 0.0, c_cm, n
+        )
+        np.testing.assert_allclose(c_cm.reshape(n, n).T, a @ b, rtol=1e-4)
+
+    def test_tf32_reduces_precision(self):
+        """The TF32 path must show genuine 10-bit-mantissa error."""
+        machine = GH200Machine(noise_sigma=0.0, numerics=NumericsConfig.full())
+        rng = np.random.default_rng(1)
+        n = 64
+        a = rng.random((n, n), dtype=np.float32)
+        b = rng.random((n, n), dtype=np.float32)
+
+        def product(mode):
+            handle = CublasHandle(machine, math_mode=mode)
+            a_cm = np.ascontiguousarray(a.T).reshape(-1)
+            b_cm = np.ascontiguousarray(b.T).reshape(-1)
+            c_cm = np.zeros(n * n, dtype=np.float32)
+            cublas_sgemm(
+                handle, CUBLAS_OP_N, CUBLAS_OP_N, n, n, n, 1.0,
+                a_cm, n, b_cm, n, 0.0, c_cm, n,
+            )
+            return c_cm.reshape(n, n).T
+
+        exact = (a.astype(np.float64) @ b.astype(np.float64))
+        err_fp32 = np.abs(product(CudaMathMode.CUDA_CORES_FP32) - exact).max()
+        err_tf32 = np.abs(product(CudaMathMode.TF32_TENSOR) - exact).max()
+        assert err_tf32 > err_fp32
+
+    def test_transpose_path(self):
+        machine = GH200Machine(noise_sigma=0.0, numerics=NumericsConfig.full())
+        handle = CublasHandle(machine)
+        rng = np.random.default_rng(2)
+        m, n, k = 5, 7, 3
+        a = rng.random((k, m), dtype=np.float32)  # op(A) = A^T: m x k
+        b = rng.random((k, n), dtype=np.float32)
+        a_cm = np.ascontiguousarray(a.T).reshape(-1)
+        b_cm = np.ascontiguousarray(b.T).reshape(-1)
+        c_cm = np.zeros(m * n, dtype=np.float32)
+        cublas_sgemm(
+            handle, CUBLAS_OP_T, CUBLAS_OP_N, m, n, k, 1.0,
+            a_cm, k, b_cm, k, 0.0, c_cm, m,
+        )
+        np.testing.assert_allclose(c_cm.reshape(n, m).T, a.T @ b, rtol=1e-4)
+
+    def test_validation(self):
+        machine = model_machine()
+        handle = CublasHandle(machine)
+        a64 = np.zeros((4, 4))
+        with pytest.raises(ConfigurationError):
+            cublas_sgemm(handle, CUBLAS_OP_N, CUBLAS_OP_N, 4, 4, 4, 1.0, a64, 4, a64, 4, 0.0, a64, 4)
+        a32 = np.zeros((4, 4), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            cublas_sgemm(handle, 99, CUBLAS_OP_N, 4, 4, 4, 1.0, a32, 4, a32, 4, 0.0, a32, 4)
+        with pytest.raises(ConfigurationError):
+            cublas_sgemm(handle, CUBLAS_OP_N, CUBLAS_OP_N, 4, 4, 4, 1.0, a32, 2, a32, 4, 0.0, a32, 4)

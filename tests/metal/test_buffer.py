@@ -1,0 +1,134 @@
+"""MTLBuffer: storage modes, page-aligned no-copy wrapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.data import aligned_alloc
+from repro.metal import (
+    BufferError_,
+    MTLBuffer,
+    MTLResourceStorageMode,
+    NoCopyAlignmentError,
+    StorageModeError,
+)
+from repro.units import PAGE_SIZE
+
+
+class TestConstruction:
+    def test_with_length_zeroed(self):
+        buf = MTLBuffer.with_length(64, MTLResourceStorageMode.SHARED)
+        assert buf.length == 64
+        assert (buf.contents() == 0).all()
+
+    def test_with_length_rejects_non_positive(self):
+        with pytest.raises(BufferError_):
+            MTLBuffer.with_length(0, MTLResourceStorageMode.SHARED)
+
+    def test_with_bytes_copies(self):
+        source = np.arange(16, dtype=np.float32)
+        buf = MTLBuffer.with_bytes(source, MTLResourceStorageMode.SHARED)
+        source[0] = 99.0
+        assert buf.as_array(np.float32, (16,))[0] == 0.0  # unaffected: a copy
+
+
+class TestNoCopy:
+    def test_page_aligned_allocation_accepted(self):
+        alloc = aligned_alloc(100)
+        buf = MTLBuffer.with_bytes_no_copy(
+            alloc.data, alloc.length, MTLResourceStorageMode.SHARED
+        )
+        assert buf.is_no_copy
+        assert buf.length == alloc.length
+
+    def test_mutation_visible_both_ways(self):
+        """The zero-copy contract: CPU writes are GPU reads and vice versa."""
+        alloc = aligned_alloc(PAGE_SIZE)
+        view = alloc.view(np.float32, 8)
+        buf = MTLBuffer.with_bytes_no_copy(
+            alloc.data, alloc.length, MTLResourceStorageMode.SHARED
+        )
+        view[0] = 42.0
+        assert buf.as_array(np.float32, (8,))[0] == 42.0
+        buf.as_array(np.float32, (8,))[1] = 7.0
+        assert view[1] == 7.0
+
+    def test_unaligned_length_rejected(self):
+        alloc = aligned_alloc(2 * PAGE_SIZE)
+        with pytest.raises(NoCopyAlignmentError):
+            MTLBuffer.with_bytes_no_copy(
+                alloc.data, PAGE_SIZE + 1, MTLResourceStorageMode.SHARED
+            )
+
+    def test_unaligned_base_rejected(self):
+        alloc = aligned_alloc(2 * PAGE_SIZE)
+        offset_view = alloc.data[4:]
+        with pytest.raises(NoCopyAlignmentError):
+            MTLBuffer.with_bytes_no_copy(
+                offset_view, PAGE_SIZE, MTLResourceStorageMode.SHARED
+            )
+
+    def test_plain_numpy_array_usually_rejected(self):
+        """np.zeros gives no 16 KiB alignment guarantee — exactly why the
+        paper needs aligned_alloc."""
+        raw = np.zeros(PAGE_SIZE + 64, dtype=np.uint8)[64:]
+        if raw.ctypes.data % PAGE_SIZE == 0:
+            pytest.skip("allocation happened to be page-aligned")
+        with pytest.raises(NoCopyAlignmentError):
+            MTLBuffer.with_bytes_no_copy(
+                raw, PAGE_SIZE, MTLResourceStorageMode.SHARED
+            )
+
+    def test_requires_shared_mode(self):
+        alloc = aligned_alloc(PAGE_SIZE)
+        with pytest.raises(StorageModeError):
+            MTLBuffer.with_bytes_no_copy(
+                alloc.data, alloc.length, MTLResourceStorageMode.PRIVATE
+            )
+
+    def test_rejects_oversized_length(self):
+        alloc = aligned_alloc(PAGE_SIZE)
+        with pytest.raises(BufferError_):
+            MTLBuffer.with_bytes_no_copy(
+                alloc.data, 2 * PAGE_SIZE, MTLResourceStorageMode.SHARED
+            )
+
+    @given(st.integers(min_value=1, max_value=5))
+    def test_any_page_multiple_accepted_property(self, pages):
+        alloc = aligned_alloc(pages * PAGE_SIZE)
+        buf = MTLBuffer.with_bytes_no_copy(
+            alloc.data, pages * PAGE_SIZE, MTLResourceStorageMode.SHARED
+        )
+        assert buf.length == pages * PAGE_SIZE
+
+
+class TestStorageModes:
+    def test_private_contents_raises(self):
+        buf = MTLBuffer.with_length(64, MTLResourceStorageMode.PRIVATE)
+        with pytest.raises(StorageModeError):
+            buf.contents()
+
+    def test_private_gpu_view_works(self):
+        buf = MTLBuffer.with_length(64, MTLResourceStorageMode.PRIVATE)
+        arr = buf.as_array(np.float32, (16,), gpu=True)
+        assert arr.shape == (16,)
+
+    def test_shared_contents_accessible(self):
+        buf = MTLBuffer.with_length(64, MTLResourceStorageMode.SHARED)
+        assert buf.contents().size == 64
+
+
+class TestTypedViews:
+    def test_view_with_offset(self):
+        buf = MTLBuffer.with_length(64, MTLResourceStorageMode.SHARED)
+        buf.contents()[32:36] = np.float32(1.5).tobytes()[0]  # write a byte
+        view = buf.as_array(np.float32, (8,), offset=32)
+        assert view.shape == (8,)
+
+    def test_view_out_of_bounds(self):
+        buf = MTLBuffer.with_length(64, MTLResourceStorageMode.SHARED)
+        with pytest.raises(BufferError_):
+            buf.as_array(np.float32, (17,))
+        with pytest.raises(BufferError_):
+            buf.as_array(np.float32, (8,), offset=40)

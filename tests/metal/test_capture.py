@@ -1,0 +1,74 @@
+"""GPU capture / per-kernel profiling."""
+
+import numpy as np
+import pytest
+
+from repro.core.gemm.base import GemmProblem
+from repro.core.gemm.registry import get_implementation
+from repro.metal.capture import GPUCaptureScope, summarize_gpu_trace
+
+from tests.conftest import make_exact_machine
+
+
+def run_mps(machine, n=32, times=1):
+    impl = get_implementation("gpu-mps")
+    problem = GemmProblem.generate(n)
+    context = impl.prepare(machine, problem)
+    for _ in range(times):
+        impl.execute(machine, problem, context)
+
+
+class TestSummarize:
+    def test_groups_by_kernel(self):
+        machine = make_exact_machine("M2")
+        run_mps(machine, times=3)
+        stats = summarize_gpu_trace(machine)
+        assert len(stats) == 1
+        (entry,) = stats.values()
+        assert entry.dispatches == 3
+        assert entry.busy_s > 0
+        assert entry.flops > 0
+
+    def test_occupancy_bounded(self):
+        machine = make_exact_machine("M2")
+        run_mps(machine, n=64)
+        for entry in summarize_gpu_trace(machine).values():
+            assert 0.0 <= entry.compute_occupancy <= 1.0
+            assert 0.0 <= entry.bandwidth_occupancy <= 1.0
+
+    def test_cpu_work_excluded(self):
+        machine = make_exact_machine("M2")
+        impl = get_implementation("cpu-accelerate")
+        problem = GemmProblem.generate(32)
+        impl.execute(machine, problem, impl.prepare(machine, problem))
+        assert summarize_gpu_trace(machine) == {}
+
+
+class TestCaptureScope:
+    def test_scope_limits_to_block(self):
+        machine = make_exact_machine("M3")
+        run_mps(machine)  # outside the scope
+        with GPUCaptureScope(machine) as capture:
+            run_mps(machine, times=2)
+        (entry,) = capture.stats.values()
+        assert entry.dispatches == 2
+
+    def test_report_renders(self):
+        machine = make_exact_machine("M3")
+        with GPUCaptureScope(machine) as capture:
+            run_mps(machine, n=64)
+        report = capture.report()
+        assert "kernel" in report
+        assert "mps/sgemm" in report
+
+    def test_stats_before_exit_raises(self):
+        machine = make_exact_machine("M3")
+        scope = GPUCaptureScope(machine)
+        with pytest.raises(RuntimeError):
+            _ = scope.stats
+
+    def test_empty_scope(self):
+        machine = make_exact_machine("M3")
+        with GPUCaptureScope(machine) as capture:
+            pass
+        assert capture.stats == {}

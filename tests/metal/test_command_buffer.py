@@ -1,0 +1,180 @@
+"""Command-buffer lifecycle and encoder validation (Listing 2 flow)."""
+
+import numpy as np
+import pytest
+
+from repro.metal import (
+    CommandBufferError,
+    EncoderError,
+    MTLCommandBufferStatus,
+    MTLCreateSystemDefaultDevice,
+    MTLResourceStorageMode,
+    MTLSize,
+)
+
+from tests.conftest import make_exact_machine
+
+
+@pytest.fixture
+def device():
+    return MTLCreateSystemDefaultDevice(make_exact_machine("M1"))
+
+
+def encode_noop_gemm(device, cb, n=16):
+    lib = device.new_default_library()
+    pso = device.new_compute_pipeline_state_with_function(
+        lib.new_function_with_name("gemm_naive")
+    )
+    bufs = [device.new_buffer_with_length(n * n * 4) for _ in range(3)]
+    enc = cb.compute_command_encoder()
+    enc.set_compute_pipeline_state(pso)
+    for i, buf in enumerate(bufs):
+        enc.set_buffer(buf, 0, i)
+    enc.set_bytes(np.uint32(n), 3)
+    enc.dispatch_threadgroups(MTLSize(2, 2), MTLSize(8, 8))
+    enc.end_encoding()
+    return enc
+
+
+class TestLifecycle:
+    def test_listing2_flow(self, device):
+        queue = device.new_command_queue()
+        cb = queue.command_buffer()
+        assert cb.status is MTLCommandBufferStatus.NOT_ENQUEUED
+        encode_noop_gemm(device, cb)
+        cb.commit()
+        assert cb.status is MTLCommandBufferStatus.COMMITTED
+        cb.wait_until_completed()
+        assert cb.status is MTLCommandBufferStatus.COMPLETED
+
+    def test_double_commit_rejected(self, device):
+        cb = device.new_command_queue().command_buffer()
+        cb.commit()
+        with pytest.raises(CommandBufferError):
+            cb.commit()
+
+    def test_wait_before_commit_rejected(self, device):
+        cb = device.new_command_queue().command_buffer()
+        with pytest.raises(CommandBufferError):
+            cb.wait_until_completed()
+
+    def test_encode_after_commit_rejected(self, device):
+        cb = device.new_command_queue().command_buffer()
+        cb.commit()
+        with pytest.raises(CommandBufferError):
+            cb.compute_command_encoder()
+
+    def test_gpu_timestamps_cover_execution(self, device):
+        cb = device.new_command_queue().command_buffer()
+        encode_noop_gemm(device, cb)
+        cb.commit()
+        cb.wait_until_completed()
+        assert cb.gpu_start_time is not None
+        assert cb.gpu_end_time is not None
+        assert cb.gpu_end_time > cb.gpu_start_time
+
+    def test_commit_advances_machine_clock(self, device):
+        machine = device.machine
+        before = machine.now_s()
+        cb = device.new_command_queue().command_buffer()
+        encode_noop_gemm(device, cb)
+        cb.commit()
+        assert machine.now_s() > before
+
+
+class TestEncoderValidation:
+    def test_dispatch_without_pipeline(self, device):
+        cb = device.new_command_queue().command_buffer()
+        enc = cb.compute_command_encoder()
+        with pytest.raises(EncoderError):
+            enc.dispatch_threadgroups(MTLSize(1), MTLSize(1))
+
+    def test_threadgroup_limit_enforced(self, device):
+        cb = device.new_command_queue().command_buffer()
+        lib = device.new_default_library()
+        pso = device.new_compute_pipeline_state_with_function(
+            lib.new_function_with_name("gemm_naive")
+        )
+        enc = cb.compute_command_encoder()
+        enc.set_compute_pipeline_state(pso)
+        with pytest.raises(EncoderError):
+            enc.dispatch_threadgroups(MTLSize(1), MTLSize(64, 64))  # 4096 > 1024
+
+    def test_encode_after_end_rejected(self, device):
+        cb = device.new_command_queue().command_buffer()
+        enc = cb.compute_command_encoder()
+        enc.end_encoding()
+        with pytest.raises(EncoderError):
+            enc.set_bytes(np.uint32(1), 0)
+        with pytest.raises(EncoderError):
+            enc.end_encoding()
+
+    def test_bad_buffer_offset(self, device):
+        cb = device.new_command_queue().command_buffer()
+        enc = cb.compute_command_encoder()
+        buf = device.new_buffer_with_length(64)
+        with pytest.raises(EncoderError):
+            enc.set_buffer(buf, 64, 0)
+        with pytest.raises(EncoderError):
+            enc.set_buffer(buf, 0, -1)
+
+    def test_error_state_captured(self, device):
+        """A failing kernel marks the command buffer as errored."""
+        cb = device.new_command_queue().command_buffer()
+        lib = device.new_default_library()
+        pso = device.new_compute_pipeline_state_with_function(
+            lib.new_function_with_name("gemm_naive")
+        )
+        enc = cb.compute_command_encoder()
+        enc.set_compute_pipeline_state(pso)
+        # Missing buffers: the kernel will fail at execution.
+        enc.set_bytes(np.uint32(16), 3)
+        enc.dispatch_threadgroups(MTLSize(2, 2), MTLSize(8, 8))
+        enc.end_encoding()
+        with pytest.raises(EncoderError):
+            cb.commit()
+        assert cb.status is MTLCommandBufferStatus.ERROR
+        assert cb.error is not None
+        cb.wait_until_completed()  # waiting on an errored buffer is a no-op
+        assert cb.status is MTLCommandBufferStatus.ERROR
+
+
+class TestBlitEncoder:
+    def test_copy_between_buffers(self, device):
+        src = device.new_buffer_with_bytes(np.arange(8, dtype=np.float32))
+        dst = device.new_buffer_with_length(
+            32, MTLResourceStorageMode.PRIVATE
+        )
+        cb = device.new_command_queue().command_buffer()
+        blit = cb.blit_command_encoder()
+        blit.copy_from_buffer(src, 0, dst, 0, 32)
+        blit.end_encoding()
+        cb.commit()
+        cb.wait_until_completed()
+        np.testing.assert_array_equal(
+            dst.as_array(np.float32, (8,), gpu=True), np.arange(8, dtype=np.float32)
+        )
+
+    def test_blit_bounds_checked(self, device):
+        src = device.new_buffer_with_length(16)
+        dst = device.new_buffer_with_length(16)
+        cb = device.new_command_queue().command_buffer()
+        blit = cb.blit_command_encoder()
+        with pytest.raises(EncoderError):
+            blit.copy_from_buffer(src, 8, dst, 0, 16)
+        with pytest.raises(EncoderError):
+            blit.copy_from_buffer(src, 0, dst, 8, 16)
+        with pytest.raises(EncoderError):
+            blit.copy_from_buffer(src, 0, dst, 0, 0)
+
+    def test_blit_advances_clock(self, device):
+        machine = device.machine
+        src = device.new_buffer_with_length(1 << 20)
+        dst = device.new_buffer_with_length(1 << 20)
+        cb = device.new_command_queue().command_buffer()
+        blit = cb.blit_command_encoder()
+        blit.copy_from_buffer(src, 0, dst, 0, 1 << 20)
+        blit.end_encoding()
+        before = machine.now_s()
+        cb.commit()
+        assert machine.now_s() > before

@@ -1,0 +1,100 @@
+"""MTLDevice, library and pipeline objects."""
+
+import numpy as np
+import pytest
+
+from repro.metal import (
+    BufferError_,
+    LibraryError,
+    MTLCreateSystemDefaultDevice,
+    MTLResourceStorageMode,
+    MTLSize,
+    PipelineError,
+)
+from repro.metal.pipeline import MTLComputePipelineState
+
+from tests.conftest import make_exact_machine
+
+
+@pytest.fixture
+def device():
+    return MTLCreateSystemDefaultDevice(make_exact_machine("M2"))
+
+
+class TestDevice:
+    def test_name(self, device):
+        assert device.name == "Apple M2"
+
+    def test_unified_memory(self, device):
+        assert device.has_unified_memory
+
+    def test_max_threads_per_threadgroup(self, device):
+        size = device.max_threads_per_threadgroup
+        assert (size.width, size.height, size.depth) == (1024, 1024, 64)
+
+    def test_working_set_limit_enforced(self, device):
+        with pytest.raises(BufferError_):
+            device.new_buffer_with_length(10**12)
+
+    def test_buffer_factories(self, device):
+        buf = device.new_buffer_with_length(256)
+        assert buf.length == 256
+        src = np.arange(4, dtype=np.float32)
+        buf2 = device.new_buffer_with_bytes(src)
+        assert buf2.length == 16
+
+
+class TestLibrary:
+    def test_default_library_has_all_shaders(self, device):
+        names = device.new_default_library().function_names
+        for expected in (
+            "gemm_naive",
+            "gemm_tiled",
+            "gemm_fp64_emulated",
+            "stream_copy",
+            "stream_scale",
+            "stream_add",
+            "stream_triad",
+        ):
+            assert expected in names
+
+    def test_restricted_library(self, device):
+        lib = device.new_library_with_functions(("gemm_naive",))
+        assert lib.function_names == ("gemm_naive",)
+        with pytest.raises(LibraryError):
+            lib.new_function_with_name("gemm_tiled")
+
+    def test_unknown_function_in_restriction(self, device):
+        with pytest.raises(LibraryError):
+            device.new_library_with_functions(("gemm_quantum",))
+
+    def test_function_lookup(self, device):
+        fn = device.new_default_library().new_function_with_name("gemm_naive")
+        assert fn.name == "gemm_naive"
+        assert fn.impl_key == "gpu-naive"
+
+
+class TestPipeline:
+    def test_pipeline_properties(self, device):
+        fn = device.new_default_library().new_function_with_name("gemm_tiled")
+        pso = device.new_compute_pipeline_state_with_function(fn)
+        assert pso.max_total_threads_per_threadgroup == 1024
+        assert pso.thread_execution_width == 32
+        assert pso.label == "gemm_tiled"
+
+    def test_pipeline_validation(self, device):
+        fn = device.new_default_library().new_function_with_name("gemm_tiled")
+        with pytest.raises(PipelineError):
+            MTLComputePipelineState(function=fn, max_total_threads_per_threadgroup=0)
+
+
+class TestMTLSize:
+    def test_totals(self):
+        assert MTLSize(8, 8).total == 64
+        assert MTLSize(2, 3, 4).as_tuple() == (2, 3, 4)
+
+    def test_rejects_zero_extent(self):
+        from repro.metal import DispatchError
+
+        with pytest.raises(DispatchError):
+            MTLSize(0)

@@ -1,0 +1,157 @@
+"""Metal Performance Shaders matrix multiplication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metal import (
+    MPSDataType,
+    MPSError,
+    MPSMatrix,
+    MPSMatrixDescriptor,
+    MPSMatrixMultiplication,
+    MTLCreateSystemDefaultDevice,
+)
+
+from tests.conftest import make_exact_machine
+
+
+@pytest.fixture
+def device():
+    return MTLCreateSystemDefaultDevice(make_exact_machine("M4"))
+
+
+def mps_matmul(device, a, b, *, alpha=1.0, beta=0.0, c_init=None,
+               transpose_left=False, transpose_right=False):
+    m = a.shape[1] if transpose_left else a.shape[0]
+    k = a.shape[0] if transpose_left else a.shape[1]
+    n = b.shape[0] if transpose_right else b.shape[1]
+    buf_a = device.new_buffer_with_bytes(a)
+    buf_b = device.new_buffer_with_bytes(b)
+    if c_init is None:
+        buf_c = device.new_buffer_with_length(m * n * 4)
+    else:
+        buf_c = device.new_buffer_with_bytes(c_init)
+    mat_a = MPSMatrix(buf_a, MPSMatrixDescriptor(a.shape[0], a.shape[1], a.shape[1] * 4))
+    mat_b = MPSMatrix(buf_b, MPSMatrixDescriptor(b.shape[0], b.shape[1], b.shape[1] * 4))
+    mat_c = MPSMatrix(buf_c, MPSMatrixDescriptor(m, n, n * 4))
+    mm = MPSMatrixMultiplication(
+        device,
+        result_rows=m,
+        result_columns=n,
+        interior_columns=k,
+        transpose_left=transpose_left,
+        transpose_right=transpose_right,
+        alpha=alpha,
+        beta=beta,
+    )
+    cb = device.new_command_queue().command_buffer()
+    mm.encode_to_command_buffer(cb, mat_a, mat_b, mat_c)
+    cb.commit()
+    cb.wait_until_completed()
+    return buf_c.as_array(np.float32, (m, n)).copy()
+
+
+class TestDescriptor:
+    def test_valid(self):
+        desc = MPSMatrixDescriptor(4, 4, 16)
+        assert desc.required_length == 64
+
+    def test_row_bytes_too_small(self):
+        with pytest.raises(MPSError):
+            MPSMatrixDescriptor(4, 4, 8)
+
+    def test_row_bytes_not_multiple(self):
+        with pytest.raises(MPSError):
+            MPSMatrixDescriptor(4, 4, 17)
+
+    def test_non_positive_dims(self):
+        with pytest.raises(MPSError):
+            MPSMatrixDescriptor(0, 4, 16)
+
+    def test_fp16_descriptor(self):
+        desc = MPSMatrixDescriptor(4, 4, 8, MPSDataType.FLOAT16)
+        assert desc.required_length == 32
+
+
+class TestMatrix:
+    def test_buffer_too_small(self, device):
+        buf = device.new_buffer_with_length(32)
+        with pytest.raises(MPSError):
+            MPSMatrix(buf, MPSMatrixDescriptor(4, 4, 16))
+
+    def test_row_bytes_stride_honoured(self, device):
+        """rowBytes > columns*4 pads rows; values must land correctly."""
+        n, stride_elems = 3, 5
+        backing = np.arange(n * stride_elems, dtype=np.float32)
+        buf = device.new_buffer_with_bytes(backing)
+        mat = MPSMatrix(buf, MPSMatrixDescriptor(n, n, stride_elems * 4))
+        view = mat._array()
+        np.testing.assert_array_equal(view[1], backing[5:8])
+
+
+class TestMultiplication:
+    def test_square_identity_case(self, device):
+        rng = np.random.default_rng(0)
+        n = 32
+        a = rng.random((n, n), dtype=np.float32)
+        eye = np.eye(n, dtype=np.float32)
+        np.testing.assert_allclose(mps_matmul(device, a, eye), a, rtol=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.integers(1, 24), n=st.integers(1, 24), k=st.integers(1, 24),
+        seed=st.integers(0, 99),
+    )
+    def test_rectangular_property(self, m, n, k, seed):
+        device = MTLCreateSystemDefaultDevice(make_exact_machine("M4"))
+        rng = np.random.default_rng(seed)
+        a = rng.random((m, k), dtype=np.float32)
+        b = rng.random((k, n), dtype=np.float32)
+        np.testing.assert_allclose(mps_matmul(device, a, b), a @ b, rtol=1e-4)
+
+    def test_alpha_beta(self, device):
+        rng = np.random.default_rng(1)
+        n = 8
+        a = rng.random((n, n), dtype=np.float32)
+        b = rng.random((n, n), dtype=np.float32)
+        c0 = rng.random((n, n), dtype=np.float32)
+        out = mps_matmul(device, a, b, alpha=2.0, beta=0.5, c_init=c0)
+        np.testing.assert_allclose(out, 2.0 * (a @ b) + 0.5 * c0, rtol=1e-4)
+
+    def test_transposes(self, device):
+        rng = np.random.default_rng(2)
+        a = rng.random((6, 4), dtype=np.float32)  # will be used as A^T (4x6)
+        b = rng.random((8, 6), dtype=np.float32)  # will be used as B^T (6x8)
+        out = mps_matmul(
+            device, a, b, transpose_left=True, transpose_right=True
+        )
+        np.testing.assert_allclose(out, a.T @ b.T, rtol=1e-4)
+
+    def test_shape_mismatch_rejected(self, device):
+        n = 8
+        a = np.zeros((n, n), dtype=np.float32)
+        buf = device.new_buffer_with_bytes(a)
+        desc = MPSMatrixDescriptor(n, n, n * 4)
+        mat = MPSMatrix(buf, desc)
+        mm = MPSMatrixMultiplication(
+            device, result_rows=n, result_columns=n, interior_columns=n + 1
+        )
+        cb = device.new_command_queue().command_buffer()
+        with pytest.raises(MPSError):
+            mm.encode_to_command_buffer(cb, mat, mat, mat)
+
+    def test_non_positive_dims_rejected(self, device):
+        with pytest.raises(MPSError):
+            MPSMatrixMultiplication(
+                device, result_rows=0, result_columns=1, interior_columns=1
+            )
+
+    def test_timing_routes_to_mps_calibration(self, device):
+        machine = device.machine
+        n = 16
+        a = np.zeros((n, n), dtype=np.float32)
+        mps_matmul(device, a, a)
+        labels = [e.label for e in machine.trace.events(engine="gpu")]
+        assert any(label.startswith("mps/sgemm/") for label in labels)

@@ -1,0 +1,67 @@
+"""OpenMP environment parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.omp import OpenMPEnvironment
+
+
+class TestNumThreads:
+    def test_default(self):
+        assert OpenMPEnvironment({}).num_threads() == 1
+        assert OpenMPEnvironment({}, default_threads=4).num_threads() == 4
+
+    def test_explicit(self):
+        assert OpenMPEnvironment({"OMP_NUM_THREADS": "8"}).num_threads() == 8
+
+    def test_with_threads_factory(self):
+        assert OpenMPEnvironment.with_threads(6).num_threads() == 6
+
+    def test_nested_list_takes_first(self):
+        assert OpenMPEnvironment({"OMP_NUM_THREADS": "4,2"}).num_threads() == 4
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            OpenMPEnvironment({"OMP_NUM_THREADS": "many"}).num_threads()
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            OpenMPEnvironment({"OMP_NUM_THREADS": "0"}).num_threads()
+
+    def test_rejects_bad_default(self):
+        with pytest.raises(ConfigurationError):
+            OpenMPEnvironment({}, default_threads=0)
+
+
+class TestSchedule:
+    def test_default_static(self):
+        assert OpenMPEnvironment({}).schedule() == ("static", None)
+
+    def test_dynamic_with_chunk(self):
+        env = OpenMPEnvironment({"OMP_SCHEDULE": "dynamic,16"})
+        assert env.schedule() == ("dynamic", 16)
+
+    def test_guided(self):
+        assert OpenMPEnvironment({"OMP_SCHEDULE": "guided"}).schedule() == (
+            "guided",
+            None,
+        )
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            OpenMPEnvironment({"OMP_SCHEDULE": "auto"}).schedule()
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ConfigurationError):
+            OpenMPEnvironment({"OMP_SCHEDULE": "static,zero"}).schedule()
+        with pytest.raises(ConfigurationError):
+            OpenMPEnvironment({"OMP_SCHEDULE": "static,0"}).schedule()
+
+
+class TestDynamicFlag:
+    def test_default_off(self):
+        assert not OpenMPEnvironment({}).dynamic_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "on"])
+    def test_truthy(self, value):
+        assert OpenMPEnvironment({"OMP_DYNAMIC": value}).dynamic_enabled()

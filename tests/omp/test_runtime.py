@@ -1,0 +1,128 @@
+"""Parallel-for scheduling semantics (property-tested coverage)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.omp import (
+    ChunkAssignment,
+    OpenMPEnvironment,
+    OpenMPRuntime,
+    Schedule,
+    ScheduleKind,
+    parallel_chunks,
+)
+
+schedules = st.one_of(
+    st.just(Schedule(ScheduleKind.STATIC, None)),
+    st.builds(
+        Schedule, st.just(ScheduleKind.STATIC), st.integers(min_value=1, max_value=64)
+    ),
+    st.builds(
+        Schedule, st.just(ScheduleKind.DYNAMIC), st.integers(min_value=1, max_value=64)
+    ),
+    st.builds(
+        Schedule, st.just(ScheduleKind.GUIDED), st.integers(min_value=1, max_value=64)
+    ),
+)
+
+
+class TestChunkAssignment:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChunkAssignment(thread=0, start=5, stop=4)
+        with pytest.raises(ConfigurationError):
+            ChunkAssignment(thread=-1, start=0, stop=1)
+
+    def test_size(self):
+        assert ChunkAssignment(0, 2, 10).size == 8
+
+
+class TestParallelChunks:
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=1, max_value=16),
+        schedules,
+    )
+    def test_exact_coverage_property(self, n, threads, schedule):
+        """Every iteration is assigned exactly once, whatever the schedule."""
+        chunks = parallel_chunks(n, threads, schedule)
+        seen: list[int] = []
+        for chunk in chunks:
+            seen.extend(range(chunk.start, chunk.stop))
+        assert sorted(seen) == list(range(n))
+        assert all(0 <= c.thread < threads for c in chunks)
+
+    def test_default_static_contiguous_blocks(self):
+        chunks = parallel_chunks(10, 3)
+        assert [(c.thread, c.start, c.stop) for c in chunks] == [
+            (0, 0, 4),
+            (1, 4, 7),
+            (2, 7, 10),
+        ]
+
+    def test_static_chunked_round_robin(self):
+        chunks = parallel_chunks(10, 2, Schedule(ScheduleKind.STATIC, 3))
+        assert [(c.thread, c.start, c.stop) for c in chunks] == [
+            (0, 0, 3),
+            (1, 3, 6),
+            (0, 6, 9),
+            (1, 9, 10),
+        ]
+
+    def test_guided_chunks_decrease(self):
+        chunks = parallel_chunks(1000, 4, Schedule(ScheduleKind.GUIDED, 1))
+        sizes = [c.size for c in chunks]
+        assert sizes == sorted(sizes, reverse=True) or sizes[0] > sizes[-1]
+
+    def test_zero_iterations(self):
+        assert parallel_chunks(0, 4) == []
+
+    def test_more_threads_than_work(self):
+        chunks = parallel_chunks(2, 8)
+        assert sum(c.size for c in chunks) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            parallel_chunks(-1, 2)
+        with pytest.raises(ConfigurationError):
+            parallel_chunks(10, 0)
+
+
+class TestOpenMPRuntime:
+    def test_thread_count_from_env(self):
+        runtime = OpenMPRuntime(OpenMPEnvironment.with_threads(6))
+        assert runtime.get_max_threads() == 6
+
+    def test_set_num_threads_overrides(self):
+        runtime = OpenMPRuntime(OpenMPEnvironment.with_threads(6))
+        runtime.set_num_threads(3)
+        assert runtime.get_max_threads() == 3
+        with pytest.raises(ConfigurationError):
+            runtime.set_num_threads(0)
+
+    def test_parallel_for_runs_every_chunk(self):
+        runtime = OpenMPRuntime(OpenMPEnvironment.with_threads(4))
+        hits: list[tuple[int, int]] = []
+        runtime.parallel_for(100, lambda start, stop, t: hits.append((start, stop)))
+        covered = sorted(i for s, e in hits for i in range(s, e))
+        assert covered == list(range(100))
+
+    def test_parallel_reduce_sums(self):
+        runtime = OpenMPRuntime(OpenMPEnvironment.with_threads(4))
+        total = runtime.parallel_reduce(
+            100, lambda start, stop: float(sum(range(start, stop)))
+        )
+        assert total == sum(range(100))
+
+    @given(st.integers(min_value=1, max_value=2000), st.integers(min_value=1, max_value=16))
+    def test_reduce_matches_serial_property(self, n, threads):
+        runtime = OpenMPRuntime(OpenMPEnvironment.with_threads(threads))
+        total = runtime.parallel_reduce(n, lambda s, e: float(e - s))
+        assert total == n
+
+    def test_max_thread_share(self):
+        chunks = parallel_chunks(10, 3)
+        assert OpenMPRuntime.max_thread_share(chunks) == 4
+        assert OpenMPRuntime.max_thread_share([]) == 0

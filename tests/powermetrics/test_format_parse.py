@@ -1,0 +1,93 @@
+"""Text format and parser (round-trip properties)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.powermetrics import parse_samples, render_sample
+from repro.powermetrics.format import render_header
+
+mw = st.floats(min_value=0.0, max_value=50_000.0)
+
+
+class TestFormat:
+    def test_header(self):
+        text = render_header("Mac mini (M4)", "macOS 15.1.1")
+        assert "Machine model: Mac mini (M4)" in text
+        assert "OS version: macOS 15.1.1" in text
+
+    def test_sample_block_contains_required_lines(self):
+        text = render_sample(
+            sample_index=1, elapsed_ms=1234.5, cpu_mw=3231.0, gpu_mw=5612.0
+        )
+        assert "(1234.50ms elapsed)" in text
+        assert "CPU Power: 3231 mW" in text
+        assert "GPU Power: 5612 mW" in text
+        assert "Combined Power (CPU + GPU + ANE): 8843 mW" in text
+
+    def test_ane_line_optional(self):
+        without = render_sample(sample_index=1, elapsed_ms=1.0, cpu_mw=1.0, gpu_mw=1.0)
+        assert "ANE Power" not in without
+        with_ane = render_sample(
+            sample_index=1, elapsed_ms=1.0, cpu_mw=1.0, gpu_mw=1.0, ane_mw=3.0
+        )
+        assert "ANE Power: 3 mW" in with_ane
+
+
+class TestParser:
+    def test_parses_multiple_samples(self):
+        text = render_sample(
+            sample_index=1, elapsed_ms=2000.0, cpu_mw=40.0, gpu_mw=20.0
+        ) + render_sample(
+            sample_index=2, elapsed_ms=15.5, cpu_mw=480.0, gpu_mw=8300.0
+        )
+        samples = parse_samples(text)
+        assert len(samples) == 2
+        assert samples[1].combined_mw == pytest.approx(8780.0)
+        assert samples[1].elapsed_ms == pytest.approx(15.5)
+
+    def test_energy_derivation(self):
+        sample = parse_samples(
+            render_sample(sample_index=1, elapsed_ms=2000.0, cpu_mw=500.0, gpu_mw=1500.0)
+        )[0]
+        # 2 W over 2 s = 4 J.
+        assert sample.energy_j == pytest.approx(4.0)
+
+    def test_empty_text_yields_no_samples(self):
+        assert parse_samples("") == []
+        assert parse_samples(render_header("x", "y")) == []
+
+    def test_missing_power_lines_raise(self):
+        broken = "*** Sampled system activity (sample 1) (10.00ms elapsed) ***\n"
+        with pytest.raises(ParseError):
+            parse_samples(broken)
+
+    def test_tolerates_surrounding_noise(self):
+        text = (
+            render_header("Mac mini (M4)", "macOS 15.1.1")
+            + "some unrelated diagnostics\n"
+            + render_sample(sample_index=1, elapsed_ms=5.0, cpu_mw=10.0, gpu_mw=20.0)
+            + "trailing garbage\n"
+        )
+        samples = parse_samples(text)
+        assert len(samples) == 1
+
+    @given(mw, mw, st.floats(min_value=0.01, max_value=1e7))
+    def test_roundtrip_property(self, cpu, gpu, elapsed):
+        text = render_sample(
+            sample_index=1, elapsed_ms=elapsed, cpu_mw=cpu, gpu_mw=gpu
+        )
+        sample = parse_samples(text)[0]
+        # The format rounds to whole milliwatts.
+        assert sample.cpu_mw == pytest.approx(cpu, abs=0.51)
+        assert sample.gpu_mw == pytest.approx(gpu, abs=0.51)
+        assert sample.elapsed_ms == pytest.approx(elapsed, abs=0.006)
+
+    @given(mw, mw, mw)
+    def test_roundtrip_with_ane_property(self, cpu, gpu, ane):
+        text = render_sample(
+            sample_index=1, elapsed_ms=10.0, cpu_mw=cpu, gpu_mw=gpu, ane_mw=ane
+        )
+        sample = parse_samples(text)[0]
+        assert sample.ane_mw == pytest.approx(ane, abs=0.51)

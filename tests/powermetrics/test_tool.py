@@ -1,0 +1,134 @@
+"""The simulated powermetrics process and its SIGINFO protocol."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.powermetrics import PowerMetrics, PowerMetricsOptions, parse_samples
+from repro.sim.engine import EngineKind, Operation
+from repro.sim.roofline import OpCost
+from repro.soc.power import PowerComponent
+
+from tests.conftest import make_exact_machine
+
+
+def busy_op(watts_gpu=5.0, flops=1e9):
+    return Operation(
+        engine=EngineKind.GPU,
+        label="load",
+        cost=OpCost(flops=flops),
+        peak_flops=1e12,
+        peak_bytes_per_s=1e11,
+        power_draws_w={PowerComponent.GPU: watts_gpu},
+    )
+
+
+class TestOptions:
+    def test_defaults_match_paper_invocation(self):
+        # powermetrics -i 0 -a 0 -s cpu_power,gpu_power
+        opts = PowerMetricsOptions()
+        assert opts.interval_ms == 0
+        assert opts.accumulate == 0
+        assert opts.samplers == ("cpu_power", "gpu_power")
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ProtocolError):
+            PowerMetricsOptions(samplers=("cpu_power", "magnetometer"))
+
+    def test_empty_samplers_rejected(self):
+        with pytest.raises(ProtocolError):
+            PowerMetricsOptions(samplers=())
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ProtocolError):
+            PowerMetricsOptions(interval_ms=-1)
+
+
+class TestProtocol:
+    def test_paper_protocol_measures_exactly_the_workload(self):
+        """Warm-up sample discarded; second sample covers the run alone."""
+        machine = make_exact_machine("M1")
+        tool = PowerMetrics(machine)
+        tool.start()
+        machine.sleep(2.0)
+        tool.siginfo()  # reset after warm-up
+        machine.execute(busy_op(watts_gpu=5.0, flops=1e9))  # 1 ms at 5 W
+        tool.siginfo()
+        samples = parse_samples(tool.stop())
+        assert len(samples) == 2
+        warmup, measured = samples
+        assert warmup.elapsed_ms == pytest.approx(2000.0)
+        assert measured.elapsed_ms == pytest.approx(1.0, rel=1e-6)
+        assert measured.gpu_mw == pytest.approx(5000.0, rel=1e-6)
+
+    def test_warmup_sample_is_idle(self):
+        machine = make_exact_machine("M2")
+        tool = PowerMetrics(machine)
+        tool.start()
+        machine.sleep(2.0)
+        tool.siginfo()
+        text = tool.stop()
+        warmup = parse_samples(text)[0]
+        idle_mw = machine.envelope.idle_watts(PowerComponent.CPU) * 1e3
+        assert warmup.cpu_mw == pytest.approx(idle_mw, rel=1e-6)
+
+    def test_double_start_rejected(self):
+        tool = PowerMetrics(make_exact_machine("M1"))
+        tool.start()
+        with pytest.raises(ProtocolError):
+            tool.start()
+
+    def test_siginfo_before_start_rejected(self):
+        tool = PowerMetrics(make_exact_machine("M1"))
+        with pytest.raises(ProtocolError):
+            tool.siginfo()
+
+    def test_stop_before_start_rejected(self):
+        tool = PowerMetrics(make_exact_machine("M1"))
+        with pytest.raises(ProtocolError):
+            tool.stop()
+
+    def test_context_manager(self):
+        machine = make_exact_machine("M1")
+        with PowerMetrics(machine) as tool:
+            machine.sleep(0.5)
+            tool.siginfo()
+        assert not tool.is_running
+
+    def test_output_file_written(self, tmp_path):
+        machine = make_exact_machine("M1")
+        path = tmp_path / "power.txt"
+        tool = PowerMetrics(machine, PowerMetricsOptions(output_path=path))
+        tool.start()
+        machine.sleep(1.0)
+        tool.siginfo()
+        text = tool.stop()
+        assert path.read_text() == text
+        assert "CPU Power:" in text
+
+    def test_sampler_selection_zeroes_unselected(self):
+        machine = make_exact_machine("M1")
+        tool = PowerMetrics(
+            machine, PowerMetricsOptions(samplers=("cpu_power",))
+        )
+        tool.start()
+        machine.execute(busy_op(watts_gpu=8.0))
+        tool.siginfo()
+        sample = parse_samples(tool.stop())[0]
+        assert sample.gpu_mw == 0.0  # gpu_power sampler not requested
+
+    def test_energy_integral_matches_recorder(self):
+        """The tool reports exactly what the recorder integrated."""
+        machine = make_exact_machine("M3")
+        tool = PowerMetrics(machine)
+        tool.start()
+        t0 = machine.now_s()
+        machine.execute(busy_op(watts_gpu=4.2, flops=5e8))
+        machine.sleep(0.25)
+        t1 = machine.now_s()
+        tool.siginfo()
+        sample = parse_samples(tool.stop())[0]
+        expected_mw = (
+            machine.recorder.average_power_w(t0, t1, (PowerComponent.GPU,)) * 1e3
+        )
+        # The text format rounds to whole milliwatts.
+        assert sample.gpu_mw == pytest.approx(expected_mw, abs=0.51)

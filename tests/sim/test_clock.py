@@ -1,0 +1,63 @@
+"""Virtual clock invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ClockError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_s() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now_s() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now_s() == 1.5
+
+    def test_sleep_is_advance(self):
+        clock = VirtualClock()
+        clock.sleep(2.0)
+        assert clock.now_s() == 2.0
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance(-0.1)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance(float("nan"))
+        with pytest.raises(ClockError):
+            VirtualClock().advance(float("inf"))
+
+    def test_now_ns_truncates(self):
+        clock = VirtualClock()
+        clock.advance(1.5e-9)
+        assert clock.now_ns() == 1
+
+    def test_advance_to_forward_only(self):
+        clock = VirtualClock()
+        clock.advance(3.0)
+        clock.advance_to(2.0)  # no-op into the past
+        assert clock.now_s() == 3.0
+        clock.advance_to(4.0)
+        assert clock.now_s() == 4.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3), max_size=50))
+    def test_monotonic_property(self, deltas):
+        clock = VirtualClock()
+        previous = 0.0
+        for dt in deltas:
+            now = clock.advance(dt)
+            assert now >= previous
+            previous = now
+        assert clock.now_s() == pytest.approx(sum(deltas), rel=1e-12, abs=1e-12)

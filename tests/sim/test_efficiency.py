@@ -1,0 +1,120 @@
+"""Efficiency curves: bounds, monotonicity and anchors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.efficiency import (
+    ConstantCurve,
+    LogisticCurve,
+    PeakDecayCurve,
+    TableCurve,
+)
+
+sizes = st.floats(min_value=1.0, max_value=1e6)
+
+
+class TestConstantCurve:
+    def test_value(self):
+        assert ConstantCurve(0.5)(123.0) == 0.5
+
+    def test_rejects_out_of_range(self):
+        for v in (0.0, -0.1, 1.1):
+            with pytest.raises(ConfigurationError):
+                ConstantCurve(v)
+
+    def test_rejects_non_positive_argument(self):
+        with pytest.raises(ConfigurationError):
+            ConstantCurve(0.5)(0.0)
+
+
+class TestLogisticCurve:
+    def test_half_point(self):
+        curve = LogisticCurve(peak=0.8, x_half=100.0)
+        assert curve(100.0) == pytest.approx(0.4)
+
+    def test_saturates_at_peak(self):
+        curve = LogisticCurve(peak=0.8, x_half=100.0)
+        assert curve(1e9) == pytest.approx(0.8, rel=1e-3)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            LogisticCurve(peak=0.5, x_half=-1.0)
+        with pytest.raises(ConfigurationError):
+            LogisticCurve(peak=0.5, x_half=1.0, steepness=0.0)
+
+    @given(sizes, sizes)
+    def test_monotone_property(self, x1, x2):
+        curve = LogisticCurve(peak=0.7, x_half=64.0, steepness=1.4)
+        lo, hi = min(x1, x2), max(x1, x2)
+        assert curve(lo) <= curve(hi) + 1e-12
+
+    @given(sizes)
+    def test_bounded_property(self, x):
+        curve = LogisticCurve(peak=0.7, x_half=64.0)
+        assert 0.0 < curve(x) <= 0.7
+
+
+class TestPeakDecayCurve:
+    def test_peaks_near_decay_start(self):
+        curve = PeakDecayCurve(peak=0.2, rise_half=40.0, decay_start=724.0)
+        xs = [2.0 ** k for k in range(5, 15)]
+        values = [curve(x) for x in xs]
+        best_x = xs[values.index(max(values))]
+        assert 256.0 <= best_x <= 1024.0
+
+    def test_decays_beyond_cache(self):
+        curve = PeakDecayCurve(peak=0.2, rise_half=40.0, decay_start=724.0)
+        assert curve(4096.0) < curve(724.0)
+
+    def test_rises_at_small_sizes(self):
+        curve = PeakDecayCurve(peak=0.2, rise_half=40.0, decay_start=724.0)
+        assert curve(8.0) < curve(64.0)
+
+    @given(sizes)
+    def test_bounded_property(self, x):
+        curve = PeakDecayCurve(peak=0.9, rise_half=40.0, decay_start=724.0)
+        assert 0.0 < curve(x) <= 0.9
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            PeakDecayCurve(peak=0.5, rise_half=0.0, decay_start=100.0)
+        with pytest.raises(ConfigurationError):
+            PeakDecayCurve(
+                peak=0.5, rise_half=10.0, decay_start=100.0, decay_exponent=-1.0
+            )
+
+
+class TestTableCurve:
+    def test_hits_anchors(self):
+        curve = TableCurve.from_pairs([(32, 0.1), (1024, 0.5), (16384, 0.9)])
+        assert curve(32) == pytest.approx(0.1)
+        assert curve(1024) == pytest.approx(0.5)
+        assert curve(16384) == pytest.approx(0.9)
+
+    def test_clamps_outside_range(self):
+        curve = TableCurve.from_pairs([(32, 0.1), (1024, 0.5)])
+        assert curve(1.0) == 0.1
+        assert curve(1e9) == 0.5
+
+    def test_log_interpolation_midpoint(self):
+        curve = TableCurve.from_pairs([(100, 0.2), (10000, 0.6)])
+        assert curve(1000) == pytest.approx(0.4)
+
+    def test_rejects_unsorted_anchors(self):
+        with pytest.raises(ConfigurationError):
+            TableCurve.from_pairs([(100, 0.2), (10, 0.3)])
+
+    def test_rejects_duplicate_anchors(self):
+        with pytest.raises(ConfigurationError):
+            TableCurve.from_pairs([(10, 0.2), (10, 0.3)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            TableCurve(())
+
+    @given(sizes)
+    def test_bounded_property(self, x):
+        curve = TableCurve.from_pairs([(32, 0.1), (1024, 0.5), (16384, 0.9)])
+        assert 0.1 <= curve(x) <= 0.9

@@ -1,0 +1,130 @@
+"""Machine execution: clock advance, traces, power intervals, throttling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import EngineKind, Operation
+from repro.sim.machine import Machine
+from repro.sim.roofline import OpCost
+from repro.soc.catalog import get_chip
+from repro.soc.device import device_for_chip
+from repro.soc.power import PowerComponent
+from repro.soc.thermal import ThermalModel
+
+from tests.conftest import make_exact_machine
+
+
+def simple_op(label="op", flops=1e9, draws=None, overhead=0.0, noise_sigma=None):
+    return Operation(
+        engine=EngineKind.GPU,
+        label=label,
+        cost=OpCost(flops=flops),
+        peak_flops=1e12,
+        peak_bytes_per_s=1e11,
+        overhead_s=overhead,
+        power_draws_w=draws or {PowerComponent.GPU: 5.0},
+        noise_sigma=noise_sigma,
+    )
+
+
+class TestMachineConstruction:
+    def test_for_chip_uses_table3_device(self):
+        machine = Machine.for_chip("M1")
+        assert machine.device.model == "MacBook Air"
+
+    def test_mismatched_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(get_chip("M1"), device_for_chip("M2"))
+
+    def test_engine_peaks(self):
+        machine = make_exact_machine("M4")
+        assert machine.peak_flops(EngineKind.GPU) == pytest.approx(4.26e12)
+        assert machine.peak_flops(EngineKind.AMX) == pytest.approx(1.7e12)
+        assert machine.peak_flops(EngineKind.CPU_SCALAR) == pytest.approx(8.8e9)
+        assert machine.peak_flops(EngineKind.ANE) > 0
+        assert machine.memory_bandwidth_bytes_per_s() == pytest.approx(120e9)
+
+
+class TestExecution:
+    def test_execute_advances_clock_by_model_time(self):
+        machine = make_exact_machine("M1")
+        done = machine.execute(simple_op(flops=1e9))  # 1 GFLOP at 1 TF/s = 1 ms
+        assert done.elapsed_s == pytest.approx(1e-3)
+        assert machine.now_s() == pytest.approx(1e-3)
+
+    def test_execute_records_trace(self):
+        machine = make_exact_machine("M1")
+        machine.execute(simple_op(label="x"))
+        assert len(machine.trace) == 1
+        assert machine.trace[0].label == "x"
+        assert machine.trace[0].engine == "gpu"
+
+    def test_execute_records_power_interval(self):
+        machine = make_exact_machine("M1")
+        done = machine.execute(simple_op(draws={PowerComponent.GPU: 5.0}))
+        avg = machine.recorder.average_power_w(
+            done.start_s, done.end_s, (PowerComponent.GPU,)
+        )
+        assert avg == pytest.approx(5.0)
+
+    def test_sequential_ops_do_not_overlap(self):
+        machine = make_exact_machine("M1")
+        first = machine.execute(simple_op(label="a"))
+        second = machine.execute(simple_op(label="b"))
+        assert second.start_s >= first.end_s
+
+    def test_sleep_idles(self):
+        machine = make_exact_machine("M1")
+        machine.sleep(2.0)
+        assert machine.now_s() == 2.0
+        assert len(machine.trace) == 0
+
+    def test_achieved_flops(self):
+        machine = make_exact_machine("M1")
+        done = machine.execute(simple_op(flops=1e9))
+        assert done.achieved_flops == pytest.approx(1e12)
+
+    def test_noise_spreads_repeats(self):
+        machine = Machine.for_chip("M1", noise_sigma=0.02)
+        a = machine.execute(simple_op(label="same")).elapsed_s
+        b = machine.execute(simple_op(label="same")).elapsed_s
+        assert a != b  # per-execution counter decorrelates identical labels
+
+    def test_seeded_runs_reproduce_exactly(self):
+        def run(seed):
+            machine = Machine.for_chip("M2", seed=seed)
+            return [machine.execute(simple_op()).elapsed_s for _ in range(3)]
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_reset_measurements_keeps_clock(self):
+        machine = make_exact_machine("M1")
+        machine.execute(simple_op())
+        t = machine.now_s()
+        machine.reset_measurements()
+        assert machine.now_s() == t
+        assert len(machine.trace) == 0
+
+
+class TestThrottling:
+    def test_draw_above_cap_is_clamped_and_stretched(self):
+        machine = Machine.for_chip(
+            "M1", noise_sigma=0.0
+        )
+        machine.thermal = ThermalModel(sustained_cap_w=4.0)
+        done = machine.execute(simple_op(draws={PowerComponent.GPU: 8.0}, flops=1e9))
+        assert done.throttled
+        assert done.draws_w[PowerComponent.GPU] == pytest.approx(4.0)
+        assert done.elapsed_s == pytest.approx(1e-3 * 2 ** (1 / 3))
+
+    def test_draw_below_cap_untouched(self):
+        machine = make_exact_machine("M1")
+        done = machine.execute(simple_op(draws={PowerComponent.GPU: 2.0}))
+        assert not done.throttled
+        assert done.draws_w[PowerComponent.GPU] == 2.0
+
+    def test_energy_accounting(self):
+        machine = make_exact_machine("M1")
+        done = machine.execute(simple_op(draws={PowerComponent.GPU: 5.0}, flops=1e9))
+        assert done.energy_j() == pytest.approx(5.0 * 1e-3)

@@ -1,0 +1,86 @@
+"""Deterministic noise and the numerics policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.noise import DeterministicNoise
+from repro.sim.policy import NumericsConfig, NumericsPolicy
+
+
+class TestDeterministicNoise:
+    def test_same_key_same_factor(self):
+        noise = DeterministicNoise(seed=7)
+        assert noise.factor("a") == noise.factor("a")
+
+    def test_different_keys_differ(self):
+        noise = DeterministicNoise(seed=7)
+        assert noise.factor("a") != noise.factor("b")
+
+    def test_different_seeds_differ(self):
+        assert DeterministicNoise(1).factor("x") != DeterministicNoise(2).factor("x")
+
+    def test_zero_sigma_is_exact(self):
+        assert DeterministicNoise(0, 0.0).factor("anything") == 1.0
+        assert DeterministicNoise(3).factor("k", sigma=0.0) == 1.0
+
+    def test_disabled_copy(self):
+        noise = DeterministicNoise(5, 0.02).disabled()
+        assert noise.factor("k") == 1.0
+        assert noise.seed == 5
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicNoise(0, -0.1)
+        with pytest.raises(ConfigurationError):
+            DeterministicNoise(0).factor("k", sigma=-1.0)
+
+    def test_mean_correction(self):
+        """Average factor over many keys approaches 1 (unbiased model)."""
+        noise = DeterministicNoise(seed=0, default_sigma=0.05)
+        factors = [noise.factor(f"key-{i}") for i in range(4000)]
+        assert np.mean(factors) == pytest.approx(1.0, abs=0.005)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=30))
+    def test_factor_positive_property(self, seed, key):
+        assert DeterministicNoise(seed).factor(key) > 0.0
+
+
+class TestNumericsConfig:
+    def test_full_always_full(self):
+        cfg = NumericsConfig.full()
+        assert cfg.effective_policy(10**9) is NumericsPolicy.FULL
+
+    def test_sampled_below_threshold_is_full(self):
+        cfg = NumericsConfig.sampled(full_threshold=1024)
+        assert cfg.effective_policy(512) is NumericsPolicy.FULL
+        assert cfg.effective_policy(1024) is NumericsPolicy.FULL
+        assert cfg.effective_policy(1025) is NumericsPolicy.SAMPLED
+
+    def test_model_only_never_computes(self):
+        cfg = NumericsConfig.model_only()
+        assert cfg.effective_policy(2) is NumericsPolicy.MODEL_ONLY
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            NumericsConfig(full_threshold=0)
+        with pytest.raises(ConfigurationError):
+            NumericsConfig(sample_rows=0)
+
+    def test_sampled_rows_deterministic_and_in_range(self):
+        cfg = NumericsConfig.sampled(sample_rows=4)
+        rows = cfg.sampled_row_indices(10_000)
+        assert list(rows) == list(cfg.sampled_row_indices(10_000))
+        assert rows.min() >= 0 and rows.max() < 10_000
+        assert len(rows) == 4
+
+    def test_sampled_rows_clamped_to_n(self):
+        cfg = NumericsConfig.sampled(sample_rows=8)
+        assert len(cfg.sampled_row_indices(3)) == 3
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_sampled_rows_unique_property(self, n):
+        rows = NumericsConfig.sampled(sample_rows=4).sampled_row_indices(n)
+        assert len(set(rows.tolist())) == len(rows)

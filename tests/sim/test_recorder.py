@@ -1,0 +1,121 @@
+"""Power recorder: interval bookkeeping and exact integration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.recorder import PowerInterval, PowerRecorder
+from repro.soc.power import ComponentPower, PowerComponent, PowerEnvelope
+
+
+def make_envelope(cpu_idle=0.1, gpu_idle=0.05):
+    return PowerEnvelope(
+        {
+            PowerComponent.CPU: ComponentPower(cpu_idle, 15.0),
+            PowerComponent.GPU: ComponentPower(gpu_idle, 20.0),
+        }
+    )
+
+
+class TestPowerInterval:
+    def test_rejects_inverted(self):
+        with pytest.raises(SimulationError):
+            PowerInterval(2.0, 1.0, {PowerComponent.CPU: 1.0})
+
+    def test_rejects_negative_draw(self):
+        with pytest.raises(SimulationError):
+            PowerInterval(0.0, 1.0, {PowerComponent.CPU: -1.0})
+
+
+class TestRecorder:
+    def test_idle_window(self):
+        rec = PowerRecorder(make_envelope())
+        # No activity: both rails at idle.
+        assert rec.average_power_w(0.0, 10.0) == pytest.approx(0.15)
+
+    def test_active_interval_energy(self):
+        rec = PowerRecorder(make_envelope())
+        rec.record(PowerInterval(1.0, 3.0, {PowerComponent.GPU: 5.0}))
+        # GPU: 2s at 5W + 8s idle at 0.05W; CPU idle 10s at 0.1W.
+        expected = 2 * 5.0 + 8 * 0.05 + 10 * 0.1
+        assert rec.energy_j(0.0, 10.0) == pytest.approx(expected)
+
+    def test_partial_overlap(self):
+        rec = PowerRecorder(make_envelope(cpu_idle=0.0, gpu_idle=0.0))
+        rec.record(PowerInterval(0.0, 4.0, {PowerComponent.CPU: 2.0}))
+        # Window [2, 6): only 2 seconds of the interval overlap.
+        assert rec.energy_j(2.0, 6.0, (PowerComponent.CPU,)) == pytest.approx(4.0)
+
+    def test_component_selection(self):
+        rec = PowerRecorder(make_envelope(cpu_idle=0.0, gpu_idle=0.0))
+        rec.record(
+            PowerInterval(0.0, 1.0, {PowerComponent.CPU: 3.0, PowerComponent.GPU: 7.0})
+        )
+        assert rec.energy_j(0.0, 1.0, (PowerComponent.CPU,)) == pytest.approx(3.0)
+        assert rec.energy_j(0.0, 1.0, (PowerComponent.GPU,)) == pytest.approx(7.0)
+        assert rec.energy_j(0.0, 1.0) == pytest.approx(10.0)
+
+    def test_overlap_rejected_per_component(self):
+        rec = PowerRecorder(make_envelope())
+        rec.record(PowerInterval(0.0, 2.0, {PowerComponent.CPU: 1.0}))
+        with pytest.raises(SimulationError):
+            rec.record(PowerInterval(1.0, 3.0, {PowerComponent.CPU: 1.0}))
+        # Different component may overlap in time.
+        rec.record(PowerInterval(1.0, 3.0, {PowerComponent.GPU: 1.0}))
+
+    def test_unknown_component_rejected(self):
+        rec = PowerRecorder(make_envelope())
+        with pytest.raises(SimulationError):
+            rec.record(PowerInterval(0.0, 1.0, {PowerComponent.ANE: 1.0}))
+
+    def test_zero_duration_interval_ignored(self):
+        rec = PowerRecorder(make_envelope())
+        rec.record(PowerInterval(1.0, 1.0, {PowerComponent.CPU: 5.0}))
+        assert rec.intervals(PowerComponent.CPU) == []
+
+    def test_inverted_window_rejected(self):
+        rec = PowerRecorder(make_envelope())
+        with pytest.raises(SimulationError):
+            rec.energy_j(2.0, 1.0)
+
+    def test_empty_window_average_is_idle(self):
+        rec = PowerRecorder(make_envelope())
+        assert rec.average_power_w(1.0, 1.0) == pytest.approx(0.15)
+
+    def test_component_average_mw(self):
+        rec = PowerRecorder(make_envelope(cpu_idle=0.0, gpu_idle=0.0))
+        rec.record(PowerInterval(0.0, 1.0, {PowerComponent.GPU: 8.3}))
+        averages = rec.component_average_mw(0.0, 1.0)
+        assert averages[PowerComponent.GPU] == pytest.approx(8300.0)
+        assert averages[PowerComponent.CPU] == pytest.approx(0.0)
+
+    def test_clear(self):
+        rec = PowerRecorder(make_envelope())
+        rec.record(PowerInterval(0.0, 1.0, {PowerComponent.CPU: 5.0}))
+        rec.clear()
+        assert rec.intervals(PowerComponent.CPU) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),
+                st.floats(min_value=0.001, max_value=5.0),
+                st.floats(min_value=0.0, max_value=20.0),
+            ),
+            max_size=20,
+        )
+    )
+    def test_energy_additivity_property(self, raw):
+        """Energy over [0, T) equals the sum over a partition of [0, T)."""
+        envelope = make_envelope()
+        rec = PowerRecorder(envelope)
+        t = 0.0
+        for gap, dur, watts in raw:
+            start = t + gap
+            rec.record(PowerInterval(start, start + dur, {PowerComponent.CPU: watts}))
+            t = start + dur
+        horizon = t + 1.0
+        total = rec.energy_j(0.0, horizon)
+        halves = rec.energy_j(0.0, horizon / 2) + rec.energy_j(horizon / 2, horizon)
+        assert total == pytest.approx(halves, rel=1e-9, abs=1e-9)

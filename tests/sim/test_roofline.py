@@ -1,0 +1,113 @@
+"""Roofline cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.roofline import OpCost, arithmetic_intensity, roofline_time
+
+
+class TestOpCost:
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            OpCost(flops=-1.0)
+
+    def test_total_bytes(self):
+        assert OpCost(bytes_read=3.0, bytes_written=2.0).total_bytes == 5.0
+
+    def test_scaled(self):
+        cost = OpCost(flops=10.0, bytes_read=4.0, bytes_written=2.0).scaled(0.5)
+        assert (cost.flops, cost.bytes_read, cost.bytes_written) == (5.0, 2.0, 1.0)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            OpCost(flops=1.0).scaled(-1.0)
+
+    def test_add(self):
+        total = OpCost(flops=1, bytes_read=2) + OpCost(flops=3, bytes_written=4)
+        assert (total.flops, total.bytes_read, total.bytes_written) == (4, 2, 4)
+
+
+class TestArithmeticIntensity:
+    def test_normal(self):
+        assert arithmetic_intensity(OpCost(flops=8, bytes_read=4)) == 2.0
+
+    def test_pure_compute_is_infinite(self):
+        assert arithmetic_intensity(OpCost(flops=8)) == float("inf")
+
+    def test_empty_is_zero(self):
+        assert arithmetic_intensity(OpCost()) == 0.0
+
+
+class TestRooflineTime:
+    def test_compute_bound(self):
+        bd = roofline_time(
+            OpCost(flops=1e9, bytes_read=1e3), peak_flops=1e9, peak_bytes_per_s=1e12
+        )
+        assert bd.bound == "compute"
+        assert bd.total_s == pytest.approx(1.0)
+
+    def test_memory_bound(self):
+        bd = roofline_time(
+            OpCost(flops=1e3, bytes_read=1e9), peak_flops=1e12, peak_bytes_per_s=1e9
+        )
+        assert bd.bound == "memory"
+        assert bd.total_s == pytest.approx(1.0)
+
+    def test_overhead_bound(self):
+        bd = roofline_time(
+            OpCost(flops=1e3),
+            peak_flops=1e12,
+            peak_bytes_per_s=1e12,
+            overhead_s=1e-4,
+        )
+        assert bd.bound == "overhead"
+        assert bd.total_s == pytest.approx(1e-4, rel=1e-3)
+
+    def test_efficiency_scales_time(self):
+        full = roofline_time(OpCost(flops=1e9), 1e9, 1e9)
+        half = roofline_time(OpCost(flops=1e9), 1e9, 1e9, compute_efficiency=0.5)
+        assert half.total_s == pytest.approx(2 * full.total_s)
+
+    def test_rejects_bad_efficiency(self):
+        for eff in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError):
+                roofline_time(OpCost(flops=1.0), 1e9, 1e9, compute_efficiency=eff)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigurationError):
+            roofline_time(OpCost(flops=1.0), 1e9, 1e9, overhead_s=-1.0)
+
+    def test_compute_work_needs_peak(self):
+        with pytest.raises(ConfigurationError):
+            roofline_time(OpCost(flops=1.0), 0.0, 1e9)
+
+    def test_memory_work_needs_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            roofline_time(OpCost(bytes_read=1.0), 1e9, 0.0)
+
+    def test_empty_cost_is_overhead_only(self):
+        bd = roofline_time(OpCost(), 0.0, 0.0, overhead_s=1e-6)
+        assert bd.total_s == 1e-6
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e15),
+        st.floats(min_value=1.0, max_value=1e12),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_total_dominates_each_term_property(self, flops, nbytes, ce, me, ov):
+        bd = roofline_time(
+            OpCost(flops=flops, bytes_read=nbytes),
+            peak_flops=1e12,
+            peak_bytes_per_s=1e11,
+            compute_efficiency=ce,
+            memory_efficiency=me,
+            overhead_s=ov,
+        )
+        assert bd.total_s >= bd.compute_s
+        assert bd.total_s >= bd.memory_s
+        assert bd.total_s >= bd.overhead_s
+        assert bd.total_s == pytest.approx(max(bd.compute_s, bd.memory_s) + ov)

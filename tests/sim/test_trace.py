@@ -1,0 +1,71 @@
+"""Execution trace behaviour."""
+
+import pytest
+
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+
+def event(start=0.0, end=1.0, engine="gpu", label="op", flops=100.0, bytes_moved=8.0):
+    return TraceEvent(
+        start_s=start, end_s=end, engine=engine, label=label,
+        flops=flops, bytes_moved=bytes_moved,
+    )
+
+
+class TestTraceEvent:
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            event(start=2.0, end=1.0)
+
+    def test_duration(self):
+        assert event(1.0, 3.5).duration_s == 2.5
+
+    def test_achieved_rates(self):
+        e = event(0.0, 2.0, flops=100.0, bytes_moved=50.0)
+        assert e.achieved_flops() == 50.0
+        assert e.achieved_bandwidth() == 25.0
+
+    def test_zero_duration_rates(self):
+        e = event(1.0, 1.0)
+        assert e.achieved_flops() == 0.0
+        assert e.achieved_bandwidth() == 0.0
+
+
+class TestExecutionTrace:
+    def test_append_and_iterate(self):
+        trace = ExecutionTrace()
+        trace.append(event(0, 1))
+        trace.append(event(1, 2))
+        assert len(trace) == 2
+        assert [e.start_s for e in trace] == [0, 1]
+        assert trace[1].end_s == 2
+
+    def test_rejects_out_of_order_appends(self):
+        trace = ExecutionTrace()
+        trace.append(event(5, 6))
+        with pytest.raises(ValueError):
+            trace.append(event(1, 2))
+
+    def test_filtering(self):
+        trace = ExecutionTrace()
+        trace.append(event(0, 1, engine="gpu", label="gemm/mps"))
+        trace.append(event(1, 2, engine="amx", label="gemm/accelerate"))
+        trace.append(event(2, 3, engine="gpu", label="stream/copy"))
+        assert len(trace.events(engine="gpu")) == 2
+        assert len(trace.events(label_prefix="gemm/")) == 2
+        assert len(trace.events(engine="gpu", label_prefix="gemm/")) == 1
+
+    def test_totals(self):
+        trace = ExecutionTrace()
+        trace.append(event(0, 1, flops=10, bytes_moved=4))
+        trace.append(event(1, 3, flops=20, bytes_moved=6))
+        assert trace.total_flops() == 30
+        assert trace.total_bytes() == 10
+        assert trace.busy_time_s() == 3.0
+        assert trace.busy_time_s(engine="gpu") == 3.0
+
+    def test_clear(self):
+        trace = ExecutionTrace()
+        trace.append(event())
+        trace.clear()
+        assert len(trace) == 0

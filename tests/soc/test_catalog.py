@@ -1,0 +1,170 @@
+"""The chip catalog must transcribe Table 1 of the paper."""
+
+import pytest
+
+from repro.errors import UnknownChipError
+from repro.soc import CHIP_NAMES, chip_catalog, get_chip
+from repro.soc.chip import CoreKind
+from repro.soc.precision import Precision
+
+
+class TestCatalogShape:
+    def test_all_four_generations(self):
+        assert CHIP_NAMES == ("M1", "M2", "M3", "M4")
+
+    def test_lookup_case_insensitive(self):
+        assert get_chip("m3").name == "M3"
+        assert get_chip(" M4 ").name == "M4"
+
+    def test_unknown_chip_raises_with_known_list(self):
+        with pytest.raises(UnknownChipError) as err:
+            get_chip("M5")
+        assert "M5" in str(err.value)
+        assert "M1" in str(err.value)
+
+    def test_catalog_is_read_only(self):
+        catalog = chip_catalog()
+        with pytest.raises(TypeError):
+            catalog["M9"] = catalog["M1"]  # type: ignore[index]
+
+
+class TestTable1Transcription:
+    """Each assertion quotes a Table 1 cell."""
+
+    def test_process_technology(self):
+        assert get_chip("M1").process_nm == "5"
+        assert get_chip("M2").process_nm == "5/4"
+        assert get_chip("M3").process_nm == "3"
+        assert get_chip("M4").process_nm == "3"
+
+    def test_isa(self):
+        assert get_chip("M1").isa == "ARMv8.5-A"
+        assert get_chip("M2").isa == "ARMv8.6-A"
+        assert get_chip("M3").isa == "ARMv8.6-A"
+        assert get_chip("M4").isa == "ARMv9.2-A"
+
+    def test_core_configuration(self):
+        assert get_chip("M1").core_config_label() == "4/4"
+        assert get_chip("M2").core_config_label() == "4/4"
+        assert get_chip("M3").core_config_label() == "4/4"
+        assert get_chip("M4").core_config_label() == "4/6"
+
+    @pytest.mark.parametrize(
+        "chip,p_clock,e_clock",
+        [("M1", 3.2, 2.06), ("M2", 3.5, 2.42), ("M3", 4.05, 2.75), ("M4", 4.4, 2.85)],
+    )
+    def test_clock_frequencies(self, chip, p_clock, e_clock):
+        spec = get_chip(chip)
+        assert spec.performance_cluster.clock_ghz == p_clock
+        assert spec.efficiency_cluster.clock_ghz == e_clock
+
+    def test_neon_128_everywhere(self):
+        for name in CHIP_NAMES:
+            for cluster in get_chip(name).cpu_clusters:
+                assert cluster.simd_width_bits == 128
+
+    def test_l1_cache(self):
+        for name in CHIP_NAMES:
+            spec = get_chip(name)
+            assert spec.performance_cluster.l1_kb == 128
+            assert spec.efficiency_cluster.l1_kb == 64
+
+    def test_l2_cache(self):
+        assert get_chip("M1").performance_cluster.l2_mb == 12
+        for name in ("M2", "M3", "M4"):
+            assert get_chip(name).performance_cluster.l2_mb == 16
+        for name in CHIP_NAMES:
+            assert get_chip(name).efficiency_cluster.l2_mb == 4
+
+    def test_amx_precisions(self):
+        m1 = get_chip("M1").amx
+        assert Precision.BF16 not in m1.precisions
+        for name in ("M2", "M3", "M4"):
+            assert Precision.BF16 in get_chip(name).amx.precisions
+        for name in CHIP_NAMES:
+            amx = get_chip(name).amx
+            assert {Precision.FP16, Precision.FP32, Precision.FP64} <= amx.precisions
+
+    def test_m4_amx_is_sme(self):
+        # "in the latest M4, standardized ARM SME ... is equipped".
+        assert get_chip("M4").amx.is_sme
+        assert not get_chip("M1").amx.is_sme
+
+    def test_gpu_cores(self):
+        assert (get_chip("M1").gpu.cores_min, get_chip("M1").gpu.cores_max) == (7, 8)
+        for name in ("M2", "M3", "M4"):
+            spec = get_chip(name).gpu
+            assert (spec.cores_min, spec.cores_max) == (8, 10)
+
+    @pytest.mark.parametrize(
+        "chip,clock", [("M1", 1.278), ("M2", 1.398), ("M3", 1.38), ("M4", 1.47)]
+    )
+    def test_gpu_clock(self, chip, clock):
+        assert get_chip(chip).gpu.clock_ghz == pytest.approx(clock, rel=1e-2)
+
+    @pytest.mark.parametrize(
+        "chip,lo,hi",
+        [("M1", 2.29, 2.61), ("M2", 2.86, 3.57), ("M3", 2.82, 3.53), ("M4", 4.26, 4.26)],
+    )
+    def test_gpu_theoretical_tflops(self, chip, lo, hi):
+        assert get_chip(chip).gpu.table_fp32_tflops == (lo, hi)
+
+    def test_neural_engine_16_cores_everywhere(self):
+        for name in CHIP_NAMES:
+            assert get_chip(name).neural_engine.cores == 16
+
+    @pytest.mark.parametrize(
+        "chip,tech,bw",
+        [
+            ("M1", "LPDDR4X", 67.0),
+            ("M2", "LPDDR5", 100.0),
+            ("M3", "LPDDR5", 100.0),
+            ("M4", "LPDDR5X", 120.0),
+        ],
+    )
+    def test_memory_technology_and_bandwidth(self, chip, tech, bw):
+        mem = get_chip(chip).memory
+        assert mem.technology == tech
+        assert mem.bandwidth_gbs == bw
+
+    def test_max_unified_memory(self):
+        assert get_chip("M1").memory.max_gb_options == (8, 16)
+        assert get_chip("M2").memory.max_gb_options == (8, 16, 24)
+        assert get_chip("M3").memory.max_gb_options == (8, 16, 24)
+        assert get_chip("M4").memory.max_gb_options == (16, 24, 32)
+
+
+class TestDerivedQuantities:
+    def test_gpu_derived_tflops_matches_table_for_m1_m3(self):
+        """cores x 128 ALUs x 2 x clock reproduces Table 1 for M1-M3."""
+        for name in ("M1", "M2", "M3"):
+            gpu = get_chip(name).gpu
+            assert gpu.derived_fp32_tflops == pytest.approx(
+                gpu.table_fp32_tflops[1], rel=0.02
+            )
+
+    def test_m4_table_derivation_gap_is_documented(self):
+        """The M4 table value exceeds the 1.47 GHz derivation (DESIGN.md note)."""
+        gpu = get_chip("M4").gpu
+        assert gpu.table_fp32_tflops[1] > gpu.derived_fp32_tflops
+
+    def test_generational_memory_bandwidth_increases(self):
+        bws = [get_chip(n).memory.bandwidth_gbs for n in CHIP_NAMES]
+        assert bws == sorted(bws)
+
+    def test_scalar_flops_scale_with_clock(self):
+        m1 = get_chip("M1").performance_cluster.scalar_fp32_flops()
+        m4 = get_chip("M4").performance_cluster.scalar_fp32_flops()
+        assert m4 / m1 == pytest.approx(4.4 / 3.2)
+
+    def test_cluster_accessors(self):
+        spec = get_chip("M4")
+        assert spec.performance_cores == 4
+        assert spec.efficiency_cores == 6
+        assert spec.total_cores == 10
+        assert spec.clusters_of(CoreKind.PERFORMANCE)[0].kind is CoreKind.PERFORMANCE
+
+    def test_amx_peak_positive_and_generational(self):
+        peaks = [get_chip(n).amx.peak_fp32_tflops for n in CHIP_NAMES]
+        assert all(p > 0 for p in peaks)
+        assert peaks == sorted(peaks)

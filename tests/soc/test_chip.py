@@ -1,0 +1,181 @@
+"""ChipSpec dataclass validation and derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.chip import (
+    AMXSpec,
+    ChipSpec,
+    CoreKind,
+    CPUClusterSpec,
+    GPUSpec,
+    MemorySpec,
+    NeuralEngineSpec,
+)
+from repro.soc.catalog import M1
+from repro.soc.precision import Precision
+
+
+def perf_cluster(**overrides) -> CPUClusterSpec:
+    base = dict(
+        name="TestP", kind=CoreKind.PERFORMANCE, cores=4, clock_ghz=3.0,
+        l1_kb=128, l2_mb=12,
+    )
+    base.update(overrides)
+    return CPUClusterSpec(**base)
+
+
+class TestCPUClusterSpec:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            perf_cluster(cores=0)
+
+    def test_rejects_negative_clock(self):
+        with pytest.raises(ConfigurationError):
+            perf_cluster(clock_ghz=-1.0)
+
+    def test_rejects_odd_simd_width(self):
+        with pytest.raises(ConfigurationError):
+            perf_cluster(simd_width_bits=100)
+
+    def test_simd_lanes_fp32(self):
+        assert perf_cluster(simd_width_bits=128).simd_lanes_fp32 == 4
+
+    def test_scalar_flops(self):
+        # 2 flops (FMA) per cycle at 3 GHz.
+        assert perf_cluster(clock_ghz=3.0).scalar_fp32_flops() == 6.0e9
+
+    def test_simd_flops_composition(self):
+        c = perf_cluster(clock_ghz=2.0, fma_pipes=2)
+        # 4 lanes * 2 flops * 2 pipes * 2 GHz = 32 GFLOPS per core.
+        assert c.core_simd_fp32_flops() == 32.0e9
+        assert c.cluster_simd_fp32_flops() == 4 * 32.0e9
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            perf_cluster().cores = 8  # type: ignore[misc]
+
+
+class TestAMXSpec:
+    def test_requires_fp32(self):
+        with pytest.raises(ConfigurationError):
+            AMXSpec(precisions=frozenset({Precision.FP16}), peak_fp32_tflops=1.0)
+
+    def test_requires_positive_peak(self):
+        with pytest.raises(ConfigurationError):
+            AMXSpec(
+                precisions=frozenset({Precision.FP32}), peak_fp32_tflops=0.0
+            )
+
+    def test_supports(self):
+        amx = AMXSpec(
+            precisions=frozenset({Precision.FP32, Precision.FP64}),
+            peak_fp32_tflops=1.0,
+        )
+        assert amx.supports(Precision.FP64)
+        assert not amx.supports(Precision.BF16)
+
+    def test_peak_flops(self):
+        amx = AMXSpec(precisions=frozenset({Precision.FP32}), peak_fp32_tflops=1.5)
+        assert amx.peak_fp32_flops() == 1.5e12
+
+
+class TestGPUSpec:
+    def test_rejects_inverted_core_range(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(cores_min=10, cores_max=8, clock_ghz=1.0, table_fp32_tflops=(1, 2))
+
+    def test_rejects_native_fp64(self):
+        # Section 1: the M-series GPUs lack native FP64.
+        with pytest.raises(ConfigurationError):
+            GPUSpec(
+                cores_min=8,
+                cores_max=8,
+                clock_ghz=1.0,
+                table_fp32_tflops=(1.0, 1.0),
+                native_precisions=frozenset({Precision.FP64, Precision.FP32}),
+            )
+
+    def test_peak_uses_table_maximum(self):
+        gpu = GPUSpec(
+            cores_min=7, cores_max=8, clock_ghz=1.278, table_fp32_tflops=(2.29, 2.61)
+        )
+        assert gpu.peak_fp32_flops() == pytest.approx(2.61e12)
+
+    def test_supports_native(self):
+        assert M1.gpu.supports_native(Precision.FP16)
+        assert not M1.gpu.supports_native(Precision.FP64)
+
+
+class TestMemorySpec:
+    def test_rejects_non_power_of_two_page(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec("LPDDR5", (16,), 100.0, page_size=10_000)
+
+    def test_rejects_empty_capacity_options(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec("LPDDR5", (), 100.0)
+
+    def test_bandwidth_bytes(self):
+        assert MemorySpec("LPDDR5", (16,), 100.0).bandwidth_bytes_per_s() == 100e9
+
+    def test_max_gb(self):
+        assert MemorySpec("LPDDR5", (8, 24, 16), 100.0).max_gb == 24
+
+
+class TestChipSpec:
+    def test_requires_performance_cluster(self):
+        with pytest.raises(ConfigurationError):
+            ChipSpec(
+                name="X",
+                process_nm="3",
+                isa="ARMv9",
+                cpu_clusters=(
+                    CPUClusterSpec("E", CoreKind.EFFICIENCY, 4, 2.0, 64, 4),
+                ),
+                amx=M1.amx,
+                gpu=M1.gpu,
+                neural_engine=M1.neural_engine,
+                memory=M1.memory,
+            )
+
+    def test_requires_some_cluster(self):
+        with pytest.raises(ConfigurationError):
+            ChipSpec(
+                name="X",
+                process_nm="3",
+                isa="ARMv9",
+                cpu_clusters=(),
+                amx=M1.amx,
+                gpu=M1.gpu,
+                neural_engine=M1.neural_engine,
+                memory=M1.memory,
+            )
+
+    def test_missing_efficiency_cluster_raises_on_access(self):
+        chip = ChipSpec(
+            name="P-only",
+            process_nm="3",
+            isa="ARMv9",
+            cpu_clusters=(perf_cluster(),),
+            amx=M1.amx,
+            gpu=M1.gpu,
+            neural_engine=M1.neural_engine,
+            memory=M1.memory,
+        )
+        with pytest.raises(ConfigurationError):
+            _ = chip.efficiency_cluster
+        assert chip.clock_label() == "3 (P)"
+
+    def test_cpu_simd_flops_sums_clusters(self):
+        total = M1.cpu_simd_fp32_flops()
+        parts = sum(c.cluster_simd_fp32_flops() for c in M1.cpu_clusters)
+        assert total == parts
+
+    def test_neural_engine_validation(self):
+        with pytest.raises(ConfigurationError):
+            NeuralEngineSpec(cores=0, peak_fp16_tops=10.0)
+        with pytest.raises(ConfigurationError):
+            NeuralEngineSpec(cores=16, peak_fp16_tops=-1.0)

@@ -1,0 +1,50 @@
+"""Table 3 device catalog."""
+
+import pytest
+
+from repro.errors import UnknownDeviceError
+from repro.soc import Cooling, device_catalog, device_for_chip, get_device
+
+
+class TestTable3:
+    def test_devices_for_all_chips(self):
+        assert set(device_catalog()) == {"M1", "M2", "M3", "M4"}
+
+    @pytest.mark.parametrize(
+        "chip,model,year,memory,cooling,macos",
+        [
+            ("M1", "MacBook Air", 2020, 8, Cooling.PASSIVE, "14.7.2"),
+            ("M2", "Mac mini", 2023, 8, Cooling.ACTIVE_AIR, "15.1.1"),
+            ("M3", "MacBook Air", 2024, 16, Cooling.PASSIVE, "15.2"),
+            ("M4", "Mac mini", 2024, 16, Cooling.ACTIVE_AIR, "15.1.1"),
+        ],
+    )
+    def test_table3_rows(self, chip, model, year, memory, cooling, macos):
+        dev = device_for_chip(chip)
+        assert dev.model == model
+        assert dev.release_year == year
+        assert dev.memory_gb == memory
+        assert dev.cooling is cooling
+        assert dev.macos_version == macos
+
+    def test_laptops_are_passive(self):
+        # Section 7 attributes the M1/M3 power gap to cooling.
+        for chip in ("M1", "M3"):
+            dev = device_for_chip(chip)
+            assert dev.is_laptop and dev.cooling is Cooling.PASSIVE
+        for chip in ("M2", "M4"):
+            dev = device_for_chip(chip)
+            assert not dev.is_laptop and dev.cooling is Cooling.ACTIVE_AIR
+
+    def test_chip_back_reference(self):
+        assert device_for_chip("M3").chip.name == "M3"
+
+    def test_identifier_lookup_roundtrip(self):
+        for chip, dev in device_catalog().items():
+            assert get_device(dev.identifier()).chip_name == chip
+
+    def test_unknown_device_errors(self):
+        with pytest.raises(UnknownDeviceError):
+            device_for_chip("M99")
+        with pytest.raises(UnknownDeviceError):
+            get_device("imac-g5")

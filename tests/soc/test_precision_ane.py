@@ -1,0 +1,71 @@
+"""Precision enum and Neural Engine helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedProblemError
+from repro.soc.ane import ane_peak_flops, ane_supports
+from repro.soc.catalog import get_chip
+from repro.soc.precision import Precision
+
+
+class TestPrecision:
+    def test_byte_widths(self):
+        assert Precision.FP64.nbytes == 8
+        assert Precision.FP32.nbytes == 4
+        assert Precision.TF32.nbytes == 4
+        assert Precision.FP16.nbytes == 2
+        assert Precision.BF16.nbytes == 2
+        assert Precision.INT8.nbytes == 1
+
+    def test_dtypes(self):
+        assert Precision.FP32.dtype == np.float32
+        assert Precision.FP16.dtype == np.float16
+        # TF32/BF16 are stored as FP32 (no native NumPy dtype).
+        assert Precision.TF32.dtype == np.float32
+        assert Precision.BF16.dtype == np.float32
+
+    def test_mantissa_ordering(self):
+        assert (
+            Precision.FP64.mantissa_bits
+            > Precision.FP32.mantissa_bits
+            > Precision.TF32.mantissa_bits
+        )
+        assert Precision.TF32.mantissa_bits == Precision.FP16.mantissa_bits == 10
+
+    def test_from_key(self):
+        assert Precision.from_key("fp32") is Precision.FP32
+        assert Precision.from_key("BF16") is Precision.BF16
+        with pytest.raises(KeyError):
+            Precision.from_key("fp8")
+
+    def test_str(self):
+        assert str(Precision.FP32) == "FP32"
+
+
+class TestNeuralEngine:
+    def test_supports_fp16_int8_only(self):
+        chip = get_chip("M1")
+        assert ane_supports(chip, Precision.FP16)
+        assert ane_supports(chip, Precision.INT8)
+        assert not ane_supports(chip, Precision.FP32)
+        assert not ane_supports(chip, Precision.FP64)
+
+    def test_unsupported_precision_raises(self):
+        # "Low numerical precision is not beneficial for traditional HPC
+        # workloads" — FP32 requests must fail loudly.
+        with pytest.raises(UnsupportedProblemError):
+            ane_peak_flops(get_chip("M1"), Precision.FP32)
+
+    def test_int8_doubles_fp16_rate(self):
+        chip = get_chip("M4")
+        assert ane_peak_flops(chip, Precision.INT8) == pytest.approx(
+            2.0 * ane_peak_flops(chip, Precision.FP16)
+        )
+
+    def test_generational_growth(self):
+        peaks = [
+            ane_peak_flops(get_chip(c), Precision.FP16)
+            for c in ("M1", "M2", "M3", "M4")
+        ]
+        assert peaks == sorted(peaks)

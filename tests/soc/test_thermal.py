@@ -1,0 +1,57 @@
+"""Cooling model behind the laptop-vs-desktop power observation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.device import device_for_chip
+from repro.soc.thermal import ThermalModel
+
+
+class TestThermalModel:
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(sustained_cap_w=0.0)
+
+    def test_passive_cap_below_active(self):
+        passive = ThermalModel.for_device(device_for_chip("M1"))
+        active = ThermalModel.for_device(device_for_chip("M2"))
+        assert passive.sustained_cap_w < active.sustained_cap_w
+
+    def test_no_clamp_below_cap(self):
+        model = ThermalModel(sustained_cap_w=14.0)
+        assert model.clamp_factor(10.0) == 1.0
+        assert model.throttle_time_factor(10.0) == 1.0
+
+    def test_clamp_above_cap(self):
+        model = ThermalModel(sustained_cap_w=10.0)
+        assert model.clamp_factor(20.0) == pytest.approx(0.5)
+
+    def test_throttle_follows_cube_root(self):
+        model = ThermalModel(sustained_cap_w=10.0)
+        assert model.throttle_time_factor(20.0) == pytest.approx(2.0 ** (1.0 / 3.0))
+
+    def test_disabled_model_passes_through(self):
+        model = ThermalModel(sustained_cap_w=1.0, enabled=False)
+        assert model.clamp_factor(100.0) == 1.0
+        assert model.throttle_time_factor(100.0) == 1.0
+
+    def test_unlimited(self):
+        model = ThermalModel.unlimited()
+        assert model.clamp_factor(1e9) == 1.0
+
+    def test_clamp_is_monotone_in_power(self):
+        model = ThermalModel(sustained_cap_w=10.0)
+        factors = [model.clamp_factor(w) for w in (5.0, 10.0, 15.0, 30.0)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_study_power_draws_stay_unthrottled(self):
+        """The Figure-3 draws must not hit the caps, or calibration skews."""
+        from repro.calibration.gemm import gemm_power_draws
+        from repro.soc.catalog import get_chip
+
+        for chip_name in ("M1", "M2", "M3", "M4"):
+            chip = get_chip(chip_name)
+            model = ThermalModel.for_device(device_for_chip(chip_name))
+            for impl in ("cpu-omp", "gpu-cutlass", "gpu-mps"):
+                total = sum(gemm_power_draws(chip, impl, 16384).values())
+                assert model.clamp_factor(total) == 1.0, (chip_name, impl, total)

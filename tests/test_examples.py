@@ -1,0 +1,63 @@
+"""Every example script must run end to end.
+
+Scripts execute in-process (via ``runpy``) with fast/small arguments so the
+whole file stays quick; stdout is checked for the load-bearing output each
+example promises.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, argv: list[str]) -> str:
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    runpy.run_path(f"{EXAMPLES}/{script}", run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py", ["M1", "512"])
+        assert "GPU-MPS GEMM n=512" in out
+        assert "numerics verified: True" in out
+        assert "GFLOPS/W" in out
+
+    def test_stream_survey_fast(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "stream_bandwidth_survey.py", ["--fast"]
+        )
+        for chip in ("M1", "M2", "M3", "M4"):
+            assert chip in out
+        assert "anomaly" in out
+
+    def test_gemm_shootout_fast(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "gemm_shootout.py", ["M1", "--fast"])
+        assert "== M1 —" in out
+        assert "gpu-mps" in out and "cpu-single" in out
+        assert "—" in out  # the excluded CPU-loop cells
+
+    def test_power_efficiency_study(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "power_efficiency_study.py", ["4096"])
+        assert "GFLOPS/W" in out
+        assert "Green500" in out
+
+    def test_gh200_comparison(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "gh200_comparison.py", [])
+        assert "Grace LPDDR5X" in out
+        assert "apples to oranges" in out
+
+    def test_custom_chip(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "custom_chip.py", [])
+        assert "M4-Ultra" in out
+        assert "Projected MPS speedup" in out
+
+    def test_multinode_projection(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "multinode_projection.py", ["M4", "8192"]
+        )
+        assert "10gbe" in out and "infiniband-ndr" in out
+        assert "cluster STREAM" in out

@@ -1,0 +1,113 @@
+"""Unit-conversion and formatting helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_bytes_gb_roundtrip(self):
+        assert units.bytes_to_gb(1_000_000_000) == 1.0
+        assert units.gb_to_bytes(2.5) == 2_500_000_000
+
+    def test_bandwidth_conversions(self):
+        assert units.gbs_to_bytes_per_s(100.0) == 100e9
+        assert units.bytes_per_s_to_gbs(67e9) == pytest.approx(67.0)
+
+    def test_flops_conversions(self):
+        assert units.flops_to_gflops(2.9e12) == pytest.approx(2900.0)
+        assert units.flops_to_tflops(2.9e12) == pytest.approx(2.9)
+        assert units.gflops_to_flops(1.0) == 1e9
+        assert units.tflops_to_flops(1.0) == 1e12
+
+    def test_power_conversions(self):
+        assert units.watts_to_mw(6.48) == pytest.approx(6480.0)
+        assert units.mw_to_watts(20000.0) == pytest.approx(20.0)
+
+    def test_time_conversions(self):
+        assert units.seconds_to_ns(1.5) == 1_500_000_000
+        assert units.ns_to_seconds(1_000_000_000) == pytest.approx(1.0)
+
+    def test_seconds_to_ns_truncates(self):
+        # chrono-style integral nanoseconds
+        assert isinstance(units.seconds_to_ns(1e-9 * 2.7), int)
+
+    @given(st.floats(min_value=1e-9, max_value=1e6, allow_nan=False))
+    def test_gb_roundtrip_property(self, gb):
+        assert units.bytes_to_gb(units.gb_to_bytes(gb)) == pytest.approx(gb)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6), st.floats(min_value=1e-3, max_value=1e3))
+    def test_gflops_per_watt(self, gflops, watts):
+        assert units.gflops_per_watt(gflops, watts) == pytest.approx(gflops / watts)
+
+    def test_gflops_per_watt_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            units.gflops_per_watt(100.0, 0.0)
+
+
+class TestPageMath:
+    def test_page_size_matches_paper(self):
+        assert units.PAGE_SIZE == 16_384
+
+    def test_round_up_exact(self):
+        assert units.round_up(16_384, 16_384) == 16_384
+
+    def test_round_up_extends(self):
+        # "Allocation lengths were automatically extended to the nearest
+        # page multiple" (section 3.2).
+        assert units.round_up(16_385, 16_384) == 32_768
+
+    def test_round_up_zero(self):
+        assert units.round_up(0, 16_384) == 0
+
+    def test_round_up_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            units.round_up(10, 0)
+        with pytest.raises(ValueError):
+            units.round_up(-1, 16)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_round_up_property(self, value):
+        rounded = units.round_up(value, units.PAGE_SIZE)
+        assert rounded >= value
+        assert rounded % units.PAGE_SIZE == 0
+        assert rounded - value < units.PAGE_SIZE
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_pages_for_property(self, nbytes):
+        pages = units.pages_for(nbytes)
+        assert pages * units.PAGE_SIZE >= nbytes
+        assert (pages - 1) * units.PAGE_SIZE < nbytes
+
+    def test_is_page_aligned_length(self):
+        assert units.is_page_aligned_length(0)
+        assert units.is_page_aligned_length(32_768)
+        assert not units.is_page_aligned_length(32_769)
+        assert not units.is_page_aligned_length(-16_384)
+
+
+class TestFormatting:
+    def test_fmt_bandwidth(self):
+        assert units.fmt_bandwidth(103.0) == "103.0 GB/s"
+
+    def test_fmt_gflops_switches_to_tflops(self):
+        assert "TFLOPS" in units.fmt_gflops(2900.0)
+        assert "GFLOPS" in units.fmt_gflops(540.0)
+
+    def test_fmt_power(self):
+        out = units.fmt_power(6.48)
+        assert "6.48 W" in out and "6480 mW" in out
+
+    def test_fmt_seconds_ranges(self):
+        assert units.fmt_seconds(5e-9).endswith("ns")
+        assert units.fmt_seconds(5e-6).endswith("us")
+        assert units.fmt_seconds(5e-3).endswith("ms")
+        assert units.fmt_seconds(5.0).endswith("s")
+        assert units.fmt_seconds(-5e-3).startswith("-")
+
+    def test_fmt_handles_non_finite(self):
+        assert "inf" in units.fmt_bandwidth(math.inf)
