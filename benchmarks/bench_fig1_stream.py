@@ -30,14 +30,14 @@ def test_figure1_row(benchmark, chip):
         )
         print(f"  {target.upper():3s}: {cells}")
 
-    assert row["cpu"].max_gbs() == pytest.approx(
+    assert row["cpu"].max_gbs == pytest.approx(
         paper.FIG1_CPU_MAX_GBS[chip], rel=0.04
     )
-    assert row["gpu"].max_gbs() == pytest.approx(
+    assert row["gpu"].max_gbs == pytest.approx(
         paper.FIG1_GPU_MAX_GBS[chip], rel=0.04
     )
-    assert row["cpu"].max_gbs() < theoretical
-    assert row["gpu"].max_gbs() < theoretical
+    assert row["cpu"].max_gbs < theoretical
+    assert row["gpu"].max_gbs < theoretical
 
 
 def test_figure1_m2_cpu_anomaly(benchmark):

@@ -6,18 +6,15 @@ six study implementations, five repetitions each, best-of-repeats GFLOPS.
 
 import pytest
 
-from benchmarks.conftest import model_machine
+from benchmarks.conftest import model_session
 from repro.analysis.figures import figure2_data
 from repro.calibration import paper
 
 
 @pytest.mark.parametrize("chip", list(paper.CHIPS))
 def test_figure2_panel(benchmark, chip):
-    machine = model_machine(chip)
-
     def run():
-        machine.reset_measurements()
-        return figure2_data({chip: machine})[chip]
+        return figure2_data((chip,), session=model_session())[chip]
 
     panel = benchmark.pedantic(run, rounds=2, iterations=1)
 
@@ -49,14 +46,15 @@ def test_figure2_generational_scaling(benchmark):
     """M1 -> M4 peaks improve monotonically for MPS and Accelerate."""
 
     def run():
+        session = model_session()
         peaks = {}
         for chip in paper.CHIPS:
-            machine = model_machine(chip)
             data = figure2_data(
-                {chip: machine},
+                (chip,),
                 sizes=(16384,),
                 impl_keys=("gpu-mps", "cpu-accelerate"),
                 repeats=2,
+                session=session,
             )[chip]
             peaks[chip] = {k: max(v.values()) for k, v in data.items()}
         return peaks

@@ -6,18 +6,15 @@ protocol (start / warm-up / SIGINFO reset / run / SIGINFO / parse).
 
 import pytest
 
-from benchmarks.conftest import model_machine, print_series
+from benchmarks.conftest import model_session, print_series
 from repro.analysis.figures import figure3_data
 from repro.calibration import paper
 
 
 @pytest.mark.parametrize("chip", list(paper.CHIPS))
 def test_figure3_panel(benchmark, chip):
-    machine = model_machine(chip)
-
     def run():
-        machine.reset_measurements()
-        return figure3_data({chip: machine}, repeats=3)[chip]
+        return figure3_data((chip,), repeats=3, session=model_session())[chip]
 
     panel = benchmark.pedantic(run, rounds=2, iterations=1)
     print_series(f"Figure 3 — {chip}", {chip: panel}, "mW")
@@ -34,12 +31,14 @@ def test_figure3_panel(benchmark, chip):
 
 def test_figure3_m4_cutlass_peak(benchmark):
     """M4 GPU-CUTLASS is the study's power maximum (~20 W)."""
-    machine = model_machine("M4")
 
     def run():
-        machine.reset_measurements()
         return figure3_data(
-            {"M4": machine}, sizes=(16384,), impl_keys=("gpu-cutlass",), repeats=3
+            ("M4",),
+            sizes=(16384,),
+            impl_keys=("gpu-cutlass",),
+            repeats=3,
+            session=model_session(),
         )["M4"]["gpu-cutlass"][16384]
 
     mw = benchmark.pedantic(run, rounds=2, iterations=1)
@@ -51,14 +50,15 @@ def test_figure3_laptops_below_desktops(benchmark):
     """Section 7: M1/M3 (passive laptops) dissipate less than M2/M4 minis."""
 
     def run():
+        session = model_session()
         peaks = {}
         for chip in paper.CHIPS:
-            machine = model_machine(chip)
             data = figure3_data(
-                {chip: machine},
+                (chip,),
                 sizes=(16384,),
                 impl_keys=("gpu-cutlass", "gpu-mps", "gpu-naive"),
                 repeats=2,
+                session=session,
             )[chip]
             peaks[chip] = max(v for s in data.values() for v in s.values())
         return peaks

@@ -2,18 +2,15 @@
 
 import pytest
 
-from benchmarks.conftest import model_machine, print_series
+from benchmarks.conftest import model_session, print_series
 from repro.analysis.figures import figure4_data
 from repro.calibration import paper
 
 
 @pytest.mark.parametrize("chip", list(paper.CHIPS))
 def test_figure4_panel(benchmark, chip):
-    machine = model_machine(chip)
-
     def run():
-        machine.reset_measurements()
-        return figure4_data({chip: machine}, repeats=3)[chip]
+        return figure4_data((chip,), repeats=3, session=model_session())[chip]
 
     panel = benchmark.pedantic(run, rounds=2, iterations=1)
     print_series(f"Figure 4 — {chip}", {chip: panel}, "GFLOPS/W")
@@ -40,15 +37,14 @@ def test_figure4_panel(benchmark, chip):
 
 def test_figure4_green500_perspective(benchmark):
     """HPC perspective: the M2 CPU's 200 GFLOPS/W vs Green500's 72."""
-    machine = model_machine("M2")
 
     def run():
-        machine.reset_measurements()
         return figure4_data(
-            {"M2": machine},
+            ("M2",),
             sizes=(16384,),
             impl_keys=("cpu-accelerate",),
             repeats=3,
+            session=model_session(),
         )["M2"]["cpu-accelerate"][16384]
 
     efficiency = benchmark.pedantic(run, rounds=2, iterations=1)

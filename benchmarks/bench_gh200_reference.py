@@ -25,11 +25,11 @@ def test_gh200_stream(benchmark, target, paper_key):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     print(
-        f"\nGH200 STREAM {target}: {result.max_gbs():.0f} GB/s "
-        f"({result.fraction_of_peak():.0%} of {result.theoretical_gbs:.0f}) "
+        f"\nGH200 STREAM {target}: {result.max_gbs:.0f} GB/s "
+        f"({result.fraction_of_peak:.0%} of {result.theoretical_gbs:.0f}) "
         f"— paper: {paper.GH200[paper_key]:.0f}"
     )
-    assert result.max_gbs() == pytest.approx(paper.GH200[paper_key], rel=0.03)
+    assert result.max_gbs == pytest.approx(paper.GH200[paper_key], rel=0.03)
 
 
 @pytest.mark.parametrize(
@@ -66,7 +66,7 @@ def test_gh200_vs_m_series_factors(benchmark):
 
     def run():
         stream = run_gh200_stream(gh200(), "hbm3", n_elements=1 << 25, repeats=3)
-        return stream.max_gbs()
+        return stream.max_gbs
 
     hbm = benchmark.pedantic(run, rounds=2, iterations=1)
     m4_best = paper.FIG1_CPU_MAX_GBS["M4"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.calibration import paper
+from repro.experiments import Session
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsConfig
 
@@ -25,6 +26,12 @@ def model_machine(chip: str, *, seed: int = 0) -> Machine:
 
 def model_machines(chips=CHIPS, *, seed: int = 0) -> dict[str, Machine]:
     return {chip: model_machine(chip, seed=seed) for chip in chips}
+
+
+def model_session(*, seed: int = 0, **kwargs) -> Session:
+    """A fresh model-only session (one per benchmark round, so the result
+    cache never short-circuits the measured work)."""
+    return Session(numerics="model-only", seed=seed, **kwargs)
 
 
 @pytest.fixture

@@ -53,8 +53,16 @@ def make_m4_ultra():
 
 def main() -> None:
     chip, device = make_m4_ultra()
-    machine = Machine(chip, device, numerics=NumericsConfig.model_only())
-    runner = repro.ExperimentRunner(machine)
+
+    # A session whose machine factory resolves the off-catalog chip; catalog
+    # names still construct normally, so one session runs both.
+    def factory(chip_name: str, seed: int, numerics) -> Machine:
+        if chip_name == chip.name:
+            return Machine(chip, device, seed=seed, numerics=numerics)
+        return Machine.for_chip(chip_name, seed=seed, numerics=numerics)
+
+    session = repro.Session(numerics="model-only", machine_factory=factory)
+    machine = factory(chip.name, 0, NumericsConfig.model_only())
 
     print(f"== {chip.name} on a {device.model} (projection) ==")
     print(f"GPU: {chip.gpu.cores_max} cores, "
@@ -65,18 +73,22 @@ def main() -> None:
     row = figure1_row(machine, n_elements=1 << 22, repeats=3)
     print("STREAM (projected):")
     for target in ("cpu", "gpu"):
-        print(f"  {target.upper():3s}: {row[target].max_gbs():7.1f} GB/s "
-              f"({row[target].fraction_of_peak():.0%} of peak)")
+        print(f"  {target.upper():3s}: {row[target].max_gbs:7.1f} GB/s "
+              f"({row[target].fraction_of_peak:.0%} of peak)")
 
     print("\nGEMM (projected, n=16384):")
     for key in ("cpu-accelerate", "gpu-naive", "gpu-cutlass", "gpu-mps"):
-        result = runner.run_gemm(key, 16384)
+        result = session.run(
+            repro.GemmSpec(chip=chip.name, impl_key=key, n=16384)
+        ).result
         print(f"  {key:16s} {result.best_gflops:10.1f} GFLOPS")
 
-    baseline = repro.ExperimentRunner(
-        Machine.for_chip("M4", numerics=NumericsConfig.model_only())
-    ).run_gemm("gpu-mps", 16384)
-    ultra = runner.run_gemm("gpu-mps", 16384)
+    baseline = session.run(
+        repro.GemmSpec(chip="M4", impl_key="gpu-mps", n=16384)
+    ).result
+    ultra = session.run(
+        repro.GemmSpec(chip=chip.name, impl_key="gpu-mps", n=16384)
+    ).result
     print(f"\nProjected MPS speedup over the base M4: "
           f"{ultra.best_gflops / baseline.best_gflops:.1f}x")
 

@@ -36,10 +36,10 @@ def main() -> None:
     rows = []
     for target, label in (("cpu", "Grace LPDDR5X"), ("hbm3", "Hopper HBM3")):
         result = run_gh200_stream(gh, target, n_elements=1 << 25)
-        rows.append((label, result.max_gbs()))
+        rows.append((label, result.max_gbs))
         print(
-            f"  STREAM {label:14s}: {result.max_gbs():7.1f} GB/s "
-            f"({result.fraction_of_peak():.0%} of {result.theoretical_gbs:.0f})"
+            f"  STREAM {label:14s}: {result.max_gbs:7.1f} GB/s "
+            f"({result.fraction_of_peak:.0%} of {result.theoretical_gbs:.0f})"
         )
     cuda = sgemm_tflops(gh, CudaMathMode.CUDA_CORES_FP32)
     tf32 = sgemm_tflops(gh, CudaMathMode.TF32_TENSOR)
@@ -48,10 +48,13 @@ def main() -> None:
           f"(mixed precision — the paper flags this as not a fair comparison)")
 
     print("\n== Against the best M-series results ==")
-    m4 = repro.Machine.for_chip("M4", numerics=NumericsConfig.model_only())
-    runner = repro.ExperimentRunner(m4)
-    m4_stream = runner.run_stream("gpu").max_gbs()
-    m4_mps = runner.run_gemm("gpu-mps", 16384).best_gflops / 1e3
+    session = repro.Session(numerics="model-only")
+    m4_stream = session.run(repro.StreamSpec(chip="M4", target="gpu")).result.max_gbs
+    m4_mps = (
+        session.run(repro.GemmSpec(chip="M4", impl_key="gpu-mps", n=16384))
+        .result.best_gflops
+        / 1e3
+    )
 
     grace = rows[0][1]
     hbm = rows[1][1]

@@ -2,9 +2,10 @@
 """Figures 3 and 4 end to end: the power and efficiency study.
 
 For every chip and implementation, runs the GEMM with the piggybacked
-powermetrics protocol (section 3.3) over the paper's power sizes and reports
-mean combined CPU+GPU draw and GFLOPS-per-watt, then situates the results
-against the literature points the paper quotes (Green500 #1, A100, RTX 4090).
+powermetrics protocol (section 3.3) as one declarative batch of
+:class:`repro.PoweredGemmSpec` cells and reports mean combined CPU+GPU draw
+and GFLOPS-per-watt, then situates the results against the literature
+points the paper quotes (Green500 #1, A100, RTX 4090).
 
 Usage::
 
@@ -15,22 +16,29 @@ import sys
 
 import repro
 from repro.analysis.reference_systems import REFERENCE_SYSTEMS
-from repro.sim import NumericsConfig
+from repro.calibration.gemm import gemm_calibration
 
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 16384
 
+    session = repro.Session(numerics="model-only")
+    keys = repro.implementation_keys(include_extensions=False)
+    specs = []
+    for chip in repro.paper.CHIPS:
+        for key in keys:
+            supported = gemm_calibration(repro.get_chip(chip), key).supports(n)
+            size = n if supported else repro.paper.CPU_LOOP_MAX_N
+            specs.append(repro.PoweredGemmSpec(chip=chip, impl_key=key, n=size))
+    envelopes = session.run_batch(specs, max_workers=4)
+    by_cell = {(e.spec.chip, e.spec.impl_key): e.result for e in envelopes}
+
     print(f"{'chip':5s} {'impl':16s} {'GFLOPS':>10s} {'power':>9s} {'GFLOPS/W':>10s}")
     print("-" * 55)
     best_efficiency = {}
     for chip in repro.paper.CHIPS:
-        machine = repro.Machine.for_chip(chip, numerics=NumericsConfig.model_only())
-        runner = repro.ExperimentRunner(machine)
-        for key in repro.implementation_keys(include_extensions=False):
-            impl = repro.get_implementation(key)
-            size = n if impl.supports(machine, n) else repro.paper.CPU_LOOP_MAX_N
-            powered = runner.run_powered_gemm(impl, size)
+        for key in keys:
+            powered = by_cell[(chip, key)]
             eff = powered.efficiency_gflops_per_w
             best_efficiency[chip] = max(best_efficiency.get(chip, 0.0), eff)
             print(

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Figure 1 end to end: the STREAM bandwidth survey across all four chips.
 
-Reproduces the paper's methodology exactly: the CPU side runs McCalpin's
-kernels under an OMP_NUM_THREADS sweep from one to the physical core count
-(ten repetitions each, maximum kept), the GPU side dispatches the MSL ports
-twenty times through zero-copy shared buffers.
+Declares one :class:`repro.StreamSpec` per (chip, target) bar and runs the
+whole figure as one parallel batch.  The methodology underneath is the
+paper's: the CPU side runs McCalpin's kernels under an OMP_NUM_THREADS
+sweep from one to the physical core count (ten repetitions each, maximum
+kept), the GPU side dispatches the MSL ports twenty times through
+zero-copy shared buffers.
 
 Usage::
 
@@ -14,14 +16,19 @@ Usage::
 import sys
 
 import repro
-from repro.core.stream.runner import figure1_row
-from repro.sim import NumericsConfig
 
 
 def main() -> None:
     fast = "--fast" in sys.argv
-    numerics = NumericsConfig.model_only() if fast else None
-    n_elements = None  # paper-scale arrays
+    session = repro.Session(numerics="model-only" if fast else "sampled")
+
+    specs = [
+        repro.StreamSpec(chip=chip, target=target)
+        for chip in repro.paper.CHIPS
+        for target in ("cpu", "gpu")
+    ]
+    envelopes = session.run_batch(specs, max_workers=4)
+    rows = {(e.spec.chip, e.spec.target): e.result for e in envelopes}
 
     header = f"{'chip':5s} {'target':6s} " + "".join(
         f"{k:>8s}" for k in ("copy", "scale", "add", "triad")
@@ -30,17 +37,15 @@ def main() -> None:
     print("-" * len(header))
 
     for chip in repro.paper.CHIPS:
-        machine = repro.Machine.for_chip(chip, numerics=numerics)
-        row = figure1_row(machine, n_elements=n_elements)
         for target in ("cpu", "gpu"):
-            result = row[target]
+            result = rows[(chip, target)]
             cells = "".join(
                 f"{result.kernels[k].max_gbs:8.1f}"
                 for k in ("copy", "scale", "add", "triad")
             )
             print(
                 f"{chip:5s} {target.upper():6s} {cells}   "
-                f"{result.fraction_of_peak():6.1%} of "
+                f"{result.fraction_of_peak:6.1%} of "
                 f"{result.theoretical_gbs:.0f} GB/s"
             )
 

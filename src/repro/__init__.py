@@ -1,9 +1,15 @@
 """repro — a reproduction of "Apple vs. Oranges: Evaluating the Apple Silicon
 M-Series SoCs for HPC Performance and Efficiency" (IPDPS 2025).
 
-Quickstart::
+Quickstart (declarative API)::
 
     import repro
+
+    session = repro.Session(numerics="sampled")
+    envelope = session.run(repro.GemmSpec(chip="M4", impl_key="gpu-mps", n=4096))
+    print(envelope.result.best_gflops)
+
+or imperatively, on one machine::
 
     machine = repro.Machine.for_chip("M4")
     runner = repro.ExperimentRunner(machine)
@@ -17,6 +23,8 @@ The package layers:
 * :mod:`repro.metal`, :mod:`repro.accelerate`, :mod:`repro.omp`,
   :mod:`repro.powermetrics`, :mod:`repro.cuda` — framework substrates;
 * :mod:`repro.core` — the paper's STREAM/GEMM/power benchmark suite;
+* :mod:`repro.experiments` — declarative specs, sessions, batched parallel
+  execution, and the serializable result envelope;
 * :mod:`repro.analysis` — figure/table regeneration and paper comparison.
 """
 
@@ -35,8 +43,24 @@ from repro.analysis import (
 from repro.calibration import paper
 from repro.core import ExperimentRunner
 from repro.core.gemm import get_implementation, implementation_keys
+from repro.core.results import (
+    GemmResult,
+    PoweredGemmResult,
+    PowerMeasurement,
+    StreamResult,
+)
 from repro.core.stream import run_stream
 from repro.errors import ReproError
+from repro.experiments import (
+    GemmSpec,
+    PoweredGemmSpec,
+    ResultEnvelope,
+    Session,
+    StreamSpec,
+    SweepSpec,
+    load_envelopes,
+    save_envelopes,
+)
 from repro.sim import Machine, NumericsConfig, NumericsPolicy
 from repro.soc import chip_catalog, device_catalog, get_chip
 
@@ -49,6 +73,18 @@ __all__ = [
     "NumericsConfig",
     "NumericsPolicy",
     "ExperimentRunner",
+    "GemmResult",
+    "StreamResult",
+    "PowerMeasurement",
+    "PoweredGemmResult",
+    "GemmSpec",
+    "PoweredGemmSpec",
+    "StreamSpec",
+    "SweepSpec",
+    "Session",
+    "ResultEnvelope",
+    "save_envelopes",
+    "load_envelopes",
     "get_chip",
     "chip_catalog",
     "device_catalog",

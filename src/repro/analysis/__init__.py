@@ -6,6 +6,11 @@ from repro.analysis.figures import (
     figure2_data,
     figure3_data,
     figure4_data,
+    figure1_from_envelopes,
+    figure2_from_envelopes,
+    figure3_from_envelopes,
+    figure4_from_envelopes,
+    make_session,
 )
 from repro.analysis.compare import ComparisonRow, compare_to_paper, shape_checks
 from repro.analysis.export import rows_to_csv, to_json
@@ -19,6 +24,11 @@ __all__ = [
     "figure2_data",
     "figure3_data",
     "figure4_data",
+    "figure1_from_envelopes",
+    "figure2_from_envelopes",
+    "figure3_from_envelopes",
+    "figure4_from_envelopes",
+    "make_session",
     "ComparisonRow",
     "compare_to_paper",
     "shape_checks",

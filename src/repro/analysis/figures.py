@@ -1,29 +1,45 @@
 """Assembly of the data series behind Figures 1-4.
 
-Each ``figureN_data`` function runs the relevant experiments for the
-requested chips and returns the plottable series as plain dictionaries (the
-same rows/series the paper's figures display).  ``fast=True`` switches the
-machines to MODEL_ONLY numerics and trims repetitions so a full figure
-regenerates in well under a second — the benchmark harness uses this mode.
+Each ``figureN_data`` function describes its grid as experiment specs, runs
+them through a :class:`~repro.experiments.Session` (cached, optionally
+parallel via ``max_workers``) and returns the plottable series as plain
+dictionaries — the same rows/series the paper's figures display.
+
+Two invocation styles are supported:
+
+* declarative — pass chip names (or nothing) plus ``session=``/``fast=``;
+* legacy — pass a ``{chip: Machine}`` mapping, from which an equivalent
+  session is derived (kept for the imperative call sites that predate the
+  spec API).
+
+The ``figureN_from_envelopes`` counterparts assemble the identical series
+from persisted :class:`~repro.experiments.ResultEnvelope` records, so
+``repro figure2 --from results/`` re-renders without recomputing.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.calibration import paper
-from repro.core.gemm.registry import get_implementation, paper_implementation_keys
-from repro.core.harness import ExperimentRunner
-from repro.core.stream.runner import figure1_row
+from repro.core.gemm.registry import paper_implementation_keys
+from repro.experiments.envelope import ResultEnvelope
+from repro.experiments.session import Session
+from repro.experiments.specs import StreamSpec, SweepSpec
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsConfig
 
 __all__ = [
     "make_machines",
+    "make_session",
     "figure1_data",
     "figure2_data",
     "figure3_data",
     "figure4_data",
+    "figure1_from_envelopes",
+    "figure2_from_envelopes",
+    "figure3_from_envelopes",
+    "figure4_from_envelopes",
 ]
 
 
@@ -40,11 +56,72 @@ def make_machines(
     }
 
 
+def make_session(*, fast: bool = False, seed: int = 0, **kwargs) -> Session:
+    """A figure-building session: sampled numerics, or model-only if fast."""
+    return Session(
+        numerics="model-only" if fast else "sampled", seed=seed, **kwargs
+    )
+
+
+def _resolve(
+    machines: Mapping[str, Machine] | Sequence[str] | None,
+    fast: bool,
+    session: Session | None,
+) -> tuple[tuple[str, ...], Session]:
+    """Chips + session from either invocation style."""
+    if isinstance(machines, Mapping):
+        chips = tuple(machines)
+        if session is None:
+            session = _session_from_machines(dict(machines))
+        return chips, session
+    chips = tuple(machines) if machines is not None else paper.CHIPS
+    if session is None:
+        session = make_session(fast=fast)
+    return chips, session
+
+
+def _session_from_machines(machines: dict[str, Machine]) -> Session:
+    """A session honouring a legacy ``{chip: Machine}`` mapping.
+
+    Each cell executes on a *fresh clone* of the mapping's machine for that
+    chip — same chip/device specs (catalog or custom), numerics, thermal
+    model, noise seed and sigma — preserving the pre-spec-API behaviour of
+    running on exactly the machines the caller configured, while keeping
+    per-cell execution pure.
+    """
+    first = next(iter(machines.values()))
+
+    def factory(chip: str, seed: int, numerics) -> Machine:
+        template = machines[chip]
+        return Machine(
+            template.chip,
+            template.device,
+            envelope=template.envelope,
+            thermal=template.thermal,
+            seed=template.noise.seed,
+            noise_sigma=template.noise.default_sigma,
+            numerics=template.numerics,
+        )
+
+    return Session(
+        numerics=first.numerics,
+        seed=first.noise.seed,
+        noise_sigma=first.noise.default_sigma,
+        thermal_enabled=first.thermal.enabled,
+        machine_factory=factory,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — STREAM
+# ---------------------------------------------------------------------------
 def figure1_data(
-    machines: Mapping[str, Machine] | None = None,
+    machines: Mapping[str, Machine] | Sequence[str] | None = None,
     *,
     fast: bool = False,
     n_elements: int | None = None,
+    session: Session | None = None,
+    max_workers: int | None = None,
 ) -> dict[str, dict]:
     """Figure 1: STREAM bandwidths per chip, target and kernel.
 
@@ -52,96 +129,210 @@ def figure1_data(
     """
     # Fast mode skips numerics, so full-size arrays cost nothing; the array
     # footprint must stay large or the GPU ramp underreports bandwidth.
-    machines = machines or make_machines(fast=fast)
-    elements = n_elements
+    chips, session = _resolve(machines, fast, session)
+    specs = [
+        StreamSpec(
+            chip=chip, seed=session.seed, target=target, n_elements=n_elements
+        )
+        for chip in chips
+        for target in ("cpu", "gpu")
+    ]
+    envelopes = session.run_batch(specs, max_workers=max_workers)
+    return figure1_from_envelopes(envelopes, chips=chips)
+
+
+def figure1_from_envelopes(
+    envelopes: Iterable[ResultEnvelope],
+    *,
+    chips: Sequence[str] | None = None,
+) -> dict[str, dict]:
+    """Assemble the Figure-1 series from persisted STREAM envelopes."""
     out: dict[str, dict] = {}
-    for chip, machine in machines.items():
-        row = figure1_row(machine, n_elements=elements)
-        out[chip] = {
-            "theoretical": machine.chip.memory.bandwidth_gbs,
-            "cpu": {k: r.max_gbs for k, r in row["cpu"].kernels.items()},
-            "gpu": {k: r.max_gbs for k, r in row["gpu"].kernels.items()},
+    for env in envelopes:
+        if env.kind != "stream":
+            continue
+        if chips is not None and env.spec.chip not in chips:
+            continue
+        result = env.result
+        entry = out.setdefault(
+            env.spec.chip, {"theoretical": result.theoretical_gbs}
+        )
+        entry[result.target] = {
+            k: float(r.max_gbs) for k, r in result.kernels.items()
         }
+    if chips is not None:
+        return {chip: out[chip] for chip in chips if chip in out}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 2-4 — GEMM series
+# ---------------------------------------------------------------------------
+def _gemm_series(
+    chips: tuple[str, ...],
+    session: Session,
+    *,
+    kind: str,
+    sizes: tuple[int, ...],
+    impl_keys: Sequence[str] | None,
+    repeats: int,
+    max_workers: int | None,
+) -> list[ResultEnvelope]:
+    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
+    sweep = SweepSpec(
+        kind=kind,
+        chips=chips,
+        impl_keys=keys,
+        sizes=sizes,
+        repeats=repeats,
+        seed=session.seed,
+    )
+    return session.run_batch(sweep, max_workers=max_workers)
+
+
+def _series_scaffold(
+    chips: Sequence[str] | None, impl_keys: Sequence[str] | None
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Every requested (chip, impl) key present, even when its series is empty."""
+    if chips is None:
+        return {}
+    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
+    return {chip: {key: {} for key in keys} for chip in chips}
+
+
+def _assemble_series(
+    envelopes: Iterable[ResultEnvelope],
+    value,
+    kind: str,
+    chips: Sequence[str] | None,
+    impl_keys: Sequence[str] | None,
+) -> dict[str, dict[str, dict[int, float]]]:
+    out = _series_scaffold(chips, impl_keys)
+    for env in envelopes:
+        if env.kind != kind:
+            continue
+        if chips is not None and env.spec.chip not in chips:
+            continue
+        spec = env.spec
+        out.setdefault(spec.chip, {}).setdefault(spec.impl_key, {})[spec.n] = value(
+            env.result
+        )
     return out
 
 
 def figure2_data(
-    machines: Mapping[str, Machine] | None = None,
+    machines: Mapping[str, Machine] | Sequence[str] | None = None,
     *,
     sizes: tuple[int, ...] = paper.GEMM_SIZES,
     impl_keys: Sequence[str] | None = None,
     repeats: int = paper.GEMM_REPEATS,
     fast: bool = False,
+    session: Session | None = None,
+    max_workers: int | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Figure 2: best GFLOPS per chip, implementation and size.
 
     Returns ``{chip: {impl: {n: gflops}}}``; excluded cells are absent.
     """
-    machines = machines or make_machines(fast=fast)
-    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
-    out: dict[str, dict[str, dict[int, float]]] = {}
-    for chip, machine in machines.items():
-        runner = ExperimentRunner(machine)
-        per_impl: dict[str, dict[int, float]] = {}
-        for key in keys:
-            impl = get_implementation(key)
-            sweep = runner.run_gemm_sweep(impl, sizes, repeats=repeats)
-            per_impl[key] = {n: r.best_gflops for n, r in sweep.items()}
-        out[chip] = per_impl
-    return out
+    chips, session = _resolve(machines, fast, session)
+    envelopes = _gemm_series(
+        chips,
+        session,
+        kind="gemm",
+        sizes=sizes,
+        impl_keys=impl_keys,
+        repeats=repeats,
+        max_workers=max_workers,
+    )
+    return _assemble_series(
+        envelopes, lambda r: r.best_gflops, "gemm", chips, impl_keys
+    )
+
+
+def figure2_from_envelopes(
+    envelopes: Iterable[ResultEnvelope],
+    *,
+    chips: Sequence[str] | None = None,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Assemble the Figure-2 series from persisted GEMM envelopes."""
+    return _assemble_series(
+        envelopes, lambda r: r.best_gflops, "gemm", chips, None
+    )
 
 
 def figure3_data(
-    machines: Mapping[str, Machine] | None = None,
+    machines: Mapping[str, Machine] | Sequence[str] | None = None,
     *,
     sizes: tuple[int, ...] = paper.POWER_SIZES,
     impl_keys: Sequence[str] | None = None,
     repeats: int = paper.GEMM_REPEATS,
     fast: bool = False,
+    session: Session | None = None,
+    max_workers: int | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Figure 3: mean combined CPU+GPU power (mW) per chip, impl and size."""
-    machines = machines or make_machines(fast=fast)
-    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
-    out: dict[str, dict[str, dict[int, float]]] = {}
-    for chip, machine in machines.items():
-        runner = ExperimentRunner(machine)
-        per_impl: dict[str, dict[int, float]] = {}
-        for key in keys:
-            impl = get_implementation(key)
-            series: dict[int, float] = {}
-            for n in sizes:
-                if not impl.supports(machine, n):
-                    continue
-                powered = runner.run_powered_gemm(impl, n, repeats=repeats)
-                series[n] = powered.mean_combined_mw
-            per_impl[key] = series
-        out[chip] = per_impl
-    return out
+    chips, session = _resolve(machines, fast, session)
+    envelopes = _gemm_series(
+        chips,
+        session,
+        kind="powered-gemm",
+        sizes=sizes,
+        impl_keys=impl_keys,
+        repeats=repeats,
+        max_workers=max_workers,
+    )
+    return _assemble_series(
+        envelopes, lambda r: r.mean_combined_mw, "powered-gemm", chips, impl_keys
+    )
+
+
+def figure3_from_envelopes(
+    envelopes: Iterable[ResultEnvelope],
+    *,
+    chips: Sequence[str] | None = None,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Assemble the Figure-3 series from persisted power envelopes."""
+    return _assemble_series(
+        envelopes, lambda r: r.mean_combined_mw, "powered-gemm", chips, None
+    )
 
 
 def figure4_data(
-    machines: Mapping[str, Machine] | None = None,
+    machines: Mapping[str, Machine] | Sequence[str] | None = None,
     *,
     sizes: tuple[int, ...] = paper.POWER_SIZES,
     impl_keys: Sequence[str] | None = None,
     repeats: int = paper.GEMM_REPEATS,
     fast: bool = False,
+    session: Session | None = None,
+    max_workers: int | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Figure 4: efficiency (GFLOPS/W) per chip, implementation and size."""
-    machines = machines or make_machines(fast=fast)
-    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
-    out: dict[str, dict[str, dict[int, float]]] = {}
-    for chip, machine in machines.items():
-        runner = ExperimentRunner(machine)
-        per_impl: dict[str, dict[int, float]] = {}
-        for key in keys:
-            impl = get_implementation(key)
-            series: dict[int, float] = {}
-            for n in sizes:
-                if not impl.supports(machine, n):
-                    continue
-                powered = runner.run_powered_gemm(impl, n, repeats=repeats)
-                series[n] = powered.efficiency_gflops_per_w
-            per_impl[key] = series
-        out[chip] = per_impl
-    return out
+    chips, session = _resolve(machines, fast, session)
+    envelopes = _gemm_series(
+        chips,
+        session,
+        kind="powered-gemm",
+        sizes=sizes,
+        impl_keys=impl_keys,
+        repeats=repeats,
+        max_workers=max_workers,
+    )
+    return _assemble_series(
+        envelopes,
+        lambda r: r.efficiency_gflops_per_w,
+        "powered-gemm",
+        chips,
+        impl_keys,
+    )
+
+
+def figure4_from_envelopes(
+    envelopes: Iterable[ResultEnvelope],
+    *,
+    chips: Sequence[str] | None = None,
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Assemble the Figure-4 series from persisted power envelopes."""
+    return _assemble_series(
+        envelopes, lambda r: r.efficiency_gflops_per_w, "powered-gemm", chips, None
+    )

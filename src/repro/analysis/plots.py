@@ -161,7 +161,7 @@ def figure1_chart(fig1: Mapping[str, Mapping], *, width: int = 50) -> str:
     for chip, entry in fig1.items():
         bars = {}
         for target in ("cpu", "gpu"):
-            for kernel, gbs in entry[target].items():
+            for kernel, gbs in entry.get(target, {}).items():
                 bars[f"{kernel} ({target.upper()})"] = gbs
         groups[chip] = bars
         reference[chip] = entry["theoretical"]

@@ -5,6 +5,8 @@ Examples::
     repro table1
     repro figure1 --chips M1 M4
     repro figure2 --fast
+    repro run --kind gemm --chips M1 M4 --workers 4 --out results/
+    repro figure2 --from results/
     repro gh200
     repro all --fast
 """
@@ -20,15 +22,27 @@ from repro.analysis.compare import compare_to_paper, render_comparison, shape_ch
 from repro.analysis.export import figure_series_to_rows, rows_to_csv
 from repro.analysis.figures import (
     figure1_data,
+    figure1_from_envelopes,
     figure2_data,
+    figure2_from_envelopes,
     figure3_data,
+    figure3_from_envelopes,
     figure4_data,
-    make_machines,
+    figure4_from_envelopes,
+    make_session,
 )
 from repro.analysis.reference_systems import render_reference_table
 from repro.analysis.tables import render_table1, render_table2, render_table3
 from repro.calibration import paper
 from repro.cuda import CublasHandle, CudaMathMode, GH200Machine, run_gh200_stream
+from repro.errors import ReproError
+from repro.experiments import (
+    NUMERICS_PROFILES,
+    Session,
+    SweepSpec,
+    load_envelopes,
+    save_envelopes,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -68,6 +82,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--chart", action="store_true", help="draw an ASCII chart of the figure"
         )
+        p.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="parallel experiment cells (default: sequential)",
+        )
+        p.add_argument(
+            "--out",
+            default=None,
+            metavar="DIR",
+            help="persist the run's result envelopes to DIR",
+        )
+        p.add_argument(
+            "--from",
+            dest="from_dir",
+            default=None,
+            metavar="DIR",
+            help="render from envelopes saved in DIR instead of running",
+        )
         return p
 
     add_figure("figure1", "STREAM bandwidths (Figure 1)")
@@ -75,6 +109,71 @@ def build_parser() -> argparse.ArgumentParser:
     add_figure("figure3", "power dissipation (Figure 3)")
     add_figure("figure4", "power efficiency (Figure 4)")
     add_figure("compare", "paper-vs-measured summary across figures")
+
+    run = sub.add_parser(
+        "run", help="execute a declarative experiment sweep (spec grid)"
+    )
+    run.add_argument(
+        "--kind",
+        default="gemm",
+        choices=["gemm", "powered-gemm", "stream"],
+        help="experiment kind (default: gemm)",
+    )
+    run.add_argument(
+        "--chips",
+        nargs="+",
+        default=list(paper.CHIPS),
+        choices=list(paper.CHIPS),
+        help="chips to run (default: all four)",
+    )
+    run.add_argument(
+        "--impls",
+        nargs="+",
+        default=None,
+        metavar="KEY",
+        help="GEMM implementation keys (default: the Figure-2 legend)",
+    )
+    run.add_argument(
+        "--sizes",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="N",
+        help="matrix sizes (default: the paper's sweep)",
+    )
+    run.add_argument(
+        "--targets",
+        nargs="+",
+        default=["cpu", "gpu"],
+        choices=["cpu", "gpu"],
+        help="STREAM targets (stream kind only)",
+    )
+    run.add_argument("--repeats", type=int, default=None, help="repetitions per cell")
+    run.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+    run.add_argument(
+        "--numerics",
+        default="sampled",
+        choices=list(NUMERICS_PROFILES),
+        help="numerics profile (default: sampled)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1, help="parallel experiment cells"
+    )
+    run.add_argument(
+        "--json", action="store_true", help="emit the envelopes as JSON on stdout"
+    )
+    run.add_argument(
+        "--out", default=None, metavar="DIR", help="write envelope files to DIR"
+    )
+    run.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="session result cache directory (reused across runs)",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress the per-cell progress line"
+    )
 
     gh = sub.add_parser("gh200", help="GH200 reference points (sections 4-5)")
     gh.add_argument("--fast", action="store_true")
@@ -105,14 +204,48 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_figure1(chips: Sequence[str], fast: bool, as_csv: bool) -> None:
-    machines = make_machines(chips, fast=fast)
-    data = figure1_data(machines, fast=fast)
-    if as_csv:
+def _figure_session(args) -> Session:
+    return make_session(fast=args.fast, seed=args.seed)
+
+
+def _figure_envelopes(args):
+    """Envelopes for --from rendering, or None when the figure should run."""
+    if args.from_dir is None:
+        return None
+    return load_envelopes(args.from_dir)
+
+
+def _figure1_series(args) -> dict:
+    """Figure-1 data from envelopes (--from) or a live session run."""
+    envelopes = _figure_envelopes(args)
+    if envelopes is not None:
+        return figure1_from_envelopes(envelopes, chips=args.chips)
+    session = _figure_session(args)
+    data = figure1_data(args.chips, session=session, max_workers=args.workers)
+    _flush_sink(args, session)
+    return data
+
+
+def _render_figure1_text(data: dict) -> None:
+    print("Figure 1 — STREAM bandwidth (GB/s), max over repetitions")
+    for chip, entry in data.items():
+        print(f"\n{chip} (theoretical {entry['theoretical']:.0f} GB/s)")
+        for target in ("cpu", "gpu"):
+            if target not in entry:
+                continue  # partial stores may hold only one target
+            cells = "  ".join(
+                f"{kernel}={gbs:6.1f}" for kernel, gbs in entry[target].items()
+            )
+            print(f"  {target.upper():3s}: {cells}")
+
+
+def _print_figure1(args) -> None:
+    data = _figure1_series(args)
+    if args.csv:
         rows = []
         for chip, entry in data.items():
             for target in ("cpu", "gpu"):
-                for kernel, gbs in entry[target].items():
+                for kernel, gbs in entry.get(target, {}).items():
                     rows.append(
                         {
                             "chip": chip,
@@ -123,14 +256,26 @@ def _print_figure1(chips: Sequence[str], fast: bool, as_csv: bool) -> None:
                     )
         print(rows_to_csv(rows), end="")
         return
-    print("Figure 1 — STREAM bandwidth (GB/s), max over repetitions")
-    for chip, entry in data.items():
-        print(f"\n{chip} (theoretical {entry['theoretical']:.0f} GB/s)")
-        for target in ("cpu", "gpu"):
-            cells = "  ".join(
-                f"{kernel}={gbs:6.1f}" for kernel, gbs in entry[target].items()
-            )
-            print(f"  {target.upper():3s}: {cells}")
+    _render_figure1_text(data)
+
+
+def _flush_sink(args, session: Session) -> None:
+    """Persist the session's computed envelopes when --out was given."""
+    if getattr(args, "out", None):
+        paths = save_envelopes(args.out, session.cached_envelopes())
+        print(f"[wrote {len(paths)} envelopes to {args.out}]", file=sys.stderr)
+
+
+def _figure_series(args, builder, from_builder) -> dict:
+    envelopes = _figure_envelopes(args)
+    if envelopes is not None:
+        return from_builder(envelopes, chips=args.chips)
+    session = _figure_session(args)
+    data = builder(
+        args.chips, fast=args.fast, session=session, max_workers=args.workers
+    )
+    _flush_sink(args, session)
+    return data
 
 
 def _print_series_figure(
@@ -151,6 +296,69 @@ def _print_series_figure(
             print(f"  {impl:16s} {cells}")
 
 
+def _run_sweep(args) -> None:
+    """The ``repro run`` subcommand: declarative sweep -> envelopes."""
+    sweep = SweepSpec(
+        kind=args.kind,
+        chips=tuple(args.chips),
+        impl_keys=tuple(args.impls) if args.impls else (),
+        sizes=tuple(args.sizes) if args.sizes else (),
+        targets=tuple(args.targets),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    session = Session(
+        numerics=args.numerics, seed=args.seed, cache_dir=args.cache
+    )
+    specs = sweep.expand()
+
+    def progress(done: int, total: int, envelope) -> None:
+        if args.quiet or args.json:
+            return
+        spec = envelope.spec
+        cell = (
+            f"{spec.chip} {spec.target}"
+            if envelope.kind == "stream"
+            else f"{spec.chip} {spec.impl_key} n={spec.n}"
+        )
+        print(f"[{done}/{total}] {cell}", file=sys.stderr)
+
+    envelopes = session.run_batch(
+        specs, max_workers=args.workers, progress=progress
+    )
+    if args.out:
+        paths = save_envelopes(args.out, envelopes)
+        print(f"wrote {len(paths)} envelopes to {args.out}")
+    if args.json:
+        import json as _json
+
+        print(
+            _json.dumps(
+                [env.to_dict() for env in envelopes], indent=2, sort_keys=True
+            )
+        )
+    if not args.json and not args.out:
+        for env in envelopes:
+            spec = env.spec
+            if env.kind == "stream":
+                print(
+                    f"{spec.chip:4s} stream/{spec.target}: "
+                    f"{env.result.max_gbs:8.1f} GB/s "
+                    f"({env.result.fraction_of_peak:.0%} of peak)"
+                )
+            elif env.kind == "gemm":
+                print(
+                    f"{spec.chip:4s} {spec.impl_key:16s} n={spec.n:<6d} "
+                    f"{env.result.best_gflops:10.1f} GFLOPS"
+                )
+            else:
+                print(
+                    f"{spec.chip:4s} {spec.impl_key:16s} n={spec.n:<6d} "
+                    f"{env.result.mean_combined_w:7.2f} W  "
+                    f"{env.result.efficiency_gflops_per_w:8.1f} GFLOPS/W"
+                )
+
+
 def _run_gh200(fast: bool) -> None:
     from repro.sim.policy import NumericsConfig
     import numpy as np
@@ -164,8 +372,8 @@ def _run_gh200(fast: bool) -> None:
         # skipped so the footprint costs nothing.
         result = run_gh200_stream(machine, target, n_elements=1 << 24)
         print(
-            f"  STREAM {label:14s}: {result.max_gbs():7.1f} GB/s "
-            f"({result.fraction_of_peak():.0%} of {result.theoretical_gbs:.0f})"
+            f"  STREAM {label:14s}: {result.max_gbs:7.1f} GB/s "
+            f"({result.fraction_of_peak:.0%} of {result.theoretical_gbs:.0f})"
         )
     n = 4096 if fast else 16384
     for mode, label in (
@@ -188,6 +396,14 @@ def _run_gh200(fast: bool) -> None:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     command = args.command
 
     if command == "table1":
@@ -202,13 +418,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.chart:
             from repro.analysis.plots import figure1_chart
 
-            machines = make_machines(args.chips, fast=args.fast)
-            print(figure1_chart(figure1_data(machines, fast=args.fast)))
+            print(figure1_chart(_figure1_series(args)))
         else:
-            _print_figure1(args.chips, args.fast, args.csv)
+            _print_figure1(args)
     elif command == "figure2":
-        machines = make_machines(args.chips, fast=args.fast)
-        data = figure2_data(machines, fast=args.fast)
+        data = _figure_series(args, figure2_data, figure2_from_envelopes)
         if args.chart:
             from repro.analysis.plots import figure2_chart
 
@@ -216,24 +430,37 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             _print_series_figure("Figure 2 — GEMM", data, "gflops", "GFLOPS", args.csv)
     elif command == "figure3":
-        machines = make_machines(args.chips, fast=args.fast)
-        data = figure3_data(machines, fast=args.fast)
+        data = _figure_series(args, figure3_data, figure3_from_envelopes)
         _print_series_figure("Figure 3 — power", data, "power_mw", "mW", args.csv)
     elif command == "figure4":
-        machines = make_machines(args.chips, fast=args.fast)
-        data = figure4_data(machines, fast=args.fast)
+        data = _figure_series(args, figure4_data, figure4_from_envelopes)
         _print_series_figure(
             "Figure 4 — efficiency", data, "gflops_per_w", "GFLOPS/W", args.csv
         )
     elif command == "compare":
-        machines = make_machines(args.chips, fast=args.fast)
-        fig1 = figure1_data(machines, fast=args.fast)
-        fig2 = figure2_data(machines, fast=args.fast)
-        fig4 = figure4_data(machines, fast=args.fast)
+        envelopes = _figure_envelopes(args)
+        if envelopes is not None:
+            fig1 = figure1_from_envelopes(envelopes, chips=args.chips)
+            fig2 = figure2_from_envelopes(envelopes, chips=args.chips)
+            fig4 = figure4_from_envelopes(envelopes, chips=args.chips)
+        else:
+            session = _figure_session(args)
+            fig1 = figure1_data(
+                args.chips, session=session, max_workers=args.workers
+            )
+            fig2 = figure2_data(
+                args.chips, session=session, max_workers=args.workers
+            )
+            fig4 = figure4_data(
+                args.chips, session=session, max_workers=args.workers
+            )
+            _flush_sink(args, session)
         print(render_comparison(compare_to_paper(fig1=fig1, fig2=fig2, fig4=fig4)))
         print()
         for name, ok in shape_checks(fig1=fig1, fig2=fig2, fig4=fig4).items():
             print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    elif command == "run":
+        _run_sweep(args)
     elif command == "gh200":
         _run_gh200(args.fast)
     elif command == "stream":
@@ -272,16 +499,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         for block in (render_table1(), render_table2(), render_table3()):
             print(block)
             print()
-        _print_figure1(list(paper.CHIPS), args.fast, False)
+        session = make_session(fast=args.fast)
+        data1 = figure1_data(list(paper.CHIPS), session=session)
+        _render_figure1_text(data1)
         print()
-        machines = make_machines(fast=args.fast)
-        data2 = figure2_data(machines, fast=args.fast)
+        data2 = figure2_data(list(paper.CHIPS), session=session)
         _print_series_figure("Figure 2 — GEMM", data2, "gflops", "GFLOPS", False)
         print()
-        data3 = figure3_data(machines, fast=args.fast)
+        data3 = figure3_data(list(paper.CHIPS), session=session)
         _print_series_figure("Figure 3 — power", data3, "power_mw", "mW", False)
         print()
-        data4 = figure4_data(machines, fast=args.fast)
+        data4 = figure4_data(list(paper.CHIPS), session=session)
         _print_series_figure(
             "Figure 4 — efficiency", data4, "gflops_per_w", "GFLOPS/W", False
         )

@@ -1,40 +1,45 @@
-"""The experiment runner of section 4.
+"""The experiment runner of section 4 — now a compatibility facade.
 
-Runs each GEMM cell five times with chrono-style nanosecond timing that
-excludes setup, derives GFLOPS from the paper's ``n^2 (2n - 1)`` operation
-count, optionally piggybacks the powermetrics protocol onto every repetition,
-and optionally verifies the numerics.  STREAM runs delegate to
-:mod:`repro.core.stream.runner`.
+Historically this module *was* the execution engine; the bodies moved to
+:mod:`repro.experiments.executor` when the declarative spec/session API
+landed, and :class:`ExperimentRunner` remains as a thin imperative wrapper:
+it translates each call into a single spec and executes it on its one
+shared machine (preserving the original stateful semantics — the virtual
+clock keeps advancing across calls).  New code should prefer
+:class:`repro.experiments.Session`, which adds caching, batching and
+persistence on top of the same executor.
 """
 
 from __future__ import annotations
 
 from repro.calibration import paper
-from repro.core.gemm.base import GemmImplementation, GemmProblem
+from repro.core.gemm.base import GemmImplementation
 from repro.core.gemm.registry import get_implementation
-from repro.core.gemm.verify import verify_result
-from repro.core.power.harness import measure_gemm_power
-from repro.core.results import (
-    GemmRepetition,
-    GemmResult,
-    PoweredGemmResult,
-    StreamResult,
+from repro.core.results import GemmResult, PoweredGemmResult, StreamResult
+from repro.experiments.executor import (
+    run_gemm_spec,
+    run_powered_gemm_spec,
+    run_stream_spec,
 )
-from repro.core.stream.runner import run_stream
-from repro.core.timer import measure_ns
-from repro.errors import UnsupportedProblemError
+from repro.experiments.specs import GemmSpec, PoweredGemmSpec, StreamSpec
 from repro.sim.machine import Machine
-from repro.sim.policy import NumericsPolicy
 
 __all__ = ["ExperimentRunner"]
 
 
 class ExperimentRunner:
-    """Drives the paper's experiments on one machine."""
+    """Drives the paper's experiments imperatively on one machine."""
 
     def __init__(self, machine: Machine, *, seed: int = 0) -> None:
         self.machine = machine
         self.seed = seed
+
+    def _impl(
+        self, implementation: GemmImplementation | str
+    ) -> GemmImplementation:
+        if isinstance(implementation, str):
+            return get_implementation(implementation)
+        return implementation
 
     # ------------------------------------------------------------------
     # GEMM (Figure 2)
@@ -51,47 +56,16 @@ class ExperimentRunner:
 
         ``verify=None`` verifies whenever numerics ran (FULL or SAMPLED).
         """
-        impl = (
-            get_implementation(implementation)
-            if isinstance(implementation, str)
-            else implementation
-        )
-        if not impl.supports(self.machine, n):
-            raise UnsupportedProblemError(
-                f"{impl.key} does not execute n={n} on {self.machine.chip.name}"
-            )
-        fill = self.machine.numerics.policy is not NumericsPolicy.MODEL_ONLY
-        problem = GemmProblem.generate(n, seed=self.seed, fill_random=fill)
-        context = impl.prepare(self.machine, problem)
-
-        repetitions = []
-        for rep in range(repeats):
-            elapsed = measure_ns(
-                self.machine, lambda: impl.execute(self.machine, problem, context)
-            )
-            repetitions.append(GemmRepetition(repetition=rep, elapsed_ns=elapsed))
-
-        verified: bool | None = None
-        policy = self.machine.numerics.effective_policy(n)
-        want_verify = (
-            verify
-            if verify is not None
-            else policy is not NumericsPolicy.MODEL_ONLY
-        )
-        if want_verify:
-            verified = verify_result(
-                self.machine,
-                problem,
-                reduced_precision=(impl.key == "ane-fp16"),
-            )
-        return GemmResult(
+        impl = self._impl(implementation)
+        spec = GemmSpec(
+            chip=self.machine.chip.name,
+            seed=self.seed,
             impl_key=impl.key,
-            chip_name=self.machine.chip.name,
             n=n,
-            flop_count=paper.gemm_flop_count(n),
-            repetitions=tuple(repetitions),
-            verified=verified,
+            repeats=repeats,
+            verify=verify,
         )
+        return run_gemm_spec(self.machine, spec, implementation=impl)
 
     def run_gemm_sweep(
         self,
@@ -101,11 +75,7 @@ class ExperimentRunner:
         repeats: int = paper.GEMM_REPEATS,
     ) -> dict[int, GemmResult]:
         """One Figure-2 line: skip the sizes the implementation excludes."""
-        impl = (
-            get_implementation(implementation)
-            if isinstance(implementation, str)
-            else implementation
-        )
+        impl = self._impl(implementation)
         results: dict[int, GemmResult] = {}
         for n in sizes:
             if not impl.supports(self.machine, n):
@@ -128,40 +98,15 @@ class ExperimentRunner:
         "The power measurement occurs during the run in which CPU/GPU
         performance is measured ... it too sees five repetitions."
         """
-        impl = (
-            get_implementation(implementation)
-            if isinstance(implementation, str)
-            else implementation
-        )
-        if not impl.supports(self.machine, n):
-            raise UnsupportedProblemError(
-                f"{impl.key} does not execute n={n} on {self.machine.chip.name}"
-            )
-        fill = self.machine.numerics.policy is not NumericsPolicy.MODEL_ONLY
-        problem = GemmProblem.generate(n, seed=self.seed, fill_random=fill)
-        context = impl.prepare(self.machine, problem)
-
-        repetitions = []
-        measurements = []
-        for rep in range(repeats):
-            t0 = self.machine.now_ns()
-            measurement = measure_gemm_power(self.machine, impl, problem, context)
-            elapsed_protocol = self.machine.now_ns() - t0
-            # The multiplication window is the measurement window itself.
-            elapsed = int(measurement.elapsed_ms * 1e6)
-            del elapsed_protocol  # warm-up excluded from the compute timing
-            repetitions.append(
-                GemmRepetition(repetition=rep, elapsed_ns=max(1, elapsed))
-            )
-            measurements.append(measurement)
-        gemm = GemmResult(
+        impl = self._impl(implementation)
+        spec = PoweredGemmSpec(
+            chip=self.machine.chip.name,
+            seed=self.seed,
             impl_key=impl.key,
-            chip_name=self.machine.chip.name,
             n=n,
-            flop_count=paper.gemm_flop_count(n),
-            repetitions=tuple(repetitions),
+            repeats=repeats,
         )
-        return PoweredGemmResult(gemm=gemm, measurements=tuple(measurements))
+        return run_powered_gemm_spec(self.machine, spec, implementation=impl)
 
     # ------------------------------------------------------------------
     # STREAM (Figure 1)
@@ -174,6 +119,11 @@ class ExperimentRunner:
         repeats: int | None = None,
     ) -> StreamResult:
         """Run the Figure-1 STREAM study on one target processor."""
-        return run_stream(
-            self.machine, target, n_elements=n_elements, repeats=repeats
+        spec = StreamSpec(
+            chip=self.machine.chip.name,
+            seed=self.seed,
+            target=target,
+            n_elements=n_elements,
+            repeats=repeats,
         )
+        return run_stream_spec(self.machine, spec)

@@ -43,9 +43,9 @@ def render_stream_report(result: StreamResult) -> str:
             f"{max(times):12.6f}"
         )
     lines.append("-" * 62)
-    fraction = result.fraction_of_peak()
+    fraction = result.fraction_of_peak
     lines.append(
-        f"Best bandwidth {result.max_gbs():.1f} GB/s = {fraction:.0%} of the "
+        f"Best bandwidth {result.max_gbs:.1f} GB/s = {fraction:.0%} of the "
         f"{result.theoretical_gbs:.0f} GB/s theoretical peak"
     )
     lines.append("Solution Validates: avg error less than 1.000000e-13 on all arrays")

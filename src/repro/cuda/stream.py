@@ -21,7 +21,7 @@ from repro.cuda.machine import GH200Machine
 from repro.errors import ConfigurationError
 from repro.sim.policy import NumericsPolicy
 
-__all__ = ["run_gh200_stream", "DEFAULT_GH200_ELEMENTS"]
+__all__ = ["run_gh200_stream", "DEFAULT_GH200_ELEMENTS", "paper_reference_gbs"]
 
 DEFAULT_GH200_ELEMENTS = 1 << 23
 
@@ -90,6 +90,3 @@ def paper_reference_gbs(target: str) -> float:
     """The paper's quoted GH200 STREAM result for a target."""
     key = "stream_cpu_gbs" if target == "cpu" else "stream_hbm3_gbs"
     return float(paper.GH200[key])
-
-
-__all__.append("paper_reference_gbs")

@@ -1,0 +1,68 @@
+"""Declarative experiment API: specs, sessions, batches and envelopes.
+
+The grid behind the paper's study — {M1..M4} x {STREAM, GEMM, power} x sizes
+— is described by frozen :mod:`~repro.experiments.specs`, executed (and
+cached, and parallelised) by a :class:`~repro.experiments.session.Session`,
+and persisted as JSON :class:`~repro.experiments.envelope.ResultEnvelope`
+records that figures re-render from disk::
+
+    from repro.experiments import GemmSpec, Session
+
+    session = Session(numerics="sampled", cache_dir="results-cache")
+    env = session.run(GemmSpec(chip="M4", impl_key="gpu-mps", n=4096))
+    print(env.result.best_gflops)
+
+    sweep = SweepSpec(kind="gemm", chips=("M1", "M4"), sizes=(4096, 16384))
+    envelopes = session.run_batch(sweep, max_workers=4)
+"""
+
+from repro.experiments.envelope import (
+    ENVELOPE_SCHEMA_VERSION,
+    ResultEnvelope,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.executor import (
+    execute_spec,
+    run_gemm_spec,
+    run_powered_gemm_spec,
+    run_stream_spec,
+)
+from repro.experiments.session import ProgressCallback, Session
+from repro.experiments.specs import (
+    NUMERICS_PROFILES,
+    ExperimentSpec,
+    GemmSpec,
+    PoweredGemmSpec,
+    StreamSpec,
+    SweepSpec,
+    spec_from_dict,
+)
+from repro.experiments.store import (
+    envelope_filename,
+    load_envelopes,
+    save_envelopes,
+)
+
+__all__ = [
+    "NUMERICS_PROFILES",
+    "ENVELOPE_SCHEMA_VERSION",
+    "ExperimentSpec",
+    "GemmSpec",
+    "PoweredGemmSpec",
+    "StreamSpec",
+    "SweepSpec",
+    "spec_from_dict",
+    "Session",
+    "ProgressCallback",
+    "ResultEnvelope",
+    "result_to_dict",
+    "result_from_dict",
+    "execute_spec",
+    "run_gemm_spec",
+    "run_powered_gemm_spec",
+    "run_stream_spec",
+    "envelope_filename",
+    "save_envelopes",
+    "load_envelopes",
+]

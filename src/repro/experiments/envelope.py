@@ -1,0 +1,270 @@
+"""The serializable result envelope.
+
+A :class:`ResultEnvelope` wraps one spec together with its result record and
+provenance metadata in a uniform, JSON-round-trippable shell: ``repro run
+--json --out results/`` persists envelopes, ``repro figure2 --from results/``
+re-renders figures from them without recomputation.  Serialization covers the
+*raw* fields only (repetitions, per-kernel bandwidths, measurement windows);
+every derived statistic (``best_gflops``, ``max_gbs``,
+``efficiency_gflops_per_w``) is recomputed from them, so a round trip
+reproduces the statistics to full precision — JSON preserves finite doubles
+exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Mapping
+
+from repro._version import __version__
+from repro.core.results import (
+    GemmRepetition,
+    GemmResult,
+    PoweredGemmResult,
+    PowerMeasurement,
+    StreamKernelResult,
+    StreamResult,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.specs import ExperimentSpec, spec_from_dict
+
+__all__ = [
+    "ENVELOPE_SCHEMA_VERSION",
+    "ResultEnvelope",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: Bumped whenever the on-disk envelope layout changes shape.
+ENVELOPE_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Result record <-> plain data
+# ---------------------------------------------------------------------------
+def _gemm_to_dict(result: GemmResult) -> dict[str, Any]:
+    return {
+        "type": "gemm",
+        "impl_key": result.impl_key,
+        "chip_name": result.chip_name,
+        "n": result.n,
+        "flop_count": result.flop_count,
+        "repetitions": [
+            {"repetition": r.repetition, "elapsed_ns": r.elapsed_ns}
+            for r in result.repetitions
+        ],
+        "verified": result.verified,
+    }
+
+
+def _gemm_from_dict(data: Mapping[str, Any]) -> GemmResult:
+    return GemmResult(
+        impl_key=data["impl_key"],
+        chip_name=data["chip_name"],
+        n=int(data["n"]),
+        flop_count=int(data["flop_count"]),
+        repetitions=tuple(
+            GemmRepetition(
+                repetition=int(r["repetition"]), elapsed_ns=int(r["elapsed_ns"])
+            )
+            for r in data["repetitions"]
+        ),
+        verified=data.get("verified"),
+    )
+
+
+def _stream_to_dict(result: StreamResult) -> dict[str, Any]:
+    return {
+        "type": "stream",
+        "chip_name": result.chip_name,
+        "target": result.target,
+        "n_elements": result.n_elements,
+        "element_bytes": result.element_bytes,
+        "theoretical_gbs": result.theoretical_gbs,
+        "kernels": {
+            name: {
+                "kernel": k.kernel,
+                "bandwidths_gbs": list(k.bandwidths_gbs),
+                "best_threads": k.best_threads,
+            }
+            for name, k in result.kernels.items()
+        },
+    }
+
+
+def _stream_from_dict(data: Mapping[str, Any]) -> StreamResult:
+    from repro.core.stream.kernels import KERNEL_ORDER
+
+    # JSON serialization sorts mapping keys; restore the canonical kernel
+    # order (copy, scale, add, triad) so re-rendered figures match live runs.
+    raw = data["kernels"]
+    names = [k for k in KERNEL_ORDER if k in raw]
+    names += [k for k in raw if k not in names]
+    return StreamResult(
+        chip_name=data["chip_name"],
+        target=data["target"],
+        n_elements=int(data["n_elements"]),
+        element_bytes=int(data["element_bytes"]),
+        theoretical_gbs=float(data["theoretical_gbs"]),
+        kernels={
+            name: StreamKernelResult(
+                kernel=raw[name]["kernel"],
+                bandwidths_gbs=tuple(
+                    float(b) for b in raw[name]["bandwidths_gbs"]
+                ),
+                best_threads=raw[name].get("best_threads"),
+            )
+            for name in names
+        },
+    )
+
+
+def _power_to_dict(m: PowerMeasurement) -> dict[str, Any]:
+    return {
+        "type": "power",
+        "cpu_mw": m.cpu_mw,
+        "gpu_mw": m.gpu_mw,
+        "elapsed_ms": m.elapsed_ms,
+    }
+
+
+def _power_from_dict(data: Mapping[str, Any]) -> PowerMeasurement:
+    return PowerMeasurement(
+        cpu_mw=float(data["cpu_mw"]),
+        gpu_mw=float(data["gpu_mw"]),
+        elapsed_ms=float(data["elapsed_ms"]),
+    )
+
+
+def _powered_to_dict(result: PoweredGemmResult) -> dict[str, Any]:
+    return {
+        "type": "powered-gemm",
+        "gemm": _gemm_to_dict(result.gemm),
+        "measurements": [_power_to_dict(m) for m in result.measurements],
+    }
+
+
+def _powered_from_dict(data: Mapping[str, Any]) -> PoweredGemmResult:
+    return PoweredGemmResult(
+        gemm=_gemm_from_dict(data["gemm"]),
+        measurements=tuple(_power_from_dict(m) for m in data["measurements"]),
+    )
+
+
+_TO_DICT = {
+    GemmResult: _gemm_to_dict,
+    StreamResult: _stream_to_dict,
+    PowerMeasurement: _power_to_dict,
+    PoweredGemmResult: _powered_to_dict,
+}
+
+_FROM_DICT = {
+    "gemm": _gemm_from_dict,
+    "stream": _stream_from_dict,
+    "power": _power_from_dict,
+    "powered-gemm": _powered_from_dict,
+}
+
+
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """Serialize any result record to plain data, tagged with ``type``."""
+    try:
+        serialize = _TO_DICT[type(result)]
+    except KeyError:
+        raise ConfigurationError(
+            f"cannot serialize result of type {type(result).__name__}"
+        ) from None
+    return serialize(result)
+
+
+def result_from_dict(data: Mapping[str, Any]) -> Any:
+    """Rebuild a result record from :func:`result_to_dict` output."""
+    try:
+        tag = data["type"]
+    except KeyError:
+        raise ConfigurationError("result dictionary lacks a 'type' tag") from None
+    try:
+        deserialize = _FROM_DICT[tag]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown result type {tag!r}; known: {', '.join(_FROM_DICT)}"
+        ) from None
+    return deserialize(data)
+
+
+# ---------------------------------------------------------------------------
+# The envelope
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ResultEnvelope:
+    """One spec, its result, and provenance — the unit of persistence.
+
+    ``meta`` carries the spec hash, the library version and the session
+    fingerprint under which the cell executed; figure assembly reads only
+    ``spec``/``result``, so envelopes from different sessions can be mixed.
+    """
+
+    spec: ExperimentSpec
+    result: Any
+    meta: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        spec: ExperimentSpec,
+        result: Any,
+        *,
+        meta: Mapping[str, Any] | None = None,
+    ) -> "ResultEnvelope":
+        """Wrap a result, stamping the standard provenance fields."""
+        stamped = {
+            "spec_hash": spec.spec_hash(),
+            "repro_version": __version__,
+        }
+        if meta:
+            stamped.update(meta)
+        return cls(spec=spec, result=result, meta=stamped)
+
+    @property
+    def kind(self) -> str:
+        """The spec kind (``gemm`` / ``powered-gemm`` / ``stream``)."""
+        return self.spec.kind
+
+    @property
+    def spec_hash(self) -> str:
+        """The spec's content hash (also stamped into ``meta``)."""
+        return self.meta.get("spec_hash") or self.spec.spec_hash()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form: schema version, spec, result, meta."""
+        return {
+            "schema": ENVELOPE_SCHEMA_VERSION,
+            "spec": self.spec.to_dict(),
+            "result": result_to_dict(self.result),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResultEnvelope":
+        """Rebuild an envelope from :meth:`to_dict` output."""
+        schema = data.get("schema", ENVELOPE_SCHEMA_VERSION)
+        if schema != ENVELOPE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported envelope schema {schema} "
+                f"(this version reads {ENVELOPE_SCHEMA_VERSION})"
+            )
+        return cls(
+            spec=spec_from_dict(data["spec"]),
+            result=result_from_dict(data["result"]),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """JSON text with deterministic key order."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultEnvelope":
+        """Rebuild an envelope from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,309 @@
+"""The experiment session: machines, caching, and batched execution.
+
+A :class:`Session` owns everything a spec does *not* name: how machines are
+constructed (catalog lookup by default, injectable for custom chips), the
+default numerics profile and noise level, and a two-tier result cache
+(in-memory dict plus optional on-disk envelope store) keyed by the spec hash
+combined with the session fingerprint.
+
+Every spec executes on a **fresh machine** seeded from the spec.  The
+simulator's jitter is content-addressed (noise keys name the chip, kernel,
+size and repetition, not wall-clock order), so a cell's result is a pure
+function of (spec, session fingerprint).  That purity is what makes the
+cache sound and lets ``run_batch(max_workers=N)`` run cells concurrently
+with bit-identical results to sequential execution.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import pathlib
+import threading
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+from repro.experiments.envelope import ResultEnvelope
+from repro.experiments.executor import execute_spec
+from repro.experiments.specs import (
+    NUMERICS_PROFILES,
+    ExperimentSpec,
+    SweepSpec,
+)
+from repro.sim.machine import Machine
+from repro.sim.policy import NumericsConfig
+
+__all__ = ["Session", "ProgressCallback"]
+
+#: Signature of the ``run_batch`` progress hook:
+#: ``progress(completed, total, envelope)``.
+ProgressCallback = Callable[[int, int, ResultEnvelope], None]
+
+_PROFILE_TO_CONFIG: dict[str, Callable[[], NumericsConfig]] = {
+    "full": NumericsConfig.full,
+    "sampled": NumericsConfig.sampled,
+    "model-only": NumericsConfig.model_only,
+}
+
+
+def _numerics_config(profile: str | NumericsConfig | None) -> NumericsConfig:
+    if profile is None:
+        return NumericsConfig.sampled()
+    if isinstance(profile, NumericsConfig):
+        return profile
+    try:
+        return _PROFILE_TO_CONFIG[profile]()
+    except KeyError:
+        raise ConfigurationError(
+            f"numerics profile must be one of {NUMERICS_PROFILES} "
+            f"or a NumericsConfig, got {profile!r}"
+        ) from None
+
+
+def _config_fingerprint(config: NumericsConfig) -> dict[str, Any]:
+    return {
+        "policy": config.policy.value,
+        "full_threshold": config.full_threshold,
+        "sample_rows": config.sample_rows,
+    }
+
+
+class Session:
+    """Owns machine construction, caching and batched spec execution.
+
+    Parameters
+    ----------
+    numerics:
+        Default numerics profile — ``"full"``, ``"sampled"``,
+        ``"model-only"`` or a :class:`NumericsConfig`.  A spec's own
+        ``numerics`` field overrides it per cell.
+    seed:
+        Default seed figure builders stamp into the specs they construct.
+        A spec's own ``seed`` always wins at execution time.
+    noise_sigma:
+        Measurement-jitter level of constructed machines (0 disables noise).
+    thermal_enabled:
+        Whether constructed machines model the sustained-power cap.
+    cache_dir:
+        Optional directory for the on-disk envelope cache; populated and
+        consulted transparently, surviving across sessions.
+    machine_factory:
+        Override for machine construction — a callable
+        ``(chip, seed, numerics) -> Machine`` — enabling off-catalog chips.
+    max_workers:
+        Default concurrency of :meth:`run_batch` (1 = sequential).
+    """
+
+    def __init__(
+        self,
+        *,
+        numerics: str | NumericsConfig | None = None,
+        seed: int = 0,
+        noise_sigma: float = 0.015,
+        thermal_enabled: bool = True,
+        cache_dir: str | pathlib.Path | None = None,
+        machine_factory: Callable[..., Machine] | None = None,
+        max_workers: int = 1,
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.numerics = _numerics_config(numerics)
+        self.seed = int(seed)
+        self.noise_sigma = float(noise_sigma)
+        self.thermal_enabled = bool(thermal_enabled)
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
+        self.max_workers = int(max_workers)
+        self._machine_factory = machine_factory
+        self._memory_cache: dict[str, ResultEnvelope] = {}
+        self._cache_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Machines
+    # ------------------------------------------------------------------
+    def machine_for(self, spec: ExperimentSpec) -> Machine:
+        """A fresh machine for one spec execution.
+
+        Machines are deliberately *not* reused across runs: the virtual
+        clock, trace and operation counter are per-machine state, and a
+        fresh machine pins the result to the spec alone.
+        """
+        numerics = (
+            _numerics_config(spec.numerics)
+            if spec.numerics is not None
+            else self.numerics
+        )
+        if self._machine_factory is not None:
+            return self._machine_factory(spec.chip, spec.seed, numerics)
+        return Machine.for_chip(
+            spec.chip,
+            seed=spec.seed,
+            noise_sigma=self.noise_sigma,
+            thermal_enabled=self.thermal_enabled,
+            numerics=numerics,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> dict[str, Any]:
+        """Session configuration that co-determines results (cache salt)."""
+        return {
+            "numerics": _config_fingerprint(self.numerics),
+            "noise_sigma": self.noise_sigma,
+            "thermal_enabled": self.thermal_enabled,
+            "custom_factory": self._machine_factory is not None,
+            "repro_version": __version__,
+        }
+
+    def cache_key(self, spec: ExperimentSpec) -> str:
+        """Cache identity of one spec under this session's configuration."""
+        payload = {"spec": spec.to_dict(), "session": self.fingerprint()}
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()[:24]
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the in-session cache."""
+        with self._cache_lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "in_memory": len(self._memory_cache),
+            }
+
+    def clear_cache(self) -> None:
+        """Drop the in-memory cache (the on-disk store is left untouched)."""
+        with self._cache_lock:
+            self._memory_cache.clear()
+
+    def cached_envelopes(self) -> list[ResultEnvelope]:
+        """Every envelope currently held in the in-memory cache."""
+        with self._cache_lock:
+            return list(self._memory_cache.values())
+
+    def _disk_path(self, key: str) -> pathlib.Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def _cache_get(self, key: str) -> ResultEnvelope | None:
+        with self._cache_lock:
+            cached = self._memory_cache.get(key)
+        if cached is not None:
+            return cached
+        path = self._disk_path(key)
+        if path is not None and path.is_file():
+            envelope = ResultEnvelope.from_json(path.read_text())
+            with self._cache_lock:
+                self._memory_cache[key] = envelope
+            return envelope
+        return None
+
+    def _cache_put(self, key: str, envelope: ResultEnvelope) -> None:
+        with self._cache_lock:
+            self._memory_cache[key] = envelope
+        path = self._disk_path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(envelope.to_json() + "\n")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec, *, use_cache: bool = True) -> ResultEnvelope:
+        """Execute one spec (or return its cached envelope)."""
+        key = self.cache_key(spec)
+        if use_cache:
+            cached = self._cache_get(key)
+            if cached is not None:
+                with self._cache_lock:
+                    self._hits += 1
+                return cached
+        with self._cache_lock:
+            self._misses += 1
+        machine = self.machine_for(spec)
+        result = execute_spec(machine, spec)
+        envelope = ResultEnvelope.create(
+            spec, result, meta={"session": self.fingerprint(), "cache_key": key}
+        )
+        if use_cache:
+            self._cache_put(key, envelope)
+        return envelope
+
+    def run_batch(
+        self,
+        specs: Iterable[ExperimentSpec] | SweepSpec,
+        *,
+        max_workers: int | None = None,
+        progress: ProgressCallback | None = None,
+        use_cache: bool = True,
+    ) -> list[ResultEnvelope]:
+        """Execute many independent specs, optionally concurrently.
+
+        Results come back in input order regardless of completion order,
+        and — because each cell runs on a fresh machine with
+        content-addressed jitter — are bit-identical for any
+        ``max_workers``.  ``progress`` is invoked after each cell completes
+        as ``progress(completed, total, envelope)``.
+        """
+        spec_list: Sequence[ExperimentSpec] = (
+            specs.expand() if isinstance(specs, SweepSpec) else list(specs)
+        )
+        total = len(spec_list)
+        workers = self.max_workers if max_workers is None else int(max_workers)
+        if workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+
+        results: list[ResultEnvelope | None] = [None] * total
+        completed = 0
+        progress_lock = threading.Lock()
+
+        def finish(index: int, envelope: ResultEnvelope) -> None:
+            nonlocal completed
+            results[index] = envelope
+            if progress is not None:
+                with progress_lock:
+                    completed += 1
+                    progress(completed, total, envelope)
+            else:
+                completed += 1
+
+        if workers == 1 or total <= 1:
+            for i, spec in enumerate(spec_list):
+                finish(i, self.run(spec, use_cache=use_cache))
+        else:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                futures = {
+                    pool.submit(self.run, spec, use_cache=use_cache): i
+                    for i, spec in enumerate(spec_list)
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    finish(futures[future], future.result())
+        return [env for env in results if env is not None]
+
+    def runner(self, chip: str, *, seed: int | None = None):
+        """A legacy :class:`ExperimentRunner` bound to a fresh session machine.
+
+        Convenience bridge for imperative code that wants the old API with
+        this session's machine configuration.
+        """
+        from repro.core.harness import ExperimentRunner
+        from repro.experiments.specs import StreamSpec
+
+        effective_seed = self.seed if seed is None else seed
+        machine = self.machine_for(
+            StreamSpec(chip=chip, seed=effective_seed, target="cpu")
+        )
+        return ExperimentRunner(machine, seed=effective_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Session(numerics={self.numerics.policy.value!r}, "
+            f"seed={self.seed}, cached={len(self._memory_cache)})"
+        )

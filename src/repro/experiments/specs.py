@@ -1,0 +1,314 @@
+"""Declarative experiment specifications.
+
+A spec is a frozen, serializable description of one experiment cell — chip,
+implementation, size, repetition count, seed, and (optionally) a numerics
+profile — with no reference to machines or runtime state.  Because every
+knob that influences a result lives on the spec (plus the session
+fingerprint), a spec hash is a sound cache key and executing a spec is a
+pure function: the same spec always yields the same result, sequentially or
+in a parallel batch.
+
+``SweepSpec`` is the grid expander: it names axes (chips x implementations x
+sizes, or chips x STREAM targets) and ``expand()`` yields the concrete cell
+specs, honouring the paper's section-4 exclusions (CPU loop implementations
+skip n > 4096).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Iterator, Mapping
+
+from repro.calibration import paper
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NUMERICS_PROFILES",
+    "ExperimentSpec",
+    "GemmSpec",
+    "PoweredGemmSpec",
+    "StreamSpec",
+    "SweepSpec",
+    "spec_from_dict",
+]
+
+#: Valid values of the optional per-spec numerics override (the session's
+#: profile applies when the spec leaves it ``None``).
+NUMERICS_PROFILES: tuple[str, ...] = ("full", "sampled", "model-only")
+
+
+def _canonical_json(data: Mapping[str, Any]) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _check_numerics(profile: str | None) -> None:
+    if profile is not None and profile not in NUMERICS_PROFILES:
+        raise ConfigurationError(
+            f"numerics profile must be one of {NUMERICS_PROFILES}, "
+            f"got {profile!r}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """Base of all concrete specs: the cell's chip, seed and numerics.
+
+    ``chip`` is a name, not a :class:`~repro.soc.chip.ChipSpec` — off-catalog
+    chips work through a session's ``machine_factory``.  ``numerics`` is an
+    optional per-spec override of the session profile.
+    """
+
+    chip: str
+    seed: int = 0
+    numerics: str | None = None
+
+    #: Serialization tag; each concrete subclass sets its own.
+    kind = "base"
+
+    def __post_init__(self) -> None:
+        if not self.chip:
+            raise ConfigurationError("a spec needs a chip name")
+        _check_numerics(self.numerics)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-ready), tagged with the spec ``kind``."""
+        data = dataclasses.asdict(self)
+        data["kind"] = self.kind
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec of this exact class from :meth:`to_dict` output."""
+        payload = {k: v for k, v in data.items() if k != "kind"}
+        tuple_fields = {
+            f.name
+            for f in dataclasses.fields(cls)
+            if "tuple" in str(f.type)
+        }
+        for name in tuple_fields:
+            if name in payload and payload[name] is not None:
+                payload[name] = tuple(payload[name])
+        return cls(**payload)
+
+    def spec_hash(self) -> str:
+        """Stable content hash (hex) — the cache/file identity of this spec."""
+        return hashlib.sha256(
+            _canonical_json(self.to_dict()).encode()
+        ).hexdigest()[:16]
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmSpec(ExperimentSpec):
+    """One Figure-2 cell: ``repeats`` timed multiplications of one size.
+
+    ``verify=None`` verifies whenever numerics ran (FULL or SAMPLED policy),
+    mirroring the historical ``ExperimentRunner.run_gemm`` default.
+    """
+
+    impl_key: str = ""
+    n: int = 0
+    repeats: int = paper.GEMM_REPEATS
+    verify: bool | None = None
+
+    kind = "gemm"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.impl_key:
+            raise ConfigurationError("a GEMM spec needs an implementation key")
+        if self.n <= 0:
+            raise ConfigurationError("matrix dimension must be positive")
+        if self.repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class PoweredGemmSpec(ExperimentSpec):
+    """One Figure-3/4 cell: GEMM timing with the piggybacked power protocol."""
+
+    impl_key: str = ""
+    n: int = 0
+    repeats: int = paper.GEMM_REPEATS
+
+    kind = "powered-gemm"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.impl_key:
+            raise ConfigurationError("a GEMM spec needs an implementation key")
+        if self.n <= 0:
+            raise ConfigurationError("matrix dimension must be positive")
+        if self.repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamSpec(ExperimentSpec):
+    """One Figure-1 bar: the STREAM study on one target processor.
+
+    ``n_elements``/``repeats`` of ``None`` take the paper defaults for the
+    target (section 4: 10 CPU repetitions under the thread sweep, 20 GPU).
+    """
+
+    target: str = "cpu"
+    n_elements: int | None = None
+    repeats: int | None = None
+
+    kind = "stream"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.target not in ("cpu", "gpu"):
+            raise ConfigurationError(
+                f"STREAM target must be 'cpu' or 'gpu', got {self.target!r}"
+            )
+        if self.n_elements is not None and self.n_elements < 1:
+            raise ConfigurationError("n_elements must be positive")
+        if self.repeats is not None and self.repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+
+
+def _cell_is_supported(chip: str, impl_key: str, n: int) -> bool:
+    """Section-4 exclusion check, tolerant of off-catalog chips."""
+    from repro.calibration.gemm import gemm_calibration
+    from repro.soc.catalog import get_chip
+
+    try:
+        spec = get_chip(chip)
+    except Exception:
+        return True  # off-catalog chips are resolved at execution time
+    try:
+        return gemm_calibration(spec, impl_key).supports(n)
+    except Exception:
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of experiment cells.
+
+    Empty axes take the paper defaults: all four chips, the Figure-2 legend
+    implementations, ``paper.GEMM_SIZES`` (or ``paper.POWER_SIZES`` for the
+    power study) and both STREAM targets.  ``expand()`` materialises the
+    concrete specs in deterministic (row-major) order.
+    """
+
+    kind: str = "gemm"
+    chips: tuple[str, ...] = ()
+    impl_keys: tuple[str, ...] = ()
+    sizes: tuple[int, ...] = ()
+    targets: tuple[str, ...] = ("cpu", "gpu")
+    repeats: int | None = None
+    n_elements: int | None = None
+    seed: int = 0
+    numerics: str | None = None
+    skip_unsupported: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gemm", "powered-gemm", "stream"):
+            raise ConfigurationError(
+                f"sweep kind must be 'gemm', 'powered-gemm' or 'stream', "
+                f"got {self.kind!r}"
+            )
+        _check_numerics(self.numerics)
+
+    # -- resolved axes -----------------------------------------------------
+    def _chips(self) -> tuple[str, ...]:
+        return self.chips or paper.CHIPS
+
+    def _impl_keys(self) -> tuple[str, ...]:
+        if self.impl_keys:
+            return self.impl_keys
+        from repro.core.gemm.registry import paper_implementation_keys
+
+        return paper_implementation_keys()
+
+    def _sizes(self) -> tuple[int, ...]:
+        if self.sizes:
+            return self.sizes
+        return paper.POWER_SIZES if self.kind == "powered-gemm" else paper.GEMM_SIZES
+
+    # -- expansion ---------------------------------------------------------
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self.expand())
+
+    def expand(self) -> tuple[ExperimentSpec, ...]:
+        """The concrete cell specs of this grid, section-4 exclusions applied."""
+        out: list[ExperimentSpec] = []
+        if self.kind == "stream":
+            for chip in self._chips():
+                for target in self.targets:
+                    out.append(
+                        StreamSpec(
+                            chip=chip,
+                            seed=self.seed,
+                            numerics=self.numerics,
+                            target=target,
+                            n_elements=self.n_elements,
+                            repeats=self.repeats,
+                        )
+                    )
+            return tuple(out)
+        repeats = self.repeats if self.repeats is not None else paper.GEMM_REPEATS
+        cls = GemmSpec if self.kind == "gemm" else PoweredGemmSpec
+        for chip in self._chips():
+            for impl_key in self._impl_keys():
+                for n in self._sizes():
+                    if self.skip_unsupported and not _cell_is_supported(
+                        chip, impl_key, n
+                    ):
+                        continue
+                    out.append(
+                        cls(
+                            chip=chip,
+                            seed=self.seed,
+                            numerics=self.numerics,
+                            impl_key=impl_key,
+                            n=n,
+                            repeats=repeats,
+                        )
+                    )
+        return tuple(out)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-ready), tagged ``kind="sweep"``."""
+        data = dataclasses.asdict(self)
+        data["sweep_kind"] = data.pop("kind")
+        data["kind"] = "sweep"
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Rebuild a sweep from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload.pop("kind", None)
+        payload["kind"] = payload.pop("sweep_kind")
+        for name in ("chips", "impl_keys", "sizes", "targets"):
+            if name in payload and payload[name] is not None:
+                payload[name] = tuple(payload[name])
+        return cls(**payload)
+
+
+_SPEC_KINDS: dict[str, type] = {
+    GemmSpec.kind: GemmSpec,
+    PoweredGemmSpec.kind: PoweredGemmSpec,
+    StreamSpec.kind: StreamSpec,
+    "sweep": SweepSpec,
+}
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> ExperimentSpec | SweepSpec:
+    """Rebuild any spec from its ``to_dict`` form, dispatching on ``kind``."""
+    try:
+        kind = data["kind"]
+    except KeyError:
+        raise ConfigurationError("spec dictionary lacks a 'kind' tag") from None
+    try:
+        cls = _SPEC_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown spec kind {kind!r}; known: {', '.join(_SPEC_KINDS)}"
+        ) from None
+    return cls.from_dict(data)

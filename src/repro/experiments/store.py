@@ -1,0 +1,50 @@
+"""On-disk envelope store: one JSON file per experiment cell.
+
+The layout is deliberately boring — ``<kind>-<spec_hash>.json`` files in a
+flat directory — so results can be inspected, diffed, rsynced and
+re-rendered (``repro figure2 --from results/``) without any database.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.experiments.envelope import ResultEnvelope
+
+__all__ = ["envelope_filename", "save_envelopes", "load_envelopes"]
+
+
+def envelope_filename(envelope: ResultEnvelope) -> str:
+    """Canonical file name of one envelope (kind + spec hash)."""
+    return f"{envelope.kind}-{envelope.spec_hash}.json"
+
+
+def save_envelopes(
+    directory: str | pathlib.Path, envelopes: Iterable[ResultEnvelope]
+) -> list[pathlib.Path]:
+    """Write each envelope to ``directory`` (created if missing).
+
+    Identical specs overwrite their previous file — the store holds at most
+    one result per (spec, content) identity.  Returns the written paths.
+    """
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+    for envelope in envelopes:
+        path = root / envelope_filename(envelope)
+        path.write_text(envelope.to_json() + "\n")
+        written.append(path)
+    return written
+
+
+def load_envelopes(directory: str | pathlib.Path) -> list[ResultEnvelope]:
+    """Read every ``*.json`` envelope in ``directory``, sorted by file name."""
+    root = pathlib.Path(directory)
+    if not root.is_dir():
+        raise ConfigurationError(f"envelope directory {root} does not exist")
+    out: list[ResultEnvelope] = []
+    for path in sorted(root.glob("*.json")):
+        out.append(ResultEnvelope.from_json(path.read_text()))
+    return out

@@ -18,7 +18,7 @@ class TestCpuStream:
     def test_sweep_reaches_paper_max(self):
         machine = make_model_machine("M1")
         result = CpuStreamBenchmark(machine, n_elements=BIG, ntimes=5).run_sweep()
-        assert result.max_gbs() == pytest.approx(
+        assert result.max_gbs == pytest.approx(
             paper.FIG1_CPU_MAX_GBS["M1"], rel=0.03
         )
 
@@ -27,7 +27,7 @@ class TestCpuStream:
         bench = CpuStreamBenchmark(machine, n_elements=BIG, ntimes=3)
         single = bench.run(1)
         sweep = bench.run_sweep()
-        assert single["triad"].max_gbs < sweep.max_gbs()
+        assert single["triad"].max_gbs < sweep.max_gbs
 
     def test_thread_count_clamped_to_cores(self):
         machine = make_model_machine("M1")
@@ -67,7 +67,7 @@ class TestGpuStream:
     def test_reaches_paper_max(self):
         machine = make_model_machine("M4")
         result = GpuStreamBenchmark(machine, n_elements=BIG, ntimes=5).run()
-        assert result.max_gbs() == pytest.approx(
+        assert result.max_gbs == pytest.approx(
             paper.FIG1_GPU_MAX_GBS["M4"], rel=0.03
         )
 
@@ -75,7 +75,7 @@ class TestGpuStream:
         machine = make_model_machine("M4")
         small = GpuStreamBenchmark(machine, n_elements=1 << 14, ntimes=2).run()
         big = GpuStreamBenchmark(machine, n_elements=BIG, ntimes=2).run()
-        assert small.max_gbs() < big.max_gbs()
+        assert small.max_gbs < big.max_gbs
 
     def test_numerics_validate(self):
         machine = make_study_machine("M1")
@@ -124,4 +124,4 @@ class TestRunner:
     def test_cpu_below_theoretical_everywhere(self, chip):
         machine = make_model_machine(chip)
         result = run_stream(machine, "cpu", n_elements=SMALL, repeats=2)
-        assert result.max_gbs() < machine.chip.memory.bandwidth_gbs
+        assert result.max_gbs < machine.chip.memory.bandwidth_gbs

@@ -90,8 +90,8 @@ class TestStreamResults:
             kernels={"triad": StreamKernelResult("triad", (59.0,))},
             theoretical_gbs=67.0,
         )
-        assert result.max_gbs() == 59.0
-        assert result.fraction_of_peak() == pytest.approx(59.0 / 67.0)
+        assert result.max_gbs == 59.0
+        assert result.fraction_of_peak == pytest.approx(59.0 / 67.0)
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):

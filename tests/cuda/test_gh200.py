@@ -37,23 +37,23 @@ class TestSpec:
 class TestStream:
     def test_cpu_stream_matches_paper(self):
         result = run_gh200_stream(model_machine(), "cpu", n_elements=1 << 23)
-        assert result.max_gbs() == pytest.approx(
+        assert result.max_gbs == pytest.approx(
             paper.GH200["stream_cpu_gbs"], rel=0.02
         )
-        assert result.fraction_of_peak() == pytest.approx(
+        assert result.fraction_of_peak == pytest.approx(
             paper.GH200["stream_cpu_fraction"], abs=0.02
         )
 
     def test_hbm3_stream_matches_paper(self):
         result = run_gh200_stream(model_machine(), "hbm3", n_elements=1 << 25)
-        assert result.max_gbs() == pytest.approx(
+        assert result.max_gbs == pytest.approx(
             paper.GH200["stream_hbm3_gbs"], rel=0.02
         )
 
     def test_hbm_dwarfs_m_series(self):
         """'Two orders of magnitude better performance' (section 7)."""
         result = run_gh200_stream(model_machine(), "hbm3", n_elements=1 << 25)
-        assert result.max_gbs() > 30 * 103.0
+        assert result.max_gbs > 30 * 103.0
 
     def test_numerics_validated_when_enabled(self):
         machine = GH200Machine(noise_sigma=0.0)  # sampled => stream runs full

@@ -1,0 +1,293 @@
+"""CLI integration: `repro run` envelopes and `--from` figure re-rendering."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import load_envelopes
+
+
+class TestRunCommand:
+    def test_writes_envelopes(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        code = main(
+            [
+                "run",
+                "--kind",
+                "gemm",
+                "--chips",
+                "M1",
+                "--impls",
+                "gpu-mps",
+                "--sizes",
+                "256",
+                "1024",
+                "--numerics",
+                "model-only",
+                "--out",
+                str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "wrote 2 envelopes" in capsys.readouterr().out
+        envelopes = load_envelopes(out)
+        assert {e.spec.n for e in envelopes} == {256, 1024}
+        assert all(e.kind == "gemm" for e in envelopes)
+
+    def test_json_output(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--kind",
+                    "stream",
+                    "--chips",
+                    "M1",
+                    "--targets",
+                    "cpu",
+                    "--numerics",
+                    "model-only",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["spec"]["kind"] == "stream"
+        assert payload[0]["result"]["type"] == "stream"
+
+    def test_human_summary_default(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--chips",
+                    "M1",
+                    "--impls",
+                    "gpu-mps",
+                    "--sizes",
+                    "512",
+                    "--numerics",
+                    "model-only",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "gpu-mps" in out and "GFLOPS" in out
+
+    def test_powered_kind_reports_efficiency(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--kind",
+                    "powered-gemm",
+                    "--chips",
+                    "M4",
+                    "--impls",
+                    "gpu-mps",
+                    "--sizes",
+                    "2048",
+                    "--repeats",
+                    "2",
+                    "--numerics",
+                    "model-only",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        assert "GFLOPS/W" in capsys.readouterr().out
+
+
+def _run_figure(capsys, argv) -> str:
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestFigureFromEnvelopes:
+    """Acceptance: run -> persist -> re-render identically from disk."""
+
+    @pytest.fixture()
+    def gemm_store(self, tmp_path, capsys):
+        out = tmp_path / "gemm"
+        assert (
+            main(
+                [
+                    "run",
+                    "--kind",
+                    "gemm",
+                    "--chips",
+                    "M1",
+                    "M4",
+                    "--numerics",
+                    "model-only",
+                    "--seed",
+                    "0",
+                    "--workers",
+                    "4",
+                    "--out",
+                    str(out),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return out
+
+    def test_figure2_from_store_identical_to_direct(self, gemm_store, capsys):
+        from_disk = _run_figure(
+            capsys,
+            ["figure2", "--fast", "--chips", "M1", "M4", "--from", str(gemm_store)],
+        )
+        direct = _run_figure(
+            capsys, ["figure2", "--fast", "--chips", "M1", "M4", "--seed", "0"]
+        )
+        assert from_disk == direct
+
+    def test_figure2_csv_from_store_identical(self, gemm_store, capsys):
+        from_disk = _run_figure(
+            capsys,
+            [
+                "figure2",
+                "--fast",
+                "--chips",
+                "M1",
+                "M4",
+                "--csv",
+                "--from",
+                str(gemm_store),
+            ],
+        )
+        direct = _run_figure(
+            capsys, ["figure2", "--fast", "--chips", "M1", "M4", "--csv"]
+        )
+        assert from_disk == direct
+
+    def test_figure1_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "stream"
+        assert (
+            main(
+                [
+                    "run",
+                    "--kind",
+                    "stream",
+                    "--chips",
+                    "M1",
+                    "--numerics",
+                    "model-only",
+                    "--out",
+                    str(out),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        from_disk = _run_figure(
+            capsys, ["figure1", "--fast", "--chips", "M1", "--from", str(out)]
+        )
+        direct = _run_figure(capsys, ["figure1", "--fast", "--chips", "M1"])
+        assert from_disk == direct
+
+    def test_figure_out_flag_persists(self, tmp_path, capsys):
+        out = tmp_path / "fig2"
+        _run_figure(
+            capsys,
+            [
+                "figure2",
+                "--fast",
+                "--chips",
+                "M1",
+                "--out",
+                str(out),
+            ],
+        )
+        envelopes = load_envelopes(out)
+        assert envelopes and all(e.kind == "gemm" for e in envelopes)
+        rendered = _run_figure(
+            capsys, ["figure2", "--fast", "--chips", "M1", "--from", str(out)]
+        )
+        direct = _run_figure(capsys, ["figure2", "--fast", "--chips", "M1"])
+        assert rendered == direct
+
+    def test_partial_stream_store_renders_without_crash(self, tmp_path, capsys):
+        out = tmp_path / "cpu-only"
+        assert (
+            main(
+                [
+                    "run",
+                    "--kind",
+                    "stream",
+                    "--chips",
+                    "M1",
+                    "--targets",
+                    "cpu",
+                    "--numerics",
+                    "model-only",
+                    "--out",
+                    str(out),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        text = _run_figure(
+            capsys, ["figure1", "--fast", "--chips", "M1", "--from", str(out)]
+        )
+        assert "CPU:" in text and "GPU:" not in text
+        csv = _run_figure(
+            capsys,
+            ["figure1", "--fast", "--chips", "M1", "--csv", "--from", str(out)],
+        )
+        assert "gpu" not in csv.splitlines()[1:][0]
+
+    def test_compare_out_persists_envelopes(self, tmp_path, capsys):
+        out = tmp_path / "cmp"
+        assert main(["compare", "--fast", "--chips", "M1", "--out", str(out)]) == 0
+        capsys.readouterr()
+        envelopes = load_envelopes(out)
+        kinds = {e.kind for e in envelopes}
+        assert kinds == {"stream", "gemm", "powered-gemm"}
+
+    def test_missing_from_directory_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["figure2", "--fast", "--chips", "M1", "--from", str(tmp_path / "no")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "does not exist" in err
+
+    def test_unknown_impl_key_is_a_clean_error(self, capsys):
+        code = main(
+            [
+                "run",
+                "--chips",
+                "M1",
+                "--impls",
+                "gpu-warp",
+                "--sizes",
+                "512",
+                "--numerics",
+                "model-only",
+                "--quiet",
+            ]
+        )
+        assert code == 2
+        assert "unknown GEMM implementation" in capsys.readouterr().err
+
+    def test_workers_do_not_change_figures(self, capsys):
+        sequential = _run_figure(
+            capsys, ["figure2", "--fast", "--chips", "M1", "--workers", "1"]
+        )
+        parallel = _run_figure(
+            capsys, ["figure2", "--fast", "--chips", "M1", "--workers", "4"]
+        )
+        assert sequential == parallel

@@ -1,0 +1,153 @@
+"""Spec dataclasses: validation, serialization, hashing, grid expansion."""
+
+import pytest
+
+from repro.calibration import paper
+from repro.core.gemm.registry import paper_implementation_keys
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    GemmSpec,
+    PoweredGemmSpec,
+    StreamSpec,
+    SweepSpec,
+    spec_from_dict,
+)
+
+
+class TestSpecValidation:
+    def test_gemm_spec_defaults(self):
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=4096)
+        assert spec.repeats == paper.GEMM_REPEATS
+        assert spec.seed == 0 and spec.verify is None and spec.numerics is None
+
+    def test_rejects_empty_chip(self):
+        with pytest.raises(ConfigurationError):
+            GemmSpec(chip="", impl_key="gpu-mps", n=64)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            GemmSpec(chip="M1", impl_key="gpu-mps", n=0)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            StreamSpec(chip="M1", target="ane")
+
+    def test_rejects_bad_numerics_profile(self):
+        with pytest.raises(ConfigurationError):
+            GemmSpec(chip="M1", impl_key="gpu-mps", n=64, numerics="turbo")
+
+    def test_specs_are_frozen(self):
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=64)
+        with pytest.raises(AttributeError):
+            spec.n = 128
+
+
+class TestSpecSerialization:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            GemmSpec(chip="M1", impl_key="gpu-mps", n=4096, repeats=3, seed=7),
+            PoweredGemmSpec(chip="M4", impl_key="cpu-accelerate", n=2048),
+            StreamSpec(chip="M2", target="gpu", n_elements=1 << 20, repeats=5),
+            StreamSpec(chip="M3", target="cpu", numerics="model-only"),
+        ],
+    )
+    def test_dict_round_trip(self, spec):
+        assert spec_from_dict(spec.to_dict()) == spec
+
+    def test_kind_tag_present(self):
+        assert GemmSpec(chip="M1", impl_key="k", n=1).to_dict()["kind"] == "gemm"
+        assert StreamSpec(chip="M1").to_dict()["kind"] == "stream"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_dict({"kind": "quantum", "chip": "M1"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_dict({"chip": "M1"})
+
+    def test_hash_is_stable_and_content_addressed(self):
+        a = GemmSpec(chip="M1", impl_key="gpu-mps", n=4096)
+        b = GemmSpec(chip="M1", impl_key="gpu-mps", n=4096)
+        c = GemmSpec(chip="M1", impl_key="gpu-mps", n=4096, seed=1)
+        assert a.spec_hash() == b.spec_hash()
+        assert a.spec_hash() != c.spec_hash()
+
+    def test_hash_distinguishes_kinds(self):
+        gemm = GemmSpec(chip="M1", impl_key="gpu-mps", n=4096)
+        powered = PoweredGemmSpec(chip="M1", impl_key="gpu-mps", n=4096)
+        assert gemm.spec_hash() != powered.spec_hash()
+
+
+class TestSweepExpansion:
+    def test_defaults_cover_paper_grid(self):
+        specs = SweepSpec(kind="gemm", chips=("M1",)).expand()
+        keys = {s.impl_key for s in specs}
+        assert keys == set(paper_implementation_keys())
+
+    def test_skips_cpu_loop_exclusions(self):
+        specs = SweepSpec(
+            kind="gemm",
+            chips=("M1",),
+            impl_keys=("cpu-single",),
+            sizes=(4096, 8192, 16384),
+        ).expand()
+        assert [s.n for s in specs] == [4096]
+
+    def test_skip_unsupported_can_be_disabled(self):
+        specs = SweepSpec(
+            kind="gemm",
+            chips=("M1",),
+            impl_keys=("cpu-single",),
+            sizes=(16384,),
+            skip_unsupported=False,
+        ).expand()
+        assert [s.n for s in specs] == [16384]
+
+    def test_stream_sweep_crosses_chips_and_targets(self):
+        specs = SweepSpec(kind="stream", chips=("M1", "M4")).expand()
+        assert [(s.chip, s.target) for s in specs] == [
+            ("M1", "cpu"),
+            ("M1", "gpu"),
+            ("M4", "cpu"),
+            ("M4", "gpu"),
+        ]
+
+    def test_powered_sweep_defaults_to_power_sizes(self):
+        specs = SweepSpec(
+            kind="powered-gemm", chips=("M1",), impl_keys=("gpu-mps",)
+        ).expand()
+        assert tuple(s.n for s in specs) == paper.POWER_SIZES
+
+    def test_seed_and_numerics_propagate(self):
+        specs = SweepSpec(
+            kind="gemm",
+            chips=("M1",),
+            impl_keys=("gpu-mps",),
+            sizes=(64,),
+            seed=42,
+            numerics="full",
+        ).expand()
+        assert specs[0].seed == 42 and specs[0].numerics == "full"
+
+    def test_sweep_round_trips_through_dict(self):
+        sweep = SweepSpec(kind="stream", chips=("M2",), targets=("gpu",))
+        assert spec_from_dict(sweep.to_dict()) == sweep
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(kind="fft")
+
+    def test_off_catalog_chip_expands_without_filtering(self):
+        specs = SweepSpec(
+            kind="gemm",
+            chips=("M99-Imaginary",),
+            impl_keys=("cpu-single",),
+            sizes=(16384,),
+        ).expand()
+        assert len(specs) == 1  # exclusion check defers to execution time
+
+    def test_sweep_is_iterable(self):
+        sweep = SweepSpec(kind="stream", chips=("M1",), targets=("cpu",))
+        assert [s.target for s in sweep] == ["cpu"]

@@ -13,6 +13,8 @@ from repro.core.stream.runner import run_stream
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsConfig
 
+pytestmark = pytest.mark.slow
+
 
 def machine_for(chip: str) -> Machine:
     # SAMPLED numerics with a low threshold: the full pipeline incl. real
@@ -28,7 +30,7 @@ class TestFigure1Headlines:
         result = run_stream(
             machine_for(chip), "cpu", n_elements=1 << 21, repeats=3
         )
-        assert result.max_gbs() == pytest.approx(
+        assert result.max_gbs == pytest.approx(
             paper.FIG1_CPU_MAX_GBS[chip], rel=0.04
         )
 
@@ -37,7 +39,7 @@ class TestFigure1Headlines:
         result = run_stream(
             machine_for(chip), "gpu", n_elements=1 << 24, repeats=3
         )
-        assert result.max_gbs() == pytest.approx(
+        assert result.max_gbs == pytest.approx(
             paper.FIG1_GPU_MAX_GBS[chip], rel=0.04
         )
 
@@ -46,7 +48,7 @@ class TestFigure1Headlines:
             result = run_stream(
                 machine_for(chip), "gpu", n_elements=1 << 24, repeats=2
             )
-            assert result.fraction_of_peak() >= 0.80
+            assert result.fraction_of_peak >= 0.80
 
 
 class TestFigure2Headlines:
