@@ -25,6 +25,8 @@ The package layers:
 * :mod:`repro.core` — the paper's STREAM/GEMM/power benchmark suite;
 * :mod:`repro.experiments` — declarative specs, sessions, batched parallel
   execution, and the serializable result envelope;
+* :mod:`repro.workloads` — the pluggable workload registry (GEMM, STREAM,
+  power, SpMV, stencil, batched GEMM) every dispatch layer resolves through;
 * :mod:`repro.analysis` — figure/table regeneration and paper comparison.
 """
 
@@ -63,6 +65,15 @@ from repro.experiments import (
 )
 from repro.sim import Machine, NumericsConfig, NumericsPolicy
 from repro.soc import chip_catalog, device_catalog, get_chip
+from repro.workloads import (
+    BatchedGemmSpec,
+    SpmvSpec,
+    StencilSpec,
+    Workload,
+    get_workload,
+    register_workload,
+    workload_kinds,
+)
 
 __all__ = [
     "__version__",
@@ -80,7 +91,14 @@ __all__ = [
     "GemmSpec",
     "PoweredGemmSpec",
     "StreamSpec",
+    "SpmvSpec",
+    "StencilSpec",
+    "BatchedGemmSpec",
     "SweepSpec",
+    "Workload",
+    "register_workload",
+    "get_workload",
+    "workload_kinds",
     "Session",
     "ResultEnvelope",
     "save_envelopes",

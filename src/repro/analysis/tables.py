@@ -1,4 +1,4 @@
-"""ASCII renderers for the paper's tables (1, 2 and 3)."""
+"""ASCII renderers for the paper's tables (1, 2 and 3) and the workload registry."""
 
 from __future__ import annotations
 
@@ -6,7 +6,33 @@ from repro.core.gemm.registry import table2_rows
 from repro.soc.catalog import CHIP_NAMES, get_chip
 from repro.soc.device import device_catalog
 
-__all__ = ["render_table", "render_table1", "render_table2", "render_table3"]
+__all__ = [
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_workloads_table",
+]
+
+
+def render_workloads_table() -> str:
+    """Registered workload kinds and their implementation keys (Table-2 style)."""
+    from repro.workloads import all_workloads
+
+    rows = [
+        [
+            workload.kind,
+            workload.display_name,
+            ", ".join(workload.impl_keys) or "—",
+            workload.description,
+        ]
+        for workload in all_workloads()
+    ]
+    return render_table(
+        ["Kind", "Workload", "Implementation keys", "Description"],
+        rows,
+        title="Registered workloads (repro.workloads)",
+    )
 
 
 def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:

@@ -5,7 +5,10 @@ Examples::
     repro table1
     repro figure1 --chips M1 M4
     repro figure2 --fast
+    repro workloads
     repro run --kind gemm --chips M1 M4 --workers 4 --out results/
+    repro run --kind spmv --chips M1 --out results/
+    repro run --from results/
     repro figure2 --from results/
     repro gh200
     repro all --fast
@@ -32,7 +35,12 @@ from repro.analysis.figures import (
     make_session,
 )
 from repro.analysis.reference_systems import render_reference_table
-from repro.analysis.tables import render_table1, render_table2, render_table3
+from repro.analysis.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_workloads_table,
+)
 from repro.calibration import paper
 from repro.cuda import CublasHandle, CudaMathMode, GH200Machine, run_gh200_stream
 from repro.errors import ReproError
@@ -43,6 +51,7 @@ from repro.experiments import (
     load_envelopes,
     save_envelopes,
 )
+from repro.workloads import get_workload, workload_kinds
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("table2", "GEMM implementation overview (Table 2)"),
         ("table3", "devices used (Table 3)"),
         ("references", "literature reference points"),
+        ("workloads", "registered workload kinds (plugin registry)"),
     ):
         sub.add_parser(name, help=help_text)
 
@@ -116,8 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--kind",
         default="gemm",
-        choices=["gemm", "powered-gemm", "stream"],
-        help="experiment kind (default: gemm)",
+        choices=list(workload_kinds()),
+        help="workload kind from the plugin registry (default: gemm)",
     )
     run.add_argument(
         "--chips",
@@ -131,7 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         metavar="KEY",
-        help="GEMM implementation keys (default: the Figure-2 legend)",
+        help="implementation keys (default: the workload's own legend)",
     )
     run.add_argument(
         "--sizes",
@@ -139,14 +149,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="matrix sizes (default: the paper's sweep)",
+        help="problem sizes (default: the workload's own sweep)",
     )
     run.add_argument(
         "--targets",
         nargs="+",
         default=["cpu", "gpu"],
         choices=["cpu", "gpu"],
-        help="STREAM targets (stream kind only)",
+        help="target processors (stream and spmv kinds)",
     )
     run.add_argument("--repeats", type=int, default=None, help="repetitions per cell")
     run.add_argument("--seed", type=int, default=0, help="measurement noise seed")
@@ -173,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--quiet", action="store_true", help="suppress the per-cell progress line"
+    )
+    run.add_argument(
+        "--from",
+        dest="from_dir",
+        default=None,
+        metavar="DIR",
+        help="re-render summaries from envelopes saved in DIR instead of running",
     )
 
     gh = sub.add_parser("gh200", help="GH200 reference points (sections 4-5)")
@@ -296,67 +313,88 @@ def _print_series_figure(
             print(f"  {impl:16s} {cells}")
 
 
-def _run_sweep(args) -> None:
-    """The ``repro run`` subcommand: declarative sweep -> envelopes."""
-    sweep = SweepSpec(
-        kind=args.kind,
-        chips=tuple(args.chips),
-        impl_keys=tuple(args.impls) if args.impls else (),
-        sizes=tuple(args.sizes) if args.sizes else (),
-        targets=tuple(args.targets),
-        repeats=args.repeats,
-        seed=args.seed,
-    )
-    session = Session(
-        numerics=args.numerics, seed=args.seed, cache_dir=args.cache
-    )
-    specs = sweep.expand()
+def _sorted_envelopes(envelopes) -> list:
+    """Deterministic, human-scannable emission order.
 
-    def progress(done: int, total: int, envelope) -> None:
-        if args.quiet or args.json:
-            return
-        spec = envelope.spec
-        cell = (
-            f"{spec.chip} {spec.target}"
-            if envelope.kind == "stream"
-            else f"{spec.chip} {spec.impl_key} n={spec.n}"
+    Sorting by (kind, chip, variant, size) — falling back to the spec hash
+    for anything else — keeps rows grouped the way a sweep reads while
+    making live runs and ``--from`` re-renders byte-identical regardless of
+    sweep expansion or directory listing order.
+    """
+
+    def key(env):
+        spec = env.spec
+        return (
+            env.kind,
+            spec.chip,
+            str(getattr(spec, "impl_key", "") or getattr(spec, "target", "")),
+            int(getattr(spec, "n", None) or getattr(spec, "n_elements", None) or 0),
+            env.spec_hash,
         )
-        print(f"[{done}/{total}] {cell}", file=sys.stderr)
 
-    envelopes = session.run_batch(
-        specs, max_workers=args.workers, progress=progress
-    )
-    if args.out:
-        paths = save_envelopes(args.out, envelopes)
-        print(f"wrote {len(paths)} envelopes to {args.out}")
+    return sorted(envelopes, key=key)
+
+
+def _emit_envelopes(args, envelopes) -> None:
+    """Render envelopes as JSON or per-kind summary lines (registry-driven)."""
+    ordered = _sorted_envelopes(envelopes)
     if args.json:
         import json as _json
 
         print(
             _json.dumps(
-                [env.to_dict() for env in envelopes], indent=2, sort_keys=True
+                [env.to_dict() for env in ordered], indent=2, sort_keys=True
             )
         )
-    if not args.json and not args.out:
-        for env in envelopes:
-            spec = env.spec
-            if env.kind == "stream":
-                print(
-                    f"{spec.chip:4s} stream/{spec.target}: "
-                    f"{env.result.max_gbs:8.1f} GB/s "
-                    f"({env.result.fraction_of_peak:.0%} of peak)"
-                )
-            elif env.kind == "gemm":
-                print(
-                    f"{spec.chip:4s} {spec.impl_key:16s} n={spec.n:<6d} "
-                    f"{env.result.best_gflops:10.1f} GFLOPS"
-                )
-            else:
-                print(
-                    f"{spec.chip:4s} {spec.impl_key:16s} n={spec.n:<6d} "
-                    f"{env.result.mean_combined_w:7.2f} W  "
-                    f"{env.result.efficiency_gflops_per_w:8.1f} GFLOPS/W"
-                )
+        return
+    for env in ordered:
+        print(get_workload(env.kind).summary_line(env.spec, env.result))
+
+
+def _run_sweep(args) -> None:
+    """The ``repro run`` subcommand: declarative sweep -> envelopes.
+
+    With ``--from DIR`` no cells execute; the saved envelopes re-render
+    through the same registry summary path.
+    """
+    if args.from_dir is not None:
+        envelopes = load_envelopes(args.from_dir)
+        if not args.quiet:
+            print(
+                f"[rendering {len(envelopes)} stored envelopes from "
+                f"{args.from_dir}; sweep flags are ignored]",
+                file=sys.stderr,
+            )
+    else:
+        sweep = SweepSpec(
+            kind=args.kind,
+            chips=tuple(args.chips),
+            impl_keys=tuple(args.impls) if args.impls else (),
+            sizes=tuple(args.sizes) if args.sizes else (),
+            targets=tuple(args.targets),
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        session = Session(
+            numerics=args.numerics, seed=args.seed, cache_dir=args.cache
+        )
+        specs = sweep.expand()
+        workload = get_workload(args.kind)
+
+        def progress(done: int, total: int, envelope) -> None:
+            if args.quiet or args.json:
+                return
+            cell = workload.cell_label(envelope.spec)
+            print(f"[{done}/{total}] {cell}", file=sys.stderr)
+
+        envelopes = session.run_batch(
+            specs, max_workers=args.workers, progress=progress
+        )
+    if args.out:
+        paths = save_envelopes(args.out, envelopes)
+        print(f"wrote {len(paths)} envelopes to {args.out}")
+    if args.json or not args.out:
+        _emit_envelopes(args, envelopes)
 
 
 def _run_gh200(fast: bool) -> None:
@@ -414,6 +452,8 @@ def _dispatch(args) -> int:
         print(render_table3())
     elif command == "references":
         print(render_reference_table())
+    elif command == "workloads":
+        print(render_workloads_table())
     elif command == "figure1":
         if args.chart:
             from repro.analysis.plots import figure1_chart

@@ -18,14 +18,6 @@ import json
 from typing import Any, Mapping
 
 from repro._version import __version__
-from repro.core.results import (
-    GemmRepetition,
-    GemmResult,
-    PoweredGemmResult,
-    PowerMeasurement,
-    StreamKernelResult,
-    StreamResult,
-)
 from repro.errors import ConfigurationError
 from repro.experiments.specs import ExperimentSpec, spec_from_dict
 
@@ -41,156 +33,24 @@ ENVELOPE_SCHEMA_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
-# Result record <-> plain data
+# Result record <-> plain data (workload-registry codecs)
 # ---------------------------------------------------------------------------
-def _gemm_to_dict(result: GemmResult) -> dict[str, Any]:
-    return {
-        "type": "gemm",
-        "impl_key": result.impl_key,
-        "chip_name": result.chip_name,
-        "n": result.n,
-        "flop_count": result.flop_count,
-        "repetitions": [
-            {"repetition": r.repetition, "elapsed_ns": r.elapsed_ns}
-            for r in result.repetitions
-        ],
-        "verified": result.verified,
-    }
-
-
-def _gemm_from_dict(data: Mapping[str, Any]) -> GemmResult:
-    return GemmResult(
-        impl_key=data["impl_key"],
-        chip_name=data["chip_name"],
-        n=int(data["n"]),
-        flop_count=int(data["flop_count"]),
-        repetitions=tuple(
-            GemmRepetition(
-                repetition=int(r["repetition"]), elapsed_ns=int(r["elapsed_ns"])
-            )
-            for r in data["repetitions"]
-        ),
-        verified=data.get("verified"),
-    )
-
-
-def _stream_to_dict(result: StreamResult) -> dict[str, Any]:
-    return {
-        "type": "stream",
-        "chip_name": result.chip_name,
-        "target": result.target,
-        "n_elements": result.n_elements,
-        "element_bytes": result.element_bytes,
-        "theoretical_gbs": result.theoretical_gbs,
-        "kernels": {
-            name: {
-                "kernel": k.kernel,
-                "bandwidths_gbs": list(k.bandwidths_gbs),
-                "best_threads": k.best_threads,
-            }
-            for name, k in result.kernels.items()
-        },
-    }
-
-
-def _stream_from_dict(data: Mapping[str, Any]) -> StreamResult:
-    from repro.core.stream.kernels import KERNEL_ORDER
-
-    # JSON serialization sorts mapping keys; restore the canonical kernel
-    # order (copy, scale, add, triad) so re-rendered figures match live runs.
-    raw = data["kernels"]
-    names = [k for k in KERNEL_ORDER if k in raw]
-    names += [k for k in raw if k not in names]
-    return StreamResult(
-        chip_name=data["chip_name"],
-        target=data["target"],
-        n_elements=int(data["n_elements"]),
-        element_bytes=int(data["element_bytes"]),
-        theoretical_gbs=float(data["theoretical_gbs"]),
-        kernels={
-            name: StreamKernelResult(
-                kernel=raw[name]["kernel"],
-                bandwidths_gbs=tuple(
-                    float(b) for b in raw[name]["bandwidths_gbs"]
-                ),
-                best_threads=raw[name].get("best_threads"),
-            )
-            for name in names
-        },
-    )
-
-
-def _power_to_dict(m: PowerMeasurement) -> dict[str, Any]:
-    return {
-        "type": "power",
-        "cpu_mw": m.cpu_mw,
-        "gpu_mw": m.gpu_mw,
-        "elapsed_ms": m.elapsed_ms,
-    }
-
-
-def _power_from_dict(data: Mapping[str, Any]) -> PowerMeasurement:
-    return PowerMeasurement(
-        cpu_mw=float(data["cpu_mw"]),
-        gpu_mw=float(data["gpu_mw"]),
-        elapsed_ms=float(data["elapsed_ms"]),
-    )
-
-
-def _powered_to_dict(result: PoweredGemmResult) -> dict[str, Any]:
-    return {
-        "type": "powered-gemm",
-        "gemm": _gemm_to_dict(result.gemm),
-        "measurements": [_power_to_dict(m) for m in result.measurements],
-    }
-
-
-def _powered_from_dict(data: Mapping[str, Any]) -> PoweredGemmResult:
-    return PoweredGemmResult(
-        gemm=_gemm_from_dict(data["gemm"]),
-        measurements=tuple(_power_from_dict(m) for m in data["measurements"]),
-    )
-
-
-_TO_DICT = {
-    GemmResult: _gemm_to_dict,
-    StreamResult: _stream_to_dict,
-    PowerMeasurement: _power_to_dict,
-    PoweredGemmResult: _powered_to_dict,
-}
-
-_FROM_DICT = {
-    "gemm": _gemm_from_dict,
-    "stream": _stream_from_dict,
-    "power": _power_from_dict,
-    "powered-gemm": _powered_from_dict,
-}
-
-
 def result_to_dict(result: Any) -> dict[str, Any]:
-    """Serialize any result record to plain data, tagged with ``type``."""
-    try:
-        serialize = _TO_DICT[type(result)]
-    except KeyError:
-        raise ConfigurationError(
-            f"cannot serialize result of type {type(result).__name__}"
-        ) from None
-    return serialize(result)
+    """Serialize any registered result record to plain data, tagged ``type``.
+
+    Codecs live with their workload plugins (:mod:`repro.workloads`); this
+    is a thin facade over the registry's codec table.
+    """
+    from repro import workloads
+
+    return workloads.serialize_result(result)
 
 
 def result_from_dict(data: Mapping[str, Any]) -> Any:
     """Rebuild a result record from :func:`result_to_dict` output."""
-    try:
-        tag = data["type"]
-    except KeyError:
-        raise ConfigurationError("result dictionary lacks a 'type' tag") from None
-    try:
-        deserialize = _FROM_DICT[tag]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown result type {tag!r}; known: {', '.join(_FROM_DICT)}"
-        ) from None
-    return deserialize(data)
+    from repro import workloads
+
+    return workloads.deserialize_result(data)
 
 
 # ---------------------------------------------------------------------------
@@ -228,7 +88,7 @@ class ResultEnvelope:
 
     @property
     def kind(self) -> str:
-        """The spec kind (``gemm`` / ``powered-gemm`` / ``stream``)."""
+        """The spec's registered workload kind (``gemm``, ``stream``, ...)."""
         return self.spec.kind
 
     @property

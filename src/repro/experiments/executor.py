@@ -24,7 +24,7 @@ from repro.core.results import (
 )
 from repro.core.stream.runner import run_stream
 from repro.core.timer import measure_ns
-from repro.errors import ConfigurationError, UnsupportedProblemError
+from repro.errors import UnsupportedProblemError
 from repro.experiments.specs import (
     ExperimentSpec,
     GemmSpec,
@@ -152,15 +152,13 @@ def run_stream_spec(machine: Machine, spec: StreamSpec) -> StreamResult:
 
 
 def execute_spec(machine: Machine, spec: ExperimentSpec):
-    """Dispatch a concrete spec to its execution function.
+    """Dispatch a concrete spec to its registered workload's executor.
 
-    Returns the matching result record (:class:`GemmResult`,
-    :class:`PoweredGemmResult` or :class:`StreamResult`).
+    The lookup goes through the workload registry (exact spec-class match),
+    so any workload registered at runtime executes through the same
+    session/batch machinery with no edits here.  Raises
+    :class:`ConfigurationError` for spec types no workload registers.
     """
-    if isinstance(spec, GemmSpec):
-        return run_gemm_spec(machine, spec)
-    if isinstance(spec, PoweredGemmSpec):
-        return run_powered_gemm_spec(machine, spec)
-    if isinstance(spec, StreamSpec):
-        return run_stream_spec(machine, spec)
-    raise ConfigurationError(f"cannot execute spec of type {type(spec).__name__}")
+    from repro import workloads
+
+    return workloads.workload_for_spec(spec).execute(machine, spec)

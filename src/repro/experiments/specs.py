@@ -8,10 +8,14 @@ fingerprint), a spec hash is a sound cache key and executing a spec is a
 pure function: the same spec always yields the same result, sequentially or
 in a parallel batch.
 
-``SweepSpec`` is the grid expander: it names axes (chips x implementations x
-sizes, or chips x STREAM targets) and ``expand()`` yields the concrete cell
-specs, honouring the paper's section-4 exclusions (CPU loop implementations
-skip n > 4096).
+``SweepSpec`` is the grid expander: it names generic axes (chips,
+implementation keys, sizes, targets) and ``expand()`` delegates their
+interpretation to the workload registered under the sweep's ``kind`` (see
+:mod:`repro.workloads`) — the GEMM workload honours the paper's section-4
+exclusions (CPU loop implementations skip n > 4096), STREAM crosses chips
+with targets, and every plugged-in workload brings its own semantics.
+``spec_from_dict`` likewise resolves concrete spec classes through the
+registry, so new workloads deserialize without edits here.
 """
 
 from __future__ import annotations
@@ -170,29 +174,16 @@ class StreamSpec(ExperimentSpec):
             raise ConfigurationError("repeats must be >= 1")
 
 
-def _cell_is_supported(chip: str, impl_key: str, n: int) -> bool:
-    """Section-4 exclusion check, tolerant of off-catalog chips."""
-    from repro.calibration.gemm import gemm_calibration
-    from repro.soc.catalog import get_chip
-
-    try:
-        spec = get_chip(chip)
-    except Exception:
-        return True  # off-catalog chips are resolved at execution time
-    try:
-        return gemm_calibration(spec, impl_key).supports(n)
-    except Exception:
-        return True
-
-
 @dataclasses.dataclass(frozen=True)
 class SweepSpec:
-    """A declarative grid of experiment cells.
+    """A declarative grid of experiment cells over one workload kind.
 
-    Empty axes take the paper defaults: all four chips, the Figure-2 legend
-    implementations, ``paper.GEMM_SIZES`` (or ``paper.POWER_SIZES`` for the
-    power study) and both STREAM targets.  ``expand()`` materialises the
-    concrete specs in deterministic (row-major) order.
+    The axes are generic; the workload registered under ``kind`` interprets
+    them (empty axes take that workload's defaults — e.g. the GEMM workload
+    fills in all four chips, the Figure-2 legend implementations and
+    ``paper.GEMM_SIZES``).  ``expand()`` materialises the concrete specs in
+    deterministic (row-major) order.  Unregistered kinds are rejected at
+    construction, never silently routed to a default workload.
     """
 
     kind: str = "gemm"
@@ -207,70 +198,24 @@ class SweepSpec:
     skip_unsupported: bool = True
 
     def __post_init__(self) -> None:
-        if self.kind not in ("gemm", "powered-gemm", "stream"):
-            raise ConfigurationError(
-                f"sweep kind must be 'gemm', 'powered-gemm' or 'stream', "
-                f"got {self.kind!r}"
-            )
+        from repro import workloads
+
+        workloads.get_workload(self.kind)  # unregistered kinds never misroute
         _check_numerics(self.numerics)
-
-    # -- resolved axes -----------------------------------------------------
-    def _chips(self) -> tuple[str, ...]:
-        return self.chips or paper.CHIPS
-
-    def _impl_keys(self) -> tuple[str, ...]:
-        if self.impl_keys:
-            return self.impl_keys
-        from repro.core.gemm.registry import paper_implementation_keys
-
-        return paper_implementation_keys()
-
-    def _sizes(self) -> tuple[int, ...]:
-        if self.sizes:
-            return self.sizes
-        return paper.POWER_SIZES if self.kind == "powered-gemm" else paper.GEMM_SIZES
 
     # -- expansion ---------------------------------------------------------
     def __iter__(self) -> Iterator[ExperimentSpec]:
         return iter(self.expand())
 
     def expand(self) -> tuple[ExperimentSpec, ...]:
-        """The concrete cell specs of this grid, section-4 exclusions applied."""
-        out: list[ExperimentSpec] = []
-        if self.kind == "stream":
-            for chip in self._chips():
-                for target in self.targets:
-                    out.append(
-                        StreamSpec(
-                            chip=chip,
-                            seed=self.seed,
-                            numerics=self.numerics,
-                            target=target,
-                            n_elements=self.n_elements,
-                            repeats=self.repeats,
-                        )
-                    )
-            return tuple(out)
-        repeats = self.repeats if self.repeats is not None else paper.GEMM_REPEATS
-        cls = GemmSpec if self.kind == "gemm" else PoweredGemmSpec
-        for chip in self._chips():
-            for impl_key in self._impl_keys():
-                for n in self._sizes():
-                    if self.skip_unsupported and not _cell_is_supported(
-                        chip, impl_key, n
-                    ):
-                        continue
-                    out.append(
-                        cls(
-                            chip=chip,
-                            seed=self.seed,
-                            numerics=self.numerics,
-                            impl_key=impl_key,
-                            n=n,
-                            repeats=repeats,
-                        )
-                    )
-        return tuple(out)
+        """The concrete cell specs of this grid.
+
+        Expansion is delegated to the registered workload's ``sweep_cells``
+        (the GEMM workloads apply the section-4 exclusions here).
+        """
+        from repro import workloads
+
+        return tuple(workloads.get_workload(self.kind).sweep_cells(self))
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form (JSON-ready), tagged ``kind="sweep"``."""
@@ -291,24 +236,26 @@ class SweepSpec:
         return cls(**payload)
 
 
-_SPEC_KINDS: dict[str, type] = {
-    GemmSpec.kind: GemmSpec,
-    PoweredGemmSpec.kind: PoweredGemmSpec,
-    StreamSpec.kind: StreamSpec,
-    "sweep": SweepSpec,
-}
-
-
 def spec_from_dict(data: Mapping[str, Any]) -> ExperimentSpec | SweepSpec:
-    """Rebuild any spec from its ``to_dict`` form, dispatching on ``kind``."""
+    """Rebuild any spec from its ``to_dict`` form, dispatching on ``kind``.
+
+    Concrete spec classes are resolved through the workload registry, so a
+    workload registered at runtime deserializes without edits here;
+    ``"sweep"`` stays special (grids are kind-agnostic containers).
+    """
+    from repro import workloads
+
     try:
         kind = data["kind"]
     except KeyError:
         raise ConfigurationError("spec dictionary lacks a 'kind' tag") from None
+    if kind == "sweep":
+        return SweepSpec.from_dict(data)
     try:
-        cls = _SPEC_KINDS[kind]
-    except KeyError:
+        cls = workloads.get_workload(kind).spec_cls
+    except ConfigurationError:
+        known = ", ".join((*workloads.workload_kinds(), "sweep"))
         raise ConfigurationError(
-            f"unknown spec kind {kind!r}; known: {', '.join(_SPEC_KINDS)}"
+            f"unknown spec kind {kind!r}; known: {known}"
         ) from None
     return cls.from_dict(data)

@@ -1,0 +1,67 @@
+"""Pluggable workload registry: one module + one call per workload family.
+
+Importing this package registers the built-in workloads — ``gemm``,
+``powered-gemm`` and ``stream`` (the paper's study) plus the roofline
+extension suite ``spmv`` (memory-bound), ``stencil`` (mid-intensity) and
+``batched-gemm`` (dispatch-overhead-bound).  Everything downstream — spec
+deserialization, sweep expansion, the session/batch executor, envelope
+codecs, the store and the CLI — dispatches through
+:func:`get_workload`/:func:`workload_for_spec`, so a new workload needs
+only its own module ending in a :func:`register_workload` call::
+
+    from repro.workloads import Workload, register_workload
+
+    register_workload(Workload(kind="fft", spec_cls=FftSpec, ...))
+
+See DESIGN.md, "Writing a workload plugin", for the full walkthrough.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    all_workloads,
+    deserialize_result,
+    get_workload,
+    register_result_codec,
+    register_workload,
+    serialize_result,
+    unregister_workload,
+    workload_for_spec,
+    workload_kinds,
+)
+
+# Built-in workload registrations (import order = listing order).
+from repro.workloads.gemm import GEMM_WORKLOAD
+from repro.workloads.powered_gemm import POWERED_GEMM_WORKLOAD
+from repro.workloads.stream import STREAM_WORKLOAD
+from repro.workloads.spmv import SPMV_WORKLOAD, SpmvResult, SpmvSpec
+from repro.workloads.stencil import STENCIL_WORKLOAD, StencilResult, StencilSpec
+from repro.workloads.batched_gemm import (
+    BATCHED_GEMM_WORKLOAD,
+    BatchedGemmResult,
+    BatchedGemmSpec,
+)
+
+__all__ = [
+    "Workload",
+    "register_workload",
+    "unregister_workload",
+    "register_result_codec",
+    "get_workload",
+    "workload_for_spec",
+    "workload_kinds",
+    "all_workloads",
+    "serialize_result",
+    "deserialize_result",
+    "GEMM_WORKLOAD",
+    "POWERED_GEMM_WORKLOAD",
+    "STREAM_WORKLOAD",
+    "SPMV_WORKLOAD",
+    "SpmvSpec",
+    "SpmvResult",
+    "STENCIL_WORKLOAD",
+    "StencilSpec",
+    "StencilResult",
+    "BATCHED_GEMM_WORKLOAD",
+    "BatchedGemmSpec",
+    "BatchedGemmResult",
+]

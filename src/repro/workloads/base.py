@@ -1,0 +1,154 @@
+"""The workload plugin contract.
+
+A :class:`Workload` bundles everything the experiment stack needs to know
+about one workload family behind a single ``kind`` string: the spec class,
+the executor body, the result type and its JSON codec, the sweep-axis
+semantics, and the CLI rendering hooks.  Every per-kind switch site — spec
+deserialization (:func:`repro.experiments.specs.spec_from_dict`), execution
+dispatch (:func:`repro.experiments.executor.execute_spec`), the envelope
+result codecs, :meth:`SweepSpec.expand` and the ``repro run`` output — goes
+through the registry in :mod:`repro.workloads.registry`, so adding a
+workload is one module plus one :func:`~repro.workloads.registry.register_workload`
+call, with zero edits to the executor, session, envelope, store or CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.specs import ExperimentSpec, SweepSpec
+    from repro.sim.machine import Machine
+
+__all__ = [
+    "Workload",
+    "expand_axes",
+    "repetitions_to_dicts",
+    "repetitions_from_dicts",
+    "timed_repetition",
+]
+
+
+def repetitions_to_dicts(repetitions) -> list[dict[str, int]]:
+    """Serialize a tuple of timed repetitions (the shared codec fragment)."""
+    return [
+        {"repetition": r.repetition, "elapsed_ns": r.elapsed_ns}
+        for r in repetitions
+    ]
+
+
+def repetitions_from_dicts(data) -> tuple:
+    """Rebuild timed repetitions from :func:`repetitions_to_dicts` output."""
+    from repro.core.results import GemmRepetition
+
+    return tuple(
+        GemmRepetition(
+            repetition=int(r["repetition"]), elapsed_ns=int(r["elapsed_ns"])
+        )
+        for r in data
+    )
+
+
+def timed_repetition(rep: int, completed) -> Any:
+    """One repetition record from a completed simulator operation."""
+    from repro.core.results import GemmRepetition
+
+    return GemmRepetition(
+        repetition=rep, elapsed_ns=max(1, round(completed.elapsed_s * 1e9))
+    )
+
+
+def expand_axes(
+    chips,
+    variants,
+    sizes,
+    make_spec: Callable[[str, str, int], Any],
+    *,
+    cell_filter: Callable[[str, str, int], bool] | None = None,
+) -> tuple:
+    """Row-major ``chips x variants x sizes`` expansion shared by plugins.
+
+    The standard ``sweep_cells`` shape: ``variants`` is whatever the
+    workload's middle axis means (implementation keys, targets, ...),
+    ``make_spec`` builds one concrete cell, and ``cell_filter`` optionally
+    drops unsupported combinations (the GEMM section-4 exclusions).
+    """
+    return tuple(
+        make_spec(chip, variant, n)
+        for chip in chips
+        for variant in variants
+        for n in sizes
+        if cell_filter is None or cell_filter(chip, variant, n)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """One pluggable workload family, addressed by its ``kind`` string.
+
+    Attributes
+    ----------
+    kind:
+        The serialization/dispatch tag.  It names the spec ``kind``, the
+        envelope result ``type`` and the ``repro run --kind`` value.
+    display_name, description:
+        Human-readable identity for ``repro workloads`` and the generated
+        EXPERIMENTS.md registry section.
+    spec_cls:
+        The frozen :class:`~repro.experiments.specs.ExperimentSpec`
+        subclass describing one cell of this workload.
+    result_cls:
+        The result record type produced by :attr:`execute`; used for
+        envelope serialization dispatch.
+    execute:
+        Executor body ``(machine, spec) -> result`` — the pure function a
+        session calls on a fresh machine.
+    result_to_dict, result_from_dict:
+        JSON codec for :attr:`result_cls` (plain data, tagged with
+        ``type=kind``).
+    sweep_cells:
+        Grid expander ``(sweep) -> tuple[spec, ...]`` interpreting the
+        generic :class:`~repro.experiments.specs.SweepSpec` axes for this
+        workload.
+    sample_spec:
+        Factory for a small, cheap, representative spec — the hook that
+        lets registry-parametrized tests auto-cover every workload.
+    cell_label:
+        One-line cell description for progress output.
+    summary_line:
+        One-line human summary ``(spec, result) -> str`` for ``repro run``.
+    impl_keys:
+        The implementation/variant keys this workload understands (listed
+        by ``repro workloads``; empty when the workload has no variants).
+    """
+
+    kind: str
+    display_name: str
+    description: str
+    spec_cls: type
+    result_cls: type
+    execute: Callable[["Machine", "ExperimentSpec"], Any]
+    result_to_dict: Callable[[Any], dict[str, Any]]
+    result_from_dict: Callable[[Mapping[str, Any]], Any]
+    sweep_cells: Callable[["SweepSpec"], tuple]
+    sample_spec: Callable[[], "ExperimentSpec"]
+    cell_label: Callable[["ExperimentSpec"], str]
+    summary_line: Callable[["ExperimentSpec", Any], str]
+    impl_keys: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ConfigurationError("a workload needs a non-empty kind string")
+        if getattr(self.spec_cls, "kind", None) != self.kind:
+            raise ConfigurationError(
+                f"workload kind {self.kind!r} does not match its spec class "
+                f"tag {getattr(self.spec_cls, 'kind', None)!r}"
+            )
+
+    @property
+    def result_tag(self) -> str:
+        """The envelope ``type`` tag of this workload's results (its kind)."""
+        return self.kind

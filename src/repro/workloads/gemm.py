@@ -1,0 +1,113 @@
+"""Built-in GEMM workload (Figure 2), wired as a registry plugin.
+
+The spec class and executor body predate the registry and stay in
+:mod:`repro.experiments.specs` / :mod:`repro.experiments.executor` for API
+compatibility; this module owns the per-kind pieces that used to be switch
+branches — the result JSON codec, the sweep-axis semantics (chips x
+implementations x sizes with the section-4 exclusions) and the CLI
+rendering — and registers them under ``kind="gemm"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.calibration import paper
+from repro.core.gemm.registry import paper_implementation_keys
+from repro.core.results import GemmResult
+from repro.experiments.executor import run_gemm_spec
+from repro.experiments.specs import GemmSpec, SweepSpec
+from repro.workloads.base import (
+    Workload,
+    expand_axes,
+    repetitions_from_dicts,
+    repetitions_to_dicts,
+)
+from repro.workloads.registry import register_workload
+
+__all__ = ["GEMM_WORKLOAD", "gemm_result_to_dict", "gemm_result_from_dict"]
+
+
+def gemm_result_to_dict(result: GemmResult) -> dict[str, Any]:
+    """Serialize a :class:`GemmResult` to plain data (raw fields only)."""
+    return {
+        "type": "gemm",
+        "impl_key": result.impl_key,
+        "chip_name": result.chip_name,
+        "n": result.n,
+        "flop_count": result.flop_count,
+        "repetitions": repetitions_to_dicts(result.repetitions),
+        "verified": result.verified,
+    }
+
+
+def gemm_result_from_dict(data: Mapping[str, Any]) -> GemmResult:
+    """Rebuild a :class:`GemmResult` from :func:`gemm_result_to_dict` output."""
+    return GemmResult(
+        impl_key=data["impl_key"],
+        chip_name=data["chip_name"],
+        n=int(data["n"]),
+        flop_count=int(data["flop_count"]),
+        repetitions=repetitions_from_dicts(data["repetitions"]),
+        verified=data.get("verified"),
+    )
+
+
+def cell_is_supported(chip: str, impl_key: str, n: int) -> bool:
+    """Section-4 exclusion check, tolerant of off-catalog chips."""
+    from repro.calibration.gemm import gemm_calibration
+    from repro.soc.catalog import get_chip
+
+    try:
+        spec = get_chip(chip)
+    except Exception:
+        return True  # off-catalog chips are resolved at execution time
+    try:
+        return gemm_calibration(spec, impl_key).supports(n)
+    except Exception:
+        return True
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[GemmSpec, ...]:
+    repeats = sweep.repeats if sweep.repeats is not None else paper.GEMM_REPEATS
+    return expand_axes(
+        sweep.chips or paper.CHIPS,
+        sweep.impl_keys or paper_implementation_keys(),
+        sweep.sizes or paper.GEMM_SIZES,
+        lambda chip, impl_key, n: GemmSpec(
+            chip=chip,
+            seed=sweep.seed,
+            numerics=sweep.numerics,
+            impl_key=impl_key,
+            n=n,
+            repeats=repeats,
+        ),
+        cell_filter=cell_is_supported if sweep.skip_unsupported else None,
+    )
+
+
+def _sample_spec() -> GemmSpec:
+    return GemmSpec(chip="M1", impl_key="gpu-mps", n=256, repeats=2)
+
+
+#: The registered GEMM workload (Figure-2 timing study).
+GEMM_WORKLOAD: Workload = register_workload(
+    Workload(
+        kind="gemm",
+        display_name="GEMM (Figure 2)",
+        description="dense n x n matrix multiply, best GFLOPS of 5 repetitions",
+        spec_cls=GemmSpec,
+        result_cls=GemmResult,
+        execute=lambda machine, spec: run_gemm_spec(machine, spec),
+        result_to_dict=gemm_result_to_dict,
+        result_from_dict=gemm_result_from_dict,
+        sweep_cells=_sweep_cells,
+        sample_spec=_sample_spec,
+        cell_label=lambda spec: f"{spec.chip} {spec.impl_key} n={spec.n}",
+        summary_line=lambda spec, result: (
+            f"{spec.chip:4s} {spec.impl_key:16s} n={spec.n:<6d} "
+            f"{result.best_gflops:10.1f} GFLOPS"
+        ),
+        impl_keys=paper_implementation_keys(),
+    )
+)

@@ -1,0 +1,116 @@
+"""Built-in powered-GEMM workload (Figures 3-4), wired as a registry plugin.
+
+Same shape as :mod:`repro.workloads.gemm` — spec class and executor body
+stay in :mod:`repro.experiments` — plus the standalone codec for the nested
+:class:`~repro.core.results.PowerMeasurement` records, which serialize under
+their own ``type="power"`` tag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.calibration import paper
+from repro.core.gemm.registry import paper_implementation_keys
+from repro.core.results import PoweredGemmResult, PowerMeasurement
+from repro.experiments.executor import run_powered_gemm_spec
+from repro.experiments.specs import PoweredGemmSpec, SweepSpec
+from repro.workloads.base import Workload, expand_axes
+from repro.workloads.gemm import (
+    cell_is_supported,
+    gemm_result_from_dict,
+    gemm_result_to_dict,
+)
+from repro.workloads.registry import register_result_codec, register_workload
+
+__all__ = [
+    "POWERED_GEMM_WORKLOAD",
+    "power_measurement_to_dict",
+    "power_measurement_from_dict",
+]
+
+
+def power_measurement_to_dict(m: PowerMeasurement) -> dict[str, Any]:
+    """Serialize one powermetrics window to plain data."""
+    return {
+        "type": "power",
+        "cpu_mw": m.cpu_mw,
+        "gpu_mw": m.gpu_mw,
+        "elapsed_ms": m.elapsed_ms,
+    }
+
+
+def power_measurement_from_dict(data: Mapping[str, Any]) -> PowerMeasurement:
+    """Rebuild a :class:`PowerMeasurement` from its plain-data form."""
+    return PowerMeasurement(
+        cpu_mw=float(data["cpu_mw"]),
+        gpu_mw=float(data["gpu_mw"]),
+        elapsed_ms=float(data["elapsed_ms"]),
+    )
+
+
+def _powered_to_dict(result: PoweredGemmResult) -> dict[str, Any]:
+    return {
+        "type": "powered-gemm",
+        "gemm": gemm_result_to_dict(result.gemm),
+        "measurements": [power_measurement_to_dict(m) for m in result.measurements],
+    }
+
+
+def _powered_from_dict(data: Mapping[str, Any]) -> PoweredGemmResult:
+    return PoweredGemmResult(
+        gemm=gemm_result_from_dict(data["gemm"]),
+        measurements=tuple(
+            power_measurement_from_dict(m) for m in data["measurements"]
+        ),
+    )
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[PoweredGemmSpec, ...]:
+    repeats = sweep.repeats if sweep.repeats is not None else paper.GEMM_REPEATS
+    return expand_axes(
+        sweep.chips or paper.CHIPS,
+        sweep.impl_keys or paper_implementation_keys(),
+        sweep.sizes or paper.POWER_SIZES,
+        lambda chip, impl_key, n: PoweredGemmSpec(
+            chip=chip,
+            seed=sweep.seed,
+            numerics=sweep.numerics,
+            impl_key=impl_key,
+            n=n,
+            repeats=repeats,
+        ),
+        cell_filter=cell_is_supported if sweep.skip_unsupported else None,
+    )
+
+
+def _sample_spec() -> PoweredGemmSpec:
+    return PoweredGemmSpec(chip="M1", impl_key="gpu-mps", n=256, repeats=2)
+
+
+register_result_codec(
+    "power", PowerMeasurement, power_measurement_to_dict, power_measurement_from_dict
+)
+
+#: The registered power-study workload (Figures 3-4: draw and efficiency).
+POWERED_GEMM_WORKLOAD: Workload = register_workload(
+    Workload(
+        kind="powered-gemm",
+        display_name="Powered GEMM (Figures 3-4)",
+        description="GEMM timing with the piggybacked powermetrics protocol",
+        spec_cls=PoweredGemmSpec,
+        result_cls=PoweredGemmResult,
+        execute=lambda machine, spec: run_powered_gemm_spec(machine, spec),
+        result_to_dict=_powered_to_dict,
+        result_from_dict=_powered_from_dict,
+        sweep_cells=_sweep_cells,
+        sample_spec=_sample_spec,
+        cell_label=lambda spec: f"{spec.chip} {spec.impl_key} n={spec.n}",
+        summary_line=lambda spec, result: (
+            f"{spec.chip:4s} {spec.impl_key:16s} n={spec.n:<6d} "
+            f"{result.mean_combined_w:7.2f} W  "
+            f"{result.efficiency_gflops_per_w:8.1f} GFLOPS/W"
+        ),
+        impl_keys=paper_implementation_keys(),
+    )
+)

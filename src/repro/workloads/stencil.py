@@ -1,0 +1,316 @@
+"""2D stencil workload plugin: 5-point Jacobi, cache-blocked vs naive.
+
+An ``n x n`` FP32 grid relaxed for ``iterations`` sweeps.  Each interior
+point costs 4 FLOPs (three adds, one multiply) against either
+
+* ``stencil-naive`` — row-order traversal whose three neighbour rows fall
+  out of cache between uses, so the model charges ~3 grid reads plus the
+  write-back per sweep (arithmetic intensity ~0.25 FLOP/byte), or
+* ``stencil-blocked`` — cache-tiled traversal that reads each point
+  essentially once (~0.5 FLOP/byte) and streams closer to the link peak.
+
+That places the stencil between STREAM (~0.08) and large GEMM (hundreds) on
+the roofline — the mid-intensity point of the workload suite.  Like every
+plugin, the module is self-contained: spec, result, cost model, executor,
+codec, sweep semantics and CLI rendering, registered in one call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.calibration.stream import stream_power_draws
+from repro.core.results import GemmRepetition
+from repro.errors import ConfigurationError
+from repro.experiments.specs import ExperimentSpec, SweepSpec
+from repro.sim.engine import EngineKind, Operation
+from repro.sim.machine import Machine
+from repro.sim.policy import NumericsPolicy
+from repro.sim.roofline import OpCost
+from repro.workloads.base import (
+    Workload,
+    expand_axes,
+    repetitions_from_dicts,
+    repetitions_to_dicts,
+    timed_repetition,
+)
+from repro.workloads.registry import register_workload
+
+__all__ = [
+    "STENCIL_IMPL_KEYS",
+    "StencilSpec",
+    "StencilResult",
+    "run_stencil_spec",
+    "STENCIL_WORKLOAD",
+]
+
+#: The two traversal variants of the study.
+STENCIL_IMPL_KEYS: tuple[str, ...] = ("stencil-naive", "stencil-blocked")
+
+DEFAULT_STENCIL_SIZES: tuple[int, ...] = (256, 512, 1024, 2048)
+DEFAULT_STENCIL_ITERATIONS = 10
+DEFAULT_STENCIL_REPEATS = 5
+
+_ELEMENT_BYTES = 4  # FP32 grid
+_FLOPS_PER_POINT = 4.0  # three adds + one multiply per updated point
+
+#: Effective grid reads per sweep: the naive traversal re-fetches the
+#: neighbour rows it already saw; the blocked traversal reads ~once.
+_READ_FACTOR = {"stencil-naive": 3.0, "stencil-blocked": 1.0}
+
+#: Fraction of the link the access pattern sustains.
+_MEMORY_EFFICIENCY = {"stencil-naive": 0.55, "stencil-blocked": 0.85}
+
+_COMPUTE_EFFICIENCY = 0.5  # of the SIMD peak; neighbour dependencies stall
+_OVERHEAD_S = 30e-6  # OpenMP-style fork/join per repetition
+_NOISE_SIGMA = 0.010
+
+#: Numerics run on a capped grid so FULL sessions stay quick.
+_NUMERICS_MAX_N = 128
+_NUMERICS_ITERATIONS = 3
+_NUMERICS_TILE = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class StencilSpec(ExperimentSpec):
+    """One stencil cell: ``repeats`` timed runs of ``iterations`` Jacobi sweeps."""
+
+    impl_key: str = "stencil-blocked"
+    n: int = 0
+    iterations: int = DEFAULT_STENCIL_ITERATIONS
+    repeats: int = DEFAULT_STENCIL_REPEATS
+
+    kind = "stencil"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.impl_key not in STENCIL_IMPL_KEYS:
+            raise ConfigurationError(
+                f"stencil implementation must be one of {STENCIL_IMPL_KEYS}, "
+                f"got {self.impl_key!r}"
+            )
+        if self.n < 3:
+            raise ConfigurationError("grid dimension must be >= 3")
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if self.repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class StencilResult:
+    """All repetitions of one stencil cell."""
+
+    chip_name: str
+    impl_key: str
+    n: int
+    iterations: int
+    flop_count: int
+    bytes_moved: float
+    theoretical_gbs: float
+    repetitions: tuple[GemmRepetition, ...]
+    verified: bool | None = None
+
+    def __post_init__(self) -> None:
+        if not self.repetitions:
+            raise ConfigurationError(
+                "a stencil result needs at least one repetition"
+            )
+        if self.flop_count <= 0 or self.bytes_moved <= 0:
+            raise ConfigurationError("stencil work content must be positive")
+
+    @property
+    def best_gflops(self) -> float:
+        """Peak achieved GFLOPS over the repetitions."""
+        return max(self.flop_count / r.elapsed_ns for r in self.repetitions)
+
+    @property
+    def mean_gflops(self) -> float:
+        """Mean achieved GFLOPS over the repetitions."""
+        return statistics.fmean(
+            self.flop_count / r.elapsed_ns for r in self.repetitions
+        )
+
+    @property
+    def best_mcups(self) -> float:
+        """Peak million cell-updates per second (the stencil literature metric)."""
+        updates = (self.n - 2) * (self.n - 2) * self.iterations
+        return max(updates / r.elapsed_ns for r in self.repetitions) * 1e3
+
+    @property
+    def best_gbs(self) -> float:
+        """Peak achieved grid traffic bandwidth (GB/s)."""
+        return max(self.bytes_moved / r.elapsed_ns for r in self.repetitions)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of modelled grid traffic."""
+        return self.flop_count / self.bytes_moved
+
+
+def _sweep_cost(spec: StencilSpec) -> OpCost:
+    """Modelled cost of one repetition (= ``iterations`` grid sweeps)."""
+    points = float((spec.n - 2) * (spec.n - 2)) * spec.iterations
+    grid_bytes = points * _ELEMENT_BYTES
+    return OpCost(
+        flops=points * _FLOPS_PER_POINT,
+        bytes_read=grid_bytes * _READ_FACTOR[spec.impl_key],
+        bytes_written=grid_bytes,
+    )
+
+
+def _jacobi_step(grid: np.ndarray) -> np.ndarray:
+    """One full-array 5-point Jacobi sweep over the interior."""
+    return 0.25 * (
+        grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+    )
+
+
+def _jacobi_step_blocked(grid: np.ndarray, tile: int) -> np.ndarray:
+    """The same sweep computed tile-by-tile (the cache-blocked traversal)."""
+    m = grid.shape[0] - 2
+    out = np.empty((m, m), dtype=grid.dtype)
+    for i0 in range(0, m, tile):
+        for j0 in range(0, m, tile):
+            i1, j1 = min(i0 + tile, m), min(j0 + tile, m)
+            block = grid[i0 : i1 + 2, j0 : j1 + 2]
+            out[i0:i1, j0:j1] = 0.25 * (
+                block[:-2, 1:-1]
+                + block[2:, 1:-1]
+                + block[1:-1, :-2]
+                + block[1:-1, 2:]
+            )
+    return out
+
+
+def _numerics_verified(spec: StencilSpec) -> bool:
+    """Relax a capped seeded grid both ways and compare the trajectories."""
+    m = min(spec.n, _NUMERICS_MAX_N)
+    rng = np.random.default_rng([spec.seed, m])
+    grid_a = rng.standard_normal((m, m)).astype(np.float64)
+    grid_b = grid_a.copy()
+    for _ in range(min(spec.iterations, _NUMERICS_ITERATIONS)):
+        grid_a[1:-1, 1:-1] = _jacobi_step(grid_a)
+        grid_b[1:-1, 1:-1] = _jacobi_step_blocked(grid_b, _NUMERICS_TILE)
+    return bool(np.allclose(grid_a, grid_b, rtol=1e-12, atol=1e-12))
+
+
+def run_stencil_spec(machine: Machine, spec: StencilSpec) -> StencilResult:
+    """Execute one stencil cell on ``machine``."""
+    chip = machine.chip
+    cost = _sweep_cost(spec)
+
+    verified: bool | None = None
+    if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
+        verified = _numerics_verified(spec)
+
+    repetitions = []
+    for rep in range(spec.repeats):
+        op = Operation(
+            engine=EngineKind.CPU_SIMD,
+            label=f"stencil/{spec.impl_key}/n={spec.n}",
+            cost=cost,
+            peak_flops=machine.peak_flops(EngineKind.CPU_SIMD),
+            peak_bytes_per_s=machine.memory_bandwidth_bytes_per_s(),
+            compute_efficiency=_COMPUTE_EFFICIENCY,
+            memory_efficiency=_MEMORY_EFFICIENCY[spec.impl_key],
+            overhead_s=_OVERHEAD_S,
+            power_draws_w=stream_power_draws(chip, "cpu"),
+            noise_key=(
+                f"stencil/{chip.name}/{spec.impl_key}/n={spec.n}"
+                f"/it={spec.iterations}/rep={rep}"
+            ),
+            noise_sigma=_NOISE_SIGMA,
+        )
+        repetitions.append(timed_repetition(rep, machine.execute(op)))
+    return StencilResult(
+        chip_name=chip.name,
+        impl_key=spec.impl_key,
+        n=spec.n,
+        iterations=spec.iterations,
+        flop_count=int(cost.flops),
+        bytes_moved=cost.total_bytes,
+        theoretical_gbs=chip.memory.bandwidth_gbs,
+        repetitions=tuple(repetitions),
+        verified=verified,
+    )
+
+
+def _result_to_dict(result: StencilResult) -> dict[str, Any]:
+    return {
+        "type": "stencil",
+        "chip_name": result.chip_name,
+        "impl_key": result.impl_key,
+        "n": result.n,
+        "iterations": result.iterations,
+        "flop_count": result.flop_count,
+        "bytes_moved": result.bytes_moved,
+        "theoretical_gbs": result.theoretical_gbs,
+        "repetitions": repetitions_to_dicts(result.repetitions),
+        "verified": result.verified,
+    }
+
+
+def _result_from_dict(data: Mapping[str, Any]) -> StencilResult:
+    return StencilResult(
+        chip_name=data["chip_name"],
+        impl_key=data["impl_key"],
+        n=int(data["n"]),
+        iterations=int(data["iterations"]),
+        flop_count=int(data["flop_count"]),
+        bytes_moved=float(data["bytes_moved"]),
+        theoretical_gbs=float(data["theoretical_gbs"]),
+        repetitions=repetitions_from_dicts(data["repetitions"]),
+        verified=data.get("verified"),
+    )
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[StencilSpec, ...]:
+    from repro.calibration import paper
+
+    repeats = (
+        sweep.repeats if sweep.repeats is not None else DEFAULT_STENCIL_REPEATS
+    )
+    return expand_axes(
+        sweep.chips or paper.CHIPS,
+        sweep.impl_keys or STENCIL_IMPL_KEYS,
+        sweep.sizes or DEFAULT_STENCIL_SIZES,
+        lambda chip, impl_key, n: StencilSpec(
+            chip=chip,
+            seed=sweep.seed,
+            numerics=sweep.numerics,
+            impl_key=impl_key,
+            n=n,
+            repeats=repeats,
+        ),
+    )
+
+
+#: The registered stencil workload (mid-intensity roofline point).
+STENCIL_WORKLOAD: Workload = register_workload(
+    Workload(
+        kind="stencil",
+        display_name="2D stencil (Jacobi)",
+        description="5-point Jacobi relaxation, cache-blocked vs naive traversal",
+        spec_cls=StencilSpec,
+        result_cls=StencilResult,
+        execute=run_stencil_spec,
+        result_to_dict=_result_to_dict,
+        result_from_dict=_result_from_dict,
+        sweep_cells=_sweep_cells,
+        sample_spec=lambda: StencilSpec(
+            chip="M1", impl_key="stencil-blocked", n=256, iterations=2, repeats=2
+        ),
+        cell_label=lambda spec: f"{spec.chip} {spec.impl_key} n={spec.n}",
+        summary_line=lambda spec, result: (
+            f"{spec.chip:4s} {spec.impl_key:16s} n={spec.n:<6d} "
+            f"{result.best_mcups:10.1f} MCUP/s  "
+            f"{result.best_gbs:7.1f} GB/s"
+        ),
+        impl_keys=STENCIL_IMPL_KEYS,
+    )
+)

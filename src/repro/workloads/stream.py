@@ -1,0 +1,115 @@
+"""Built-in STREAM workload (Figure 1), wired as a registry plugin.
+
+Owns the per-kind pieces that used to be switch branches: the
+:class:`~repro.core.results.StreamResult` JSON codec (restoring canonical
+kernel order on load), the chips x targets sweep semantics, and the CLI
+rendering.  The spec class and executor body stay in
+:mod:`repro.experiments` for API compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.calibration import paper
+from repro.core.results import StreamKernelResult, StreamResult
+from repro.experiments.executor import run_stream_spec
+from repro.experiments.specs import StreamSpec, SweepSpec
+from repro.workloads.base import Workload
+from repro.workloads.registry import register_workload
+
+__all__ = ["STREAM_WORKLOAD", "stream_result_to_dict", "stream_result_from_dict"]
+
+
+def stream_result_to_dict(result: StreamResult) -> dict[str, Any]:
+    """Serialize a :class:`StreamResult` to plain data (raw bandwidths only)."""
+    return {
+        "type": "stream",
+        "chip_name": result.chip_name,
+        "target": result.target,
+        "n_elements": result.n_elements,
+        "element_bytes": result.element_bytes,
+        "theoretical_gbs": result.theoretical_gbs,
+        "kernels": {
+            name: {
+                "kernel": k.kernel,
+                "bandwidths_gbs": list(k.bandwidths_gbs),
+                "best_threads": k.best_threads,
+            }
+            for name, k in result.kernels.items()
+        },
+    }
+
+
+def stream_result_from_dict(data: Mapping[str, Any]) -> StreamResult:
+    """Rebuild a :class:`StreamResult` from :func:`stream_result_to_dict` output."""
+    from repro.core.stream.kernels import KERNEL_ORDER
+
+    # JSON serialization sorts mapping keys; restore the canonical kernel
+    # order (copy, scale, add, triad) so re-rendered figures match live runs.
+    raw = data["kernels"]
+    names = [k for k in KERNEL_ORDER if k in raw]
+    names += [k for k in raw if k not in names]
+    return StreamResult(
+        chip_name=data["chip_name"],
+        target=data["target"],
+        n_elements=int(data["n_elements"]),
+        element_bytes=int(data["element_bytes"]),
+        theoretical_gbs=float(data["theoretical_gbs"]),
+        kernels={
+            name: StreamKernelResult(
+                kernel=raw[name]["kernel"],
+                bandwidths_gbs=tuple(
+                    float(b) for b in raw[name]["bandwidths_gbs"]
+                ),
+                best_threads=raw[name].get("best_threads"),
+            )
+            for name in names
+        },
+    )
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[StreamSpec, ...]:
+    out = []
+    # The listed implementation keys ARE the targets; honour --impls too.
+    for chip in sweep.chips or paper.CHIPS:
+        for target in sweep.impl_keys or sweep.targets:
+            out.append(
+                StreamSpec(
+                    chip=chip,
+                    seed=sweep.seed,
+                    numerics=sweep.numerics,
+                    target=target,
+                    n_elements=sweep.n_elements,
+                    repeats=sweep.repeats,
+                )
+            )
+    return tuple(out)
+
+
+def _sample_spec() -> StreamSpec:
+    return StreamSpec(chip="M1", target="gpu", n_elements=1 << 16, repeats=2)
+
+
+#: The registered STREAM workload (Figure-1 bandwidth study).
+STREAM_WORKLOAD: Workload = register_workload(
+    Workload(
+        kind="stream",
+        display_name="STREAM (Figure 1)",
+        description="McCalpin bandwidth kernels on the CPU and GPU targets",
+        spec_cls=StreamSpec,
+        result_cls=StreamResult,
+        execute=lambda machine, spec: run_stream_spec(machine, spec),
+        result_to_dict=stream_result_to_dict,
+        result_from_dict=stream_result_from_dict,
+        sweep_cells=_sweep_cells,
+        sample_spec=_sample_spec,
+        cell_label=lambda spec: f"{spec.chip} {spec.target}",
+        summary_line=lambda spec, result: (
+            f"{spec.chip:4s} stream/{spec.target}: "
+            f"{result.max_gbs:8.1f} GB/s "
+            f"({result.fraction_of_peak:.0%} of peak)"
+        ),
+        impl_keys=("cpu", "gpu"),
+    )
+)

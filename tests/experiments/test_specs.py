@@ -12,6 +12,7 @@ from repro.experiments import (
     SweepSpec,
     spec_from_dict,
 )
+from repro.workloads import get_workload, workload_kinds
 
 
 class TestSpecValidation:
@@ -80,6 +81,42 @@ class TestSpecSerialization:
         assert gemm.spec_hash() != powered.spec_hash()
 
 
+@pytest.mark.parametrize("kind", workload_kinds())
+class TestEveryRegisteredWorkloadSpec:
+    """Registry-parametrized coverage: new workloads are tested automatically."""
+
+    def test_dict_round_trip(self, kind):
+        spec = get_workload(kind).sample_spec()
+        back = spec_from_dict(spec.to_dict())
+        assert back == spec and type(back) is type(spec)
+
+    def test_kind_tag_matches_registration(self, kind):
+        assert get_workload(kind).sample_spec().to_dict()["kind"] == kind
+
+    def test_spec_hash_is_stable(self, kind):
+        workload = get_workload(kind)
+        a, b = workload.sample_spec(), workload.sample_spec()
+        assert a.spec_hash() == b.spec_hash()
+        assert spec_from_dict(a.to_dict()).spec_hash() == a.spec_hash()
+
+    def test_spec_hash_tracks_the_seed(self, kind):
+        import dataclasses
+
+        spec = get_workload(kind).sample_spec()
+        reseeded = dataclasses.replace(spec, seed=spec.seed + 1)
+        assert spec.spec_hash() != reseeded.spec_hash()
+
+    def test_default_sweep_expands_to_own_specs(self, kind):
+        workload = get_workload(kind)
+        specs = SweepSpec(kind=kind, chips=("M1",)).expand()
+        assert specs and all(type(s) is workload.spec_cls for s in specs)
+
+
+def test_spec_hashes_distinct_across_all_kinds():
+    hashes = {get_workload(k).sample_spec().spec_hash() for k in workload_kinds()}
+    assert len(hashes) == len(workload_kinds())
+
+
 class TestSweepExpansion:
     def test_defaults_cover_paper_grid(self):
         specs = SweepSpec(kind="gemm", chips=("M1",)).expand()
@@ -113,6 +150,10 @@ class TestSweepExpansion:
             ("M4", "cpu"),
             ("M4", "gpu"),
         ]
+
+    def test_stream_impl_keys_alias_targets(self):
+        specs = SweepSpec(kind="stream", chips=("M1",), impl_keys=("gpu",)).expand()
+        assert [(s.chip, s.target) for s in specs] == [("M1", "gpu")]
 
     def test_powered_sweep_defaults_to_power_sizes(self):
         specs = SweepSpec(

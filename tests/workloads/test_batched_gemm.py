@@ -1,0 +1,98 @@
+"""Batched GEMM workload: dispatch-overhead regime, validation, numerics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import Session, SweepSpec
+from repro.workloads import BatchedGemmSpec
+from repro.workloads.batched_gemm import BATCHED_GEMM_IMPL_KEYS
+
+
+def run(spec):
+    return Session(numerics="model-only").run(spec, use_cache=False)
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = BatchedGemmSpec(chip="M1", n=32)
+        assert spec.impl_key == "gpu-batched" and spec.batch == 256
+
+    def test_rejects_unknown_impl(self):
+        with pytest.raises(ConfigurationError):
+            BatchedGemmSpec(chip="M1", n=32, impl_key="gpu-warp")
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            BatchedGemmSpec(chip="M1", n=0)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ConfigurationError):
+            BatchedGemmSpec(chip="M1", n=32, batch=0)
+
+
+class TestOverheadRegime:
+    """The workload exists to stress the Operation.overhead_s path."""
+
+    def test_looped_gpu_is_overhead_dominated(self):
+        result = run(
+            BatchedGemmSpec(chip="M1", n=32, batch=256, impl_key="gpu-looped")
+        ).result
+        assert result.overhead_fraction > 0.9
+
+    def test_batching_amortises_the_dispatch(self):
+        looped = run(
+            BatchedGemmSpec(chip="M1", n=32, batch=256, impl_key="gpu-looped")
+        ).result
+        batched = run(
+            BatchedGemmSpec(chip="M1", n=32, batch=256, impl_key="gpu-batched")
+        ).result
+        assert batched.best_gflops > 10 * looped.best_gflops
+        assert batched.overhead_fraction < looped.overhead_fraction
+
+    def test_looped_time_scales_with_batch(self):
+        small = run(
+            BatchedGemmSpec(chip="M1", n=32, batch=64, impl_key="gpu-looped")
+        ).result
+        large = run(
+            BatchedGemmSpec(chip="M1", n=32, batch=256, impl_key="gpu-looped")
+        ).result
+        ratio = large.best_elapsed_ns / small.best_elapsed_ns
+        assert 3.0 < ratio < 5.0  # ~4x matrices -> ~4x dispatches
+
+    def test_cpu_loop_beats_gpu_loop_at_small_sizes(self):
+        gpu = run(
+            BatchedGemmSpec(chip="M1", n=16, batch=128, impl_key="gpu-looped")
+        ).result
+        cpu = run(
+            BatchedGemmSpec(
+                chip="M1", n=16, batch=128, impl_key="cpu-accelerate-looped"
+            )
+        ).result
+        assert cpu.best_gflops > gpu.best_gflops
+
+    def test_execution_is_pure(self):
+        spec = BatchedGemmSpec(chip="M4", n=64, batch=128, seed=5)
+        assert run(spec).result == run(spec).result
+
+    def test_numerics_verify_the_batch(self):
+        assert run(BatchedGemmSpec(chip="M1", n=32)).result.verified is None
+        env = Session(numerics="full").run(
+            BatchedGemmSpec(chip="M1", n=32, batch=16, repeats=2)
+        )
+        assert env.result.verified is True
+
+
+class TestSweep:
+    def test_default_axes_cross_all_variants(self):
+        specs = SweepSpec(kind="batched-gemm", chips=("M1",)).expand()
+        assert {s.impl_key for s in specs} == set(BATCHED_GEMM_IMPL_KEYS)
+        assert all(s.batch == 256 for s in specs)
+
+    def test_sizes_are_respected(self):
+        specs = SweepSpec(
+            kind="batched-gemm",
+            chips=("M1",),
+            impl_keys=("gpu-batched",),
+            sizes=(16, 64),
+        ).expand()
+        assert [s.n for s in specs] == [16, 64]

@@ -1,0 +1,173 @@
+"""CLI integration: `repro workloads` listing and new-kind run/persist/re-render."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import load_envelopes
+from repro.workloads import workload_kinds
+
+
+def _run(capsys, argv) -> str:
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestWorkloadsCommand:
+    def test_lists_every_registered_kind(self, capsys):
+        out = _run(capsys, ["workloads"])
+        for kind in workload_kinds():
+            assert kind in out
+
+    def test_lists_implementation_keys(self, capsys):
+        out = _run(capsys, ["workloads"])
+        assert "stencil-blocked" in out
+        assert "gpu-looped" in out
+        assert "cpu-accelerate" in out
+
+
+class TestRunNewKinds:
+    def test_parser_accepts_every_registered_kind(self):
+        parser = build_parser()
+        for kind in workload_kinds():
+            assert parser.parse_args(["run", "--kind", kind]).kind == kind
+
+    def test_parser_rejects_unregistered_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--kind", "fft"])
+
+    def test_spmv_summary(self, capsys):
+        out = _run(
+            capsys,
+            [
+                "run",
+                "--kind",
+                "spmv",
+                "--chips",
+                "M1",
+                "--sizes",
+                "65536",
+                "--numerics",
+                "model-only",
+                "--quiet",
+            ],
+        )
+        assert "spmv/cpu" in out and "spmv/gpu" in out and "GB/s" in out
+
+    def test_stencil_summary(self, capsys):
+        out = _run(
+            capsys,
+            [
+                "run",
+                "--kind",
+                "stencil",
+                "--chips",
+                "M4",
+                "--sizes",
+                "512",
+                "--numerics",
+                "model-only",
+                "--quiet",
+            ],
+        )
+        assert "stencil-blocked" in out and "MCUP/s" in out
+
+    def test_batched_gemm_json(self, capsys):
+        out = _run(
+            capsys,
+            [
+                "run",
+                "--kind",
+                "batched-gemm",
+                "--chips",
+                "M1",
+                "--impls",
+                "gpu-batched",
+                "--sizes",
+                "32",
+                "--numerics",
+                "model-only",
+                "--json",
+            ],
+        )
+        payload = json.loads(out)
+        assert len(payload) == 1
+        assert payload[0]["spec"]["kind"] == "batched-gemm"
+        assert payload[0]["result"]["type"] == "batched-gemm"
+
+
+class TestRunFromStore:
+    """Acceptance: run -> persist with --out -> re-render byte-identically."""
+
+    def _sweep_args(self, extra=()):
+        return [
+            "run",
+            "--kind",
+            "spmv",
+            "--chips",
+            "M1",
+            "M4",
+            "--sizes",
+            "16384",
+            "65536",
+            "--numerics",
+            "model-only",
+            "--quiet",
+            *extra,
+        ]
+
+    def test_spmv_round_trip_is_byte_identical(self, tmp_path, capsys):
+        out_dir = tmp_path / "spmv"
+        assert main(self._sweep_args(["--out", str(out_dir)])) == 0
+        capsys.readouterr()
+        direct = _run(capsys, self._sweep_args())
+        from_disk = _run(capsys, ["run", "--from", str(out_dir), "--quiet"])
+        assert from_disk == direct
+
+    def test_persisted_envelopes_carry_the_new_kind(self, tmp_path, capsys):
+        out_dir = tmp_path / "stencil"
+        assert (
+            main(
+                [
+                    "run",
+                    "--kind",
+                    "stencil",
+                    "--chips",
+                    "M1",
+                    "--sizes",
+                    "256",
+                    "--numerics",
+                    "model-only",
+                    "--out",
+                    str(out_dir),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        envelopes = load_envelopes(out_dir)
+        assert envelopes and all(e.kind == "stencil" for e in envelopes)
+
+    def test_from_json_round_trips_envelopes(self, tmp_path, capsys):
+        out_dir = tmp_path / "bg"
+        base = [
+            "run",
+            "--kind",
+            "batched-gemm",
+            "--chips",
+            "M1",
+            "--sizes",
+            "32",
+            "--numerics",
+            "model-only",
+            "--quiet",
+        ]
+        assert main([*base, "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        direct = _run(capsys, [*base, "--json"])
+        from_disk = _run(
+            capsys, ["run", "--from", str(out_dir), "--json", "--quiet"]
+        )
+        assert json.loads(from_disk) == json.loads(direct)

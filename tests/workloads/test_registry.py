@@ -1,0 +1,158 @@
+"""Workload registry: lookup, error paths, and the end-to-end plugin seam."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ResultEnvelope,
+    Session,
+    SweepSpec,
+    execute_spec,
+    spec_from_dict,
+)
+from repro.experiments.specs import ExperimentSpec
+from repro.sim.machine import Machine
+from repro.workloads import (
+    Workload,
+    all_workloads,
+    get_workload,
+    register_workload,
+    unregister_workload,
+    workload_for_spec,
+    workload_kinds,
+)
+
+BUILTIN_KINDS = (
+    "gemm",
+    "powered-gemm",
+    "stream",
+    "spmv",
+    "stencil",
+    "batched-gemm",
+)
+
+
+class TestLookup:
+    def test_builtins_registered_in_order(self):
+        assert workload_kinds() == BUILTIN_KINDS
+
+    def test_get_workload_round_trips_kind(self):
+        for kind in BUILTIN_KINDS:
+            assert get_workload(kind).kind == kind
+
+    def test_unknown_kind_rejected_with_known_list(self):
+        with pytest.raises(ConfigurationError, match="unknown workload kind"):
+            get_workload("fft")
+
+    def test_workload_for_spec_matches_spec_class(self):
+        for workload in all_workloads():
+            spec = workload.sample_spec()
+            assert workload_for_spec(spec) is workload
+
+    def test_unregistered_spec_type_rejected(self):
+        @dataclasses.dataclass(frozen=True)
+        class OrphanSpec(ExperimentSpec):
+            kind = "orphan"
+
+        with pytest.raises(ConfigurationError, match="cannot execute spec"):
+            workload_for_spec(OrphanSpec(chip="M1"))
+
+    def test_duplicate_kind_rejected(self):
+        gemm = get_workload("gemm")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_workload(gemm)
+
+    def test_every_workload_has_identity_fields(self):
+        for workload in all_workloads():
+            assert workload.display_name and workload.description
+            assert workload.result_tag == workload.kind
+
+
+@dataclasses.dataclass(frozen=True)
+class ToySpec(ExperimentSpec):
+    """A minimal spec for the plugin-seam test."""
+
+    n: int = 1
+
+    kind = "toy"
+
+
+@dataclasses.dataclass(frozen=True)
+class ToyResult:
+    """A minimal result record for the plugin-seam test."""
+
+    chip_name: str
+    value: float
+
+
+def _toy_workload() -> Workload:
+    return Workload(
+        kind="toy",
+        display_name="Toy",
+        description="registry seam demonstration",
+        spec_cls=ToySpec,
+        result_cls=ToyResult,
+        execute=lambda machine, spec: ToyResult(
+            chip_name=machine.chip.name, value=float(spec.n * 2)
+        ),
+        result_to_dict=lambda r: {
+            "type": "toy",
+            "chip_name": r.chip_name,
+            "value": r.value,
+        },
+        result_from_dict=lambda d: ToyResult(
+            chip_name=d["chip_name"], value=float(d["value"])
+        ),
+        sweep_cells=lambda sweep: tuple(
+            ToySpec(chip=chip, seed=sweep.seed, n=n)
+            for chip in (sweep.chips or ("M1",))
+            for n in (sweep.sizes or (1,))
+        ),
+        sample_spec=lambda: ToySpec(chip="M1", n=3),
+        cell_label=lambda spec: f"{spec.chip} toy n={spec.n}",
+        summary_line=lambda spec, result: f"{spec.chip} toy {result.value}",
+    )
+
+
+class TestPluginSeam:
+    """Registering a workload requires zero edits to any dispatch layer."""
+
+    @pytest.fixture()
+    def toy(self):
+        workload = register_workload(_toy_workload())
+        yield workload
+        unregister_workload("toy")
+
+    def test_spec_round_trips_through_generic_deserializer(self, toy):
+        spec = ToySpec(chip="M2", n=7)
+        assert spec_from_dict(spec.to_dict()) == spec
+
+    def test_executor_dispatches_without_edits(self, toy):
+        machine = Machine.for_chip("M1")
+        result = execute_spec(machine, ToySpec(chip="M1", n=5))
+        assert result == ToyResult(chip_name="M1", value=10.0)
+
+    def test_session_and_envelope_are_generic(self, toy, tmp_path):
+        session = Session(numerics="model-only", cache_dir=tmp_path)
+        envelope = session.run(ToySpec(chip="M1", n=4))
+        back = ResultEnvelope.from_json(envelope.to_json())
+        assert back.spec == envelope.spec
+        assert back.result == ToyResult(chip_name="M1", value=8.0)
+
+    def test_sweep_expands_through_registry(self, toy):
+        specs = SweepSpec(kind="toy", chips=("M1", "M3"), sizes=(1, 2)).expand()
+        assert [(s.chip, s.n) for s in specs] == [
+            ("M1", 1),
+            ("M1", 2),
+            ("M3", 1),
+            ("M3", 2),
+        ]
+
+    def test_unregistration_restores_strict_errors(self, toy):
+        unregister_workload("toy")
+        with pytest.raises(ConfigurationError):
+            SweepSpec(kind="toy")
+        # idempotent, and the fixture teardown tolerates the second call
+        unregister_workload("toy")

@@ -1,0 +1,91 @@
+"""SpMV workload: validation, memory-bound behaviour, purity, numerics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import Session, SweepSpec
+from repro.workloads import SpmvSpec
+from repro.workloads.spmv import DEFAULT_SPMV_SIZES
+
+
+def run(spec, **session_kwargs):
+    session = Session(numerics="model-only", **session_kwargs)
+    return session.run(spec, use_cache=False)
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = SpmvSpec(chip="M1", n=1 << 16)
+        assert spec.target == "cpu" and spec.nnz_per_row == 16
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            SpmvSpec(chip="M1", n=64, target="ane")
+
+    def test_rejects_nonpositive_rows(self):
+        with pytest.raises(ConfigurationError):
+            SpmvSpec(chip="M1", n=0)
+
+    def test_rejects_overdense_rows(self):
+        with pytest.raises(ConfigurationError):
+            SpmvSpec(chip="M1", n=8, nnz_per_row=9)
+
+    def test_rejects_nonpositive_repeats(self):
+        with pytest.raises(ConfigurationError):
+            SpmvSpec(chip="M1", n=64, repeats=0)
+
+
+class TestExecution:
+    def test_is_memory_bound(self):
+        env = run(SpmvSpec(chip="M1", n=1 << 18, repeats=3))
+        result = env.result
+        assert result.arithmetic_intensity < 1.0  # deep memory-bound regime
+        assert 0.0 < result.fraction_of_peak < 1.0
+        assert result.best_gbs <= result.theoretical_gbs
+
+    def test_gpu_target_runs(self):
+        env = run(SpmvSpec(chip="M4", n=1 << 18, target="gpu", repeats=3))
+        assert env.result.target == "gpu"
+        assert env.result.best_gflops > 0.0
+
+    def test_denser_rows_reach_higher_bandwidth(self):
+        sparse = run(SpmvSpec(chip="M1", n=1 << 16, nnz_per_row=2)).result
+        dense = run(SpmvSpec(chip="M1", n=1 << 16, nnz_per_row=64)).result
+        assert dense.best_gbs > sparse.best_gbs
+
+    def test_execution_is_pure(self):
+        spec = SpmvSpec(chip="M2", n=1 << 16, repeats=4, seed=3)
+        first = run(spec).result
+        second = run(spec).result
+        assert first == second
+
+    def test_numerics_verify_the_csr_kernel(self):
+        env = run(SpmvSpec(chip="M1", n=512, nnz_per_row=8, repeats=2))
+        assert env.result.verified is None  # model-only skips numerics
+        session = Session(numerics="full")
+        verified = session.run(SpmvSpec(chip="M1", n=512, nnz_per_row=8, repeats=2))
+        assert verified.result.verified is True
+
+
+class TestSweep:
+    def test_default_axes(self):
+        specs = SweepSpec(kind="spmv", chips=("M1",)).expand()
+        assert {s.target for s in specs} == {"cpu", "gpu"}
+        assert {s.n for s in specs} == set(DEFAULT_SPMV_SIZES)
+
+    def test_impls_select_targets_like_the_listing(self):
+        # `repro workloads` lists cpu/gpu as spmv's implementation keys, so
+        # --impls must select targets too (not be silently discarded).
+        specs = SweepSpec(
+            kind="spmv", chips=("M1",), impl_keys=("gpu",), sizes=(4096,)
+        ).expand()
+        assert [(s.target, s.n) for s in specs] == [("gpu", 4096)]
+
+    def test_sizes_and_targets_are_respected(self):
+        specs = SweepSpec(
+            kind="spmv", chips=("M1", "M4"), targets=("gpu",), sizes=(4096,)
+        ).expand()
+        assert [(s.chip, s.target, s.n) for s in specs] == [
+            ("M1", "gpu", 4096),
+            ("M4", "gpu", 4096),
+        ]

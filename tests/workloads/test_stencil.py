@@ -1,0 +1,78 @@
+"""Stencil workload: validation, blocked-vs-naive behaviour, numerics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import Session, SweepSpec
+from repro.workloads import StencilSpec
+from repro.workloads.stencil import STENCIL_IMPL_KEYS
+
+
+def run(spec):
+    return Session(numerics="model-only").run(spec, use_cache=False)
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = StencilSpec(chip="M1", n=512)
+        assert spec.impl_key == "stencil-blocked" and spec.iterations == 10
+
+    def test_rejects_unknown_impl(self):
+        with pytest.raises(ConfigurationError):
+            StencilSpec(chip="M1", n=512, impl_key="stencil-diagonal")
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ConfigurationError):
+            StencilSpec(chip="M1", n=2)
+
+    def test_rejects_nonpositive_iterations(self):
+        with pytest.raises(ConfigurationError):
+            StencilSpec(chip="M1", n=512, iterations=0)
+
+
+class TestExecution:
+    def test_blocked_beats_naive(self):
+        naive = run(StencilSpec(chip="M1", n=1024, impl_key="stencil-naive"))
+        blocked = run(StencilSpec(chip="M1", n=1024, impl_key="stencil-blocked"))
+        assert blocked.result.best_mcups > naive.result.best_mcups
+        assert blocked.result.best_gflops > naive.result.best_gflops
+
+    def test_blocked_has_higher_arithmetic_intensity(self):
+        naive = run(StencilSpec(chip="M1", n=512, impl_key="stencil-naive"))
+        blocked = run(StencilSpec(chip="M1", n=512, impl_key="stencil-blocked"))
+        assert (
+            blocked.result.arithmetic_intensity
+            > naive.result.arithmetic_intensity
+        )
+
+    def test_bandwidth_stays_under_link_peak(self):
+        result = run(StencilSpec(chip="M4", n=2048)).result
+        assert 0.0 < result.best_gbs <= result.theoretical_gbs
+
+    def test_execution_is_pure(self):
+        spec = StencilSpec(chip="M3", n=512, repeats=3, seed=11)
+        assert run(spec).result == run(spec).result
+
+    def test_numerics_verify_blocked_equals_full_sweep(self):
+        assert run(StencilSpec(chip="M1", n=64, repeats=2)).result.verified is None
+        session = Session(numerics="full")
+        env = session.run(StencilSpec(chip="M1", n=64, repeats=2))
+        assert env.result.verified is True
+
+
+class TestSweep:
+    def test_default_axes_cross_both_variants(self):
+        specs = SweepSpec(kind="stencil", chips=("M1",)).expand()
+        assert {s.impl_key for s in specs} == set(STENCIL_IMPL_KEYS)
+
+    def test_explicit_impl_and_sizes(self):
+        specs = SweepSpec(
+            kind="stencil",
+            chips=("M2",),
+            impl_keys=("stencil-naive",),
+            sizes=(256, 512),
+        ).expand()
+        assert [(s.impl_key, s.n) for s in specs] == [
+            ("stencil-naive", 256),
+            ("stencil-naive", 512),
+        ]
