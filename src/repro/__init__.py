@@ -54,13 +54,17 @@ from repro.core.results import (
 from repro.core.stream import run_stream
 from repro.errors import ReproError
 from repro.experiments import (
+    BACKEND_NAMES,
+    ExecutionBackend,
     GemmSpec,
     PoweredGemmSpec,
     ResultEnvelope,
+    RunManifest,
     Session,
     StreamSpec,
     SweepSpec,
     load_envelopes,
+    run_with_manifest,
     save_envelopes,
 )
 from repro.sim import Machine, NumericsConfig, NumericsPolicy
@@ -100,7 +104,11 @@ __all__ = [
     "get_workload",
     "workload_kinds",
     "Session",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
     "ResultEnvelope",
+    "RunManifest",
+    "run_with_manifest",
     "save_envelopes",
     "load_envelopes",
     "get_chip",

@@ -45,10 +45,13 @@ from repro.calibration import paper
 from repro.cuda import CublasHandle, CudaMathMode, GH200Machine, run_gh200_stream
 from repro.errors import ReproError
 from repro.experiments import (
+    BACKEND_NAMES,
     NUMERICS_PROFILES,
+    RunManifest,
     Session,
     SweepSpec,
     load_envelopes,
+    run_with_manifest,
     save_envelopes,
 )
 from repro.workloads import get_workload, workload_kinds
@@ -170,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="parallel experiment cells"
     )
     run.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="execution backend (default: serial for --workers 1, else threads; "
+        "processes sidesteps the GIL for real-NumPy numerics)",
+    )
+    run.add_argument(
         "--json", action="store_true", help="emit the envelopes as JSON on stdout"
     )
     run.add_argument(
@@ -184,12 +194,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress the per-cell progress line"
     )
-    run.add_argument(
+    source = run.add_mutually_exclusive_group()
+    source.add_argument(
         "--from",
         dest="from_dir",
         default=None,
         metavar="DIR",
-        help="re-render summaries from envelopes saved in DIR instead of running",
+        help="re-render summaries from envelopes saved in DIR instead of "
+        "running; combined with --out, re-saves them there (envelope files "
+        "only — no run manifest, so the copy is not --resume-able)",
+    )
+    source.add_argument(
+        "--resume",
+        dest="resume_dir",
+        default=None,
+        metavar="DIR",
+        help="complete an interrupted run: execute only the cells DIR's "
+        "manifest does not mark done (sweep flags are taken from the manifest)",
     )
 
     gh = sub.add_parser("gh200", help="GH200 reference points (sections 4-5)")
@@ -351,12 +372,37 @@ def _emit_envelopes(args, envelopes) -> None:
         print(get_workload(env.kind).summary_line(env.spec, env.result))
 
 
+def _run_progress(args):
+    """Per-cell progress printer that also counts executed cells.
+
+    Returns ``(progress, executed)``: the hook only fires for cells that
+    actually ran (manifest-skipped cells never reach it), so ``executed``
+    ends up holding the true number of envelope files written.
+    """
+    executed = [0]
+
+    def progress(done: int, total: int, envelope) -> None:
+        executed[0] += 1
+        if args.quiet or args.json:
+            return
+        cell = get_workload(envelope.kind).cell_label(envelope.spec)
+        print(f"[{done}/{total}] {cell}", file=sys.stderr)
+
+    return progress, executed
+
+
 def _run_sweep(args) -> None:
     """The ``repro run`` subcommand: declarative sweep -> envelopes.
 
     With ``--from DIR`` no cells execute; the saved envelopes re-render
-    through the same registry summary path.
+    through the same registry summary path.  With ``--resume DIR`` the
+    sweep, session and completion state all come from DIR's manifest, and
+    only cells not marked done execute.  With ``--out DIR`` envelopes land
+    in the sharded store as cells complete, indexed by a ``manifest.json``
+    that a later ``--resume`` picks up.
     """
+    out_dir = args.out
+    written = 0
     if args.from_dir is not None:
         envelopes = load_envelopes(args.from_dir)
         if not args.quiet:
@@ -365,6 +411,40 @@ def _run_sweep(args) -> None:
                 f"{args.from_dir}; sweep flags are ignored]",
                 file=sys.stderr,
             )
+        if args.out:  # re-save: migrates legacy flat stores to sharded
+            written = len(save_envelopes(args.out, envelopes))
+    elif args.resume_dir is not None:
+        if args.out:
+            raise ReproError(
+                "--resume already names the output store; --out cannot "
+                "redirect it (cells land back in the resumed directory)"
+            )
+        manifest = RunManifest.load(args.resume_dir)
+        session = manifest.make_session(cache_dir=args.cache)
+        counts = manifest.status_counts()
+        if not args.quiet:
+            pending = sum(
+                n for status, n in counts.items() if status != "done"
+            )
+            print(
+                f"[resuming {args.resume_dir}: {counts.get('done', 0)} cells "
+                f"done, {pending} to run; sweep flags are ignored]",
+                file=sys.stderr,
+            )
+        progress, executed = _run_progress(args)
+        envelopes, manifest = run_with_manifest(
+            session,
+            manifest.specs(),
+            args.resume_dir,
+            backend=args.backend,
+            max_workers=args.workers,
+            progress=progress,
+            manifest=manifest,
+            on_mismatch="error",  # resuming claims continuation, never a redo
+            load_done=bool(args.json),  # done cells re-read only for --json
+        )
+        written = executed[0]
+        out_dir = args.resume_dir
     else:
         sweep = SweepSpec(
             kind=args.kind,
@@ -379,21 +459,27 @@ def _run_sweep(args) -> None:
             numerics=args.numerics, seed=args.seed, cache_dir=args.cache
         )
         specs = sweep.expand()
-        workload = get_workload(args.kind)
-
-        def progress(done: int, total: int, envelope) -> None:
-            if args.quiet or args.json:
-                return
-            cell = workload.cell_label(envelope.spec)
-            print(f"[{done}/{total}] {cell}", file=sys.stderr)
-
-        envelopes = session.run_batch(
-            specs, max_workers=args.workers, progress=progress
-        )
-    if args.out:
-        paths = save_envelopes(args.out, envelopes)
-        print(f"wrote {len(paths)} envelopes to {args.out}")
-    if args.json or not args.out:
+        progress, executed = _run_progress(args)
+        if args.out:
+            envelopes, _ = run_with_manifest(
+                session,
+                specs,
+                args.out,
+                backend=args.backend,
+                max_workers=args.workers,
+                progress=progress,
+            )
+            written = executed[0]
+        else:
+            envelopes = session.run_batch(
+                specs,
+                max_workers=args.workers,
+                backend=args.backend,
+                progress=progress,
+            )
+    if out_dir:
+        print(f"wrote {written} envelopes to {out_dir}")
+    if args.json or not out_dir:
         _emit_envelopes(args, envelopes)
 
 

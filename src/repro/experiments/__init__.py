@@ -13,9 +13,23 @@ records that figures re-render from disk::
     print(env.result.best_gflops)
 
     sweep = SweepSpec(kind="gemm", chips=("M1", "M4"), sizes=(4096, 16384))
-    envelopes = session.run_batch(sweep, max_workers=4)
+    envelopes = session.run_batch(sweep, max_workers=4, backend="processes")
+
+Batches execute through pluggable :mod:`~repro.experiments.backends`
+(serial / threads / processes — bit-identical by construction), and
+:func:`~repro.experiments.manifest.run_with_manifest` makes long campaigns
+resumable: envelopes land in a sharded store indexed by a ``manifest.json``
+that ``repro run --resume DIR`` completes after an interrupt.
 """
 
+from repro.experiments.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.experiments.envelope import (
     ENVELOPE_SCHEMA_VERSION,
     ResultEnvelope,
@@ -38,13 +52,32 @@ from repro.experiments.specs import (
     SweepSpec,
     spec_from_dict,
 )
+from repro.experiments.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    CellRecord,
+    RunManifest,
+    run_with_manifest,
+)
 from repro.experiments.store import (
+    MANIFEST_FILENAME,
     envelope_filename,
+    envelope_path,
     load_envelopes,
     save_envelopes,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA_VERSION",
+    "CellRecord",
+    "RunManifest",
+    "run_with_manifest",
     "NUMERICS_PROFILES",
     "ENVELOPE_SCHEMA_VERSION",
     "ExperimentSpec",
@@ -63,6 +96,7 @@ __all__ = [
     "run_powered_gemm_spec",
     "run_stream_spec",
     "envelope_filename",
+    "envelope_path",
     "save_envelopes",
     "load_envelopes",
 ]

@@ -1,0 +1,262 @@
+"""Pluggable execution backends for batched spec execution.
+
+A :class:`Session` decides *what* to run (cache lookups, machine
+construction, envelope stamping); an :class:`ExecutionBackend` decides *how*
+the cells of a batch execute:
+
+* ``serial`` — an in-order loop in the calling thread (the reference
+  semantics every other backend must reproduce bit-identically);
+* ``threads`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; cheap to
+  spin up, but the real-NumPy numerics paths serialize on the GIL;
+* ``processes`` — a :class:`~concurrent.futures.ProcessPoolExecutor`; each
+  cell's spec crosses the boundary as plain data through the workload
+  registry codecs (``spec.to_dict`` / ``spec_from_dict``) and comes back as
+  an envelope dict, so worker dispatch needs nothing picklable beyond the
+  session's numeric configuration.
+
+Because every cell is a pure function of (spec, session fingerprint) — the
+simulator's jitter is content-addressed, machines are fresh per cell — all
+three backends produce byte-identical envelope JSON; the cross-backend
+determinism suite (``tests/experiments/test_backends.py``) enforces that
+invariant over every registered workload.
+
+Backend selection: ``Session.run_batch(backend=...)`` accepts a name or an
+instance; ``None`` defers to the ``REPRO_BACKEND`` environment variable
+(the CI matrix hook) and finally to the historical default — serial for one
+worker, threads otherwise.  Sessions with a custom ``machine_factory``
+cannot ship cells to worker processes (arbitrary callables don't cross the
+boundary); an *explicit* ``processes`` request on such a session raises,
+while the environment-variable soft default quietly falls back to threads.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.envelope import ResultEnvelope
+    from repro.experiments.session import Session
+    from repro.experiments.specs import ExperimentSpec
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BACKEND_ENV_VAR",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+]
+
+#: The registered backend names, in documentation order.
+BACKEND_NAMES: tuple[str, ...] = ("serial", "threads", "processes")
+
+#: Environment variable consulted when no backend is named explicitly —
+#: the CI matrix runs the whole fast tier under each value.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: ``finish(index, envelope)`` — the session's completion callback; must be
+#: called exactly once per spec, in any order.
+FinishCallback = Callable[[int, "ResultEnvelope"], None]
+
+
+class ExecutionBackend:
+    """How the cells of one batch execute.
+
+    Subclasses implement :meth:`run`, calling ``finish(index, envelope)``
+    exactly once per spec as cells complete — in any order, but always
+    from the thread that called :meth:`run` (its consumers — batch
+    bookkeeping, manifest checkpointing — are deliberately unsynchronized;
+    the built-in pool backends satisfy this by finishing from the
+    ``as_completed`` loop).  Backends must preserve the serial reference
+    semantics bit-for-bit; they may differ only in wall-clock time.
+    """
+
+    #: Registry/CLI name of this backend.
+    name = "base"
+
+    def run(
+        self,
+        session: "Session",
+        specs: Sequence["ExperimentSpec"],
+        finish: FinishCallback,
+        *,
+        use_cache: bool = True,
+    ) -> None:
+        """Execute every spec, reporting completions through ``finish``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """In-order execution in the calling thread (the reference semantics)."""
+
+    name = "serial"
+
+    def run(self, session, specs, finish, *, use_cache=True):
+        """Execute the specs one after another, in input order."""
+        for index, spec in enumerate(specs):
+            finish(index, session.run(spec, use_cache=use_cache))
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution: concurrent cells sharing the interpreter."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+
+    def run(self, session, specs, finish, *, use_cache=True):
+        """Execute the specs on a shared-interpreter thread pool."""
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_workers
+        ) as pool:
+            futures = {
+                pool.submit(session.run, spec, use_cache=use_cache): index
+                for index, spec in enumerate(specs)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                finish(futures[future], future.result())
+
+
+def _session_payload(session: "Session") -> dict[str, Any]:
+    """The constructor kwargs a worker needs to rebuild an equivalent session.
+
+    Only plain data and the frozen :class:`NumericsConfig` cross the
+    boundary; the worker session carries no cache directory (the parent owns
+    all persistence) and must fingerprint identically so envelope metadata —
+    and therefore envelope JSON — is byte-identical to in-process execution.
+    """
+    return {
+        "numerics": session.numerics,
+        "seed": session.seed,
+        "noise_sigma": session.noise_sigma,
+        "thermal_enabled": session.thermal_enabled,
+    }
+
+
+def _execute_cell_payload(
+    spec_data: Mapping[str, Any], session_config: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Worker-side entry point: plain-data spec in, plain-data envelope out.
+
+    Module-level so it is importable (picklable) by worker processes.  The
+    spec is rebuilt through the workload registry codecs, executed on a
+    fresh session with the parent's configuration, and the envelope returns
+    as its ``to_dict`` form — the same codec path the on-disk store uses,
+    which is what makes process execution provably byte-identical.
+    """
+    from repro.experiments.session import Session
+    from repro.experiments.specs import spec_from_dict
+
+    session = Session(**session_config)
+    spec = spec_from_dict(spec_data)
+    return session.run(spec, use_cache=False).to_dict()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution: true parallelism for GIL-bound numerics.
+
+    The parent session resolves cache hits before dispatch and stores
+    worker results afterwards, so caching semantics (hit/miss counters,
+    in-memory population, on-disk writes) match the in-process backends.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+
+    def run(self, session, specs, finish, *, use_cache=True):
+        """Dispatch cache misses to worker processes as plain-data specs."""
+        from repro.experiments.envelope import ResultEnvelope
+
+        if session.machine_factory is not None:
+            raise ConfigurationError(
+                "the processes backend cannot ship a custom machine_factory "
+                "to worker processes; use the serial or threads backend"
+            )
+        pending: list[tuple[int, "ExperimentSpec", str]] = []
+        for index, spec in enumerate(specs):
+            key = session.cache_key(spec)
+            cached = session.cache_lookup(key) if use_cache else None
+            if cached is not None:
+                finish(index, cached)
+            else:
+                if not use_cache:
+                    session.record_miss()  # cache_lookup counted it otherwise
+                pending.append((index, spec, key))
+        if not pending:
+            return
+        config = _session_payload(session)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _execute_cell_payload, spec.to_dict(), config
+                ): (index, key)
+                for index, spec, key in pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index, key = futures[future]
+                envelope = ResultEnvelope.from_dict(future.result())
+                if use_cache:
+                    session.cache_store(key, envelope)
+                finish(index, envelope)
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend | None",
+    max_workers: int,
+    *,
+    session: "Session | None" = None,
+) -> ExecutionBackend:
+    """The backend instance for one batch.
+
+    ``backend`` may be an instance (used as-is), a name from
+    :data:`BACKEND_NAMES`, or ``None`` — which consults ``REPRO_BACKEND``
+    and finally falls back to the historical default (serial for one
+    worker, threads otherwise).  The environment variable is a *soft*
+    default: it never overrides an explicit argument, and it degrades to
+    threads for sessions whose custom ``machine_factory`` cannot cross a
+    process boundary (an explicit ``"processes"`` request still raises).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    name = backend
+    from_env = False
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or None
+        from_env = name is not None
+    if name is None:
+        return SerialBackend() if max_workers <= 1 else ThreadBackend(max_workers)
+    if (
+        from_env
+        and name == "processes"
+        and session is not None
+        and session.machine_factory is not None
+    ):
+        return ThreadBackend(max_workers)
+    if name == "serial":
+        return SerialBackend()
+    if name == "threads":
+        return ThreadBackend(max_workers)
+    if name == "processes":
+        return ProcessBackend(max_workers)
+    origin = f" (from ${BACKEND_ENV_VAR})" if from_env else ""
+    raise ConfigurationError(
+        f"unknown execution backend {name!r}{origin}; "
+        f"known: {', '.join(BACKEND_NAMES)}"
+    )

@@ -128,3 +128,30 @@ class ResultEnvelope:
     def from_json(cls, text: str) -> "ResultEnvelope":
         """Rebuild an envelope from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: "Any") -> "ResultEnvelope":
+        """Read one envelope file, naming the path in every failure mode.
+
+        Truncated or hand-edited files surface as a
+        :class:`ConfigurationError` that points at the offending file
+        instead of a bare ``JSONDecodeError`` halfway through a directory
+        scan — the store and run manifests load through here.
+        """
+        import pathlib
+
+        path = pathlib.Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"envelope file {path} cannot be read: {exc}"
+            ) from exc
+        try:
+            return cls.from_json(text)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"envelope file {path}: {exc}") from exc
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"envelope file {path} is corrupt or not an envelope: {exc}"
+            ) from exc

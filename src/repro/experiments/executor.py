@@ -156,7 +156,9 @@ def execute_spec(machine: Machine, spec: ExperimentSpec):
 
     The lookup goes through the workload registry (exact spec-class match),
     so any workload registered at runtime executes through the same
-    session/batch machinery with no edits here.  Raises
+    session/batch machinery with no edits here — including the process
+    backend's workers, which rebuild specs from their registry-codec dict
+    form and land back in this dispatch.  Raises
     :class:`ConfigurationError` for spec types no workload registers.
     """
     from repro import workloads

@@ -10,13 +10,13 @@ Every spec executes on a **fresh machine** seeded from the spec.  The
 simulator's jitter is content-addressed (noise keys name the chip, kernel,
 size and repetition, not wall-clock order), so a cell's result is a pure
 function of (spec, session fingerprint).  That purity is what makes the
-cache sound and lets ``run_batch(max_workers=N)`` run cells concurrently
-with bit-identical results to sequential execution.
+cache sound and lets ``run_batch(backend=...)`` run cells concurrently —
+on threads or worker processes (:mod:`repro.experiments.backends`) — with
+bit-identical results to sequential execution.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import hashlib
 import json
 import pathlib
@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro._version import __version__
 from repro.errors import ConfigurationError
+from repro.experiments.backends import ExecutionBackend, resolve_backend
 from repro.experiments.envelope import ResultEnvelope
 from repro.experiments.executor import execute_spec
 from repro.experiments.specs import (
@@ -94,6 +95,12 @@ class Session:
         ``(chip, seed, numerics) -> Machine`` — enabling off-catalog chips.
     max_workers:
         Default concurrency of :meth:`run_batch` (1 = sequential).
+    backend:
+        Default execution backend of :meth:`run_batch` — ``"serial"``,
+        ``"threads"``, ``"processes"`` or an
+        :class:`~repro.experiments.backends.ExecutionBackend` instance.
+        ``None`` defers to the ``REPRO_BACKEND`` environment variable and
+        finally to serial/threads depending on ``max_workers``.
     """
 
     def __init__(
@@ -106,6 +113,7 @@ class Session:
         cache_dir: str | pathlib.Path | None = None,
         machine_factory: Callable[..., Machine] | None = None,
         max_workers: int = 1,
+        backend: str | ExecutionBackend | None = None,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
@@ -115,11 +123,18 @@ class Session:
         self.thermal_enabled = bool(thermal_enabled)
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
         self.max_workers = int(max_workers)
+        self.backend = backend
         self._machine_factory = machine_factory
         self._memory_cache: dict[str, ResultEnvelope] = {}
         self._cache_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+
+    @property
+    def machine_factory(self) -> Callable[..., Machine] | None:
+        """The custom machine factory, if any (backends consult this —
+        arbitrary callables cannot cross a process boundary)."""
+        return self._machine_factory
 
     # ------------------------------------------------------------------
     # Machines
@@ -190,20 +205,38 @@ class Session:
             return None
         return self.cache_dir / f"{key}.json"
 
-    def _cache_get(self, key: str) -> ResultEnvelope | None:
+    def cache_lookup(self, key: str) -> ResultEnvelope | None:
+        """The cached envelope under ``key``, counting the hit or miss.
+
+        Execution backends use this to resolve cache hits before
+        dispatching cells to workers, keeping counters consistent across
+        backends.
+        """
         with self._cache_lock:
             cached = self._memory_cache.get(key)
+            if cached is not None:
+                self._hits += 1
         if cached is not None:
             return cached
         path = self._disk_path(key)
         if path is not None and path.is_file():
-            envelope = ResultEnvelope.from_json(path.read_text())
+            envelope = ResultEnvelope.load(path)  # names the path if corrupt
             with self._cache_lock:
                 self._memory_cache[key] = envelope
+                self._hits += 1
             return envelope
+        with self._cache_lock:
+            self._misses += 1
         return None
 
-    def _cache_put(self, key: str, envelope: ResultEnvelope) -> None:
+    def record_miss(self) -> None:
+        """Count one cache-bypassing execution (backends use this so
+        ``cache_info()`` counters agree across execution backends)."""
+        with self._cache_lock:
+            self._misses += 1
+
+    def cache_store(self, key: str, envelope: ResultEnvelope) -> None:
+        """Record one executed envelope in the memory (and disk) cache."""
         with self._cache_lock:
             self._memory_cache[key] = envelope
         path = self._disk_path(key)
@@ -218,20 +251,18 @@ class Session:
         """Execute one spec (or return its cached envelope)."""
         key = self.cache_key(spec)
         if use_cache:
-            cached = self._cache_get(key)
+            cached = self.cache_lookup(key)
             if cached is not None:
-                with self._cache_lock:
-                    self._hits += 1
                 return cached
-        with self._cache_lock:
-            self._misses += 1
+        else:
+            self.record_miss()
         machine = self.machine_for(spec)
         result = execute_spec(machine, spec)
         envelope = ResultEnvelope.create(
             spec, result, meta={"session": self.fingerprint(), "cache_key": key}
         )
         if use_cache:
-            self._cache_put(key, envelope)
+            self.cache_store(key, envelope)
         return envelope
 
     def run_batch(
@@ -239,6 +270,7 @@ class Session:
         specs: Iterable[ExperimentSpec] | SweepSpec,
         *,
         max_workers: int | None = None,
+        backend: str | ExecutionBackend | None = None,
         progress: ProgressCallback | None = None,
         use_cache: bool = True,
     ) -> list[ResultEnvelope]:
@@ -247,7 +279,11 @@ class Session:
         Results come back in input order regardless of completion order,
         and — because each cell runs on a fresh machine with
         content-addressed jitter — are bit-identical for any
-        ``max_workers``.  ``progress`` is invoked after each cell completes
+        ``max_workers`` and any ``backend`` (``"serial"``, ``"threads"``,
+        ``"processes"`` or an
+        :class:`~repro.experiments.backends.ExecutionBackend` instance;
+        see :func:`~repro.experiments.backends.resolve_backend` for the
+        default chain).  ``progress`` is invoked after each cell completes
         as ``progress(completed, total, envelope)``.
         """
         spec_list: Sequence[ExperimentSpec] = (
@@ -257,6 +293,11 @@ class Session:
         workers = self.max_workers if max_workers is None else int(max_workers)
         if workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
+        exec_backend = resolve_backend(
+            backend if backend is not None else self.backend,
+            workers,
+            session=self,
+        )
 
         results: list[ResultEnvelope | None] = [None] * total
         completed = 0
@@ -272,19 +313,7 @@ class Session:
             else:
                 completed += 1
 
-        if workers == 1 or total <= 1:
-            for i, spec in enumerate(spec_list):
-                finish(i, self.run(spec, use_cache=use_cache))
-        else:
-            with concurrent.futures.ThreadPoolExecutor(
-                max_workers=workers
-            ) as pool:
-                futures = {
-                    pool.submit(self.run, spec, use_cache=use_cache): i
-                    for i, spec in enumerate(spec_list)
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    finish(futures[future], future.result())
+        exec_backend.run(self, spec_list, finish, use_cache=use_cache)
         return [env for env in results if env is not None]
 
     def runner(self, chip: str, *, seed: int | None = None):

@@ -1,8 +1,22 @@
 """On-disk envelope store: one JSON file per experiment cell.
 
-The layout is deliberately boring — ``<kind>-<spec_hash>.json`` files in a
-flat directory — so results can be inspected, diffed, rsynced and
-re-rendered (``repro figure2 --from results/``) without any database.
+The layout is deliberately boring — JSON files under a plain directory — so
+results can be inspected, diffed, rsynced and re-rendered
+(``repro figure2 --from results/``) without any database.  Two layouts are
+understood:
+
+* **sharded** (the default written since the resumable-run work):
+  ``<kind>/<hash-prefix>/<kind>-<spec_hash>.json`` — thousands-of-cell
+  campaign grids stay listable, and a cell's path is computable from its
+  spec alone (what the run manifest indexes);
+* **flat** (the historical layout): ``<kind>-<spec_hash>.json`` directly in
+  the root.
+
+:func:`load_envelopes` reads both — mixed directories included — so stores
+written by older versions keep rendering.  A ``manifest.json`` written by
+:mod:`repro.experiments.manifest` is skipped, and a truncated or corrupt
+file raises :class:`ConfigurationError` naming the offending path instead
+of crashing mid-scan.
 """
 
 from __future__ import annotations
@@ -13,7 +27,21 @@ from typing import Iterable
 from repro.errors import ConfigurationError
 from repro.experiments.envelope import ResultEnvelope
 
-__all__ = ["envelope_filename", "save_envelopes", "load_envelopes"]
+__all__ = [
+    "MANIFEST_FILENAME",
+    "SHARD_PREFIX_LEN",
+    "envelope_filename",
+    "envelope_path",
+    "save_envelopes",
+    "load_envelopes",
+]
+
+#: Reserved file name of the run manifest living alongside envelopes —
+#: never parsed as an envelope.
+MANIFEST_FILENAME = "manifest.json"
+
+#: Spec-hash prefix length of the sharded layout's second directory level.
+SHARD_PREFIX_LEN = 2
 
 
 def envelope_filename(envelope: ResultEnvelope) -> str:
@@ -21,8 +49,26 @@ def envelope_filename(envelope: ResultEnvelope) -> str:
     return f"{envelope.kind}-{envelope.spec_hash}.json"
 
 
+def envelope_path(
+    root: str | pathlib.Path, envelope: ResultEnvelope, *, sharded: bool = True
+) -> pathlib.Path:
+    """Canonical path of one envelope under ``root``.
+
+    Sharded: ``<kind>/<hash-prefix>/<kind>-<hash>.json``; flat puts the
+    file directly in ``root`` (the pre-manifest layout).
+    """
+    name = envelope_filename(envelope)
+    base = pathlib.Path(root)
+    if not sharded:
+        return base / name
+    return base / envelope.kind / envelope.spec_hash[:SHARD_PREFIX_LEN] / name
+
+
 def save_envelopes(
-    directory: str | pathlib.Path, envelopes: Iterable[ResultEnvelope]
+    directory: str | pathlib.Path,
+    envelopes: Iterable[ResultEnvelope],
+    *,
+    sharded: bool = True,
 ) -> list[pathlib.Path]:
     """Write each envelope to ``directory`` (created if missing).
 
@@ -33,18 +79,32 @@ def save_envelopes(
     root.mkdir(parents=True, exist_ok=True)
     written: list[pathlib.Path] = []
     for envelope in envelopes:
-        path = root / envelope_filename(envelope)
+        path = envelope_path(root, envelope, sharded=sharded)
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(envelope.to_json() + "\n")
         written.append(path)
     return written
 
 
 def load_envelopes(directory: str | pathlib.Path) -> list[ResultEnvelope]:
-    """Read every ``*.json`` envelope in ``directory``, sorted by file name."""
+    """Read every envelope under ``directory``, sorted by path.
+
+    Both store layouts (and mixtures of the two) load; the run manifest is
+    skipped.  A cell present in *both* layouts — e.g. a legacy flat store
+    migrated in place — loads once, preferring the sharded copy, because
+    the store holds at most one result per file name (kind + spec hash)
+    by contract.  An unreadable file raises :class:`ConfigurationError`
+    naming the offending path.
+    """
     root = pathlib.Path(directory)
     if not root.is_dir():
         raise ConfigurationError(f"envelope directory {root} does not exist")
-    out: list[ResultEnvelope] = []
-    for path in sorted(root.glob("*.json")):
-        out.append(ResultEnvelope.from_json(path.read_text()))
-    return out
+    by_name: dict[str, pathlib.Path] = {}
+    for path in sorted(root.rglob("*.json")):
+        if path.name == MANIFEST_FILENAME:
+            continue
+        current = by_name.get(path.name)
+        # deeper path wins: sharded copies shadow flat duplicates
+        if current is None or len(path.parts) > len(current.parts):
+            by_name[path.name] = path
+    return [ResultEnvelope.load(path) for path in sorted(by_name.values())]

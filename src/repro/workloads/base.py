@@ -15,6 +15,7 @@ call, with zero edits to the executor, session, envelope, store or CLI.
 from __future__ import annotations
 
 import dataclasses
+import random
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.errors import ConfigurationError
@@ -29,7 +30,23 @@ __all__ = [
     "repetitions_to_dicts",
     "repetitions_from_dicts",
     "timed_repetition",
+    "variant_grid",
 ]
+
+
+def variant_grid(
+    make: "Callable[[random.Random], ExperimentSpec]", seed: int, count: int
+) -> tuple:
+    """``count`` seeded-random valid specs from one workload's parameter space.
+
+    The shared body of the plugins' ``sample_variants`` hooks: a
+    :class:`random.Random` seeded with ``seed`` drives ``make``, so the grid
+    is randomized but reproducible — the property-based codec tests
+    (round-trip, hash stability, pickling for process dispatch) draw seeds
+    and cover every registered workload without knowing its fields.
+    """
+    rng = random.Random(seed)
+    return tuple(make(rng) for _ in range(count))
 
 
 def repetitions_to_dicts(repetitions) -> list[dict[str, int]]:
@@ -116,6 +133,13 @@ class Workload:
     sample_spec:
         Factory for a small, cheap, representative spec — the hook that
         lets registry-parametrized tests auto-cover every workload.
+    sample_variants:
+        Seeded variant generator ``(seed, count) -> tuple[spec, ...]`` over
+        this workload's *valid* parameter space (see :func:`variant_grid`).
+        Drives the property-based codec tests; specs it returns are
+        round-tripped, hashed and pickled but never executed, so sizes may
+        span the full sweep range.  Optional — workloads without it are
+        covered by ``sample_spec`` alone.
     cell_label:
         One-line cell description for progress output.
     summary_line:
@@ -138,6 +162,7 @@ class Workload:
     cell_label: Callable[["ExperimentSpec"], str]
     summary_line: Callable[["ExperimentSpec", Any], str]
     impl_keys: tuple[str, ...] = ()
+    sample_variants: Callable[[int, int], tuple] | None = None
 
     def __post_init__(self) -> None:
         if not self.kind:

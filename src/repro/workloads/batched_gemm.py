@@ -40,6 +40,7 @@ from repro.workloads.base import (
     repetitions_from_dicts,
     repetitions_to_dicts,
     timed_repetition,
+    variant_grid,
 )
 from repro.workloads.registry import register_workload
 
@@ -298,6 +299,22 @@ def _sweep_cells(sweep: SweepSpec) -> tuple[BatchedGemmSpec, ...]:
     )
 
 
+def _sample_variants(seed: int, count: int) -> tuple[BatchedGemmSpec, ...]:
+    return variant_grid(
+        lambda rng: BatchedGemmSpec(
+            chip=rng.choice(("M1", "M2", "M3", "M4")),
+            seed=rng.randrange(1 << 16),
+            numerics=rng.choice((None, "full", "sampled", "model-only")),
+            impl_key=rng.choice(BATCHED_GEMM_IMPL_KEYS),
+            n=rng.choice(DEFAULT_BATCHED_SIZES),
+            batch=rng.choice((1, 64, DEFAULT_BATCH, 1024)),
+            repeats=rng.randint(1, DEFAULT_BATCHED_REPEATS),
+        ),
+        seed,
+        count,
+    )
+
+
 #: The registered batched-GEMM workload (overhead-bound roofline point).
 BATCHED_GEMM_WORKLOAD: Workload = register_workload(
     Workload(
@@ -322,5 +339,6 @@ BATCHED_GEMM_WORKLOAD: Workload = register_workload(
             f"(overhead {result.overhead_fraction:.0%})"
         ),
         impl_keys=BATCHED_GEMM_IMPL_KEYS,
+        sample_variants=_sample_variants,
     )
 )

@@ -22,6 +22,7 @@ from repro.workloads.base import (
     expand_axes,
     repetitions_from_dicts,
     repetitions_to_dicts,
+    variant_grid,
 )
 from repro.workloads.registry import register_workload
 
@@ -90,6 +91,22 @@ def _sample_spec() -> GemmSpec:
     return GemmSpec(chip="M1", impl_key="gpu-mps", n=256, repeats=2)
 
 
+def _sample_variants(seed: int, count: int) -> tuple[GemmSpec, ...]:
+    return variant_grid(
+        lambda rng: GemmSpec(
+            chip=rng.choice(paper.CHIPS),
+            seed=rng.randrange(1 << 16),
+            numerics=rng.choice((None, "full", "sampled", "model-only")),
+            impl_key=rng.choice(paper_implementation_keys()),
+            n=rng.choice(paper.GEMM_SIZES),
+            repeats=rng.randint(1, paper.GEMM_REPEATS),
+            verify=rng.choice((None, True, False)),
+        ),
+        seed,
+        count,
+    )
+
+
 #: The registered GEMM workload (Figure-2 timing study).
 GEMM_WORKLOAD: Workload = register_workload(
     Workload(
@@ -109,5 +126,6 @@ GEMM_WORKLOAD: Workload = register_workload(
             f"{result.best_gflops:10.1f} GFLOPS"
         ),
         impl_keys=paper_implementation_keys(),
+        sample_variants=_sample_variants,
     )
 )

@@ -15,7 +15,7 @@ from repro.core.gemm.registry import paper_implementation_keys
 from repro.core.results import PoweredGemmResult, PowerMeasurement
 from repro.experiments.executor import run_powered_gemm_spec
 from repro.experiments.specs import PoweredGemmSpec, SweepSpec
-from repro.workloads.base import Workload, expand_axes
+from repro.workloads.base import Workload, expand_axes, variant_grid
 from repro.workloads.gemm import (
     cell_is_supported,
     gemm_result_from_dict,
@@ -88,6 +88,21 @@ def _sample_spec() -> PoweredGemmSpec:
     return PoweredGemmSpec(chip="M1", impl_key="gpu-mps", n=256, repeats=2)
 
 
+def _sample_variants(seed: int, count: int) -> tuple[PoweredGemmSpec, ...]:
+    return variant_grid(
+        lambda rng: PoweredGemmSpec(
+            chip=rng.choice(paper.CHIPS),
+            seed=rng.randrange(1 << 16),
+            numerics=rng.choice((None, "full", "sampled", "model-only")),
+            impl_key=rng.choice(paper_implementation_keys()),
+            n=rng.choice(paper.GEMM_SIZES),
+            repeats=rng.randint(1, paper.GEMM_REPEATS),
+        ),
+        seed,
+        count,
+    )
+
+
 register_result_codec(
     "power", PowerMeasurement, power_measurement_to_dict, power_measurement_from_dict
 )
@@ -112,5 +127,6 @@ POWERED_GEMM_WORKLOAD: Workload = register_workload(
             f"{result.efficiency_gflops_per_w:8.1f} GFLOPS/W"
         ),
         impl_keys=paper_implementation_keys(),
+        sample_variants=_sample_variants,
     )
 )

@@ -42,6 +42,7 @@ from repro.workloads.base import (
     repetitions_from_dicts,
     repetitions_to_dicts,
     timed_repetition,
+    variant_grid,
 )
 from repro.workloads.registry import register_workload
 
@@ -285,6 +286,22 @@ def _sweep_cells(sweep: SweepSpec) -> tuple[SpmvSpec, ...]:
     )
 
 
+def _sample_variants(seed: int, count: int) -> tuple[SpmvSpec, ...]:
+    return variant_grid(
+        lambda rng: SpmvSpec(
+            chip=rng.choice(("M1", "M2", "M3", "M4")),
+            seed=rng.randrange(1 << 16),
+            numerics=rng.choice((None, "full", "sampled", "model-only")),
+            target=rng.choice(("cpu", "gpu")),
+            n=rng.choice(DEFAULT_SPMV_SIZES),
+            nnz_per_row=rng.randint(1, 64),
+            repeats=rng.randint(1, DEFAULT_SPMV_REPEATS),
+        ),
+        seed,
+        count,
+    )
+
+
 #: The registered SpMV workload (memory-bound roofline point).
 SPMV_WORKLOAD: Workload = register_workload(
     Workload(
@@ -305,5 +322,6 @@ SPMV_WORKLOAD: Workload = register_workload(
             f"({result.fraction_of_peak:.0%} of peak)"
         ),
         impl_keys=("cpu", "gpu"),
+        sample_variants=_sample_variants,
     )
 )

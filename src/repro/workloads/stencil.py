@@ -37,6 +37,7 @@ from repro.workloads.base import (
     repetitions_from_dicts,
     repetitions_to_dicts,
     timed_repetition,
+    variant_grid,
 )
 from repro.workloads.registry import register_workload
 
@@ -290,6 +291,22 @@ def _sweep_cells(sweep: SweepSpec) -> tuple[StencilSpec, ...]:
     )
 
 
+def _sample_variants(seed: int, count: int) -> tuple[StencilSpec, ...]:
+    return variant_grid(
+        lambda rng: StencilSpec(
+            chip=rng.choice(("M1", "M2", "M3", "M4")),
+            seed=rng.randrange(1 << 16),
+            numerics=rng.choice((None, "full", "sampled", "model-only")),
+            impl_key=rng.choice(STENCIL_IMPL_KEYS),
+            n=rng.choice(DEFAULT_STENCIL_SIZES),
+            iterations=rng.randint(1, DEFAULT_STENCIL_ITERATIONS),
+            repeats=rng.randint(1, DEFAULT_STENCIL_REPEATS),
+        ),
+        seed,
+        count,
+    )
+
+
 #: The registered stencil workload (mid-intensity roofline point).
 STENCIL_WORKLOAD: Workload = register_workload(
     Workload(
@@ -312,5 +329,6 @@ STENCIL_WORKLOAD: Workload = register_workload(
             f"{result.best_gbs:7.1f} GB/s"
         ),
         impl_keys=STENCIL_IMPL_KEYS,
+        sample_variants=_sample_variants,
     )
 )

@@ -15,7 +15,7 @@ from repro.calibration import paper
 from repro.core.results import StreamKernelResult, StreamResult
 from repro.experiments.executor import run_stream_spec
 from repro.experiments.specs import StreamSpec, SweepSpec
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, variant_grid
 from repro.workloads.registry import register_workload
 
 __all__ = ["STREAM_WORKLOAD", "stream_result_to_dict", "stream_result_from_dict"]
@@ -91,6 +91,21 @@ def _sample_spec() -> StreamSpec:
     return StreamSpec(chip="M1", target="gpu", n_elements=1 << 16, repeats=2)
 
 
+def _sample_variants(seed: int, count: int) -> tuple[StreamSpec, ...]:
+    return variant_grid(
+        lambda rng: StreamSpec(
+            chip=rng.choice(paper.CHIPS),
+            seed=rng.randrange(1 << 16),
+            numerics=rng.choice((None, "full", "sampled", "model-only")),
+            target=rng.choice(("cpu", "gpu")),
+            n_elements=rng.choice((None, 1 << 14, 1 << 20, 1 << 26)),
+            repeats=rng.choice((None, 1, 5, 20)),
+        ),
+        seed,
+        count,
+    )
+
+
 #: The registered STREAM workload (Figure-1 bandwidth study).
 STREAM_WORKLOAD: Workload = register_workload(
     Workload(
@@ -111,5 +126,6 @@ STREAM_WORKLOAD: Workload = register_workload(
             f"({result.fraction_of_peak:.0%} of peak)"
         ),
         impl_keys=("cpu", "gpu"),
+        sample_variants=_sample_variants,
     )
 )

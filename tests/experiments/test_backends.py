@@ -1,0 +1,189 @@
+"""Cross-backend determinism: serial == threads == processes, byte for byte.
+
+DESIGN.md §2's purity property — every cell is a pure function of (spec,
+session fingerprint) — is what makes parallel execution sound.  This suite
+turns it into an enforced invariant: for every registered workload and
+every execution backend, the envelope JSON must be *byte-identical* to the
+serial reference.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    BACKEND_NAMES,
+    GemmSpec,
+    ProcessBackend,
+    SerialBackend,
+    Session,
+    StreamSpec,
+    SweepSpec,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.sim.machine import Machine
+from repro.workloads import get_workload, workload_kinds
+
+pytestmark = []
+
+PARALLEL_BACKENDS = tuple(n for n in BACKEND_NAMES if n != "serial")
+
+
+def model_session(**kwargs) -> Session:
+    return Session(numerics="model-only", **kwargs)
+
+
+def batch_json(specs, **kwargs) -> list[str]:
+    """Envelope JSON of one fresh-session batch run."""
+    return [
+        env.to_json()
+        for env in model_session().run_batch(specs, **kwargs)
+    ]
+
+
+class TestCrossBackendDeterminism:
+    @pytest.mark.parametrize("kind", workload_kinds())
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_every_workload_bit_identical_to_serial(self, kind, backend):
+        spec = get_workload(kind).sample_spec()
+        reference = batch_json([spec], backend="serial")
+        assert batch_json([spec], backend=backend, max_workers=2) == reference
+
+    def test_mixed_kind_batch_across_all_backends(self):
+        specs = [get_workload(kind).sample_spec() for kind in workload_kinds()]
+        reference = batch_json(specs, backend="serial")
+        for backend in PARALLEL_BACKENDS:
+            assert batch_json(specs, backend=backend, max_workers=4) == reference
+
+    def test_all_six_workload_sweeps_serial_vs_processes(self):
+        """The acceptance grid: one sweep per registered kind, both backends."""
+        sweeps = [
+            SweepSpec(kind="gemm", chips=("M1",), impl_keys=("gpu-mps",), sizes=(256,)),
+            SweepSpec(kind="powered-gemm", chips=("M1",), impl_keys=("gpu-mps",), sizes=(256,), repeats=2),
+            SweepSpec(kind="stream", chips=("M1",), impl_keys=("gpu",), n_elements=1 << 14, repeats=2),
+            SweepSpec(kind="spmv", chips=("M1",), impl_keys=("cpu",), sizes=(4096,), repeats=2),
+            SweepSpec(kind="stencil", chips=("M1",), impl_keys=("stencil-blocked",), sizes=(256,), repeats=2),
+            SweepSpec(kind="batched-gemm", chips=("M1",), impl_keys=("gpu-batched",), sizes=(32,), repeats=2),
+        ]
+        assert {s.kind for s in sweeps} == set(workload_kinds())
+        specs = [spec for sweep in sweeps for spec in sweep.expand()]
+        assert batch_json(specs, backend="processes", max_workers=4) == batch_json(
+            specs, backend="serial"
+        )
+
+    def test_results_in_input_order_for_processes(self):
+        specs = list(
+            SweepSpec(
+                kind="gemm",
+                chips=("M1", "M4"),
+                impl_keys=("gpu-mps",),
+                sizes=(256, 512),
+            ).expand()
+        )
+        envs = model_session().run_batch(specs, backend="processes", max_workers=4)
+        assert [e.spec for e in envs] == specs
+
+
+class TestProcessBackendCaching:
+    def test_populates_parent_cache(self):
+        session = model_session()
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        session.run_batch([spec], backend="processes")
+        assert session.cache_info()["in_memory"] == 1
+        again = session.run_batch([spec], backend="processes")
+        assert session.cache_info()["hits"] == 1
+        assert again[0] is session.run_batch([spec], backend="serial")[0]
+
+    def test_disk_cache_shared_with_serial(self, tmp_path):
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        first = model_session(cache_dir=tmp_path).run_batch(
+            [spec], backend="processes"
+        )[0]
+        revived = model_session(cache_dir=tmp_path)
+        second = revived.run_batch([spec], backend="serial")[0]
+        assert second.to_json() == first.to_json()
+        assert revived.cache_info()["misses"] == 0
+
+    def test_uncached_miss_counters_match_serial(self):
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        counts = {}
+        for backend in ("serial", "processes"):
+            session = model_session()
+            session.run_batch([spec], backend=backend, use_cache=False)
+            counts[backend] = session.cache_info()["misses"]
+        assert counts["processes"] == counts["serial"] == 1
+
+    def test_machine_factory_rejected(self):
+        def factory(chip, seed, numerics):
+            return Machine.for_chip("M1", seed=seed, numerics=numerics)
+
+        session = Session(numerics="model-only", machine_factory=factory)
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        with pytest.raises(ConfigurationError, match="machine_factory"):
+            session.run_batch([spec], backend="processes")
+
+
+class TestBackendResolution:
+    def test_defaults_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert isinstance(resolve_backend(None, 1), SerialBackend)
+        assert isinstance(resolve_backend(None, 4), ThreadBackend)
+
+    def test_names_resolve(self):
+        assert isinstance(resolve_backend("serial", 4), SerialBackend)
+        assert isinstance(resolve_backend("threads", 4), ThreadBackend)
+        assert isinstance(resolve_backend("processes", 4), ProcessBackend)
+
+    def test_instance_passes_through(self):
+        backend = ThreadBackend(2)
+        assert resolve_backend(backend, 8) is backend
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown execution backend"):
+            resolve_backend("fibers", 4)
+
+    def test_unknown_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "proceses")
+        with pytest.raises(ConfigurationError, match=r"\$REPRO_BACKEND"):
+            resolve_backend(None, 4)
+
+    def test_env_var_is_soft_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "processes")
+        assert isinstance(resolve_backend(None, 1), ProcessBackend)
+        # explicit argument wins over the environment
+        assert isinstance(resolve_backend("serial", 4), SerialBackend)
+
+    def test_env_processes_degrades_for_machine_factory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "processes")
+        session = Session(
+            numerics="model-only",
+            machine_factory=lambda chip, seed, numerics: Machine.for_chip(
+                "M1", seed=seed, numerics=numerics
+            ),
+        )
+        resolved = resolve_backend(None, 4, session=session)
+        assert isinstance(resolved, ThreadBackend)
+        # ...and the batch actually executes instead of raising
+        env = session.run_batch(
+            [GemmSpec(chip="M1", impl_key="gpu-mps", n=256)]
+        )[0]
+        assert env.result.best_gflops > 0
+
+    def test_env_var_drives_run_batch(self, monkeypatch):
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        reference = model_session().run_batch([spec])[0].to_json()
+        monkeypatch.setenv("REPRO_BACKEND", "processes")
+        assert model_session().run_batch([spec])[0].to_json() == reference
+
+    def test_session_level_backend_default(self):
+        session = model_session(backend="serial")
+        spec = StreamSpec(chip="M1", target="gpu", n_elements=1 << 14, repeats=2)
+        envs = session.run_batch([spec], max_workers=8)
+        assert len(envs) == 1
+
+    def test_bad_worker_count_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThreadBackend(0)
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(0)

@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.experiments import load_envelopes
+from repro.experiments import (
+    RunManifest,
+    Session,
+    SweepSpec,
+    load_envelopes,
+    run_with_manifest,
+)
 
 
 class TestRunCommand:
@@ -103,6 +109,180 @@ class TestRunCommand:
             == 0
         )
         assert "GFLOPS/W" in capsys.readouterr().out
+
+
+def _store_bytes(root) -> dict[str, str]:
+    """Relative path -> file text of every JSON file under a store."""
+    return {
+        path.relative_to(root).as_posix(): path.read_text()
+        for path in sorted(root.rglob("*.json"))
+    }
+
+
+class TestRunBackends:
+    """`repro run --backend` — same store bytes from every backend."""
+
+    SWEEP_ARGS = [
+        "run",
+        "--kind",
+        "stencil",
+        "--chips",
+        "M1",
+        "--sizes",
+        "256",
+        "512",
+        "--repeats",
+        "2",
+        "--numerics",
+        "model-only",
+        "--quiet",
+    ]
+
+    def test_processes_store_is_byte_identical_to_serial(self, tmp_path, capsys):
+        serial = tmp_path / "serial"
+        procs = tmp_path / "procs"
+        assert main(self.SWEEP_ARGS + ["--backend", "serial", "--out", str(serial)]) == 0
+        assert (
+            main(
+                self.SWEEP_ARGS
+                + ["--backend", "processes", "--workers", "2", "--out", str(procs)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert _store_bytes(procs) == _store_bytes(serial)
+
+    def test_threads_backend_summary_identical(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--backend", "serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(self.SWEEP_ARGS + ["--backend", "threads", "--workers", "4"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_out_writes_manifest_with_all_cells_done(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(self.SWEEP_ARGS + ["--out", str(out)]) == 0
+        capsys.readouterr()
+        manifest = RunManifest.load(out)
+        # 2 sizes x the 2 stencil implementations
+        assert manifest.status_counts() == {"done": 4}
+
+    def test_out_store_reusable_across_session_configs(self, tmp_path, capsys):
+        """Mixed-session stores keep working: a second `--out` run under a
+        different numerics profile appends instead of erroring."""
+        out = tmp_path / "store"
+        assert main(self.SWEEP_ARGS + ["--out", str(out)]) == 0
+        args = [a if a != "model-only" else "sampled" for a in self.SWEEP_ARGS]
+        assert main(args + ["--kind", "spmv", "--out", str(out)]) == 0
+        capsys.readouterr()
+        kinds = {e.kind for e in load_envelopes(out)}
+        assert kinds == {"stencil", "spmv"}
+
+
+class TestRunResume:
+    """Interrupt a manifested run mid-grid, then `repro run --resume`."""
+
+    SWEEP = SweepSpec(
+        kind="gemm", chips=("M1",), impl_keys=("gpu-mps",), sizes=(256, 512, 1024)
+    )
+    KILL_AFTER = 1
+
+    def _interrupted_store(self, root):
+        """A store killed after KILL_AFTER cells (progress-hook interrupt)."""
+
+        class Killed(RuntimeError):
+            pass
+
+        def kill(done, total, envelope):
+            if done >= self.KILL_AFTER:
+                raise Killed
+
+        with pytest.raises(Killed):
+            run_with_manifest(
+                Session(numerics="model-only"), self.SWEEP, root, progress=kill
+            )
+        return root
+
+    def test_resume_completes_the_manifest(self, tmp_path, capsys):
+        store = self._interrupted_store(tmp_path / "store")
+        before = RunManifest.load(store).status_counts()
+        assert before == {"done": self.KILL_AFTER, "pending": 2}
+        assert main(["run", "--resume", str(store), "--quiet"]) == 0
+        # 2 executed now; the store holds all 3 cells
+        assert "wrote 2 envelopes" in capsys.readouterr().out
+        assert RunManifest.load(store).status_counts() == {"done": 3}
+
+    def test_resume_skips_done_cells(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.session as session_module
+
+        store = self._interrupted_store(tmp_path / "store")
+        executed = []
+        real = session_module.execute_spec
+        monkeypatch.setattr(
+            session_module,
+            "execute_spec",
+            lambda machine, spec: (executed.append(spec), real(machine, spec))[1],
+        )
+        # serial: patched counters in worker processes would be invisible
+        assert (
+            main(["run", "--resume", str(store), "--backend", "serial", "--quiet"])
+            == 0
+        )
+        capsys.readouterr()
+        assert len(executed) == 2  # only the cells the interrupt lost
+
+    def test_resumed_render_matches_uninterrupted_run(self, tmp_path, capsys):
+        store = self._interrupted_store(tmp_path / "store")
+        assert main(["run", "--resume", str(store), "--quiet"]) == 0
+        clean = tmp_path / "clean"
+        run_with_manifest(Session(numerics="model-only"), self.SWEEP, clean)
+        capsys.readouterr()
+        resumed = _run_figure(capsys, ["run", "--from", str(store), "--quiet"])
+        reference = _run_figure(capsys, ["run", "--from", str(clean), "--quiet"])
+        assert resumed == reference
+        assert _store_bytes(store) == _store_bytes(clean)
+
+    def test_resume_without_manifest_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["run", "--resume", str(tmp_path), "--quiet"]) == 2
+        assert "no run manifest" in capsys.readouterr().err
+
+    def test_resume_rejects_out_redirection(self, tmp_path, capsys):
+        store = self._interrupted_store(tmp_path / "store")
+        code = main(
+            ["run", "--resume", str(store), "--out", str(tmp_path / "o"), "--quiet"]
+        )
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_from_and_resume_are_mutually_exclusive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--from", str(tmp_path), "--resume", str(tmp_path)])
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_from_with_out_rewrites_the_store(self, tmp_path, capsys):
+        """--from DIR --out DIR2 migrates a legacy flat store to sharded."""
+        from repro.experiments import Session, save_envelopes
+
+        legacy = tmp_path / "legacy"
+        session = Session(numerics="model-only")
+        envelopes = session.run_batch(self.SWEEP)
+        save_envelopes(legacy, envelopes, sharded=False)
+        migrated = tmp_path / "migrated"
+        assert (
+            main(["run", "--from", str(legacy), "--out", str(migrated), "--quiet"])
+            == 0
+        )
+        assert "wrote 3 envelopes" in capsys.readouterr().out
+        assert {e.to_json() for e in load_envelopes(migrated)} == {
+            e.to_json() for e in envelopes
+        }
+        assert any(p.is_dir() for p in migrated.iterdir())  # sharded layout
+
+    def test_resume_reports_progress_counts(self, tmp_path, capsys):
+        store = self._interrupted_store(tmp_path / "store")
+        assert main(["run", "--resume", str(store)]) == 0
+        err = capsys.readouterr().err
+        assert "1 cells done, 2 to run" in err
+        assert "[3/3]" in err
 
 
 def _run_figure(capsys, argv) -> str:

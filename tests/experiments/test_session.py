@@ -98,6 +98,16 @@ class TestCaching:
         env = full.run(spec)  # must execute, not reuse the model-only result
         assert env.result.verified is True
 
+    def test_corrupt_disk_cache_file_is_a_clean_error(self, tmp_path):
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        session = model_session(cache_dir=tmp_path)
+        session.run(spec)
+        victim = next(tmp_path.glob("*.json"))
+        victim.write_text(victim.read_text()[:25])  # truncate mid-object
+        with pytest.raises(ConfigurationError) as excinfo:
+            model_session(cache_dir=tmp_path).run(spec)
+        assert str(victim) in str(excinfo.value)
+
     def test_use_cache_false_bypasses(self):
         session = model_session()
         spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)

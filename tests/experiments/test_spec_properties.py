@@ -1,0 +1,93 @@
+"""Property-based round trips for spec and envelope codecs.
+
+Every registered workload contributes a ``sample_variants`` hook — a
+seeded-random grid over its *valid* parameter space — and hypothesis draws
+the seeds.  The properties are exactly what the execution stack relies on:
+
+* ``from_dict(to_dict(x)) == x`` (the registry codec is lossless);
+* the spec hash is a content hash — stable across calls and across a codec
+  round trip (cache keys, store file names and manifest cells depend on it);
+* specs pickle round-trip (the process backend's dispatch path);
+* envelope JSON is a fixed point (``from_json(to_json(e)).to_json()`` is
+  byte-identical — what makes resumable stores render like live runs).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import ResultEnvelope, Session, SweepSpec, spec_from_dict
+from repro.workloads import get_workload, workload_kinds
+
+VARIANTS_PER_SEED = 6
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+#: Hypothesis profile: the grids themselves are cheap (no execution), but
+#: keep the fast tier fast; function-scoped fixtures are just the kind id.
+lean = settings(
+    max_examples=15, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+
+
+def variants(kind: str, seed: int):
+    workload = get_workload(kind)
+    assert workload.sample_variants is not None, (
+        f"workload {kind!r} registers no sample_variants hook; "
+        f"property coverage requires one"
+    )
+    specs = workload.sample_variants(seed, VARIANTS_PER_SEED)
+    assert len(specs) == VARIANTS_PER_SEED
+    return specs
+
+
+@pytest.mark.parametrize("kind", workload_kinds())
+class TestSpecProperties:
+    @lean
+    @given(seed=seeds)
+    def test_dict_round_trip(self, kind, seed):
+        for spec in variants(kind, seed):
+            data = spec.to_dict()
+            assert data["kind"] == kind
+            rebuilt = spec_from_dict(data)
+            assert rebuilt == spec
+            assert type(rebuilt) is type(spec)
+
+    @lean
+    @given(seed=seeds)
+    def test_spec_hash_is_stable_content_hash(self, kind, seed):
+        for spec in variants(kind, seed):
+            assert spec.spec_hash() == spec.spec_hash()
+            assert spec_from_dict(spec.to_dict()).spec_hash() == spec.spec_hash()
+
+    @lean
+    @given(seed=seeds)
+    def test_pickle_round_trip_for_process_dispatch(self, kind, seed):
+        for spec in variants(kind, seed):
+            revived = pickle.loads(pickle.dumps(spec))
+            assert revived == spec
+            assert revived.spec_hash() == spec.spec_hash()
+
+    @lean
+    @given(seed=seeds)
+    def test_seeded_grids_are_reproducible(self, kind, seed):
+        assert variants(kind, seed) == variants(kind, seed)
+
+
+@pytest.mark.parametrize("kind", workload_kinds())
+def test_envelope_json_fixed_point(kind):
+    """Executed sample envelopes survive JSON byte-identically."""
+    envelope = Session(numerics="model-only").run(get_workload(kind).sample_spec())
+    text = envelope.to_json()
+    assert ResultEnvelope.from_json(text).to_json() == text
+
+
+@pytest.mark.parametrize("kind", workload_kinds())
+def test_sweep_round_trip_per_kind(kind):
+    sweep = SweepSpec(kind=kind, chips=("M1", "M3"), seed=11)
+    rebuilt = spec_from_dict(sweep.to_dict())
+    assert rebuilt == sweep
+    assert isinstance(rebuilt, SweepSpec)
+    assert pickle.loads(pickle.dumps(sweep)) == sweep

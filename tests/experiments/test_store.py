@@ -1,0 +1,104 @@
+"""Store robustness: layouts, corrupt files, and the manifest exclusion."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    GemmSpec,
+    ResultEnvelope,
+    Session,
+    envelope_filename,
+    envelope_path,
+    load_envelopes,
+    save_envelopes,
+)
+
+
+@pytest.fixture(scope="module")
+def envelopes():
+    session = Session(numerics="model-only")
+    return [
+        session.run(GemmSpec(chip="M1", impl_key="gpu-mps", n=n))
+        for n in (256, 512, 1024)
+    ]
+
+
+class TestLayouts:
+    def test_sharded_is_the_default_layout(self, tmp_path, envelopes):
+        paths = save_envelopes(tmp_path, envelopes)
+        for env, path in zip(envelopes, paths):
+            assert path == tmp_path / env.kind / env.spec_hash[:2] / envelope_filename(env)
+        loaded = load_envelopes(tmp_path)
+        assert {e.to_json() for e in loaded} == {e.to_json() for e in envelopes}
+
+    def test_flat_layout_still_writes_and_loads(self, tmp_path, envelopes):
+        paths = save_envelopes(tmp_path, envelopes, sharded=False)
+        assert all(path.parent == tmp_path for path in paths)
+        loaded = load_envelopes(tmp_path)
+        assert {e.spec_hash for e in loaded} == {e.spec_hash for e in envelopes}
+
+    def test_mixed_flat_and_sharded_directories_load(self, tmp_path, envelopes):
+        save_envelopes(tmp_path, envelopes[:1], sharded=False)  # legacy store
+        save_envelopes(tmp_path, envelopes[1:], sharded=True)
+        loaded = load_envelopes(tmp_path)
+        assert {e.spec_hash for e in loaded} == {e.spec_hash for e in envelopes}
+
+    def test_in_place_migration_does_not_duplicate_cells(self, tmp_path, envelopes):
+        """A cell in both layouts loads once (the sharded copy wins)."""
+        save_envelopes(tmp_path, envelopes, sharded=False)
+        save_envelopes(tmp_path, envelopes, sharded=True)
+        loaded = load_envelopes(tmp_path)
+        assert len(loaded) == len(envelopes)
+        assert {e.spec_hash for e in loaded} == {e.spec_hash for e in envelopes}
+
+    def test_empty_directory_loads_as_empty(self, tmp_path):
+        assert load_envelopes(tmp_path) == []
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            load_envelopes(tmp_path / "nope")
+
+    def test_envelope_path_is_computable_from_the_envelope(self, tmp_path, envelopes):
+        env = envelopes[0]
+        assert envelope_path(tmp_path, env).name == envelope_filename(env)
+        assert envelope_path(tmp_path, env, sharded=False).parent == tmp_path
+
+
+class TestRobustness:
+    def test_truncated_file_names_the_offending_path(self, tmp_path, envelopes):
+        save_envelopes(tmp_path, envelopes)
+        victim = next(iter(sorted(tmp_path.rglob("*.json"))))
+        victim.write_text(victim.read_text()[: 40])  # truncate mid-object
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_envelopes(tmp_path)
+        assert str(victim) in str(excinfo.value)
+
+    def test_non_envelope_json_names_the_offending_path(self, tmp_path, envelopes):
+        save_envelopes(tmp_path, envelopes[:1])
+        rogue = tmp_path / "notes.json"
+        rogue.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_envelopes(tmp_path)
+        assert str(rogue) in str(excinfo.value)
+
+    def test_unsupported_schema_names_the_offending_path(self, tmp_path, envelopes):
+        data = envelopes[0].to_dict()
+        data["schema"] = 99
+        path = tmp_path / "future.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_envelopes(tmp_path)
+        assert str(path) in str(excinfo.value)
+
+    def test_manifest_json_is_not_parsed_as_an_envelope(self, tmp_path, envelopes):
+        save_envelopes(tmp_path, envelopes)
+        (tmp_path / "manifest.json").write_text('{"schema": 1, "cells": []}')
+        assert len(load_envelopes(tmp_path)) == len(envelopes)
+
+    def test_envelope_load_names_path_for_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ResultEnvelope.load(tmp_path / "ghost.json")
+        assert "ghost.json" in str(excinfo.value)
