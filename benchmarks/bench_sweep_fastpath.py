@@ -1,0 +1,97 @@
+"""The sweep fast path: cells/second per execution backend.
+
+The paper's figures are sweeps — STREAM thread counts x repetitions, GEMM
+sizes x repetitions x implementations — so batch throughput, not single-cell
+latency, is the number that decides whether million-cell campaigns are
+feasible.  This bench drives the same 1k-cell grid
+(:func:`fastpath_grid`, shared with ``scripts/bench_to_json.py``) through
+every execution backend, asserts the vectorized engine's byte-identity
+guarantee on a subsample, and requires the fast path to beat the serial
+reference by a wide margin.
+"""
+
+import pytest
+
+from benchmarks.conftest import model_session
+from repro.experiments import BACKEND_NAMES, SweepSpec
+
+#: The three fast-path workloads span the roofline: memory-bound,
+#: mid-intensity, overhead-bound.
+FASTPATH_KINDS = ("spmv", "stencil", "batched-gemm")
+
+
+def fastpath_grid(cells: int = 1000) -> list:
+    """A deterministic mixed-kind grid of exactly ``cells`` specs.
+
+    Seeds rotate so every cell is a distinct spec (no cache hits), and the
+    three workload kinds interleave with their default chip/variant/size
+    sweeps — the shape a real campaign has.
+    """
+    specs = []
+    seed = 0
+    while len(specs) < cells:
+        for kind in FASTPATH_KINDS:
+            specs.extend(SweepSpec(kind=kind, seed=seed).expand())
+        seed += 1
+    return specs[:cells]
+
+
+def measure_backend(backend: str, specs, *, workers: int = 4) -> dict:
+    """One uncached batch run under ``backend``: wall time and throughput.
+
+    The single measurement harness — ``scripts/bench_to_json.py`` (the
+    BENCH_PR4.json record and the CI smoke gate) imports this same
+    function, so the committed perf record and the bench suite always
+    measure the identical configuration.
+    """
+    import time
+
+    session = model_session()
+    start = time.perf_counter()
+    envelopes = session.run_batch(specs, backend=backend, max_workers=workers)
+    elapsed = time.perf_counter() - start
+    if len(envelopes) != len(specs):
+        raise RuntimeError(f"{backend}: {len(envelopes)}/{len(specs)} cells")
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "cells_per_s": round(len(specs) / elapsed, 1),
+    }
+
+
+def backend_cells_per_second(backend: str, specs, *, workers: int = 4) -> float:
+    """Throughput of one uncached batch run under ``backend``."""
+    return measure_backend(backend, specs, workers=workers)["cells_per_s"]
+
+
+def grid_identity_holds(specs) -> bool:
+    """Whether the fast path is byte-identical to serial on ``specs``."""
+    serial = model_session().run_batch(specs, backend="serial")
+    vectorized = model_session().run_batch(specs, backend="vectorized")
+    return [e.to_json() for e in serial] == [e.to_json() for e in vectorized]
+
+
+def test_vectorized_identity_on_grid_subsample():
+    """Spot-check the benchmark grid itself: vectorized ≡ serial."""
+    assert grid_identity_holds(fastpath_grid(60))
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_backend_throughput(benchmark, backend):
+    specs = fastpath_grid(250)  # trimmed grid keeps the bench suite quick
+    rate = benchmark.pedantic(
+        lambda: backend_cells_per_second(backend, specs), rounds=1, iterations=1
+    )
+    print(f"\n{backend}: {rate:,.0f} cells/s on {len(specs)} cells")
+
+
+def test_vectorized_is_much_faster_than_serial():
+    """The acceptance ratio, on a smaller grid so the suite stays fast."""
+    specs = fastpath_grid(250)
+    serial = backend_cells_per_second("serial", specs)
+    vectorized = backend_cells_per_second("vectorized", specs)
+    ratio = vectorized / serial
+    print(
+        f"\nserial {serial:,.0f} cells/s -> vectorized {vectorized:,.0f} "
+        f"cells/s ({ratio:.1f}x)"
+    )
+    assert ratio >= 5.0  # the 1k-cell acceptance run (BENCH_PR4.json) sees >=10x

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Run the sweep fast-path benchmark and write a machine-readable record.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_to_json.py                 # BENCH_PR4.json
+    PYTHONPATH=src python scripts/bench_to_json.py --cells 120 \
+        --out bench-smoke.json                                     # CI smoke
+
+Measures cells/second for every execution backend on the shared
+:func:`benchmarks.bench_sweep_fastpath.fastpath_grid` grid (1k cells by
+default), verifies the vectorized engine's byte-identity guarantee on a
+subsample before timing anything, and records the results as JSON — the
+perf trajectory artifact CI uploads per run and the repository pins as
+``BENCH_PR4.json``.
+
+Exits non-zero if the vectorized backend fails to beat the serial
+reference by ``--min-speedup`` (default 1.0 so small CI machines only
+guard against regressions; the acceptance record is produced with
+``--min-speedup 10``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from benchmarks.bench_sweep_fastpath import (  # noqa: E402
+    FASTPATH_KINDS,
+    fastpath_grid,
+    grid_identity_holds,
+    measure_backend,
+)
+from repro import __version__  # noqa: E402
+from repro.experiments import BACKEND_NAMES  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cells", type=int, default=1000, help="grid size")
+    parser.add_argument("--workers", type=int, default=4, help="pool width")
+    parser.add_argument(
+        "--out", default="BENCH_PR4.json", metavar="PATH", help="output file"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail if vectorized/serial falls below this ratio",
+    )
+    args = parser.parse_args(argv)
+
+    specs = fastpath_grid(args.cells)
+    # the fast path must be byte-identical before its speed counts
+    if not grid_identity_holds(specs[: min(60, len(specs))]):
+        raise SystemExit("vectorized envelopes differ from serial — refusing to time")
+
+    results = {}
+    for backend in BACKEND_NAMES:
+        results[backend] = measure_backend(backend, specs, workers=args.workers)
+        print(
+            f"{backend:10s} {results[backend]['cells_per_s']:>10,.1f} cells/s "
+            f"({results[backend]['elapsed_s']:.2f}s)",
+            file=sys.stderr,
+        )
+
+    speedup = results["vectorized"]["cells_per_s"] / results["serial"]["cells_per_s"]
+    record = {
+        "benchmark": "sweep-fastpath",
+        "grid": {
+            "cells": len(specs),
+            "kinds": list(FASTPATH_KINDS),
+            "numerics": "model-only",
+            "workers": args.workers,
+        },
+        "backends": results,
+        "vectorized_speedup_vs_serial": round(speedup, 2),
+        "identity_verified": True,
+        "environment": {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    pathlib.Path(args.out).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.out} (vectorized {speedup:.1f}x serial)", file=sys.stderr)
+    if speedup < args.min_speedup:
+        print(
+            f"error: vectorized speedup {speedup:.2f}x is below the "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

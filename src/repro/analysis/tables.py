@@ -24,12 +24,13 @@ def render_workloads_table() -> str:
             workload.kind,
             workload.display_name,
             ", ".join(workload.impl_keys) or "—",
+            "yes" if workload.vectorized_body is not None else "scalar",
             workload.description,
         ]
         for workload in all_workloads()
     ]
     return render_table(
-        ["Kind", "Workload", "Implementation keys", "Description"],
+        ["Kind", "Workload", "Implementation keys", "Fast path", "Description"],
         rows,
         title="Registered workloads (repro.workloads)",
     )

@@ -177,7 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=list(BACKEND_NAMES),
         help="execution backend (default: serial for --workers 1, else threads; "
-        "processes sidesteps the GIL for real-NumPy numerics)",
+        "processes sidesteps the GIL for real-NumPy numerics, vectorized "
+        "batch-evaluates whole grids through the roofline model)",
     )
     run.add_argument(
         "--json", action="store_true", help="emit the envelopes as JSON on stdout"

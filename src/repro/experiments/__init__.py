@@ -16,7 +16,9 @@ records that figures re-render from disk::
     envelopes = session.run_batch(sweep, max_workers=4, backend="processes")
 
 Batches execute through pluggable :mod:`~repro.experiments.backends`
-(serial / threads / processes — bit-identical by construction), and
+(serial / threads / processes / vectorized — bit-identical by
+construction; ``vectorized`` batch-evaluates whole grids through
+:mod:`repro.sim.vectorized` instead of per-operation Python loops), and
 :func:`~repro.experiments.manifest.run_with_manifest` makes long campaigns
 resumable: envelopes land in a sharded store indexed by a ``manifest.json``
 that ``repro run --resume DIR`` completes after an interrupt.
@@ -28,6 +30,7 @@ from repro.experiments.backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    VectorizedBackend,
     resolve_backend,
 )
 from repro.experiments.envelope import (
@@ -72,6 +75,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "VectorizedBackend",
     "resolve_backend",
     "MANIFEST_FILENAME",
     "MANIFEST_SCHEMA_VERSION",

@@ -12,7 +12,12 @@ the cells of a batch execute:
   cell's spec crosses the boundary as plain data through the workload
   registry codecs (``spec.to_dict`` / ``spec_from_dict``) and comes back as
   an envelope dict, so worker dispatch needs nothing picklable beyond the
-  session's numeric configuration.
+  session's numeric configuration;
+* ``vectorized`` — the batch fast path: cells of workloads that declare a
+  ``vectorized_body`` are lowered onto shared chip templates and evaluated
+  in bulk NumPy array operations (:mod:`repro.sim.vectorized`) instead of
+  per-operation Python loops, with automatic per-cell fallback to the
+  scalar executor for workloads that do not.
 
 Because every cell is a pure function of (spec, session fingerprint) — the
 simulator's jitter is content-addressed, machines are fresh per cell — all
@@ -25,7 +30,8 @@ instance; ``None`` defers to the ``REPRO_BACKEND`` environment variable
 (the CI matrix hook) and finally to the historical default — serial for one
 worker, threads otherwise.  Sessions with a custom ``machine_factory``
 cannot ship cells to worker processes (arbitrary callables don't cross the
-boundary); an *explicit* ``processes`` request on such a session raises,
+boundary) or onto the vectorized engine's shared chip templates; an
+*explicit* ``processes`` or ``vectorized`` request on such a session raises,
 while the environment-variable soft default quietly falls back to threads.
 """
 
@@ -49,11 +55,12 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "VectorizedBackend",
     "resolve_backend",
 ]
 
 #: The registered backend names, in documentation order.
-BACKEND_NAMES: tuple[str, ...] = ("serial", "threads", "processes")
+BACKEND_NAMES: tuple[str, ...] = ("serial", "threads", "processes", "vectorized")
 
 #: Environment variable consulted when no backend is named explicitly —
 #: the CI matrix runs the whole fast tier under each value.
@@ -128,6 +135,31 @@ class ThreadBackend(ExecutionBackend):
                 finish(futures[future], future.result())
 
 
+def _resolve_cache_hits(
+    session: "Session",
+    specs: "Sequence[ExperimentSpec]",
+    finish: FinishCallback,
+    use_cache: bool,
+) -> list[tuple[int, "ExperimentSpec", str]]:
+    """Finish every cache hit now; return the (index, spec, key) misses.
+
+    Shared by the backends that resolve caching *before* dispatch (processes,
+    vectorized) so hit/miss counters and in-memory population stay identical
+    to the in-process backends, whatever executes the misses.
+    """
+    pending: list[tuple[int, "ExperimentSpec", str]] = []
+    for index, spec in enumerate(specs):
+        key = session.cache_key(spec)
+        cached = session.cache_lookup(key) if use_cache else None
+        if cached is not None:
+            finish(index, cached)
+        else:
+            if not use_cache:
+                session.record_miss()  # cache_lookup counted it otherwise
+            pending.append((index, spec, key))
+    return pending
+
+
 def _session_payload(session: "Session") -> dict[str, Any]:
     """The constructor kwargs a worker needs to rebuild an equivalent session.
 
@@ -187,16 +219,7 @@ class ProcessBackend(ExecutionBackend):
                 "the processes backend cannot ship a custom machine_factory "
                 "to worker processes; use the serial or threads backend"
             )
-        pending: list[tuple[int, "ExperimentSpec", str]] = []
-        for index, spec in enumerate(specs):
-            key = session.cache_key(spec)
-            cached = session.cache_lookup(key) if use_cache else None
-            if cached is not None:
-                finish(index, cached)
-            else:
-                if not use_cache:
-                    session.record_miss()  # cache_lookup counted it otherwise
-                pending.append((index, spec, key))
+        pending = _resolve_cache_hits(session, specs, finish, use_cache)
         if not pending:
             return
         config = _session_payload(session)
@@ -217,6 +240,80 @@ class ProcessBackend(ExecutionBackend):
                 finish(index, envelope)
 
 
+class VectorizedBackend(ExecutionBackend):
+    """Bulk NumPy evaluation of the whole batch (the sweep fast path).
+
+    Cache misses of workloads that declare a ``vectorized_body`` are lowered
+    onto shared chip templates and evaluated together in a handful of array
+    operations through :func:`repro.sim.vectorized.evaluate_cells`; cells of
+    workloads without a vectorized body fall back to the scalar executor,
+    per cell, inside the same batch.  Either way the arithmetic is the
+    scalar engine's, operation for operation, so envelopes are byte-identical
+    to the ``serial`` reference — the cross-backend determinism suite
+    enforces this for every registered workload.
+    """
+
+    name = "vectorized"
+
+    def run(self, session, specs, finish, *, use_cache=True):
+        """Lower every cache miss, evaluate the grid in bulk, finish in order."""
+        from repro import workloads
+        from repro.experiments.envelope import ResultEnvelope
+        from repro.sim.vectorized import evaluate_cells, vector_context
+
+        if session.machine_factory is not None:
+            raise ConfigurationError(
+                "the vectorized backend lowers cells onto shared chip "
+                "templates and cannot honour a custom machine_factory; use "
+                "the serial or threads backend"
+            )
+        pending = _resolve_cache_hits(session, specs, finish, use_cache)
+        if not pending:
+            return
+
+        def deliver(index: int, spec, key: str, result: Any) -> None:
+            # fingerprint() per envelope, as session.run stamps it — the
+            # nested meta dicts must never be shared across envelopes
+            envelope = ResultEnvelope.create(
+                spec,
+                result,
+                meta={"session": session.fingerprint(), "cache_key": key},
+            )
+            if use_cache:
+                session.cache_store(key, envelope)
+            finish(index, envelope)
+
+        lowered_entries: list[tuple[int, "ExperimentSpec", str]] = []
+        lowered_cells: list[Any] = []
+        fallback: list[tuple[int, "ExperimentSpec", str, Any]] = []
+        for index, spec, key in pending:
+            workload = workloads.workload_for_spec(spec)
+            if workload.vectorized_body is None:
+                fallback.append((index, spec, key, workload))
+            else:
+                context = vector_context(
+                    spec.chip,
+                    session.thermal_enabled,
+                    session.numerics_for(spec),
+                )
+                lowered_entries.append((index, spec, key))
+                lowered_cells.append(workload.vectorized_body(context, spec))
+
+        if lowered_cells:
+            evaluated = evaluate_cells(
+                lowered_cells, default_sigma=session.noise_sigma
+            )
+            for (index, spec, key), result in zip(lowered_entries, evaluated):
+                deliver(index, spec, key, result)
+        # Scalar-fallback cells run last, delivered one by one — they are
+        # the slow ones (real kernels), so per-cell completion keeps
+        # manifest checkpoints and progress reporting incremental.
+        for index, spec, key, workload in fallback:
+            deliver(
+                index, spec, key, workload.execute(session.machine_for(spec), spec)
+            )
+
+
 def resolve_backend(
     backend: "str | ExecutionBackend | None",
     max_workers: int,
@@ -231,7 +328,8 @@ def resolve_backend(
     worker, threads otherwise).  The environment variable is a *soft*
     default: it never overrides an explicit argument, and it degrades to
     threads for sessions whose custom ``machine_factory`` cannot cross a
-    process boundary (an explicit ``"processes"`` request still raises).
+    process boundary or be lowered onto shared chip templates (an explicit
+    ``"processes"`` or ``"vectorized"`` request still raises).
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -244,7 +342,7 @@ def resolve_backend(
         return SerialBackend() if max_workers <= 1 else ThreadBackend(max_workers)
     if (
         from_env
-        and name == "processes"
+        and name in ("processes", "vectorized")
         and session is not None
         and session.machine_factory is not None
     ):
@@ -255,6 +353,8 @@ def resolve_backend(
         return ThreadBackend(max_workers)
     if name == "processes":
         return ProcessBackend(max_workers)
+    if name == "vectorized":
+        return VectorizedBackend()
     origin = f" (from ${BACKEND_ENV_VAR})" if from_env else ""
     raise ConfigurationError(
         f"unknown execution backend {name!r}{origin}; "

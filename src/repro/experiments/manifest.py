@@ -228,11 +228,15 @@ class RunManifest:
     def checkpoint(self, envelope: ResultEnvelope, path: pathlib.Path) -> None:
         """Record one completed cell durably, in O(1).
 
-        Marks the cell done in memory and appends a single JSON line to the
-        journal instead of rewriting the whole manifest — a thousands-of-cell
-        campaign would otherwise spend O(grid) serialization per cell.
-        :meth:`load` folds the journal back in, so an interrupt loses at
-        most the in-flight cells.
+        Marks the cell done in memory and appends a single JSON line —
+        spec hash and store path only, never the spec itself — to the
+        journal instead of rewriting the whole manifest: a
+        thousands-of-cell campaign would otherwise spend O(grid)
+        serialization per cell.  For on-grid cells (the overwhelmingly
+        common case) the append touches no spec codec at all; a cell
+        executed outside the recorded grid is indexed first, reusing the
+        spec's memoized serialized form.  :meth:`load` folds the journal
+        back in, so an interrupt loses at most the in-flight cells.
         """
         self.mark_done(envelope, path)
         record = self.cells[envelope.spec_hash]

@@ -129,6 +129,40 @@ class Session:
         self._cache_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        # Memoized (state, fingerprint dict, canonical JSON) — see
+        # _fingerprint_parts.  Invalidated by keying on the live attribute
+        # values, so mutating e.g. ``session.noise_sigma`` still changes
+        # cache keys exactly as it did when fingerprints were rebuilt per
+        # call.
+        self._fingerprint_cache: tuple | None = None
+
+    def _fingerprint_parts(self) -> tuple[dict[str, Any], str]:
+        """The fingerprint dict and its canonical JSON, memoized.
+
+        The fingerprint is a pure function of the session attributes;
+        caching it (keyed on their current values) keeps the per-cell
+        cache_key to a single hash over prebuilt strings instead of a
+        fresh nested serialization per layer.
+        """
+        state = (
+            self.numerics,
+            self.noise_sigma,
+            self.thermal_enabled,
+            self._machine_factory is not None,
+        )
+        cached = self._fingerprint_cache
+        if cached is None or cached[0] != state:
+            fingerprint = {
+                "numerics": _config_fingerprint(self.numerics),
+                "noise_sigma": self.noise_sigma,
+                "thermal_enabled": self.thermal_enabled,
+                "custom_factory": self._machine_factory is not None,
+                "repro_version": __version__,
+            }
+            text = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+            cached = (state, fingerprint, text)
+            self._fingerprint_cache = cached
+        return cached[1], cached[2]
 
     @property
     def machine_factory(self) -> Callable[..., Machine] | None:
@@ -139,18 +173,24 @@ class Session:
     # ------------------------------------------------------------------
     # Machines
     # ------------------------------------------------------------------
+    def numerics_for(self, spec: ExperimentSpec) -> NumericsConfig:
+        """The numerics configuration one spec executes under (spec override
+        first, session default otherwise) — shared by machine construction
+        and the vectorized backend's lowering contexts."""
+        if spec.numerics is not None:
+            return _numerics_config(spec.numerics)
+        return self.numerics
+
     def machine_for(self, spec: ExperimentSpec) -> Machine:
         """A fresh machine for one spec execution.
 
         Machines are deliberately *not* reused across runs: the virtual
         clock, trace and operation counter are per-machine state, and a
-        fresh machine pins the result to the spec alone.
+        fresh machine pins the result to the spec alone.  The immutable
+        chip/device/thermal pieces come from the shared
+        :func:`~repro.sim.machine.machine_template` cache.
         """
-        numerics = (
-            _numerics_config(spec.numerics)
-            if spec.numerics is not None
-            else self.numerics
-        )
+        numerics = self.numerics_for(spec)
         if self._machine_factory is not None:
             return self._machine_factory(spec.chip, spec.seed, numerics)
         return Machine.for_chip(
@@ -165,21 +205,30 @@ class Session:
     # Cache plumbing
     # ------------------------------------------------------------------
     def fingerprint(self) -> dict[str, Any]:
-        """Session configuration that co-determines results (cache salt)."""
-        return {
-            "numerics": _config_fingerprint(self.numerics),
-            "noise_sigma": self.noise_sigma,
-            "thermal_enabled": self.thermal_enabled,
-            "custom_factory": self._machine_factory is not None,
-            "repro_version": __version__,
-        }
+        """Session configuration that co-determines results (cache salt).
+
+        Returned dicts are fresh down to the nested ``numerics`` entry, so
+        mutating one (e.g. through an envelope's ``meta``) can never reach
+        the memoized cache or other envelopes.
+        """
+        fingerprint = dict(self._fingerprint_parts()[0])
+        fingerprint["numerics"] = dict(fingerprint["numerics"])
+        return fingerprint
 
     def cache_key(self, spec: ExperimentSpec) -> str:
-        """Cache identity of one spec under this session's configuration."""
-        payload = {"spec": spec.to_dict(), "session": self.fingerprint()}
-        return hashlib.sha256(
-            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
-        ).hexdigest()[:24]
+        """Cache identity of one spec under this session's configuration.
+
+        Byte-equal to hashing
+        ``json.dumps({"spec": ..., "session": ...}, sort_keys=True)`` — the
+        historical payload — but assembled from the memoized canonical
+        fragments ("session" sorts before "spec"), so a batch pays one hash
+        per cell instead of a nested re-serialization.
+        """
+        payload = (
+            '{"session":' + self._fingerprint_parts()[1]
+            + ',"spec":' + spec.canonical_json() + "}"
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss/size counters of the in-session cache."""
@@ -280,7 +329,9 @@ class Session:
         and — because each cell runs on a fresh machine with
         content-addressed jitter — are bit-identical for any
         ``max_workers`` and any ``backend`` (``"serial"``, ``"threads"``,
-        ``"processes"`` or an
+        ``"processes"``, ``"vectorized"`` — the sweep fast path, which
+        batch-evaluates whole grids through
+        :mod:`repro.sim.vectorized` — or an
         :class:`~repro.experiments.backends.ExecutionBackend` instance;
         see :func:`~repro.experiments.backends.resolve_backend` for the
         default chain).  ``progress`` is invoked after each cell completes

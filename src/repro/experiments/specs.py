@@ -77,10 +77,30 @@ class ExperimentSpec:
         _check_numerics(self.numerics)
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-data form (JSON-ready), tagged with the spec ``kind``."""
-        data = dataclasses.asdict(self)
-        data["kind"] = self.kind
-        return data
+        """Plain-data form (JSON-ready), tagged with the spec ``kind``.
+
+        The serialized dict is computed once per frozen spec and shared by
+        every layer that re-reads it (session cache keys, manifest cells,
+        envelope payloads, the process backend's wire format); callers get
+        a fresh shallow copy, so mutating the returned dict cannot corrupt
+        the cache.  Field values are immutable scalars/tuples by the spec
+        contract, which is what makes the shallow copy sufficient.
+        """
+        cached = self.__dict__.get("_dict_cache")
+        if cached is None:
+            cached = dataclasses.asdict(self)
+            cached["kind"] = self.kind
+            object.__setattr__(self, "_dict_cache", cached)
+        return dict(cached)
+
+    def canonical_json(self) -> str:
+        """Memoized canonical JSON (sorted keys, compact separators) — the
+        exact string :meth:`spec_hash` and the session cache key hash."""
+        cached = self.__dict__.get("_json_cache")
+        if cached is None:
+            cached = _canonical_json(self.to_dict())
+            object.__setattr__(self, "_json_cache", cached)
+        return cached
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -97,10 +117,18 @@ class ExperimentSpec:
         return cls(**payload)
 
     def spec_hash(self) -> str:
-        """Stable content hash (hex) — the cache/file identity of this spec."""
-        return hashlib.sha256(
-            _canonical_json(self.to_dict()).encode()
-        ).hexdigest()[:16]
+        """Stable content hash (hex) — the cache/file identity of this spec.
+
+        Memoized: session caching, manifest checkpoints and the sharded
+        store all key on it, and a frozen spec's hash cannot change.
+        """
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = hashlib.sha256(
+                self.canonical_json().encode()
+            ).hexdigest()[:16]
+            object.__setattr__(self, "_hash_cache", cached)
+        return cached
 
 
 @dataclasses.dataclass(frozen=True)

@@ -18,10 +18,22 @@ from repro.sim.efficiency import (
     PeakDecayCurve,
     TableCurve,
 )
-from repro.sim.noise import DeterministicNoise
+from repro.sim.noise import DeterministicNoise, lognormal_factors, noise_entropy
 from repro.sim.policy import NumericsPolicy, NumericsConfig
 from repro.sim.engine import CompletedOperation, EngineKind, Operation
-from repro.sim.machine import Machine
+from repro.sim.machine import (
+    Machine,
+    MachineTemplate,
+    engine_peak_flops,
+    machine_template,
+)
+from repro.sim.vectorized import (
+    LoweredCell,
+    VectorContext,
+    evaluate_cells,
+    run_lowered_cell,
+    vector_context,
+)
 
 __all__ = [
     "VirtualClock",
@@ -39,10 +51,20 @@ __all__ = [
     "PeakDecayCurve",
     "TableCurve",
     "DeterministicNoise",
+    "lognormal_factors",
+    "noise_entropy",
     "NumericsPolicy",
     "NumericsConfig",
     "EngineKind",
     "Operation",
     "CompletedOperation",
     "Machine",
+    "MachineTemplate",
+    "engine_peak_flops",
+    "machine_template",
+    "LoweredCell",
+    "VectorContext",
+    "vector_context",
+    "run_lowered_cell",
+    "evaluate_cells",
 ]

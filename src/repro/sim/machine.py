@@ -10,6 +10,7 @@ later integrates.
 
 from __future__ import annotations
 
+import functools
 from typing import Mapping
 
 from repro.errors import ConfigurationError
@@ -26,7 +27,75 @@ from repro.soc.device import DeviceSpec, device_for_chip
 from repro.soc.power import PowerComponent, PowerEnvelope, default_envelope_for
 from repro.soc.thermal import ThermalModel
 
-__all__ = ["Machine"]
+__all__ = ["Machine", "MachineTemplate", "engine_peak_flops", "machine_template"]
+
+
+def engine_peak_flops(chip: ChipSpec, engine: EngineKind) -> float:
+    """Architectural FP peak of one execution engine (FLOP/s).
+
+    Shared dispatch used by :meth:`Machine.peak_flops` and the vectorized
+    sweep engine's :class:`~repro.sim.vectorized.VectorContext`, so both
+    paths read the very same numbers.
+    """
+    if engine is EngineKind.CPU_SCALAR:
+        return chip.performance_cluster.scalar_fp32_flops()
+    if engine is EngineKind.CPU_SIMD:
+        return chip.cpu_simd_fp32_flops()
+    if engine is EngineKind.AMX:
+        return chip.amx.peak_fp32_flops()
+    if engine is EngineKind.GPU:
+        return chip.gpu.peak_fp32_flops()
+    if engine is EngineKind.ANE:
+        return chip.neural_engine.peak_fp16_flops()
+    raise ConfigurationError(f"unknown engine {engine}")
+
+
+class MachineTemplate:
+    """The immutable half of a study machine, shared across constructions.
+
+    Chip spec, device spec, thermal model and power envelope are all frozen
+    value objects that depend only on ``(chip name, thermal_enabled)`` — yet
+    the fresh-machine-per-cell construction used to rebuild them for every
+    experiment cell.  :func:`machine_template` caches one template per
+    configuration; :meth:`Machine.for_chip` and the vectorized sweep engine
+    both draw from it, leaving only the genuinely per-machine state (clock,
+    recorder, trace, noise source) to construct per cell.
+    """
+
+    __slots__ = ("chip", "device", "thermal", "envelope")
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        device: DeviceSpec,
+        thermal: ThermalModel,
+        envelope: PowerEnvelope,
+    ) -> None:
+        self.chip = chip
+        self.device = device
+        self.thermal = thermal
+        self.envelope = envelope
+
+    def peak_flops(self, engine: EngineKind) -> float:
+        """Architectural FP peak of one execution engine (FLOP/s)."""
+        return engine_peak_flops(self.chip, engine)
+
+    def memory_bandwidth_bytes_per_s(self) -> float:
+        """Theoretical unified-memory bandwidth in bytes/second."""
+        return self.chip.memory.bandwidth_bytes_per_s()
+
+
+@functools.lru_cache(maxsize=None)
+def machine_template(name: str, thermal_enabled: bool = True) -> MachineTemplate:
+    """The cached immutable template of one study configuration."""
+    chip = get_chip(name)
+    device = device_for_chip(name)
+    return MachineTemplate(
+        chip,
+        device,
+        ThermalModel.for_device(device, enabled=thermal_enabled),
+        default_envelope_for(chip.name),
+    )
 
 
 class Machine:
@@ -72,14 +141,18 @@ class Machine:
         thermal_enabled: bool = True,
         numerics: NumericsConfig | None = None,
     ) -> "Machine":
-        """Create the study configuration for a chip (device from Table 3)."""
-        chip = get_chip(name)
-        device = device_for_chip(name)
-        thermal = ThermalModel.for_device(device, enabled=thermal_enabled)
+        """Create the study configuration for a chip (device from Table 3).
+
+        The immutable pieces — chip, device, thermal model, power envelope —
+        come from the shared :func:`machine_template` cache; only per-machine
+        state (clock, recorder, trace, noise) is constructed fresh.
+        """
+        template = machine_template(name, thermal_enabled)
         return cls(
-            chip,
-            device,
-            thermal=thermal,
+            template.chip,
+            template.device,
+            envelope=template.envelope,
+            thermal=template.thermal,
             seed=seed,
             noise_sigma=noise_sigma,
             numerics=numerics,
@@ -105,17 +178,7 @@ class Machine:
     # ------------------------------------------------------------------
     def peak_flops(self, engine: EngineKind) -> float:
         """Architectural FP peak of one execution engine (FLOP/s)."""
-        if engine is EngineKind.CPU_SCALAR:
-            return self.chip.performance_cluster.scalar_fp32_flops()
-        if engine is EngineKind.CPU_SIMD:
-            return self.chip.cpu_simd_fp32_flops()
-        if engine is EngineKind.AMX:
-            return self.chip.amx.peak_fp32_flops()
-        if engine is EngineKind.GPU:
-            return self.chip.gpu.peak_fp32_flops()
-        if engine is EngineKind.ANE:
-            return self.chip.neural_engine.peak_fp16_flops()
-        raise ConfigurationError(f"unknown engine {engine}")
+        return engine_peak_flops(self.chip, engine)
 
     def memory_bandwidth_bytes_per_s(self) -> float:
         """Theoretical unified-memory bandwidth in bytes/second."""

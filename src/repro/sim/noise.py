@@ -5,17 +5,192 @@ twenty STREAM repetitions and five GEMM repetitions precisely because of that
 variation (section 4).  We reproduce it with *deterministic* multiplicative
 lognormal jitter: the factor depends only on a seed and a string key, so runs
 are exactly reproducible while repeats still differ from one another.
+
+Scalar and bulk draws share one implementation.  A draw is defined as::
+
+    entropy = sha256(f"{seed}:{key}")[:8]            # content-addressed
+    rng     = np.random.default_rng(entropy)          # PCG64 stream
+    factor  = exp(rng.normal(0, sigma) - sigma**2/2)  # mean-corrected
+
+The expensive step is ``default_rng`` construction (SeedSequence mixing plus
+PCG64 seeding), so :func:`lognormal_factors` replicates NumPy's SeedSequence
+entropy-mixing with vectorized uint32 arithmetic and injects the resulting
+PCG64 state into one reused bit generator per thread.  The replication is
+exact — the normal variate comes from the very same generator class in the
+very same state — so bulk draws equal per-key draws bit for bit (enforced by
+a hypothesis property test), and the sweep fast path
+(:mod:`repro.sim.vectorized`) amortises the seeding across a whole grid.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["DeterministicNoise"]
+__all__ = [
+    "DeterministicNoise",
+    "lognormal_factors",
+    "noise_entropy",
+    "resolve_sigma",
+]
+
+# --- NumPy SeedSequence constants (numpy/random/bit_generator.pyx) ---------
+_XSHIFT = np.uint32(16)
+_INIT_A = np.uint32(0x43B0D7E5)
+_MULT_A = np.uint32(0x931E8875)
+_INIT_B = np.uint32(0x8B51F9DD)
+_MULT_B = np.uint32(0x58F38DED)
+_MIX_MULT_L = np.uint32(0xCA01F9DD)
+_MIX_MULT_R = np.uint32(0x4973F715)
+
+#: The default PCG64 LCG multiplier (pcg64.h, PCG_DEFAULT_MULTIPLIER_128).
+_PCG_MULT_128 = 0x2360ED051FC65DA44385DF649FCCF645
+_MASK_128 = (1 << 128) - 1
+
+#: Per-thread reusable generator the PCG64 states are injected into — state
+#: injection replaces the costly per-key ``default_rng`` construction, and a
+#: thread-local instance keeps concurrent scalar draws (the threads backend)
+#: from racing on shared bit-generator state.
+_LOCAL = threading.local()
+
+
+def resolve_sigma(default_sigma: float, sigma: "float | None") -> float:
+    """The effective sigma of one draw (0.0 means 'exactly 1.0').
+
+    The one place the semantics live: a ``default_sigma`` of zero disables
+    the source globally (even against per-op sigmas), ``None`` takes the
+    default, and negative values are rejected.  Both the scalar
+    :class:`DeterministicNoise` path and the vectorized sweep engine
+    resolve through here, so they cannot drift.
+    """
+    if default_sigma == 0.0:
+        return 0.0
+    s = default_sigma if sigma is None else float(sigma)
+    if s < 0.0:
+        raise ConfigurationError("noise sigma must be non-negative")
+    return s
+
+
+def noise_entropy(seed: int, key: str) -> int:
+    """The 64-bit content-addressed entropy of one (seed, key) draw."""
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _seed_state_words(entropy: np.ndarray) -> list[np.ndarray]:
+    """``SeedSequence(e).generate_state(4, uint64)`` for an array of entropies.
+
+    An exact, vectorized replication of NumPy's entropy-mixing for integer
+    entropy below 2**64 with the default pool size of four words: the same
+    hash/mix chain (including the running hash constant shared across calls,
+    and the one-word entropy case when the high half is zero) evaluated with
+    elementwise uint32 arithmetic over all entropies at once.
+    """
+    n = len(entropy)
+    lo = (entropy & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    hi = (entropy >> np.uint64(32)).astype(np.uint32)
+
+    hash_const = np.full(n, _INIT_A, dtype=np.uint32)
+
+    def hashmix(value: np.ndarray, hash_const: np.ndarray):
+        value = value ^ hash_const
+        hash_const = hash_const * _MULT_A
+        value = value * hash_const
+        value ^= value >> _XSHIFT
+        return value, hash_const
+
+    def mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        result = x * _MIX_MULT_L - y * _MIX_MULT_R
+        result ^= result >> _XSHIFT
+        return result
+
+    with np.errstate(over="ignore"):
+        zero = np.zeros(n, dtype=np.uint32)
+        pool: list[np.ndarray] = [zero] * 4
+        pool[0], hash_const = hashmix(lo, hash_const)
+        # entropy ints below 2**32 assemble to a single uint32 word, so the
+        # second pool slot mixes literal zero for them, the high word else.
+        pool[1], hash_const = hashmix(np.where(hi > 0, hi, zero), hash_const)
+        pool[2], hash_const = hashmix(zero, hash_const)
+        pool[3], hash_const = hashmix(zero, hash_const)
+        for i_src in range(4):
+            for i_dst in range(4):
+                if i_src != i_dst:
+                    hashed, hash_const = hashmix(pool[i_src], hash_const)
+                    pool[i_dst] = mix(pool[i_dst], hashed)
+
+        hash_const = np.full(n, _INIT_B, dtype=np.uint32)
+        out32: list[np.ndarray] = []
+        for i in range(8):
+            value = pool[i % 4] ^ hash_const
+            hash_const = hash_const * _MULT_B
+            value = value * hash_const
+            value ^= value >> _XSHIFT
+            out32.append(value)
+    return [
+        out32[2 * w].astype(np.uint64)
+        | (out32[2 * w + 1].astype(np.uint64) << np.uint64(32))
+        for w in range(4)
+    ]
+
+
+def _thread_generator() -> tuple[np.random.Generator, dict]:
+    """This thread's reusable generator and its mutable state dict."""
+    gen = getattr(_LOCAL, "gen", None)
+    if gen is None:
+        bit_generator = np.random.PCG64(0)
+        _LOCAL.gen = gen = np.random.Generator(bit_generator)
+        _LOCAL.state = {
+            "bit_generator": "PCG64",
+            "state": {"state": 0, "inc": 0},
+            "has_uint32": 0,
+            "uinteger": 0,
+        }
+    return gen, _LOCAL.state
+
+
+def lognormal_factors(
+    entropies: "Sequence[int] | np.ndarray", sigmas: Sequence[float]
+) -> np.ndarray:
+    """Mean-corrected lognormal factors for pre-hashed entropies.
+
+    The shared draw implementation behind :meth:`DeterministicNoise.factor`
+    and :meth:`DeterministicNoise.factors`: one PCG64 stream per entropy,
+    bit-identical to ``np.random.default_rng(entropy).normal(0, sigma)``.
+    ``sigmas`` must be pre-resolved (no ``None``), one per entropy; a sigma
+    of exactly zero yields exactly 1.0 without consuming the stream.
+    """
+    entropy_array = np.asarray(entropies, dtype=np.uint64)
+    if len(entropy_array) != len(sigmas):
+        raise ConfigurationError("need exactly one sigma per noise entropy")
+    out = np.ones(len(entropy_array), dtype=np.float64)
+    active = [i for i, s in enumerate(sigmas) if s != 0.0]
+    if not active:
+        return out
+    words = _seed_state_words(entropy_array[active])
+    gen, state = _thread_generator()
+    bit_generator = gen.bit_generator
+    inner = state["state"]
+    for j, i in enumerate(active):
+        s = float(sigmas[i])
+        # pcg_setseq_128_srandom_r: two LCG steps fold the seed words into
+        # the stream state; the increment is the odd-ified sequence id.
+        initstate = (int(words[0][j]) << 64) | int(words[1][j])
+        initseq = (int(words[2][j]) << 64) | int(words[3][j])
+        inc = ((initseq << 1) | 1) & _MASK_128
+        pcg = ((inc + initstate) * _PCG_MULT_128 + inc) & _MASK_128
+        inner["state"] = pcg
+        inner["inc"] = inc
+        state["has_uint32"] = 0
+        state["uinteger"] = 0
+        bit_generator.state = state
+        out[i] = float(np.exp(gen.normal(0.0, s) - 0.5 * s * s))
+    return out
 
 
 class DeterministicNoise:
@@ -36,8 +211,11 @@ class DeterministicNoise:
         return self._default_sigma
 
     def _rng_for(self, key: str) -> np.random.Generator:
-        digest = hashlib.sha256(f"{self._seed}:{key}".encode()).digest()
-        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        return np.random.default_rng(noise_entropy(self._seed, key))
+
+    def _resolve_sigma(self, sigma: float | None) -> float:
+        """The effective sigma of one draw (see :func:`resolve_sigma`)."""
+        return resolve_sigma(self._default_sigma, sigma)
 
     def factor(self, key: str, sigma: float | None = None) -> float:
         """Multiplicative factor ~ LogNormal(0, sigma), mean-corrected to 1.
@@ -51,15 +229,36 @@ class DeterministicNoise:
         own sigma, so ``Machine(..., noise_sigma=0.0)`` is deterministic
         end to end.
         """
-        if self._default_sigma == 0.0:
-            return 1.0
-        s = self._default_sigma if sigma is None else float(sigma)
-        if s < 0.0:
-            raise ConfigurationError("noise sigma must be non-negative")
+        s = self._resolve_sigma(sigma)
         if s == 0.0:
             return 1.0
-        rng = self._rng_for(key)
-        return float(np.exp(rng.normal(0.0, s) - 0.5 * s * s))
+        return float(
+            lognormal_factors([noise_entropy(self._seed, key)], [s])[0]
+        )
+
+    def factors(
+        self,
+        keys: Iterable[str],
+        sigmas: "float | None | Sequence[float | None]" = None,
+    ) -> np.ndarray:
+        """Bulk draw: one factor per key, equal to per-key :meth:`factor` calls.
+
+        ``sigmas`` is either one value applied to every key or a sequence
+        with one entry per key; ``None`` entries take the default sigma.
+        The scalar path and the vectorized sweep engine both draw through
+        this implementation — one sha256 + one PCG64 stream per key — so
+        the floats are identical however the batch is shaped.
+        """
+        key_list = list(keys)
+        if isinstance(sigmas, (int, float)) or sigmas is None:
+            sigma_list = [sigmas] * len(key_list)
+        else:
+            sigma_list = list(sigmas)
+            if len(sigma_list) != len(key_list):
+                raise ConfigurationError("need exactly one sigma per noise key")
+        resolved = [self._resolve_sigma(s) for s in sigma_list]
+        entropies = [noise_entropy(self._seed, k) for k in key_list]
+        return lognormal_factors(entropies, resolved)
 
     def disabled(self) -> "DeterministicNoise":
         """A copy of this source that always returns exactly 1.0."""

@@ -1,0 +1,308 @@
+"""Vectorized sweep evaluation: whole grids through the roofline model.
+
+The scalar engine advances one :class:`~repro.sim.engine.Operation` at a
+time — a 1k-cell sweep with five repetitions pays ~5k interpreter round
+trips through :class:`~repro.sim.machine.Machine`, plus machine
+construction, dataclass churn and per-key noise seeding for every one of
+them.  Because every experiment cell is a pure function of its spec (the
+jitter is content-addressed, machines are fresh per cell), the whole grid
+can instead be *lowered* into flat arrays and evaluated in a handful of
+NumPy operations.
+
+The contract has three parts:
+
+* **Lowering** — a workload's ``vectorized_body`` hook (see
+  :class:`~repro.workloads.base.Workload`) maps ``(machine-like, spec)`` to
+  a :class:`LoweredCell`: the roofline parameters of one repetition, the
+  per-repetition noise keys, and an ``assemble`` closure that turns the
+  resulting nanosecond timings back into the workload's result record.  The
+  scalar executor runs the *same* lowering through
+  :func:`run_lowered_cell` — one :class:`Operation` per repetition on a
+  real machine — so the two paths cannot drift.
+* **Evaluation** — :func:`evaluate_cells` stacks the lowered cells into
+  arrays and replicates the scalar engine's arithmetic elementwise:
+  roofline time, thermal clamp/stretch, bulk noise factors
+  (:func:`repro.sim.noise.lognormal_factors` — one sha256 + PCG64 stream
+  per key, identical floats), the virtual clock's cumulative float adds,
+  and the chrono-style nanosecond truncation.  Every step is the same
+  IEEE-754 double operation the scalar path performs, so results are
+  byte-identical, not merely close.
+* **Fallback** — workloads that declare no ``vectorized_body`` (the
+  STREAM thread sweep and the real-implementation GEMM studies) simply
+  execute on the scalar engine; the batch-level entry point in
+  :class:`~repro.experiments.backends.VectorizedBackend` mixes the two per
+  cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import EngineKind, Operation
+from repro.sim.machine import Machine, MachineTemplate, machine_template
+from repro.sim.noise import lognormal_factors, noise_entropy, resolve_sigma
+from repro.sim.policy import NumericsConfig
+from repro.soc.power import PowerComponent
+from repro.soc.thermal import ThermalModel
+from repro.sim.roofline import OpCost
+
+__all__ = [
+    "LoweredCell",
+    "VectorContext",
+    "vector_context",
+    "run_lowered_cell",
+    "evaluate_cells",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoweredCell:
+    """One experiment cell lowered to its repetition-grid parameters.
+
+    Every repetition of a cell shares the same roofline operation — cost,
+    peaks, efficiencies, overhead, power draws — and differs only in its
+    content-addressed noise key, which is exactly what makes the grid
+    vectorizable.  ``assemble`` closes over the spec-derived metadata
+    (chip name, verification outcome, work content) and rebuilds the
+    workload's result record from the per-repetition elapsed nanoseconds.
+    """
+
+    engine: EngineKind
+    label: str
+    cost: OpCost
+    peak_flops: float
+    peak_bytes_per_s: float
+    compute_efficiency: float
+    memory_efficiency: float
+    overhead_s: float
+    power_draws_w: Mapping[PowerComponent, float]
+    noise_keys: tuple[str, ...]
+    noise_sigma: float | None
+    seed: int
+    thermal: ThermalModel
+    assemble: Callable[[tuple[int, ...]], Any]
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ConfigurationError("operation label must be non-empty")
+        if not self.noise_keys:
+            raise ConfigurationError("a lowered cell needs at least one repetition")
+        if not all(self.noise_keys):
+            # an empty key is falsy, so the scalar engine would silently
+            # substitute its op-counter fallback while the vectorized
+            # engine hashed "" — reject it rather than diverge
+            raise ConfigurationError(
+                "lowered-cell noise keys must be non-empty "
+                "(content-addressed, never op-counter fallbacks)"
+            )
+        for comp, watts in self.power_draws_w.items():
+            if watts < 0.0:
+                raise ConfigurationError(f"negative power draw for {comp}")
+
+    @property
+    def repeats(self) -> int:
+        return len(self.noise_keys)
+
+    def operation(self, repetition: int) -> Operation:
+        """The scalar-engine operation of one repetition."""
+        return Operation(
+            engine=self.engine,
+            label=self.label,
+            cost=self.cost,
+            peak_flops=self.peak_flops,
+            peak_bytes_per_s=self.peak_bytes_per_s,
+            compute_efficiency=self.compute_efficiency,
+            memory_efficiency=self.memory_efficiency,
+            overhead_s=self.overhead_s,
+            power_draws_w=self.power_draws_w,
+            noise_key=self.noise_keys[repetition],
+            noise_sigma=self.noise_sigma,
+        )
+
+
+class VectorContext:
+    """A machine-shaped facade over the shared immutable chip template.
+
+    Offers the subset of :class:`~repro.sim.machine.Machine` a lowering
+    body reads — ``chip``, ``device``, ``thermal``, ``numerics``,
+    :meth:`peak_flops`, :meth:`memory_bandwidth_bytes_per_s` — without any
+    per-machine mutable state, so one context serves every cell of a sweep
+    that shares a (chip, thermal, numerics) configuration.
+    """
+
+    __slots__ = ("_template", "numerics")
+
+    def __init__(self, template: MachineTemplate, numerics: NumericsConfig) -> None:
+        self._template = template
+        self.numerics = numerics
+
+    @property
+    def chip(self):
+        return self._template.chip
+
+    @property
+    def device(self):
+        return self._template.device
+
+    @property
+    def thermal(self) -> ThermalModel:
+        return self._template.thermal
+
+    def peak_flops(self, engine: EngineKind) -> float:
+        """Architectural FP peak of one execution engine (FLOP/s)."""
+        return self._template.peak_flops(engine)
+
+    def memory_bandwidth_bytes_per_s(self) -> float:
+        """Theoretical unified-memory bandwidth in bytes/second."""
+        return self._template.memory_bandwidth_bytes_per_s()
+
+
+@functools.lru_cache(maxsize=None)
+def vector_context(
+    chip: str, thermal_enabled: bool, numerics: NumericsConfig
+) -> VectorContext:
+    """The cached lowering context of one (chip, thermal, numerics) config."""
+    return VectorContext(machine_template(chip, thermal_enabled), numerics)
+
+
+def run_lowered_cell(machine: Machine, cell: LoweredCell) -> Any:
+    """Execute one lowered cell on the scalar engine (the reference path).
+
+    The workload executors run through here, so the scalar and vectorized
+    paths consume the very same lowering — the only difference is *how* the
+    repetition grid is evaluated.
+    """
+    elapsed_ns = []
+    for rep in range(cell.repeats):
+        completed = machine.execute(cell.operation(rep))
+        elapsed_ns.append(max(1, round(completed.elapsed_s * 1e9)))
+    return cell.assemble(tuple(elapsed_ns))
+
+
+def _validated_arrays(cells: Sequence[LoweredCell]) -> dict[str, np.ndarray]:
+    """Stack the per-cell roofline parameters, with scalar-parity validation.
+
+    A misbehaving third-party lowering fails with the same
+    :class:`ConfigurationError` *messages*
+    :func:`~repro.sim.roofline.roofline_time` raises.  Note the checks run
+    check-major over the whole batch (not cell-major), so when several
+    cells are invalid in different ways, *which* message surfaces first may
+    differ from serial execution — but an invalid batch never evaluates
+    under either engine.
+    """
+    n = len(cells)
+    arr = {
+        "flops": np.fromiter((c.cost.flops for c in cells), np.float64, n),
+        "total_bytes": np.fromiter(
+            (c.cost.total_bytes for c in cells), np.float64, n
+        ),
+        "peak_flops": np.fromiter((c.peak_flops for c in cells), np.float64, n),
+        "peak_bytes": np.fromiter(
+            (c.peak_bytes_per_s for c in cells), np.float64, n
+        ),
+        "ceff": np.fromiter(
+            (c.compute_efficiency for c in cells), np.float64, n
+        ),
+        "meff": np.fromiter((c.memory_efficiency for c in cells), np.float64, n),
+        "overhead": np.fromiter((c.overhead_s for c in cells), np.float64, n),
+    }
+    if np.any((arr["peak_flops"] <= 0.0) & (arr["flops"] > 0.0)):
+        raise ConfigurationError("compute work requires a positive peak FLOP rate")
+    if np.any((arr["peak_bytes"] <= 0.0) & (arr["total_bytes"] > 0.0)):
+        raise ConfigurationError("memory work requires a positive peak bandwidth")
+    for name, key in (("compute", "ceff"), ("memory", "meff")):
+        bad = ~((arr[key] > 0.0) & (arr[key] <= 1.0))
+        if np.any(bad):
+            eff = arr[key][np.argmax(bad)]
+            raise ConfigurationError(
+                f"{name} efficiency must be in (0, 1], got {eff}"
+            )
+    if np.any(arr["overhead"] < 0.0):
+        raise ConfigurationError("overhead must be non-negative")
+    return arr
+
+
+def evaluate_cells(
+    cells: Sequence[LoweredCell], *, default_sigma: float = 0.015
+) -> list[Any]:
+    """Evaluate a grid of lowered cells in bulk, byte-identical to scalar.
+
+    ``default_sigma`` is the session noise level a fresh machine would have
+    been constructed with; ``0.0`` disables jitter globally, exactly like
+    ``Machine(..., noise_sigma=0.0)``.  Returns one assembled result record
+    per cell, in input order.
+    """
+    if not cells:
+        return []
+    n = len(cells)
+    arr = _validated_arrays(cells)
+
+    # Roofline: the same elementwise double arithmetic as roofline_time().
+    compute_s = np.zeros(n)
+    has_flops = arr["flops"] > 0.0
+    np.divide(
+        arr["flops"],
+        arr["peak_flops"] * arr["ceff"],
+        out=compute_s,
+        where=has_flops,
+    )
+    memory_s = np.zeros(n)
+    has_bytes = arr["total_bytes"] > 0.0
+    np.divide(
+        arr["total_bytes"],
+        arr["peak_bytes"] * arr["meff"],
+        out=memory_s,
+        where=has_bytes,
+    )
+    base = np.maximum(compute_s, memory_s) + arr["overhead"]
+
+    # Thermal clamp: one Python evaluation per cell through the very same
+    # ThermalModel methods (``**`` stays CPython's pow, as in the scalar
+    # engine); multiplying by exactly 1.0 is an IEEE identity, so applying
+    # the stretch unconditionally matches the scalar engine's branch.
+    stretch = np.ones(n)
+    for i, cell in enumerate(cells):
+        requested = sum(cell.power_draws_w.values())
+        if cell.thermal.clamp_factor(requested) < 1.0:
+            stretch[i] = cell.thermal.throttle_time_factor(requested)
+    base = base * stretch
+
+    # Bulk noise: flat (cell, repetition) grid through the shared draw
+    # implementation — one sha256 + one PCG64 stream per key.
+    repeats = np.fromiter((c.repeats for c in cells), np.int64, n)
+    max_reps = int(repeats.max())
+    entropies: list[int] = []
+    sigmas: list[float] = []
+    for cell in cells:
+        sigma = resolve_sigma(default_sigma, cell.noise_sigma)
+        for key in cell.noise_keys:
+            entropies.append(noise_entropy(cell.seed, key))
+            sigmas.append(sigma)
+    flat_factors = lognormal_factors(entropies, sigmas)
+
+    factors = np.ones((n, max_reps))
+    mask = np.arange(max_reps)[None, :] < repeats[:, None]
+    factors[mask] = flat_factors
+    durations = base[:, None] * factors
+
+    # Virtual clock: cumulative float adds in repetition order, then the
+    # chrono-style truncation max(1, round(elapsed * 1e9)).  Padded columns
+    # beyond a cell's repeat count only ever extend the running clock past
+    # timings that are already recorded, so they are harmless.
+    elapsed = np.empty((n, max_reps))
+    start = np.zeros(n)
+    for rep in range(max_reps):
+        end = start + durations[:, rep]
+        elapsed[:, rep] = end - start
+        start = end
+    elapsed_ns = np.maximum(1, np.rint(elapsed * 1e9)).astype(np.int64)
+
+    return [
+        cell.assemble(tuple(int(ns) for ns in elapsed_ns[i, : cell.repeats]))
+        for i, cell in enumerate(cells)
+    ]

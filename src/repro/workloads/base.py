@@ -147,6 +147,18 @@ class Workload:
     impl_keys:
         The implementation/variant keys this workload understands (listed
         by ``repro workloads``; empty when the workload has no variants).
+    vectorized_body:
+        Optional lowering hook ``(machine_like, spec) ->``
+        :class:`~repro.sim.vectorized.LoweredCell` behind the ``vectorized``
+        execution backend.  ``machine_like`` is either a real
+        :class:`~repro.sim.machine.Machine` or a
+        :class:`~repro.sim.vectorized.VectorContext`; a workload that
+        declares this hook should implement its scalar ``execute`` as
+        ``run_lowered_cell(machine, vectorized_body(machine, spec))`` so
+        the two paths share one lowering and stay byte-identical by
+        construction.  Workloads that leave it ``None`` (the STREAM thread
+        sweep, the real-implementation GEMM studies) execute on the scalar
+        engine even inside a vectorized batch — the fallback is per cell.
     """
 
     kind: str
@@ -163,6 +175,7 @@ class Workload:
     summary_line: Callable[["ExperimentSpec", Any], str]
     impl_keys: tuple[str, ...] = ()
     sample_variants: Callable[[int, int], tuple] | None = None
+    vectorized_body: "Callable[[Any, ExperimentSpec], Any] | None" = None
 
     def __post_init__(self) -> None:
         if not self.kind:

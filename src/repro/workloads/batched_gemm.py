@@ -30,16 +30,16 @@ from repro.calibration.gemm import gemm_power_draws
 from repro.core.results import GemmRepetition
 from repro.errors import ConfigurationError
 from repro.experiments.specs import ExperimentSpec, SweepSpec
-from repro.sim.engine import EngineKind, Operation
+from repro.sim.engine import EngineKind
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsPolicy
 from repro.sim.roofline import OpCost
+from repro.sim.vectorized import LoweredCell, run_lowered_cell
 from repro.workloads.base import (
     Workload,
     expand_axes,
     repetitions_from_dicts,
     repetitions_to_dicts,
-    timed_repetition,
     variant_grid,
 )
 from repro.workloads.registry import register_workload
@@ -48,6 +48,7 @@ __all__ = [
     "BATCHED_GEMM_IMPL_KEYS",
     "BatchedGemmSpec",
     "BatchedGemmResult",
+    "lower_batched_gemm_spec",
     "run_batched_gemm_spec",
     "BATCHED_GEMM_WORKLOAD",
 ]
@@ -204,10 +205,13 @@ def _numerics_verified(spec: BatchedGemmSpec) -> bool:
     )
 
 
-def run_batched_gemm_spec(
-    machine: Machine, spec: BatchedGemmSpec
-) -> BatchedGemmResult:
-    """Execute one batched-GEMM cell on ``machine``."""
+def lower_batched_gemm_spec(machine, spec: BatchedGemmSpec) -> LoweredCell:
+    """Lower one batched-GEMM cell to its repetition grid.
+
+    ``machine`` is a :class:`~repro.sim.machine.Machine` or a
+    :class:`~repro.sim.vectorized.VectorContext`; both the scalar executor
+    and the vectorized backend evaluate this one lowering.
+    """
     impl = _IMPLS[spec.impl_key]
     chip = machine.chip
     cost = _batch_cost(spec)
@@ -220,35 +224,48 @@ def run_batched_gemm_spec(
     if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
         verified = _numerics_verified(spec)
 
-    repetitions = []
-    for rep in range(spec.repeats):
-        op = Operation(
-            engine=impl.engine,
-            label=f"batched-gemm/{spec.impl_key}/n={spec.n}/b={spec.batch}",
-            cost=cost,
-            peak_flops=machine.peak_flops(impl.engine),
-            peak_bytes_per_s=machine.memory_bandwidth_bytes_per_s(),
-            compute_efficiency=efficiency,
-            memory_efficiency=_MEMORY_EFFICIENCY[impl.engine],
+    def assemble(elapsed_ns: tuple[int, ...]) -> BatchedGemmResult:
+        return BatchedGemmResult(
+            chip_name=chip.name,
+            impl_key=spec.impl_key,
+            n=spec.n,
+            batch=spec.batch,
+            flop_count=int(cost.flops),
             overhead_s=overhead,
-            power_draws_w=gemm_power_draws(chip, impl.power_impl_key, spec.n),
-            noise_key=(
-                f"batched-gemm/{chip.name}/{spec.impl_key}"
-                f"/n={spec.n}/b={spec.batch}/rep={rep}"
+            repetitions=tuple(
+                GemmRepetition(repetition=rep, elapsed_ns=ns)
+                for rep, ns in enumerate(elapsed_ns)
             ),
-            noise_sigma=_NOISE_SIGMA,
+            verified=verified,
         )
-        repetitions.append(timed_repetition(rep, machine.execute(op)))
-    return BatchedGemmResult(
-        chip_name=chip.name,
-        impl_key=spec.impl_key,
-        n=spec.n,
-        batch=spec.batch,
-        flop_count=int(cost.flops),
+
+    return LoweredCell(
+        engine=impl.engine,
+        label=f"batched-gemm/{spec.impl_key}/n={spec.n}/b={spec.batch}",
+        cost=cost,
+        peak_flops=machine.peak_flops(impl.engine),
+        peak_bytes_per_s=machine.memory_bandwidth_bytes_per_s(),
+        compute_efficiency=efficiency,
+        memory_efficiency=_MEMORY_EFFICIENCY[impl.engine],
         overhead_s=overhead,
-        repetitions=tuple(repetitions),
-        verified=verified,
+        power_draws_w=gemm_power_draws(chip, impl.power_impl_key, spec.n),
+        noise_keys=tuple(
+            f"batched-gemm/{chip.name}/{spec.impl_key}"
+            f"/n={spec.n}/b={spec.batch}/rep={rep}"
+            for rep in range(spec.repeats)
+        ),
+        noise_sigma=_NOISE_SIGMA,
+        seed=spec.seed,
+        thermal=machine.thermal,
+        assemble=assemble,
     )
+
+
+def run_batched_gemm_spec(
+    machine: Machine, spec: BatchedGemmSpec
+) -> BatchedGemmResult:
+    """Execute one batched-GEMM cell on ``machine``."""
+    return run_lowered_cell(machine, lower_batched_gemm_spec(machine, spec))
 
 
 def _result_to_dict(result: BatchedGemmResult) -> dict[str, Any]:
@@ -340,5 +357,6 @@ BATCHED_GEMM_WORKLOAD: Workload = register_workload(
         ),
         impl_keys=BATCHED_GEMM_IMPL_KEYS,
         sample_variants=_sample_variants,
+        vectorized_body=lower_batched_gemm_spec,
     )
 )

@@ -6,6 +6,12 @@ compatibility; this module owns the per-kind pieces that used to be switch
 branches — the result JSON codec, the sweep-axis semantics (chips x
 implementations x sizes with the section-4 exclusions) and the CLI
 rendering — and registers them under ``kind="gemm"``.
+
+GEMM deliberately declares no ``vectorized_body``: its executor runs the
+*real* Table-2 implementation objects (Metal command buffers, Accelerate
+calls, verification against reference numerics), which are not a
+homogeneous repetition grid; inside a ``vectorized`` batch its cells fall
+back to the scalar engine per cell (DESIGN.md §7).
 """
 
 from __future__ import annotations

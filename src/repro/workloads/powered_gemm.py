@@ -3,7 +3,10 @@
 Same shape as :mod:`repro.workloads.gemm` — spec class and executor body
 stay in :mod:`repro.experiments` — plus the standalone codec for the nested
 :class:`~repro.core.results.PowerMeasurement` records, which serialize under
-their own ``type="power"`` tag.
+their own ``type="power"`` tag.  Like plain GEMM, it declares no
+``vectorized_body`` (the piggybacked powermetrics protocol drives real
+implementation objects) and falls back to the scalar engine inside a
+``vectorized`` batch.
 """
 
 from __future__ import annotations

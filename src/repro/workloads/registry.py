@@ -4,7 +4,9 @@ This module is the single source of truth the experiment stack dispatches
 through.  It holds two tables:
 
 * the **workload table**, keyed by ``kind`` and by spec class — consulted by
-  spec deserialization, sweep expansion, the executor and the CLI;
+  spec deserialization, sweep expansion, the executor, the vectorized
+  backend (which reads each workload's optional ``vectorized_body`` lowering
+  hook and falls back to scalar execution when it is ``None``) and the CLI;
 * the **result-codec table**, keyed by result ``type`` tag and by result
   class — consulted by the envelope layer.  Workload registration populates
   it automatically; :func:`register_result_codec` additionally registers

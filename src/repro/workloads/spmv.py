@@ -32,21 +32,27 @@ from repro.calibration.stream import (
 from repro.core.results import GemmRepetition
 from repro.errors import ConfigurationError
 from repro.experiments.specs import ExperimentSpec, SweepSpec
-from repro.sim.engine import EngineKind, Operation
+from repro.sim.engine import EngineKind
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsPolicy
 from repro.sim.roofline import OpCost
+from repro.sim.vectorized import LoweredCell, run_lowered_cell
 from repro.workloads.base import (
     Workload,
     expand_axes,
     repetitions_from_dicts,
     repetitions_to_dicts,
-    timed_repetition,
     variant_grid,
 )
 from repro.workloads.registry import register_workload
 
-__all__ = ["SpmvSpec", "SpmvResult", "run_spmv_spec", "SPMV_WORKLOAD"]
+__all__ = [
+    "SpmvSpec",
+    "SpmvResult",
+    "lower_spmv_spec",
+    "run_spmv_spec",
+    "SPMV_WORKLOAD",
+]
 
 _VALUE_BYTES = 8  # FP64 values, as in the reference CSR kernels
 _INDEX_BYTES = 4  # int32 column indices / row pointer
@@ -188,8 +194,13 @@ def _numerics_verified(spec: SpmvSpec) -> bool:
     return bool(np.allclose(y, dense @ x, rtol=1e-10, atol=1e-12))
 
 
-def run_spmv_spec(machine: Machine, spec: SpmvSpec) -> SpmvResult:
-    """Execute one SpMV cell on ``machine``."""
+def lower_spmv_spec(machine, spec: SpmvSpec) -> LoweredCell:
+    """Lower one SpMV cell to its repetition grid (the shared cost model).
+
+    ``machine`` is a :class:`~repro.sim.machine.Machine` or a
+    :class:`~repro.sim.vectorized.VectorContext`; both the scalar executor
+    and the vectorized backend evaluate this one lowering.
+    """
     chip = machine.chip
     nnz = spec.n * spec.nnz_per_row
     bytes_read, bytes_written = _traffic_bytes(spec.n, nnz)
@@ -202,37 +213,49 @@ def run_spmv_spec(machine: Machine, spec: SpmvSpec) -> SpmvResult:
     if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
         verified = _numerics_verified(spec)
 
-    repetitions = []
-    for rep in range(spec.repeats):
-        op = Operation(
-            engine=engine,
-            label=f"spmv/{spec.target}/n={spec.n}",
-            cost=OpCost(
-                flops=flops, bytes_read=bytes_read, bytes_written=bytes_written
+    def assemble(elapsed_ns: tuple[int, ...]) -> SpmvResult:
+        return SpmvResult(
+            chip_name=chip.name,
+            target=spec.target,
+            n=spec.n,
+            nnz=nnz,
+            flop_count=int(flops),
+            bytes_moved=bytes_read + bytes_written,
+            theoretical_gbs=chip.memory.bandwidth_gbs,
+            repetitions=tuple(
+                GemmRepetition(repetition=rep, elapsed_ns=ns)
+                for rep, ns in enumerate(elapsed_ns)
             ),
-            peak_flops=machine.peak_flops(engine),
-            peak_bytes_per_s=machine.memory_bandwidth_bytes_per_s(),
-            memory_efficiency=memory_efficiency,
-            overhead_s=overhead,
-            power_draws_w=stream_power_draws(chip, spec.target),
-            noise_key=(
-                f"spmv/{chip.name}/{spec.target}/n={spec.n}"
-                f"/k={spec.nnz_per_row}/rep={rep}"
-            ),
-            noise_sigma=STREAM_NOISE_SIGMA,
+            verified=verified,
         )
-        repetitions.append(timed_repetition(rep, machine.execute(op)))
-    return SpmvResult(
-        chip_name=chip.name,
-        target=spec.target,
-        n=spec.n,
-        nnz=nnz,
-        flop_count=int(flops),
-        bytes_moved=bytes_read + bytes_written,
-        theoretical_gbs=chip.memory.bandwidth_gbs,
-        repetitions=tuple(repetitions),
-        verified=verified,
+
+    return LoweredCell(
+        engine=engine,
+        label=f"spmv/{spec.target}/n={spec.n}",
+        cost=OpCost(
+            flops=flops, bytes_read=bytes_read, bytes_written=bytes_written
+        ),
+        peak_flops=machine.peak_flops(engine),
+        peak_bytes_per_s=machine.memory_bandwidth_bytes_per_s(),
+        compute_efficiency=1.0,
+        memory_efficiency=memory_efficiency,
+        overhead_s=overhead,
+        power_draws_w=stream_power_draws(chip, spec.target),
+        noise_keys=tuple(
+            f"spmv/{chip.name}/{spec.target}/n={spec.n}"
+            f"/k={spec.nnz_per_row}/rep={rep}"
+            for rep in range(spec.repeats)
+        ),
+        noise_sigma=STREAM_NOISE_SIGMA,
+        seed=spec.seed,
+        thermal=machine.thermal,
+        assemble=assemble,
     )
+
+
+def run_spmv_spec(machine: Machine, spec: SpmvSpec) -> SpmvResult:
+    """Execute one SpMV cell on ``machine``."""
+    return run_lowered_cell(machine, lower_spmv_spec(machine, spec))
 
 
 def _result_to_dict(result: SpmvResult) -> dict[str, Any]:
@@ -323,5 +346,6 @@ SPMV_WORKLOAD: Workload = register_workload(
         ),
         impl_keys=("cpu", "gpu"),
         sample_variants=_sample_variants,
+        vectorized_body=lower_spmv_spec,
     )
 )

@@ -27,16 +27,16 @@ from repro.calibration.stream import stream_power_draws
 from repro.core.results import GemmRepetition
 from repro.errors import ConfigurationError
 from repro.experiments.specs import ExperimentSpec, SweepSpec
-from repro.sim.engine import EngineKind, Operation
+from repro.sim.engine import EngineKind
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsPolicy
 from repro.sim.roofline import OpCost
+from repro.sim.vectorized import LoweredCell, run_lowered_cell
 from repro.workloads.base import (
     Workload,
     expand_axes,
     repetitions_from_dicts,
     repetitions_to_dicts,
-    timed_repetition,
     variant_grid,
 )
 from repro.workloads.registry import register_workload
@@ -45,6 +45,7 @@ __all__ = [
     "STENCIL_IMPL_KEYS",
     "StencilSpec",
     "StencilResult",
+    "lower_stencil_spec",
     "run_stencil_spec",
     "STENCIL_WORKLOAD",
 ]
@@ -200,8 +201,13 @@ def _numerics_verified(spec: StencilSpec) -> bool:
     return bool(np.allclose(grid_a, grid_b, rtol=1e-12, atol=1e-12))
 
 
-def run_stencil_spec(machine: Machine, spec: StencilSpec) -> StencilResult:
-    """Execute one stencil cell on ``machine``."""
+def lower_stencil_spec(machine, spec: StencilSpec) -> LoweredCell:
+    """Lower one stencil cell to its repetition grid (the shared cost model).
+
+    ``machine`` is a :class:`~repro.sim.machine.Machine` or a
+    :class:`~repro.sim.vectorized.VectorContext`; both the scalar executor
+    and the vectorized backend evaluate this one lowering.
+    """
     chip = machine.chip
     cost = _sweep_cost(spec)
 
@@ -209,36 +215,47 @@ def run_stencil_spec(machine: Machine, spec: StencilSpec) -> StencilResult:
     if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
         verified = _numerics_verified(spec)
 
-    repetitions = []
-    for rep in range(spec.repeats):
-        op = Operation(
-            engine=EngineKind.CPU_SIMD,
-            label=f"stencil/{spec.impl_key}/n={spec.n}",
-            cost=cost,
-            peak_flops=machine.peak_flops(EngineKind.CPU_SIMD),
-            peak_bytes_per_s=machine.memory_bandwidth_bytes_per_s(),
-            compute_efficiency=_COMPUTE_EFFICIENCY,
-            memory_efficiency=_MEMORY_EFFICIENCY[spec.impl_key],
-            overhead_s=_OVERHEAD_S,
-            power_draws_w=stream_power_draws(chip, "cpu"),
-            noise_key=(
-                f"stencil/{chip.name}/{spec.impl_key}/n={spec.n}"
-                f"/it={spec.iterations}/rep={rep}"
+    def assemble(elapsed_ns: tuple[int, ...]) -> StencilResult:
+        return StencilResult(
+            chip_name=chip.name,
+            impl_key=spec.impl_key,
+            n=spec.n,
+            iterations=spec.iterations,
+            flop_count=int(cost.flops),
+            bytes_moved=cost.total_bytes,
+            theoretical_gbs=chip.memory.bandwidth_gbs,
+            repetitions=tuple(
+                GemmRepetition(repetition=rep, elapsed_ns=ns)
+                for rep, ns in enumerate(elapsed_ns)
             ),
-            noise_sigma=_NOISE_SIGMA,
+            verified=verified,
         )
-        repetitions.append(timed_repetition(rep, machine.execute(op)))
-    return StencilResult(
-        chip_name=chip.name,
-        impl_key=spec.impl_key,
-        n=spec.n,
-        iterations=spec.iterations,
-        flop_count=int(cost.flops),
-        bytes_moved=cost.total_bytes,
-        theoretical_gbs=chip.memory.bandwidth_gbs,
-        repetitions=tuple(repetitions),
-        verified=verified,
+
+    return LoweredCell(
+        engine=EngineKind.CPU_SIMD,
+        label=f"stencil/{spec.impl_key}/n={spec.n}",
+        cost=cost,
+        peak_flops=machine.peak_flops(EngineKind.CPU_SIMD),
+        peak_bytes_per_s=machine.memory_bandwidth_bytes_per_s(),
+        compute_efficiency=_COMPUTE_EFFICIENCY,
+        memory_efficiency=_MEMORY_EFFICIENCY[spec.impl_key],
+        overhead_s=_OVERHEAD_S,
+        power_draws_w=stream_power_draws(chip, "cpu"),
+        noise_keys=tuple(
+            f"stencil/{chip.name}/{spec.impl_key}/n={spec.n}"
+            f"/it={spec.iterations}/rep={rep}"
+            for rep in range(spec.repeats)
+        ),
+        noise_sigma=_NOISE_SIGMA,
+        seed=spec.seed,
+        thermal=machine.thermal,
+        assemble=assemble,
     )
+
+
+def run_stencil_spec(machine: Machine, spec: StencilSpec) -> StencilResult:
+    """Execute one stencil cell on ``machine``."""
+    return run_lowered_cell(machine, lower_stencil_spec(machine, spec))
 
 
 def _result_to_dict(result: StencilResult) -> dict[str, Any]:
@@ -330,5 +347,6 @@ STENCIL_WORKLOAD: Workload = register_workload(
         ),
         impl_keys=STENCIL_IMPL_KEYS,
         sample_variants=_sample_variants,
+        vectorized_body=lower_stencil_spec,
     )
 )

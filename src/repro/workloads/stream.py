@@ -5,6 +5,11 @@ Owns the per-kind pieces that used to be switch branches: the
 kernel order on load), the chips x targets sweep semantics, and the CLI
 rendering.  The spec class and executor body stay in
 :mod:`repro.experiments` for API compatibility.
+
+STREAM deliberately declares no ``vectorized_body``: one cell is a whole
+OpenMP thread sweep across four kernels (plus the 20-repetition GPU
+protocol), not a homogeneous repetition grid, so inside a ``vectorized``
+batch its cells fall back to the scalar engine per cell (DESIGN.md §7).
 """
 
 from __future__ import annotations

@@ -1,0 +1,114 @@
+"""Frozen-spec memoization: cached hashes and dicts, unchanged bytes.
+
+The session cache, the manifest journal and the sharded store all re-read a
+spec's serialized form and content hash; profiling showed each layer
+recomputing them per cell.  These tests pin the memoized fast paths to the
+naive reference computations — including the session cache key, whose bytes
+must stay compatible with stores and disk caches written before the
+memoization landed.
+"""
+
+import hashlib
+import json
+import pickle
+
+from repro.experiments import GemmSpec, Session, SweepSpec
+from repro.workloads import get_workload, workload_kinds
+
+
+def naive_spec_dict(spec) -> dict:
+    import dataclasses
+
+    data = dataclasses.asdict(spec)
+    data["kind"] = spec.kind
+    return data
+
+
+def naive_spec_hash(spec) -> str:
+    text = json.dumps(naive_spec_dict(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def naive_cache_key(session: Session, spec) -> str:
+    payload = {"spec": naive_spec_dict(spec), "session": session.fingerprint()}
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()[:24]
+
+
+class TestMemoizedCodecs:
+    def test_hash_and_dict_match_naive_for_every_workload(self):
+        for kind in workload_kinds():
+            spec = get_workload(kind).sample_spec()
+            assert spec.to_dict() == naive_spec_dict(spec)
+            assert spec.spec_hash() == naive_spec_hash(spec)
+            # repeated calls serve the memoized values
+            assert spec.spec_hash() == naive_spec_hash(spec)
+            assert spec.canonical_json() == json.dumps(
+                naive_spec_dict(spec), sort_keys=True, separators=(",", ":")
+            )
+
+    def test_returned_dict_is_a_fresh_copy(self):
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        first = spec.to_dict()
+        first["chip"] = "corrupted"
+        first["extra"] = True
+        assert spec.to_dict() == naive_spec_dict(spec)
+        assert spec.spec_hash() == naive_spec_hash(spec)
+
+    def test_equal_specs_share_hash_regardless_of_cache_state(self):
+        a = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        b = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        a.spec_hash()  # populate a's cache only
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_memoized_specs_still_pickle(self):
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        spec.spec_hash()
+        spec.to_dict()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+
+class TestSessionCacheKeyCompatibility:
+    def test_cache_key_bytes_unchanged(self):
+        """The spliced fast path reproduces the historical payload hash,
+        so disk caches written by earlier versions keep hitting."""
+        sessions = [
+            Session(numerics="model-only"),
+            Session(numerics="sampled", seed=9, noise_sigma=0.02),
+            Session(numerics="full", thermal_enabled=False),
+        ]
+        specs = [get_workload(kind).sample_spec() for kind in workload_kinds()]
+        for session in sessions:
+            for spec in specs:
+                assert session.cache_key(spec) == naive_cache_key(session, spec)
+
+    def test_fingerprint_returns_a_defensive_copy(self):
+        session = Session(numerics="model-only")
+        fingerprint = session.fingerprint()
+        fingerprint["noise_sigma"] = "corrupted"
+        assert session.fingerprint()["noise_sigma"] == session.noise_sigma
+
+    def test_mutated_session_attributes_change_the_key(self):
+        """Memoization must not freeze the fingerprint: mutating a session
+        attribute invalidates cache keys exactly as before — a noise-free
+        re-run may not serve the noisy cached envelope."""
+        session = Session(numerics="model-only")
+        spec = GemmSpec(chip="M1", impl_key="gpu-mps", n=256)
+        noisy_key = session.cache_key(spec)
+        noisy = session.run(spec)
+        session.noise_sigma = 0.0
+        assert session.cache_key(spec) != noisy_key
+        assert session.cache_key(spec) == naive_cache_key(session, spec)
+        quiet = session.run(spec)
+        assert quiet.to_json() != noisy.to_json()
+        assert quiet.meta["session"]["noise_sigma"] == 0.0
+
+    def test_sweep_cells_hash_once_per_manifest_layer(self):
+        """A sweep's cells keep identical hashes through batch + manifest use."""
+        specs = list(SweepSpec(kind="spmv", chips=("M1",)).expand())
+        hashes = [spec.spec_hash() for spec in specs]
+        assert hashes == [spec.spec_hash() for spec in specs]
+        assert len(set(hashes)) == len(hashes)
