@@ -27,7 +27,11 @@ The package layers:
   execution, and the serializable result envelope;
 * :mod:`repro.workloads` — the pluggable workload registry (GEMM, STREAM,
   power, SpMV, stencil, batched GEMM) every dispatch layer resolves through;
-* :mod:`repro.analysis` — figure/table regeneration and paper comparison.
+* :mod:`repro.study` — declarative study grids (:class:`StudySpec`) and the
+  envelope query layer (:class:`ResultFrame`): figures, tables and
+  efficiency reports as data;
+* :mod:`repro.analysis` — figure/table regeneration and paper comparison
+  (facades over the study definitions).
 """
 
 from repro._version import PAPER_ARXIV, PAPER_TITLE, __version__
@@ -69,6 +73,15 @@ from repro.experiments import (
 )
 from repro.sim import Machine, NumericsConfig, NumericsPolicy
 from repro.soc import chip_catalog, device_catalog, get_chip
+from repro.study import (
+    FIGURES,
+    TABLES,
+    ResultFrame,
+    StudySpec,
+    WorkloadAxis,
+    paper_study,
+    run_study,
+)
 from repro.workloads import (
     BatchedGemmSpec,
     SpmvSpec,
@@ -99,6 +112,13 @@ __all__ = [
     "StencilSpec",
     "BatchedGemmSpec",
     "SweepSpec",
+    "StudySpec",
+    "WorkloadAxis",
+    "ResultFrame",
+    "run_study",
+    "paper_study",
+    "FIGURES",
+    "TABLES",
     "Workload",
     "register_workload",
     "get_workload",

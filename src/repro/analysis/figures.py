@@ -1,37 +1,46 @@
-"""Assembly of the data series behind Figures 1-4.
+"""Figures 1-4 — thin facades over the declarative study layer.
 
-Each ``figureN_data`` function describes its grid as experiment specs, runs
-them through a :class:`~repro.experiments.Session` (cached, optionally
-parallel via ``max_workers``) and returns the plottable series as plain
-dictionaries — the same rows/series the paper's figures display.
+Each ``figureN_data`` function is now a facade: it builds the figure's
+:class:`~repro.study.spec.StudySpec` (see
+:data:`repro.study.defs.FIGURES`), runs it through a
+:class:`~repro.experiments.Session` (cached, optionally parallel via
+``max_workers``) and assembles the plottable series with the figure's
+:class:`~repro.study.frame.ResultFrame` query.  The output is
+byte-identical to the historical hand-assembled loops — enforced by the
+equivalence suite in ``tests/study/test_equivalence.py``.
 
 Two invocation styles are supported:
 
 * declarative — pass chip names (or nothing) plus ``session=``/``fast=``;
-* legacy — pass a ``{chip: Machine}`` mapping, from which an equivalent
-  session is derived (kept for the imperative call sites that predate the
-  spec API).
+* legacy — pass a ``{chip: Machine}`` mapping.  This style is
+  **deprecated**: it predates the spec API and now routes through the
+  single warning-emitting :func:`session_from_machines` adapter.  Migrate
+  to ``figureN_data(chips, session=Session(...))`` or a
+  :class:`~repro.study.spec.StudySpec`.
 
-The ``figureN_from_envelopes`` counterparts assemble the identical series
-from persisted :class:`~repro.experiments.ResultEnvelope` records, so
+The ``figureN_from_envelopes`` counterparts run the identical series query
+over persisted :class:`~repro.experiments.ResultEnvelope` records, so
 ``repro figure2 --from results/`` re-renders without recomputing.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Mapping, Sequence
 
 from repro.calibration import paper
-from repro.core.gemm.registry import paper_implementation_keys
 from repro.experiments.envelope import ResultEnvelope
 from repro.experiments.session import Session
-from repro.experiments.specs import StreamSpec, SweepSpec
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsConfig
+from repro.study.defs import get_figure
+from repro.study.frame import ResultFrame
+from repro.study.spec import run_study
 
 __all__ = [
     "make_machines",
     "make_session",
+    "session_from_machines",
     "figure1_data",
     "figure2_data",
     "figure3_data",
@@ -63,32 +72,29 @@ def make_session(*, fast: bool = False, seed: int = 0, **kwargs) -> Session:
     )
 
 
-def _resolve(
-    machines: Mapping[str, Machine] | Sequence[str] | None,
-    fast: bool,
-    session: Session | None,
-) -> tuple[tuple[str, ...], Session]:
-    """Chips + session from either invocation style."""
-    if isinstance(machines, Mapping):
-        chips = tuple(machines)
-        if session is None:
-            session = _session_from_machines(dict(machines))
-        return chips, session
-    chips = tuple(machines) if machines is not None else paper.CHIPS
-    if session is None:
-        session = make_session(fast=fast)
-    return chips, session
-
-
-def _session_from_machines(machines: dict[str, Machine]) -> Session:
-    """A session honouring a legacy ``{chip: Machine}`` mapping.
+def session_from_machines(
+    machines: Mapping[str, Machine], *, _stacklevel: int = 2
+) -> Session:
+    """Adapter for the deprecated ``{chip: Machine}`` invocation style.
 
     Each cell executes on a *fresh clone* of the mapping's machine for that
     chip — same chip/device specs (catalog or custom), numerics, thermal
     model, noise seed and sigma — preserving the pre-spec-API behaviour of
     running on exactly the machines the caller configured, while keeping
-    per-cell execution pure.
+    per-cell execution pure.  This is the single deprecation choke point:
+    every figure builder funnels mapping-style calls through here, and the
+    warning tells callers what to migrate to.  ``_stacklevel`` lets the
+    figure facades point the warning at *their* caller's line rather than
+    at library internals.
     """
+    warnings.warn(
+        "passing a {chip: Machine} mapping to the figure builders is "
+        "deprecated; pass chip names plus session=Session(...) (or run a "
+        "repro.study.StudySpec) instead",
+        DeprecationWarning,
+        stacklevel=_stacklevel,
+    )
+    machines = dict(machines)
     first = next(iter(machines.values()))
 
     def factory(chip: str, seed: int, numerics) -> Machine:
@@ -112,6 +118,45 @@ def _session_from_machines(machines: dict[str, Machine]) -> Session:
     )
 
 
+def _resolve(
+    machines: Mapping[str, Machine] | Sequence[str] | None,
+    fast: bool,
+    session: Session | None,
+) -> tuple[tuple[str, ...], Session]:
+    """Chips + session from either invocation style."""
+    if isinstance(machines, Mapping):
+        chips = tuple(machines)
+        if session is None:
+            # 5 frames: warn < adapter < _resolve < _figure_data < figureN_data
+            # < the user's call site.
+            session = session_from_machines(machines, _stacklevel=5)
+        return chips, session
+    chips = tuple(machines) if machines is not None else paper.CHIPS
+    if session is None:
+        session = make_session(fast=fast)
+    return chips, session
+
+
+def _figure_data(
+    name: str,
+    machines: Mapping[str, Machine] | Sequence[str] | None,
+    fast: bool,
+    session: Session | None,
+    max_workers: int | None,
+    *,
+    impl_keys: Sequence[str] | None = None,
+    **axis_overrides,
+) -> dict:
+    """The shared facade body: study -> run -> series query."""
+    chips, session = _resolve(machines, fast, session)
+    figure = get_figure(name)
+    if impl_keys is not None:
+        axis_overrides["impl_keys"] = tuple(impl_keys)
+    study = figure.study(chips=chips, seed=session.seed, **axis_overrides)
+    frame = run_study(study, session=session, max_workers=max_workers)
+    return figure.series(frame, chips=chips, impl_keys=impl_keys)
+
+
 # ---------------------------------------------------------------------------
 # Figure 1 — STREAM
 # ---------------------------------------------------------------------------
@@ -129,16 +174,9 @@ def figure1_data(
     """
     # Fast mode skips numerics, so full-size arrays cost nothing; the array
     # footprint must stay large or the GPU ramp underreports bandwidth.
-    chips, session = _resolve(machines, fast, session)
-    specs = [
-        StreamSpec(
-            chip=chip, seed=session.seed, target=target, n_elements=n_elements
-        )
-        for chip in chips
-        for target in ("cpu", "gpu")
-    ]
-    envelopes = session.run_batch(specs, max_workers=max_workers)
-    return figure1_from_envelopes(envelopes, chips=chips)
+    return _figure_data(
+        "figure1", machines, fast, session, max_workers, n_elements=n_elements
+    )
 
 
 def figure1_from_envelopes(
@@ -147,79 +185,14 @@ def figure1_from_envelopes(
     chips: Sequence[str] | None = None,
 ) -> dict[str, dict]:
     """Assemble the Figure-1 series from persisted STREAM envelopes."""
-    out: dict[str, dict] = {}
-    for env in envelopes:
-        if env.kind != "stream":
-            continue
-        if chips is not None and env.spec.chip not in chips:
-            continue
-        result = env.result
-        entry = out.setdefault(
-            env.spec.chip, {"theoretical": result.theoretical_gbs}
-        )
-        entry[result.target] = {
-            k: float(r.max_gbs) for k, r in result.kernels.items()
-        }
-    if chips is not None:
-        return {chip: out[chip] for chip in chips if chip in out}
-    return out
+    return get_figure("figure1").series(
+        ResultFrame.from_envelopes(envelopes), chips=chips
+    )
 
 
 # ---------------------------------------------------------------------------
 # Figures 2-4 — GEMM series
 # ---------------------------------------------------------------------------
-def _gemm_series(
-    chips: tuple[str, ...],
-    session: Session,
-    *,
-    kind: str,
-    sizes: tuple[int, ...],
-    impl_keys: Sequence[str] | None,
-    repeats: int,
-    max_workers: int | None,
-) -> list[ResultEnvelope]:
-    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
-    sweep = SweepSpec(
-        kind=kind,
-        chips=chips,
-        impl_keys=keys,
-        sizes=sizes,
-        repeats=repeats,
-        seed=session.seed,
-    )
-    return session.run_batch(sweep, max_workers=max_workers)
-
-
-def _series_scaffold(
-    chips: Sequence[str] | None, impl_keys: Sequence[str] | None
-) -> dict[str, dict[str, dict[int, float]]]:
-    """Every requested (chip, impl) key present, even when its series is empty."""
-    if chips is None:
-        return {}
-    keys = tuple(impl_keys) if impl_keys is not None else paper_implementation_keys()
-    return {chip: {key: {} for key in keys} for chip in chips}
-
-
-def _assemble_series(
-    envelopes: Iterable[ResultEnvelope],
-    value,
-    kind: str,
-    chips: Sequence[str] | None,
-    impl_keys: Sequence[str] | None,
-) -> dict[str, dict[str, dict[int, float]]]:
-    out = _series_scaffold(chips, impl_keys)
-    for env in envelopes:
-        if env.kind != kind:
-            continue
-        if chips is not None and env.spec.chip not in chips:
-            continue
-        spec = env.spec
-        out.setdefault(spec.chip, {}).setdefault(spec.impl_key, {})[spec.n] = value(
-            env.result
-        )
-    return out
-
-
 def figure2_data(
     machines: Mapping[str, Machine] | Sequence[str] | None = None,
     *,
@@ -234,18 +207,15 @@ def figure2_data(
 
     Returns ``{chip: {impl: {n: gflops}}}``; excluded cells are absent.
     """
-    chips, session = _resolve(machines, fast, session)
-    envelopes = _gemm_series(
-        chips,
+    return _figure_data(
+        "figure2",
+        machines,
+        fast,
         session,
-        kind="gemm",
-        sizes=sizes,
+        max_workers,
         impl_keys=impl_keys,
+        sizes=tuple(sizes),
         repeats=repeats,
-        max_workers=max_workers,
-    )
-    return _assemble_series(
-        envelopes, lambda r: r.best_gflops, "gemm", chips, impl_keys
     )
 
 
@@ -255,8 +225,8 @@ def figure2_from_envelopes(
     chips: Sequence[str] | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Assemble the Figure-2 series from persisted GEMM envelopes."""
-    return _assemble_series(
-        envelopes, lambda r: r.best_gflops, "gemm", chips, None
+    return get_figure("figure2").series(
+        ResultFrame.from_envelopes(envelopes), chips=chips
     )
 
 
@@ -271,18 +241,15 @@ def figure3_data(
     max_workers: int | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Figure 3: mean combined CPU+GPU power (mW) per chip, impl and size."""
-    chips, session = _resolve(machines, fast, session)
-    envelopes = _gemm_series(
-        chips,
+    return _figure_data(
+        "figure3",
+        machines,
+        fast,
         session,
-        kind="powered-gemm",
-        sizes=sizes,
+        max_workers,
         impl_keys=impl_keys,
+        sizes=tuple(sizes),
         repeats=repeats,
-        max_workers=max_workers,
-    )
-    return _assemble_series(
-        envelopes, lambda r: r.mean_combined_mw, "powered-gemm", chips, impl_keys
     )
 
 
@@ -292,8 +259,8 @@ def figure3_from_envelopes(
     chips: Sequence[str] | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Assemble the Figure-3 series from persisted power envelopes."""
-    return _assemble_series(
-        envelopes, lambda r: r.mean_combined_mw, "powered-gemm", chips, None
+    return get_figure("figure3").series(
+        ResultFrame.from_envelopes(envelopes), chips=chips
     )
 
 
@@ -308,22 +275,15 @@ def figure4_data(
     max_workers: int | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Figure 4: efficiency (GFLOPS/W) per chip, implementation and size."""
-    chips, session = _resolve(machines, fast, session)
-    envelopes = _gemm_series(
-        chips,
+    return _figure_data(
+        "figure4",
+        machines,
+        fast,
         session,
-        kind="powered-gemm",
-        sizes=sizes,
+        max_workers,
         impl_keys=impl_keys,
+        sizes=tuple(sizes),
         repeats=repeats,
-        max_workers=max_workers,
-    )
-    return _assemble_series(
-        envelopes,
-        lambda r: r.efficiency_gflops_per_w,
-        "powered-gemm",
-        chips,
-        impl_keys,
     )
 
 
@@ -333,6 +293,6 @@ def figure4_from_envelopes(
     chips: Sequence[str] | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Assemble the Figure-4 series from persisted power envelopes."""
-    return _assemble_series(
-        envelopes, lambda r: r.efficiency_gflops_per_w, "powered-gemm", chips, None
+    return get_figure("figure4").series(
+        ResultFrame.from_envelopes(envelopes), chips=chips
     )

@@ -1,10 +1,15 @@
-"""ASCII renderers for the paper's tables (1, 2 and 3) and the workload registry."""
+"""ASCII renderers for the paper's tables — facades over the study defs.
+
+The tables' *content* lives as data in :data:`repro.study.defs.TABLES`
+(builders from the system inventory to headers + rows); these functions
+keep the historical API and render through the one generic
+:func:`~repro.study.defs.render_plain_table` (re-exported here as
+:func:`render_table` for compatibility)."""
 
 from __future__ import annotations
 
-from repro.core.gemm.registry import table2_rows
-from repro.soc.catalog import CHIP_NAMES, get_chip
-from repro.soc.device import device_catalog
+from repro.soc.catalog import CHIP_NAMES
+from repro.study.defs import get_table, render_plain_table as _render_plain
 
 __all__ = [
     "render_table",
@@ -13,6 +18,11 @@ __all__ = [
     "render_table3",
     "render_workloads_table",
 ]
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Plain-text table with padded columns."""
+    return _render_plain(headers, rows, title)
 
 
 def render_workloads_table() -> str:
@@ -36,120 +46,16 @@ def render_workloads_table() -> str:
     )
 
 
-def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
-    """Plain-text table with padded columns."""
-    widths = [len(h) for h in headers]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-
-    def fmt(cells: list[str]) -> str:
-        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
-
-    sep = "-+-".join("-" * w for w in widths)
-    out = []
-    if title:
-        out.append(title)
-    out.append(fmt(headers))
-    out.append(sep)
-    out.extend(fmt(row) for row in rows)
-    return "\n".join(out)
-
-
 def render_table1(chips: tuple[str, ...] = CHIP_NAMES) -> str:
     """Table 1: Comparison of Baseline Apple Silicon M Series Architecture."""
-    specs = [get_chip(name) for name in chips]
-    features: list[tuple[str, list[str]]] = [
-        ("Process Technology (nm)", [c.process_nm for c in specs]),
-        ("CPU Architecture", [c.isa for c in specs]),
-        ("Performance/Efficiency Cores", [c.core_config_label() for c in specs]),
-        ("Clock Frequency (GHz)", [c.clock_label() for c in specs]),
-        (
-            "Vector Unit (name/size)",
-            [f"NEON/{c.performance_cluster.simd_width_bits}" for c in specs],
-        ),
-        (
-            "L1 Cache (KB)",
-            [
-                f"{c.performance_cluster.l1_kb} (P)/{c.efficiency_cluster.l1_kb} (E)"
-                for c in specs
-            ],
-        ),
-        (
-            "L2 Cache (MB)",
-            [
-                f"{c.performance_cluster.l2_mb} (P)/{c.efficiency_cluster.l2_mb} (E)"
-                for c in specs
-            ],
-        ),
-        (
-            "AMX Characteristics",
-            [
-                "FP16,32,64" + ("/BF16" if any(p.key == "bf16" for p in c.amx.precisions) else "")
-                for c in specs
-            ],
-        ),
-        (
-            "GPU Cores",
-            [
-                f"{c.gpu.cores_min}-{c.gpu.cores_max}"
-                if c.gpu.cores_min != c.gpu.cores_max
-                else str(c.gpu.cores_max)
-                for c in specs
-            ],
-        ),
-        (
-            "Native Precision Support",
-            ["FP32, FP16, INT8" for _ in specs],
-        ),
-        ("GPU Clock Frequency (GHz)", [f"{c.gpu.clock_ghz:g}" for c in specs]),
-        (
-            "Theoretical FP32 FLOPS (TFLOPS)",
-            [
-                f"{c.gpu.table_fp32_tflops[0]:g}-{c.gpu.table_fp32_tflops[1]:g}"
-                if c.gpu.table_fp32_tflops[0] != c.gpu.table_fp32_tflops[1]
-                else f"{c.gpu.table_fp32_tflops[1]:g}"
-                for c in specs
-            ],
-        ),
-        ("Neural Engine Units (Core)", [str(c.neural_engine.cores) for c in specs]),
-        ("Memory Technology", [c.memory.technology for c in specs]),
-        (
-            "Max Unified Memory (GB)",
-            ["-".join(str(g) for g in c.memory.max_gb_options) for c in specs],
-        ),
-        ("Memory Bandwidth (GB/s)", [f"{c.memory.bandwidth_gbs:g}" for c in specs]),
-    ]
-    rows = [[feature] + values for feature, values in features]
-    return render_table(
-        ["Feature"] + list(chips),
-        rows,
-        title="Table 1. Comparison of Baseline Apple Silicon M Series Architecture.",
-    )
+    return get_table("table1").render(chips)
 
 
 def render_table2() -> str:
     """Table 2: Overview of matrix multiplication implementations."""
-    return render_table(
-        ["Implementation", "Framework", "Hardware"],
-        [list(row) for row in table2_rows()],
-        title="Table 2. Overview of matrix multiplication implementations.",
-    )
+    return get_table("table2").render()
 
 
 def render_table3() -> str:
     """Table 3: Basic information of devices used."""
-    devices = device_catalog()
-    chips = list(devices)
-    rows = [
-        ["Device", *[devices[c].model for c in chips]],
-        ["Release", *[str(devices[c].release_year) for c in chips]],
-        ["Memory", *[f"{devices[c].memory_gb}GB" for c in chips]],
-        ["Cooling", *[devices[c].cooling.value for c in chips]],
-        ["MacOS", *[devices[c].macos_version for c in chips]],
-    ]
-    return render_table(
-        ["Feature"] + chips,
-        rows,
-        title="Table 3. Basic information of devices used.",
-    )
+    return get_table("table3").render()

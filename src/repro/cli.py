@@ -10,6 +10,10 @@ Examples::
     repro run --kind spmv --chips M1 --out results/
     repro run --from results/
     repro figure2 --from results/
+    repro study list
+    repro study run --fast --out results/
+    repro study render figure4 --from results/
+    repro study render efficiency --from results/
     repro gh200
     repro all --fast
 """
@@ -54,7 +58,18 @@ from repro.experiments import (
     run_with_manifest,
     save_envelopes,
 )
-from repro.workloads import get_workload, workload_kinds
+from repro.study import (
+    FIGURES,
+    TABLES,
+    ResultFrame,
+    compare_study,
+    get_figure,
+    get_table,
+    paper_study,
+    render_efficiency_report,
+    run_study,
+)
+from repro.workloads import all_workloads, get_workload, workload_kinds
 
 __all__ = ["main", "build_parser"]
 
@@ -214,6 +229,89 @@ def build_parser() -> argparse.ArgumentParser:
         "manifest does not mark done (sweep flags are taken from the manifest)",
     )
 
+    study = sub.add_parser(
+        "study", help="declarative study API: run grids, render views"
+    )
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+
+    study_sub.add_parser(
+        "list", help="registered figures, tables, reports and metrics"
+    )
+
+    srun = study_sub.add_parser(
+        "run", help="run a declarative study grid (default: the whole paper)"
+    )
+    srun.add_argument(
+        "--figures",
+        nargs="+",
+        default=None,
+        choices=list(FIGURES),
+        metavar="FIGURE",
+        help="restrict the grid to these figures' axes (default: all four)",
+    )
+    srun.add_argument(
+        "--chips",
+        nargs="+",
+        default=list(paper.CHIPS),
+        choices=list(paper.CHIPS),
+        help="chips to run (default: all four)",
+    )
+    srun.add_argument(
+        "--fast",
+        action="store_true",
+        help="model-only numerics and trimmed axes (the smoke grid)",
+    )
+    srun.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+    srun.add_argument(
+        "--workers", type=int, default=1, help="parallel experiment cells"
+    )
+    srun.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="execution backend (default: serial for --workers 1, else threads)",
+    )
+    srun.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="persist to a manifest-indexed store (re-running resumes it)",
+    )
+    srun.add_argument(
+        "--quiet", action="store_true", help="suppress the per-cell progress line"
+    )
+
+    srender = study_sub.add_parser(
+        "render", help="render a figure, table or report from a store or live"
+    )
+    srender.add_argument(
+        "name",
+        choices=[*FIGURES, *TABLES, "efficiency", "compare"],
+        help="what to render",
+    )
+    srender.add_argument(
+        "--from",
+        dest="from_dir",
+        default=None,
+        metavar="DIR",
+        help="render from envelopes saved in DIR instead of running",
+    )
+    srender.add_argument(
+        "--chips",
+        nargs="+",
+        default=None,
+        choices=list(paper.CHIPS),
+        help="chips to include (default: whatever the store holds)",
+    )
+    srender.add_argument(
+        "--fast", action="store_true", help="live runs use the smoke grid"
+    )
+    srender.add_argument("--seed", type=int, default=0, help="noise seed (live runs)")
+    srender.add_argument(
+        "--workers", type=int, default=1, help="parallel cells (live runs)"
+    )
+    srender.add_argument("--csv", action="store_true", help="emit CSV instead of text")
+
     gh = sub.add_parser("gh200", help="GH200 reference points (sections 4-5)")
     gh.add_argument("--fast", action="store_true")
 
@@ -278,22 +376,26 @@ def _render_figure1_text(data: dict) -> None:
             print(f"  {target.upper():3s}: {cells}")
 
 
+def _figure1_csv_rows(data: dict) -> list[dict]:
+    rows = []
+    for chip, entry in data.items():
+        for target in ("cpu", "gpu"):
+            for kernel, gbs in entry.get(target, {}).items():
+                rows.append(
+                    {
+                        "chip": chip,
+                        "target": target,
+                        "kernel": kernel,
+                        "bandwidth_gbs": round(gbs, 2),
+                    }
+                )
+    return rows
+
+
 def _print_figure1(args) -> None:
     data = _figure1_series(args)
     if args.csv:
-        rows = []
-        for chip, entry in data.items():
-            for target in ("cpu", "gpu"):
-                for kernel, gbs in entry.get(target, {}).items():
-                    rows.append(
-                        {
-                            "chip": chip,
-                            "target": target,
-                            "kernel": kernel,
-                            "bandwidth_gbs": round(gbs, 2),
-                        }
-                    )
-        print(rows_to_csv(rows), end="")
+        print(rows_to_csv(_figure1_csv_rows(data)), end="")
         return
     _render_figure1_text(data)
 
@@ -344,13 +446,15 @@ def _sorted_envelopes(envelopes) -> list:
     sweep expansion or directory listing order.
     """
 
+    from repro.workloads.base import spec_size, spec_variant
+
     def key(env):
         spec = env.spec
         return (
             env.kind,
             spec.chip,
-            str(getattr(spec, "impl_key", "") or getattr(spec, "target", "")),
-            int(getattr(spec, "n", None) or getattr(spec, "n_elements", None) or 0),
+            spec_variant(spec),
+            spec_size(spec),
             env.spec_hash,
         )
 
@@ -360,7 +464,7 @@ def _sorted_envelopes(envelopes) -> list:
 def _emit_envelopes(args, envelopes) -> None:
     """Render envelopes as JSON or per-kind summary lines (registry-driven)."""
     ordered = _sorted_envelopes(envelopes)
-    if args.json:
+    if getattr(args, "json", False):
         import json as _json
 
         print(
@@ -384,7 +488,7 @@ def _run_progress(args):
 
     def progress(done: int, total: int, envelope) -> None:
         executed[0] += 1
-        if args.quiet or args.json:
+        if getattr(args, "quiet", False) or getattr(args, "json", False):
             return
         cell = get_workload(envelope.kind).cell_label(envelope.spec)
         print(f"[{done}/{total}] {cell}", file=sys.stderr)
@@ -482,6 +586,118 @@ def _run_sweep(args) -> None:
         print(f"wrote {written} envelopes to {out_dir}")
     if args.json or not out_dir:
         _emit_envelopes(args, envelopes)
+
+
+def _study_list() -> None:
+    """The ``repro study list`` subcommand: every registered definition."""
+    print("Figures (repro study render <name> [--from DIR]):")
+    for fig in FIGURES.values():
+        print(f"  {fig.name:10s} {fig.title}  [{fig.kind}: {fig.metric}]")
+    print("\nTables:")
+    for table in TABLES.values():
+        print(f"  {table.name:10s} {table.title}")
+    print("\nReports:")
+    print("  efficiency GFLOPS/W across every power-bearing workload")
+    print("  compare    paper-vs-measured comparison rows")
+    print("\nFrame metrics (per workload kind):")
+    for workload in all_workloads():
+        names = ", ".join(sorted(workload.metrics)) or "—"
+        print(f"  {workload.kind:14s} {names}")
+
+
+def _study_session(args) -> Session:
+    return make_session(fast=args.fast, seed=args.seed)
+
+
+def _study_run(args) -> None:
+    """The ``repro study run`` subcommand: one declarative grid, optionally
+    persisted to a resumable, manifest-indexed store."""
+    study = paper_study(
+        tuple(args.chips), seed=args.seed, fast=args.fast, figures=args.figures
+    )
+    session = _study_session(args)
+    progress, executed = _run_progress(args)
+    frame = run_study(
+        study,
+        session=session,
+        backend=args.backend,
+        max_workers=args.workers,
+        out=args.out,
+        progress=progress,
+    )
+    # run_study returns the whole grid (manifest-skipped cells included),
+    # so len(frame) is the compiled cell count.
+    print(
+        f"study {study.name} ({study.study_hash()}): {len(frame)} cells"
+        + (f", {executed[0]} executed into {args.out}" if args.out else "")
+    )
+    if not args.out:
+        _emit_envelopes(args, frame.envelopes)
+
+
+def _study_frame(args) -> ResultFrame:
+    """The frame a ``repro study render`` reads: a store, or a live run."""
+    if args.from_dir is not None:
+        return ResultFrame.from_store(args.from_dir)
+    figures = [args.name] if args.name in FIGURES else None
+    study = paper_study(
+        tuple(args.chips) if args.chips else None,
+        seed=args.seed,
+        fast=args.fast,
+        figures=figures,
+    )
+    return run_study(
+        study, session=_study_session(args), max_workers=args.workers
+    )
+
+
+def _study_render(args) -> None:
+    """The ``repro study render`` subcommand: any view, from store or live."""
+    if args.name in TABLES:
+        if args.csv:
+            raise ReproError(f"{args.name} has no CSV form; tables render as text")
+        if args.name == "table1" and args.chips:
+            print(get_table("table1").render(tuple(args.chips)))
+        elif args.chips:
+            raise ReproError(f"{args.name} does not take --chips")
+        else:
+            print(get_table(args.name).render())
+        return
+    frame = _study_frame(args)
+    chips = tuple(args.chips) if args.chips else None
+    if args.name == "efficiency":
+        if args.csv:
+            from repro.study import efficiency_rows
+
+            print(rows_to_csv(efficiency_rows(frame, chips=chips)), end="")
+        else:
+            print(render_efficiency_report(frame, chips=chips))
+        return
+    if args.name == "compare":
+        print(render_comparison(compare_study(frame, chips=chips)))
+        return
+    figure = get_figure(args.name)
+    data = figure.series(frame, chips=chips)
+    if args.name == "figure1":
+        if args.csv:
+            print(rows_to_csv(_figure1_csv_rows(data)), end="")
+        else:
+            _render_figure1_text(data)
+        return
+    _print_series_figure(
+        figure.title, data, figure.value_name, figure.unit, args.csv
+    )
+
+
+def _run_study_command(args) -> None:
+    if args.study_command == "list":
+        _study_list()
+    elif args.study_command == "run":
+        _study_run(args)
+    elif args.study_command == "render":
+        _study_render(args)
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.study_command)
 
 
 def _run_gh200(fast: bool) -> None:
@@ -588,6 +804,8 @@ def _dispatch(args) -> int:
             print(f"  [{'ok' if ok else 'FAIL'}] {name}")
     elif command == "run":
         _run_sweep(args)
+    elif command == "study":
+        _run_study_command(args)
     elif command == "gh200":
         _run_gh200(args.fast)
     elif command == "stream":

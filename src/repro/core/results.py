@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-import warnings
 from typing import Mapping, Sequence
 
 from repro.errors import ConfigurationError
@@ -24,25 +23,6 @@ __all__ = [
     "PoweredGemmResult",
     "summarize_series",
 ]
-
-
-class _CallableStat(float):
-    """Deprecation shim: a float that still tolerates the legacy call syntax.
-
-    ``StreamResult.max_gbs`` and ``fraction_of_peak`` used to be methods while
-    every other result statistic was a property.  They are properties now; the
-    value they return remains callable for one deprecation cycle so existing
-    ``result.max_gbs()`` call sites keep working (with a warning).
-    """
-
-    def __call__(self) -> float:
-        warnings.warn(
-            "StreamResult statistics are properties now; "
-            "drop the call parentheses",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return float(self)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -138,12 +118,12 @@ class StreamResult:
     @property
     def max_gbs(self) -> float:
         """Best bandwidth over all kernels — the Figure-1 bar height."""
-        return _CallableStat(max(k.max_gbs for k in self.kernels.values()))
+        return max(k.max_gbs for k in self.kernels.values())
 
     @property
     def fraction_of_peak(self) -> float:
         """Best kernel bandwidth as a fraction of the theoretical peak."""
-        return _CallableStat(self.max_gbs / self.theoretical_gbs)
+        return self.max_gbs / self.theoretical_gbs
 
 
 @dataclasses.dataclass(frozen=True)

@@ -30,6 +30,7 @@ from repro.sim.machine import (
 from repro.sim.vectorized import (
     LoweredCell,
     VectorContext,
+    effective_draw_w,
     evaluate_cells,
     run_lowered_cell,
     vector_context,
@@ -67,4 +68,5 @@ __all__ = [
     "vector_context",
     "run_lowered_cell",
     "evaluate_cells",
+    "effective_draw_w",
 ]

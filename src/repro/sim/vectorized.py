@@ -57,7 +57,23 @@ __all__ = [
     "vector_context",
     "run_lowered_cell",
     "evaluate_cells",
+    "effective_draw_w",
 ]
+
+
+def effective_draw_w(
+    thermal: ThermalModel, draws: Mapping[PowerComponent, float]
+) -> float:
+    """Total draw (W) while an operation runs, after the thermal clamp.
+
+    This is the wattage the scalar engine records into the power recorder
+    for the operation's interval — ``sum(draws) * clamp_factor`` — exposed
+    so workload lowerings can surface the modelled draw into their result
+    records (the study layer's ``power_w``/``joules``/``gflops_per_w``
+    metrics derive from it for workloads without a measurement protocol).
+    """
+    requested = sum(draws.values())
+    return requested * thermal.clamp_factor(requested)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,0 +1,386 @@
+"""The envelope query layer: figures and tables as data, not loops.
+
+A :class:`ResultFrame` wraps an ordered collection of
+:class:`~repro.experiments.envelope.ResultEnvelope` records — an in-memory
+batch, a session cache, or an on-disk store, interchangeably — behind a
+small relational vocabulary: ``filter``, ``derive``, ``group_by``,
+``aggregate`` and ``pivot``.  Every figure and efficiency view in the
+analysis layer is a frame query; nothing hand-iterates envelopes anymore.
+
+Field resolution on a row goes, in order:
+
+1. columns added by :meth:`ResultFrame.derive`;
+2. the reserved fields ``kind``, ``spec_hash``, ``variant`` (implementation
+   key or target, whichever the spec has), ``size`` (``n`` or
+   ``n_elements``), ``spec``, ``result`` and ``envelope``;
+3. the workload's registered metric extractors
+   (:attr:`~repro.workloads.base.Workload.metrics` — ``gflops``, ``gbs``,
+   ``power_w``, ``joules``, ``gflops_per_w``, ...);
+4. spec attributes (``chip``, ``impl_key``, ``n``, ``seed``, ...);
+5. result attributes.
+
+A metric extractor may return ``None`` ("not available for this cell" —
+e.g. power on a legacy envelope); queries skip such values rather than
+failing, which is what lets one efficiency pivot run over a mixed store.
+"""
+
+from __future__ import annotations
+
+import copy
+import statistics
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.envelope import ResultEnvelope
+
+__all__ = ["Row", "ResultFrame", "AGGREGATORS"]
+
+_MISSING = object()
+
+#: Named reducers accepted wherever an ``agg=`` argument is taken.
+AGGREGATORS: dict[str, Callable[[Sequence[Any]], Any]] = {
+    "max": max,
+    "min": min,
+    "sum": sum,
+    "mean": statistics.fmean,
+    "first": lambda values: values[0],
+    "last": lambda values: values[-1],
+    "count": len,
+}
+
+
+def _reducer(agg: str | Callable) -> Callable[[Sequence[Any]], Any]:
+    if callable(agg):
+        return agg
+    try:
+        return AGGREGATORS[agg]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown aggregator {agg!r}; known: {', '.join(AGGREGATORS)}"
+        ) from None
+
+
+class Row:
+    """One envelope viewed as a flat record of resolvable fields."""
+
+    __slots__ = ("envelope", "_extra")
+
+    def __init__(
+        self, envelope: ResultEnvelope, extra: Mapping[str, Any] | None = None
+    ) -> None:
+        self.envelope = envelope
+        self._extra = dict(extra) if extra else {}
+
+    @property
+    def spec(self) -> Any:
+        return self.envelope.spec
+
+    @property
+    def result(self) -> Any:
+        return self.envelope.result
+
+    @property
+    def kind(self) -> str:
+        return self.envelope.kind
+
+    def with_extra(self, extra: Mapping[str, Any]) -> "Row":
+        """A copy carrying additional derived columns."""
+        merged = dict(self._extra)
+        merged.update(extra)
+        return Row(self.envelope, merged)
+
+    def __getitem__(self, field: str) -> Any:
+        if field in self._extra:
+            return self._extra[field]
+        spec = self.envelope.spec
+        if field == "kind":
+            return self.envelope.kind
+        if field == "spec_hash":
+            return self.envelope.spec_hash
+        if field == "variant":
+            from repro.workloads.base import spec_variant
+
+            return spec_variant(spec)
+        if field == "size":
+            from repro.workloads.base import spec_size
+
+            return spec_size(spec)
+        if field == "spec":
+            return spec
+        if field == "result":
+            return self.envelope.result
+        if field == "envelope":
+            return self.envelope
+        metric = self._workload_metric(field)
+        if metric is not _MISSING:
+            return metric
+        value = getattr(spec, field, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = getattr(self.envelope.result, field, _MISSING)
+        if value is not _MISSING:
+            return value
+        raise KeyError(field)
+
+    def _workload_metric(self, field: str) -> Any:
+        from repro import workloads
+
+        try:
+            workload = workloads.workload_for_spec(self.envelope.spec)
+        except ConfigurationError:
+            return _MISSING
+        extractor = workload.metrics.get(field)
+        if extractor is None:
+            return _MISSING
+        return extractor(self.envelope.spec, self.envelope.result)
+
+    def get(self, field: str, default: Any = None) -> Any:
+        """The field's value, or ``default`` when it does not resolve."""
+        try:
+            return self[field]
+        except KeyError:
+            return default
+
+    def __contains__(self, field: str) -> bool:
+        return self.get(field, _MISSING) is not _MISSING
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Row({self.envelope.kind}/{self.envelope.spec_hash})"
+
+
+class ResultFrame:
+    """An ordered, immutable collection of envelope rows with a query API.
+
+    Every operation returns a new frame (or plain data); row order is
+    preserved throughout, which is what makes query output deterministic —
+    and byte-identical to the legacy hand-assembled figures, whose dicts
+    were built in envelope order.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: Iterable[Row]) -> None:
+        self._rows: tuple[Row, ...] = tuple(rows)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_envelopes(
+        cls, envelopes: Iterable[ResultEnvelope]
+    ) -> "ResultFrame":
+        """A frame over an in-memory envelope collection (batch output)."""
+        return cls(Row(env) for env in envelopes)
+
+    @classmethod
+    def from_store(cls, directory: Any) -> "ResultFrame":
+        """A frame over a persisted store — ``repro run --out``/study output.
+
+        Loads through :func:`~repro.experiments.store.load_envelopes`, so
+        both store layouts (and mixtures) work and corrupt files raise a
+        :class:`ConfigurationError` naming the path.
+        """
+        from repro.experiments.store import load_envelopes
+
+        return cls.from_envelopes(load_envelopes(directory))
+
+    @classmethod
+    def from_session(cls, session: Any) -> "ResultFrame":
+        """A frame over everything a session has in its in-memory cache."""
+        return cls.from_envelopes(session.cached_envelopes())
+
+    # -- basics ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        return self._rows
+
+    @property
+    def envelopes(self) -> tuple[ResultEnvelope, ...]:
+        return tuple(row.envelope for row in self._rows)
+
+    def kinds(self) -> tuple[str, ...]:
+        """The workload kinds present, in first-seen order."""
+        return tuple(dict.fromkeys(row.kind for row in self._rows))
+
+    def unique(self, field: str) -> tuple[Any, ...]:
+        """Distinct values of one field, in first-seen order (missing skipped)."""
+        seen: dict[Any, None] = {}
+        for row in self._rows:
+            value = row.get(field, _MISSING)
+            if value is not _MISSING:
+                seen.setdefault(value, None)
+        return tuple(seen)
+
+    def values(self, field: str) -> list[Any]:
+        """The field's value per row, in order (missing/None skipped)."""
+        out = []
+        for row in self._rows:
+            value = row.get(field, _MISSING)
+            if value is not _MISSING and value is not None:
+                out.append(value)
+        return out
+
+    # -- relational ops ----------------------------------------------------
+    def filter(
+        self,
+        predicate: Callable[[Row], bool] | None = None,
+        **where: Any,
+    ) -> "ResultFrame":
+        """Rows matching a predicate and/or field constraints.
+
+        Keyword constraints test equality, or membership when the value is
+        a non-string collection (``chip=("M1", "M4")``).  Rows lacking a
+        constrained field never match.
+        """
+
+        def matches(row: Row) -> bool:
+            if predicate is not None and not predicate(row):
+                return False
+            for field, wanted in where.items():
+                value = row.get(field, _MISSING)
+                if value is _MISSING:
+                    return False
+                if isinstance(wanted, (list, tuple, set, frozenset)):
+                    if value not in wanted:
+                        return False
+                elif value != wanted:
+                    return False
+            return True
+
+        return ResultFrame(row for row in self._rows if matches(row))
+
+    def derive(self, **columns: Callable[[Row], Any]) -> "ResultFrame":
+        """A frame with extra columns computed per row (``fn(row) -> value``)."""
+        return ResultFrame(
+            row.with_extra({name: fn(row) for name, fn in columns.items()})
+            for row in self._rows
+        )
+
+    def sort_by(self, *fields: str, reverse: bool = False) -> "ResultFrame":
+        """Rows reordered by the given fields (missing fields sort first)."""
+        return ResultFrame(
+            sorted(
+                self._rows,
+                key=lambda row: tuple(
+                    (row.get(f, _MISSING) is not _MISSING, row.get(f))
+                    for f in fields
+                ),
+                reverse=reverse,
+            )
+        )
+
+    def group_by(self, *fields: str) -> dict[Any, "ResultFrame"]:
+        """Sub-frames keyed by the field tuple (scalar key for one field),
+        in first-seen order."""
+        groups: dict[Any, list[Row]] = {}
+        for row in self._rows:
+            try:
+                key = tuple(row[f] for f in fields)
+            except KeyError:
+                continue
+            groups.setdefault(key[0] if len(fields) == 1 else key, []).append(row)
+        return {key: ResultFrame(rows) for key, rows in groups.items()}
+
+    def aggregate(
+        self,
+        field: str,
+        agg: str | Callable = "max",
+        *,
+        by: Sequence[str] | str = (),
+    ) -> Any:
+        """Reduce one field over the frame, optionally per group.
+
+        Without ``by``: a scalar.  With ``by``: ``{group_key: reduced}`` in
+        first-seen order.  Missing/``None`` values are skipped; an empty
+        value set raises :class:`ConfigurationError` for the scalar form
+        and simply omits the group otherwise.
+        """
+        reduce_ = _reducer(agg)
+        if not by:
+            values = self.values(field)
+            if not values:
+                raise ConfigurationError(
+                    f"no values of {field!r} to aggregate"
+                )
+            return reduce_(values)
+        by_fields = (by,) if isinstance(by, str) else tuple(by)
+        return {
+            key: reduce_(values)
+            for key, group in self.group_by(*by_fields).items()
+            if (values := group.values(field))
+        }
+
+    def pivot(
+        self,
+        index: str | Sequence[str],
+        values: str,
+        *,
+        agg: str | Callable | None = None,
+        seed: Mapping[Any, Any] | None = None,
+    ) -> dict:
+        """Nested dict keyed by the index fields, holding ``values`` leaves.
+
+        ``index=("chip", "impl_key", "n"), values="gflops"`` yields the
+        figure-series shape ``{chip: {impl: {n: gflops}}}``.  Keys appear
+        in row order; ``seed`` pre-populates the nesting (the figure
+        scaffolds: every requested chip/implementation present even when
+        its series is empty) and is deep-copied, never mutated.  With
+        ``agg=None`` (default) the last row wins per leaf — the natural
+        semantics for one-envelope-per-cell stores; otherwise leaves
+        collect all matching rows and reduce through ``agg``.  Rows whose
+        index or value fields are missing (or whose value is ``None``) are
+        skipped.
+        """
+        fields = (index,) if isinstance(index, str) else tuple(index)
+        if not fields:
+            raise ConfigurationError("pivot needs at least one index field")
+        out: dict = copy.deepcopy(dict(seed)) if seed is not None else {}
+        pending: dict[tuple, list] = {}
+        for row in self._rows:
+            try:
+                keys = tuple(row[f] for f in fields)
+            except KeyError:
+                continue
+            value = row.get(values, _MISSING)
+            if value is _MISSING or value is None:
+                continue
+            node = out
+            for key in keys[:-1]:
+                node = node.setdefault(key, {})
+            if agg is None:
+                node[keys[-1]] = value
+            else:
+                node.setdefault(keys[-1], None)  # reserve key order
+                pending.setdefault(keys, []).append(value)
+        if agg is not None:
+            reduce_ = _reducer(agg)
+            for keys, collected in pending.items():
+                node = out
+                for key in keys[:-1]:
+                    node = node[key]
+                node[keys[-1]] = reduce_(collected)
+        return out
+
+    # -- export ------------------------------------------------------------
+    def to_rows(self, fields: Sequence[str]) -> list[dict[str, Any]]:
+        """Tidy records ``[{field: value}]``, one per row (missing -> None)."""
+        return [
+            {field: row.get(field) for field in fields} for row in self._rows
+        ]
+
+    def to_csv(self, fields: Sequence[str]) -> str:
+        """Tidy CSV text over the given fields (stable column order)."""
+        from repro.analysis.export import rows_to_csv
+
+        return rows_to_csv(self.to_rows(fields))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds = ", ".join(self.kinds()) or "empty"
+        return f"ResultFrame({len(self._rows)} rows: {kinds})"

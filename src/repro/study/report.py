@@ -1,0 +1,121 @@
+"""Efficiency views and paper comparison over a result frame.
+
+Everything here is a :class:`~repro.study.frame.ResultFrame` query — no
+hand-written envelope iteration.  The flagship view is the efficiency
+pivot: GFLOPS-per-watt across every workload that carries (measured or
+modelled) power, producible identically from a live batch or a persisted
+store::
+
+    frame = ResultFrame.from_store("results/")
+    pivot = efficiency_pivot(frame)   # {kind: {chip: {variant: {size: gflops/W}}}}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.study.defs import FIGURES, render_plain_table
+from repro.study.frame import ResultFrame
+
+__all__ = [
+    "EFFICIENCY_FIELDS",
+    "efficiency_pivot",
+    "efficiency_rows",
+    "render_efficiency_report",
+    "figure_series_bundle",
+    "compare_study",
+]
+
+#: Tidy-record columns of the efficiency report.
+EFFICIENCY_FIELDS: tuple[str, ...] = (
+    "kind",
+    "chip",
+    "variant",
+    "size",
+    "gflops",
+    "power_w",
+    "joules",
+    "gflops_per_w",
+)
+
+
+def efficiency_pivot(
+    frame: ResultFrame, *, chips: Sequence[str] | None = None
+) -> dict:
+    """GFLOPS/W across the whole frame: ``{kind: {chip: {variant: {size: v}}}}``.
+
+    Cells without power (plain GEMM, STREAM, legacy envelopes persisted
+    before the draw was surfaced) simply do not appear — one query runs
+    over mixed stores.
+    """
+    sub = frame if chips is None else frame.filter(chip=tuple(chips))
+    return sub.pivot(
+        ("kind", "chip", "variant", "size"), values="gflops_per_w"
+    )
+
+
+def efficiency_rows(
+    frame: ResultFrame, *, chips: Sequence[str] | None = None
+) -> list[dict[str, Any]]:
+    """Tidy efficiency records (:data:`EFFICIENCY_FIELDS`), power-bearing
+    cells only, in frame order."""
+    sub = frame if chips is None else frame.filter(chip=tuple(chips))
+    return sub.filter(
+        lambda row: row.get("gflops_per_w") is not None
+    ).to_rows(EFFICIENCY_FIELDS)
+
+
+def render_efficiency_report(
+    frame: ResultFrame, *, chips: Sequence[str] | None = None
+) -> str:
+    """ASCII efficiency table over every power-bearing cell of the frame."""
+    rows = [
+        [
+            str(record["kind"]),
+            str(record["chip"]),
+            str(record["variant"]),
+            str(record["size"]),
+            f"{record['gflops']:.1f}" if record["gflops"] is not None else "—",
+            f"{record['power_w']:.2f}",
+            f"{record['joules']:.3f}" if record["joules"] is not None else "—",
+            f"{record['gflops_per_w']:.2f}",
+        ]
+        for record in efficiency_rows(frame, chips=chips)
+    ]
+    return render_plain_table(
+        ["Kind", "Chip", "Variant", "Size", "GFLOPS", "W", "J", "GFLOPS/W"],
+        rows,
+        title="Efficiency — GFLOPS per watt (measured or modelled draw)",
+    )
+
+
+def figure_series_bundle(
+    frame: ResultFrame, *, chips: Sequence[str] | None = None
+) -> dict[str, dict]:
+    """Every figure's series assembled from one frame, keyed by figure name.
+
+    Figures whose workload kind is absent from the frame yield empty
+    series — the comparison helpers treat those as "not measured".
+    """
+    return {
+        name: fig.series(frame, chips=chips) for name, fig in FIGURES.items()
+    }
+
+
+def compare_study(
+    frame: ResultFrame, *, chips: Sequence[str] | None = None
+) -> list:
+    """Paper-vs-measured comparison rows straight from a frame.
+
+    The classic :func:`repro.analysis.compare.compare_to_paper` fed by the
+    figure queries — ``repro study render compare --from DIR`` without any
+    bespoke assembly.
+    """
+    from repro.analysis.compare import compare_to_paper
+
+    series = figure_series_bundle(frame, chips=chips)
+    return compare_to_paper(
+        fig1=series["figure1"] or None,
+        fig2=series["figure2"] or None,
+        fig4=series["figure4"] or None,
+    )

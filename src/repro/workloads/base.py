@@ -26,12 +26,71 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "Workload",
+    "best_elapsed_s",
     "expand_axes",
+    "modelled_power_metrics",
     "repetitions_to_dicts",
     "repetitions_from_dicts",
+    "spec_size",
+    "spec_variant",
     "timed_repetition",
     "variant_grid",
 ]
+
+
+def best_elapsed_s(result: Any) -> float:
+    """Fastest repetition of a timed result record, in seconds."""
+    return min(r.elapsed_ns for r in result.repetitions) * 1e-9
+
+
+def spec_variant(spec: Any) -> str:
+    """A spec's middle-axis label: implementation key or target, else ``""``.
+
+    The one shared spec-to-variant mapping — the study frame's reserved
+    ``variant`` field and the CLI's envelope ordering both resolve through
+    here, so a workload with a different variant field has one place to
+    matter.
+    """
+    return str(getattr(spec, "impl_key", "") or getattr(spec, "target", ""))
+
+
+def spec_size(spec: Any) -> int:
+    """A spec's problem-size axis: ``n`` or ``n_elements``, else ``0``."""
+    return int(
+        getattr(spec, "n", None) or getattr(spec, "n_elements", None) or 0
+    )
+
+
+def modelled_power_metrics() -> dict[str, Callable]:
+    """The shared power/efficiency metric extractors of modelled workloads.
+
+    For workloads whose result record carries the simulator's thermally
+    clamped draw in a ``power_w`` field (see
+    :func:`repro.sim.vectorized.effective_draw_w`): ``power_w`` is the draw
+    while the cell runs, ``joules`` the energy of the fastest repetition,
+    ``gflops_per_w`` the Figure-4-style efficiency.  Each returns ``None``
+    for legacy envelopes persisted before the draw was surfaced, which the
+    query layer treats as "metric not available" rather than an error.
+    """
+
+    def power_w(spec: Any, result: Any) -> float | None:
+        return result.power_w
+
+    def joules(spec: Any, result: Any) -> float | None:
+        if result.power_w is None:
+            return None
+        return result.power_w * best_elapsed_s(result)
+
+    def gflops_per_w(spec: Any, result: Any) -> float | None:
+        if not result.power_w:
+            return None
+        return result.best_gflops / result.power_w
+
+    return {
+        "power_w": power_w,
+        "joules": joules,
+        "gflops_per_w": gflops_per_w,
+    }
 
 
 def variant_grid(
@@ -147,6 +206,17 @@ class Workload:
     impl_keys:
         The implementation/variant keys this workload understands (listed
         by ``repro workloads``; empty when the workload has no variants).
+    metrics:
+        Named metric extractors ``{name: (spec, result) -> value}`` — the
+        per-kind vocabulary of the study layer's
+        :class:`~repro.study.frame.ResultFrame`.  Workloads publish the
+        figure-ready statistics of their result record under the shared
+        metric names (``gflops``, ``gbs``, ``fraction_of_peak``,
+        ``power_w``, ``joules``, ``gflops_per_w``, ``elapsed_s``) plus any
+        kind-specific extras; an extractor may return ``None`` to mean
+        "not available for this cell" (e.g. power metrics on a legacy
+        envelope).  Fields the spec or result expose directly need no
+        extractor — the frame falls back to attribute access.
     vectorized_body:
         Optional lowering hook ``(machine_like, spec) ->``
         :class:`~repro.sim.vectorized.LoweredCell` behind the ``vectorized``
@@ -176,6 +246,9 @@ class Workload:
     impl_keys: tuple[str, ...] = ()
     sample_variants: Callable[[int, int], tuple] | None = None
     vectorized_body: "Callable[[Any, ExperimentSpec], Any] | None" = None
+    metrics: Mapping[str, Callable[["ExperimentSpec", Any], Any]] = (
+        dataclasses.field(default_factory=dict)
+    )
 
     def __post_init__(self) -> None:
         if not self.kind:

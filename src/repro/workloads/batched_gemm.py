@@ -34,10 +34,12 @@ from repro.sim.engine import EngineKind
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsPolicy
 from repro.sim.roofline import OpCost
-from repro.sim.vectorized import LoweredCell, run_lowered_cell
+from repro.sim.vectorized import LoweredCell, effective_draw_w, run_lowered_cell
 from repro.workloads.base import (
     Workload,
+    best_elapsed_s,
     expand_axes,
+    modelled_power_metrics,
     repetitions_from_dicts,
     repetitions_to_dicts,
     variant_grid,
@@ -148,6 +150,10 @@ class BatchedGemmResult:
     overhead_s: float  # modelled dispatch overhead per repetition
     repetitions: tuple[GemmRepetition, ...]
     verified: bool | None = None
+    #: Modelled draw (W) while the batch runs — the simulator's thermally
+    #: clamped total (:func:`repro.sim.vectorized.effective_draw_w`).
+    #: ``None`` on envelopes persisted before the draw was surfaced.
+    power_w: float | None = None
 
     def __post_init__(self) -> None:
         if not self.repetitions:
@@ -158,6 +164,8 @@ class BatchedGemmResult:
             raise ConfigurationError("FLOP count must be positive")
         if self.overhead_s < 0.0:
             raise ConfigurationError("overhead must be non-negative")
+        if self.power_w is not None and self.power_w < 0.0:
+            raise ConfigurationError("power draw cannot be negative")
 
     @property
     def best_gflops(self) -> float:
@@ -224,6 +232,9 @@ def lower_batched_gemm_spec(machine, spec: BatchedGemmSpec) -> LoweredCell:
     if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
         verified = _numerics_verified(spec)
 
+    draws = gemm_power_draws(chip, impl.power_impl_key, spec.n)
+    power_w = effective_draw_w(machine.thermal, draws)
+
     def assemble(elapsed_ns: tuple[int, ...]) -> BatchedGemmResult:
         return BatchedGemmResult(
             chip_name=chip.name,
@@ -237,6 +248,7 @@ def lower_batched_gemm_spec(machine, spec: BatchedGemmSpec) -> LoweredCell:
                 for rep, ns in enumerate(elapsed_ns)
             ),
             verified=verified,
+            power_w=power_w,
         )
 
     return LoweredCell(
@@ -248,7 +260,7 @@ def lower_batched_gemm_spec(machine, spec: BatchedGemmSpec) -> LoweredCell:
         compute_efficiency=efficiency,
         memory_efficiency=_MEMORY_EFFICIENCY[impl.engine],
         overhead_s=overhead,
-        power_draws_w=gemm_power_draws(chip, impl.power_impl_key, spec.n),
+        power_draws_w=draws,
         noise_keys=tuple(
             f"batched-gemm/{chip.name}/{spec.impl_key}"
             f"/n={spec.n}/b={spec.batch}/rep={rep}"
@@ -279,10 +291,12 @@ def _result_to_dict(result: BatchedGemmResult) -> dict[str, Any]:
         "overhead_s": result.overhead_s,
         "repetitions": repetitions_to_dicts(result.repetitions),
         "verified": result.verified,
+        "power_w": result.power_w,
     }
 
 
 def _result_from_dict(data: Mapping[str, Any]) -> BatchedGemmResult:
+    power_w = data.get("power_w")
     return BatchedGemmResult(
         chip_name=data["chip_name"],
         impl_key=data["impl_key"],
@@ -292,6 +306,7 @@ def _result_from_dict(data: Mapping[str, Any]) -> BatchedGemmResult:
         overhead_s=float(data["overhead_s"]),
         repetitions=repetitions_from_dicts(data["repetitions"]),
         verified=data.get("verified"),
+        power_w=float(power_w) if power_w is not None else None,
     )
 
 
@@ -358,5 +373,12 @@ BATCHED_GEMM_WORKLOAD: Workload = register_workload(
         impl_keys=BATCHED_GEMM_IMPL_KEYS,
         sample_variants=_sample_variants,
         vectorized_body=lower_batched_gemm_spec,
+        metrics={
+            "gflops": lambda spec, r: r.best_gflops,
+            "mean_gflops": lambda spec, r: r.mean_gflops,
+            "overhead_fraction": lambda spec, r: r.overhead_fraction,
+            "elapsed_s": lambda spec, r: best_elapsed_s(r),
+            **modelled_power_metrics(),
+        },
     )
 )

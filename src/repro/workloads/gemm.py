@@ -25,6 +25,7 @@ from repro.experiments.executor import run_gemm_spec
 from repro.experiments.specs import GemmSpec, SweepSpec
 from repro.workloads.base import (
     Workload,
+    best_elapsed_s,
     expand_axes,
     repetitions_from_dicts,
     repetitions_to_dicts,
@@ -133,5 +134,10 @@ GEMM_WORKLOAD: Workload = register_workload(
         ),
         impl_keys=paper_implementation_keys(),
         sample_variants=_sample_variants,
+        metrics={
+            "gflops": lambda spec, r: r.best_gflops,
+            "mean_gflops": lambda spec, r: r.mean_gflops,
+            "elapsed_s": lambda spec, r: best_elapsed_s(r),
+        },
     )
 )

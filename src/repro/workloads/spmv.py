@@ -36,10 +36,12 @@ from repro.sim.engine import EngineKind
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsPolicy
 from repro.sim.roofline import OpCost
-from repro.sim.vectorized import LoweredCell, run_lowered_cell
+from repro.sim.vectorized import LoweredCell, effective_draw_w, run_lowered_cell
 from repro.workloads.base import (
     Workload,
+    best_elapsed_s,
     expand_axes,
+    modelled_power_metrics,
     repetitions_from_dicts,
     repetitions_to_dicts,
     variant_grid,
@@ -112,12 +114,18 @@ class SpmvResult:
     theoretical_gbs: float
     repetitions: tuple[GemmRepetition, ...]
     verified: bool | None = None
+    #: Modelled draw (W) while the kernel runs — the simulator's thermally
+    #: clamped total (:func:`repro.sim.vectorized.effective_draw_w`).
+    #: ``None`` on envelopes persisted before the draw was surfaced.
+    power_w: float | None = None
 
     def __post_init__(self) -> None:
         if not self.repetitions:
             raise ConfigurationError("an SpMV result needs at least one repetition")
         if self.nnz <= 0 or self.flop_count <= 0 or self.bytes_moved <= 0:
             raise ConfigurationError("SpMV work content must be positive")
+        if self.power_w is not None and self.power_w < 0.0:
+            raise ConfigurationError("power draw cannot be negative")
 
     @property
     def best_gflops(self) -> float:
@@ -213,6 +221,9 @@ def lower_spmv_spec(machine, spec: SpmvSpec) -> LoweredCell:
     if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
         verified = _numerics_verified(spec)
 
+    draws = stream_power_draws(chip, spec.target)
+    power_w = effective_draw_w(machine.thermal, draws)
+
     def assemble(elapsed_ns: tuple[int, ...]) -> SpmvResult:
         return SpmvResult(
             chip_name=chip.name,
@@ -227,6 +238,7 @@ def lower_spmv_spec(machine, spec: SpmvSpec) -> LoweredCell:
                 for rep, ns in enumerate(elapsed_ns)
             ),
             verified=verified,
+            power_w=power_w,
         )
 
     return LoweredCell(
@@ -240,7 +252,7 @@ def lower_spmv_spec(machine, spec: SpmvSpec) -> LoweredCell:
         compute_efficiency=1.0,
         memory_efficiency=memory_efficiency,
         overhead_s=overhead,
-        power_draws_w=stream_power_draws(chip, spec.target),
+        power_draws_w=draws,
         noise_keys=tuple(
             f"spmv/{chip.name}/{spec.target}/n={spec.n}"
             f"/k={spec.nnz_per_row}/rep={rep}"
@@ -270,10 +282,12 @@ def _result_to_dict(result: SpmvResult) -> dict[str, Any]:
         "theoretical_gbs": result.theoretical_gbs,
         "repetitions": repetitions_to_dicts(result.repetitions),
         "verified": result.verified,
+        "power_w": result.power_w,
     }
 
 
 def _result_from_dict(data: Mapping[str, Any]) -> SpmvResult:
+    power_w = data.get("power_w")
     return SpmvResult(
         chip_name=data["chip_name"],
         target=data["target"],
@@ -284,6 +298,7 @@ def _result_from_dict(data: Mapping[str, Any]) -> SpmvResult:
         theoretical_gbs=float(data["theoretical_gbs"]),
         repetitions=repetitions_from_dicts(data["repetitions"]),
         verified=data.get("verified"),
+        power_w=float(power_w) if power_w is not None else None,
     )
 
 
@@ -347,5 +362,13 @@ SPMV_WORKLOAD: Workload = register_workload(
         impl_keys=("cpu", "gpu"),
         sample_variants=_sample_variants,
         vectorized_body=lower_spmv_spec,
+        metrics={
+            "gflops": lambda spec, r: r.best_gflops,
+            "mean_gflops": lambda spec, r: r.mean_gflops,
+            "gbs": lambda spec, r: r.best_gbs,
+            "fraction_of_peak": lambda spec, r: r.fraction_of_peak,
+            "elapsed_s": lambda spec, r: best_elapsed_s(r),
+            **modelled_power_metrics(),
+        },
     )
 )

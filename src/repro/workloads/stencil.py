@@ -31,10 +31,12 @@ from repro.sim.engine import EngineKind
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsPolicy
 from repro.sim.roofline import OpCost
-from repro.sim.vectorized import LoweredCell, run_lowered_cell
+from repro.sim.vectorized import LoweredCell, effective_draw_w, run_lowered_cell
 from repro.workloads.base import (
     Workload,
+    best_elapsed_s,
     expand_axes,
+    modelled_power_metrics,
     repetitions_from_dicts,
     repetitions_to_dicts,
     variant_grid,
@@ -116,6 +118,10 @@ class StencilResult:
     theoretical_gbs: float
     repetitions: tuple[GemmRepetition, ...]
     verified: bool | None = None
+    #: Modelled draw (W) while the sweep runs — the simulator's thermally
+    #: clamped total (:func:`repro.sim.vectorized.effective_draw_w`).
+    #: ``None`` on envelopes persisted before the draw was surfaced.
+    power_w: float | None = None
 
     def __post_init__(self) -> None:
         if not self.repetitions:
@@ -124,6 +130,8 @@ class StencilResult:
             )
         if self.flop_count <= 0 or self.bytes_moved <= 0:
             raise ConfigurationError("stencil work content must be positive")
+        if self.power_w is not None and self.power_w < 0.0:
+            raise ConfigurationError("power draw cannot be negative")
 
     @property
     def best_gflops(self) -> float:
@@ -215,6 +223,9 @@ def lower_stencil_spec(machine, spec: StencilSpec) -> LoweredCell:
     if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
         verified = _numerics_verified(spec)
 
+    draws = stream_power_draws(chip, "cpu")
+    power_w = effective_draw_w(machine.thermal, draws)
+
     def assemble(elapsed_ns: tuple[int, ...]) -> StencilResult:
         return StencilResult(
             chip_name=chip.name,
@@ -229,6 +240,7 @@ def lower_stencil_spec(machine, spec: StencilSpec) -> LoweredCell:
                 for rep, ns in enumerate(elapsed_ns)
             ),
             verified=verified,
+            power_w=power_w,
         )
 
     return LoweredCell(
@@ -240,7 +252,7 @@ def lower_stencil_spec(machine, spec: StencilSpec) -> LoweredCell:
         compute_efficiency=_COMPUTE_EFFICIENCY,
         memory_efficiency=_MEMORY_EFFICIENCY[spec.impl_key],
         overhead_s=_OVERHEAD_S,
-        power_draws_w=stream_power_draws(chip, "cpu"),
+        power_draws_w=draws,
         noise_keys=tuple(
             f"stencil/{chip.name}/{spec.impl_key}/n={spec.n}"
             f"/it={spec.iterations}/rep={rep}"
@@ -270,10 +282,12 @@ def _result_to_dict(result: StencilResult) -> dict[str, Any]:
         "theoretical_gbs": result.theoretical_gbs,
         "repetitions": repetitions_to_dicts(result.repetitions),
         "verified": result.verified,
+        "power_w": result.power_w,
     }
 
 
 def _result_from_dict(data: Mapping[str, Any]) -> StencilResult:
+    power_w = data.get("power_w")
     return StencilResult(
         chip_name=data["chip_name"],
         impl_key=data["impl_key"],
@@ -284,6 +298,7 @@ def _result_from_dict(data: Mapping[str, Any]) -> StencilResult:
         theoretical_gbs=float(data["theoretical_gbs"]),
         repetitions=repetitions_from_dicts(data["repetitions"]),
         verified=data.get("verified"),
+        power_w=float(power_w) if power_w is not None else None,
     )
 
 
@@ -348,5 +363,13 @@ STENCIL_WORKLOAD: Workload = register_workload(
         impl_keys=STENCIL_IMPL_KEYS,
         sample_variants=_sample_variants,
         vectorized_body=lower_stencil_spec,
+        metrics={
+            "gflops": lambda spec, r: r.best_gflops,
+            "mean_gflops": lambda spec, r: r.mean_gflops,
+            "gbs": lambda spec, r: r.best_gbs,
+            "mcups": lambda spec, r: r.best_mcups,
+            "elapsed_s": lambda spec, r: best_elapsed_s(r),
+            **modelled_power_metrics(),
+        },
     )
 )

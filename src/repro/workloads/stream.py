@@ -132,5 +132,13 @@ STREAM_WORKLOAD: Workload = register_workload(
         ),
         impl_keys=("cpu", "gpu"),
         sample_variants=_sample_variants,
+        metrics={
+            "gbs": lambda spec, r: float(r.max_gbs),
+            "fraction_of_peak": lambda spec, r: float(r.fraction_of_peak),
+            # Per-kernel bar heights as a mapping — the Figure-1 series.
+            "kernel_gbs": lambda spec, r: {
+                k: float(kr.max_gbs) for k, kr in r.kernels.items()
+            },
+        },
     )
 )

@@ -2,16 +2,43 @@
 
 The mapping style predates the spec/session API; it must keep honouring the
 *caller's* machines — their numerics, seeds and even off-catalog chip specs
-— not silently rebuild catalog machines from the first entry's config.
+— not silently rebuild catalog machines from the first entry's config.  It
+is deprecated: every mapping call funnels through the single
+``session_from_machines`` adapter, which emits one ``DeprecationWarning``.
 """
 
 import dataclasses
+import warnings
+
+import pytest
 
 from repro.analysis.figures import figure1_data, figure2_data
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsConfig
 from repro.soc.catalog import M4
 from repro.soc.device import device_for_chip
+
+
+class TestDeprecation:
+    def test_mapping_style_warns_once_per_call(self):
+        machines = {
+            "M1": Machine.for_chip("M1", numerics=NumericsConfig.model_only())
+        }
+        with pytest.warns(DeprecationWarning, match="chip: Machine"):
+            figure2_data(
+                machines, sizes=(64,), impl_keys=("gpu-mps",), repeats=1
+            )
+
+    def test_declarative_style_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            figure2_data(
+                ("M1",),
+                fast=True,
+                sizes=(64,),
+                impl_keys=("gpu-mps",),
+                repeats=1,
+            )
 
 
 class TestLegacyMappingStyle:

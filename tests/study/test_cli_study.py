@@ -1,0 +1,178 @@
+"""CLI integration: `repro study list|run|render` and figure-path parity."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import RunManifest, load_envelopes
+from repro.study import FIGURES, TABLES
+
+
+@pytest.fixture(scope="module")
+def study_store(tmp_path_factory):
+    """One fast M1 study persisted through the CLI (module-shared)."""
+    out = tmp_path_factory.mktemp("study") / "store"
+    code = main(
+        ["study", "run", "--fast", "--chips", "M1", "--quiet", "--out", str(out)]
+    )
+    assert code == 0
+    return out
+
+
+class TestStudyList:
+    def test_lists_every_definition(self, capsys):
+        assert main(["study", "list"]) == 0
+        text = capsys.readouterr().out
+        for name in (*FIGURES, *TABLES, "efficiency", "compare"):
+            assert name in text
+        assert "gflops_per_w" in text  # the metric vocabulary is shown
+
+
+class TestStudyRun:
+    def test_persists_a_manifest_indexed_store(self, study_store, capsys):
+        envelopes = load_envelopes(study_store)
+        assert {env.kind for env in envelopes} == {
+            "stream",
+            "gemm",
+            "powered-gemm",
+        }
+        manifest = RunManifest.load(study_store)
+        counts = manifest.status_counts()
+        assert counts.get("done") == len(envelopes)
+
+    def test_rerun_resumes_and_executes_nothing(self, study_store, capsys):
+        assert (
+            main(
+                [
+                    "study",
+                    "run",
+                    "--fast",
+                    "--chips",
+                    "M1",
+                    "--quiet",
+                    "--out",
+                    str(study_store),
+                ]
+            )
+            == 0
+        )
+        assert "0 executed" in capsys.readouterr().out
+
+    def test_without_out_prints_summaries(self, capsys):
+        code = main(
+            [
+                "study",
+                "run",
+                "--fast",
+                "--chips",
+                "M1",
+                "--figures",
+                "figure2",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+        assert "cells" in out
+
+
+class TestStudyRender:
+    def test_figure_from_store_matches_classic_figure_path(
+        self, study_store, capsys
+    ):
+        # Pin --chips so both commands apply the same series scaffold
+        # (classic figures default to all four chips, study render to
+        # whatever the store holds).
+        assert (
+            main(
+                [
+                    "study",
+                    "render",
+                    "figure2",
+                    "--chips",
+                    "M1",
+                    "--from",
+                    str(study_store),
+                ]
+            )
+            == 0
+        )
+        via_study = capsys.readouterr().out
+        assert (
+            main(["figure2", "--chips", "M1", "--from", str(study_store)]) == 0
+        )
+        via_figure = capsys.readouterr().out
+        assert via_study == via_figure
+
+    def test_figure1_text_and_csv(self, study_store, capsys):
+        assert (
+            main(["study", "render", "figure1", "--from", str(study_store)])
+            == 0
+        )
+        assert "theoretical" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "study",
+                    "render",
+                    "figure1",
+                    "--csv",
+                    "--from",
+                    str(study_store),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.startswith("chip,target,kernel")
+
+    def test_efficiency_report_from_store(self, study_store, capsys):
+        assert (
+            main(["study", "render", "efficiency", "--from", str(study_store)])
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "GFLOPS/W" in text
+        assert "powered-gemm" in text
+
+    def test_efficiency_csv_from_store(self, study_store, capsys):
+        assert (
+            main(
+                [
+                    "study",
+                    "render",
+                    "efficiency",
+                    "--csv",
+                    "--from",
+                    str(study_store),
+                ]
+            )
+            == 0
+        )
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header == "kind,chip,variant,size,gflops,power_w,joules,gflops_per_w"
+
+    def test_compare_from_store(self, study_store, capsys):
+        assert (
+            main(["study", "render", "compare", "--from", str(study_store)])
+            == 0
+        )
+        assert "| Experiment |" in capsys.readouterr().out
+
+    def test_tables_render_without_a_store(self, capsys):
+        for name in TABLES:
+            assert main(["study", "render", name]) == 0
+            assert f"Table {name[-1]}" in capsys.readouterr().out
+
+    def test_live_figure_render(self, capsys):
+        code = main(
+            [
+                "study",
+                "render",
+                "figure2",
+                "--fast",
+                "--chips",
+                "M1",
+            ]
+        )
+        assert code == 0
+        assert "Figure 2" in capsys.readouterr().out

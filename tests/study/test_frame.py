@@ -1,0 +1,193 @@
+"""ResultFrame: field resolution, query semantics, store round trips.
+
+Metric coverage is parametrized over the workload registry via each
+workload's ``sample_spec``, so a newly registered workload is exercised
+automatically.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ResultEnvelope, Session, save_envelopes
+from repro.study import ResultFrame
+from repro.workloads import all_workloads, get_workload, workload_kinds
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(numerics="model-only")
+
+
+@pytest.fixture(scope="module")
+def registry_frame(session):
+    """One executed sample cell per registered workload."""
+    specs = [get_workload(kind).sample_spec() for kind in workload_kinds()]
+    return ResultFrame.from_envelopes(session.run_batch(specs))
+
+
+class TestFieldResolution:
+    def test_reserved_fields(self, registry_frame):
+        for row in registry_frame:
+            assert row["kind"] == row.envelope.kind
+            assert row["spec_hash"] == row.envelope.spec_hash
+            assert row["spec"] is row.envelope.spec
+            assert row["result"] is row.envelope.result
+            assert row["envelope"] is row.envelope
+            assert isinstance(row["variant"], str)
+            assert isinstance(row["size"], int)
+
+    def test_spec_and_result_attribute_fallback(self, registry_frame):
+        row = next(iter(registry_frame.filter(kind="gemm")))
+        assert row["chip"] == row.envelope.spec.chip
+        assert row["repetitions"] == row.envelope.result.repetitions
+
+    def test_missing_field_raises_and_get_defaults(self, registry_frame):
+        row = registry_frame.rows[0]
+        with pytest.raises(KeyError):
+            row["no_such_field"]
+        assert row.get("no_such_field", 42) == 42
+        assert "no_such_field" not in row
+        assert "kind" in row
+
+    def test_every_workload_resolves_its_registered_metrics(
+        self, registry_frame
+    ):
+        for workload in all_workloads():
+            (row,) = registry_frame.filter(kind=workload.kind)
+            for name in workload.metrics:
+                value = row.get(name, "missing")
+                assert value != "missing", (workload.kind, name)
+
+    def test_gflops_per_w_consistency_for_modelled_workloads(
+        self, registry_frame
+    ):
+        for kind in ("spmv", "stencil", "batched-gemm"):
+            (row,) = registry_frame.filter(kind=kind)
+            assert row["power_w"] > 0.0
+            assert row["gflops_per_w"] == pytest.approx(
+                row["gflops"] / row["power_w"]
+            )
+            assert row["joules"] == pytest.approx(
+                row["power_w"] * row["elapsed_s"]
+            )
+
+    def test_legacy_envelope_without_power_resolves_to_none(self, session):
+        env = session.run(get_workload("spmv").sample_spec())
+        payload = env.to_dict()
+        assert "power_w" in payload["result"]
+        del payload["result"]["power_w"]  # pre-study on-disk record
+        old = ResultEnvelope.from_dict(payload)
+        (row,) = ResultFrame.from_envelopes([old])
+        assert row["power_w"] is None
+        assert row["joules"] is None
+        assert row["gflops_per_w"] is None
+        # and queries skip it instead of failing
+        assert ResultFrame.from_envelopes([old]).values("gflops_per_w") == []
+
+
+class TestQueries:
+    def test_filter_equality_membership_and_predicate(self, registry_frame):
+        assert len(registry_frame.filter(kind="gemm")) == 1
+        both = registry_frame.filter(kind=("gemm", "stream"))
+        assert both.kinds() == ("gemm", "stream")
+        assert len(registry_frame.filter(lambda r: r["size"] > 0)) == len(
+            registry_frame
+        )
+        # a constrained field that does not resolve never matches
+        assert len(registry_frame.filter(nnz_per_row=16)) == 1  # spmv only
+
+    def test_derive_adds_columns_without_mutating(self, registry_frame):
+        derived = registry_frame.derive(double_size=lambda r: r["size"] * 2)
+        assert all(r["double_size"] == r["size"] * 2 for r in derived)
+        assert registry_frame.rows[0].get("double_size") is None
+
+    def test_group_by_and_aggregate(self, registry_frame):
+        by_kind = registry_frame.group_by("kind")
+        assert set(by_kind) == set(workload_kinds())
+        counts = registry_frame.aggregate("size", "count", by="kind")
+        assert all(count == 1 for count in counts.values())
+        assert registry_frame.aggregate("size", "max") == max(
+            registry_frame.values("size")
+        )
+
+    def test_aggregate_empty_scalar_raises(self, registry_frame):
+        with pytest.raises(ConfigurationError):
+            registry_frame.filter(kind="nope").aggregate("size")
+
+    def test_unknown_aggregator_raises(self, registry_frame):
+        with pytest.raises(ConfigurationError):
+            registry_frame.aggregate("size", "bogus")
+
+    def test_sort_by(self, registry_frame):
+        ordered = registry_frame.sort_by("kind")
+        assert [r["kind"] for r in ordered] == sorted(
+            r["kind"] for r in registry_frame
+        )
+
+    def test_unique_and_values_preserve_order(self, registry_frame):
+        assert registry_frame.unique("kind") == registry_frame.kinds()
+        assert len(registry_frame.values("gflops")) == sum(
+            1 for r in registry_frame if r.get("gflops") is not None
+        )
+
+    def test_pivot_shapes_and_seed_scaffold(self, registry_frame):
+        pivot = registry_frame.pivot(("kind", "chip"), values="size")
+        assert set(pivot) == set(workload_kinds())
+        seeded = registry_frame.filter(kind="gemm").pivot(
+            ("chip", "impl_key"),
+            values="gflops",
+            seed={"M9": {"gpu-mps": {}}},
+        )
+        assert "M9" in seeded  # scaffold preserved
+        assert seeded["M9"] == {"gpu-mps": {}}
+
+    def test_pivot_seed_is_not_mutated(self, registry_frame):
+        seed = {"M1": {}}
+        registry_frame.filter(kind="gemm").pivot(
+            ("chip", "impl_key"), values="gflops", seed=seed
+        )
+        assert seed == {"M1": {}}
+
+    def test_pivot_agg_reduces_duplicates(self, session):
+        spec = get_workload("gemm").sample_spec()
+        envs = session.run_batch([spec]) * 3
+        frame = ResultFrame.from_envelopes(envs)
+        counted = frame.pivot("chip", values="gflops", agg="count")
+        assert counted == {spec.chip: 3}
+        last = frame.pivot("chip", values="gflops")
+        assert last[spec.chip] == frame.rows[0]["gflops"]
+
+    def test_to_rows_and_csv(self, registry_frame):
+        rows = registry_frame.to_rows(("kind", "chip", "size"))
+        assert len(rows) == len(registry_frame)
+        csv_text = registry_frame.to_csv(("kind", "chip", "size"))
+        assert csv_text.splitlines()[0] == "kind,chip,size"
+
+
+class TestSources:
+    def test_from_store_equals_from_envelopes(self, registry_frame, tmp_path):
+        save_envelopes(tmp_path, registry_frame.envelopes)
+        reloaded = ResultFrame.from_store(tmp_path)
+        live = {
+            row["spec_hash"]: json.dumps(
+                row.envelope.to_dict()["result"], sort_keys=True
+            )
+            for row in registry_frame
+        }
+        disk = {
+            row["spec_hash"]: json.dumps(
+                row.envelope.to_dict()["result"], sort_keys=True
+            )
+            for row in reloaded
+        }
+        assert live == disk
+
+    def test_from_session_sees_the_cache(self, registry_frame, session):
+        frame = ResultFrame.from_session(session)
+        assert set(frame.kinds()) >= set(workload_kinds())
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultFrame.from_store(tmp_path / "nowhere")

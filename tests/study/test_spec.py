@@ -1,0 +1,160 @@
+"""StudySpec/WorkloadAxis: validation, identity, and compilation.
+
+The load-bearing property is that a study compiles to *exactly* the spec
+grid the legacy figure builders constructed by hand — same classes, same
+field values, same order — because spec equality is what carries cache
+keys, envelope bytes and manifest identity.
+"""
+
+import pickle
+
+import pytest
+
+from repro.calibration import paper
+from repro.core.gemm.registry import paper_implementation_keys
+from repro.errors import ConfigurationError
+from repro.experiments.specs import StreamSpec, SweepSpec
+from repro.study import StudySpec, WorkloadAxis, paper_study
+from repro.study.defs import FIGURES, get_figure
+
+
+class TestValidation:
+    def test_unregistered_axis_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadAxis(kind="no-such-workload")
+
+    def test_empty_chips_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudySpec(chips=())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudySpec(name="")
+
+    def test_bad_numerics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudySpec(numerics="bogus")
+
+
+class TestIdentity:
+    def test_studies_are_hashable_and_picklable(self):
+        study = paper_study(("M1", "M4"), seed=3)
+        assert hash(study) == hash(paper_study(("M1", "M4"), seed=3))
+        assert pickle.loads(pickle.dumps(study)) == study
+
+    def test_dict_round_trip(self):
+        study = paper_study(("M2",), seed=7, fast=True)
+        clone = StudySpec.from_dict(study.to_dict())
+        assert clone == study
+        assert clone.study_hash() == study.study_hash()
+
+    def test_hash_tracks_content(self):
+        base = paper_study(("M1",))
+        assert base.study_hash() != paper_study(("M4",)).study_hash()
+        assert base.study_hash() != paper_study(("M1",), seed=1).study_hash()
+        assert (
+            base.study_hash()
+            != paper_study(("M1",), figures=("figure2",)).study_hash()
+        )
+
+    def test_canonical_json_is_stable(self):
+        study = paper_study(("M1",))
+        assert study.canonical_json() == study.canonical_json()
+        assert '"kind":"study"' in study.canonical_json()
+
+
+class TestCompilation:
+    def test_figure1_study_matches_legacy_spec_list(self):
+        chips = ("M1", "M3")
+        study = get_figure("figure1").study(chips=chips, seed=5)
+        legacy = [
+            StreamSpec(chip=chip, seed=5, target=target, n_elements=None)
+            for chip in chips
+            for target in ("cpu", "gpu")
+        ]
+        assert list(study.compile()) == legacy
+
+    def test_figure2_study_matches_legacy_sweep(self):
+        chips = ("M1", "M4")
+        study = get_figure("figure2").study(
+            chips=chips, seed=2, sizes=(32, 1024), repeats=3
+        )
+        legacy = SweepSpec(
+            kind="gemm",
+            chips=chips,
+            impl_keys=paper_implementation_keys(),
+            sizes=(32, 1024),
+            repeats=3,
+            seed=2,
+        )
+        assert study.compile() == legacy.expand()
+
+    def test_paper_study_deduplicates_shared_axes(self):
+        study = paper_study()
+        # Figures 3 and 4 read the same powered-GEMM sweep: one axis.
+        assert len(study.axes) == 3
+        assert study.kinds() == ("stream", "gemm", "powered-gemm")
+
+    def test_paper_study_grid_holds_every_figure_cell_once(self):
+        study = paper_study(("M1",), fast=True)
+        specs = study.compile()
+        assert len(specs) == len(set(specs))
+        kinds = {spec.kind for spec in specs}
+        assert kinds == {"stream", "gemm", "powered-gemm"}
+
+    def test_figure_subset_restricts_the_grid(self):
+        study = paper_study(("M1",), figures=("figure2",))
+        assert study.kinds() == ("gemm",)
+        assert study.name == "figure2"
+
+    def test_axis_overrides_of_none_keep_defaults(self):
+        fig = get_figure("figure2")
+        assert fig.axis(sizes=None) == fig.axis()
+        assert fig.axis(sizes=(64,)).sizes == (64,)
+
+    def test_fast_axes_are_trimmed(self):
+        for name, fig in FIGURES.items():
+            full = fig.study(("M1",))
+            fast = fig.study(("M1",), fast=True)
+            assert len(fast.compile()) <= len(full.compile()), name
+
+    def test_iteration_yields_compiled_cells(self):
+        study = paper_study(("M1",), figures=("figure1",))
+        assert list(study) == list(study.compile())
+
+    def test_study_seed_is_stamped_into_cells(self):
+        study = paper_study(("M1",), seed=11, figures=("figure1",))
+        assert all(spec.seed == 11 for spec in study.compile())
+
+    def test_duplicate_kind_axes_concatenate_in_order(self):
+        study = StudySpec(
+            chips=("M1",),
+            axes=(
+                WorkloadAxis(kind="gemm", sizes=(32,), impl_keys=("gpu-mps",)),
+                WorkloadAxis(kind="gemm", sizes=(64,), impl_keys=("gpu-mps",)),
+            ),
+        )
+        assert [spec.n for spec in study.compile()] == [32, 64]
+
+    def test_unknown_figure_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            paper_study(figures=("figure9",))
+
+
+class TestSweeps:
+    def test_sweeps_carry_study_axes(self):
+        study = StudySpec(
+            chips=("M2",),
+            axes=(WorkloadAxis(kind="spmv", sizes=(4096,), targets=("cpu",)),),
+            seed=9,
+            numerics="model-only",
+        )
+        (sweep,) = study.sweeps()
+        assert sweep.chips == ("M2",)
+        assert sweep.seed == 9
+        assert sweep.numerics == "model-only"
+        cells = sweep.expand()
+        assert all(c.numerics == "model-only" for c in cells)
+
+    def test_default_chips_are_the_paper_chips(self):
+        assert StudySpec(axes=(WorkloadAxis(kind="gemm"),)).chips == paper.CHIPS
