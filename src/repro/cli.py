@@ -14,6 +14,9 @@ Examples::
     repro study run --fast --out results/
     repro study render figure4 --from results/
     repro study render efficiency --from results/
+    repro serve --store results/ --backend vectorized
+    repro submit --study --fast --url http://127.0.0.1:8765
+    repro query --figure figure2 --url http://127.0.0.1:8765
     repro gh200
     repro all --fast
 """
@@ -312,6 +315,154 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srender.add_argument("--csv", action="store_true", help="emit CSV instead of text")
 
+    serve = sub.add_parser(
+        "serve", help="experiment service over a shared result-cache store"
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="shared manifest-indexed store (created if missing; restarting "
+        "on the same DIR resumes interrupted jobs and keeps the cache warm)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="bind port")
+    serve.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="execution backend for submitted grids (vectorized recommended "
+        "for pure-model sweeps)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="parallel cells per job"
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=2, help="concurrently executing jobs"
+    )
+    serve.add_argument(
+        "--numerics",
+        default="sampled",
+        choices=list(NUMERICS_PROFILES),
+        help="session numerics profile (one store = one session fingerprint)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="session default seed")
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a study or sweep to a running experiment service"
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="service base URL"
+    )
+    submit.add_argument(
+        "--study",
+        action="store_true",
+        help="submit the declarative paper study instead of a single sweep",
+    )
+    submit.add_argument(
+        "--figures",
+        nargs="+",
+        default=None,
+        choices=list(FIGURES),
+        metavar="FIGURE",
+        help="with --study: restrict the grid to these figures' axes",
+    )
+    submit.add_argument(
+        "--fast",
+        action="store_true",
+        help="with --study: model-only numerics and trimmed axes",
+    )
+    submit.add_argument(
+        "--kind",
+        default="gemm",
+        choices=list(workload_kinds()),
+        help="sweep workload kind (ignored with --study)",
+    )
+    submit.add_argument(
+        "--chips",
+        nargs="+",
+        default=None,
+        choices=list(paper.CHIPS),
+        help="chips to run (default: all four)",
+    )
+    submit.add_argument(
+        "--impls", nargs="+", default=None, metavar="KEY",
+        help="implementation keys (sweep submissions)",
+    )
+    submit.add_argument(
+        "--sizes", nargs="+", type=int, default=None, metavar="N",
+        help="problem sizes (sweep submissions)",
+    )
+    submit.add_argument(
+        "--targets",
+        nargs="+",
+        default=["cpu", "gpu"],
+        choices=["cpu", "gpu"],
+        help="target processors (sweep submissions)",
+    )
+    submit.add_argument(
+        "--repeats", type=int, default=None, help="repetitions per cell"
+    )
+    submit.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return after queueing instead of polling to completion",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait poll timeout (s)"
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="emit the final job record as JSON"
+    )
+
+    query = sub.add_parser(
+        "query", help="query a running experiment service's warm store"
+    )
+    query.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="service base URL"
+    )
+    query.add_argument(
+        "--figure",
+        default=None,
+        metavar="NAME",
+        choices=[*FIGURES, *TABLES, "efficiency"],
+        help="render a registered figure/table/report from the store",
+    )
+    query.add_argument(
+        "--chips",
+        nargs="+",
+        default=None,
+        choices=list(paper.CHIPS),
+        help="chips to include",
+    )
+    query.add_argument(
+        "--fields",
+        nargs="+",
+        default=None,
+        metavar="FIELD",
+        help="tidy-record columns to fetch (e.g. chip kind gflops)",
+    )
+    query.add_argument(
+        "--where",
+        nargs="+",
+        default=None,
+        metavar="FIELD=VALUE",
+        help="equality/membership filters (e.g. kind=gemm chips=M1,M4)",
+    )
+    query.add_argument(
+        "--grid",
+        default=None,
+        metavar="REF",
+        help="restrict to one job id's (or grid hash's) cells",
+    )
+    query.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of JSON records"
+    )
+
     gh = sub.add_parser("gh200", help="GH200 reference points (sections 4-5)")
     gh.add_argument("--fast", action="store_true")
 
@@ -496,6 +647,31 @@ def _run_progress(args):
     return progress, executed
 
 
+def _warn_processes_footgun(backend, specs) -> None:
+    """Steer ``--backend processes`` away from pure-model grids.
+
+    BENCH_PR4.json measured the 216-cell model-only grid at 941.3 cells/s
+    serial, 661.9 with processes (spawn + IPC overhead swamps the cheap
+    cells) and 15,822.6 vectorized — so when every workload in the grid
+    declares a vectorized lowering, processes is strictly the wrong tool
+    and the envelopes would be byte-identical either way.
+    """
+    if backend != "processes":
+        return
+    kinds = {spec.kind for spec in specs}
+    if kinds and all(
+        get_workload(kind).vectorized_body is not None for kind in kinds
+    ):
+        print(
+            "warning: every workload in this grid has a vectorized lowering; "
+            "--backend processes pays process spawn/IPC per cheap model cell "
+            "(BENCH_PR4.json: 662 cells/s vs 941 serial vs 15,823 "
+            "vectorized). --backend vectorized yields byte-identical "
+            "envelopes ~17x faster.",
+            file=sys.stderr,
+        )
+
+
 def _run_sweep(args) -> None:
     """The ``repro run`` subcommand: declarative sweep -> envelopes.
 
@@ -536,6 +712,7 @@ def _run_sweep(args) -> None:
                 f"done, {pending} to run; sweep flags are ignored]",
                 file=sys.stderr,
             )
+        _warn_processes_footgun(args.backend, manifest.specs())
         progress, executed = _run_progress(args)
         envelopes, manifest = run_with_manifest(
             session,
@@ -564,6 +741,7 @@ def _run_sweep(args) -> None:
             numerics=args.numerics, seed=args.seed, cache_dir=args.cache
         )
         specs = sweep.expand()
+        _warn_processes_footgun(args.backend, specs)
         progress, executed = _run_progress(args)
         if args.out:
             envelopes, _ = run_with_manifest(
@@ -689,6 +867,158 @@ def _study_render(args) -> None:
     )
 
 
+def _run_serve(args) -> None:
+    """The ``repro serve`` subcommand: a blocking experiment service."""
+    import time
+
+    from repro.service import ExperimentService
+
+    session = Session(numerics=args.numerics, seed=args.seed)
+    service = ExperimentService(
+        args.store,
+        session=session,
+        backend=args.backend,
+        max_workers=args.workers,
+        job_workers=args.job_workers,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+    )
+    service.start()
+    health = service.health()
+    warm = health["cells"].get("done", 0)
+    resumed = health["jobs"].get("queued", 0)
+    print(
+        f"experiment service listening on {service.url}",
+        file=sys.stderr,
+    )
+    print(
+        f"  store:   {health['store']} ({warm} cells warm"
+        + (f", {resumed} interrupted jobs resuming" if resumed else "")
+        + ")",
+        file=sys.stderr,
+    )
+    print(f"  backend: {health['backend']}", file=sys.stderr)
+    print(
+        f"  try:     repro submit --study --fast --url {service.url}",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("\n[stopping; queued jobs resume on restart]", file=sys.stderr)
+        service.stop()
+
+
+def _submit_spec(args):
+    """The spec a ``repro submit`` sends: the paper study or one sweep."""
+    if args.study:
+        return paper_study(
+            tuple(args.chips) if args.chips else None,
+            seed=args.seed,
+            fast=args.fast,
+            figures=args.figures,
+        )
+    return SweepSpec(
+        kind=args.kind,
+        chips=tuple(args.chips) if args.chips else tuple(paper.CHIPS),
+        impl_keys=tuple(args.impls) if args.impls else (),
+        sizes=tuple(args.sizes) if args.sizes else (),
+        targets=tuple(args.targets),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+
+
+def _run_submit(args) -> None:
+    """The ``repro submit`` subcommand: send a grid, poll it to done."""
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    job = client.submit(_submit_spec(args))
+    verb = "coalesced onto in-flight" if job["deduplicated"] else "queued"
+    print(
+        f"[{verb} job {job['id']} (grid {job['grid_hash']})]", file=sys.stderr
+    )
+    if not args.no_wait:
+        job = client.wait(job["id"], timeout=args.timeout)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(job, indent=2, sort_keys=True))
+        return
+    if args.no_wait:
+        print(f"job {job['id']} {job['status']}: poll GET {args.url}/jobs/{job['id']}")
+        return
+    print(
+        f"job {job['id']} done: {job['done']}/{job['total']} cells, "
+        f"{job['executed']} executed, cache {job['cache_status']}"
+    )
+
+
+def _parse_where(pairs) -> dict:
+    """``FIELD=VALUE`` pairs into a frame-filter dict.
+
+    Comma-separated values become membership lists; numeric-looking tokens
+    are coerced so ``size=4096`` matches the integer field.
+    """
+
+    def coerce(token: str):
+        for cast in (int, float):
+            try:
+                return cast(token)
+            except ValueError:
+                continue
+        return token
+
+    where = {}
+    for pair in pairs or ():
+        field, sep, value = pair.partition("=")
+        if not sep or not field or not value:
+            raise ReproError(
+                f"--where takes FIELD=VALUE pairs (e.g. kind=gemm), got {pair!r}"
+            )
+        tokens = [coerce(token) for token in value.split(",") if token]
+        where[field] = tokens if len(tokens) > 1 else tokens[0]
+    return where
+
+
+def _run_query(args) -> None:
+    """The ``repro query`` subcommand: read the service's warm store."""
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.figure:
+        if args.fields or args.where or args.csv:
+            raise ReproError(
+                "--figure renders a registered view; it does not combine "
+                "with --fields/--where/--csv"
+            )
+        print(client.figure(args.figure, chips=args.chips), end="")
+        return
+    if not args.fields:
+        raise ReproError(
+            "query needs --figure NAME or --fields COLUMN... "
+            "(optionally with --where FIELD=VALUE)"
+        )
+    body: dict = {"fields": list(args.fields)}
+    where = _parse_where(args.where)
+    if args.chips:
+        where.setdefault("chip", list(args.chips))
+    if where:
+        body["where"] = where
+    if args.grid:
+        body["grid"] = args.grid
+    if args.csv:
+        body["format"] = "csv"
+        print(client.query(**body)["csv"], end="")
+        return
+    import json as _json
+
+    print(_json.dumps(client.query(**body)["records"], indent=2, sort_keys=True))
+
+
 def _run_study_command(args) -> None:
     if args.study_command == "list":
         _study_list()
@@ -806,6 +1136,12 @@ def _dispatch(args) -> int:
         _run_sweep(args)
     elif command == "study":
         _run_study_command(args)
+    elif command == "serve":
+        _run_serve(args)
+    elif command == "submit":
+        _run_submit(args)
+    elif command == "query":
+        _run_query(args)
     elif command == "gh200":
         _run_gh200(args.fast)
     elif command == "stream":

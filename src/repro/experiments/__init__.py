@@ -63,6 +63,7 @@ from repro.experiments.manifest import (
 )
 from repro.experiments.store import (
     MANIFEST_FILENAME,
+    atomic_write_text,
     envelope_filename,
     envelope_path,
     load_envelopes,
@@ -99,6 +100,7 @@ __all__ = [
     "run_gemm_spec",
     "run_powered_gemm_spec",
     "run_stream_spec",
+    "atomic_write_text",
     "envelope_filename",
     "envelope_path",
     "save_envelopes",

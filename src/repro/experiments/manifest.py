@@ -38,7 +38,11 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 from repro.errors import ConfigurationError
 from repro.experiments.envelope import ResultEnvelope
 from repro.experiments.specs import ExperimentSpec, SweepSpec, spec_from_dict
-from repro.experiments.store import MANIFEST_FILENAME, envelope_path
+from repro.experiments.store import (
+    MANIFEST_FILENAME,
+    atomic_write_text,
+    envelope_path,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.backends import ExecutionBackend
@@ -432,8 +436,7 @@ def run_with_manifest(
 
     def checkpoint(completed: int, _pending_total: int, envelope) -> None:
         path = envelope_path(root, envelope)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(envelope.to_json() + "\n")
+        atomic_write_text(path, envelope.to_json() + "\n")
         manifest.checkpoint(envelope, path.relative_to(root))
         if progress is not None:
             progress(already_done + completed, total, envelope)

@@ -290,8 +290,9 @@ class Session:
             self._memory_cache[key] = envelope
         path = self._disk_path(key)
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(envelope.to_json() + "\n")
+            from repro.experiments.store import atomic_write_text
+
+            atomic_write_text(path, envelope.to_json() + "\n")
 
     # ------------------------------------------------------------------
     # Execution

@@ -14,14 +14,25 @@ understood:
 
 :func:`load_envelopes` reads both — mixed directories included — so stores
 written by older versions keep rendering.  A ``manifest.json`` written by
-:mod:`repro.experiments.manifest` is skipped, and a truncated or corrupt
-file raises :class:`ConfigurationError` naming the offending path instead
-of crashing mid-scan.
+:mod:`repro.experiments.manifest` is skipped, as is anything under a
+dot-directory (``.service/`` holds the experiment service's job records —
+reserved metadata, never envelopes), and a truncated or corrupt file raises
+:class:`ConfigurationError` naming the offending path instead of crashing
+mid-scan.
+
+Stores are built for **concurrent readers over one writer**: every envelope
+lands via :func:`atomic_write_text` (temp file + ``os.replace``), so a
+reader never observes a half-written file, and a file that vanishes between
+the directory listing and its read (the writer replacing it, a cleanup
+racing the scan) is skipped rather than raised — the TOCTOU discipline the
+long-running experiment service relies on.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
+import tempfile
 from typing import Iterable
 
 from repro.errors import ConfigurationError
@@ -30,6 +41,7 @@ from repro.experiments.envelope import ResultEnvelope
 __all__ = [
     "MANIFEST_FILENAME",
     "SHARD_PREFIX_LEN",
+    "atomic_write_text",
     "envelope_filename",
     "envelope_path",
     "save_envelopes",
@@ -42,6 +54,33 @@ MANIFEST_FILENAME = "manifest.json"
 
 #: Spec-hash prefix length of the sharded layout's second directory level.
 SHARD_PREFIX_LEN = 2
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Concurrent readers — a service's query surface scanning the store while
+    cells land, ``--from`` renders racing a run — either see the previous
+    complete content or the new complete content, never a torn file.  The
+    temp file lives in the target directory (``os.replace`` must not cross
+    filesystems) with a non-``.json`` suffix so store scans never list it.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already replaced or gone
+            pass
+        raise
+    return target
 
 
 def envelope_filename(envelope: ResultEnvelope) -> str:
@@ -80,8 +119,7 @@ def save_envelopes(
     written: list[pathlib.Path] = []
     for envelope in envelopes:
         path = envelope_path(root, envelope, sharded=sharded)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(envelope.to_json() + "\n")
+        atomic_write_text(path, envelope.to_json() + "\n")
         written.append(path)
     return written
 
@@ -89,12 +127,17 @@ def save_envelopes(
 def load_envelopes(directory: str | pathlib.Path) -> list[ResultEnvelope]:
     """Read every envelope under ``directory``, sorted by path.
 
-    Both store layouts (and mixtures of the two) load; the run manifest is
-    skipped.  A cell present in *both* layouts — e.g. a legacy flat store
-    migrated in place — loads once, preferring the sharded copy, because
-    the store holds at most one result per file name (kind + spec hash)
-    by contract.  An unreadable file raises :class:`ConfigurationError`
-    naming the offending path.
+    Both store layouts (and mixtures of the two) load; the run manifest and
+    anything under a dot-directory (reserved service metadata such as
+    ``.service/``) are skipped.  A cell present in *both* layouts — e.g. a
+    legacy flat store migrated in place — loads once, preferring the
+    sharded copy, because the store holds at most one result per file name
+    (kind + spec hash) by contract.  An unreadable file raises
+    :class:`ConfigurationError` naming the offending path — except one that
+    simply *vanished* between the listing and the read (a concurrent writer
+    replacing it, a cleanup racing the scan), which is skipped: listings of
+    a live store are inherently a snapshot, and raising on the race would
+    make every reader of a served store flaky.
     """
     root = pathlib.Path(directory)
     if not root.is_dir():
@@ -103,8 +146,19 @@ def load_envelopes(directory: str | pathlib.Path) -> list[ResultEnvelope]:
     for path in sorted(root.rglob("*.json")):
         if path.name == MANIFEST_FILENAME:
             continue
+        relative = path.relative_to(root)
+        if any(part.startswith(".") for part in relative.parts):
+            continue
         current = by_name.get(path.name)
         # deeper path wins: sharded copies shadow flat duplicates
         if current is None or len(path.parts) > len(current.parts):
             by_name[path.name] = path
-    return [ResultEnvelope.load(path) for path in sorted(by_name.values())]
+    envelopes: list[ResultEnvelope] = []
+    for path in sorted(by_name.values()):
+        try:
+            envelopes.append(ResultEnvelope.load(path))
+        except ConfigurationError as exc:
+            if isinstance(exc.__cause__, FileNotFoundError):
+                continue  # listed, then gone: a writer won the race
+            raise
+    return envelopes

@@ -1,0 +1,58 @@
+"""The experiment service: one warm store, many cheap readers.
+
+Every cell of every grid is a pure function of (spec, session fingerprint),
+so a cell's spec hash is its result's identity — and a long-running service
+over one sharded, manifest-indexed store can answer any repeat submission
+from cache instead of re-executing it.  This package is that service:
+
+* :class:`~repro.service.server.ExperimentService` — stdlib HTTP server
+  (``repro serve``): accepts StudySpec/SweepSpec submissions, deduplicates
+  by grid hash against in-flight jobs and by spec hash against the shared
+  store, executes misses through the normal session/backend seam with
+  manifest journaling (killed servers resume on restart), streams NDJSON
+  progress, and serves ResultFrame queries and registered figures from the
+  warm store;
+* :class:`~repro.service.client.ServiceClient` — a urllib client
+  (``repro submit`` / ``repro query``): ``submit``/``wait``/``frame`` plus
+  event streaming and server-side queries;
+* :mod:`~repro.service.jobs` / :mod:`~repro.service.store` — the persisted
+  job registry and the lock-disciplined shared store underneath.
+
+Quickstart::
+
+    repro serve --store results/ --backend vectorized   # terminal 1
+
+    from repro.service import ServiceClient             # terminal 2
+    from repro.study import paper_study
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.wait(client.submit(paper_study(fast=True))["id"])
+    print(job["cache_status"], job["executed"])         # resubmit: 'hit', 0
+    frame = client.frame(job["id"])
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    JOB_STATUSES,
+    SERVICE_DIRNAME,
+    Job,
+    JobRegistry,
+    grid_hash,
+    grid_specs,
+)
+from repro.service.server import ExperimentService, serve
+from repro.service.store import SharedStore
+
+__all__ = [
+    "ExperimentService",
+    "serve",
+    "ServiceClient",
+    "ServiceError",
+    "SharedStore",
+    "Job",
+    "JobRegistry",
+    "JOB_STATUSES",
+    "SERVICE_DIRNAME",
+    "grid_hash",
+    "grid_specs",
+]

@@ -1,0 +1,205 @@
+"""A small stdlib client for the experiment service.
+
+:class:`ServiceClient` speaks the service's JSON API over
+:mod:`urllib.request` — no dependencies — and converts wire payloads back
+into the library's own types where that helps: ``results()`` returns real
+:class:`~repro.experiments.envelope.ResultEnvelope` records and ``frame()``
+a :class:`~repro.study.frame.ResultFrame`, so remote results query exactly
+like local ones::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit(paper_study(fast=True))
+    job = client.wait(job["id"])
+    frame = client.frame(job["id"])
+    frame.pivot(("chip", "impl_key", "n"), values="gflops")
+
+Submissions accept a :class:`~repro.study.spec.StudySpec`, any sweep/cell
+spec, or an already-serialized payload dict.  A failed job surfaces as a
+:class:`ServiceError` carrying the server's recorded error message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Iterator, Mapping, Sequence
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A service request failed (transport error, HTTP error, failed job)."""
+
+
+class ServiceClient:
+    """Talk to one running experiment service."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> Any:
+        data = (
+            json.dumps(body).encode() if body is not None else None
+        )
+        request = Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode())
+        except HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get("error", str(exc))
+            except (json.JSONDecodeError, ValueError):
+                message = str(exc)
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {message}"
+            ) from exc
+        except URLError as exc:
+            raise ServiceError(
+                f"cannot reach experiment service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+
+    def _get_text(self, path: str) -> str:
+        try:
+            with urlopen(self.base_url + path, timeout=self.timeout) as response:
+                return response.read().decode()
+        except HTTPError as exc:
+            raise ServiceError(f"GET {path} failed ({exc.code})") from exc
+        except URLError as exc:
+            raise ServiceError(
+                f"cannot reach experiment service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Submission / progress
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """The server's ``/healthz`` summary."""
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: Any) -> dict[str, Any]:
+        """Submit a study/sweep/cell spec; return its job record.
+
+        The returned dict carries ``"deduplicated": True`` when the
+        submission coalesced onto an already in-flight job for the same
+        grid.  ``spec`` may be a spec object (anything with ``to_dict``)
+        or its payload dict.
+        """
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        endpoint = "/studies" if payload.get("kind") == "study" else "/sweeps"
+        response = self._request("POST", endpoint, payload)
+        job = response["job"]
+        job["deduplicated"] = response["deduplicated"]
+        return job
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """One job's current record (status, done/total, cache_status)."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Every job the server knows, oldest first."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.1
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; return its final record.
+
+        Raises :class:`ServiceError` when the job failed or the timeout
+        elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] == "done":
+                return job
+            if job["status"] == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed: {job.get('error') or 'unknown error'}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['status']} after {timeout:.0f}s "
+                    f"({job['done']}/{job['total']} cells)"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Stream the job's NDJSON progress events (replay, then follow)."""
+        request = Request(self.base_url + f"/jobs/{job_id}/events")
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                for line in response:
+                    text = line.decode().strip()
+                    if text:
+                        yield json.loads(text)
+        except HTTPError as exc:
+            raise ServiceError(
+                f"GET /jobs/{job_id}/events failed ({exc.code})"
+            ) from exc
+        except URLError as exc:
+            raise ServiceError(
+                f"cannot reach experiment service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def results(self, ref: str | None = None) -> list:
+        """Envelopes — of one job/grid (``ref``) or the whole store."""
+        from repro.experiments.envelope import ResultEnvelope
+
+        path = "/results" if ref is None else f"/results/{ref}"
+        payload = self._request("GET", path)
+        return [
+            ResultEnvelope.from_dict(data) for data in payload["envelopes"]
+        ]
+
+    def frame(self, ref: str | None = None):
+        """A :class:`ResultFrame` over remote envelopes (job slice or store)."""
+        from repro.study.frame import ResultFrame
+
+        return ResultFrame.from_envelopes(self.results(ref))
+
+    def query(self, **body: Any) -> dict[str, Any]:
+        """Run a frame query server-side (``where``/``fields``/``pivot``...).
+
+        Mirrors ``POST /query`` — e.g.
+        ``client.query(where={"kind": "gemm"}, fields=["chip", "gflops"])``.
+        """
+        return self._request("POST", "/query", body)
+
+    def figure(
+        self,
+        name: str,
+        *,
+        chips: Sequence[str] | None = None,
+        format: str = "text",
+    ) -> str | dict[str, Any]:
+        """Render a registered figure/table/report from the warm store."""
+        params = []
+        if chips:
+            params.append("chips=" + ",".join(chips))
+        if format != "text":
+            params.append(f"format={format}")
+        path = f"/figures/{name}" + ("?" + "&".join(params) if params else "")
+        if format == "json":
+            return self._request("GET", path)
+        return self._get_text(path)

@@ -1,0 +1,149 @@
+"""The shared, lock-guarded store every service job reads and writes.
+
+One server owns one store directory — the same sharded, manifest-indexed
+layout ``repro run --out`` writes — and executes every submission into it.
+That sharing is the whole point: a cell's file name is its content identity
+(kind + spec hash), so the store *is* the result cache, and a cell any past
+job completed is a hit for every future job that compiles to it.
+
+Concurrency discipline:
+
+* envelope files land via atomic replace (readers never see torn JSON) and
+  are keyed by spec hash, so two jobs racing on the same cell write
+  byte-identical content — last writer wins, nothing is lost;
+* the manifest and its append-only journal are *not* content-addressed —
+  all mutations (merging a new grid's cells, per-cell checkpoints, folding
+  the journal) go through one store-level lock, keeping the index coherent
+  under a worker pool;
+* readers (the query surface, ``--from`` renders in other processes) take
+  no lock at all — :func:`~repro.experiments.store.load_envelopes`
+  tolerates files appearing and vanishing mid-scan.
+
+Crash safety is inherited from :mod:`repro.experiments.manifest`: the
+journal records each completed cell durably, so a killed server resumes by
+re-executing only cells with no journal line.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.envelope import ResultEnvelope
+from repro.experiments.manifest import STATUS_DONE, RunManifest
+from repro.experiments.store import (
+    MANIFEST_FILENAME,
+    atomic_write_text,
+    envelope_path,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.session import Session
+    from repro.experiments.specs import ExperimentSpec
+
+__all__ = ["SharedStore"]
+
+
+class SharedStore:
+    """Serialized write access to one manifest-indexed envelope store.
+
+    Wraps the store's :class:`RunManifest` behind a lock so concurrent
+    worker threads can merge grids and checkpoint cells without corrupting
+    the index.  The session is fixed at construction: one store holds one
+    session fingerprint's results (the purity contract), and a pre-existing
+    manifest written under a different fingerprint is refused at startup
+    rather than silently mixed.
+    """
+
+    def __init__(self, directory: str | pathlib.Path, session: "Session") -> None:
+        self.root = pathlib.Path(directory)
+        self.session = session
+        self.lock = threading.Lock()
+        if self.root.joinpath(MANIFEST_FILENAME).is_file():
+            self.manifest = RunManifest.load(self.root)
+            self.manifest.check_session(session)  # raises, naming the fields
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.manifest = RunManifest.create(self.root, session, ())
+            self.manifest.save()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def merge(
+        self, specs: Sequence["ExperimentSpec"]
+    ) -> tuple[list["ExperimentSpec"], int]:
+        """Index a grid; return ``(pending specs, already-done count)``.
+
+        New cells are recorded pending and the manifest is saved (so a
+        crash right after submission still knows the full intent); cells
+        some earlier job completed are the cache hits.
+        """
+        with self.lock:
+            self.manifest.merge_specs(specs)
+            pending = [
+                spec for spec in specs if not self.manifest.is_done(spec)
+            ]
+            self.manifest.save()
+        return pending, len(specs) - len(pending)
+
+    def record(self, envelope: ResultEnvelope) -> pathlib.Path:
+        """Persist one completed cell: atomic envelope write + journal line."""
+        path = envelope_path(self.root, envelope)
+        atomic_write_text(path, envelope.to_json() + "\n")
+        with self.lock:
+            self.manifest.checkpoint(envelope, path.relative_to(self.root))
+        return path
+
+    def fold_journal(self) -> None:
+        """Fold the journal into ``manifest.json`` (end-of-job compaction)."""
+        with self.lock:
+            self.manifest.save()
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def envelope_for(self, spec: "ExperimentSpec") -> ResultEnvelope | None:
+        """The stored envelope of one cell, or ``None`` when not done yet.
+
+        A journaled cell whose envelope file vanished (an operator pruning
+        the store by hand) degrades to a miss rather than an error — the
+        cell simply re-executes on the next job that needs it.
+        """
+        with self.lock:
+            record = self.manifest.cells.get(spec.spec_hash())
+            done = (
+                record is not None
+                and record.status == STATUS_DONE
+                and record.path is not None
+            )
+            path = self.root / record.path if done else None
+        if path is None:
+            return None
+        try:
+            return ResultEnvelope.load(path)
+        except ConfigurationError as exc:
+            if isinstance(exc.__cause__, FileNotFoundError):
+                with self.lock:
+                    record.status = "pending"
+                    record.path = None
+                return None
+            raise
+
+    def envelopes_for(
+        self, specs: Sequence["ExperimentSpec"]
+    ) -> list[ResultEnvelope]:
+        """The stored envelopes of a grid, in grid order (missing skipped)."""
+        out = []
+        for spec in specs:
+            envelope = self.envelope_for(spec)
+            if envelope is not None:
+                out.append(envelope)
+        return out
+
+    def cell_counts(self) -> dict[str, int]:
+        """``{status: cell count}`` over the whole shared manifest."""
+        with self.lock:
+            return self.manifest.status_counts()

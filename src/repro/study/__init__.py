@@ -46,6 +46,7 @@ from repro.study.report import (
     efficiency_rows,
     figure_series_bundle,
     render_efficiency_report,
+    render_figure_text,
 )
 from repro.study.spec import StudySpec, WorkloadAxis, run_study, study_session
 
@@ -69,6 +70,7 @@ __all__ = [
     "efficiency_pivot",
     "efficiency_rows",
     "render_efficiency_report",
+    "render_figure_text",
     "figure_series_bundle",
     "compare_study",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "efficiency_pivot",
     "efficiency_rows",
     "render_efficiency_report",
+    "render_figure_text",
     "figure_series_bundle",
     "compare_study",
 ]
@@ -87,6 +88,43 @@ def render_efficiency_report(
         rows,
         title="Efficiency — GFLOPS per watt (measured or modelled draw)",
     )
+
+
+def render_figure_text(name: str, data: dict) -> str:
+    """The canonical text rendering of one figure's assembled series.
+
+    The exact format the CLI has always printed — Figure 1's per-target
+    bandwidth lines, the generic ``{chip: {impl: {n: value}}}`` layout for
+    the sweep figures — shared here so ``repro figureN``, ``repro study
+    render`` and the experiment service's ``GET /figures/<name>`` emit
+    identical bytes.
+    """
+    figure = FIGURES[name]
+    lines: list[str] = []
+    if name == "figure1":
+        lines.append(figure.title)
+        for chip, entry in data.items():
+            lines.append("")
+            lines.append(f"{chip} (theoretical {entry['theoretical']:.0f} GB/s)")
+            for target in ("cpu", "gpu"):
+                if target not in entry:
+                    continue  # partial stores may hold only one target
+                cells = "  ".join(
+                    f"{kernel}={gbs:6.1f}"
+                    for kernel, gbs in entry[target].items()
+                )
+                lines.append(f"  {target.upper():3s}: {cells}")
+        return "\n".join(lines)
+    lines.append(f"{figure.title} ({figure.unit})")
+    for chip, impls in data.items():
+        lines.append("")
+        lines.append(chip)
+        for impl, series in impls.items():
+            cells = "  ".join(
+                f"n={n}:{v:9.1f}" for n, v in sorted(series.items())
+            )
+            lines.append(f"  {impl:16s} {cells}")
+    return "\n".join(lines)
 
 
 def figure_series_bundle(

@@ -471,3 +471,79 @@ class TestFigureFromEnvelopes:
             capsys, ["figure2", "--fast", "--chips", "M1", "--workers", "4"]
         )
         assert sequential == parallel
+
+
+class TestProcessesFootgunWarning:
+    """`--backend processes` on an all-vectorizable grid points at vectorized."""
+
+    def _run(self, capsys, *extra):
+        code = main(
+            [
+                "run",
+                "--kind",
+                "spmv",
+                "--chips",
+                "M1",
+                "--sizes",
+                "4096",
+                "--numerics",
+                "model-only",
+                "--quiet",
+                *extra,
+            ]
+        )
+        assert code == 0
+        return capsys.readouterr().err
+
+    def test_processes_on_vectorizable_grid_warns(self, capsys):
+        err = self._run(capsys, "--backend", "processes")
+        assert "vectorized lowering" in err
+        assert "BENCH_PR4.json" in err
+
+    def test_other_backends_stay_silent(self, capsys):
+        assert "vectorized lowering" not in self._run(capsys)
+        assert "vectorized lowering" not in self._run(
+            capsys, "--backend", "vectorized"
+        )
+
+    def test_scalar_workloads_stay_silent(self, capsys):
+        code = main(
+            [
+                "run",
+                "--kind",
+                "stream",
+                "--chips",
+                "M1",
+                "--targets",
+                "cpu",
+                "--numerics",
+                "model-only",
+                "--backend",
+                "processes",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "vectorized lowering" not in capsys.readouterr().err
+
+    def test_resume_also_warns(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        session = Session(numerics="model-only")
+        sweep = SweepSpec(kind="spmv", chips=("M1",), sizes=(256, 4096))
+        specs = sweep.expand()
+        run_with_manifest(session, specs[:1], out)  # partial store
+        manifest = RunManifest.load(out)
+        manifest.merge_specs(specs)
+        manifest.save()
+        code = main(
+            [
+                "run",
+                "--resume",
+                str(out),
+                "--backend",
+                "processes",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "vectorized lowering" in capsys.readouterr().err

@@ -9,6 +9,7 @@ from repro.experiments import (
     GemmSpec,
     ResultEnvelope,
     Session,
+    atomic_write_text,
     envelope_filename,
     envelope_path,
     load_envelopes,
@@ -102,3 +103,44 @@ class TestRobustness:
         with pytest.raises(ConfigurationError) as excinfo:
             ResultEnvelope.load(tmp_path / "ghost.json")
         assert "ghost.json" in str(excinfo.value)
+
+
+class TestConcurrentReaders:
+    """`load_envelopes` tolerates writers and prunes racing with the scan."""
+
+    def test_vanished_file_is_skipped_not_raised(self, tmp_path, envelopes):
+        """A file listed by the scan but gone by read time (pruned by an
+        operator, or an atomic-replace window) degrades to a skip.  A
+        dangling symlink reproduces the race deterministically: rglob
+        lists it, open() raises FileNotFoundError."""
+        save_envelopes(tmp_path, envelopes)
+        victim = next(iter(sorted(tmp_path.rglob("*.json"))))
+        victim.unlink()
+        victim.symlink_to(tmp_path / "already-pruned.json")
+        loaded = load_envelopes(tmp_path)
+        assert len(loaded) == len(envelopes) - 1
+
+    def test_dot_directories_are_reserved_metadata(self, tmp_path, envelopes):
+        """Service job records under `.service/` never parse as envelopes."""
+        save_envelopes(tmp_path, envelopes)
+        jobs = tmp_path / ".service" / "jobs"
+        jobs.mkdir(parents=True)
+        (jobs / "job-000001.json").write_text('{"id": "job-000001"}')
+        assert len(load_envelopes(tmp_path)) == len(envelopes)
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_creates_parents(self, tmp_path):
+        target = tmp_path / "a" / "b" / "cell.json"
+        atomic_write_text(target, '{"x": 1}\n')
+        assert target.read_text() == '{"x": 1}\n'
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "cell.json"
+        atomic_write_text(target, "old\n")
+        atomic_write_text(target, "new\n")
+        assert target.read_text() == "new\n"
+
+    def test_leaves_no_temp_files_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "cell.json", "data\n")
+        assert [p.name for p in tmp_path.iterdir()] == ["cell.json"]

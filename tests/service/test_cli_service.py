@@ -1,0 +1,183 @@
+"""CLI integration for the service verbs: `repro submit` / `repro query`.
+
+An in-process :class:`ExperimentService` stands in for `repro serve` (the
+serve subcommand is a thin blocking wrapper over the same constructor), and
+the submit/query subcommands talk to it over real HTTP.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import Session
+from repro.service import ExperimentService
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ExperimentService(
+        tmp_path / "store", session=Session(numerics="model-only")
+    )
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+def submit_args(service, *extra):
+    return [
+        "submit",
+        "--url",
+        service.url,
+        "--kind",
+        "spmv",
+        "--chips",
+        "M1",
+        "--sizes",
+        "4096",
+        *extra,
+    ]
+
+
+class TestSubmitCommand:
+    def test_submit_waits_and_reports_the_miss(self, service, capsys):
+        assert main(submit_args(service)) == 0
+        out = capsys.readouterr().out
+        assert "done: 2/2 cells, 2 executed, cache miss" in out
+
+    def test_resubmit_is_a_pure_cache_hit(self, service, capsys):
+        assert main(submit_args(service)) == 0
+        capsys.readouterr()
+        assert main(submit_args(service)) == 0
+        assert "0 executed, cache hit" in capsys.readouterr().out
+
+    def test_json_output_is_the_job_record(self, service, capsys):
+        import json
+
+        assert main(submit_args(service, "--json")) == 0
+        job = json.loads(capsys.readouterr().out)
+        assert job["status"] == "done"
+        assert job["total"] == 2
+
+    def test_no_wait_returns_immediately(self, service, capsys):
+        assert main(submit_args(service, "--no-wait")) == 0
+        assert "poll GET" in capsys.readouterr().out
+
+    def test_study_submission(self, service, capsys):
+        assert (
+            main(
+                [
+                    "submit",
+                    "--url",
+                    service.url,
+                    "--study",
+                    "--fast",
+                    "--figures",
+                    "figure2",
+                    "--chips",
+                    "M1",
+                ]
+            )
+            == 0
+        )
+        assert "cache miss" in capsys.readouterr().out
+
+    def test_unreachable_service_exits_2(self, capsys):
+        assert main(submit_args_unreachable()) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+def submit_args_unreachable():
+    return [
+        "submit",
+        "--url",
+        "http://127.0.0.1:1",  # reserved port: nothing listens there
+        "--kind",
+        "spmv",
+        "--chips",
+        "M1",
+        "--sizes",
+        "4096",
+    ]
+
+
+class TestQueryCommand:
+    @pytest.fixture
+    def warm(self, service, capsys):
+        main(submit_args(service))
+        capsys.readouterr()
+        return service
+
+    def test_csv_query(self, warm, capsys):
+        code = main(
+            [
+                "query",
+                "--url",
+                warm.url,
+                "--fields",
+                "chip",
+                "variant",
+                "gbs",
+                "--where",
+                "kind=spmv",
+                "--csv",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "chip,variant,gbs"
+        assert len(lines) == 3
+
+    def test_records_query_with_numeric_where(self, warm, capsys):
+        import json
+
+        code = main(
+            [
+                "query",
+                "--url",
+                warm.url,
+                "--fields",
+                "size",
+                "--where",
+                "size=4096",
+            ]
+        )
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records == [{"size": 4096}, {"size": 4096}]
+
+    def test_figure_render(self, warm, capsys):
+        assert main(["query", "--url", warm.url, "--figure", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_figure_rejects_field_flags(self, warm, capsys):
+        code = main(
+            [
+                "query",
+                "--url",
+                warm.url,
+                "--figure",
+                "table1",
+                "--fields",
+                "chip",
+            ]
+        )
+        assert code == 2
+        assert "does not combine" in capsys.readouterr().err
+
+    def test_bare_query_needs_fields_or_figure(self, warm, capsys):
+        assert main(["query", "--url", warm.url]) == 2
+        assert "--fields" in capsys.readouterr().err
+
+    def test_malformed_where_pair(self, warm, capsys):
+        code = main(
+            [
+                "query",
+                "--url",
+                warm.url,
+                "--fields",
+                "chip",
+                "--where",
+                "kind",
+            ]
+        )
+        assert code == 2
+        assert "FIELD=VALUE" in capsys.readouterr().err

@@ -1,0 +1,187 @@
+"""Job records and registry semantics (no HTTP involved)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import SweepSpec
+from repro.service import Job, JobRegistry, grid_hash, grid_specs
+from repro.study import paper_study
+
+
+def sweep_payload(**overrides):
+    spec = SweepSpec(
+        kind="spmv", chips=("M1",), sizes=(256, 4096), targets=("cpu", "gpu")
+    )
+    payload = spec.to_dict()
+    payload.update(overrides)
+    return payload
+
+
+class TestGridHash:
+    def test_deterministic(self):
+        assert grid_hash(sweep_payload()) == grid_hash(sweep_payload())
+
+    def test_key_order_does_not_matter(self):
+        payload = sweep_payload()
+        shuffled = dict(reversed(list(payload.items())))
+        assert grid_hash(payload) == grid_hash(shuffled)
+
+    def test_tuple_and_list_values_hash_identically(self):
+        """Payloads round-tripped through JSON (tuples -> lists) keep
+        their identity — a client-side hash matches the server's."""
+        payload = sweep_payload()
+        wired = json.loads(json.dumps(payload))
+        assert grid_hash(payload) == grid_hash(wired)
+
+    def test_different_grids_differ(self):
+        assert grid_hash(sweep_payload()) != grid_hash(
+            sweep_payload(sizes=[256])
+        )
+
+    def test_study_payload_uses_study_hash(self):
+        study = paper_study(("M1",), fast=True, figures=["figure2"])
+        assert grid_hash(study.to_dict()) == study.study_hash()
+
+
+class TestGridSpecs:
+    def test_sweep_expands(self):
+        specs = grid_specs(sweep_payload())
+        assert len(specs) == 4
+        assert {spec.kind for spec in specs} == {"spmv"}
+
+    def test_study_compiles(self):
+        study = paper_study(("M1",), fast=True, figures=["figure2"])
+        assert len(grid_specs(study.to_dict())) == len(study.compile())
+
+    def test_single_cell_is_a_one_cell_grid(self):
+        specs = grid_specs(
+            {"kind": "gemm", "chip": "M1", "impl_key": "gpu-mps", "n": 256}
+        )
+        assert len(specs) == 1
+
+    def test_missing_kind_raises(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            grid_specs({"chips": ["M1"]})
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            grid_specs({"kind": "quantum-annealer"})
+
+
+class TestJobRoundTrip:
+    def test_to_from_dict(self):
+        job = Job(
+            id="job-000007",
+            payload=json.loads(json.dumps(sweep_payload())),
+            grid_hash="abc",
+            status="done",
+            total=4,
+            done=4,
+            executed=2,
+            cache_status="partial",
+            created=12.5,
+            finished=13.0,
+        )
+        assert Job.from_dict(json.loads(json.dumps(job.to_dict()))) == job
+
+    def test_terminal(self):
+        job = Job(id="j", payload={}, grid_hash="g")
+        assert not job.terminal
+        job.status = "done"
+        assert job.terminal
+
+
+class TestRegistry:
+    def test_submit_persists_a_queued_job(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        job, deduped = registry.submit(sweep_payload())
+        assert not deduped
+        assert job.status == "queued"
+        record = json.loads(
+            (tmp_path / ".service" / "jobs" / f"{job.id}.json").read_text()
+        )
+        assert record["grid_hash"] == job.grid_hash
+
+    def test_in_flight_duplicates_coalesce(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        first, _ = registry.submit(sweep_payload())
+        second, deduped = registry.submit(sweep_payload())
+        assert deduped
+        assert second.id == first.id
+
+    def test_completed_grids_get_a_fresh_job(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        first, _ = registry.submit(sweep_payload())
+        registry.update(first, status="done")
+        second, deduped = registry.submit(sweep_payload())
+        assert not deduped
+        assert second.id != first.id
+
+    def test_distinct_grids_never_coalesce(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        first, _ = registry.submit(sweep_payload())
+        second, deduped = registry.submit(sweep_payload(sizes=[256]))
+        assert not deduped
+        assert second.id != first.id
+
+    def test_load_resets_interrupted_jobs_to_queued(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        running, _ = registry.submit(sweep_payload())
+        registry.update(running, status="running", total=4, done=2, executed=2)
+        finished, _ = registry.submit(sweep_payload(sizes=[256]))
+        registry.update(finished, status="done")
+
+        reloaded = JobRegistry(tmp_path)
+        interrupted = reloaded.load()
+        assert [job.id for job in interrupted] == [running.id]
+        assert interrupted[0].status == "queued"
+        assert interrupted[0].executed == 2  # progress survives the crash
+        assert reloaded.get(finished.id).status == "done"
+
+    def test_load_resumes_the_id_counter(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        job, _ = registry.submit(sweep_payload())
+        reloaded = JobRegistry(tmp_path)
+        reloaded.load()
+        fresh, _ = reloaded.submit(sweep_payload(sizes=[256]))
+        assert fresh.id != job.id
+
+    def test_corrupt_job_record_names_the_path(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        job, _ = registry.submit(sweep_payload())
+        path = tmp_path / ".service" / "jobs" / f"{job.id}.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match=str(path)):
+            JobRegistry(tmp_path).load()
+
+    def test_get_unknown_job_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="job-000042"):
+            JobRegistry(tmp_path).get("job-000042")
+
+    def test_find_resolves_grid_hash_to_newest_job(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        first, _ = registry.submit(sweep_payload())
+        registry.update(first, status="done")
+        second, _ = registry.submit(sweep_payload())
+        found = registry.find(first.grid_hash)
+        assert found is not None and found.id == second.id
+        assert registry.find("no-such-ref") is None
+
+    def test_events_replay_in_order_and_stop_at_terminal(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        job, _ = registry.submit(sweep_payload())
+        registry.emit(job.id, {"event": "started", "total": 4})
+        registry.emit(job.id, {"event": "cell", "done": 1})
+        registry.update(job, status="done")
+        registry.emit(job.id, {"event": "done"})
+        names = [event["event"] for event in registry.events(job.id)]
+        assert names == ["queued", "started", "cell", "done"]
+
+    def test_events_end_without_terminal_event_once_job_is_done(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        job, _ = registry.submit(sweep_payload())
+        registry.update(job, status="failed")
+        names = [event["event"] for event in registry.events(job.id)]
+        assert names == ["queued"]  # buffered replay, then terminal status

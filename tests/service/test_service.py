@@ -1,0 +1,327 @@
+"""End-to-end service tests: real HTTP, real store, real execution.
+
+Every test starts an :class:`ExperimentService` on an ephemeral port over a
+``tmp_path`` store and talks to it through :class:`ServiceClient` — the
+exact path ``repro serve`` / ``repro submit`` users take.  Model-only
+numerics keep each grid a few milliseconds.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import Session, SweepSpec, load_envelopes
+from repro.service import (
+    ExperimentService,
+    JobRegistry,
+    ServiceClient,
+    ServiceError,
+    SharedStore,
+    grid_specs,
+)
+from repro.study import get_figure, paper_study, render_figure_text
+from repro.study.frame import ResultFrame
+
+
+def sweep_payload(**overrides):
+    spec = SweepSpec(
+        kind="spmv", chips=("M1",), sizes=(256, 4096), targets=("cpu", "gpu")
+    )
+    payload = spec.to_dict()
+    payload.update(overrides)
+    return payload
+
+
+def make_service(store_dir, **kwargs):
+    kwargs.setdefault("session", Session(numerics="model-only"))
+    return ExperimentService(store_dir, **kwargs)
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = make_service(tmp_path / "store")
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(service.url, timeout=30)
+
+
+class TestSubmitAndCache:
+    def test_submit_poll_and_pure_cache_hit_on_resubmit(self, service, client):
+        first = client.wait(client.submit(sweep_payload())["id"], timeout=60)
+        assert first["status"] == "done"
+        assert first["total"] == 4
+        assert first["done"] == 4
+        assert first["executed"] == 4
+        assert first["cache_status"] == "miss"
+
+        second = client.wait(client.submit(sweep_payload())["id"], timeout=60)
+        assert second["id"] != first["id"]
+        assert second["executed"] == 0  # nothing re-executed
+        assert second["cache_status"] == "hit"
+
+        before = {e.spec_hash: e.to_json() for e in client.results(first["id"])}
+        after = {e.spec_hash: e.to_json() for e in client.results(second["id"])}
+        assert after == before  # byte-identical envelopes
+        assert len(after) == 4
+
+    def test_served_envelopes_match_a_direct_session_run(self, service, client):
+        client.wait(client.submit(sweep_payload())["id"], timeout=60)
+        reference = Session(numerics="model-only").run_batch(
+            list(grid_specs(sweep_payload()))
+        )
+        served = {e.spec_hash: e.to_json() for e in client.results()}
+        assert served == {e.spec_hash: e.to_json() for e in reference}
+
+    def test_overlapping_grids_share_cells(self, service, client):
+        client.wait(client.submit(sweep_payload())["id"], timeout=60)
+        overlap = client.wait(
+            client.submit(sweep_payload(sizes=[4096]))["id"], timeout=60
+        )
+        assert overlap["total"] == 2
+        assert overlap["executed"] == 0  # both cells were already warm
+        assert overlap["cache_status"] == "hit"
+
+    def test_study_submission_round_trips(self, service, client):
+        study = paper_study(("M1",), fast=True, figures=["figure2"])
+        job = client.wait(client.submit(study)["id"], timeout=120)
+        assert job["total"] == len(study.compile())
+        assert job["grid_hash"] == study.study_hash()
+        assert len(client.frame(job["id"])) == job["total"]
+
+    def test_event_stream_narrates_the_run(self, service, client):
+        job = client.wait(client.submit(sweep_payload())["id"], timeout=60)
+        events = list(client.events(job["id"]))
+        names = [event["event"] for event in events]
+        assert names[0] == "queued"
+        assert names[1] == "started"
+        assert names.count("cell") == 4
+        assert names[-1] == "done"
+        assert events[-1]["cache_status"] == "miss"
+        assert [e["done"] for e in events if e["event"] == "cell"] == [1, 2, 3, 4]
+
+
+class TestCoalescing:
+    def test_duplicates_coalesce_before_workers_start(self, tmp_path):
+        service = make_service(tmp_path / "store")
+        first, deduped_first = service.submit(sweep_payload())
+        second, deduped_second = service.submit(sweep_payload())
+        assert not deduped_first
+        assert deduped_second
+        assert second.id == first.id
+
+        service.start()
+        try:
+            final = ServiceClient(service.url).wait(first.id, timeout=60)
+        finally:
+            service.stop()
+        assert final["executed"] == 4  # one execution served both submissions
+
+    def test_concurrent_submissions_execute_each_cell_once(
+        self, service, client
+    ):
+        results, errors = [], []
+
+        def submit():
+            try:
+                job = client.submit(sweep_payload())
+                results.append(client.wait(job["id"], timeout=60))
+            except Exception as exc:  # noqa: BLE001 - surfaced via assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 4
+        assert all(job["status"] == "done" for job in results)
+        # However the submissions interleaved — coalesced in flight or
+        # resolved as cache hits afterwards — the grid ran exactly once.
+        executed = {job["id"]: job["executed"] for job in results}
+        assert sum(executed.values()) == 4
+        assert len(load_envelopes(service.store.root)) == 4
+
+
+class TestCrashResume:
+    def test_killed_server_resumes_and_matches_uninterrupted_run(self, tmp_path):
+        payload = sweep_payload()
+        specs = list(grid_specs(payload))
+        reference = {
+            e.spec_hash: e.to_json()
+            for e in Session(numerics="model-only").run_batch(specs)
+        }
+
+        # Simulate a server killed mid-run: two cells journaled, the job
+        # record still "running" on disk, manifest.json never folded.
+        store_dir = tmp_path / "store"
+        session = Session(numerics="model-only")
+        store = SharedStore(store_dir, session)
+        store.merge(specs)
+        for spec in specs[:2]:
+            store.record(session.run(spec))
+        registry = JobRegistry(store_dir)
+        job, _ = registry.submit(payload)
+        registry.update(job, status="running", total=4, done=2, executed=2)
+
+        service = make_service(store_dir)
+        service.start()
+        try:
+            final = ServiceClient(service.url).wait(job.id, timeout=60)
+        finally:
+            service.stop()
+        assert final["status"] == "done"
+        assert final["done"] == 4
+        assert final["cache_status"] == "partial"
+        assert final["executed"] == 4  # 2 before the crash + 2 resumed
+        stored = {
+            e.spec_hash: e.to_json() for e in load_envelopes(store_dir)
+        }
+        assert stored == reference
+
+    def test_restart_on_a_warm_store_serves_pure_hits(self, tmp_path):
+        store_dir = tmp_path / "store"
+        service = make_service(store_dir)
+        service.start()
+        try:
+            job = ServiceClient(service.url).wait(
+                ServiceClient(service.url).submit(sweep_payload())["id"],
+                timeout=60,
+            )
+        finally:
+            service.stop()
+        assert job["cache_status"] == "miss"
+
+        revived = make_service(store_dir)
+        revived.start()
+        try:
+            client = ServiceClient(revived.url)
+            assert client.health()["cells"].get("done") == 4
+            again = client.wait(client.submit(sweep_payload())["id"], timeout=60)
+        finally:
+            revived.stop()
+        assert again["cache_status"] == "hit"
+        assert again["executed"] == 0
+
+    def test_store_with_foreign_fingerprint_is_refused(self, tmp_path):
+        store_dir = tmp_path / "store"
+        SharedStore(store_dir, Session(numerics="model-only"))
+        with pytest.raises(ConfigurationError):
+            ExperimentService(store_dir, session=Session(numerics="sampled"))
+
+
+class TestQuerySurface:
+    @pytest.fixture
+    def warm(self, service, client):
+        client.wait(client.submit(sweep_payload())["id"], timeout=60)
+        return client
+
+    def test_records_query(self, warm):
+        out = warm.query(
+            fields=["chip", "kind", "variant", "size"], where={"kind": "spmv"}
+        )
+        assert out["rows"] == 4
+        assert {record["variant"] for record in out["records"]} == {"cpu", "gpu"}
+
+    def test_membership_where(self, warm):
+        out = warm.query(fields=["size"], where={"size": [256]})
+        assert out["rows"] == 2
+
+    def test_pivot_query(self, warm):
+        out = warm.query(
+            pivot={"index": ["variant", "size"], "values": "gbs"}
+        )
+        assert set(out["pivot"]) == {"cpu", "gpu"}
+
+    def test_csv_query(self, warm):
+        out = warm.query(fields=["chip", "gbs"], format="csv")
+        assert out["csv"].splitlines()[0] == "chip,gbs"
+        assert len(out["csv"].splitlines()) == 5
+
+    def test_grid_scoped_query(self, warm):
+        job = warm.wait(
+            warm.submit(sweep_payload(sizes=[256]))["id"], timeout=60
+        )
+        out = warm.query(grid=job["id"], fields=["size"])
+        assert out["rows"] == 2
+
+    def test_query_without_fields_or_pivot_is_a_client_error(self, warm):
+        with pytest.raises(ServiceError, match="400"):
+            warm.query(where={"kind": "spmv"})
+
+    def test_figure_text_matches_the_shared_renderer(self, service, client):
+        sweep = SweepSpec(
+            kind="gemm", chips=("M1",), impl_keys=("gpu-mps",), sizes=(256,)
+        )
+        client.wait(client.submit(sweep)["id"], timeout=60)
+        frame = ResultFrame.from_store(service.store.root)
+        expected = render_figure_text(
+            "figure2", get_figure("figure2").series(frame)
+        )
+        assert client.figure("figure2").rstrip("\n") == expected.rstrip("\n")
+
+    def test_figure_json_series(self, service, client):
+        sweep = SweepSpec(
+            kind="gemm", chips=("M1",), impl_keys=("gpu-mps",), sizes=(256,)
+        )
+        client.wait(client.submit(sweep)["id"], timeout=60)
+        out = client.figure("figure2", format="json")
+        assert out["figure"] == "figure2"
+        # JSON object keys are strings, so sizes arrive as "256".
+        assert out["series"]["M1"]["gpu-mps"].keys() == {"256"}
+
+    def test_tables_render_without_a_warm_store(self, client):
+        text = client.figure("table1", chips=["M1"])
+        assert "M1" in text
+        assert "M4" not in text
+
+    def test_results_payload_reports_coverage(self, warm):
+        job = warm.jobs()[-1]
+        payload = warm._request("GET", f"/results/{job['grid_hash']}")
+        assert payload["total"] == payload["available"] == 4
+
+
+class TestHttpErrors:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client.job("job-999999")
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client._request("GET", "/nope")
+
+    def test_unknown_figure_is_an_error(self, client):
+        with pytest.raises(ServiceError):
+            client.figure("figure99")
+
+    def test_sweep_payload_on_studies_endpoint_is_rejected(self, client):
+        with pytest.raises(ServiceError, match="StudySpec"):
+            client._request("POST", "/studies", sweep_payload())
+
+    def test_malformed_submission_is_rejected_before_queueing(
+        self, service, client
+    ):
+        with pytest.raises(ServiceError, match="kind"):
+            client._request("POST", "/sweeps", {"chips": ["M1"]})
+        assert client.jobs() == []  # nothing was enqueued
+
+    def test_non_json_body_is_a_client_error(self, client):
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.base_url + "/sweeps", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_health_endpoint(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["backend"] == "auto"
