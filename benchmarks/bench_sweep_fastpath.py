@@ -36,22 +36,31 @@ def fastpath_grid(cells: int = 1000) -> list:
     return specs[:cells]
 
 
-def measure_backend(backend: str, specs, *, workers: int = 4) -> dict:
+def measure_backend(
+    backend: str, specs, *, workers: int = 4, shard_size: int | None = None
+) -> dict:
     """One uncached batch run under ``backend``: wall time and throughput.
 
     The single measurement harness — ``scripts/bench_to_json.py`` (the
     BENCH_PR4.json record and the CI smoke gate) imports this same
     function, so the committed perf record and the bench suite always
-    measure the identical configuration.
+    measure the identical configuration.  ``shard_size`` tunes the sharded
+    backend for small smoke grids (the 4096-cell default would put the
+    whole grid in one shard).
     """
     import time
 
+    if backend == "sharded" and shard_size is not None:
+        from repro.experiments.backends import ShardedBackend
+
+        backend = ShardedBackend(workers, shard_size=shard_size)
     session = model_session()
     start = time.perf_counter()
     envelopes = session.run_batch(specs, backend=backend, max_workers=workers)
     elapsed = time.perf_counter() - start
     if len(envelopes) != len(specs):
-        raise RuntimeError(f"{backend}: {len(envelopes)}/{len(specs)} cells")
+        name = getattr(backend, "name", backend)
+        raise RuntimeError(f"{name}: {len(envelopes)}/{len(specs)} cells")
     return {
         "elapsed_s": round(elapsed, 4),
         "cells_per_s": round(len(specs) / elapsed, 1),

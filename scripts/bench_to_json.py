@@ -56,6 +56,21 @@ def main(argv=None) -> int:
         default=1.0,
         help="fail if vectorized/serial falls below this ratio",
     )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="cells per worker shard for the sharded backend",
+    )
+    parser.add_argument(
+        "--min-sharded-ratio",
+        type=float,
+        default=0.0,
+        help=(
+            "fail if sharded/vectorized falls below this ratio "
+            "(0 disables; needs >1 worker core to be meaningful)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     specs = fastpath_grid(args.cells)
@@ -65,7 +80,9 @@ def main(argv=None) -> int:
 
     results = {}
     for backend in BACKEND_NAMES:
-        results[backend] = measure_backend(backend, specs, workers=args.workers)
+        results[backend] = measure_backend(
+            backend, specs, workers=args.workers, shard_size=args.shard_size
+        )
         print(
             f"{backend:10s} {results[backend]['cells_per_s']:>10,.1f} cells/s "
             f"({results[backend]['elapsed_s']:.2f}s)",
@@ -73,6 +90,9 @@ def main(argv=None) -> int:
         )
 
     speedup = results["vectorized"]["cells_per_s"] / results["serial"]["cells_per_s"]
+    sharded_ratio = (
+        results["sharded"]["cells_per_s"] / results["vectorized"]["cells_per_s"]
+    )
     record = {
         "benchmark": "sweep-fastpath",
         "grid": {
@@ -83,6 +103,7 @@ def main(argv=None) -> int:
         },
         "backends": results,
         "vectorized_speedup_vs_serial": round(speedup, 2),
+        "sharded_vs_vectorized": round(sharded_ratio, 2),
         "identity_verified": True,
         "environment": {
             "repro_version": __version__,
@@ -98,6 +119,13 @@ def main(argv=None) -> int:
         print(
             f"error: vectorized speedup {speedup:.2f}x is below the "
             f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if sharded_ratio < args.min_sharded_ratio:
+        print(
+            f"error: sharded throughput is {sharded_ratio:.2f}x vectorized, "
+            f"below the required {args.min_sharded_ratio:.2f}x",
             file=sys.stderr,
         )
         return 1

@@ -196,7 +196,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(BACKEND_NAMES),
         help="execution backend (default: serial for --workers 1, else threads; "
         "processes sidesteps the GIL for real-NumPy numerics, vectorized "
-        "batch-evaluates whole grids through the roofline model)",
+        "batch-evaluates whole grids through the roofline model, sharded "
+        "streams contiguous grid shards through vectorized worker "
+        "processes — the million-cell path)",
+    )
+    run.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cells per worker shard for --backend sharded "
+        "(default: 4096)",
     )
     run.add_argument(
         "--json", action="store_true", help="emit the envelopes as JSON on stdout"
@@ -642,25 +652,40 @@ def _run_progress(args):
         if getattr(args, "quiet", False) or getattr(args, "json", False):
             return
         cell = get_workload(envelope.kind).cell_label(envelope.spec)
-        print(f"[{done}/{total}] {cell}", file=sys.stderr)
+        # streaming backends report total < 0 while the grid's size is
+        # still unknown (the stream's end defines it)
+        shown = total if total >= 0 else "?"
+        print(f"[{done}/{shown}] {cell}", file=sys.stderr)
 
     return progress, executed
 
 
-def _warn_processes_footgun(backend, specs) -> None:
+def _warn_processes_footgun(backend, specs, session) -> None:
     """Steer ``--backend processes`` away from pure-model grids.
 
     BENCH_PR4.json measured the 216-cell model-only grid at 941.3 cells/s
     serial, 661.9 with processes (spawn + IPC overhead swamps the cheap
-    cells) and 15,822.6 vectorized — so when every workload in the grid
-    declares a vectorized lowering, processes is strictly the wrong tool
-    and the envelopes would be byte-identical either way.
+    cells) and 15,822.6 vectorized — so when every cell of the grid would
+    actually lower (its workload declares a vectorized body *and* its
+    effective numerics profile is model-only, the gate every lowering
+    applies), processes is strictly the wrong tool and the envelopes would
+    be byte-identical either way.
     """
     if backend != "processes":
         return
+    from repro.sim.policy import NumericsPolicy
+
+    specs = list(specs)
     kinds = {spec.kind for spec in specs}
-    if kinds and all(
-        get_workload(kind).vectorized_body is not None for kind in kinds
+    if (
+        kinds
+        and all(
+            get_workload(kind).vectorized_body is not None for kind in kinds
+        )
+        and all(
+            session.numerics_for(spec).policy is NumericsPolicy.MODEL_ONLY
+            for spec in specs
+        )
     ):
         print(
             "warning: every workload in this grid has a vectorized lowering; "
@@ -670,6 +695,20 @@ def _warn_processes_footgun(backend, specs) -> None:
             "envelopes ~17x faster.",
             file=sys.stderr,
         )
+
+
+def _effective_backend(args):
+    """The backend argument for ``repro run``: a name, or a configured
+    :class:`~repro.experiments.backends.ShardedBackend` when ``--shard-size``
+    tunes it."""
+    shard_size = getattr(args, "shard_size", None)
+    if shard_size is None:
+        return args.backend
+    if args.backend != "sharded":
+        raise ReproError("--shard-size only applies to --backend sharded")
+    from repro.experiments.backends import ShardedBackend
+
+    return ShardedBackend(args.workers, shard_size)
 
 
 def _run_sweep(args) -> None:
@@ -684,6 +723,7 @@ def _run_sweep(args) -> None:
     """
     out_dir = args.out
     written = 0
+    exec_backend = _effective_backend(args)
     if args.from_dir is not None:
         envelopes = load_envelopes(args.from_dir)
         if not args.quiet:
@@ -712,13 +752,13 @@ def _run_sweep(args) -> None:
                 f"done, {pending} to run; sweep flags are ignored]",
                 file=sys.stderr,
             )
-        _warn_processes_footgun(args.backend, manifest.specs())
+        _warn_processes_footgun(args.backend, manifest.specs(), session)
         progress, executed = _run_progress(args)
         envelopes, manifest = run_with_manifest(
             session,
             manifest.specs(),
             args.resume_dir,
-            backend=args.backend,
+            backend=exec_backend,
             max_workers=args.workers,
             progress=progress,
             manifest=manifest,
@@ -740,24 +780,26 @@ def _run_sweep(args) -> None:
         session = Session(
             numerics=args.numerics, seed=args.seed, cache_dir=args.cache
         )
-        specs = sweep.expand()
-        _warn_processes_footgun(args.backend, specs)
+        # the sweep goes down un-expanded: run_with_manifest expands it in
+        # one lazy pass, and run_batch hands it whole to streaming backends
+        # (sharded never materializes the grid in this process at all)
+        _warn_processes_footgun(args.backend, sweep.expand_iter(), session)
         progress, executed = _run_progress(args)
         if args.out:
             envelopes, _ = run_with_manifest(
                 session,
-                specs,
+                sweep,
                 args.out,
-                backend=args.backend,
+                backend=exec_backend,
                 max_workers=args.workers,
                 progress=progress,
             )
             written = executed[0]
         else:
             envelopes = session.run_batch(
-                specs,
+                sweep,
                 max_workers=args.workers,
-                backend=args.backend,
+                backend=exec_backend,
                 progress=progress,
             )
     if out_dir:

@@ -22,6 +22,7 @@ __all__ = [
     "PowerMeasurement",
     "PoweredGemmResult",
     "summarize_series",
+    "timed_repetitions",
 ]
 
 
@@ -35,6 +36,27 @@ class GemmRepetition:
     def __post_init__(self) -> None:
         if self.elapsed_ns <= 0:
             raise ConfigurationError("repetition must take positive time")
+
+
+def timed_repetitions(elapsed_ns: Sequence[int]) -> tuple[GemmRepetition, ...]:
+    """``(GemmRepetition(0, ns), GemmRepetition(1, ns), ...)`` in bulk.
+
+    Grid engines construct hundreds of thousands of repetition records per
+    sweep, where the generated dataclass ``__init__`` dominates.  This maker
+    fills instances directly — callers guarantee ``elapsed_ns >= 1`` by
+    construction (both clock paths apply ``max(1, round(...))``), so the
+    positivity check is already discharged — and yields objects
+    indistinguishable from the regular constructor.
+    """
+    new = GemmRepetition.__new__
+    out = []
+    append = out.append
+    for rep, ns in enumerate(elapsed_ns):
+        obj = new(GemmRepetition)
+        obj.__dict__["repetition"] = rep
+        obj.__dict__["elapsed_ns"] = ns
+        append(obj)
+    return tuple(out)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -17,11 +17,17 @@ the cells of a batch execute:
   ``vectorized_body`` are lowered onto shared chip templates and evaluated
   in bulk NumPy array operations (:mod:`repro.sim.vectorized`) instead of
   per-operation Python loops, with automatic per-cell fallback to the
-  scalar executor for workloads that do not.
+  scalar executor for workloads that do not;
+* ``sharded`` — vectorized × processes for million-cell grids: the grid is
+  cut into contiguous shards, each shard crosses to a worker process (as a
+  sweep slice or as plain-data specs), runs there under the vectorized
+  backend, and streams its envelopes back as plain data; the parent
+  delivers shards strictly in submission order with a bounded number in
+  flight, so a grid of any size runs in constant parent memory.
 
 Because every cell is a pure function of (spec, session fingerprint) — the
 simulator's jitter is content-addressed, machines are fresh per cell — all
-three backends produce byte-identical envelope JSON; the cross-backend
+backends produce byte-identical envelope JSON; the cross-backend
 determinism suite (``tests/experiments/test_backends.py``) enforces that
 invariant over every registered workload.
 
@@ -38,7 +44,10 @@ while the environment-variable soft default quietly falls back to threads.
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import os
+import pickle
+from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
@@ -56,11 +65,18 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "VectorizedBackend",
+    "ShardedBackend",
     "resolve_backend",
 ]
 
 #: The registered backend names, in documentation order.
-BACKEND_NAMES: tuple[str, ...] = ("serial", "threads", "processes", "vectorized")
+BACKEND_NAMES: tuple[str, ...] = (
+    "serial",
+    "threads",
+    "processes",
+    "vectorized",
+    "sharded",
+)
 
 #: Environment variable consulted when no backend is named explicitly —
 #: the CI matrix runs the whole fast tier under each value.
@@ -85,6 +101,12 @@ class ExecutionBackend:
 
     #: Registry/CLI name of this backend.
     name = "base"
+
+    #: Streaming backends additionally implement :meth:`run_sweep` and accept
+    #: an un-expanded :class:`~repro.experiments.specs.SweepSpec`;
+    #: ``Session.run_batch`` routes grids to it so they are never fully
+    #: materialized in the parent process.
+    streaming = False
 
     def run(
         self,
@@ -212,6 +234,7 @@ class ProcessBackend(ExecutionBackend):
 
     def run(self, session, specs, finish, *, use_cache=True):
         """Dispatch cache misses to worker processes as plain-data specs."""
+        from repro.errors import SimulationError
         from repro.experiments.envelope import ResultEnvelope
 
         if session.machine_factory is not None:
@@ -229,12 +252,26 @@ class ProcessBackend(ExecutionBackend):
             futures = {
                 pool.submit(
                     _execute_cell_payload, spec.to_dict(), config
-                ): (index, key)
+                ): (index, spec, key)
                 for index, spec, key in pending
             }
             for future in concurrent.futures.as_completed(futures):
-                index, key = futures[future]
-                envelope = ResultEnvelope.from_dict(future.result())
+                index, spec, key = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:
+                    # One dead cell fails the batch: cancel what has not
+                    # started yet (no point finishing a batch the caller
+                    # will never see) and name the failing cell — a bare
+                    # pickled traceback from a pool worker otherwise says
+                    # nothing about *which* spec died.
+                    for other in futures:
+                        other.cancel()
+                    raise SimulationError(
+                        f"worker process failed on {spec.kind} cell "
+                        f"{spec.spec_hash()}: {exc}"
+                    ) from exc
+                envelope = ResultEnvelope.from_dict(payload)
                 if use_cache:
                     session.cache_store(key, envelope)
                 finish(index, envelope)
@@ -259,7 +296,12 @@ class VectorizedBackend(ExecutionBackend):
         """Lower every cache miss, evaluate the grid in bulk, finish in order."""
         from repro import workloads
         from repro.experiments.envelope import ResultEnvelope
-        from repro.sim.vectorized import evaluate_cells, vector_context
+        from repro.sim.vectorized import (
+            LoweredSequence,
+            evaluate_cells,
+            evaluate_sequences,
+            vector_context,
+        )
 
         if session.machine_factory is not None:
             raise ConfigurationError(
@@ -283,27 +325,43 @@ class VectorizedBackend(ExecutionBackend):
                 session.cache_store(key, envelope)
             finish(index, envelope)
 
-        lowered_entries: list[tuple[int, "ExperimentSpec", str]] = []
+        cell_entries: list[tuple[int, "ExperimentSpec", str]] = []
         lowered_cells: list[Any] = []
+        sequence_entries: list[tuple[int, "ExperimentSpec", str]] = []
+        lowered_sequences: list[Any] = []
         fallback: list[tuple[int, "ExperimentSpec", str, Any]] = []
         for index, spec, key in pending:
             workload = workloads.workload_for_spec(spec)
-            if workload.vectorized_body is None:
-                fallback.append((index, spec, key, workload))
-            else:
+            lowered = None
+            if workload.vectorized_body is not None:
                 context = vector_context(
                     spec.chip,
                     session.thermal_enabled,
                     session.numerics_for(spec),
                 )
-                lowered_entries.append((index, spec, key))
-                lowered_cells.append(workload.vectorized_body(context, spec))
+                lowered = workload.vectorized_body(context, spec)
+            if lowered is None:
+                # no vectorized body, or the body declined this cell
+                # (full-numerics GEMM, off-policy protocols) — scalar fallback
+                fallback.append((index, spec, key, workload))
+            elif isinstance(lowered, LoweredSequence):
+                sequence_entries.append((index, spec, key))
+                lowered_sequences.append(lowered)
+            else:
+                cell_entries.append((index, spec, key))
+                lowered_cells.append(lowered)
 
         if lowered_cells:
             evaluated = evaluate_cells(
                 lowered_cells, default_sigma=session.noise_sigma
             )
-            for (index, spec, key), result in zip(lowered_entries, evaluated):
+            for (index, spec, key), result in zip(cell_entries, evaluated):
+                deliver(index, spec, key, result)
+        if lowered_sequences:
+            evaluated = evaluate_sequences(
+                lowered_sequences, default_sigma=session.noise_sigma
+            )
+            for (index, spec, key), result in zip(sequence_entries, evaluated):
                 deliver(index, spec, key, result)
         # Scalar-fallback cells run last, delivered one by one — they are
         # the slow ones (real kernels), so per-cell completion keeps
@@ -312,6 +370,306 @@ class VectorizedBackend(ExecutionBackend):
             deliver(
                 index, spec, key, workload.execute(session.machine_for(spec), spec)
             )
+
+
+#: Worker-side cursor over the most recent sweep's lazy expansion.  The
+#: parent ships contiguous grid slices and each worker sees its share in
+#: increasing order, so resuming one iterator makes slice expansion cost
+#: O(cells skipped or handled) per worker instead of re-expanding the grid
+#: from cell zero for every shard.
+_WORKER_SWEEP_CURSOR: dict[str, Any] = {"key": None, "iter": None, "pos": 0}
+
+
+def _sweep_slice_specs(
+    sweep_data: Mapping[str, Any], start: int, stop: int
+) -> list:
+    """Expand cells ``[start, stop)`` of a sweep grid, resuming the cursor.
+
+    Slices past the end of the grid come back short or empty — that is how
+    the parent learns the grid's length without ever expanding it.
+    """
+    from repro.experiments.specs import SweepSpec
+
+    cursor = _WORKER_SWEEP_CURSOR
+    # plain-data equality (C-level, even for six-figure size axes) — a
+    # canonical-JSON key would cost milliseconds per shard on huge grids
+    key = dict(sweep_data)
+    if cursor["key"] != key or cursor["pos"] > start:
+        cursor["key"] = key
+        cursor["iter"] = SweepSpec.from_dict(sweep_data).expand_iter()
+        cursor["pos"] = 0
+    iterator = cursor["iter"]
+    skip = start - cursor["pos"]
+    if skip:
+        # drain the gap cells other workers own (spec construction only)
+        for _ in itertools.islice(iterator, skip):
+            pass
+    specs = list(itertools.islice(iterator, stop - start))
+    cursor["pos"] = start + len(specs)
+    return specs
+
+
+def _execute_shard_payload(
+    shard: Mapping[str, Any], session_config: Mapping[str, Any]
+) -> tuple[int, bytes]:
+    """Worker-side entry point: one shard in, its envelope dicts out in order.
+
+    ``shard`` is either ``{"specs": [...]}`` (plain-data cells, the caching
+    path) or ``{"sweep": ..., "start": i, "stop": j}`` (a grid slice the
+    worker expands itself, so the parent never builds the spec objects).
+    The shard executes under the vectorized backend on a fresh session with
+    the parent's configuration, which is what keeps the payloads
+    byte-identical to every other backend.
+
+    Returns ``(cell count, pickled payload list)``: one pre-pickled blob
+    crosses the pool boundary as a cheap bytes copy, and the parent defers
+    decoding it until an envelope field is actually read — the count alone
+    drives delivery and end-of-grid detection.
+    """
+    from repro.experiments.session import Session
+    from repro.experiments.specs import spec_from_dict
+
+    if "specs" in shard:
+        specs = [spec_from_dict(data) for data in shard["specs"]]
+    else:
+        specs = _sweep_slice_specs(
+            shard["sweep"], shard["start"], shard["stop"]
+        )
+    if not specs:
+        return 0, _EMPTY_SHARD
+    session = Session(**session_config)
+    out: list[Any] = [None] * len(specs)
+
+    def collect(index: int, envelope) -> None:
+        out[index] = envelope.to_dict()
+
+    VectorizedBackend().run(session, specs, collect, use_cache=False)
+    return len(out), pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+_EMPTY_SHARD = pickle.dumps([], protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class _ShardResults:
+    """One shard's pickled envelope payloads, decoded on first touch.
+
+    Every lazy envelope of a shard holds a loader into the same instance,
+    so the unpickle cost is paid once per shard — and only if some envelope
+    field is actually read.
+    """
+
+    __slots__ = ("_blob", "_items")
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+        self._items = None
+
+    def item(self, index: int) -> Mapping[str, Any]:
+        items = self._items
+        if items is None:
+            items = self._items = pickle.loads(self._blob)
+            self._blob = b""
+        return items[index]
+
+
+class ShardedBackend(ExecutionBackend):
+    """Vectorized × processes: contiguous grid shards in worker processes.
+
+    The batch is cut into shards of ``shard_size`` consecutive cells; each
+    shard crosses to a worker as plain data, runs there under the
+    vectorized backend, and streams its envelope dicts back.  The parent
+    keeps a bounded number of shards in flight and delivers them strictly
+    in submission order, wrapping payloads in lazy envelopes
+    (:meth:`ResultEnvelope.from_payload`) — so a million-cell grid runs in
+    constant parent memory and the parent's per-cell work is a dict handoff,
+    not codec rehydration.
+
+    Two dispatch modes, chosen per call:
+
+    * **sweep slices** (:meth:`run_sweep` with caching off) — the parent
+      ships ``(sweep, start, stop)`` descriptors and the workers expand
+      their own slices; the parent never materializes a single spec.
+      Submission is open-ended: the grid's end is detected when a shard
+      comes back short.
+    * **plain-data cells** (:meth:`run`, or :meth:`run_sweep` with caching
+      on) — the parent streams the expansion shard-wise, resolves cache
+      hits per shard, and ships only the misses.  Hits are held and merged
+      back when their shard returns, keeping delivery in grid order.
+    """
+
+    name = "sharded"
+    streaming = True
+
+    #: Default cells per shard — large enough to amortize process dispatch
+    #: and NumPy batch setup, small enough to keep ``max_workers`` busy on
+    #: modest grids.
+    DEFAULT_SHARD_SIZE = 4096
+
+    def __init__(
+        self, max_workers: int = 4, shard_size: int | None = None
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        if shard_size is not None and shard_size < 1:
+            raise ConfigurationError("shard_size must be >= 1")
+        self.max_workers = int(max_workers)
+        self.shard_size = int(shard_size or self.DEFAULT_SHARD_SIZE)
+
+    def _check_session(self, session: "Session") -> None:
+        if session.machine_factory is not None:
+            raise ConfigurationError(
+                "the sharded backend ships cells to worker processes and "
+                "lowers them onto shared chip templates; a custom "
+                "machine_factory supports neither — use the serial or "
+                "threads backend"
+            )
+
+    def run(self, session, specs, finish, *, use_cache=True):
+        """Execute a materialized spec sequence shard-wise."""
+        self._check_session(session)
+        self._run_chunked(session, iter(enumerate(specs)), finish, use_cache)
+
+    def run_sweep(self, session, sweep, finish, *, use_cache=True):
+        """Execute a grid without materializing it in the parent.
+
+        With caching on, the parent must see every spec to compute its
+        cache key, so cells stream through the chunked plain-data path
+        (still never holding more than the in-flight window).  With caching
+        off, the workers expand their own contiguous slices and the parent
+        touches nothing but envelope payloads.
+        """
+        self._check_session(session)
+        if use_cache:
+            self._run_chunked(
+                session, iter(enumerate(sweep.expand_iter())), finish, use_cache
+            )
+            return
+        from repro.experiments.envelope import ResultEnvelope
+
+        sweep_data = sweep.to_dict()
+        size = self.shard_size
+
+        def shards():
+            for start in itertools.count(0, size):
+                yield {
+                    "sweep": sweep_data,
+                    "start": start,
+                    "stop": start + size,
+                }
+
+        def deliver(shard, count, results):
+            base = shard["start"]
+            item = results.item
+            from_deferred = ResultEnvelope.from_deferred
+            record_miss = session.record_miss
+            for offset in range(count):
+                record_miss()
+                finish(base + offset, from_deferred(partial(item, offset)))
+
+        self._pump(session, shards(), deliver, open_ended=True)
+
+    def _run_chunked(self, session, indexed_specs, finish, use_cache):
+        """Stream ``(index, spec)`` pairs shard-wise through the pool.
+
+        Cache hits are resolved per shard but *held* until the shard's
+        misses return, so ``finish`` always runs in grid order; peak
+        materialized state is the in-flight window's worth of specs.
+        """
+        import collections
+
+        from repro.experiments.envelope import ResultEnvelope
+
+        size = self.shard_size
+        pending_entries: "collections.deque" = collections.deque()
+
+        def shards():
+            while True:
+                chunk = list(itertools.islice(indexed_specs, size))
+                if not chunk:
+                    return
+                entries = []
+                payloads = []
+                for index, spec in chunk:
+                    key = session.cache_key(spec)
+                    cached = session.cache_lookup(key) if use_cache else None
+                    if cached is None:
+                        if not use_cache:
+                            session.record_miss()
+                        payloads.append(spec.to_dict())
+                    entries.append((index, spec, key, cached))
+                pending_entries.append(entries)
+                first = chunk[0][1]
+                yield {
+                    "specs": payloads,
+                    "label": f"{first.kind} cells from {first.spec_hash()}",
+                }
+
+        def deliver(shard, count, results):
+            entries = pending_entries.popleft()
+            position = 0
+            for index, spec, key, cached in entries:
+                envelope = cached
+                if envelope is None:
+                    envelope = ResultEnvelope.from_deferred(
+                        partial(results.item, position)
+                    )
+                    position += 1
+                    if use_cache:
+                        session.cache_store(key, envelope)
+                finish(index, envelope)
+
+        self._pump(session, shards(), deliver)
+
+    def _pump(self, session, shards, deliver, *, open_ended=False):
+        """Submit shards with a bounded in-flight window; deliver in order.
+
+        ``open_ended`` shards describe grid slices of unknown total count:
+        submission stops once a completed shard comes back short (the grid
+        ended at or before its ``stop``); slices already in flight beyond
+        the end return empty and deliver nothing.
+        """
+        from repro.errors import SimulationError
+
+        config = _session_payload(session)
+        window = self.max_workers + 2
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers
+        ) as pool:
+            in_flight: dict[int, tuple] = {}
+            next_submit = 0
+            next_deliver = 0
+            exhausted = False
+            while True:
+                while not exhausted and len(in_flight) < window:
+                    shard = next(shards, None)
+                    if shard is None:
+                        exhausted = True
+                        break
+                    in_flight[next_submit] = (
+                        pool.submit(_execute_shard_payload, shard, config),
+                        shard,
+                    )
+                    next_submit += 1
+                if next_deliver not in in_flight:
+                    break
+                future, shard = in_flight.pop(next_deliver)
+                next_deliver += 1
+                try:
+                    count, blob = future.result()
+                except Exception as exc:
+                    for other, _ in in_flight.values():
+                        other.cancel()
+                    if "start" in shard:
+                        where = f"grid cells {shard['start']}..{shard['stop']}"
+                    else:
+                        where = shard.get("label", "a shard")
+                    raise SimulationError(
+                        f"worker process failed on shard {next_deliver - 1} "
+                        f"({where}): {exc}"
+                    ) from exc
+                if open_ended and count < (shard["stop"] - shard["start"]):
+                    exhausted = True
+                deliver(shard, count, _ShardResults(blob))
 
 
 def resolve_backend(
@@ -326,10 +684,12 @@ def resolve_backend(
     :data:`BACKEND_NAMES`, or ``None`` — which consults ``REPRO_BACKEND``
     and finally falls back to the historical default (serial for one
     worker, threads otherwise).  The environment variable is a *soft*
-    default: it never overrides an explicit argument, and it degrades to
-    threads for sessions whose custom ``machine_factory`` cannot cross a
-    process boundary or be lowered onto shared chip templates (an explicit
-    ``"processes"`` or ``"vectorized"`` request still raises).
+    default: it never overrides an explicit argument, and it degrades for
+    sessions whose custom ``machine_factory`` cannot cross a process
+    boundary or be lowered onto shared chip templates — to threads, or to
+    serial when the batch has one worker anyway (an explicit
+    ``"processes"``, ``"vectorized"`` or ``"sharded"`` request still
+    raises).
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -342,11 +702,15 @@ def resolve_backend(
         return SerialBackend() if max_workers <= 1 else ThreadBackend(max_workers)
     if (
         from_env
-        and name in ("processes", "vectorized")
+        and name in ("processes", "vectorized", "sharded")
         and session is not None
         and session.machine_factory is not None
     ):
-        return ThreadBackend(max_workers)
+        # a single-worker degrade used to hand back a ThreadBackend whose
+        # pool dispatch buys nothing over the serial reference loop
+        return (
+            SerialBackend() if max_workers <= 1 else ThreadBackend(max_workers)
+        )
     if name == "serial":
         return SerialBackend()
     if name == "threads":
@@ -355,6 +719,8 @@ def resolve_backend(
         return ProcessBackend(max_workers)
     if name == "vectorized":
         return VectorizedBackend()
+    if name == "sharded":
+        return ShardedBackend(max_workers)
     origin = f" (from ${BACKEND_ENV_VAR})" if from_env else ""
     raise ConfigurationError(
         f"unknown execution backend {name!r}{origin}; "

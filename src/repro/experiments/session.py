@@ -337,11 +337,13 @@ class Session:
         see :func:`~repro.experiments.backends.resolve_backend` for the
         default chain).  ``progress`` is invoked after each cell completes
         as ``progress(completed, total, envelope)``.
+
+        A :class:`SweepSpec` handed to a *streaming* backend (``sharded``)
+        is passed down un-expanded: the backend pulls cells through
+        :meth:`SweepSpec.expand_iter` (or ships grid slices to its
+        workers), so the grid is never fully materialized here — only the
+        returned envelopes are.
         """
-        spec_list: Sequence[ExperimentSpec] = (
-            specs.expand() if isinstance(specs, SweepSpec) else list(specs)
-        )
-        total = len(spec_list)
         workers = self.max_workers if max_workers is None else int(max_workers)
         if workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
@@ -351,22 +353,61 @@ class Session:
             session=self,
         )
 
-        results: list[ResultEnvelope | None] = [None] * total
+        streaming = (
+            isinstance(specs, SweepSpec)
+            and getattr(exec_backend, "streaming", False)
+        )
+        spec_list: Sequence[ExperimentSpec] | None = None
+        if streaming:
+            total: int | None = None  # unknown until the stream ends
+            results: list[ResultEnvelope | None] = []
+        else:
+            spec_list = (
+                specs.expand() if isinstance(specs, SweepSpec) else list(specs)
+            )
+            total = len(spec_list)
+            results = [None] * total
         completed = 0
         progress_lock = threading.Lock()
 
         def finish(index: int, envelope: ResultEnvelope) -> None:
             nonlocal completed
+            if total is None:
+                while index >= len(results):
+                    results.append(None)
             results[index] = envelope
             if progress is not None:
                 with progress_lock:
                     completed += 1
-                    progress(completed, total, envelope)
+                    progress(completed, total if total is not None else -1, envelope)
             else:
                 completed += 1
 
-        exec_backend.run(self, spec_list, finish, use_cache=use_cache)
-        return [env for env in results if env is not None]
+        if streaming:
+            exec_backend.run_sweep(self, specs, finish, use_cache=use_cache)
+        else:
+            exec_backend.run(self, spec_list, finish, use_cache=use_cache)
+
+        undelivered = [i for i, env in enumerate(results) if env is None]
+        if not undelivered and total is not None and completed < total:
+            undelivered = list(range(len(results), total))
+        if undelivered:
+            # A backend that drops cells is a bug, not a partial result —
+            # name the victims instead of silently returning a short list.
+            if spec_list is None:
+                spec_list = list(specs.expand_iter())
+            hashes = ", ".join(
+                spec_list[i].spec_hash() for i in undelivered[:5]
+            )
+            more = len(undelivered) - min(len(undelivered), 5)
+            raise ConfigurationError(
+                f"backend {exec_backend.name!r} finished the batch but "
+                f"never delivered {len(undelivered)} of "
+                f"{len(spec_list)} cells (spec hashes {hashes}"
+                + (f" and {more} more" if more else "")
+                + ")"
+            )
+        return list(results)
 
     def runner(self, chip: str, *, seed: int | None = None):
         """A legacy :class:`ExperimentRunner` bound to a fresh session machine.

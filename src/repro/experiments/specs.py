@@ -76,6 +76,33 @@ class ExperimentSpec:
             raise ConfigurationError("a spec needs a chip name")
         _check_numerics(self.numerics)
 
+    @classmethod
+    def _spec_fields(cls) -> tuple[str, ...]:
+        """Field names of this spec class, introspected once per class.
+
+        Per-cell serialization is the hot path of million-cell sweeps;
+        ``dataclasses.fields`` walks descriptors on every call, so both
+        codec directions cache the introspection on the concrete class
+        (``cls.__dict__``, not inherited, so subclasses resolve their own).
+        """
+        names = cls.__dict__.get("_spec_field_names")
+        if names is None:
+            names = tuple(f.name for f in dataclasses.fields(cls))
+            cls._spec_field_names = names
+        return names
+
+    @classmethod
+    def _tuple_fields(cls) -> frozenset:
+        cached = cls.__dict__.get("_spec_tuple_fields")
+        if cached is None:
+            cached = frozenset(
+                f.name
+                for f in dataclasses.fields(cls)
+                if "tuple" in str(f.type)
+            )
+            cls._spec_tuple_fields = cached
+        return cached
+
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form (JSON-ready), tagged with the spec ``kind``.
 
@@ -84,11 +111,12 @@ class ExperimentSpec:
         envelope payloads, the process backend's wire format); callers get
         a fresh shallow copy, so mutating the returned dict cannot corrupt
         the cache.  Field values are immutable scalars/tuples by the spec
-        contract, which is what makes the shallow copy sufficient.
+        contract, which is what makes the shallow copy sufficient (and what
+        lets this skip ``dataclasses.asdict``'s recursive deep copy).
         """
         cached = self.__dict__.get("_dict_cache")
         if cached is None:
-            cached = dataclasses.asdict(self)
+            cached = {name: getattr(self, name) for name in self._spec_fields()}
             cached["kind"] = self.kind
             object.__setattr__(self, "_dict_cache", cached)
         return dict(cached)
@@ -106,12 +134,7 @@ class ExperimentSpec:
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         """Rebuild a spec of this exact class from :meth:`to_dict` output."""
         payload = {k: v for k, v in data.items() if k != "kind"}
-        tuple_fields = {
-            f.name
-            for f in dataclasses.fields(cls)
-            if "tuple" in str(f.type)
-        }
-        for name in tuple_fields:
+        for name in cls._tuple_fields():
             if name in payload and payload[name] is not None:
                 payload[name] = tuple(payload[name])
         return cls(**payload)
@@ -233,7 +256,7 @@ class SweepSpec:
 
     # -- expansion ---------------------------------------------------------
     def __iter__(self) -> Iterator[ExperimentSpec]:
-        return iter(self.expand())
+        return self.expand_iter()
 
     def expand(self) -> tuple[ExperimentSpec, ...]:
         """The concrete cell specs of this grid.
@@ -244,6 +267,23 @@ class SweepSpec:
         from repro import workloads
 
         return tuple(workloads.get_workload(self.kind).sweep_cells(self))
+
+    def expand_iter(self) -> Iterator[ExperimentSpec]:
+        """The grid's cells as a lazy stream, in :meth:`expand` order.
+
+        Workloads that declare a ``sweep_cells_iter`` hook yield cells one
+        at a time, so consumers that stream (``run_batch`` under the
+        ``sharded`` backend, the service's job expansion) never materialize
+        a million-cell grid; workloads without the hook fall back to
+        iterating the materialized :meth:`expand` tuple.  Both paths yield
+        the identical specs in identical order.
+        """
+        from repro import workloads
+
+        workload = workloads.get_workload(self.kind)
+        if workload.sweep_cells_iter is not None:
+            return iter(workload.sweep_cells_iter(self))
+        return iter(self.expand())
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form (JSON-ready), tagged ``kind="sweep"``."""

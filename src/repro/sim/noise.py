@@ -14,16 +14,23 @@ Scalar and bulk draws share one implementation.  A draw is defined as::
 
 The expensive step is ``default_rng`` construction (SeedSequence mixing plus
 PCG64 seeding), so :func:`lognormal_factors` replicates NumPy's SeedSequence
-entropy-mixing with vectorized uint32 arithmetic and injects the resulting
-PCG64 state into one reused bit generator per thread.  The replication is
-exact — the normal variate comes from the very same generator class in the
-very same state — so bulk draws equal per-key draws bit for bit (enforced by
-a hypothesis property test), and the sweep fast path
-(:mod:`repro.sim.vectorized`) amortises the seeding across a whole grid.
+entropy-mixing *and* PCG64's 128-bit seeding fold with vectorized uint64
+arithmetic, then injects each pre-seeded state into one reused bit generator
+per thread.  Injection itself has two tiers: the default writes the 32-byte
+``pcg64_random_t`` struct image straight through the documented
+``BitGenerator.ctypes.state_address`` interface (validated once per process
+by a bit-exact probe against ``default_rng``), and when the probe fails —
+unexpected struct layout, exotic platform — it degrades to the public
+``.state`` dict setter.  The replication is exact either way — the normal
+variate comes from the very same generator class in the very same state — so
+bulk draws equal per-key draws bit for bit (enforced by a hypothesis
+property test), and the sweep fast path (:mod:`repro.sim.vectorized`)
+amortises the seeding across a whole grid.
 """
 
 from __future__ import annotations
 
+import ctypes
 import hashlib
 import threading
 from typing import Iterable, Sequence
@@ -35,6 +42,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "DeterministicNoise",
     "lognormal_factors",
+    "noise_entropies",
     "noise_entropy",
     "resolve_sigma",
 ]
@@ -50,7 +58,7 @@ _MIX_MULT_R = np.uint32(0x4973F715)
 
 #: The default PCG64 LCG multiplier (pcg64.h, PCG_DEFAULT_MULTIPLIER_128).
 _PCG_MULT_128 = 0x2360ED051FC65DA44385DF649FCCF645
-_MASK_128 = (1 << 128) - 1
+_MASK_128 = (1 << 128) - 1  # kept for documentation of the fold domain
 
 #: Per-thread reusable generator the PCG64 states are injected into — state
 #: injection replaces the costly per-key ``default_rng`` construction, and a
@@ -80,6 +88,21 @@ def noise_entropy(seed: int, key: str) -> int:
     """The 64-bit content-addressed entropy of one (seed, key) draw."""
     digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+def noise_entropies(seed: int, keys: Iterable[str]) -> list[int]:
+    """Bulk :func:`noise_entropy`: the same digest per key, loop hoisted.
+
+    At a million keys per sweep the f-string/attribute overhead of the
+    scalar helper is measurable, so the grid engines hash through here.
+    """
+    prefix = f"{seed}:"
+    sha256 = hashlib.sha256
+    from_bytes = int.from_bytes
+    return [
+        from_bytes(sha256((prefix + key).encode()).digest()[:8], "little")
+        for key in keys
+    ]
 
 
 def _seed_state_words(entropy: np.ndarray) -> list[np.ndarray]:
@@ -139,6 +162,107 @@ def _seed_state_words(entropy: np.ndarray) -> list[np.ndarray]:
     ]
 
 
+_MULT_LO = np.uint64(_PCG_MULT_128 & 0xFFFFFFFFFFFFFFFF)
+_MULT_HI = np.uint64(_PCG_MULT_128 >> 64)
+_MULT_LO_LO = np.uint64(int(_MULT_LO) & 0xFFFFFFFF)
+_MULT_LO_HI = np.uint64(int(_MULT_LO) >> 32)
+_U1 = np.uint64(1)
+_U32 = np.uint64(32)
+_U63 = np.uint64(63)
+_LOW32 = np.uint64(0xFFFFFFFF)
+
+
+def _pcg_state_rows(words: list[np.ndarray]) -> np.ndarray:
+    """``pcg_setseq_128_srandom_r`` for all keys at once.
+
+    Folds each key's four seed words into the seeded PCG64 state with
+    vectorized 64-bit limb arithmetic (the two 128-bit LCG steps become a
+    schoolbook low-128 multiply), and returns a C-contiguous ``(n, 4)``
+    uint64 array holding each generator's ``pcg64_random_t`` struct image:
+    ``state`` then ``inc``, each as (low, high) little-endian words.
+    """
+    w0, w1, w2, w3 = words
+    with np.errstate(over="ignore"):
+        # increment: the odd-ified 128-bit sequence id
+        inc_hi = (w2 << _U1) | (w3 >> _U63)
+        inc_lo = (w3 << _U1) | _U1
+        # t = inc + initstate (mod 2**128)
+        t_lo = inc_lo + w1
+        carry = (t_lo < inc_lo).astype(np.uint64)
+        t_hi = inc_hi + w0 + carry
+        # low 128 bits of t * PCG_DEFAULT_MULTIPLIER_128: the cross terms
+        # wrap mod 2**64, the low x low product needs 32-bit limbs
+        a_lo = t_lo & _LOW32
+        a_hi = t_lo >> _U32
+        ll = a_lo * _MULT_LO_LO
+        hl = a_hi * _MULT_LO_LO
+        cross = (ll >> _U32) + (hl & _LOW32) + a_lo * _MULT_LO_HI
+        p_lo = (cross << _U32) | (ll & _LOW32)
+        p_hi = a_hi * _MULT_LO_HI + (hl >> _U32) + (cross >> _U32)
+        p_hi = p_hi + t_lo * _MULT_HI + t_hi * _MULT_LO
+        # pcg = t * mult + inc (mod 2**128)
+        pcg_lo = p_lo + inc_lo
+        carry = (pcg_lo < p_lo).astype(np.uint64)
+        pcg_hi = p_hi + inc_hi + carry
+    rows = np.empty((len(w0), 4), dtype=np.uint64)
+    rows[:, 0] = pcg_lo
+    rows[:, 1] = pcg_hi
+    rows[:, 2] = inc_lo
+    rows[:, 3] = inc_hi
+    return rows
+
+
+def _state_pointers(bit_generator: np.random.PCG64) -> tuple[int, int]:
+    """(struct address, ``pcg64_random_t`` pointer) of one bit generator.
+
+    ``BitGenerator.ctypes.state_address`` is the documented address of the
+    ``pcg64_state`` struct — ``{ pcg64_random_t *pcg_state; int has_uint32;
+    uint32_t uinteger; }`` — whose first member points at the 32-byte
+    (state, inc) image that :func:`_pcg_state_rows` precomputes.
+    """
+    address = int(bit_generator.ctypes.state_address)
+    pcg_ptr = ctypes.c_void_p.from_address(address).value
+    if not pcg_ptr:
+        raise ConfigurationError("PCG64 state pointer is NULL")
+    return address, pcg_ptr
+
+
+#: Whether direct struct-image injection reproduces ``default_rng`` bit for
+#: bit on this platform (probed once per process; None = not yet probed).
+_FAST_INJECTION: "bool | None" = None
+
+
+def _fast_injection_works() -> bool:
+    """Probe direct state injection end to end against ``default_rng``.
+
+    Writes one precomputed struct image into a scratch PCG64 and requires
+    the next normal variate to equal the ``default_rng(entropy)`` draw
+    exactly.  Any layout surprise (non-64-bit pointers, emulated 128-bit
+    integers, a reshuffled struct) fails the probe and every draw falls
+    back to the public ``.state`` dict setter.
+    """
+    global _FAST_INJECTION
+    if _FAST_INJECTION is None:
+        try:
+            if ctypes.sizeof(ctypes.c_void_p) != 8:
+                raise ConfigurationError("direct injection needs 64-bit pointers")
+            entropy = 0x9E3779B97F4A7C15
+            bit_generator = np.random.PCG64(0)
+            gen = np.random.Generator(bit_generator)
+            address, pcg_ptr = _state_pointers(bit_generator)
+            rows = _pcg_state_rows(
+                _seed_state_words(np.asarray([entropy], dtype=np.uint64))
+            )
+            ctypes.memmove(pcg_ptr, rows.ctypes.data, 32)
+            ctypes.memset(address + 8, 0, 8)  # has_uint32 + uinteger
+            got = float(gen.standard_normal())
+            want = float(np.random.default_rng(entropy).standard_normal())
+            _FAST_INJECTION = got == want
+        except Exception:
+            _FAST_INJECTION = False
+    return _FAST_INJECTION
+
+
 def _thread_generator() -> tuple[np.random.Generator, dict]:
     """This thread's reusable generator and its mutable state dict."""
     gen = getattr(_LOCAL, "gen", None)
@@ -151,6 +275,12 @@ def _thread_generator() -> tuple[np.random.Generator, dict]:
             "has_uint32": 0,
             "uinteger": 0,
         }
+        try:
+            _LOCAL.fast = (
+                _state_pointers(bit_generator) if _fast_injection_works() else None
+            )
+        except Exception:
+            _LOCAL.fast = None
     return gen, _LOCAL.state
 
 
@@ -166,30 +296,56 @@ def lognormal_factors(
     of exactly zero yields exactly 1.0 without consuming the stream.
     """
     entropy_array = np.asarray(entropies, dtype=np.uint64)
-    if len(entropy_array) != len(sigmas):
+    n = len(entropy_array)
+    if n != len(sigmas):
         raise ConfigurationError("need exactly one sigma per noise entropy")
-    out = np.ones(len(entropy_array), dtype=np.float64)
-    active = [i for i, s in enumerate(sigmas) if s != 0.0]
-    if not active:
+    sigma_arr = np.asarray(sigmas, dtype=np.float64)
+    out = np.ones(n, dtype=np.float64)
+    if n == 0:
         return out
-    words = _seed_state_words(entropy_array[active])
+    active = np.nonzero(sigma_arr)[0]
+    m = len(active)
+    if m == 0:
+        return out
+    if m == n:
+        act_entropy, act_sigma = entropy_array, sigma_arr
+    else:
+        act_entropy, act_sigma = entropy_array[active], sigma_arr[active]
+    rows = _pcg_state_rows(_seed_state_words(act_entropy))
     gen, state = _thread_generator()
-    bit_generator = gen.bit_generator
-    inner = state["state"]
-    for j, i in enumerate(active):
-        s = float(sigmas[i])
-        # pcg_setseq_128_srandom_r: two LCG steps fold the seed words into
-        # the stream state; the increment is the odd-ified sequence id.
-        initstate = (int(words[0][j]) << 64) | int(words[1][j])
-        initseq = (int(words[2][j]) << 64) | int(words[3][j])
-        inc = ((initseq << 1) | 1) & _MASK_128
-        pcg = ((inc + initstate) * _PCG_MULT_128 + inc) & _MASK_128
-        inner["state"] = pcg
-        inner["inc"] = inc
-        state["has_uint32"] = 0
-        state["uinteger"] = 0
-        bit_generator.state = state
-        out[i] = float(np.exp(gen.normal(0.0, s) - 0.5 * s * s))
+    draw = gen.standard_normal
+    normals = np.empty(m, dtype=np.float64)
+    fast = getattr(_LOCAL, "fast", None)
+    if fast is not None:
+        address, pcg_ptr = fast
+        memmove = ctypes.memmove
+        base = rows.ctypes.data
+        # has_uint32/uinteger stay zero across draws (the ziggurat consumes
+        # whole uint64 words), so one clear covers the batch
+        ctypes.memset(address + 8, 0, 8)
+        for j in range(m):
+            memmove(pcg_ptr, base + (j << 5), 32)
+            normals[j] = draw()
+    else:
+        bit_generator = gen.bit_generator
+        inner = state["state"]
+        row_words = rows.tolist()
+        for j in range(m):
+            lo, hi, inc_lo, inc_hi = row_words[j]
+            inner["state"] = (hi << 64) | lo
+            inner["inc"] = (inc_hi << 64) | inc_lo
+            state["has_uint32"] = 0
+            state["uinteger"] = 0
+            bit_generator.state = state
+            normals[j] = draw()
+    # normal(0, s) is loc + scale * standard_normal() in NumPy's C layer;
+    # the elementwise form below performs the identical IEEE operations
+    # (the +0.0 loc only canonicalizes a -0.0 product, which the mean
+    # correction subtraction does anyway).
+    factors = np.exp(normals * act_sigma - 0.5 * act_sigma * act_sigma)
+    if m == n:
+        return factors
+    out[active] = factors
     return out
 
 

@@ -27,11 +27,23 @@ The contract has three parts:
   and the chrono-style nanosecond truncation.  Every step is the same
   IEEE-754 double operation the scalar path performs, so results are
   byte-identical, not merely close.
-* **Fallback** — workloads that declare no ``vectorized_body`` (the
-  STREAM thread sweep and the real-implementation GEMM studies) simply
-  execute on the scalar engine; the batch-level entry point in
-  :class:`~repro.experiments.backends.VectorizedBackend` mixes the two per
-  cell.
+* **Fallback** — a workload may declare no ``vectorized_body`` at all, or
+  its body may return ``None`` for cells it cannot lower (full-numerics
+  GEMM cells that must verify on real arrays, for example); either way the
+  cell simply executes on the scalar engine, and the batch-level entry
+  point in :class:`~repro.experiments.backends.VectorizedBackend` mixes
+  the paths per cell.
+
+Cells come in two shapes.  A :class:`LoweredCell` is the homogeneous case —
+one roofline operation repeated R times, assembled from per-repetition
+elapsed nanoseconds.  A :class:`LoweredSequence` is the general case — an
+ordered tuple of *distinct* :class:`LoweredOp` operations (optionally
+separated by fixed clock advances, as in the powermetrics warm-up sleep),
+assembled from each operation's ``(start_s, end_s)`` clock window, which is
+what protocol-shaped workloads (the STREAM thread sweep, the GEMM
+implementation studies, the powered-GEMM measurement protocol) need to
+replay their scalar executors exactly.  :func:`evaluate_sequences` is the
+bulk evaluator; :func:`run_lowered_sequence` is its scalar reference.
 """
 
 from __future__ import annotations
@@ -45,7 +57,11 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.sim.engine import EngineKind, Operation
 from repro.sim.machine import Machine, MachineTemplate, machine_template
-from repro.sim.noise import lognormal_factors, noise_entropy, resolve_sigma
+from repro.sim.noise import (
+    lognormal_factors,
+    noise_entropies,
+    resolve_sigma,
+)
 from repro.sim.policy import NumericsConfig
 from repro.soc.power import PowerComponent
 from repro.soc.thermal import ThermalModel
@@ -53,10 +69,14 @@ from repro.sim.roofline import OpCost
 
 __all__ = [
     "LoweredCell",
+    "LoweredOp",
+    "LoweredSequence",
     "VectorContext",
     "vector_context",
     "run_lowered_cell",
+    "run_lowered_sequence",
     "evaluate_cells",
+    "evaluate_sequences",
     "effective_draw_w",
 ]
 
@@ -141,6 +161,126 @@ class LoweredCell:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class LoweredOp:
+    """One scalar-engine operation lowered to its roofline parameters.
+
+    The sequence-shaped sibling of :class:`LoweredCell`'s repetition grid:
+    each op carries its own cost, efficiencies, draws and a *precomputed*
+    content-addressed noise key (including any ``label#ordinal`` op-counter
+    fallbacks the scalar engine would have synthesized — a lowering must
+    spell those out statically so the hash inputs match).  ``pre_advance_s``
+    models a ``machine.sleep`` the scalar executor performs before issuing
+    the op (the powermetrics warm-up), which shifts the clock without
+    consuming noise or recording power.
+    """
+
+    engine: EngineKind
+    label: str
+    cost: OpCost
+    peak_flops: float
+    peak_bytes_per_s: float
+    compute_efficiency: float
+    memory_efficiency: float
+    overhead_s: float
+    power_draws_w: Mapping[PowerComponent, float]
+    noise_key: str
+    noise_sigma: float | None
+    pre_advance_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ConfigurationError("operation label must be non-empty")
+        if not self.noise_key:
+            raise ConfigurationError(
+                "lowered-op noise keys must be non-empty (content-addressed, "
+                "with op-counter fallbacks precomputed by the lowering)"
+            )
+        if self.pre_advance_s < 0.0:
+            raise ConfigurationError("pre-advance must be non-negative")
+        for comp, watts in self.power_draws_w.items():
+            if watts < 0.0:
+                raise ConfigurationError(f"negative power draw for {comp}")
+
+    def operation(self) -> Operation:
+        """The scalar-engine operation this op lowers."""
+        return Operation(
+            engine=self.engine,
+            label=self.label,
+            cost=self.cost,
+            peak_flops=self.peak_flops,
+            peak_bytes_per_s=self.peak_bytes_per_s,
+            compute_efficiency=self.compute_efficiency,
+            memory_efficiency=self.memory_efficiency,
+            overhead_s=self.overhead_s,
+            power_draws_w=self.power_draws_w,
+            noise_key=self.noise_key,
+            noise_sigma=self.noise_sigma,
+        )
+
+    @classmethod
+    def from_operation(
+        cls, op: Operation, *, pre_advance_s: float = 0.0
+    ) -> "LoweredOp":
+        """Lower one already-built scalar :class:`Operation`.
+
+        The inverse of :meth:`operation` — used by lowerings that reuse an
+        executor's own operation builders (e.g. the calibrated
+        :func:`~repro.calibration.gemm.build_gemm_operation`) so both paths
+        share one construction site.  The operation must carry an explicit
+        noise key; ops the scalar engine would have keyed by its op counter
+        need that fallback spelled out by the lowering instead.
+        """
+        if not op.noise_key:
+            raise ConfigurationError(
+                "cannot lower an operation without an explicit noise key"
+            )
+        return cls(
+            engine=op.engine,
+            label=op.label,
+            cost=op.cost,
+            peak_flops=op.peak_flops,
+            peak_bytes_per_s=op.peak_bytes_per_s,
+            compute_efficiency=op.compute_efficiency,
+            memory_efficiency=op.memory_efficiency,
+            overhead_s=op.overhead_s,
+            power_draws_w=op.power_draws_w,
+            noise_key=op.noise_key,
+            noise_sigma=op.noise_sigma,
+            pre_advance_s=pre_advance_s,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LoweredSequence:
+    """One experiment cell lowered to an ordered operation sequence.
+
+    Protocol-shaped cells (a STREAM thread sweep, a GEMM repetition study,
+    the powered-GEMM measurement loop) execute *heterogeneous* operations
+    on one cumulative machine clock.  ``assemble`` receives each op's
+    ``(start_s, end_s)`` window — the exact floats the scalar clock would
+    produce — and rebuilds the workload's result record, replaying any
+    executor-side arithmetic (nanosecond truncation, bandwidth division,
+    powermetrics formatting) on top of them.
+
+    ``ops`` may be shared between sequences that differ only in ``seed``:
+    lowering a seed-ensemble grid can build the tuple once per distinct
+    cell shape and reuse it, which is what makes million-cell grids cheap
+    to lower.
+    """
+
+    seed: int
+    thermal: ThermalModel
+    ops: tuple[LoweredOp, ...]
+    assemble: Callable[[tuple[tuple[float, float], ...]], Any]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ConfigurationError(
+                "a lowered sequence needs at least one operation"
+            )
+
+
 class VectorContext:
     """A machine-shaped facade over the shared immutable chip template.
 
@@ -168,6 +308,11 @@ class VectorContext:
     @property
     def thermal(self) -> ThermalModel:
         return self._template.thermal
+
+    @property
+    def envelope(self):
+        """The chip's power envelope (component idle floors and caps)."""
+        return self._template.envelope
 
     def peak_flops(self, engine: EngineKind) -> float:
         """Architectural FP peak of one execution engine (FLOP/s)."""
@@ -198,6 +343,22 @@ def run_lowered_cell(machine: Machine, cell: LoweredCell) -> Any:
         completed = machine.execute(cell.operation(rep))
         elapsed_ns.append(max(1, round(completed.elapsed_s * 1e9)))
     return cell.assemble(tuple(elapsed_ns))
+
+
+def run_lowered_sequence(machine: Machine, sequence: LoweredSequence) -> Any:
+    """Execute one lowered sequence on the scalar engine (the reference path).
+
+    The mirror of :func:`run_lowered_cell` for sequence-shaped cells: each
+    op's pre-advance becomes a real ``machine.sleep``, each op a real
+    ``machine.execute``, and ``assemble`` sees the genuine clock windows.
+    """
+    windows = []
+    for op in sequence.ops:
+        if op.pre_advance_s:
+            machine.sleep(op.pre_advance_s)
+        completed = machine.execute(op.operation())
+        windows.append((completed.start_s, completed.end_s))
+    return sequence.assemble(tuple(windows))
 
 
 def _validated_arrays(cells: Sequence[LoweredCell]) -> dict[str, np.ndarray]:
@@ -277,15 +438,25 @@ def evaluate_cells(
     )
     base = np.maximum(compute_s, memory_s) + arr["overhead"]
 
-    # Thermal clamp: one Python evaluation per cell through the very same
-    # ThermalModel methods (``**`` stays CPython's pow, as in the scalar
-    # engine); multiplying by exactly 1.0 is an IEEE identity, so applying
-    # the stretch unconditionally matches the scalar engine's branch.
+    # Thermal clamp: the very same ThermalModel methods (``**`` stays
+    # CPython's pow, as in the scalar engine), memoized per (model,
+    # requested draw) — the methods are pure, and grids reuse a handful of
+    # draw patterns.  Multiplying by exactly 1.0 is an IEEE identity, so
+    # applying the stretch unconditionally matches the scalar branch.
     stretch = np.ones(n)
+    thermal_memo: dict[tuple[int, float], float] = {}
     for i, cell in enumerate(cells):
         requested = sum(cell.power_draws_w.values())
-        if cell.thermal.clamp_factor(requested) < 1.0:
-            stretch[i] = cell.thermal.throttle_time_factor(requested)
+        memo_key = (id(cell.thermal), requested)
+        factor = thermal_memo.get(memo_key)
+        if factor is None:
+            factor = (
+                cell.thermal.throttle_time_factor(requested)
+                if cell.thermal.clamp_factor(requested) < 1.0
+                else 1.0
+            )
+            thermal_memo[memo_key] = factor
+        stretch[i] = factor
     base = base * stretch
 
     # Bulk noise: flat (cell, repetition) grid through the shared draw
@@ -296,9 +467,8 @@ def evaluate_cells(
     sigmas: list[float] = []
     for cell in cells:
         sigma = resolve_sigma(default_sigma, cell.noise_sigma)
-        for key in cell.noise_keys:
-            entropies.append(noise_entropy(cell.seed, key))
-            sigmas.append(sigma)
+        entropies.extend(noise_entropies(cell.seed, cell.noise_keys))
+        sigmas.extend([sigma] * len(cell.noise_keys))
     flat_factors = lognormal_factors(entropies, sigmas)
 
     factors = np.ones((n, max_reps))
@@ -318,7 +488,122 @@ def evaluate_cells(
         start = end
     elapsed_ns = np.maximum(1, np.rint(elapsed * 1e9)).astype(np.int64)
 
+    # .tolist() yields builtin ints in one C pass — identical values to a
+    # per-element int() loop, at a fraction of the per-op cost.
+    rows = elapsed_ns.tolist()
     return [
-        cell.assemble(tuple(int(ns) for ns in elapsed_ns[i, : cell.repeats]))
+        cell.assemble(tuple(rows[i][: cell.repeats]))
         for i, cell in enumerate(cells)
+    ]
+
+
+def evaluate_sequences(
+    sequences: Sequence[LoweredSequence], *, default_sigma: float = 0.015
+) -> list[Any]:
+    """Evaluate sequence-shaped cells in bulk, byte-identical to scalar.
+
+    The sequence counterpart of :func:`evaluate_cells`: all ops of all
+    sequences are validated and roofline-evaluated as one flat batch, each
+    sequence's virtual clock is replayed column-wise over the padded
+    (sequence, op) grid — honouring per-op pre-advances with the same
+    op-ordered float additions the scalar clock performs — and every
+    sequence's ``assemble`` receives its ops' exact clock windows.
+    Returns one assembled result record per sequence, in input order.
+    """
+    if not sequences:
+        return []
+    n = len(sequences)
+    flat_ops: list[LoweredOp] = []
+    for sequence in sequences:
+        flat_ops.extend(sequence.ops)
+    total = len(flat_ops)
+    arr = _validated_arrays(flat_ops)
+
+    # Roofline: identical to evaluate_cells, over the flat op batch.
+    compute_s = np.zeros(total)
+    has_flops = arr["flops"] > 0.0
+    np.divide(
+        arr["flops"],
+        arr["peak_flops"] * arr["ceff"],
+        out=compute_s,
+        where=has_flops,
+    )
+    memory_s = np.zeros(total)
+    has_bytes = arr["total_bytes"] > 0.0
+    np.divide(
+        arr["total_bytes"],
+        arr["peak_bytes"] * arr["meff"],
+        out=memory_s,
+        where=has_bytes,
+    )
+    base = np.maximum(compute_s, memory_s) + arr["overhead"]
+
+    # Thermal stretch, memoized per (model, requested draw) as above.
+    stretch = np.ones(total)
+    thermal_memo: dict[tuple[int, float], float] = {}
+    k = 0
+    for sequence in sequences:
+        thermal = sequence.thermal
+        thermal_id = id(thermal)
+        for op in sequence.ops:
+            requested = sum(op.power_draws_w.values())
+            memo_key = (thermal_id, requested)
+            factor = thermal_memo.get(memo_key)
+            if factor is None:
+                factor = (
+                    thermal.throttle_time_factor(requested)
+                    if thermal.clamp_factor(requested) < 1.0
+                    else 1.0
+                )
+                thermal_memo[memo_key] = factor
+            stretch[k] = factor
+            k += 1
+    base = base * stretch
+
+    # Bulk noise: every op key is content-addressed under its sequence's
+    # seed (op-counter fallbacks were precomputed by the lowering).
+    entropies: list[int] = []
+    sigmas: list[float] = []
+    for sequence in sequences:
+        ops = sequence.ops
+        entropies.extend(
+            noise_entropies(sequence.seed, [op.noise_key for op in ops])
+        )
+        sigmas.extend(
+            resolve_sigma(default_sigma, op.noise_sigma) for op in ops
+        )
+    flat_durations = base * lognormal_factors(entropies, sigmas)
+
+    counts = np.fromiter((len(s.ops) for s in sequences), np.int64, n)
+    max_ops = int(counts.max())
+    mask = np.arange(max_ops)[None, :] < counts[:, None]
+    durations = np.zeros((n, max_ops))
+    durations[mask] = flat_durations
+    pre = np.zeros((n, max_ops))
+    pre[mask] = np.fromiter(
+        (op.pre_advance_s for op in flat_ops), np.float64, total
+    )
+
+    # Virtual clock: per-op cumulative float adds, column-wise.  A zero
+    # pre-advance adds exactly 0.0 — the IEEE identity on the non-negative
+    # clock — matching the scalar executor skipping the sleep; padded
+    # columns only run the clock past windows already recorded.
+    starts = np.empty((n, max_ops))
+    ends = np.empty((n, max_ops))
+    clock = np.zeros(n)
+    for i in range(max_ops):
+        begin = clock + pre[:, i]
+        finish = begin + durations[:, i]
+        starts[:, i] = begin
+        ends[:, i] = finish
+        clock = finish
+
+    start_rows = starts.tolist()
+    end_rows = ends.tolist()
+    return [
+        sequence.assemble(
+            tuple(zip(start_rows[i][: len(sequence.ops)],
+                      end_rows[i][: len(sequence.ops)]))
+        )
+        for i, sequence in enumerate(sequences)
     ]

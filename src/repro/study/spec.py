@@ -123,10 +123,16 @@ class StudySpec:
 
     def compile(self) -> tuple[ExperimentSpec, ...]:
         """The concrete cell specs of the whole grid."""
-        return tuple(spec for sweep in self.sweeps() for spec in sweep.expand())
+        return tuple(self.compile_iter())
+
+    def compile_iter(self) -> Iterator[ExperimentSpec]:
+        """The grid's cells as a lazy stream, in :meth:`compile` order."""
+        return (
+            spec for sweep in self.sweeps() for spec in sweep.expand_iter()
+        )
 
     def __iter__(self) -> Iterator[ExperimentSpec]:
-        return iter(self.compile())
+        return self.compile_iter()
 
     def kinds(self) -> tuple[str, ...]:
         """The workload kinds this study covers, in axis order (deduped)."""

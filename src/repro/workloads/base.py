@@ -28,6 +28,7 @@ __all__ = [
     "Workload",
     "best_elapsed_s",
     "expand_axes",
+    "iter_axes",
     "modelled_power_metrics",
     "repetitions_to_dicts",
     "repetitions_from_dicts",
@@ -137,6 +138,28 @@ def timed_repetition(rep: int, completed) -> Any:
     )
 
 
+def iter_axes(
+    chips,
+    variants,
+    sizes,
+    make_spec: Callable[[str, str, int], Any],
+    *,
+    cell_filter: Callable[[str, str, int], bool] | None = None,
+):
+    """Lazy row-major ``chips x variants x sizes`` expansion.
+
+    The generator behind :func:`expand_axes`, exposed so workloads can
+    declare a streaming ``sweep_cells_iter`` hook with the same axis
+    arguments — cells come out one at a time, in exactly the order
+    :func:`expand_axes` materializes them.
+    """
+    for chip in chips:
+        for variant in variants:
+            for n in sizes:
+                if cell_filter is None or cell_filter(chip, variant, n):
+                    yield make_spec(chip, variant, n)
+
+
 def expand_axes(
     chips,
     variants,
@@ -153,11 +176,7 @@ def expand_axes(
     drops unsupported combinations (the GEMM section-4 exclusions).
     """
     return tuple(
-        make_spec(chip, variant, n)
-        for chip in chips
-        for variant in variants
-        for n in sizes
-        if cell_filter is None or cell_filter(chip, variant, n)
+        iter_axes(chips, variants, sizes, make_spec, cell_filter=cell_filter)
     )
 
 
@@ -189,6 +208,13 @@ class Workload:
         Grid expander ``(sweep) -> tuple[spec, ...]`` interpreting the
         generic :class:`~repro.experiments.specs.SweepSpec` axes for this
         workload.
+    sweep_cells_iter:
+        Optional streaming grid expander ``(sweep) -> iterator[spec]``
+        yielding exactly the cells :attr:`sweep_cells` materializes, in the
+        same order, one at a time.  ``SweepSpec.expand_iter`` prefers it, so
+        million-cell grids flow through streaming consumers (the ``sharded``
+        backend, the service jobs) without ever holding every spec object;
+        workloads that leave it ``None`` stream from the materialized tuple.
     sample_spec:
         Factory for a small, cheap, representative spec — the hook that
         lets registry-parametrized tests auto-cover every workload.
@@ -245,6 +271,7 @@ class Workload:
     summary_line: Callable[["ExperimentSpec", Any], str]
     impl_keys: tuple[str, ...] = ()
     sample_variants: Callable[[int, int], tuple] | None = None
+    sweep_cells_iter: "Callable[[SweepSpec], Any] | None" = None
     vectorized_body: "Callable[[Any, ExperimentSpec], Any] | None" = None
     metrics: Mapping[str, Callable[["ExperimentSpec", Any], Any]] = (
         dataclasses.field(default_factory=dict)

@@ -27,7 +27,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.calibration.gemm import gemm_power_draws
-from repro.core.results import GemmRepetition
+from repro.core.results import GemmRepetition, timed_repetitions
 from repro.errors import ConfigurationError
 from repro.experiments.specs import ExperimentSpec, SweepSpec
 from repro.sim.engine import EngineKind
@@ -39,6 +39,7 @@ from repro.workloads.base import (
     Workload,
     best_elapsed_s,
     expand_axes,
+    iter_axes,
     modelled_power_metrics,
     repetitions_from_dicts,
     repetitions_to_dicts,
@@ -243,10 +244,7 @@ def lower_batched_gemm_spec(machine, spec: BatchedGemmSpec) -> LoweredCell:
             batch=spec.batch,
             flop_count=int(cost.flops),
             overhead_s=overhead,
-            repetitions=tuple(
-                GemmRepetition(repetition=rep, elapsed_ns=ns)
-                for rep, ns in enumerate(elapsed_ns)
-            ),
+            repetitions=timed_repetitions(elapsed_ns),
             verified=verified,
             power_w=power_w,
         )
@@ -310,17 +308,17 @@ def _result_from_dict(data: Mapping[str, Any]) -> BatchedGemmResult:
     )
 
 
-def _sweep_cells(sweep: SweepSpec) -> tuple[BatchedGemmSpec, ...]:
+def _sweep_axes(sweep: SweepSpec) -> dict:
     from repro.calibration import paper
 
     repeats = (
         sweep.repeats if sweep.repeats is not None else DEFAULT_BATCHED_REPEATS
     )
-    return expand_axes(
-        sweep.chips or paper.CHIPS,
-        sweep.impl_keys or BATCHED_GEMM_IMPL_KEYS,
-        sweep.sizes or DEFAULT_BATCHED_SIZES,
-        lambda chip, impl_key, n: BatchedGemmSpec(
+    return dict(
+        chips=sweep.chips or paper.CHIPS,
+        variants=sweep.impl_keys or BATCHED_GEMM_IMPL_KEYS,
+        sizes=sweep.sizes or DEFAULT_BATCHED_SIZES,
+        make_spec=lambda chip, impl_key, n: BatchedGemmSpec(
             chip=chip,
             seed=sweep.seed,
             numerics=sweep.numerics,
@@ -329,6 +327,14 @@ def _sweep_cells(sweep: SweepSpec) -> tuple[BatchedGemmSpec, ...]:
             repeats=repeats,
         ),
     )
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[BatchedGemmSpec, ...]:
+    return expand_axes(**_sweep_axes(sweep))
+
+
+def _sweep_cells_iter(sweep: SweepSpec):
+    return iter_axes(**_sweep_axes(sweep))
 
 
 def _sample_variants(seed: int, count: int) -> tuple[BatchedGemmSpec, ...]:
@@ -359,6 +365,7 @@ BATCHED_GEMM_WORKLOAD: Workload = register_workload(
         result_to_dict=_result_to_dict,
         result_from_dict=_result_from_dict,
         sweep_cells=_sweep_cells,
+        sweep_cells_iter=_sweep_cells_iter,
         sample_spec=lambda: BatchedGemmSpec(
             chip="M1", impl_key="gpu-batched", n=32, batch=64, repeats=2
         ),

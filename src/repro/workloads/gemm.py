@@ -7,11 +7,19 @@ branches — the result JSON codec, the sweep-axis semantics (chips x
 implementations x sizes with the section-4 exclusions) and the CLI
 rendering — and registers them under ``kind="gemm"``.
 
-GEMM deliberately declares no ``vectorized_body``: its executor runs the
-*real* Table-2 implementation objects (Metal command buffers, Accelerate
-calls, verification against reference numerics), which are not a
-homogeneous repetition grid; inside a ``vectorized`` batch its cells fall
-back to the scalar engine per cell (DESIGN.md §7).
+GEMM's executor runs the *real* Table-2 implementation objects (Metal
+command buffers, Accelerate calls, verification against reference
+numerics), so it cannot be lowered in general — but under the
+``model-only`` numerics policy every implementation reduces to exactly one
+:func:`~repro.calibration.gemm.build_gemm_operation` per repetition on a
+fresh machine, and :func:`lower_gemm_spec` replays that protocol as a
+:class:`~repro.sim.vectorized.LoweredSequence` (chrono-truncated
+nanoseconds per repetition window, identical
+:class:`~repro.errors.UnsupportedProblemError` for excluded cells).  Cells
+that run numerics or verify (``FULL``/``SAMPLED`` policy, or an explicit
+``verify=True``) return ``None`` from the lowering and fall back to the
+scalar engine per cell inside a ``vectorized``/``sharded`` batch
+(DESIGN.md §7).
 """
 
 from __future__ import annotations
@@ -19,21 +27,33 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro.calibration import paper
-from repro.core.gemm.registry import paper_implementation_keys
-from repro.core.results import GemmResult
+from repro.calibration.gemm import build_gemm_operation
+from repro.core.gemm.registry import get_implementation, paper_implementation_keys
+from repro.core.results import GemmRepetition, GemmResult
+from repro.errors import UnsupportedProblemError
 from repro.experiments.executor import run_gemm_spec
 from repro.experiments.specs import GemmSpec, SweepSpec
+from repro.sim.engine import Operation
+from repro.sim.policy import NumericsPolicy
+from repro.sim.vectorized import LoweredOp, LoweredSequence
+from repro.units import NS_PER_S
 from repro.workloads.base import (
     Workload,
     best_elapsed_s,
     expand_axes,
+    iter_axes,
     repetitions_from_dicts,
     repetitions_to_dicts,
     variant_grid,
 )
 from repro.workloads.registry import register_workload
 
-__all__ = ["GEMM_WORKLOAD", "gemm_result_to_dict", "gemm_result_from_dict"]
+__all__ = [
+    "GEMM_WORKLOAD",
+    "gemm_result_to_dict",
+    "gemm_result_from_dict",
+    "lower_gemm_spec",
+]
 
 
 def gemm_result_to_dict(result: GemmResult) -> dict[str, Any]:
@@ -76,13 +96,137 @@ def cell_is_supported(chip: str, impl_key: str, n: int) -> bool:
         return True
 
 
-def _sweep_cells(sweep: SweepSpec) -> tuple[GemmSpec, ...]:
+# -- model-only lowering ----------------------------------------------------
+#
+# Each Table-2 implementation's ``execute`` issues exactly one calibrated
+# operation per repetition (the Metal paths via a command buffer, the CPU
+# paths directly); under MODEL_ONLY numerics nothing else touches the
+# machine, so the whole cell reduces to ``repeats`` copies of that one
+# operation on a fresh clock.  The table below mirrors each implementation's
+# ``build_gemm_operation`` call site — label and element size included —
+# so the lowered sequence hashes the very same noise keys and advances the
+# very same roofline durations the scalar executor would.
+
+
+def _scalar_gemm_operation(chip, impl_key: str, n: int) -> Operation | None:
+    """The single operation one repetition of ``impl_key`` executes.
+
+    Returns ``None`` for implementation keys outside the Table-2 catalog
+    (runtime-registered extensions build their operations in code this
+    module cannot see), which routes the cell to the scalar fallback.
+    """
+    if impl_key in ("cpu-single", "cpu-omp", "cpu-accelerate"):
+        return build_gemm_operation(chip, impl_key, n)
+    if impl_key == "ane-fp16":
+        return build_gemm_operation(chip, impl_key, n, element_bytes=2)
+    if impl_key == "gpu-naive":
+        return build_gemm_operation(
+            chip, impl_key, n, label=f"shader/gemm_naive/n={n}"
+        )
+    if impl_key == "gpu-cutlass":
+        return build_gemm_operation(
+            chip, impl_key, n, label=f"shader/gemm_tiled/n={n}"
+        )
+    if impl_key == "gpu-fp64-emulated":
+        return build_gemm_operation(
+            chip,
+            impl_key,
+            n,
+            label=f"shader/gemm_fp64_emulated/n={n}",
+            element_bytes=8,
+        )
+    if impl_key == "gpu-mps":
+        # MPS calibrates on the geometric scale of the (m, n, k) product;
+        # spec-driven cells are square, so m = n = k = spec.n.
+        n_equiv = int(round((n * n * n) ** (1.0 / 3.0)))
+        return build_gemm_operation(
+            chip, impl_key, max(1, n_equiv), label=f"mps/sgemm/{n}x{n}x{n}"
+        )
+    return None
+
+
+#: Seed-independent repetition ops per cell shape.  Sound because the
+#: lowering backends reject custom machine factories, so a chip name always
+#: resolves to the one catalog ChipSpec; seed-ensemble grids (many seeds,
+#: one shape) lower in O(1) per cell.
+_GEMM_OPS_CACHE: "dict[tuple[str, str, int, int], tuple[LoweredOp, ...] | None]" = {}
+
+
+def _lowered_gemm_ops(
+    chip, impl_key: str, n: int, repeats: int
+) -> "tuple[LoweredOp, ...] | None":
+    key = (chip.name, impl_key, n, repeats)
+    try:
+        return _GEMM_OPS_CACHE[key]
+    except KeyError:
+        pass
+    operation = _scalar_gemm_operation(chip, impl_key, n)
+    ops = (
+        None
+        if operation is None
+        else (LoweredOp.from_operation(operation),) * repeats
+    )
+    _GEMM_OPS_CACHE[key] = ops
+    return ops
+
+
+def lower_gemm_spec(machine, spec: GemmSpec) -> "LoweredSequence | None":
+    """Lower one Figure-2 cell to its model-only operation sequence.
+
+    ``machine`` is a :class:`~repro.sim.machine.Machine` or a
+    :class:`~repro.sim.vectorized.VectorContext`.  Returns ``None`` — the
+    scalar-fallback signal — whenever the cell's protocol needs real
+    machinery: numerics or verification on actual arrays (any policy but
+    MODEL_ONLY, or an explicit ``verify=True``) or an extension
+    implementation outside the Table-2 catalog.  Unsupported cells raise
+    the same :class:`UnsupportedProblemError` the scalar executor raises.
+    """
+    if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY or spec.verify:
+        return None
+    impl = get_implementation(spec.impl_key)
+    if not impl.supports(machine, spec.n):
+        raise UnsupportedProblemError(
+            f"{impl.key} does not execute n={spec.n} on {machine.chip.name}"
+        )
+    ops = _lowered_gemm_ops(machine.chip, impl.key, spec.n, spec.repeats)
+    if ops is None:
+        return None
+
+    impl_key = impl.key
+    chip_name = machine.chip.name
+    n = spec.n
+    flop_count = paper.gemm_flop_count(spec.n)
+
+    def assemble(windows: "tuple[tuple[float, float], ...]") -> GemmResult:
+        # measure_ns brackets each repetition with int(now * NS_PER_S)
+        # reads of the cumulative clock — truncation, not rounding.
+        return GemmResult(
+            impl_key=impl_key,
+            chip_name=chip_name,
+            n=n,
+            flop_count=flop_count,
+            repetitions=tuple(
+                GemmRepetition(
+                    repetition=rep,
+                    elapsed_ns=int(end * NS_PER_S) - int(start * NS_PER_S),
+                )
+                for rep, (start, end) in enumerate(windows)
+            ),
+            verified=None,
+        )
+
+    return LoweredSequence(
+        seed=spec.seed, thermal=machine.thermal, ops=ops, assemble=assemble
+    )
+
+
+def _sweep_axes(sweep: SweepSpec) -> dict:
     repeats = sweep.repeats if sweep.repeats is not None else paper.GEMM_REPEATS
-    return expand_axes(
-        sweep.chips or paper.CHIPS,
-        sweep.impl_keys or paper_implementation_keys(),
-        sweep.sizes or paper.GEMM_SIZES,
-        lambda chip, impl_key, n: GemmSpec(
+    return dict(
+        chips=sweep.chips or paper.CHIPS,
+        variants=sweep.impl_keys or paper_implementation_keys(),
+        sizes=sweep.sizes or paper.GEMM_SIZES,
+        make_spec=lambda chip, impl_key, n: GemmSpec(
             chip=chip,
             seed=sweep.seed,
             numerics=sweep.numerics,
@@ -92,6 +236,14 @@ def _sweep_cells(sweep: SweepSpec) -> tuple[GemmSpec, ...]:
         ),
         cell_filter=cell_is_supported if sweep.skip_unsupported else None,
     )
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[GemmSpec, ...]:
+    return expand_axes(**_sweep_axes(sweep))
+
+
+def _sweep_cells_iter(sweep: SweepSpec):
+    return iter_axes(**_sweep_axes(sweep))
 
 
 def _sample_spec() -> GemmSpec:
@@ -126,6 +278,7 @@ GEMM_WORKLOAD: Workload = register_workload(
         result_to_dict=gemm_result_to_dict,
         result_from_dict=gemm_result_from_dict,
         sweep_cells=_sweep_cells,
+        sweep_cells_iter=_sweep_cells_iter,
         sample_spec=_sample_spec,
         cell_label=lambda spec: f"{spec.chip} {spec.impl_key} n={spec.n}",
         summary_line=lambda spec, result: (
@@ -134,6 +287,7 @@ GEMM_WORKLOAD: Workload = register_workload(
         ),
         impl_keys=paper_implementation_keys(),
         sample_variants=_sample_variants,
+        vectorized_body=lower_gemm_spec,
         metrics={
             "gflops": lambda spec, r: r.best_gflops,
             "mean_gflops": lambda spec, r: r.mean_gflops,

@@ -3,10 +3,14 @@
 Same shape as :mod:`repro.workloads.gemm` — spec class and executor body
 stay in :mod:`repro.experiments` — plus the standalone codec for the nested
 :class:`~repro.core.results.PowerMeasurement` records, which serialize under
-their own ``type="power"`` tag.  Like plain GEMM, it declares no
-``vectorized_body`` (the piggybacked powermetrics protocol drives real
-implementation objects) and falls back to the scalar engine inside a
-``vectorized`` batch.
+their own ``type="power"`` tag.  Under the ``model-only`` numerics policy
+the piggybacked powermetrics protocol reduces to a closed form — one
+warm-up sleep plus one calibrated operation per repetition, with both
+power rails averaged over exactly the operation's own window — so
+:func:`lower_powered_gemm_spec` replays it as a
+:class:`~repro.sim.vectorized.LoweredSequence`, including the tool's
+``%.0f``/``%.2f`` render-then-parse rounding.  Cells under ``full`` or
+``sampled`` numerics fall back to the scalar engine per cell.
 """
 
 from __future__ import annotations
@@ -14,17 +18,28 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro.calibration import paper
-from repro.core.gemm.registry import paper_implementation_keys
-from repro.core.results import PoweredGemmResult, PowerMeasurement
+from repro.core.gemm.registry import get_implementation, paper_implementation_keys
+from repro.core.results import (
+    GemmRepetition,
+    GemmResult,
+    PoweredGemmResult,
+    PowerMeasurement,
+)
+from repro.errors import ProtocolError, UnsupportedProblemError
 from repro.experiments.executor import run_powered_gemm_spec
 from repro.experiments.specs import PoweredGemmSpec, SweepSpec
+from repro.sim.policy import NumericsPolicy
+from repro.sim.vectorized import LoweredOp, LoweredSequence
+from repro.soc.power import PowerComponent
 from repro.workloads.base import (
     Workload,
     best_elapsed_s,
     expand_axes,
+    iter_axes,
     variant_grid,
 )
 from repro.workloads.gemm import (
+    _scalar_gemm_operation,
     cell_is_supported,
     gemm_result_from_dict,
     gemm_result_to_dict,
@@ -35,6 +50,7 @@ __all__ = [
     "POWERED_GEMM_WORKLOAD",
     "power_measurement_to_dict",
     "power_measurement_from_dict",
+    "lower_powered_gemm_spec",
 ]
 
 
@@ -74,13 +90,135 @@ def _powered_from_dict(data: Mapping[str, Any]) -> PoweredGemmResult:
     )
 
 
-def _sweep_cells(sweep: SweepSpec) -> tuple[PoweredGemmSpec, ...]:
+# -- model-only lowering ----------------------------------------------------
+#
+# One protocol pass per repetition on the cumulative machine: the tool's
+# start() and siginfo() never advance the clock, so each repetition is a
+# 2.0 s warm-up sleep followed by exactly the same calibrated operation
+# plain GEMM issues.  Both SIGINFO samples bracket the operation's own
+# window, so ``component_average_mw`` reduces to a closed form: an active
+# rail's one interval spans the window exactly (average == clamped draw)
+# and an inactive rail integrates its idle floor — both written below as
+# the recorder's literal ``window * w / window`` expression so the lowered
+# floats round through the tool's ``%.0f``/``%.2f`` text identically.
+
+
+#: Seed-independent repetition ops per cell shape (see gemm's cache notes).
+_POWERED_OPS_CACHE: "dict[tuple[str, str, int, int], tuple[LoweredOp, ...] | None]" = {}
+
+
+def _lowered_powered_ops(
+    chip, impl_key: str, n: int, repeats: int
+) -> "tuple[LoweredOp, ...] | None":
+    key = (chip.name, impl_key, n, repeats)
+    try:
+        return _POWERED_OPS_CACHE[key]
+    except KeyError:
+        pass
+    operation = _scalar_gemm_operation(chip, impl_key, n)
+    ops = (
+        None
+        if operation is None
+        else (
+            LoweredOp.from_operation(
+                operation, pre_advance_s=paper.POWERMETRICS_WARMUP_S
+            ),
+        )
+        * repeats
+    )
+    _POWERED_OPS_CACHE[key] = ops
+    return ops
+
+
+def lower_powered_gemm_spec(
+    machine, spec: PoweredGemmSpec
+) -> "LoweredSequence | None":
+    """Lower one Figure-3/4 cell to its model-only protocol sequence.
+
+    Returns ``None`` — the scalar-fallback signal — when the cell runs
+    real numerics (any policy but MODEL_ONLY) or uses an extension
+    implementation outside the Table-2 catalog.  Unsupported cells raise
+    the same :class:`UnsupportedProblemError` the scalar executor raises.
+    """
+    if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
+        return None
+    impl = get_implementation(spec.impl_key)
+    if not impl.supports(machine, spec.n):
+        raise UnsupportedProblemError(
+            f"{impl.key} does not execute n={spec.n} on {machine.chip.name}"
+        )
+    ops = _lowered_powered_ops(machine.chip, impl.key, spec.n, spec.repeats)
+    if ops is None:
+        return None
+
+    impl_key = impl.key
+    chip_name = machine.chip.name
+    n = spec.n
+    flop_count = paper.gemm_flop_count(spec.n)
+    envelope = machine.envelope
+
+    # The recorder stores the *clamped* draw; replicate machine.execute's
+    # clamping (same summation order — the draws mapping is shared).
+    draws = ops[0].power_draws_w
+    requested = sum(draws.values())
+    clamp = machine.thermal.clamp_factor(requested)
+    if clamp < 1.0:
+        recorded = {comp: watts * clamp for comp, watts in draws.items()}
+    else:
+        recorded = dict(draws)
+    cpu_rail = recorded.get(
+        PowerComponent.CPU, envelope.idle_watts(PowerComponent.CPU)
+    )
+    gpu_rail = recorded.get(
+        PowerComponent.GPU, envelope.idle_watts(PowerComponent.GPU)
+    )
+
+    def assemble(
+        windows: "tuple[tuple[float, float], ...]",
+    ) -> PoweredGemmResult:
+        repetitions = []
+        measurements = []
+        for rep, (start, end) in enumerate(windows):
+            window = end - start
+            elapsed_ms = float(f"{window * 1e3:.2f}")
+            if elapsed_ms <= 0.0:
+                raise ProtocolError(
+                    "measurement window is empty — the workload consumed no "
+                    "simulated time"
+                )
+            cpu_mw = float(f"{window * cpu_rail / window * 1e3:.0f}")
+            gpu_mw = float(f"{window * gpu_rail / window * 1e3:.0f}")
+            measurement = PowerMeasurement(
+                cpu_mw=cpu_mw, gpu_mw=gpu_mw, elapsed_ms=elapsed_ms
+            )
+            measurements.append(measurement)
+            repetitions.append(
+                GemmRepetition(
+                    repetition=rep,
+                    elapsed_ns=max(1, int(measurement.elapsed_ms * 1e6)),
+                )
+            )
+        gemm = GemmResult(
+            impl_key=impl_key,
+            chip_name=chip_name,
+            n=n,
+            flop_count=flop_count,
+            repetitions=tuple(repetitions),
+        )
+        return PoweredGemmResult(gemm=gemm, measurements=tuple(measurements))
+
+    return LoweredSequence(
+        seed=spec.seed, thermal=machine.thermal, ops=ops, assemble=assemble
+    )
+
+
+def _sweep_axes(sweep: SweepSpec) -> dict:
     repeats = sweep.repeats if sweep.repeats is not None else paper.GEMM_REPEATS
-    return expand_axes(
-        sweep.chips or paper.CHIPS,
-        sweep.impl_keys or paper_implementation_keys(),
-        sweep.sizes or paper.POWER_SIZES,
-        lambda chip, impl_key, n: PoweredGemmSpec(
+    return dict(
+        chips=sweep.chips or paper.CHIPS,
+        variants=sweep.impl_keys or paper_implementation_keys(),
+        sizes=sweep.sizes or paper.POWER_SIZES,
+        make_spec=lambda chip, impl_key, n: PoweredGemmSpec(
             chip=chip,
             seed=sweep.seed,
             numerics=sweep.numerics,
@@ -90,6 +228,14 @@ def _sweep_cells(sweep: SweepSpec) -> tuple[PoweredGemmSpec, ...]:
         ),
         cell_filter=cell_is_supported if sweep.skip_unsupported else None,
     )
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[PoweredGemmSpec, ...]:
+    return expand_axes(**_sweep_axes(sweep))
+
+
+def _sweep_cells_iter(sweep: SweepSpec):
+    return iter_axes(**_sweep_axes(sweep))
 
 
 def _sample_spec() -> PoweredGemmSpec:
@@ -127,6 +273,7 @@ POWERED_GEMM_WORKLOAD: Workload = register_workload(
         result_to_dict=_powered_to_dict,
         result_from_dict=_powered_from_dict,
         sweep_cells=_sweep_cells,
+        sweep_cells_iter=_sweep_cells_iter,
         sample_spec=_sample_spec,
         cell_label=lambda spec: f"{spec.chip} {spec.impl_key} n={spec.n}",
         summary_line=lambda spec, result: (
@@ -136,6 +283,7 @@ POWERED_GEMM_WORKLOAD: Workload = register_workload(
         ),
         impl_keys=paper_implementation_keys(),
         sample_variants=_sample_variants,
+        vectorized_body=lower_powered_gemm_spec,
         metrics={
             # The measured draw (section-3.3 protocol) backs the power
             # metrics here; the modelled workloads derive theirs from the

@@ -29,7 +29,7 @@ from repro.calibration.stream import (
     stream_calibration,
     stream_power_draws,
 )
-from repro.core.results import GemmRepetition
+from repro.core.results import GemmRepetition, timed_repetitions
 from repro.errors import ConfigurationError
 from repro.experiments.specs import ExperimentSpec, SweepSpec
 from repro.sim.engine import EngineKind
@@ -41,6 +41,7 @@ from repro.workloads.base import (
     Workload,
     best_elapsed_s,
     expand_axes,
+    iter_axes,
     modelled_power_metrics,
     repetitions_from_dicts,
     repetitions_to_dicts,
@@ -202,6 +203,22 @@ def _numerics_verified(spec: SpmvSpec) -> bool:
     return bool(np.allclose(y, dense @ x, rtol=1e-10, atol=1e-12))
 
 
+_REP_SUFFIXES: list[str] = []
+
+
+def _noise_keys(prefix: str, repeats: int) -> tuple[str, ...]:
+    """``(prefix + "/rep=0", ...)`` with the suffix strings built once.
+
+    Million-cell grids pay one string concat per repetition here; caching
+    the ``/rep=N`` tails keeps the f-string formatting out of the per-op
+    path while producing byte-identical keys.
+    """
+    while len(_REP_SUFFIXES) < repeats:
+        _REP_SUFFIXES.append(f"/rep={len(_REP_SUFFIXES)}")
+    suffixes = _REP_SUFFIXES
+    return tuple(prefix + suffixes[rep] for rep in range(repeats))
+
+
 def lower_spmv_spec(machine, spec: SpmvSpec) -> LoweredCell:
     """Lower one SpMV cell to its repetition grid (the shared cost model).
 
@@ -233,10 +250,7 @@ def lower_spmv_spec(machine, spec: SpmvSpec) -> LoweredCell:
             flop_count=int(flops),
             bytes_moved=bytes_read + bytes_written,
             theoretical_gbs=chip.memory.bandwidth_gbs,
-            repetitions=tuple(
-                GemmRepetition(repetition=rep, elapsed_ns=ns)
-                for rep, ns in enumerate(elapsed_ns)
-            ),
+            repetitions=timed_repetitions(elapsed_ns),
             verified=verified,
             power_w=power_w,
         )
@@ -253,10 +267,9 @@ def lower_spmv_spec(machine, spec: SpmvSpec) -> LoweredCell:
         memory_efficiency=memory_efficiency,
         overhead_s=overhead,
         power_draws_w=draws,
-        noise_keys=tuple(
-            f"spmv/{chip.name}/{spec.target}/n={spec.n}"
-            f"/k={spec.nnz_per_row}/rep={rep}"
-            for rep in range(spec.repeats)
+        noise_keys=_noise_keys(
+            f"spmv/{chip.name}/{spec.target}/n={spec.n}/k={spec.nnz_per_row}",
+            spec.repeats,
         ),
         noise_sigma=STREAM_NOISE_SIGMA,
         seed=spec.seed,
@@ -302,18 +315,18 @@ def _result_from_dict(data: Mapping[str, Any]) -> SpmvResult:
     )
 
 
-def _sweep_cells(sweep: SweepSpec) -> tuple[SpmvSpec, ...]:
+def _sweep_axes(sweep: SweepSpec) -> dict:
     from repro.calibration import paper
 
     repeats = (
         sweep.repeats if sweep.repeats is not None else DEFAULT_SPMV_REPEATS
     )
     # The listed implementation keys ARE the targets; honour --impls too.
-    return expand_axes(
-        sweep.chips or paper.CHIPS,
-        sweep.impl_keys or sweep.targets,
-        sweep.sizes or DEFAULT_SPMV_SIZES,
-        lambda chip, target, n: SpmvSpec(
+    return dict(
+        chips=sweep.chips or paper.CHIPS,
+        variants=sweep.impl_keys or sweep.targets,
+        sizes=sweep.sizes or DEFAULT_SPMV_SIZES,
+        make_spec=lambda chip, target, n: SpmvSpec(
             chip=chip,
             seed=sweep.seed,
             numerics=sweep.numerics,
@@ -322,6 +335,14 @@ def _sweep_cells(sweep: SweepSpec) -> tuple[SpmvSpec, ...]:
             repeats=repeats,
         ),
     )
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[SpmvSpec, ...]:
+    return expand_axes(**_sweep_axes(sweep))
+
+
+def _sweep_cells_iter(sweep: SweepSpec):
+    return iter_axes(**_sweep_axes(sweep))
 
 
 def _sample_variants(seed: int, count: int) -> tuple[SpmvSpec, ...]:
@@ -352,6 +373,7 @@ SPMV_WORKLOAD: Workload = register_workload(
         result_to_dict=_result_to_dict,
         result_from_dict=_result_from_dict,
         sweep_cells=_sweep_cells,
+        sweep_cells_iter=_sweep_cells_iter,
         sample_spec=lambda: SpmvSpec(chip="M1", target="cpu", n=4096, repeats=2),
         cell_label=lambda spec: f"{spec.chip} spmv/{spec.target} n={spec.n}",
         summary_line=lambda spec, result: (

@@ -24,7 +24,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.calibration.stream import stream_power_draws
-from repro.core.results import GemmRepetition
+from repro.core.results import GemmRepetition, timed_repetitions
 from repro.errors import ConfigurationError
 from repro.experiments.specs import ExperimentSpec, SweepSpec
 from repro.sim.engine import EngineKind
@@ -36,6 +36,7 @@ from repro.workloads.base import (
     Workload,
     best_elapsed_s,
     expand_axes,
+    iter_axes,
     modelled_power_metrics,
     repetitions_from_dicts,
     repetitions_to_dicts,
@@ -235,10 +236,7 @@ def lower_stencil_spec(machine, spec: StencilSpec) -> LoweredCell:
             flop_count=int(cost.flops),
             bytes_moved=cost.total_bytes,
             theoretical_gbs=chip.memory.bandwidth_gbs,
-            repetitions=tuple(
-                GemmRepetition(repetition=rep, elapsed_ns=ns)
-                for rep, ns in enumerate(elapsed_ns)
-            ),
+            repetitions=timed_repetitions(elapsed_ns),
             verified=verified,
             power_w=power_w,
         )
@@ -302,17 +300,17 @@ def _result_from_dict(data: Mapping[str, Any]) -> StencilResult:
     )
 
 
-def _sweep_cells(sweep: SweepSpec) -> tuple[StencilSpec, ...]:
+def _sweep_axes(sweep: SweepSpec) -> dict:
     from repro.calibration import paper
 
     repeats = (
         sweep.repeats if sweep.repeats is not None else DEFAULT_STENCIL_REPEATS
     )
-    return expand_axes(
-        sweep.chips or paper.CHIPS,
-        sweep.impl_keys or STENCIL_IMPL_KEYS,
-        sweep.sizes or DEFAULT_STENCIL_SIZES,
-        lambda chip, impl_key, n: StencilSpec(
+    return dict(
+        chips=sweep.chips or paper.CHIPS,
+        variants=sweep.impl_keys or STENCIL_IMPL_KEYS,
+        sizes=sweep.sizes or DEFAULT_STENCIL_SIZES,
+        make_spec=lambda chip, impl_key, n: StencilSpec(
             chip=chip,
             seed=sweep.seed,
             numerics=sweep.numerics,
@@ -321,6 +319,14 @@ def _sweep_cells(sweep: SweepSpec) -> tuple[StencilSpec, ...]:
             repeats=repeats,
         ),
     )
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[StencilSpec, ...]:
+    return expand_axes(**_sweep_axes(sweep))
+
+
+def _sweep_cells_iter(sweep: SweepSpec):
+    return iter_axes(**_sweep_axes(sweep))
 
 
 def _sample_variants(seed: int, count: int) -> tuple[StencilSpec, ...]:
@@ -351,6 +357,7 @@ STENCIL_WORKLOAD: Workload = register_workload(
         result_to_dict=_result_to_dict,
         result_from_dict=_result_from_dict,
         sweep_cells=_sweep_cells,
+        sweep_cells_iter=_sweep_cells_iter,
         sample_spec=lambda: StencilSpec(
             chip="M1", impl_key="stencil-blocked", n=256, iterations=2, repeats=2
         ),

@@ -6,10 +6,16 @@ kernel order on load), the chips x targets sweep semantics, and the CLI
 rendering.  The spec class and executor body stay in
 :mod:`repro.experiments` for API compatibility.
 
-STREAM deliberately declares no ``vectorized_body``: one cell is a whole
-OpenMP thread sweep across four kernels (plus the 20-repetition GPU
-protocol), not a homogeneous repetition grid, so inside a ``vectorized``
-batch its cells fall back to the scalar engine per cell (DESIGN.md §7).
+One STREAM cell is a whole protocol — the CPU OpenMP thread sweep across
+four kernels, or the 20-repetition GPU dispatch loop — not a homogeneous
+repetition grid, so its ``vectorized_body`` lowers to a
+:class:`~repro.sim.vectorized.LoweredSequence`: one op per (thread-count,
+repetition, kernel) dispatch, with the scalar executors' exact labels,
+costs, calibrated efficiencies and noise keys (the GPU dispatches carry no
+explicit key, so the lowering spells out the scalar engine's
+``label#ordinal`` fallback).  The lowering covers MODEL_ONLY cells only;
+cells that must run real array numerics fall back to the scalar engine per
+cell (DESIGN.md §7).
 """
 
 from __future__ import annotations
@@ -17,13 +23,29 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro.calibration import paper
+from repro.calibration.stream import (
+    STREAM_NOISE_SIGMA,
+    cpu_stream_bandwidth_gbs,
+    gpu_stream_bandwidth_gbs,
+    stream_power_draws,
+)
 from repro.core.results import StreamKernelResult, StreamResult
 from repro.experiments.executor import run_stream_spec
 from repro.experiments.specs import StreamSpec, SweepSpec
+from repro.sim.engine import EngineKind
+from repro.sim.policy import NumericsPolicy
+from repro.sim.roofline import OpCost
+from repro.sim.vectorized import LoweredOp, LoweredSequence
+from repro.soc.power import PowerComponent
 from repro.workloads.base import Workload, variant_grid
 from repro.workloads.registry import register_workload
 
-__all__ = ["STREAM_WORKLOAD", "stream_result_to_dict", "stream_result_from_dict"]
+__all__ = [
+    "STREAM_WORKLOAD",
+    "lower_stream_spec",
+    "stream_result_to_dict",
+    "stream_result_from_dict",
+]
 
 
 def stream_result_to_dict(result: StreamResult) -> dict[str, Any]:
@@ -74,22 +96,249 @@ def stream_result_from_dict(data: Mapping[str, Any]) -> StreamResult:
     )
 
 
-def _sweep_cells(sweep: SweepSpec) -> tuple[StreamSpec, ...]:
-    out = []
+#: ``(chip name, target, n_elements, ntimes) -> (ops, labels)`` — the lowered
+#: op tuples are pure data shared by every seed of a sweep; ``labels`` pairs
+#: each op with its ``(threads, kernel)`` identity for the assembler.
+_STREAM_OPS_CACHE: dict[tuple, tuple[tuple[LoweredOp, ...], tuple]] = {}
+
+
+def _lowered_cpu_stream_ops(chip, machine_like, n: int, ntimes: int):
+    """One op per (thread-count, repetition, kernel) of the CPU sweep.
+
+    Mirrors ``CpuStreamBenchmark._execute_kernel`` exactly: the sweep runs
+    ``OMP_NUM_THREADS`` from 1 to the physical core count, and every dispatch
+    carries an explicit content-addressed noise key.
+    """
+    from repro.core.stream.kernels import (
+        KERNEL_ORDER,
+        kernel_bytes_per_element,
+        kernel_flops_per_element,
+    )
+
+    cores = chip.total_cores
+    peak_flops = machine_like.peak_flops(EngineKind.CPU_SIMD)
+    peak_bytes = machine_like.memory_bandwidth_bytes_per_s()
+    theoretical = chip.memory.bandwidth_gbs
+    base_draws = stream_power_draws(chip, "cpu")
+    ops: list[LoweredOp] = []
+    labels: list[tuple[int, str]] = []
+    for threads in range(1, cores + 1):
+        ramp = 0.35 + 0.65 * min(threads, cores) / cores
+        draws = {
+            comp: watts * ramp if comp is PowerComponent.CPU else watts
+            for comp, watts in base_draws.items()
+        }
+        for rep in range(ntimes):
+            for kernel in KERNEL_ORDER:
+                bytes_moved = float(kernel_bytes_per_element(kernel, 8) * n)
+                eff_gbs = cpu_stream_bandwidth_gbs(chip, kernel, threads)
+                ops.append(
+                    LoweredOp(
+                        engine=EngineKind.CPU_SIMD,
+                        label=f"stream/cpu/{kernel}/T={threads}",
+                        cost=OpCost(
+                            flops=float(kernel_flops_per_element(kernel) * n),
+                            bytes_read=bytes_moved / 2.0,
+                            bytes_written=bytes_moved / 2.0,
+                        ),
+                        peak_flops=peak_flops,
+                        peak_bytes_per_s=peak_bytes,
+                        compute_efficiency=1.0,
+                        memory_efficiency=min(1.0, eff_gbs / theoretical),
+                        overhead_s=5e-6,
+                        power_draws_w=draws,
+                        noise_key=(
+                            f"stream/cpu/{chip.name}/{kernel}"
+                            f"/T={threads}/rep={rep}"
+                        ),
+                        noise_sigma=STREAM_NOISE_SIGMA,
+                    )
+                )
+                labels.append((threads, kernel))
+    return tuple(ops), tuple(labels)
+
+
+def _lowered_gpu_stream_ops(chip, machine_like, n: int, ntimes: int):
+    """One op per (repetition, kernel) GPU dispatch, in command-buffer order.
+
+    Mirrors ``StreamShader.dispatch`` exactly — including the op-counter
+    noise-key fallback the scalar engine synthesizes (one ``machine.execute``
+    per dispatch on a fresh machine, so ordinals run 1, 2, 3, ...).
+    """
+    from repro.core.stream.kernels import KERNEL_ORDER
+    from repro.metal.shaders.stream import stream_moved_bytes
+
+    peak_flops = machine_like.peak_flops(EngineKind.GPU)
+    peak_bytes = machine_like.memory_bandwidth_bytes_per_s()
+    theoretical = chip.memory.bandwidth_gbs
+    draws = stream_power_draws(chip, "gpu")
+    ops: list[LoweredOp] = []
+    labels: list[tuple[int, str]] = []
+    ordinal = 0
+    for _rep in range(ntimes):
+        for kernel in KERNEL_ORDER:
+            ordinal += 1
+            eff_gbs = gpu_stream_bandwidth_gbs(chip, kernel, 4 * n)
+            moved = float(stream_moved_bytes(kernel, n))
+            reads, writes = {"copy": (1, 1), "scale": (1, 1),
+                             "add": (2, 1), "triad": (2, 1)}[kernel]
+            flops = (
+                float(n) if kernel in ("scale", "add")
+                else 2.0 * n if kernel == "triad" else 0.0
+            )
+            ops.append(
+                LoweredOp(
+                    engine=EngineKind.GPU,
+                    label=f"stream/gpu/{kernel}/n={n}",
+                    cost=OpCost(
+                        flops=flops,
+                        bytes_read=moved * reads / (reads + writes),
+                        bytes_written=moved * writes / (reads + writes),
+                    ),
+                    peak_flops=peak_flops,
+                    peak_bytes_per_s=peak_bytes,
+                    compute_efficiency=1.0,
+                    memory_efficiency=min(1.0, eff_gbs / theoretical),
+                    overhead_s=10e-6,
+                    power_draws_w=draws,
+                    noise_key=f"stream/gpu/{kernel}/n={n}#{ordinal}",
+                    noise_sigma=STREAM_NOISE_SIGMA,
+                )
+            )
+            labels.append((0, kernel))
+    return tuple(ops), tuple(labels)
+
+
+def lower_stream_spec(machine, spec: StreamSpec) -> LoweredSequence | None:
+    """Lower one STREAM cell for the vectorized backend, or decline it.
+
+    Only MODEL_ONLY cells lower — FULL/SAMPLED cells run real array numerics
+    (and stream.c's closed-form validation) that have no bulk equivalent, so
+    they fall back to the scalar executor.  The op sequence replays the
+    scalar protocol dispatch for dispatch; ``assemble`` recomputes each
+    dispatch's achieved GB/s from its clock window and replays the sweep's
+    per-kernel maximum selection.
+    """
+    from repro.core.stream.cpu import DEFAULT_CPU_ELEMENTS
+    from repro.core.stream.gpu import DEFAULT_GPU_ELEMENTS
+    from repro.core.stream.kernels import (
+        KERNEL_ORDER,
+        kernel_bytes_per_element,
+    )
+    from repro.metal.shaders.stream import stream_moved_bytes
+
+    if machine.numerics.policy is not NumericsPolicy.MODEL_ONLY:
+        return None
+    chip = machine.chip
+    if spec.target == "cpu":
+        n = spec.n_elements or DEFAULT_CPU_ELEMENTS
+        ntimes = spec.repeats or paper.STREAM_CPU_REPEATS
+        cache_key = (chip.name, "cpu", n, ntimes)
+        cached = _STREAM_OPS_CACHE.get(cache_key)
+        if cached is None:
+            cached = _lowered_cpu_stream_ops(chip, machine, n, ntimes)
+            _STREAM_OPS_CACHE[cache_key] = cached
+        ops, labels = cached
+        chip_name = chip.name
+        theoretical = chip.memory.bandwidth_gbs
+        moved_by_kernel = {
+            kernel: float(kernel_bytes_per_element(kernel, 8) * n)
+            for kernel in KERNEL_ORDER
+        }
+
+        def assemble_cpu(windows) -> StreamResult:
+            # Replay run_sweep: group the flat dispatch stream back into
+            # per-(threads, kernel) repetition tuples, then keep the
+            # per-kernel maximum (strict >, ties keep the lower count).
+            per_setting: dict[tuple[int, str], list[float]] = {}
+            for (threads, kernel), (start, end) in zip(labels, windows):
+                per_setting.setdefault((threads, kernel), []).append(
+                    moved_by_kernel[kernel] / (end - start) / 1e9
+                )
+            best: dict[str, StreamKernelResult] = {}
+            for (threads, kernel), values in per_setting.items():
+                result = StreamKernelResult(
+                    kernel=kernel,
+                    bandwidths_gbs=tuple(values),
+                    best_threads=threads,
+                )
+                current = best.get(kernel)
+                if current is None or result.max_gbs > current.max_gbs:
+                    best[kernel] = result
+            return StreamResult(
+                chip_name=chip_name,
+                target="cpu",
+                n_elements=n,
+                element_bytes=8,
+                kernels=best,
+                theoretical_gbs=theoretical,
+            )
+
+        return LoweredSequence(
+            seed=spec.seed,
+            thermal=machine.thermal,
+            ops=ops,
+            assemble=assemble_cpu,
+        )
+
+    n = spec.n_elements or DEFAULT_GPU_ELEMENTS
+    ntimes = spec.repeats or paper.STREAM_GPU_REPEATS
+    cache_key = (chip.name, "gpu", n, ntimes)
+    cached = _STREAM_OPS_CACHE.get(cache_key)
+    if cached is None:
+        cached = _lowered_gpu_stream_ops(chip, machine, n, ntimes)
+        _STREAM_OPS_CACHE[cache_key] = cached
+    ops, labels = cached
+    chip_name = chip.name
+    theoretical = chip.memory.bandwidth_gbs
+    moved_by_kernel = {
+        kernel: float(stream_moved_bytes(kernel, n)) for kernel in KERNEL_ORDER
+    }
+
+    def assemble_gpu(windows) -> StreamResult:
+        bandwidths: dict[str, list[float]] = {k: [] for k in KERNEL_ORDER}
+        for (_threads, kernel), (start, end) in zip(labels, windows):
+            bandwidths[kernel].append(
+                moved_by_kernel[kernel] / (end - start) / 1e9
+            )
+        return StreamResult(
+            chip_name=chip_name,
+            target="gpu",
+            n_elements=n,
+            element_bytes=4,
+            kernels={
+                kernel: StreamKernelResult(
+                    kernel=kernel, bandwidths_gbs=tuple(values)
+                )
+                for kernel, values in bandwidths.items()
+            },
+            theoretical_gbs=theoretical,
+        )
+
+    return LoweredSequence(
+        seed=spec.seed,
+        thermal=machine.thermal,
+        ops=ops,
+        assemble=assemble_gpu,
+    )
+
+
+def _sweep_cells_iter(sweep: SweepSpec):
     # The listed implementation keys ARE the targets; honour --impls too.
     for chip in sweep.chips or paper.CHIPS:
         for target in sweep.impl_keys or sweep.targets:
-            out.append(
-                StreamSpec(
-                    chip=chip,
-                    seed=sweep.seed,
-                    numerics=sweep.numerics,
-                    target=target,
-                    n_elements=sweep.n_elements,
-                    repeats=sweep.repeats,
-                )
+            yield StreamSpec(
+                chip=chip,
+                seed=sweep.seed,
+                numerics=sweep.numerics,
+                target=target,
+                n_elements=sweep.n_elements,
+                repeats=sweep.repeats,
             )
-    return tuple(out)
+
+
+def _sweep_cells(sweep: SweepSpec) -> tuple[StreamSpec, ...]:
+    return tuple(_sweep_cells_iter(sweep))
 
 
 def _sample_spec() -> StreamSpec:
@@ -123,6 +372,7 @@ STREAM_WORKLOAD: Workload = register_workload(
         result_to_dict=stream_result_to_dict,
         result_from_dict=stream_result_from_dict,
         sweep_cells=_sweep_cells,
+        sweep_cells_iter=_sweep_cells_iter,
         sample_spec=_sample_spec,
         cell_label=lambda spec: f"{spec.chip} {spec.target}",
         summary_line=lambda spec, result: (
@@ -132,6 +382,7 @@ STREAM_WORKLOAD: Workload = register_workload(
         ),
         impl_keys=("cpu", "gpu"),
         sample_variants=_sample_variants,
+        vectorized_body=lower_stream_spec,
         metrics={
             "gbs": lambda spec, r: float(r.max_gbs),
             "fraction_of_peak": lambda spec, r: float(r.fraction_of_peak),

@@ -506,7 +506,9 @@ class TestProcessesFootgunWarning:
             capsys, "--backend", "vectorized"
         )
 
-    def test_scalar_workloads_stay_silent(self, capsys):
+    def test_stream_now_lowers_and_warns(self, capsys):
+        # STREAM gained a vectorized lowering; model-only STREAM grids are
+        # exactly the cheap cells the warning exists for.
         code = main(
             [
                 "run",
@@ -518,6 +520,28 @@ class TestProcessesFootgunWarning:
                 "cpu",
                 "--numerics",
                 "model-only",
+                "--backend",
+                "processes",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "vectorized lowering" in capsys.readouterr().err
+
+    def test_real_numerics_grids_stay_silent(self, capsys):
+        # Under sampled numerics every lowering declines, so processes is a
+        # legitimate choice — the warning must not fire.
+        code = main(
+            [
+                "run",
+                "--kind",
+                "spmv",
+                "--chips",
+                "M1",
+                "--sizes",
+                "4096",
+                "--numerics",
+                "sampled",
                 "--backend",
                 "processes",
                 "--quiet",
