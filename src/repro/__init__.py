@@ -56,13 +56,21 @@ from repro.core.results import (
     StreamResult,
 )
 from repro.core.stream import run_stream
-from repro.errors import ReproError
+from repro.errors import (
+    CellTimeoutError,
+    ReproError,
+    TransientError,
+    WorkerCrashError,
+)
 from repro.experiments import (
     BACKEND_NAMES,
     ExecutionBackend,
+    FaultPlan,
     GemmSpec,
     PoweredGemmSpec,
     ResultEnvelope,
+    RetryPolicy,
+    RunHealth,
     RunManifest,
     Session,
     StreamSpec,
@@ -97,6 +105,12 @@ __all__ = [
     "PAPER_TITLE",
     "PAPER_ARXIV",
     "ReproError",
+    "TransientError",
+    "WorkerCrashError",
+    "CellTimeoutError",
+    "FaultPlan",
+    "RetryPolicy",
+    "RunHealth",
     "Machine",
     "NumericsConfig",
     "NumericsPolicy",

@@ -54,6 +54,8 @@ from repro.errors import ReproError
 from repro.experiments import (
     BACKEND_NAMES,
     NUMERICS_PROFILES,
+    RetryPolicy,
+    RunHealth,
     RunManifest,
     Session,
     SweepSpec,
@@ -223,6 +225,33 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress the per-cell progress line"
     )
+    run.add_argument(
+        "--on-error",
+        dest="on_error",
+        default="raise",
+        choices=["raise", "collect"],
+        help="what exhausted-retry cell failures do: 'raise' aborts with an "
+        "error naming the cells (default); 'collect' finishes the siblings, "
+        "records each failure in the manifest and reports them on stderr",
+    )
+    run.add_argument(
+        "--max-retries",
+        dest="max_retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-executions per cell for transient failures before the cell "
+        "is declared failed (default: 2, with exponential backoff)",
+    )
+    run.add_argument(
+        "--cell-timeout",
+        dest="cell_timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell deadline arming hung-worker detection in the pool "
+        "backends (default: no deadline)",
+    )
     source = run.add_mutually_exclusive_group()
     source.add_argument(
         "--from",
@@ -357,6 +386,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="session numerics profile (one store = one session fingerprint)",
     )
     serve.add_argument("--seed", type=int, default=0, help="session default seed")
+    serve.add_argument(
+        "--max-retries",
+        dest="max_retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-cell transient-failure retries for every job (default: 2)",
+    )
+    serve.add_argument(
+        "--cell-timeout",
+        dest="cell_timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell deadline for hung-worker detection (default: none)",
+    )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
@@ -623,8 +668,12 @@ def _sorted_envelopes(envelopes) -> list:
 
 
 def _emit_envelopes(args, envelopes) -> None:
-    """Render envelopes as JSON or per-kind summary lines (registry-driven)."""
-    ordered = _sorted_envelopes(envelopes)
+    """Render envelopes as JSON or per-kind summary lines (registry-driven).
+
+    ``--on-error collect`` runs leave ``None`` holes at failed cells'
+    positions — those are reported separately (stderr) and skipped here.
+    """
+    ordered = _sorted_envelopes([env for env in envelopes if env is not None])
     if getattr(args, "json", False):
         import json as _json
 
@@ -711,19 +760,45 @@ def _effective_backend(args):
     return ShardedBackend(args.workers, shard_size)
 
 
-def _run_sweep(args) -> None:
+def _retry_from_args(args) -> RetryPolicy | None:
+    """The retry policy ``--max-retries``/``--cell-timeout`` describe
+    (``None`` when neither flag was given — the stock defaults apply)."""
+    overrides = {}
+    if getattr(args, "max_retries", None) is not None:
+        overrides["max_retries"] = args.max_retries
+    if getattr(args, "cell_timeout", None) is not None:
+        overrides["cell_timeout"] = args.cell_timeout
+    return RetryPolicy(**overrides) if overrides else None
+
+
+def _report_health(args, health: RunHealth) -> None:
+    """Surface the run-health report on stderr when anything happened."""
+    if not health.eventful:
+        return
+    print(f"[run health: {health.summary()}]", file=sys.stderr)
+    for failure in health.failures:
+        print(f"[failed] {failure}", file=sys.stderr)
+
+
+def _run_sweep(args) -> int:
     """The ``repro run`` subcommand: declarative sweep -> envelopes.
 
     With ``--from DIR`` no cells execute; the saved envelopes re-render
     through the same registry summary path.  With ``--resume DIR`` the
     sweep, session and completion state all come from DIR's manifest, and
-    only cells not marked done execute.  With ``--out DIR`` envelopes land
-    in the sharded store as cells complete, indexed by a ``manifest.json``
-    that a later ``--resume`` picks up.
+    only cells not marked done (failed cells included) execute.  With
+    ``--out DIR`` envelopes land in the sharded store as cells complete,
+    indexed by a ``manifest.json`` that a later ``--resume`` picks up.
+
+    Returns the exit code: under ``--on-error collect`` a run with failed
+    cells finishes its siblings, reports the failures on stderr and exits
+    1 instead of aborting.
     """
     out_dir = args.out
     written = 0
     exec_backend = _effective_backend(args)
+    retry = _retry_from_args(args)
+    health = RunHealth()
     if args.from_dir is not None:
         envelopes = load_envelopes(args.from_dir)
         if not args.quiet:
@@ -764,6 +839,9 @@ def _run_sweep(args) -> None:
             manifest=manifest,
             on_mismatch="error",  # resuming claims continuation, never a redo
             load_done=bool(args.json),  # done cells re-read only for --json
+            on_error=args.on_error,
+            retry=retry,
+            health=health,
         )
         written = executed[0]
         out_dir = args.resume_dir
@@ -793,6 +871,9 @@ def _run_sweep(args) -> None:
                 backend=exec_backend,
                 max_workers=args.workers,
                 progress=progress,
+                on_error=args.on_error,
+                retry=retry,
+                health=health,
             )
             written = executed[0]
         else:
@@ -801,11 +882,16 @@ def _run_sweep(args) -> None:
                 max_workers=args.workers,
                 backend=exec_backend,
                 progress=progress,
+                on_error=args.on_error,
+                retry=retry,
+                health=health,
             )
+    _report_health(args, health)
     if out_dir:
         print(f"wrote {written} envelopes to {out_dir}")
     if args.json or not out_dir:
         _emit_envelopes(args, envelopes)
+    return 1 if health.failures else 0
 
 
 def _study_list() -> None:
@@ -922,6 +1008,7 @@ def _run_serve(args) -> None:
         backend=args.backend,
         max_workers=args.workers,
         job_workers=args.job_workers,
+        retry=_retry_from_args(args),
         host=args.host,
         port=args.port,
         verbose=args.verbose,
@@ -1175,7 +1262,7 @@ def _dispatch(args) -> int:
         for name, ok in shape_checks(fig1=fig1, fig2=fig2, fig4=fig4).items():
             print(f"  [{'ok' if ok else 'FAIL'}] {name}")
     elif command == "run":
-        _run_sweep(args)
+        return _run_sweep(args)
     elif command == "study":
         _run_study_command(args)
     elif command == "serve":

@@ -16,6 +16,9 @@ __all__ = [
     "UnknownImplementationError",
     "CalibrationError",
     "SimulationError",
+    "TransientError",
+    "WorkerCrashError",
+    "CellTimeoutError",
     "ClockError",
     "AllocationError",
     "AlignmentError",
@@ -60,6 +63,37 @@ class CalibrationError(ConfigurationError):
 
 class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state."""
+
+
+class TransientError(ReproError):
+    """A cell execution failed in a way that may succeed on retry.
+
+    The retry layer (:mod:`repro.experiments.resilience`) re-executes cells
+    that fail with this class — or any subclass — with bounded attempts and
+    exponential backoff; every other exception class is treated as a hard
+    failure and reported without retrying.  Because cells are pure
+    functions of (spec, session fingerprint), a retried cell that succeeds
+    is byte-identical to one that never failed.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A worker process died (or its pool broke) while executing a cell.
+
+    Raised parent-side when a process-pool future is lost to a crashed
+    worker — a ``BrokenProcessPool``, an ``os._exit`` in the worker, an
+    OOM kill.  Retryable: the pool is rebuilt per attempt, and cells that
+    keep crashing degrade to the in-process serial path.
+    """
+
+
+class CellTimeoutError(TransientError):
+    """A cell (or shard) exceeded its execution deadline.
+
+    Raised parent-side when a dispatched cell runs past the configured
+    ``cell_timeout``; the hung worker is abandoned, never joined.
+    Retryable: a hang caused by transient contention clears on re-execution.
+    """
 
 
 class ClockError(SimulationError):

@@ -45,7 +45,19 @@ from repro.experiments.executor import (
     run_powered_gemm_spec,
     run_stream_spec,
 )
-from repro.experiments.session import ProgressCallback, Session
+from repro.experiments.faults import (
+    FAULT_KINDS,
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    resolve_fault_plan,
+)
+from repro.experiments.resilience import CellFailure, RetryPolicy, RunHealth
+from repro.experiments.session import (
+    FailureCallback,
+    ProgressCallback,
+    Session,
+)
 from repro.experiments.specs import (
     NUMERICS_PROFILES,
     ExperimentSpec,
@@ -93,6 +105,15 @@ __all__ = [
     "spec_from_dict",
     "Session",
     "ProgressCallback",
+    "FailureCallback",
+    "FAULT_KINDS",
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "resolve_fault_plan",
+    "CellFailure",
+    "RetryPolicy",
+    "RunHealth",
     "ResultEnvelope",
     "result_to_dict",
     "result_from_dict",

@@ -47,10 +47,11 @@ import concurrent.futures
 import itertools
 import os
 import pickle
+import time
 from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import CellTimeoutError, ConfigurationError, WorkerCrashError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.envelope import ResultEnvelope
@@ -86,17 +87,41 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 #: called exactly once per spec, in any order.
 FinishCallback = Callable[[int, "ResultEnvelope"], None]
 
+#: ``fail(index, exc, spec)`` — the per-cell failure channel.  When a caller
+#: provides it, a cell that raises is *reported* instead of aborting the
+#: batch (partial-failure semantics: sibling cells keep executing); when it
+#: is ``None``, backends preserve the historical fail-fast behavior.  The
+#: spec rides along so the caller can identify — and retry — the cell
+#: without holding the whole batch materialized.
+FailCallback = Callable[[int, BaseException, Any], None]
+
 
 class ExecutionBackend:
     """How the cells of one batch execute.
 
     Subclasses implement :meth:`run`, calling ``finish(index, envelope)``
-    exactly once per spec as cells complete — in any order, but always
-    from the thread that called :meth:`run` (its consumers — batch
-    bookkeeping, manifest checkpointing — are deliberately unsynchronized;
-    the built-in pool backends satisfy this by finishing from the
-    ``as_completed`` loop).  Backends must preserve the serial reference
-    semantics bit-for-bit; they may differ only in wall-clock time.
+    exactly once per completed spec — in any order, but always from the
+    thread that called :meth:`run` (its consumers — batch bookkeeping,
+    manifest checkpointing — are deliberately unsynchronized; the built-in
+    pool backends satisfy this by finishing from their drain loops).
+    Backends must preserve the serial reference semantics bit-for-bit;
+    they may differ only in wall-clock time.
+
+    Fault-tolerance contract (all keyword-only, all optional):
+
+    * ``fail(index, exc, spec)`` — report a cell's failure instead of
+      raising; every spec reaches exactly one of ``finish``/``fail``.  With
+      ``fail=None`` the first failure aborts the batch (legacy semantics).
+    * ``attempt`` — 1-based attempt number of this round, threaded to
+      ``Session.run`` (and across worker boundaries) so deterministic
+      fault injection can count attempts.
+    * ``cell_timeout`` — per-cell deadline in seconds; the pool backends
+      abandon cells that run past it and report
+      :class:`~repro.errors.CellTimeoutError` through ``fail``.  In-process
+      backends cannot preempt a running cell and ignore it.
+    * ``health`` — optional :class:`~repro.experiments.resilience.RunHealth`
+      a backend with *internal* recovery (sharded) uses to report the
+      retries/fallbacks it performed itself.
     """
 
     #: Registry/CLI name of this backend.
@@ -115,6 +140,10 @@ class ExecutionBackend:
         finish: FinishCallback,
         *,
         use_cache: bool = True,
+        fail: "FailCallback | None" = None,
+        attempt: int = 1,
+        cell_timeout: float | None = None,
+        health: Any = None,
     ) -> None:
         """Execute every spec, reporting completions through ``finish``."""
         raise NotImplementedError
@@ -123,15 +152,72 @@ class ExecutionBackend:
         return f"{type(self).__name__}()"
 
 
+def _drain_with_deadline(not_done: set, cell_timeout: float | None):
+    """Yield ``(future, timed_out)`` as pool futures finish or expire.
+
+    Without a deadline this is ``as_completed``.  With one, the loop polls
+    (bounded by the deadline granularity), starts each future's clock when
+    it is first observed *running* — queued cells don't burn their budget
+    waiting for a worker — and yields expired futures with
+    ``timed_out=True`` after attempting to cancel them.  An expired future
+    that was already running cannot be cancelled; it is abandoned (the
+    caller must shut its pool down with ``wait=False``).
+    """
+    started: dict[Any, float] = {}
+    poll = None if cell_timeout is None else max(min(cell_timeout / 8, 0.1), 0.01)
+    while not_done:
+        done, not_done = concurrent.futures.wait(
+            not_done,
+            timeout=poll,
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+        for future in done:
+            yield future, False
+        if cell_timeout is None:
+            continue
+        now = time.monotonic()
+        expired = []
+        for future in not_done:
+            if future.running():
+                begun = started.setdefault(future, now)
+                if now - begun >= cell_timeout:
+                    expired.append(future)
+        for future in expired:
+            future.cancel()
+            not_done.discard(future)
+            yield future, True
+
+
 class SerialBackend(ExecutionBackend):
     """In-order execution in the calling thread (the reference semantics)."""
 
     name = "serial"
 
-    def run(self, session, specs, finish, *, use_cache=True):
-        """Execute the specs one after another, in input order."""
+    def run(
+        self,
+        session,
+        specs,
+        finish,
+        *,
+        use_cache=True,
+        fail=None,
+        attempt=1,
+        cell_timeout=None,
+        health=None,
+    ):
+        """Execute the specs one after another, in input order.
+
+        ``cell_timeout`` is ignored: a cell running in the calling thread
+        cannot be preempted (the serial path is also the degradation
+        target — it must always make progress).
+        """
         for index, spec in enumerate(specs):
-            finish(index, session.run(spec, use_cache=use_cache))
+            try:
+                envelope = session.run(spec, use_cache=use_cache, attempt=attempt)
+            except Exception as exc:
+                _report_cell_failure(fail, index, exc, spec)
+                continue
+            finish(index, envelope)
 
 
 class ThreadBackend(ExecutionBackend):
@@ -144,17 +230,67 @@ class ThreadBackend(ExecutionBackend):
             raise ConfigurationError("max_workers must be >= 1")
         self.max_workers = int(max_workers)
 
-    def run(self, session, specs, finish, *, use_cache=True):
+    def run(
+        self,
+        session,
+        specs,
+        finish,
+        *,
+        use_cache=True,
+        fail=None,
+        attempt=1,
+        cell_timeout=None,
+        health=None,
+    ):
         """Execute the specs on a shared-interpreter thread pool."""
-        with concurrent.futures.ThreadPoolExecutor(
-            max_workers=self.max_workers
-        ) as pool:
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers)
+        abandoned = False
+        try:
             futures = {
-                pool.submit(session.run, spec, use_cache=use_cache): index
+                pool.submit(
+                    session.run, spec, use_cache=use_cache, attempt=attempt
+                ): (index, spec)
                 for index, spec in enumerate(specs)
             }
-            for future in concurrent.futures.as_completed(futures):
-                finish(futures[future], future.result())
+            for future, timed_out in _drain_with_deadline(
+                set(futures), cell_timeout
+            ):
+                index, spec = futures[future]
+                if timed_out:
+                    # The thread keeps running (threads cannot be killed);
+                    # abandon it and let pool shutdown skip the join.
+                    abandoned = True
+                    _report_cell_failure(
+                        fail,
+                        index,
+                        CellTimeoutError(
+                            f"{spec.kind} cell {spec.spec_hash()} exceeded "
+                            f"the {cell_timeout:g}s deadline "
+                            f"(attempt {attempt})"
+                        ),
+                        spec,
+                    )
+                    continue
+                try:
+                    envelope = future.result()
+                except Exception as exc:
+                    _report_cell_failure(fail, index, exc, spec)
+                    continue
+                finish(index, envelope)
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+
+
+def _report_cell_failure(
+    fail: "FailCallback | None",
+    index: int,
+    exc: BaseException,
+    spec: Any,
+) -> None:
+    """Route one cell failure: through ``fail`` when provided, else raise."""
+    if fail is None:
+        raise exc
+    fail(index, exc, spec)
 
 
 def _resolve_cache_hits(
@@ -190,16 +326,24 @@ def _session_payload(session: "Session") -> dict[str, Any]:
     all persistence) and must fingerprint identically so envelope metadata —
     and therefore envelope JSON — is byte-identical to in-process execution.
     """
-    return {
+    payload: dict[str, Any] = {
         "numerics": session.numerics,
         "seed": session.seed,
         "noise_sigma": session.noise_sigma,
         "thermal_enabled": session.thermal_enabled,
     }
+    if session.fault_plan is not None:
+        # Plans cross as plain data so crash/hang rules fire inside the
+        # worker that executes the targeted cell.  They never enter the
+        # session fingerprint, so shipping one changes no envelope bytes.
+        payload["fault_plan"] = session.fault_plan.to_dict()
+    return payload
 
 
 def _execute_cell_payload(
-    spec_data: Mapping[str, Any], session_config: Mapping[str, Any]
+    spec_data: Mapping[str, Any],
+    session_config: Mapping[str, Any],
+    attempt: int = 1,
 ) -> dict[str, Any]:
     """Worker-side entry point: plain-data spec in, plain-data envelope out.
 
@@ -214,7 +358,7 @@ def _execute_cell_payload(
 
     session = Session(**session_config)
     spec = spec_from_dict(spec_data)
-    return session.run(spec, use_cache=False).to_dict()
+    return session.run(spec, use_cache=False, attempt=attempt).to_dict()
 
 
 class ProcessBackend(ExecutionBackend):
@@ -232,8 +376,21 @@ class ProcessBackend(ExecutionBackend):
             raise ConfigurationError("max_workers must be >= 1")
         self.max_workers = int(max_workers)
 
-    def run(self, session, specs, finish, *, use_cache=True):
+    def run(
+        self,
+        session,
+        specs,
+        finish,
+        *,
+        use_cache=True,
+        fail=None,
+        attempt=1,
+        cell_timeout=None,
+        health=None,
+    ):
         """Dispatch cache misses to worker processes as plain-data specs."""
+        from concurrent.futures.process import BrokenProcessPool
+
         from repro.errors import SimulationError
         from repro.experiments.envelope import ResultEnvelope
 
@@ -246,20 +403,68 @@ class ProcessBackend(ExecutionBackend):
         if not pending:
             return
         config = _session_payload(session)
-        with concurrent.futures.ProcessPoolExecutor(
+        pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.max_workers, len(pending))
-        ) as pool:
+        )
+        abandoned = False
+        try:
             futures = {
                 pool.submit(
-                    _execute_cell_payload, spec.to_dict(), config
+                    _execute_cell_payload, spec.to_dict(), config, attempt
                 ): (index, spec, key)
                 for index, spec, key in pending
             }
-            for future in concurrent.futures.as_completed(futures):
+            for future, timed_out in _drain_with_deadline(
+                set(futures), cell_timeout
+            ):
                 index, spec, key = futures[future]
+                if timed_out:
+                    # A hung worker cannot be joined; abandon the pool at
+                    # shutdown so the batch is not held hostage.
+                    abandoned = True
+                    _report_cell_failure(
+                        fail,
+                        index,
+                        CellTimeoutError(
+                            f"{spec.kind} cell {spec.spec_hash()} exceeded "
+                            f"the {cell_timeout:g}s deadline "
+                            f"(attempt {attempt})"
+                        ),
+                        spec,
+                    )
+                    continue
                 try:
                     payload = future.result()
+                except concurrent.futures.CancelledError as exc:
+                    # collateral of a pool break: the cell never ran
+                    _report_cell_failure(
+                        fail,
+                        index,
+                        WorkerCrashError(
+                            f"{spec.kind} cell {spec.spec_hash()} was "
+                            f"cancelled by a broken worker pool "
+                            f"(attempt {attempt})"
+                        ),
+                        spec,
+                    )
+                    continue
+                except BrokenProcessPool as exc:
+                    abandoned = True
+                    _report_cell_failure(
+                        fail,
+                        index,
+                        WorkerCrashError(
+                            f"worker process died executing {spec.kind} "
+                            f"cell {spec.spec_hash()} "
+                            f"(attempt {attempt}): {exc}"
+                        ),
+                        spec,
+                    )
+                    continue
                 except Exception as exc:
+                    if fail is not None:
+                        fail(index, exc, spec)
+                        continue
                     # One dead cell fails the batch: cancel what has not
                     # started yet (no point finishing a batch the caller
                     # will never see) and name the failing cell — a bare
@@ -275,6 +480,8 @@ class ProcessBackend(ExecutionBackend):
                 if use_cache:
                     session.cache_store(key, envelope)
                 finish(index, envelope)
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
 
 
 class VectorizedBackend(ExecutionBackend):
@@ -292,7 +499,18 @@ class VectorizedBackend(ExecutionBackend):
 
     name = "vectorized"
 
-    def run(self, session, specs, finish, *, use_cache=True):
+    def run(
+        self,
+        session,
+        specs,
+        finish,
+        *,
+        use_cache=True,
+        fail=None,
+        attempt=1,
+        cell_timeout=None,
+        health=None,
+    ):
         """Lower every cache miss, evaluate the grid in bulk, finish in order."""
         from repro import workloads
         from repro.experiments.envelope import ResultEnvelope
@@ -312,6 +530,7 @@ class VectorizedBackend(ExecutionBackend):
         pending = _resolve_cache_hits(session, specs, finish, use_cache)
         if not pending:
             return
+        plan = session.fault_plan
 
         def deliver(index: int, spec, key: str, result: Any) -> None:
             # fingerprint() per envelope, as session.run stamps it — the
@@ -332,14 +551,22 @@ class VectorizedBackend(ExecutionBackend):
         fallback: list[tuple[int, "ExperimentSpec", str, Any]] = []
         for index, spec, key in pending:
             workload = workloads.workload_for_spec(spec)
-            lowered = None
-            if workload.vectorized_body is not None:
-                context = vector_context(
-                    spec.chip,
-                    session.thermal_enabled,
-                    session.numerics_for(spec),
-                )
-                lowered = workload.vectorized_body(context, spec)
+            try:
+                # Lowering is this backend's per-cell execution point, so
+                # cell-targeted faults (transient/crash/hang) fire here.
+                if plan is not None:
+                    plan.invoke("execute", spec.spec_hash(), attempt)
+                lowered = None
+                if workload.vectorized_body is not None:
+                    context = vector_context(
+                        spec.chip,
+                        session.thermal_enabled,
+                        session.numerics_for(spec),
+                    )
+                    lowered = workload.vectorized_body(context, spec)
+            except Exception as exc:
+                _report_cell_failure(fail, index, exc, spec)
+                continue
             if lowered is None:
                 # no vectorized body, or the body declined this cell
                 # (full-numerics GEMM, off-policy protocols) — scalar fallback
@@ -351,25 +578,35 @@ class VectorizedBackend(ExecutionBackend):
                 cell_entries.append((index, spec, key))
                 lowered_cells.append(lowered)
 
+        def bulk(entries, lowered, evaluate):
+            try:
+                evaluated = evaluate(lowered, default_sigma=session.noise_sigma)
+            except Exception as exc:
+                # a bulk-evaluation failure takes its whole group down; with
+                # a failure channel, report each member instead of aborting
+                # the batch's other groups
+                if fail is None:
+                    raise
+                for index, spec, key in entries:
+                    fail(index, exc, spec)
+                return
+            for (index, spec, key), result in zip(entries, evaluated):
+                deliver(index, spec, key, result)
+
         if lowered_cells:
-            evaluated = evaluate_cells(
-                lowered_cells, default_sigma=session.noise_sigma
-            )
-            for (index, spec, key), result in zip(cell_entries, evaluated):
-                deliver(index, spec, key, result)
+            bulk(cell_entries, lowered_cells, evaluate_cells)
         if lowered_sequences:
-            evaluated = evaluate_sequences(
-                lowered_sequences, default_sigma=session.noise_sigma
-            )
-            for (index, spec, key), result in zip(sequence_entries, evaluated):
-                deliver(index, spec, key, result)
+            bulk(sequence_entries, lowered_sequences, evaluate_sequences)
         # Scalar-fallback cells run last, delivered one by one — they are
         # the slow ones (real kernels), so per-cell completion keeps
         # manifest checkpoints and progress reporting incremental.
         for index, spec, key, workload in fallback:
-            deliver(
-                index, spec, key, workload.execute(session.machine_for(spec), spec)
-            )
+            try:
+                result = workload.execute(session.machine_for(spec), spec)
+            except Exception as exc:
+                _report_cell_failure(fail, index, exc, spec)
+                continue
+            deliver(index, spec, key, result)
 
 
 #: Worker-side cursor over the most recent sweep's lazy expansion.  The
@@ -409,8 +646,19 @@ def _sweep_slice_specs(
     return specs
 
 
+def _shard_specs(shard: Mapping[str, Any]) -> list:
+    """Materialize one shard's specs (worker-side, or in-parent on redo)."""
+    from repro.experiments.specs import spec_from_dict
+
+    if "specs" in shard:
+        return [spec_from_dict(data) for data in shard["specs"]]
+    return _sweep_slice_specs(shard["sweep"], shard["start"], shard["stop"])
+
+
 def _execute_shard_payload(
-    shard: Mapping[str, Any], session_config: Mapping[str, Any]
+    shard: Mapping[str, Any],
+    session_config: Mapping[str, Any],
+    attempt: int = 1,
 ) -> tuple[int, bytes]:
     """Worker-side entry point: one shard in, its envelope dicts out in order.
 
@@ -427,14 +675,8 @@ def _execute_shard_payload(
     drives delivery and end-of-grid detection.
     """
     from repro.experiments.session import Session
-    from repro.experiments.specs import spec_from_dict
 
-    if "specs" in shard:
-        specs = [spec_from_dict(data) for data in shard["specs"]]
-    else:
-        specs = _sweep_slice_specs(
-            shard["sweep"], shard["start"], shard["stop"]
-        )
+    specs = _shard_specs(shard)
     if not specs:
         return 0, _EMPTY_SHARD
     session = Session(**session_config)
@@ -443,7 +685,9 @@ def _execute_shard_payload(
     def collect(index: int, envelope) -> None:
         out[index] = envelope.to_dict()
 
-    VectorizedBackend().run(session, specs, collect, use_cache=False)
+    VectorizedBackend().run(
+        session, specs, collect, use_cache=False, attempt=attempt
+    )
     return len(out), pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
 
 
@@ -470,6 +714,18 @@ class _ShardResults:
             items = self._items = pickle.loads(self._blob)
             self._blob = b""
         return items[index]
+
+
+class _ListResults:
+    """In-parent shard results (the degradation path): plain list, no pickle."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: list) -> None:
+        self._items = items
+
+    def item(self, index: int) -> Mapping[str, Any]:
+        return self._items[index]
 
 
 class ShardedBackend(ExecutionBackend):
@@ -524,12 +780,43 @@ class ShardedBackend(ExecutionBackend):
                 "threads backend"
             )
 
-    def run(self, session, specs, finish, *, use_cache=True):
+    def run(
+        self,
+        session,
+        specs,
+        finish,
+        *,
+        use_cache=True,
+        fail=None,
+        attempt=1,
+        cell_timeout=None,
+        health=None,
+    ):
         """Execute a materialized spec sequence shard-wise."""
         self._check_session(session)
-        self._run_chunked(session, iter(enumerate(specs)), finish, use_cache)
+        self._run_chunked(
+            session,
+            iter(enumerate(specs)),
+            finish,
+            use_cache,
+            fail=fail,
+            attempt=attempt,
+            cell_timeout=cell_timeout,
+            health=health,
+        )
 
-    def run_sweep(self, session, sweep, finish, *, use_cache=True):
+    def run_sweep(
+        self,
+        session,
+        sweep,
+        finish,
+        *,
+        use_cache=True,
+        fail=None,
+        attempt=1,
+        cell_timeout=None,
+        health=None,
+    ):
         """Execute a grid without materializing it in the parent.
 
         With caching on, the parent must see every spec to compute its
@@ -541,7 +828,14 @@ class ShardedBackend(ExecutionBackend):
         self._check_session(session)
         if use_cache:
             self._run_chunked(
-                session, iter(enumerate(sweep.expand_iter())), finish, use_cache
+                session,
+                iter(enumerate(sweep.expand_iter())),
+                finish,
+                use_cache,
+                fail=fail,
+                attempt=attempt,
+                cell_timeout=cell_timeout,
+                health=health,
             )
             return
         from repro.experiments.envelope import ResultEnvelope
@@ -557,18 +851,42 @@ class ShardedBackend(ExecutionBackend):
                     "stop": start + size,
                 }
 
-        def deliver(shard, count, results):
+        def deliver(shard, count, results, failures):
             base = shard["start"]
             item = results.item
             from_deferred = ResultEnvelope.from_deferred
             record_miss = session.record_miss
             for offset in range(count):
                 record_miss()
+                if offset in failures:
+                    exc, spec = failures[offset]
+                    _report_cell_failure(fail, base + offset, exc, spec)
+                    continue
                 finish(base + offset, from_deferred(partial(item, offset)))
 
-        self._pump(session, shards(), deliver, open_ended=True)
+        self._pump(
+            session,
+            shards(),
+            deliver,
+            open_ended=True,
+            fail=fail,
+            attempt=attempt,
+            cell_timeout=cell_timeout,
+            health=health,
+        )
 
-    def _run_chunked(self, session, indexed_specs, finish, use_cache):
+    def _run_chunked(
+        self,
+        session,
+        indexed_specs,
+        finish,
+        use_cache,
+        *,
+        fail=None,
+        attempt=1,
+        cell_timeout=None,
+        health=None,
+    ):
         """Stream ``(index, spec)`` pairs shard-wise through the pool.
 
         Cache hits are resolved per shard but *held* until the shard's
@@ -604,12 +922,17 @@ class ShardedBackend(ExecutionBackend):
                     "label": f"{first.kind} cells from {first.spec_hash()}",
                 }
 
-        def deliver(shard, count, results):
+        def deliver(shard, count, results, failures):
             entries = pending_entries.popleft()
             position = 0
             for index, spec, key, cached in entries:
                 envelope = cached
                 if envelope is None:
+                    if position in failures:
+                        exc, _ = failures[position]
+                        position += 1
+                        _report_cell_failure(fail, index, exc, spec)
+                        continue
                     envelope = ResultEnvelope.from_deferred(
                         partial(results.item, position)
                     )
@@ -618,23 +941,90 @@ class ShardedBackend(ExecutionBackend):
                         session.cache_store(key, envelope)
                 finish(index, envelope)
 
-        self._pump(session, shards(), deliver)
+        self._pump(
+            session,
+            shards(),
+            deliver,
+            fail=fail,
+            attempt=attempt,
+            cell_timeout=cell_timeout,
+            health=health,
+        )
 
-    def _pump(self, session, shards, deliver, *, open_ended=False):
+    @staticmethod
+    def _redo_shard_in_parent(config, shard, attempt):
+        """Re-execute a failed shard in this process — the degradation rung.
+
+        Runs the worker's exact code path (a fresh session from the shipped
+        config, vectorized execution, envelope dicts out), so recovered
+        payloads are byte-identical to an undisturbed worker's.  Crash
+        faults are worker-only no-ops here, which is what terminates the
+        ladder for a persistently crashing shard.  Cells that *still* fail
+        come back in the failures map instead of taking the shard down.
+        """
+        from repro.experiments.session import Session
+
+        specs = _shard_specs(shard)
+        worker = Session(**config)
+        items: list[Any] = [None] * len(specs)
+        failures: dict[int, tuple] = {}
+
+        def collect(index, envelope):
+            items[index] = envelope.to_dict()
+
+        def collect_fail(index, exc, spec):
+            failures[index] = (exc, spec)
+
+        VectorizedBackend().run(
+            worker,
+            specs,
+            collect,
+            use_cache=False,
+            fail=collect_fail,
+            attempt=attempt,
+        )
+        return len(specs), items, failures
+
+    def _pump(
+        self,
+        session,
+        shards,
+        deliver,
+        *,
+        open_ended=False,
+        fail=None,
+        attempt=1,
+        cell_timeout=None,
+        health=None,
+    ):
         """Submit shards with a bounded in-flight window; deliver in order.
 
         ``open_ended`` shards describe grid slices of unknown total count:
         submission stops once a completed shard comes back short (the grid
         ended at or before its ``stop``); slices already in flight beyond
         the end return empty and deliver nothing.
+
+        Failure handling is shard-grained: a shard whose worker raises,
+        crashes, or hangs past its deadline (``cell_timeout`` × shard
+        cells) is re-executed on the in-parent vectorized path at
+        ``attempt + 1`` — and once the pool is broken or holds a hung
+        worker, every remaining shard degrades the same way rather than
+        trusting it.  With no failure channel and no health report the
+        historical fail-fast ``SimulationError`` is preserved.
         """
+        from concurrent.futures.process import BrokenProcessPool
+
         from repro.errors import SimulationError
 
         config = _session_payload(session)
         window = self.max_workers + 2
-        with concurrent.futures.ProcessPoolExecutor(
+        recover = fail is not None or health is not None
+        pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=self.max_workers
-        ) as pool:
+        )
+        pool_broken = False
+        abandoned = False
+        try:
             in_flight: dict[int, tuple] = {}
             next_submit = 0
             next_deliver = 0
@@ -645,31 +1035,87 @@ class ShardedBackend(ExecutionBackend):
                     if shard is None:
                         exhausted = True
                         break
-                    in_flight[next_submit] = (
-                        pool.submit(_execute_shard_payload, shard, config),
-                        shard,
+                    future = (
+                        None
+                        if pool_broken
+                        else pool.submit(
+                            _execute_shard_payload, shard, config, attempt
+                        )
                     )
+                    in_flight[next_submit] = (future, shard)
                     next_submit += 1
                 if next_deliver not in in_flight:
                     break
                 future, shard = in_flight.pop(next_deliver)
+                shard_index = next_deliver
                 next_deliver += 1
-                try:
-                    count, blob = future.result()
-                except Exception as exc:
-                    for other, _ in in_flight.values():
-                        other.cancel()
-                    if "start" in shard:
-                        where = f"grid cells {shard['start']}..{shard['stop']}"
-                    else:
-                        where = shard.get("label", "a shard")
-                    raise SimulationError(
-                        f"worker process failed on shard {next_deliver - 1} "
-                        f"({where}): {exc}"
-                    ) from exc
+                if "start" in shard:
+                    where = f"grid cells {shard['start']}..{shard['stop']}"
+                    cells = shard["stop"] - shard["start"]
+                else:
+                    where = shard.get("label", "a shard")
+                    cells = max(1, len(shard.get("specs", ())))
+                cause = None
+                count = None
+                results = None
+                if future is not None:
+                    deadline = (
+                        None if cell_timeout is None else cell_timeout * cells
+                    )
+                    try:
+                        count, blob = future.result(timeout=deadline)
+                        results = _ShardResults(blob)
+                    except concurrent.futures.TimeoutError:
+                        future.cancel()
+                        # the hung worker holds a pool slot forever; stop
+                        # trusting the pool and never join it
+                        pool_broken = True
+                        abandoned = True
+                        cause = CellTimeoutError(
+                            f"shard {shard_index} ({where}) exceeded its "
+                            f"{deadline:g}s deadline (attempt {attempt})"
+                        )
+                    except concurrent.futures.CancelledError as exc:
+                        cause = WorkerCrashError(
+                            f"shard {shard_index} ({where}) was cancelled "
+                            f"by a broken worker pool (attempt {attempt})"
+                        )
+                    except Exception as exc:
+                        if isinstance(exc, BrokenProcessPool):
+                            pool_broken = True
+                            abandoned = True
+                            cause = WorkerCrashError(
+                                f"worker process died executing shard "
+                                f"{shard_index} ({where}) "
+                                f"(attempt {attempt}): {exc}"
+                            )
+                        else:
+                            cause = exc
+                if results is None:
+                    # pool lost the shard (or was already written off)
+                    if not recover:
+                        for other, _ in in_flight.values():
+                            if other is not None:
+                                other.cancel()
+                        raise SimulationError(
+                            f"worker process failed on shard {shard_index} "
+                            f"({where}): {cause}"
+                        ) from cause
+                    if health is not None:
+                        health.fallbacks += 1
+                        if cause is not None:
+                            health.count(cause)
+                    count, items, failures = self._redo_shard_in_parent(
+                        config, shard, attempt + 1
+                    )
+                    results = _ListResults(items)
+                else:
+                    failures = {}
                 if open_ended and count < (shard["stop"] - shard["start"]):
                     exhausted = True
-                deliver(shard, count, _ShardResults(blob))
+                deliver(shard, count, results, failures)
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
 
 
 def resolve_backend(

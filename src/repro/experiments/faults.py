@@ -1,0 +1,309 @@
+"""Deterministic fault injection for the chaos suite.
+
+A :class:`FaultPlan` makes the execution stack misbehave *on purpose* — and
+reproducibly — so the fault-tolerance layer can be tested against real
+failure classes instead of mocks.  A plan is a seeded set of
+:class:`FaultRule` records; each rule targets cells (by explicit spec hash,
+or by a seeded fraction of the grid) and injects one fault class:
+
+* ``transient`` — raise :class:`~repro.errors.TransientError` from the
+  cell's execution path;
+* ``crash`` — terminate the executing **worker process** via ``os._exit``
+  (a no-op when the cell runs in the parent process: the plan simulates a
+  dying worker, never a dying run);
+* ``hang`` — sleep ``seconds`` inside the cell's execution path, past any
+  configured deadline;
+* ``torn-write`` — truncate the cell's envelope file immediately after the
+  store writes it, simulating a torn write that an atomic rename cannot
+  protect against (e.g. a disk dying mid-journal).
+
+Every rule carries ``times``: the number of *attempts* it fires for
+(attempt numbers are threaded through the retry layer and across process
+boundaries), so ``times=1`` produces a fault that recovery must — and,
+byte-identically, does — survive, while ``times=None`` produces a
+persistent fault that must surface as a reported failure.
+
+Activation: pass a plan to :class:`~repro.experiments.session.Session`
+(``Session(fault_plan=...)``) or set the ``REPRO_FAULTS`` environment
+variable to the plan's JSON (or ``@/path/to/plan.json``).  Plans are
+**off by default** and add zero work when absent — every injection site is
+a single ``is None`` check.  A plan never enters the session fingerprint:
+injected faults may delay or fail cells, but a recovered run is
+indistinguishable from an undisturbed one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import time
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError, TransientError
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FAULT_KINDS",
+    "FaultRule",
+    "FaultPlan",
+    "resolve_fault_plan",
+]
+
+#: Environment variable activating a fault plan process-wide: JSON text, or
+#: ``@<path>`` naming a JSON file.  The chaos CI job sets it per leg.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Every injectable fault class, in documentation order.
+FAULT_KINDS = ("transient", "crash", "hang", "torn-write")
+
+#: Injection sites a rule can fire at: ``execute`` (inside the cell's
+#: execution path — transient/crash/hang) and ``write`` (immediately after
+#: an envelope file lands — torn-write).
+_SITE_FOR_FAULT = {
+    "transient": "execute",
+    "crash": "execute",
+    "hang": "execute",
+    "torn-write": "write",
+}
+
+
+def _reject_rule(rule: Any) -> "FaultRule":
+    raise ConfigurationError(
+        f"each fault rule must be a JSON object, got {type(rule).__name__}"
+    )
+
+
+def _in_worker_process() -> bool:
+    """Whether this process is a pool worker (has a multiprocessing parent)."""
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One injected fault: which cells, which fault class, how often.
+
+    ``cells`` names spec hashes explicitly; an empty tuple selects by
+    ``fraction`` instead — a seeded, content-addressed draw per spec hash,
+    so the *same* cells fault on every run of the same plan.  ``times``
+    bounds the fault to the first N attempts of each cell (``None`` =
+    every attempt, a persistent fault).
+    """
+
+    fault: str
+    cells: tuple[str, ...] = ()
+    fraction: float = 0.0
+    times: int | None = 1
+    seconds: float = 1.0
+    exit_code: int = 13
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.fault!r}; known: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if not self.cells and not (0.0 < self.fraction <= 1.0):
+            raise ConfigurationError(
+                "a fault rule needs explicit cells=(spec_hash, ...) or a "
+                "fraction in (0, 1]"
+            )
+        object.__setattr__(self, "cells", tuple(self.cells))
+
+    @property
+    def site(self) -> str:
+        """The injection site this rule fires at."""
+        return _SITE_FOR_FAULT[self.fault]
+
+    def matches(self, spec_hash: str, attempt: int, seed: int) -> bool:
+        """Whether this rule fires for ``spec_hash`` on ``attempt``."""
+        if self.times is not None and attempt > self.times:
+            return False
+        if self.cells:
+            return spec_hash in self.cells
+        digest = hashlib.sha256(
+            f"{seed}:{self.fault}:{spec_hash}".encode()
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < self.fraction
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-ready)."""
+        return {
+            "fault": self.fault,
+            "cells": list(self.cells),
+            "fraction": self.fraction,
+            "times": self.times,
+            "seconds": self.seconds,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultRule":
+        """Rebuild a rule from :meth:`to_dict` output."""
+        if "fault" not in data:
+            raise ConfigurationError(
+                "a fault rule needs a 'fault' key naming the fault kind "
+                f"({', '.join(FAULT_KINDS)}); got keys: "
+                f"{', '.join(sorted(map(str, data))) or '(none)'}"
+            )
+        try:
+            return cls(
+                fault=data["fault"],
+                cells=tuple(data.get("cells") or ()),
+                fraction=float(data.get("fraction", 0.0)),
+                times=data.get("times", 1),
+                seconds=float(data.get("seconds", 1.0)),
+                exit_code=int(data.get("exit_code", 13)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed fault rule: {exc}") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic set of fault rules.
+
+    Frozen and plain-data round-trippable so it crosses process boundaries
+    with the session payload: a crash or hang rule fires inside the worker
+    that executes the targeted cell, wherever that is.
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "rules",
+            tuple(
+                rule if isinstance(rule, FaultRule) else FaultRule.from_dict(rule)
+                for rule in self.rules
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Injection sites
+    # ------------------------------------------------------------------
+    def invoke(self, site: str, spec_hash: str, attempt: int = 1) -> None:
+        """Fire every matching rule at an execution site.
+
+        Called from the cell execution paths (``Session.run``, the
+        vectorized lowering loop) with the current attempt number; hangs
+        sleep, crashes ``os._exit`` the surrounding *worker* process (a
+        deliberate no-op in the parent), transients raise
+        :class:`TransientError`.
+        """
+        for rule in self.rules:
+            if rule.site != site or not rule.matches(spec_hash, attempt, self.seed):
+                continue
+            if rule.fault == "hang":
+                time.sleep(rule.seconds)
+            elif rule.fault == "crash":
+                if _in_worker_process():  # never crash the caller's process
+                    os._exit(rule.exit_code)
+            elif rule.fault == "transient":
+                raise TransientError(
+                    f"injected transient fault on cell {spec_hash} "
+                    f"(attempt {attempt})"
+                )
+
+    def tear(
+        self, spec_hash: str, path: "pathlib.Path", attempt: int = 1
+    ) -> bool:
+        """Tear the envelope file just written for ``spec_hash``, if a
+        ``torn-write`` rule matches — truncating it mid-JSON the way a
+        crash between write and sync would.  Returns whether it tore."""
+        for rule in self.rules:
+            if rule.fault != "torn-write" or not rule.matches(
+                spec_hash, attempt, self.seed
+            ):
+                continue
+            path = pathlib.Path(path)
+            data = path.read_text()
+            path.write_text(data[: max(1, len(data) // 2)])
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Codecs
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-ready; crosses the worker boundary)."""
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        rules = data.get("rules", ())
+        if not isinstance(rules, Sequence) or isinstance(rules, (str, bytes)):
+            raise ConfigurationError("fault plan 'rules' must be a list")
+        try:
+            seed = int(data.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"fault plan 'seed' must be an integer: {exc}"
+            ) from exc
+        return cls(
+            rules=tuple(
+                FaultRule.from_dict(rule)
+                if isinstance(rule, Mapping)
+                else _reject_rule(rule)
+                for rule in rules
+            ),
+            seed=seed,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Rebuild a plan from its JSON form (the ``REPRO_FAULTS`` shape)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"fault plan is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, Mapping):
+            raise ConfigurationError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def single(
+        cls, fault: str, cells: Iterable[str], **kwargs: Any
+    ) -> "FaultPlan":
+        """A one-rule plan — the common chaos-test construction."""
+        return cls(rules=(FaultRule(fault=fault, cells=tuple(cells), **kwargs),))
+
+
+def resolve_fault_plan(
+    plan: "FaultPlan | Mapping[str, Any] | None",
+) -> FaultPlan | None:
+    """The active fault plan: an explicit one, or the ``REPRO_FAULTS`` env.
+
+    ``None`` with no environment variable set — the production case — costs
+    one dict lookup and keeps every injection site disabled.
+    """
+    if plan is not None:
+        if isinstance(plan, FaultPlan):
+            return plan
+        return FaultPlan.from_dict(plan)
+    text = os.environ.get(FAULTS_ENV_VAR)
+    if not text:
+        return None
+    if text.startswith("@"):
+        path = pathlib.Path(text[1:])
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"${FAULTS_ENV_VAR} names an unreadable fault plan file "
+                f"{path}: {exc}"
+            ) from exc
+    return FaultPlan.from_json(text)

@@ -53,6 +53,7 @@ __all__ = [
     "JOURNAL_FILENAME",
     "STATUS_PENDING",
     "STATUS_DONE",
+    "STATUS_FAILED",
     "CellRecord",
     "RunManifest",
     "run_with_manifest",
@@ -67,27 +68,38 @@ JOURNAL_FILENAME = "manifest.journal"
 
 STATUS_PENDING = "pending"
 STATUS_DONE = "done"
+STATUS_FAILED = "failed"
 
 
 @dataclasses.dataclass
 class CellRecord:
-    """One cell of a manifested run: identity, serialized spec, status."""
+    """One cell of a manifested run: identity, serialized spec, status.
+
+    A failed cell carries the structured error payload
+    (:meth:`CellFailure.to_dict <repro.experiments.resilience.CellFailure>`)
+    in ``error`` — the failure is *recorded*, never silently dropped, and a
+    resume re-executes the cell (``failed`` is not ``done``).
+    """
 
     kind: str
     spec_hash: str
     spec: dict[str, Any]
     status: str = STATUS_PENDING
     path: str | None = None
+    error: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form (JSON-ready)."""
-        return {
+        data = {
             "kind": self.kind,
             "spec_hash": self.spec_hash,
             "spec": self.spec,
             "status": self.status,
             "path": self.path,
         }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CellRecord":
@@ -98,6 +110,7 @@ class CellRecord:
             spec=dict(data["spec"]),
             status=data.get("status", STATUS_PENDING),
             path=data.get("path"),
+            error=data.get("error"),
         )
 
 
@@ -252,6 +265,30 @@ class RunManifest:
             journal.write(line + "\n")
             journal.flush()
 
+    def checkpoint_failed(
+        self, spec: ExperimentSpec, error: Mapping[str, Any]
+    ) -> None:
+        """Record one *failed* cell durably, in O(1).
+
+        Mirrors :meth:`checkpoint` for cells that exhausted the retry
+        ladder: the cell is marked ``failed`` with its structured error
+        payload in memory and in the journal, so an interrupt cannot turn
+        a reported failure back into a silent pending cell.  A later
+        resume re-executes it (and :meth:`mark_done` clears the error).
+        """
+        self.mark_failed(spec, error)
+        line = json.dumps(
+            {
+                "spec_hash": spec.spec_hash(),
+                "status": STATUS_FAILED,
+                "error": dict(error),
+            },
+            sort_keys=True,
+        )
+        with open(self.journal_path, "a") as journal:
+            journal.write(line + "\n")
+            journal.flush()
+
     def _apply_journal(self) -> None:
         """Fold journal checkpoints into the cell table (tolerating a torn
         final line from an interrupt mid-append)."""
@@ -261,12 +298,19 @@ class RunManifest:
             try:
                 entry = json.loads(line)
                 record = self.cells.get(entry["spec_hash"])
-                journal_file_path = entry["path"]
+                status = entry.get("status", STATUS_DONE)
+                journal_file_path = (
+                    entry["path"] if status == STATUS_DONE else None
+                )
             except (json.JSONDecodeError, KeyError, TypeError):
                 break  # torn tail — everything after it never completed
-            if record is not None:
-                record.status = STATUS_DONE
-                record.path = journal_file_path
+            if record is None:
+                continue
+            record.status = status
+            record.path = journal_file_path
+            record.error = (
+                entry.get("error") if status == STATUS_FAILED else None
+            )
 
     # ------------------------------------------------------------------
     # Cell bookkeeping
@@ -303,6 +347,30 @@ class RunManifest:
             self.cells[envelope.spec_hash] = record
         record.status = STATUS_DONE
         record.path = pathlib.Path(path).as_posix()
+        record.error = None  # a re-executed failure is a failure no more
+
+    def mark_failed(
+        self, spec: ExperimentSpec, error: Mapping[str, Any]
+    ) -> None:
+        """Record one failed cell and its structured error payload."""
+        spec_hash = spec.spec_hash()
+        record = self.cells.get(spec_hash)
+        if record is None:  # a cell executed outside the recorded grid
+            record = CellRecord(
+                kind=spec.kind, spec_hash=spec_hash, spec=spec.to_dict()
+            )
+            self.cells[spec_hash] = record
+        record.status = STATUS_FAILED
+        record.path = None
+        record.error = dict(error)
+
+    def failed_cells(self) -> tuple[CellRecord, ...]:
+        """Every cell currently marked failed, in run order."""
+        return tuple(
+            record
+            for record in self.cells.values()
+            if record.status == STATUS_FAILED
+        )
 
     def status_counts(self) -> dict[str, int]:
         """``{status: cell count}`` — the resume progress summary."""
@@ -372,6 +440,9 @@ def run_with_manifest(
     manifest: "RunManifest | None" = None,
     on_mismatch: str = "replace",
     load_done: bool = True,
+    on_error: str = "raise",
+    retry=None,
+    health=None,
 ) -> tuple[list[ResultEnvelope], RunManifest]:
     """Execute ``specs`` into a manifest-indexed, resumable store.
 
@@ -394,6 +465,15 @@ def run_with_manifest(
     manifest for this run — done cells of the old run are not skipped, but
     their envelope files stay in the store, preserving the mixed-session
     store contract — while ``"error"`` refuses, naming the mismatch.
+
+    Failure semantics (``on_error``, ``retry``, ``health`` — see
+    :meth:`Session.run_batch`): every cell that exhausts the retry ladder
+    is checkpointed into the manifest as ``status=failed`` with its
+    structured error payload, durably, before ``on_error`` decides whether
+    the call raises.  Failed cells — like pending ones — re-execute on the
+    next run over the same directory.  Cells whose manifest says done but
+    whose envelope file is corrupt (a torn write) are quarantined and
+    demoted to pending, so a resume heals the store to byte-identical.
     """
     if on_mismatch not in ("replace", "error"):
         raise ConfigurationError(
@@ -421,15 +501,32 @@ def run_with_manifest(
         manifest = RunManifest.create(root, session, spec_list)
     manifest.save()
 
+    from repro.experiments.store import quarantine_file
+
     by_hash: dict[str, ResultEnvelope] = {}
     pending: list[ExperimentSpec] = []
     for spec in spec_list:
         record = manifest.cells[spec.spec_hash()]
         if record.status == STATUS_DONE and record.path is not None:
-            if load_done:
+            if not load_done:
+                continue
+            try:
                 by_hash[record.spec_hash] = ResultEnvelope.load(
                     root / record.path
                 )
+            except FileNotFoundError:
+                # the file vanished under the manifest — re-execute
+                record.status = STATUS_PENDING
+                record.path = None
+                pending.append(spec)
+            except ConfigurationError as exc:
+                # a torn envelope write: the manifest says done but the
+                # bytes are bad — quarantine the evidence, demote the cell
+                # and heal the store by re-executing
+                quarantine_file(root, root / record.path, reason=str(exc))
+                record.status = STATUS_PENDING
+                record.path = None
+                pending.append(spec)
         else:
             pending.append(spec)
 
@@ -439,9 +536,16 @@ def run_with_manifest(
     def checkpoint(completed: int, _pending_total: int, envelope) -> None:
         path = envelope_path(root, envelope)
         atomic_write_text(path, envelope.to_json() + "\n")
+        if session.fault_plan is not None:
+            # the write-site injection point: tear the envelope we just
+            # committed, the way a disk dying between write and sync would
+            session.fault_plan.tear(envelope.spec_hash, path)
         manifest.checkpoint(envelope, path.relative_to(root))
         if progress is not None:
             progress(already_done + completed, total, envelope)
+
+    def record_failure(spec, failure) -> None:
+        manifest.checkpoint_failed(spec, failure.to_dict())
 
     executed = session.run_batch(
         pending,
@@ -449,10 +553,15 @@ def run_with_manifest(
         max_workers=max_workers,
         progress=checkpoint,
         use_cache=use_cache,
+        on_error=on_error,
+        retry=retry,
+        health=health,
+        on_failure=record_failure,
     )
     manifest.save()  # fold the journal into the full manifest
     for envelope in executed:
-        by_hash[envelope.spec_hash] = envelope
+        if envelope is not None:  # failed cells leave holes under "collect"
+            by_hash[envelope.spec_hash] = envelope
     ordered = [
         by_hash[spec.spec_hash()]
         for spec in spec_list

@@ -18,16 +18,29 @@ bit-identical results to sequential execution.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import pathlib
 import threading
+import time
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro._version import __version__
-from repro.errors import ConfigurationError
-from repro.experiments.backends import ExecutionBackend, resolve_backend
+from repro.errors import (
+    CellTimeoutError,
+    ConfigurationError,
+    SimulationError,
+    WorkerCrashError,
+)
+from repro.experiments.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.experiments.envelope import ResultEnvelope
 from repro.experiments.executor import execute_spec
+from repro.experiments.faults import FaultPlan, resolve_fault_plan
+from repro.experiments.resilience import CellFailure, RetryPolicy, RunHealth
 from repro.experiments.specs import (
     NUMERICS_PROFILES,
     ExperimentSpec,
@@ -36,11 +49,16 @@ from repro.experiments.specs import (
 from repro.sim.machine import Machine
 from repro.sim.policy import NumericsConfig
 
-__all__ = ["Session", "ProgressCallback"]
+__all__ = ["Session", "ProgressCallback", "FailureCallback"]
 
 #: Signature of the ``run_batch`` progress hook:
 #: ``progress(completed, total, envelope)``.
 ProgressCallback = Callable[[int, int, ResultEnvelope], None]
+
+#: Signature of the ``run_batch`` terminal-failure hook:
+#: ``on_failure(spec, failure)`` — invoked once per cell that exhausted the
+#: retry ladder (manifest checkpointing hangs off this).
+FailureCallback = Callable[[ExperimentSpec, CellFailure], None]
 
 _PROFILE_TO_CONFIG: dict[str, Callable[[], NumericsConfig]] = {
     "full": NumericsConfig.full,
@@ -61,6 +79,28 @@ def _numerics_config(profile: str | NumericsConfig | None) -> NumericsConfig:
             f"numerics profile must be one of {NUMERICS_PROFILES} "
             f"or a NumericsConfig, got {profile!r}"
         ) from None
+
+
+def _retry_policy(
+    retry: RetryPolicy | Mapping[str, Any] | None,
+) -> RetryPolicy | None:
+    if retry is None or isinstance(retry, RetryPolicy):
+        return retry
+    return RetryPolicy.from_dict(retry)
+
+
+def _backend_supports_resilience(method: Callable[..., Any]) -> bool:
+    """Whether a backend ``run``/``run_sweep`` accepts the fault-tolerance
+    kwargs.  Third-party backends predating the contract keep working:
+    they are driven with the historical signature and fail-fast semantics.
+    """
+    try:
+        parameters = inspect.signature(method).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins, mocks
+        return False
+    return "fail" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
 
 
 def _config_fingerprint(config: NumericsConfig) -> dict[str, Any]:
@@ -101,6 +141,18 @@ class Session:
         :class:`~repro.experiments.backends.ExecutionBackend` instance.
         ``None`` defers to the ``REPRO_BACKEND`` environment variable and
         finally to serial/threads depending on ``max_workers``.
+    fault_plan:
+        Optional :class:`~repro.experiments.faults.FaultPlan` (or its
+        plain-data form) injecting deterministic failures for chaos
+        testing.  ``None`` consults the ``REPRO_FAULTS`` environment
+        variable; absent both, every injection site stays disabled at the
+        cost of one ``is None`` check.  The plan never enters the session
+        fingerprint — recovered runs are byte-identical to undisturbed
+        ones.
+    retry:
+        Default :class:`~repro.experiments.resilience.RetryPolicy` (or its
+        plain-data form) of :meth:`run_batch`; ``None`` means the stock
+        policy (two retries, exponential backoff, no deadline).
     """
 
     def __init__(
@@ -114,6 +166,8 @@ class Session:
         machine_factory: Callable[..., Machine] | None = None,
         max_workers: int = 1,
         backend: str | ExecutionBackend | None = None,
+        fault_plan: FaultPlan | Mapping[str, Any] | None = None,
+        retry: RetryPolicy | Mapping[str, Any] | None = None,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
@@ -124,6 +178,10 @@ class Session:
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
         self.max_workers = int(max_workers)
         self.backend = backend
+        self.fault_plan = resolve_fault_plan(fault_plan)
+        self.retry = _retry_policy(retry)
+        #: The :class:`RunHealth` of the most recent :meth:`run_batch`.
+        self.last_health: RunHealth | None = None
         self._machine_factory = machine_factory
         self._memory_cache: dict[str, ResultEnvelope] = {}
         self._cache_lock = threading.Lock()
@@ -297,8 +355,19 @@ class Session:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, spec: ExperimentSpec, *, use_cache: bool = True) -> ResultEnvelope:
-        """Execute one spec (or return its cached envelope)."""
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        use_cache: bool = True,
+        attempt: int = 1,
+    ) -> ResultEnvelope:
+        """Execute one spec (or return its cached envelope).
+
+        ``attempt`` is the 1-based retry attempt this execution is part of
+        — only deterministic fault injection observes it (cache hits do not
+        count as attempts; a faulted cell never produced an envelope).
+        """
         key = self.cache_key(spec)
         if use_cache:
             cached = self.cache_lookup(key)
@@ -306,6 +375,8 @@ class Session:
                 return cached
         else:
             self.record_miss()
+        if self.fault_plan is not None:
+            self.fault_plan.invoke("execute", spec.spec_hash(), attempt)
         machine = self.machine_for(spec)
         result = execute_spec(machine, spec)
         envelope = ResultEnvelope.create(
@@ -323,6 +394,10 @@ class Session:
         backend: str | ExecutionBackend | None = None,
         progress: ProgressCallback | None = None,
         use_cache: bool = True,
+        on_error: str = "raise",
+        retry: RetryPolicy | Mapping[str, Any] | None = None,
+        health: RunHealth | None = None,
+        on_failure: FailureCallback | None = None,
     ) -> list[ResultEnvelope]:
         """Execute many independent specs, optionally concurrently.
 
@@ -343,10 +418,38 @@ class Session:
         :meth:`SweepSpec.expand_iter` (or ships grid slices to its
         workers), so the grid is never fully materialized here — only the
         returned envelopes are.
+
+        Fault tolerance.  Cells that fail with a
+        :class:`~repro.errors.TransientError` (injected faults, worker
+        crashes, deadline expiries) are retried on the primary backend with
+        exponential backoff (``retry`` — a
+        :class:`~repro.experiments.resilience.RetryPolicy`, its dict form,
+        or the session default), and crash/timeout victims that exhaust
+        their retries get one final in-process serial attempt (the
+        degradation ladder).  A cell that still fails is *terminal*:
+        ``on_error="raise"`` (the default) finishes the surviving siblings,
+        then raises :class:`~repro.errors.SimulationError` naming every
+        failed cell; ``on_error="collect"`` returns the batch with ``None``
+        at failed indices and the failures recorded in the run's
+        :class:`~repro.experiments.resilience.RunHealth` (pass ``health``
+        to provide the instance, or read ``session.last_health``).
+        ``on_failure(spec, failure)`` fires once per terminal failure —
+        manifest checkpointing hangs off it.  Recovered cells are
+        byte-identical to an undisturbed run: none of this machinery enters
+        the session fingerprint.
         """
+        if on_error not in ("raise", "collect"):
+            raise ConfigurationError(
+                f'on_error must be "raise" or "collect", got {on_error!r}'
+            )
         workers = self.max_workers if max_workers is None else int(max_workers)
         if workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
+        policy = _retry_policy(retry)
+        if policy is None:
+            policy = self.retry if self.retry is not None else RetryPolicy()
+        report = health if health is not None else RunHealth()
+        self.last_health = report
         exec_backend = resolve_backend(
             backend if backend is not None else self.backend,
             workers,
@@ -383,13 +486,126 @@ class Session:
             else:
                 completed += 1
 
-        if streaming:
-            exec_backend.run_sweep(self, specs, finish, use_cache=use_cache)
-        else:
-            exec_backend.run(self, spec_list, finish, use_cache=use_cache)
+        primary = (
+            exec_backend.run_sweep if streaming else exec_backend.run
+        )
+        resilient = _backend_supports_resilience(primary)
 
-        undelivered = [i for i, env in enumerate(results) if env is None]
-        if not undelivered and total is not None and completed < total:
+        #: index -> (exception, spec) of the round that just ran
+        round_failures: dict[int, tuple[BaseException, ExperimentSpec]] = {}
+
+        def fail(index: int, exc: BaseException, spec: ExperimentSpec) -> None:
+            if total is None:
+                while index >= len(results):
+                    results.append(None)
+            report.count(exc)
+            round_failures[index] = (exc, spec)
+
+        batch_input = specs if streaming else spec_list
+        if resilient:
+            primary(
+                self,
+                batch_input,
+                finish,
+                use_cache=use_cache,
+                fail=fail,
+                attempt=1,
+                cell_timeout=policy.cell_timeout,
+                health=report,
+            )
+        else:
+            # pre-contract custom backend: historical fail-fast semantics
+            primary(self, batch_input, finish, use_cache=use_cache)
+
+        # --- retry ladder -------------------------------------------------
+        # Rounds re-run only the failed cells, all at the same attempt
+        # number; after primary retries are exhausted, crash/timeout
+        # victims get one in-process serial attempt (the backend that
+        # cannot lose a worker), then whatever is left is terminal.
+        open_failures = dict(round_failures)
+        attempts = {index: 1 for index in open_failures}
+
+        def rerun(
+            entries: Mapping[int, tuple[BaseException, ExperimentSpec]],
+            run_backend,
+            attempt: int,
+        ) -> None:
+            round_failures.clear()
+            indices = sorted(entries)
+            subset = [entries[i][1] for i in indices]
+
+            def finish_sub(j: int, envelope: ResultEnvelope) -> None:
+                finish(indices[j], envelope)
+
+            def fail_sub(j: int, exc: BaseException, spec) -> None:
+                fail(indices[j], exc, spec)
+
+            run_backend(
+                self,
+                subset,
+                finish_sub,
+                use_cache=use_cache,
+                fail=fail_sub,
+                attempt=attempt,
+                cell_timeout=policy.cell_timeout,
+                health=report,
+            )
+            for index in indices:
+                attempts[index] += 1
+                open_failures.pop(index, None)
+            open_failures.update(round_failures)
+
+        attempt = 1
+        while resilient and open_failures and attempt <= policy.max_retries:
+            retryable = {
+                index: entry
+                for index, entry in open_failures.items()
+                if policy.retryable(entry[0])
+            }
+            if not retryable:
+                break
+            attempt += 1
+            delay = policy.delay(attempt - 1)
+            if delay:
+                time.sleep(delay)
+                report.wall_clock_lost_s += delay
+            report.retries += len(retryable)
+            rerun(retryable, exec_backend.run, attempt)
+
+        if resilient and open_failures:
+            # the last rung: crash/timeout victims re-execute in-process,
+            # where no worker can die and no deadline preempts
+            infra = {
+                index: entry
+                for index, entry in open_failures.items()
+                if isinstance(entry[0], (WorkerCrashError, CellTimeoutError))
+            }
+            if infra:
+                report.fallbacks += len(infra)
+                rerun(infra, SerialBackend().run, attempt + 1)
+
+        failed_indices = set(open_failures)
+        for index in sorted(open_failures):
+            exc, spec = open_failures[index]
+            failure = CellFailure.from_exception(
+                exc,
+                spec_hash=spec.spec_hash(),
+                kind=spec.kind,
+                attempts=attempts.get(index, 1),
+                index=index,
+            )
+            report.record_failure(failure)
+            if on_failure is not None:
+                on_failure(spec, failure)
+
+        undelivered = [
+            i
+            for i, env in enumerate(results)
+            if env is None and i not in failed_indices
+        ]
+        if not undelivered and total is not None and completed + len(
+            failed_indices
+        ) < total:
             undelivered = list(range(len(results), total))
         if undelivered:
             # A backend that drops cells is a bug, not a partial result —
@@ -407,6 +623,17 @@ class Session:
                 + (f" and {more} more" if more else "")
                 + ")"
             )
+        if failed_indices and on_error == "raise":
+            described = "; ".join(
+                str(f) for f in report.failures[:5]
+            )
+            more = len(report.failures) - min(len(report.failures), 5)
+            first_exc = open_failures[min(failed_indices)][0]
+            raise SimulationError(
+                f"{len(failed_indices)} of {len(results)} cells failed "
+                f"after retries: {described}"
+                + (f" (and {more} more)" if more else "")
+            ) from first_exc
         return list(results)
 
     def runner(self, chip: str, *, seed: int | None = None):

@@ -15,10 +15,13 @@ understood:
 :func:`load_envelopes` reads both — mixed directories included — so stores
 written by older versions keep rendering.  A ``manifest.json`` written by
 :mod:`repro.experiments.manifest` is skipped, as is anything under a
-dot-directory (``.service/`` holds the experiment service's job records —
-reserved metadata, never envelopes), and a truncated or corrupt file raises
-:class:`ConfigurationError` naming the offending path instead of crashing
-mid-scan.
+dot-directory (``.service/`` holds the experiment service's job records,
+``.quarantine/`` the evidence of torn writes — reserved metadata, never
+envelopes).  A truncated or corrupt file is **quarantined** — moved to
+``<store>/.quarantine/`` with a reason file, under a warning naming the
+path — instead of aborting the scan: one torn write must not take a
+thousand good cells hostage, and the quarantined cell re-executes on the
+next manifest resume.
 
 Stores are built for **concurrent readers over one writer**: every envelope
 lands via :func:`atomic_write_text` (temp file + ``os.replace``), so a
@@ -33,6 +36,7 @@ from __future__ import annotations
 import os
 import pathlib
 import tempfile
+import warnings
 from typing import Iterable
 
 from repro.errors import ConfigurationError
@@ -40,10 +44,12 @@ from repro.experiments.envelope import ResultEnvelope
 
 __all__ = [
     "MANIFEST_FILENAME",
+    "QUARANTINE_DIRNAME",
     "SHARD_PREFIX_LEN",
     "atomic_write_text",
     "envelope_filename",
     "envelope_path",
+    "quarantine_file",
     "save_envelopes",
     "load_envelopes",
 ]
@@ -51,6 +57,10 @@ __all__ = [
 #: Reserved file name of the run manifest living alongside envelopes —
 #: never parsed as an envelope.
 MANIFEST_FILENAME = "manifest.json"
+
+#: Reserved dot-directory corrupt envelope files are moved into — evidence
+#: preserved for debugging, never re-scanned as results.
+QUARANTINE_DIRNAME = ".quarantine"
 
 #: Spec-hash prefix length of the sharded layout's second directory level.
 SHARD_PREFIX_LEN = 2
@@ -81,6 +91,43 @@ def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
             pass
         raise
     return target
+
+
+def quarantine_file(
+    root: str | pathlib.Path, path: str | pathlib.Path, *, reason: str
+) -> pathlib.Path | None:
+    """Move a corrupt store file into ``<root>/.quarantine/``, with evidence.
+
+    The file keeps its name; a sibling ``<name>.reason.txt`` records why it
+    was pulled.  Emits a :class:`UserWarning` naming both the offending
+    path and its quarantine destination — corruption is surfaced, never
+    silent — and returns the destination.  A store that cannot be written
+    (read-only mount, permissions) degrades to warn-and-skip: the reader's
+    scan must survive either way, so ``None`` comes back and the corrupt
+    file stays put.
+    """
+    source = pathlib.Path(path)
+    quarantine = pathlib.Path(root) / QUARANTINE_DIRNAME
+    destination = quarantine / source.name
+    try:
+        quarantine.mkdir(parents=True, exist_ok=True)
+        os.replace(source, destination)
+        destination.with_name(destination.name + ".reason.txt").write_text(
+            reason + "\n"
+        )
+    except OSError as exc:
+        warnings.warn(
+            f"corrupt envelope file {source} could not be quarantined "
+            f"({exc}); skipping it: {reason}",
+            stacklevel=2,
+        )
+        return None
+    warnings.warn(
+        f"corrupt envelope file {source} quarantined to {destination}: "
+        f"{reason}",
+        stacklevel=2,
+    )
+    return destination
 
 
 def envelope_filename(envelope: ResultEnvelope) -> str:
@@ -132,12 +179,15 @@ def load_envelopes(directory: str | pathlib.Path) -> list[ResultEnvelope]:
     ``.service/``) are skipped.  A cell present in *both* layouts — e.g. a
     legacy flat store migrated in place — loads once, preferring the
     sharded copy, because the store holds at most one result per file name
-    (kind + spec hash) by contract.  An unreadable file raises
-    :class:`ConfigurationError` naming the offending path — except one that
-    simply *vanished* between the listing and the read (a concurrent writer
-    replacing it, a cleanup racing the scan), which is skipped: listings of
-    a live store are inherently a snapshot, and raising on the race would
-    make every reader of a served store flaky.
+    (kind + spec hash) by contract.  A corrupt file — truncated by a torn
+    write, or simply not an envelope — is quarantined under
+    ``<store>/.quarantine/`` with a reason file, warning with the offending
+    path, and the scan continues: one bad cell must not take the rest of
+    the store down.  A file that simply *vanished* between the listing and
+    the read (a concurrent writer replacing it, a cleanup racing the scan)
+    is skipped silently: listings of a live store are inherently a
+    snapshot, and raising on the race would make every reader of a served
+    store flaky.
     """
     root = pathlib.Path(directory)
     if not root.is_dir():
@@ -160,5 +210,5 @@ def load_envelopes(directory: str | pathlib.Path) -> list[ResultEnvelope]:
         except ConfigurationError as exc:
             if isinstance(exc.__cause__, FileNotFoundError):
                 continue  # listed, then gone: a writer won the race
-            raise
+            quarantine_file(root, path, reason=str(exc))
     return envelopes

@@ -21,6 +21,7 @@ spec, or an already-serialized payload dict.  A failed job surfaces as a
 from __future__ import annotations
 
 import json
+import random
 import time
 from typing import Any, Iterator, Mapping, Sequence
 from urllib.error import HTTPError, URLError
@@ -36,15 +37,42 @@ class ServiceError(ReproError):
 
 
 class ServiceClient:
-    """Talk to one running experiment service."""
+    """Talk to one running experiment service.
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    Idempotent requests (every GET) transparently retry on transport
+    errors and 5xx responses — up to ``retries`` times with capped
+    exponential backoff plus jitter — so a momentarily-overloaded or
+    restarting server does not fail a poll loop.  POSTs are *not*
+    retried: a submission that timed out may have been accepted, and
+    retrying it is the caller's decision (resubmitting the same grid
+    deduplicates server-side, so it is in fact safe — but explicit).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        retries: int = 3,
+        retry_backoff: float = 0.1,
+        retry_cap: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_cap = float(retry_cap)
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _retry_delays(self) -> Iterator[float]:
+        """Backoff schedule for idempotent retries: capped exponential
+        with full jitter (decorrelates a thundering herd of pollers)."""
+        for attempt in range(self.retries):
+            base = min(self.retry_cap, self.retry_backoff * (2 ** attempt))
+            yield base * (0.5 + random.random() / 2)
+
     def _request(
         self, method: str, path: str, body: Mapping[str, Any] | None = None
     ) -> Any:
@@ -57,34 +85,60 @@ class ServiceClient:
             method=method,
             headers={"Content-Type": "application/json"} if data else {},
         )
-        try:
-            with urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode())
-        except HTTPError as exc:
+        delays = self._retry_delays() if method == "GET" else iter(())
+        while True:
             try:
-                message = json.loads(exc.read().decode()).get("error", str(exc))
-            except (json.JSONDecodeError, ValueError):
-                message = str(exc)
-            raise ServiceError(
-                f"{method} {path} failed ({exc.code}): {message}"
-            ) from exc
-        except URLError as exc:
-            raise ServiceError(
-                f"cannot reach experiment service at {self.base_url}: "
-                f"{exc.reason}"
-            ) from exc
+                with urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode())
+            except HTTPError as exc:
+                try:
+                    message = json.loads(exc.read().decode()).get(
+                        "error", str(exc)
+                    )
+                except (json.JSONDecodeError, ValueError):
+                    message = str(exc)
+                if exc.code >= 500:
+                    delay = next(delays, None)
+                    if delay is not None:
+                        time.sleep(delay)
+                        continue
+                raise ServiceError(
+                    f"{method} {path} failed ({exc.code}): {message}"
+                ) from exc
+            except URLError as exc:
+                delay = next(delays, None)
+                if delay is not None:
+                    time.sleep(delay)
+                    continue
+                raise ServiceError(
+                    f"cannot reach experiment service at {self.base_url}: "
+                    f"{exc.reason}"
+                ) from exc
 
     def _get_text(self, path: str) -> str:
-        try:
-            with urlopen(self.base_url + path, timeout=self.timeout) as response:
-                return response.read().decode()
-        except HTTPError as exc:
-            raise ServiceError(f"GET {path} failed ({exc.code})") from exc
-        except URLError as exc:
-            raise ServiceError(
-                f"cannot reach experiment service at {self.base_url}: "
-                f"{exc.reason}"
-            ) from exc
+        delays = self._retry_delays()
+        while True:
+            try:
+                with urlopen(
+                    self.base_url + path, timeout=self.timeout
+                ) as response:
+                    return response.read().decode()
+            except HTTPError as exc:
+                if exc.code >= 500:
+                    delay = next(delays, None)
+                    if delay is not None:
+                        time.sleep(delay)
+                        continue
+                raise ServiceError(f"GET {path} failed ({exc.code})") from exc
+            except URLError as exc:
+                delay = next(delays, None)
+                if delay is not None:
+                    time.sleep(delay)
+                    continue
+                raise ServiceError(
+                    f"cannot reach experiment service at {self.base_url}: "
+                    f"{exc.reason}"
+                ) from exc
 
     # ------------------------------------------------------------------
     # Submission / progress
@@ -117,14 +171,24 @@ class ServiceClient:
         return self._request("GET", "/jobs")["jobs"]
 
     def wait(
-        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.1
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll: float = 0.1,
+        poll_cap: float = 2.0,
     ) -> dict[str, Any]:
         """Poll until the job is terminal; return its final record.
 
+        The poll interval starts at ``poll`` and doubles per round up to
+        ``poll_cap`` — short jobs still return promptly, long campaigns
+        are not busy-polled ten times a second — and the final sleep is
+        clipped to the deadline so the timeout is honored exactly.
         Raises :class:`ServiceError` when the job failed or the timeout
         elapses first.
         """
         deadline = time.monotonic() + timeout
+        interval = poll
         while True:
             job = self.job(job_id)
             if job["status"] == "done":
@@ -133,12 +197,14 @@ class ServiceClient:
                 raise ServiceError(
                     f"job {job_id} failed: {job.get('error') or 'unknown error'}"
                 )
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServiceError(
                     f"job {job_id} still {job['status']} after {timeout:.0f}s "
                     f"({job['done']}/{job['total']} cells)"
                 )
-            time.sleep(poll)
+            time.sleep(min(interval, remaining))
+            interval = min(interval * 2, poll_cap)
 
     def events(self, job_id: str) -> Iterator[dict[str, Any]]:
         """Stream the job's NDJSON progress events (replay, then follow)."""

@@ -112,6 +112,7 @@ class Job:
     executed: int = 0
     cache_status: str | None = None
     error: str | None = None
+    health: dict[str, Any] | None = None
     created: float = 0.0
     finished: float | None = None
 
@@ -127,6 +128,7 @@ class Job:
             "executed": self.executed,
             "cache_status": self.cache_status,
             "error": self.error,
+            "health": self.health,
             "created": self.created,
             "finished": self.finished,
         }
@@ -144,6 +146,7 @@ class Job:
             executed=int(data.get("executed", 0)),
             cache_status=data.get("cache_status"),
             error=data.get("error"),
+            health=data.get("health"),
             created=float(data.get("created", 0.0)),
             finished=data.get("finished"),
         )
@@ -307,27 +310,62 @@ class JobRegistry:
             self._events[job_id].append(dict(event))
             condition.notify_all()
 
-    def events(self, job_id: str, *, timeout: float = 300.0) -> Iterator[dict]:
+    def events(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        heartbeat: float | None = None,
+    ) -> Iterator[dict]:
         """Replay buffered events, then follow until the job is terminal.
 
         The generator yields each event dict exactly once, in order, and
         returns once a terminal event (``done``/``failed``) has been
         yielded — or after ``timeout`` seconds pass with no progress, so a
         stream over a wedged run never hangs a reader forever.
+
+        With ``heartbeat`` set, every ``heartbeat`` seconds of silence
+        yields a synthetic ``{"event": "heartbeat", ...}`` line instead of
+        dead air, carrying how long the stream has been quiet — a follower
+        can tell a *slow* run (heartbeats keep arriving) from a *stuck*
+        connection (nothing at all).  Heartbeats do not reset the overall
+        ``timeout``; only real progress does.
         """
         self.get(job_id)  # raises on unknown ids before streaming starts
         condition = self._event_conditions[job_id]
         cursor = 0
+        silent = 0.0
         while True:
+            batch: list[dict[str, Any]] = []
             with condition:
                 while cursor >= len(self._events[job_id]):
                     job = self._jobs[job_id]
                     if job.terminal:
                         return
-                    if not condition.wait(timeout):
+                    remaining = timeout - silent
+                    if remaining <= 0:
                         return
-                batch = self._events[job_id][cursor:]
-                cursor += len(batch)
+                    interval = (
+                        remaining
+                        if heartbeat is None
+                        else min(remaining, heartbeat)
+                    )
+                    if not condition.wait(interval):
+                        silent += interval
+                        if silent >= timeout:
+                            return
+                        break  # heartbeat due — yield it outside the lock
+                else:
+                    batch = self._events[job_id][cursor:]
+                    cursor += len(batch)
+                    silent = 0.0
+            if not batch:
+                yield {
+                    "event": "heartbeat",
+                    "job": job_id,
+                    "silent_s": round(silent, 1),
+                }
+                continue
             for event in batch:
                 yield event
                 if event.get("event") in (STATUS_DONE, STATUS_FAILED):

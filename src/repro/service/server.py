@@ -51,6 +51,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.backends import ExecutionBackend
+from repro.experiments.resilience import RetryPolicy, RunHealth
 from repro.experiments.session import Session
 from repro.experiments.store import load_envelopes
 from repro.service.jobs import Job, JobRegistry, grid_specs
@@ -82,6 +83,16 @@ class ExperimentService:
     job_workers:
         How many jobs execute concurrently (distinct grids only — duplicate
         submissions coalesce before they reach the queue).
+    retry:
+        The :class:`RetryPolicy` (or its dict form) every job executes
+        under — transient cell failures retry with backoff, crashed or
+        hung workers degrade to the in-process path, and only cells that
+        exhaust the ladder land as failures.  ``None`` uses the session's
+        policy (or the stock defaults).
+    heartbeat:
+        Seconds of event-stream silence between synthetic heartbeat lines
+        on ``GET /jobs/<id>/events`` — followers can tell a slow run from
+        a dead connection.  ``None`` disables heartbeats.
     """
 
     def __init__(
@@ -92,6 +103,8 @@ class ExperimentService:
         backend: str | ExecutionBackend | None = None,
         max_workers: int = 1,
         job_workers: int = 2,
+        retry: "RetryPolicy | Mapping[str, Any] | None" = None,
+        heartbeat: float | None = 15.0,
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
@@ -101,6 +114,10 @@ class ExperimentService:
         self.session = session if session is not None else Session()
         self.backend = backend
         self.max_workers = int(max_workers)
+        self.retry = (
+            RetryPolicy.from_dict(retry) if isinstance(retry, Mapping) else retry
+        )
+        self.heartbeat = heartbeat
         self.store = SharedStore(store_dir, self.session)
         self.registry = JobRegistry(store_dir)
         self.host = host
@@ -199,15 +216,26 @@ class ExperimentService:
             try:
                 self._execute(job)
             except Exception as exc:  # noqa: BLE001 - job failure is data
+                detail = f"{type(exc).__name__}: {exc}"
                 self.registry.update(
-                    job, status="failed", error=str(exc), finished=time.time()
+                    job, status="failed", error=detail, finished=time.time()
                 )
                 self.registry.emit(
-                    job.id, {"event": "failed", "job": job.id, "error": str(exc)}
+                    job.id, {"event": "failed", "job": job.id, "error": detail}
                 )
 
     def _execute(self, job: Job) -> None:
-        """Run one job: dedup against the store, execute misses, checkpoint."""
+        """Run one job: dedup against the store, execute misses, checkpoint.
+
+        Execution runs under ``on_error="collect"`` with the service's
+        retry policy: a cell that exhausts the ladder never aborts its
+        siblings — it lands in the shared manifest as ``status=failed``
+        (with its structured error payload), the job finishes as
+        ``failed`` with a detail naming the failed-cell count, and every
+        completed sibling stays persisted.  The per-job :class:`RunHealth`
+        report rides on the job record, so ``GET /jobs/<id>`` surfaces
+        retries, fallbacks and failures.
+        """
         specs = grid_specs(job.payload)
         pending, hits = self.store.merge(specs)
         total = len(specs)
@@ -240,34 +268,84 @@ class ExperimentService:
                 },
             )
 
+        def on_failure(spec, failure) -> None:
+            self.store.record_failure(spec, failure.to_dict())
+            self.registry.emit(
+                job.id,
+                {
+                    "event": "cell-failed",
+                    "job": job.id,
+                    "kind": failure.kind,
+                    "spec_hash": failure.spec_hash,
+                    "error": failure.error,
+                    "message": failure.message,
+                    "attempts": failure.attempts,
+                },
+            )
+
+        health = RunHealth()
         if pending:
             self.session.run_batch(
                 pending,
                 backend=self.backend,
                 max_workers=self.max_workers,
                 progress=progress,
+                on_error="collect",
+                retry=self.retry,
+                health=health,
+                on_failure=on_failure,
             )
             self.store.fold_journal()
         cache_status = (
             "hit" if not pending else ("partial" if hits else "miss")
         )
+        health_payload = health.to_dict() if health.eventful else None
+        if health.failures:
+            detail = (
+                f"{len(health.failures)} of {total} cells failed after "
+                f"retries: "
+                + "; ".join(str(f) for f in health.failures[:3])
+                + ("; ..." if len(health.failures) > 3 else "")
+            )
+            self.registry.update(
+                job,
+                status="failed",
+                done=total - len(health.failures),
+                cache_status=cache_status,
+                error=detail,
+                health=health_payload,
+                finished=time.time(),
+            )
+            self.registry.emit(
+                job.id,
+                {
+                    "event": "failed",
+                    "job": job.id,
+                    "total": total,
+                    "failed": len(health.failures),
+                    "error": detail,
+                    "health": health.summary(),
+                },
+            )
+            return
         self.registry.update(
             job,
             status="done",
             done=total,
             cache_status=cache_status,
+            health=health_payload,
             finished=time.time(),
         )
-        self.registry.emit(
-            job.id,
-            {
-                "event": "done",
-                "job": job.id,
-                "total": total,
-                "executed": len(pending),
-                "cache_status": cache_status,
-            },
-        )
+        done_event = {
+            "event": "done",
+            "job": job.id,
+            "total": total,
+            "executed": len(pending),
+            "cache_status": cache_status,
+        }
+        if health.eventful:
+            done_event["health"] = health.summary()
+        self.registry.emit(job.id, done_event)
 
     # ------------------------------------------------------------------
     # Query surface
@@ -504,7 +582,9 @@ def _make_handler(service: ExperimentService):
 
         def _stream_events(self, job_id: str) -> None:
             service.registry.get(job_id)  # raises on unknown ids, pre-headers
-            events = service.registry.events(job_id)
+            events = service.registry.events(
+                job_id, heartbeat=service.heartbeat
+            )
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
             self.end_headers()

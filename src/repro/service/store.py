@@ -32,11 +32,12 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
 from repro.experiments.envelope import ResultEnvelope
-from repro.experiments.manifest import STATUS_DONE, RunManifest
+from repro.experiments.manifest import STATUS_DONE, STATUS_PENDING, RunManifest
 from repro.experiments.store import (
     MANIFEST_FILENAME,
     atomic_write_text,
     envelope_path,
+    quarantine_file,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -97,6 +98,18 @@ class SharedStore:
             self.manifest.checkpoint(envelope, path.relative_to(self.root))
         return path
 
+    def record_failure(self, spec: "ExperimentSpec", error: dict) -> None:
+        """Persist one terminally-failed cell: journaled ``status=failed``.
+
+        The structured error payload (a
+        :meth:`CellFailure.to_dict <repro.experiments.resilience.CellFailure>`
+        dict) lands in the shared manifest durably, so a killed server
+        still knows the cell failed — and, because ``failed`` is not
+        ``done``, the next job that compiles to the cell re-executes it.
+        """
+        with self.lock:
+            self.manifest.checkpoint_failed(spec, error)
+
     def fold_journal(self) -> None:
         """Fold the journal into ``manifest.json`` (end-of-job compaction)."""
         with self.lock:
@@ -110,7 +123,11 @@ class SharedStore:
 
         A journaled cell whose envelope file vanished (an operator pruning
         the store by hand) degrades to a miss rather than an error — the
-        cell simply re-executes on the next job that needs it.
+        cell simply re-executes on the next job that needs it.  A cell
+        whose file is *corrupt* (a torn write under a crash) is
+        quarantined to ``<store>/.quarantine/`` with a reason file and
+        likewise demoted to a miss: the store heals by re-execution
+        instead of serving — or raising on — bad bytes.
         """
         with self.lock:
             record = self.manifest.cells.get(spec.spec_hash())
@@ -125,12 +142,12 @@ class SharedStore:
         try:
             return ResultEnvelope.load(path)
         except ConfigurationError as exc:
-            if isinstance(exc.__cause__, FileNotFoundError):
-                with self.lock:
-                    record.status = "pending"
-                    record.path = None
-                return None
-            raise
+            if not isinstance(exc.__cause__, FileNotFoundError):
+                quarantine_file(self.root, path, reason=str(exc))
+            with self.lock:
+                record.status = STATUS_PENDING
+                record.path = None
+            return None
 
     def envelopes_for(
         self, specs: Sequence["ExperimentSpec"]

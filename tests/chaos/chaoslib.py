@@ -1,0 +1,16 @@
+"""Shared helpers for the chaos suite (imported by every chaos test)."""
+
+from repro.experiments import GemmSpec, Session
+
+#: Four GEMM cells — small enough that a chaos round trip is milliseconds,
+#: large enough that sibling completion is observable.
+SIZES = (64, 96, 128, 160)
+
+
+def grid() -> list[GemmSpec]:
+    """The chaos grid (fresh spec objects per call — specs are frozen)."""
+    return [GemmSpec(chip="M1", impl_key="gpu-mps", n=n) for n in SIZES]
+
+
+def model_session(**kwargs) -> Session:
+    return Session(numerics="model-only", **kwargs)

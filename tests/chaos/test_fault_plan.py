@@ -1,0 +1,51 @@
+"""FaultPlan parsing: malformed plans are clean configuration errors.
+
+A typo in ``REPRO_FAULTS`` must exit ``error: ...`` like any other bad
+configuration — never a raw traceback from deep inside the codec.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import FaultPlan
+from repro.experiments.faults import resolve_fault_plan
+
+
+class TestFaultPlanParsing:
+    def test_round_trips_through_dict_and_json(self):
+        plan = FaultPlan.single("transient", ["abc123"], times=None)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_rule_missing_the_fault_key_names_the_problem(self):
+        with pytest.raises(ConfigurationError, match="'fault' key"):
+            FaultPlan.from_dict(
+                {"rules": [{"kind": "transient", "cells": ["abc"]}]}
+            )
+
+    def test_unknown_fault_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultPlan.from_dict(
+                {"rules": [{"fault": "meteor", "cells": ["abc"]}]}
+            )
+
+    def test_non_object_rule_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            FaultPlan.from_dict({"rules": ["transient"]})
+
+    def test_non_list_rules_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be a list"):
+            FaultPlan.from_dict({"rules": {"fault": "transient"}})
+
+    def test_bad_seed_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            FaultPlan.from_dict({"seed": "soon", "rules": []})
+
+    def test_invalid_json_env_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            resolve_fault_plan(None)
+
+    def test_unreadable_plan_file_is_rejected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULTS", f"@{tmp_path / 'missing.json'}")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            resolve_fault_plan(None)

@@ -1,0 +1,51 @@
+"""Hung cells: per-cell deadlines detect them; the retry recovers them.
+
+The ``hang`` fault sleeps inside the cell's execution path.  Pool backends
+armed with ``cell_timeout`` abandon the wedged future and retry (the
+one-shot rule does not re-fire on attempt 2); in-parent backends simply
+ride the sleep out.  Either way the run completes byte-identically.
+"""
+
+from chaoslib import grid, model_session
+
+from repro.experiments import FaultPlan, RetryPolicy
+
+
+class TestHangRecovery:
+    def test_hung_cell_is_detected_and_recovered(self, reference):
+        specs = grid()
+        session = model_session(
+            fault_plan=FaultPlan.single(
+                "hang", [specs[0].spec_hash()], times=1, seconds=0.6
+            )
+        )
+        envelopes = session.run_batch(
+            specs,
+            max_workers=2,
+            retry=RetryPolicy(
+                max_retries=1, backoff_base=0.001, cell_timeout=0.15
+            ),
+        )
+        assert [e.to_json() for e in envelopes] == reference
+        assert session.last_health.ok
+
+    def test_process_pool_timeout_is_counted(self, reference):
+        specs = grid()
+        session = model_session(
+            fault_plan=FaultPlan.single(
+                "hang", [specs[0].spec_hash()], times=1, seconds=0.6
+            )
+        )
+        envelopes = session.run_batch(
+            specs,
+            backend="processes",
+            max_workers=2,
+            retry=RetryPolicy(
+                max_retries=1, backoff_base=0.001, cell_timeout=0.15
+            ),
+        )
+        assert [e.to_json() for e in envelopes] == reference
+        health = session.last_health
+        assert health.ok
+        assert health.timeouts >= 1
+        assert health.wall_clock_lost_s > 0

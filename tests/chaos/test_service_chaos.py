@@ -1,0 +1,128 @@
+"""Service chaos: faulted jobs retry, fail partially, and drain on restart.
+
+The service executes every job under ``on_error="collect"``: a faulted
+cell retries through the same ladder as a local run, an unrecoverable cell
+fails the *job* (with the exact cells named in the job record and the
+shared manifest) while its siblings persist — and a second server over the
+same store drains the failure to a byte-identical store once the fault is
+gone, the same contract as a killed-and-restarted ``repro serve``.
+"""
+
+import pytest
+
+from chaoslib import model_session
+
+from repro.experiments import FaultPlan, RetryPolicy, Session, SweepSpec
+from repro.service import ExperimentService, ServiceClient, ServiceError, grid_specs
+
+FAST_RETRY = RetryPolicy(max_retries=1, backoff_base=0.001)
+
+
+def payload() -> dict:
+    return SweepSpec(
+        kind="gemm", chips=("M1",), impl_keys=("gpu-mps",), sizes=(64, 96, 128)
+    ).to_dict()
+
+
+def cell_hashes() -> list[str]:
+    return [spec.spec_hash() for spec in grid_specs(payload())]
+
+
+def start_service(store_dir, fault_plan=None) -> ExperimentService:
+    service = ExperimentService(
+        store_dir,
+        session=Session(numerics="model-only", fault_plan=fault_plan),
+        max_workers=2,
+        retry=FAST_RETRY,
+    )
+    service.start()
+    return service
+
+
+def reference_json() -> dict:
+    envelopes = model_session().run_batch(list(grid_specs(payload())))
+    return {e.spec_hash: e.to_json() for e in envelopes}
+
+
+class TestServiceChaos:
+    def test_transient_fault_retries_and_lands_in_job_health(self, tmp_path):
+        plan = FaultPlan.single("transient", [cell_hashes()[0]], times=1)
+        service = start_service(tmp_path / "store", fault_plan=plan)
+        try:
+            client = ServiceClient(service.url, timeout=30)
+            job = client.wait(client.submit(payload())["id"], timeout=60)
+            assert job["status"] == "done"
+            health = job["health"]
+            assert health["retries"] + health["fallbacks"] >= 1
+            assert health["failures"] == []
+            served = {e.spec_hash: e.to_json() for e in client.results(job["id"])}
+            assert served == reference_json()
+        finally:
+            service.stop()
+
+    def test_persistent_fault_fails_the_job_not_the_siblings(self, tmp_path):
+        victim = cell_hashes()[1]
+        plan = FaultPlan.single("transient", [victim], times=None)
+        service = start_service(tmp_path / "store", fault_plan=plan)
+        try:
+            client = ServiceClient(service.url, timeout=30)
+            job_id = client.submit(payload())["id"]
+            with pytest.raises(ServiceError, match="cells failed"):
+                client.wait(job_id, timeout=60)
+            job = client.job(job_id)
+            assert job["status"] == "failed"
+            assert "1 of 3 cells failed" in job["error"]
+            assert [f["spec_hash"] for f in job["health"]["failures"]] == [victim]
+            # the two siblings persisted despite the failure
+            served = {e.spec_hash for e in client.results(job_id)}
+            assert served == set(cell_hashes()) - {victim}
+            # the shared manifest records the failure durably
+            failed = service.store.manifest.failed_cells()
+            assert [record.spec_hash for record in failed] == [victim]
+        finally:
+            service.stop()
+
+    def test_restarted_service_drains_the_failure_byte_identically(
+        self, tmp_path
+    ):
+        store_dir = tmp_path / "store"
+        victim = cell_hashes()[1]
+        first = start_service(
+            store_dir,
+            fault_plan=FaultPlan.single("transient", [victim], times=None),
+        )
+        try:
+            client = ServiceClient(first.url, timeout=30)
+            job_id = client.submit(payload())["id"]
+            with pytest.raises(ServiceError):
+                client.wait(job_id, timeout=60)
+        finally:
+            first.stop()
+
+        # the restarted server has no fault; resubmitting the same grid
+        # re-executes exactly the failed cell and heals the store
+        second = start_service(store_dir)
+        try:
+            client = ServiceClient(second.url, timeout=30)
+            job = client.wait(client.submit(payload())["id"], timeout=60)
+            assert job["status"] == "done"
+            assert job["executed"] == 1  # only the failed cell re-ran
+            served = {e.spec_hash: e.to_json() for e in client.results(job["id"])}
+            assert served == reference_json()
+        finally:
+            second.stop()
+
+    def test_job_exception_reports_type_and_detail(self, tmp_path):
+        service = start_service(tmp_path / "store")
+        try:
+            # a payload that compiles but dies in the worker: unknown chip
+            bad = SweepSpec(kind="spmv", chips=("NoSuchChip",)).to_dict()
+            client = ServiceClient(service.url, timeout=30)
+            job_id = client.submit(bad)["id"]
+            with pytest.raises(ServiceError, match="failed"):
+                client.wait(job_id, timeout=60)
+            job = client.job(job_id)
+            assert job["status"] == "failed"
+            assert job["error"]  # detail, never a dead job with no story
+        finally:
+            service.stop()

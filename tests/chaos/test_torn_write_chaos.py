@@ -1,0 +1,61 @@
+"""Torn envelope writes: quarantined on the next load, healed by resume.
+
+The ``torn-write`` fault truncates an envelope file *after* the store
+committed it — the manifest says done, the bytes are bad.  The recovery
+path is load-time: the next run over the directory quarantines the corrupt
+file (with a reason), demotes the cell to pending, re-executes it, and the
+healed store is byte-identical to one that never tore.
+"""
+
+import pytest
+
+from chaoslib import grid, model_session
+
+from repro.experiments import FaultPlan, load_envelopes, run_with_manifest
+from repro.experiments.manifest import RunManifest
+
+
+class TestTornWriteHealing:
+    def test_torn_envelope_heals_on_resume(self, tmp_path, reference):
+        specs = grid()
+        victim = specs[1].spec_hash()
+        faulty = model_session(
+            fault_plan=FaultPlan.single("torn-write", [victim])
+        )
+        run_with_manifest(faulty, specs, tmp_path)
+        # the manifest believes the torn cell completed
+        assert RunManifest.load(tmp_path).status_counts() == {"done": 4}
+
+        # resume without the fault active: quarantine, re-execute, heal
+        with pytest.warns(UserWarning, match=victim):
+            healed, manifest = run_with_manifest(
+                model_session(), specs, tmp_path
+            )
+        assert [e.to_json() for e in healed] == reference
+        assert manifest.status_counts() == {"done": 4}
+
+        quarantined = list((tmp_path / ".quarantine").glob("*.json"))
+        assert len(quarantined) == 1
+        assert victim in quarantined[0].name
+        reason = quarantined[0].with_name(
+            quarantined[0].name + ".reason.txt"
+        )
+        assert reason.is_file()
+
+        # the healed store itself re-loads byte-identically
+        stored = {e.to_json() for e in load_envelopes(tmp_path)}
+        assert stored == set(reference)
+
+    def test_tearing_every_cell_still_heals(self, tmp_path, reference):
+        specs = grid()
+        hashes = [s.spec_hash() for s in specs]
+        faulty = model_session(
+            fault_plan=FaultPlan.single("torn-write", hashes)
+        )
+        run_with_manifest(faulty, specs, tmp_path)
+        with pytest.warns(UserWarning):
+            healed, _ = run_with_manifest(model_session(), specs, tmp_path)
+        assert [e.to_json() for e in healed] == reference
+        assert {e.to_json() for e in load_envelopes(tmp_path)} == set(
+            reference
+        )

@@ -1,0 +1,86 @@
+"""Transient faults: the retry ladder recovers them byte-identically."""
+
+import pytest
+
+from repro.errors import SimulationError, TransientError
+from repro.experiments import FaultPlan, RetryPolicy
+
+from chaoslib import grid, model_session
+
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.001)
+
+
+class TestTransientRecovery:
+    def test_one_shot_transient_recovers_byte_identically(self, reference):
+        specs = grid()
+        victim = specs[1].spec_hash()
+        session = model_session(
+            fault_plan=FaultPlan.single("transient", [victim], times=1)
+        )
+        envelopes = session.run_batch(specs, max_workers=2, retry=FAST_RETRY)
+        assert [e.to_json() for e in envelopes] == reference
+        health = session.last_health
+        assert health.ok
+        # cell-grained backends retry the cell; the sharded backend redoes
+        # the whole shard in-parent (a fallback) — recovery either way
+        assert health.retries + health.fallbacks >= 1
+
+    def test_every_cell_faulting_once_still_recovers(self, reference):
+        specs = grid()
+        session = model_session(
+            fault_plan=FaultPlan.single(
+                "transient", [s.spec_hash() for s in specs], times=1
+            )
+        )
+        envelopes = session.run_batch(specs, max_workers=2, retry=FAST_RETRY)
+        assert [e.to_json() for e in envelopes] == reference
+        health = session.last_health
+        assert health.ok
+        assert health.retries + health.fallbacks >= 1
+
+    def test_persistent_transient_collects_the_exact_cell(self, reference):
+        specs = grid()
+        victim = specs[1].spec_hash()
+        session = model_session(
+            fault_plan=FaultPlan.single("transient", [victim], times=None)
+        )
+        envelopes = session.run_batch(
+            specs,
+            max_workers=2,
+            on_error="collect",
+            retry=RetryPolicy(max_retries=1, backoff_base=0.001),
+        )
+        health = session.last_health
+        assert [f.spec_hash for f in health.failures] == [victim]
+        assert health.failures[0].error == "TransientError"
+        assert health.failures[0].attempts >= 2  # the retry really happened
+        assert envelopes[1] is None  # the hole marks the failed position
+        survivors = [e.to_json() for e in envelopes if e is not None]
+        assert survivors == [r for i, r in enumerate(reference) if i != 1]
+
+    def test_persistent_transient_raises_naming_the_cell(self):
+        specs = grid()
+        victim = specs[1].spec_hash()
+        session = model_session(
+            fault_plan=FaultPlan.single("transient", [victim], times=None)
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            session.run_batch(
+                specs,
+                max_workers=2,
+                retry=RetryPolicy(max_retries=1, backoff_base=0.001),
+            )
+        message = str(excinfo.value)
+        assert "1 of 4 cells failed" in message
+        assert victim in message
+
+    def test_disabled_plan_is_inert(self, reference):
+        session = model_session()  # no plan, no REPRO_FAULTS
+        assert session.fault_plan is None
+        envelopes = session.run_batch(grid(), max_workers=2)
+        assert [e.to_json() for e in envelopes] == reference
+        assert session.last_health.eventful is False
+
+    def test_transient_error_is_retryable_by_contract(self):
+        assert RetryPolicy().retryable(TransientError("x"))
+        assert not RetryPolicy().retryable(ValueError("x"))

@@ -270,3 +270,98 @@ class TestRunWithManifest:
         assert [e.to_json() for e in envelopes] == [
             e.to_json() for e in reference
         ]
+
+
+class TestFailedCells:
+    """``status=failed`` semantics: durable, resumable, never silent."""
+
+    VICTIM = SWEEP.expand()[1]
+
+    def failing_session(self) -> Session:
+        from repro.experiments import FaultPlan
+
+        return model_session(
+            fault_plan=FaultPlan.single(
+                "transient", [self.VICTIM.spec_hash()], times=None
+            )
+        )
+
+    def test_failed_status_survives_a_save_load_round_trip(self, tmp_path):
+        manifest = RunManifest.create(tmp_path, model_session(), SWEEP.expand())
+        error = {"error": "TransientError", "message": "boom", "attempts": 3}
+        manifest.mark_failed(self.VICTIM, error)
+        manifest.save()
+        revived = RunManifest.load(tmp_path)
+        record = revived.cells[self.VICTIM.spec_hash()]
+        assert record.status == "failed"
+        assert record.error == error
+        assert record.path is None
+        assert [r.spec_hash for r in revived.failed_cells()] == [
+            self.VICTIM.spec_hash()
+        ]
+
+    def test_checkpoint_failed_is_journaled_durably(self, tmp_path):
+        from repro.experiments.manifest import JOURNAL_FILENAME
+
+        manifest = RunManifest.create(tmp_path, model_session(), SWEEP.expand())
+        manifest.save()
+        manifest.checkpoint_failed(self.VICTIM, {"error": "TransientError"})
+        # no save(): the journal line alone must carry the failure
+        line = (tmp_path / JOURNAL_FILENAME).read_text().splitlines()[-1]
+        assert json.loads(line)["status"] == "failed"
+        revived = RunManifest.load(tmp_path)
+        assert revived.cells[self.VICTIM.spec_hash()].status == "failed"
+
+    def test_torn_tail_after_a_failed_line_is_tolerated(self, tmp_path):
+        from repro.experiments.manifest import JOURNAL_FILENAME
+
+        manifest = RunManifest.create(tmp_path, model_session(), SWEEP.expand())
+        manifest.save()
+        manifest.checkpoint_failed(self.VICTIM, {"error": "TransientError"})
+        journal = tmp_path / JOURNAL_FILENAME
+        journal.write_text(journal.read_text() + '{"spec_hash": "tru')
+        counts = RunManifest.load(tmp_path).status_counts()
+        assert counts["failed"] == 1  # the torn line is simply dropped
+
+    def test_collect_run_records_failures_and_resume_heals(self, tmp_path):
+        from repro.experiments import RetryPolicy
+
+        retry = RetryPolicy(max_retries=1, backoff_base=0.001)
+        envelopes, manifest = run_with_manifest(
+            self.failing_session(),
+            SWEEP,
+            tmp_path,
+            on_error="collect",
+            retry=retry,
+        )
+        counts = manifest.status_counts()
+        assert counts["failed"] == 1
+        assert counts[STATUS_DONE] == len(SWEEP.expand()) - 1
+        record = manifest.cells[self.VICTIM.spec_hash()]
+        assert record.error["error"] == "TransientError"
+        assert len(envelopes) == len(SWEEP.expand()) - 1
+
+        # resume without the fault: exactly the failed cell re-executes,
+        # and the healed store is byte-identical to an undisturbed one
+        healed, manifest = run_with_manifest(model_session(), SWEEP, tmp_path)
+        assert manifest.status_counts() == {STATUS_DONE: len(SWEEP.expand())}
+        reference, _ = run_with_manifest(
+            model_session(), SWEEP, tmp_path / "ref"
+        )
+        assert [e.to_json() for e in healed] == [
+            e.to_json() for e in reference
+        ]
+
+    def test_raise_mode_still_checkpoints_the_failure(self, tmp_path):
+        from repro.errors import SimulationError
+        from repro.experiments import RetryPolicy
+
+        with pytest.raises(SimulationError, match="1 of"):
+            run_with_manifest(
+                self.failing_session(),
+                SWEEP,
+                tmp_path,
+                retry=RetryPolicy(max_retries=0, backoff_base=0.001),
+            )
+        counts = RunManifest.load(tmp_path).status_counts()
+        assert counts["failed"] == 1  # durable even though the call raised

@@ -68,31 +68,52 @@ class TestLayouts:
 
 
 class TestRobustness:
-    def test_truncated_file_names_the_offending_path(self, tmp_path, envelopes):
+    """Corrupt files are quarantined — warned about, moved aside with a
+    reason file — and never take the rest of the store down."""
+
+    def test_truncated_file_is_quarantined_with_a_warning(
+        self, tmp_path, envelopes
+    ):
         save_envelopes(tmp_path, envelopes)
         victim = next(iter(sorted(tmp_path.rglob("*.json"))))
         victim.write_text(victim.read_text()[: 40])  # truncate mid-object
-        with pytest.raises(ConfigurationError) as excinfo:
-            load_envelopes(tmp_path)
-        assert str(victim) in str(excinfo.value)
+        with pytest.warns(UserWarning, match=str(victim)):
+            loaded = load_envelopes(tmp_path)
+        assert len(loaded) == len(envelopes) - 1
+        quarantined = tmp_path / ".quarantine" / victim.name
+        assert quarantined.is_file()
+        assert not victim.exists()
+        reason = quarantined.with_name(quarantined.name + ".reason.txt")
+        assert victim.name in reason.read_text()
 
-    def test_non_envelope_json_names_the_offending_path(self, tmp_path, envelopes):
+    def test_non_envelope_json_is_quarantined(self, tmp_path, envelopes):
         save_envelopes(tmp_path, envelopes[:1])
         rogue = tmp_path / "notes.json"
         rogue.write_text(json.dumps({"hello": "world"}))
-        with pytest.raises(ConfigurationError) as excinfo:
-            load_envelopes(tmp_path)
-        assert str(rogue) in str(excinfo.value)
+        with pytest.warns(UserWarning, match="notes.json"):
+            loaded = load_envelopes(tmp_path)
+        assert len(loaded) == 1
+        assert (tmp_path / ".quarantine" / "notes.json").is_file()
 
-    def test_unsupported_schema_names_the_offending_path(self, tmp_path, envelopes):
+    def test_unsupported_schema_is_quarantined(self, tmp_path, envelopes):
         data = envelopes[0].to_dict()
         data["schema"] = 99
         path = tmp_path / "future.json"
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(data))
-        with pytest.raises(ConfigurationError) as excinfo:
+        with pytest.warns(UserWarning, match="future.json"):
+            loaded = load_envelopes(tmp_path)
+        assert loaded == []
+
+    def test_quarantined_files_are_not_rescanned(self, tmp_path, envelopes):
+        save_envelopes(tmp_path, envelopes)
+        victim = next(iter(sorted(tmp_path.rglob("*.json"))))
+        victim.write_text("{broken")
+        with pytest.warns(UserWarning):
             load_envelopes(tmp_path)
-        assert str(path) in str(excinfo.value)
+        # second scan: the quarantine dir is reserved metadata, no warning
+        loaded = load_envelopes(tmp_path)
+        assert len(loaded) == len(envelopes) - 1
 
     def test_manifest_json_is_not_parsed_as_an_envelope(self, tmp_path, envelopes):
         save_envelopes(tmp_path, envelopes)

@@ -1,0 +1,109 @@
+"""ServiceClient transport retries, without a server.
+
+``urlopen`` is monkeypatched so each test controls exactly which requests
+fail and how.  The contract under test: GETs retry transport errors and
+5xx responses with backoff; POSTs never retry (a timed-out submission may
+have been accepted — retrying is the caller's decision); 4xx responses
+are never retried (the request itself is wrong).
+"""
+
+import io
+import json
+from urllib.error import HTTPError, URLError
+
+import pytest
+
+import repro.service.client as client_module
+from repro.service import ServiceClient, ServiceError
+
+
+class FakeResponse:
+    def __init__(self, payload: dict):
+        self._body = json.dumps(payload).encode()
+
+    def read(self) -> bytes:
+        return self._body
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class FlakyTransport:
+    """Callable standing in for urlopen: fail ``failures`` times, then OK."""
+
+    def __init__(self, failures, payload=None):
+        self.failures = list(failures)
+        self.payload = payload or {"status": "ok"}
+        self.calls = 0
+
+    def __call__(self, request, timeout=None):
+        self.calls += 1
+        if self.failures:
+            raise self.failures.pop(0)
+        return FakeResponse(self.payload)
+
+
+def http_error(code: int) -> HTTPError:
+    return HTTPError("http://x", code, "boom", {}, io.BytesIO(b"{}"))
+
+
+def make_client() -> ServiceClient:
+    # near-zero backoff so the retry loop itself is what's measured
+    return ServiceClient(
+        "http://127.0.0.1:1", retries=3, retry_backoff=0.0, retry_cap=0.0
+    )
+
+
+class TestClientRetries:
+    def test_get_retries_transport_errors_then_succeeds(self, monkeypatch):
+        transport = FlakyTransport(
+            [URLError("refused"), URLError("refused")]
+        )
+        monkeypatch.setattr(client_module, "urlopen", transport)
+        assert make_client().health() == {"status": "ok"}
+        assert transport.calls == 3
+
+    def test_get_retries_5xx_then_succeeds(self, monkeypatch):
+        transport = FlakyTransport([http_error(503)])
+        monkeypatch.setattr(client_module, "urlopen", transport)
+        assert make_client().health() == {"status": "ok"}
+        assert transport.calls == 2
+
+    def test_get_gives_up_after_the_retry_budget(self, monkeypatch):
+        transport = FlakyTransport([URLError("refused")] * 10)
+        monkeypatch.setattr(client_module, "urlopen", transport)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            make_client().health()
+        assert transport.calls == 4  # 1 initial + retries=3
+
+    def test_get_does_not_retry_4xx(self, monkeypatch):
+        transport = FlakyTransport([http_error(404)])
+        monkeypatch.setattr(client_module, "urlopen", transport)
+        with pytest.raises(ServiceError, match="404"):
+            make_client().job("job-000001")
+        assert transport.calls == 1
+
+    def test_post_never_retries(self, monkeypatch):
+        transport = FlakyTransport([URLError("refused")])
+        monkeypatch.setattr(client_module, "urlopen", transport)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            make_client().submit({"kind": "gemm", "chips": ["M1"]})
+        assert transport.calls == 1
+
+    def test_text_endpoint_retries_like_a_get(self, monkeypatch):
+        class TextTransport(FlakyTransport):
+            def __call__(self, request, timeout=None):
+                self.calls += 1
+                if self.failures:
+                    raise self.failures.pop(0)
+                response = FakeResponse({})
+                response._body = b"rendered figure"
+                return response
+
+        transport = TextTransport([http_error(500)])
+        monkeypatch.setattr(client_module, "urlopen", transport)
+        assert make_client()._get_text("/figures/f7") == "rendered figure"
+        assert transport.calls == 2

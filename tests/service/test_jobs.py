@@ -185,3 +185,33 @@ class TestRegistry:
         registry.update(job, status="failed")
         names = [event["event"] for event in registry.events(job.id)]
         assert names == ["queued"]  # buffered replay, then terminal status
+
+    def test_events_heartbeat_during_silence(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        job, _ = registry.submit(sweep_payload())
+        stream = registry.events(job.id, timeout=0.5, heartbeat=0.05)
+        assert next(stream)["event"] == "queued"  # buffered replay first
+        beat = next(stream)
+        assert beat["event"] == "heartbeat"
+        assert beat["job"] == job.id
+        assert beat["silent_s"] >= 0.0
+
+    def test_heartbeats_do_not_extend_the_overall_timeout(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        job, _ = registry.submit(sweep_payload())
+        events = list(registry.events(job.id, timeout=0.2, heartbeat=0.05))
+        assert events[0]["event"] == "queued"
+        assert all(e["event"] == "heartbeat" for e in events[1:])
+        assert 1 <= len(events[1:]) <= 5  # silence still ends the stream
+
+    def test_health_round_trips_on_the_job_record(self):
+        job = Job(
+            id="job-000009",
+            payload=sweep_payload(),
+            grid_hash="abc",
+            health={"retries": 2, "failures": []},
+        )
+        assert Job.from_dict(job.to_dict()).health == {
+            "retries": 2,
+            "failures": [],
+        }
