@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""CI smoke gate for the calibration loop (DESIGN.md §11).
+
+Self-calibrates the simulator against a synthetic trace of its own
+anchored outputs and enforces the acceptance contract of the calibration
+subsystem:
+
+* per-chip, per-metric MAPE of the fitted model <= the threshold
+  (default 1 %) for every chip in the grid;
+* every fitted knob recovers its paper-anchored value to <= the
+  threshold;
+* a re-run with the same seed and trace produces a byte-identical
+  result artifact.
+
+Keep the grid at >= 7 points / >= 3 rounds: a 5-point / 2-round search
+brackets too coarsely (~1.7 % MAPE) and trips the 1 % gate by design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chips", nargs="+", default=None)
+    parser.add_argument("--points", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-mape-pct",
+        type=float,
+        default=1.0,
+        help="acceptance threshold for MAPE and anchor recovery, in percent",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.calibrate import default_spec, run_calibration, synthesize_trace
+
+    trace = synthesize_trace(args.chips, seed=args.seed)
+    spec = default_spec(
+        args.chips,
+        coarse_points=args.points,
+        refine_rounds=args.rounds,
+        seed=args.seed,
+    )
+    result = run_calibration(trace, spec)
+    print(
+        f"calibration smoke: {len(result.mape)} chips, "
+        f"{result.cells_evaluated} cells over {result.rounds} rounds, "
+        f"overall MAPE {result.overall_mape_pct:.4f}%"
+    )
+
+    failures: list[str] = []
+    threshold = args.max_mape_pct
+    for chip, per_metric in sorted(result.mape.items()):
+        for metric, value in sorted(per_metric.items()):
+            marker = "ok" if value <= threshold else "FAIL"
+            print(f"  {chip} {metric:8s} MAPE {value:.4f}%  [{marker}]")
+            if value > threshold:
+                failures.append(f"{chip}/{metric} MAPE {value:.4f}% > {threshold}%")
+    for chip, knobs in sorted(result.fitted.items()):
+        for knob, value in sorted(knobs.items()):
+            anchor = result.anchors[chip][knob]
+            err = abs(value - anchor) / anchor * 100.0
+            if err > threshold:
+                failures.append(
+                    f"{chip}/{knob} fitted {value:.4f} misses anchor "
+                    f"{anchor:.4f} by {err:.4f}% > {threshold}%"
+                )
+    worst = max(
+        abs(v - result.anchors[c][k]) / result.anchors[c][k] * 100.0
+        for c, knobs in result.fitted.items()
+        for k, v in knobs.items()
+    )
+    print(f"  worst anchor-recovery error {worst:.4f}%")
+
+    rerun = run_calibration(trace, spec)
+    if rerun.to_json() != result.to_json():
+        failures.append("re-run with the same seed + trace is not byte-identical")
+    else:
+        print("  re-run byte-identical: ok")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("calibration smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,13 @@ from repro.analysis import (
     render_table3,
     shape_checks,
 )
+from repro.calibrate import (
+    CalibrationResult,
+    CalibrationSpec,
+    MeasuredTrace,
+    run_calibration,
+    synthesize_trace,
+)
 from repro.calibration import paper
 from repro.core import ExperimentRunner
 from repro.core.gemm import get_implementation, implementation_keys
@@ -57,6 +64,7 @@ from repro.core.results import (
 )
 from repro.core.stream import run_stream
 from repro.errors import (
+    CalibrationError,
     CellTimeoutError,
     ReproError,
     TransientError,
@@ -108,6 +116,12 @@ __all__ = [
     "TransientError",
     "WorkerCrashError",
     "CellTimeoutError",
+    "CalibrationError",
+    "CalibrationSpec",
+    "CalibrationResult",
+    "MeasuredTrace",
+    "run_calibration",
+    "synthesize_trace",
     "FaultPlan",
     "RetryPolicy",
     "RunHealth",

@@ -1,0 +1,47 @@
+"""repro.calibrate — the trace-ingesting calibration loop.
+
+Closes the loop between the simulator and measured data: ingest a
+:class:`MeasuredTrace` (the paper's published numbers, a powermetrics
+capture, or a synthetic forward run), search the calibration knobs declared
+by a :class:`CalibrationSpec`, and report fitted parameters plus per-chip
+MAPE as a deterministic :class:`CalibrationResult` artifact.
+
+Quickstart::
+
+    from repro.calibrate import MeasuredTrace, run_calibration
+
+    result = run_calibration(MeasuredTrace.from_paper())
+    print(result.overall_mape_pct)
+
+See DESIGN.md section 11 for the trace model, the parameter space, the MAPE
+contract and the determinism guarantee.
+"""
+
+from repro.calibrate.engine import (
+    DEFAULT_BACKEND,
+    run_calibration,
+    synthesize_trace,
+)
+from repro.calibrate.result import CalibrationResult
+from repro.calibrate.spec import (
+    DEFAULT_KNOBS,
+    CalibrationSpec,
+    ParamSpec,
+    default_spec,
+)
+from repro.calibrate.trace import METRICS, MeasuredTrace, Observation, load_trace
+
+__all__ = [
+    "CalibrationSpec",
+    "ParamSpec",
+    "CalibrationResult",
+    "MeasuredTrace",
+    "Observation",
+    "run_calibration",
+    "synthesize_trace",
+    "load_trace",
+    "default_spec",
+    "DEFAULT_KNOBS",
+    "DEFAULT_BACKEND",
+    "METRICS",
+]

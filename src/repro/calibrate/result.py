@@ -1,0 +1,154 @@
+"""The calibration artifact: fitted knobs and per-chip MAPE, as plain data.
+
+A :class:`CalibrationResult` is deterministic by construction — no
+timestamps, no environment capture, canonical JSON with sorted keys — so
+the acceptance contract "same seed + trace -> byte-identical result" is a
+string comparison.  The final-evaluation envelopes ride along on a
+non-serialized ``frame`` attribute so MAPE tables stay queryable through
+:class:`repro.study.frame.ResultFrame` without bloating the artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import CalibrationError
+
+__all__ = ["CalibrationResult"]
+
+
+def _round6(value: float) -> float:
+    """Stable rounding for serialized floats (6 significant decimals)."""
+    return float(f"{value:.6g}")
+
+
+@dataclasses.dataclass
+class CalibrationResult:
+    """Outcome of one :func:`repro.calibrate.run_calibration` run."""
+
+    #: The search that produced this result (``CalibrationSpec.to_dict()``).
+    spec: dict[str, Any]
+    #: Source label and content hash of the fitted trace.
+    trace_source: str
+    trace_digest: str
+    #: Execution backend the candidate sweeps ran through.
+    backend: str
+    #: chip -> knob -> fitted value.
+    fitted: dict[str, dict[str, float]]
+    #: chip -> knob -> paper-anchored default (what the search brackets).
+    anchors: dict[str, dict[str, float]]
+    #: chip -> metric -> MAPE in percent, plus an ``"overall"`` key per chip.
+    mape: dict[str, dict[str, float]]
+    #: Mean of the per-chip overall MAPEs, in percent.
+    overall_mape_pct: float
+    #: Rounds executed (1 coarse + refinements) and total cells evaluated.
+    rounds: int
+    cells_evaluated: int
+    #: Final-evaluation envelopes as a queryable frame (not serialized).
+    frame: Any | None = dataclasses.field(default=None, compare=False, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form with stable key order and rounded floats."""
+        return {
+            "kind": "calibration-result",
+            "spec": self.spec,
+            "trace_source": self.trace_source,
+            "trace_digest": self.trace_digest,
+            "backend": self.backend,
+            "fitted": {
+                chip: {k: _round6(v) for k, v in sorted(knobs.items())}
+                for chip, knobs in sorted(self.fitted.items())
+            },
+            "anchors": {
+                chip: {k: _round6(v) for k, v in sorted(knobs.items())}
+                for chip, knobs in sorted(self.anchors.items())
+            },
+            "mape": {
+                chip: {m: _round6(v) for m, v in sorted(metrics.items())}
+                for chip, metrics in sorted(self.mape.items())
+            },
+            "overall_mape_pct": _round6(self.overall_mape_pct),
+            "rounds": self.rounds,
+            "cells_evaluated": self.cells_evaluated,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators, trailing newline."""
+        return (
+            json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the canonical JSON artifact, creating parent directories."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CalibrationResult":
+        """Rebuild from :meth:`to_dict` data; malformed payloads raise."""
+        if data.get("kind") != "calibration-result":
+            raise CalibrationError(
+                "payload is not a calibration result (missing kind tag)"
+            )
+        try:
+            return cls(
+                spec=dict(data["spec"]),
+                trace_source=str(data["trace_source"]),
+                trace_digest=str(data["trace_digest"]),
+                backend=str(data["backend"]),
+                fitted={c: dict(k) for c, k in data["fitted"].items()},
+                anchors={c: dict(k) for c, k in data["anchors"].items()},
+                mape={c: dict(m) for c, m in data["mape"].items()},
+                overall_mape_pct=float(data["overall_mape_pct"]),
+                rounds=int(data["rounds"]),
+                cells_evaluated=int(data["cells_evaluated"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CalibrationError(f"malformed calibration result: {exc}") from None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CalibrationResult":
+        """Load a saved ``calibration.json`` artifact."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise CalibrationError(f"cannot read result file {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CalibrationError(
+                f"result file {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def mape_table(self) -> tuple[list[str], list[list[str]]]:
+        """(headers, rows) of the per-chip MAPE report, in percent."""
+        metrics = sorted(
+            {m for per_chip in self.mape.values() for m in per_chip if m != "overall"}
+        )
+        headers = ["Chip"] + [f"{m} MAPE %" for m in metrics] + ["Overall %"]
+        rows: list[list[str]] = []
+        for chip in sorted(self.mape):
+            per_chip = self.mape[chip]
+            rows.append(
+                [chip]
+                + [
+                    f"{per_chip[m]:.3f}" if m in per_chip else "-"
+                    for m in metrics
+                ]
+                + [f"{per_chip.get('overall', float('nan')):.3f}"]
+            )
+        rows.append(
+            ["all"]
+            + ["-"] * len(metrics)
+            + [f"{self.overall_mape_pct:.3f}"]
+        )
+        return headers, rows

@@ -1,0 +1,161 @@
+"""The calibration parameter space: which knobs to fit, where, and how hard.
+
+A :class:`CalibrationSpec` is frozen and hashable like every other spec in
+the repo: its canonical JSON is its identity, so a result artifact can name
+exactly which search produced it.  Bounds are *relative* brackets around the
+paper-anchored defaults (:func:`repro.calibration.overrides.anchored_knob_value`)
+— the search never needs absolute units, and a bracket of ``(0.5, 1.6)``
+reads as "the anchor is wrong by at most -50 %/+60 %".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.calibration.overrides import validate_knob
+from repro.errors import CalibrationError, UnknownChipError
+from repro.soc.catalog import CHIP_NAMES
+
+__all__ = ["ParamSpec", "CalibrationSpec", "default_spec", "DEFAULT_KNOBS"]
+
+#: The knob set the default search fits: every Figure-2 peak, both Figure-4
+#: power anchors, and the two Figure-1 STREAM bandwidths.
+DEFAULT_KNOBS: tuple[str, ...] = (
+    "gemm.peak_gflops.cpu-accelerate",
+    "gemm.peak_gflops.gpu-naive",
+    "gemm.peak_gflops.gpu-cutlass",
+    "gemm.peak_gflops.gpu-mps",
+    "gemm.power_w.cpu-accelerate",
+    "gemm.power_w.gpu-mps",
+    "stream.gbs.cpu",
+    "stream.gbs.gpu",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ParamSpec:
+    """One searched knob with its relative bracket around the anchor."""
+
+    knob: str
+    lo_rel: float = 0.5
+    hi_rel: float = 1.6
+
+    def __post_init__(self) -> None:
+        validate_knob(self.knob)
+        if not (0.0 < self.lo_rel < self.hi_rel):
+            raise CalibrationError(
+                f"knob {self.knob!r}: bounds must satisfy 0 < lo_rel < hi_rel, "
+                f"got ({self.lo_rel}, {self.hi_rel})"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for the spec's canonical JSON."""
+        return {"knob": self.knob, "lo_rel": self.lo_rel, "hi_rel": self.hi_rel}
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationSpec:
+    """A frozen, hashable description of one calibration search.
+
+    ``coarse_points`` grid points cover each knob's bracket in the first
+    round; each of the ``refine_rounds`` refinement rounds re-grids the
+    same point count over the +/- one-grid-step neighbourhood of the
+    incumbent, shrinking the bracket by ~``2/(points-1)`` per round.
+    ``tolerance`` freezes a knob early once its bracket's relative width
+    drops below it.
+    """
+
+    chips: tuple[str, ...] = CHIP_NAMES
+    params: tuple[ParamSpec, ...] = tuple(ParamSpec(k) for k in DEFAULT_KNOBS)
+    coarse_points: int = 9
+    refine_rounds: int = 4
+    tolerance: float = 1e-4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.chips:
+            raise CalibrationError("a calibration spec needs at least one chip")
+        resolved = []
+        for name in self.chips:
+            key = name.strip().upper()
+            if key not in CHIP_NAMES:
+                raise UnknownChipError(name, CHIP_NAMES)
+            resolved.append(key)
+        if len(set(resolved)) != len(resolved):
+            raise CalibrationError("duplicate chips in calibration spec")
+        object.__setattr__(self, "chips", tuple(resolved))
+        if not self.params:
+            raise CalibrationError("a calibration spec needs at least one knob")
+        knobs = [p.knob for p in self.params]
+        if len(set(knobs)) != len(knobs):
+            raise CalibrationError("duplicate knobs in calibration spec")
+        if self.coarse_points < 3:
+            raise CalibrationError(
+                f"coarse grid needs >= 3 points, got {self.coarse_points}"
+            )
+        if self.refine_rounds < 0:
+            raise CalibrationError("refine_rounds cannot be negative")
+        if not (self.tolerance > 0.0):
+            raise CalibrationError("tolerance must be positive")
+
+    @property
+    def knobs(self) -> tuple[str, ...]:
+        """The searched knob names, in parameter order."""
+        return tuple(p.knob for p in self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (round-trips through :meth:`from_dict`)."""
+        return {
+            "chips": list(self.chips),
+            "params": [p.to_dict() for p in self.params],
+            "coarse_points": self.coarse_points,
+            "refine_rounds": self.refine_rounds,
+            "tolerance": self.tolerance,
+            "seed": self.seed,
+        }
+
+    def canonical_json(self) -> str:
+        """Canonical JSON (sorted keys, compact) — the spec's identity."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the canonical JSON."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CalibrationSpec":
+        try:
+            params = tuple(ParamSpec(**p) for p in data.get("params", ()))
+            return cls(
+                chips=tuple(data.get("chips", CHIP_NAMES)),
+                params=params,
+                coarse_points=int(data.get("coarse_points", 9)),
+                refine_rounds=int(data.get("refine_rounds", 4)),
+                tolerance=float(data.get("tolerance", 1e-4)),
+                seed=int(data.get("seed", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise CalibrationError(f"malformed calibration spec: {exc}") from None
+
+
+def default_spec(
+    chips: Sequence[str] | None = None,
+    *,
+    knobs: Sequence[str] | None = None,
+    coarse_points: int = 9,
+    refine_rounds: int = 4,
+    tolerance: float = 1e-4,
+    seed: int = 0,
+) -> CalibrationSpec:
+    """The standard search: :data:`DEFAULT_KNOBS` over the study chips."""
+    return CalibrationSpec(
+        chips=tuple(chips) if chips is not None else CHIP_NAMES,
+        params=tuple(ParamSpec(k) for k in (knobs or DEFAULT_KNOBS)),
+        coarse_points=coarse_points,
+        refine_rounds=refine_rounds,
+        tolerance=tolerance,
+        seed=seed,
+    )

@@ -1,0 +1,303 @@
+"""Measured traces: the ground truth the calibration loop fits against.
+
+A :class:`MeasuredTrace` is a normalized bag of observations —
+``(chip, workload, impl/target, size, metric) -> value`` — with loaders for
+the paper's published numbers (Figures 1, 2 and 4 via
+:mod:`repro.calibration.paper`) and for ``powermetrics`` trace text (via
+:mod:`repro.powermetrics.parse`).  Everything the search engine consumes is
+an observation; where a number came from (a figure, a powermetrics capture,
+a synthetic forward run) is just the trace's ``source`` label.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.calibration import paper
+from repro.errors import CalibrationError, UnknownChipError
+from repro.soc.catalog import CHIP_NAMES
+
+__all__ = ["Observation", "MeasuredTrace", "load_trace", "METRICS"]
+
+#: Workload kinds a trace may observe, and the metric each one reports.
+_WORKLOAD_METRICS: Mapping[str, str] = {
+    "gemm": "gflops",
+    "powered-gemm": "power_w",
+    "stream": "gbs",
+}
+
+#: The metrics traces can carry (values are all "higher is the measurement",
+#: never derived ratios — efficiency is computed, not observed).
+METRICS: tuple[str, ...] = ("gflops", "power_w", "gbs")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Observation:
+    """One measured number, normalized to the simulator's vocabulary.
+
+    ``impl_key`` is a GEMM implementation key for the gemm workloads and the
+    STREAM target (``"cpu"``/``"gpu"``) for ``stream``.  ``size`` is the
+    matrix dimension for the gemm workloads and 0 for STREAM (the paper's
+    default footprint).
+    """
+
+    chip: str
+    workload: str
+    impl_key: str
+    size: int
+    metric: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.chip.strip().upper() not in CHIP_NAMES:
+            raise CalibrationError(
+                f"observation names unknown chip {self.chip!r}; "
+                f"calibration targets the catalog chips: {', '.join(CHIP_NAMES)}"
+            )
+        expected = _WORKLOAD_METRICS.get(self.workload)
+        if expected is None:
+            raise CalibrationError(
+                f"observation workload must be one of "
+                f"{', '.join(_WORKLOAD_METRICS)}, got {self.workload!r}"
+            )
+        if self.metric != expected:
+            raise CalibrationError(
+                f"workload {self.workload!r} reports {expected!r}, "
+                f"not {self.metric!r}"
+            )
+        if self.workload == "stream":
+            if self.impl_key not in ("cpu", "gpu"):
+                raise CalibrationError(
+                    f"STREAM observations target 'cpu' or 'gpu', "
+                    f"got {self.impl_key!r}"
+                )
+        elif self.size <= 0:
+            raise CalibrationError(
+                f"gemm observations need a positive size, got {self.size}"
+            )
+        if not (self.value > 0.0):
+            raise CalibrationError(
+                f"observed {self.metric} must be positive, got {self.value!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for trace serialization."""
+        return {
+            "chip": self.chip,
+            "workload": self.workload,
+            "impl_key": self.impl_key,
+            "size": self.size,
+            "metric": self.metric,
+            "value": self.value,
+        }
+
+
+def _check_chips(chips: Sequence[str] | None) -> tuple[str, ...]:
+    if chips is None:
+        return paper.CHIPS
+    resolved = []
+    for name in chips:
+        key = name.strip().upper()
+        if key not in CHIP_NAMES:
+            raise UnknownChipError(name, CHIP_NAMES)
+        resolved.append(key)
+    if not resolved:
+        raise CalibrationError("a trace needs at least one chip")
+    return tuple(resolved)
+
+
+@dataclasses.dataclass(frozen=True)
+class MeasuredTrace:
+    """An immutable, content-addressable set of observations."""
+
+    observations: tuple[Observation, ...]
+    source: str = "unknown"
+
+    def __post_init__(self) -> None:
+        if not self.observations:
+            raise CalibrationError("a measured trace needs observations")
+        seen: set[tuple] = set()
+        for obs in self.observations:
+            key = (obs.chip, obs.workload, obs.impl_key, obs.size, obs.metric)
+            if key in seen:
+                raise CalibrationError(
+                    f"duplicate observation for {key} in trace"
+                )
+            seen.add(key)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self.observations)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    @property
+    def chips(self) -> tuple[str, ...]:
+        """Chips present, in catalog (generational) order."""
+        present = {obs.chip for obs in self.observations}
+        return tuple(c for c in CHIP_NAMES if c in present)
+
+    def for_chip(self, chip: str) -> tuple[Observation, ...]:
+        """The observations for one chip (case-insensitive; may be empty)."""
+        key = chip.strip().upper()
+        return tuple(o for o in self.observations if o.chip == key)
+
+    def digest(self) -> str:
+        """Stable content hash of the observation set."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form with observations in sorted order."""
+        return {
+            "source": self.source,
+            "observations": [o.to_dict() for o in sorted(self.observations)],
+        }
+
+    def canonical_json(self) -> str:
+        """Canonical JSON (sorted keys and observations) — the trace identity."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the canonical JSON trace file (see :func:`load_trace`)."""
+        path = Path(path)
+        path.write_text(self.canonical_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MeasuredTrace":
+        """Rebuild from :meth:`to_dict` data; malformed payloads raise."""
+        try:
+            raw = data["observations"]
+        except (KeyError, TypeError):
+            raise CalibrationError(
+                "trace payload needs an 'observations' list"
+            ) from None
+        if not isinstance(raw, list):
+            raise CalibrationError("trace 'observations' must be a list")
+        observations = []
+        for i, entry in enumerate(raw):
+            try:
+                observations.append(Observation(**entry))
+            except TypeError as exc:
+                raise CalibrationError(
+                    f"observation {i} is malformed: {exc}"
+                ) from None
+        return cls(
+            observations=tuple(observations),
+            source=str(data.get("source", "unknown")),
+        )
+
+    # ------------------------------------------------------------------
+    # Loaders
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_paper(cls, chips: Sequence[str] | None = None) -> "MeasuredTrace":
+        """The paper's published numbers as a trace.
+
+        Peak GFLOPS from Figure 2 at the paper's peak size, watts derived
+        from Figures 2 and 4 (watts = GFLOPS / (GFLOPS/W)), and the
+        Figure-1 best-kernel STREAM bandwidths.
+        """
+        resolved = _check_chips(chips)
+        peak_size = paper.GEMM_SIZES[-1]
+        observations: list[Observation] = []
+        for chip in resolved:
+            for impl, table in paper.FIG2_PEAK_GFLOPS.items():
+                observations.append(
+                    Observation(chip, "gemm", impl, peak_size, "gflops", table[chip])
+                )
+            for impl, eff in paper.FIG4_EFFICIENCY_GFLOPS_PER_W.items():
+                watts = paper.FIG2_PEAK_GFLOPS[impl][chip] / eff[chip]
+                observations.append(
+                    Observation(chip, "powered-gemm", impl, peak_size, "power_w", watts)
+                )
+            observations.append(
+                Observation(
+                    chip, "stream", "cpu", 0, "gbs", paper.FIG1_CPU_MAX_GBS[chip]
+                )
+            )
+            observations.append(
+                Observation(
+                    chip, "stream", "gpu", 0, "gbs", paper.FIG1_GPU_MAX_GBS[chip]
+                )
+            )
+        return cls(observations=tuple(observations), source="paper")
+
+    @classmethod
+    def from_powermetrics(
+        cls,
+        text: str,
+        *,
+        chip: str,
+        impl_key: str = "gpu-mps",
+        size: int | None = None,
+        source: str = "powermetrics",
+    ) -> "MeasuredTrace":
+        """A trace from raw ``powermetrics`` output text.
+
+        The samples' mean combined (CPU+GPU) draw becomes one ``power_w``
+        observation for ``(chip, impl_key, size)`` — the paper's protocol
+        for Figures 3-4 (section 3.3).
+
+        Raises
+        ------
+        CalibrationError
+            Wrapping the underlying :class:`~repro.errors.ParseError` for
+            malformed trace text, so callers see one error family.
+        """
+        from repro.errors import ParseError
+        from repro.powermetrics.parse import parse_samples
+
+        try:
+            samples = parse_samples(text)
+        except ParseError as exc:
+            raise CalibrationError(f"unreadable powermetrics trace: {exc}") from exc
+        if not samples:
+            raise CalibrationError("powermetrics trace contains no samples")
+        mean_w = sum(s.combined_mw for s in samples) / len(samples) / 1000.0
+        observation = Observation(
+            chip=chip.strip().upper(),
+            workload="powered-gemm",
+            impl_key=impl_key,
+            size=paper.GEMM_SIZES[-1] if size is None else size,
+            metric="power_w",
+            value=mean_w,
+        )
+        return cls(observations=(observation,), source=source)
+
+    @classmethod
+    def merge(cls, traces: Iterable["MeasuredTrace"], *, source: str) -> "MeasuredTrace":
+        """Union of several traces (duplicate observations raise)."""
+        observations: list[Observation] = []
+        for trace in traces:
+            observations.extend(trace.observations)
+        return cls(observations=tuple(observations), source=source)
+
+
+def load_trace(path: str | Path) -> MeasuredTrace:
+    """Load a JSON trace file saved by :meth:`MeasuredTrace.save`.
+
+    Raises
+    ------
+    CalibrationError
+        For missing files, invalid JSON, or malformed observations.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CalibrationError(f"cannot read trace file {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CalibrationError(f"trace file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, Mapping):
+        raise CalibrationError(f"trace file {path} must hold a JSON object")
+    return MeasuredTrace.from_dict(data)

@@ -10,10 +10,23 @@ simulator.  Nothing outside this package hard-codes a measured number.
 from repro.calibration import paper
 from repro.calibration.gemm import (
     GemmCalibration,
+    anchored_overhead_s,
+    anchored_peak_gflops,
+    anchored_power_w,
+    anchored_traffic_read_factor,
     build_gemm_operation,
     gemm_calibration,
     gemm_flops,
     gemm_power_draws,
+    max_anchorable_peak_gflops,
+)
+from repro.calibration.overrides import (
+    CalibrationOverlay,
+    anchored_knob_value,
+    derive_calibrated_chip,
+    knob_value,
+    overlay_for,
+    validate_knob,
 )
 from repro.calibration.stream import (
     StreamCalibration,
@@ -25,6 +38,17 @@ from repro.calibration.stream import (
 
 __all__ = [
     "paper",
+    "CalibrationOverlay",
+    "derive_calibrated_chip",
+    "overlay_for",
+    "knob_value",
+    "validate_knob",
+    "anchored_knob_value",
+    "anchored_peak_gflops",
+    "anchored_power_w",
+    "anchored_overhead_s",
+    "anchored_traffic_read_factor",
+    "max_anchorable_peak_gflops",
     "GemmCalibration",
     "gemm_calibration",
     "gemm_flops",

@@ -14,10 +14,12 @@ import dataclasses
 from typing import Mapping
 
 from repro.calibration import paper
+from repro.calibration import overrides as _overrides
 from repro.errors import CalibrationError
 from repro.sim.efficiency import EfficiencyCurve, LogisticCurve, PeakDecayCurve
 from repro.sim.engine import EngineKind, Operation
 from repro.sim.roofline import OpCost
+from repro.soc.catalog import base_chip_name
 from repro.soc.chip import ChipSpec
 from repro.soc.power import PowerComponent
 
@@ -28,6 +30,11 @@ __all__ = [
     "gemm_power_draws",
     "build_gemm_operation",
     "KNOWN_IMPL_KEYS",
+    "anchored_peak_gflops",
+    "anchored_power_w",
+    "anchored_overhead_s",
+    "anchored_traffic_read_factor",
+    "max_anchorable_peak_gflops",
 ]
 
 #: Implementation keys understood by this calibration layer.
@@ -219,8 +226,8 @@ def _reference_size(impl_key: str) -> int:
     return paper.GEMM_SIZES[-1]
 
 
-def _build_curve(impl_key: str, target_eff: float) -> EfficiencyCurve:
-    """A curve whose maximum over the paper's size sweep equals ``target_eff``."""
+def _proto_curve_max(impl_key: str) -> float:
+    """Max of the unit-peak ramp over the paper's size sweep."""
     family, x_half, steepness = _curve_family(impl_key)
     if family == "peak-decay":
         proto: EfficiencyCurve = PeakDecayCurve(
@@ -233,7 +240,22 @@ def _build_curve(impl_key: str, target_eff: float) -> EfficiencyCurve:
     else:
         proto = LogisticCurve(peak=1.0, x_half=x_half, steepness=steepness)
     sizes = [n for n in paper.GEMM_SIZES if n <= _reference_size(impl_key)]
-    proto_max = max(proto(float(n)) for n in sizes)
+    return max(proto(float(n)) for n in sizes)
+
+
+def max_anchorable_peak_gflops(chip: ChipSpec, impl_key: str) -> float:
+    """Largest peak-GFLOPS target the curve family can express for a chip.
+
+    Targets above this would need a compute efficiency over 1.0 — the
+    calibration search clamps its brackets here.
+    """
+    return _engine_peak_flops(chip, impl_key) * _proto_curve_max(impl_key) / 1e9
+
+
+def _build_curve(impl_key: str, target_eff: float) -> EfficiencyCurve:
+    """A curve whose maximum over the paper's size sweep equals ``target_eff``."""
+    family, x_half, steepness = _curve_family(impl_key)
+    proto_max = _proto_curve_max(impl_key)
     peak = target_eff / proto_max
     if not (0.0 < peak <= 1.0):
         raise CalibrationError(
@@ -292,42 +314,108 @@ _GENERIC_UTILISATION: dict[str, tuple[float, float]] = {
 }
 
 
+def anchored_peak_gflops(chip_name: str, impl_key: str) -> float:
+    """The Figure-2 peak-GFLOPS anchor for a catalog chip (base-resolved).
+
+    Raises :class:`CalibrationError` when no anchor exists for the pair.
+    """
+    targets = _PEAK_GFLOPS.get(impl_key, {})
+    key = base_chip_name(chip_name)
+    if key not in targets:
+        raise CalibrationError(
+            f"no anchored peak-GFLOPS target for ({chip_name!r}, {impl_key!r})"
+        )
+    return targets[key]
+
+
+def anchored_power_w(chip_name: str, impl_key: str) -> float:
+    """Combined CPU+GPU saturated watts anchor for a catalog chip.
+
+    Raises :class:`CalibrationError` when no anchor exists for the pair.
+    """
+    table = _POWER_TARGETS_W.get(impl_key, {})
+    key = base_chip_name(chip_name)
+    if key not in table:
+        raise CalibrationError(
+            f"no anchored power target for ({chip_name!r}, {impl_key!r})"
+        )
+    cpu_w, gpu_w = table[key]
+    return cpu_w + gpu_w
+
+
+def anchored_overhead_s(impl_key: str) -> float:
+    """Fixed dispatch overhead anchor (seconds) for an implementation."""
+    try:
+        return _OVERHEAD_S[impl_key]
+    except KeyError:
+        raise CalibrationError(
+            f"no anchored overhead for implementation {impl_key!r}"
+        ) from None
+
+
+def anchored_traffic_read_factor(impl_key: str) -> float:
+    """DRAM input-traffic factor anchor for an implementation."""
+    try:
+        return _TRAFFIC_READ_FACTOR[impl_key]
+    except KeyError:
+        raise CalibrationError(
+            f"no anchored traffic factor for implementation {impl_key!r}"
+        ) from None
+
+
+def _effective_peak_gflops(chip: ChipSpec, impl_key: str) -> float | None:
+    """Peak-GFLOPS target after overlay knobs; ``None`` when generic."""
+    override = _overrides.knob_value(chip.name, f"gemm.peak_gflops.{impl_key}")
+    if override is not None:
+        return override
+    targets = _PEAK_GFLOPS.get(impl_key, {})
+    return targets.get(base_chip_name(chip.name))
+
+
 def _target_efficiency(chip: ChipSpec, impl_key: str) -> float:
     peak = _engine_peak_flops(chip, impl_key)
     if impl_key == "ane-fp16":
         return _ANE_EFFICIENCY
     if impl_key == "gpu-fp64-emulated":
-        base = _PEAK_GFLOPS["gpu-mps"].get(chip.name)
+        base = _effective_peak_gflops(chip, "gpu-mps")
         if base is None:
             return _GENERIC_EFFICIENCY[impl_key]
         return (base * 1e9 / peak) / _FP64_EMU_SLOWDOWN
-    targets = _PEAK_GFLOPS.get(impl_key, {})
-    if chip.name in targets:
-        return targets[chip.name] * 1e9 / peak
-    return _GENERIC_EFFICIENCY[impl_key]
+    target = _effective_peak_gflops(chip, impl_key)
+    if target is None:
+        return _GENERIC_EFFICIENCY[impl_key]
+    return target * 1e9 / peak
 
 
 def _power_targets(chip: ChipSpec, impl_key: str) -> tuple[float, float, float]:
     """(cpu_w, gpu_w, ane_w) saturated draws."""
+    base_key = base_chip_name(chip.name)
     ane_w = 0.0
     if impl_key == "ane-fp16":
-        ane_w = _ANE_POWER_W.get(chip.name, 3.5)
+        ane_w = _ANE_POWER_W.get(base_key, 3.5)
     table = _POWER_TARGETS_W.get(impl_key, {})
-    if chip.name in table:
-        cpu_w, gpu_w = table[chip.name]
-        return cpu_w, gpu_w, ane_w
-    cpu_u, gpu_u = _GENERIC_UTILISATION[impl_key]
-    from repro.soc.power import default_envelope_for
+    if base_key in table:
+        cpu_w, gpu_w = table[base_key]
+    else:
+        cpu_u, gpu_u = _GENERIC_UTILISATION[impl_key]
+        from repro.soc.power import default_envelope_for
 
-    envelope = default_envelope_for(chip.name)
-    cpu_w = envelope.component(PowerComponent.CPU).at_utilisation(cpu_u)
-    gpu_w = envelope.component(PowerComponent.GPU).at_utilisation(gpu_u)
-    # Utilisation 0 still returns the idle floor; suppress to zero so purely
-    # inactive rails do not appear as active draws.
-    if gpu_u == 0.0:
-        gpu_w = 0.0
-    if cpu_u == 0.0:
-        cpu_w = 0.0
+        envelope = default_envelope_for(chip.name)
+        cpu_w = envelope.component(PowerComponent.CPU).at_utilisation(cpu_u)
+        gpu_w = envelope.component(PowerComponent.GPU).at_utilisation(gpu_u)
+        # Utilisation 0 still returns the idle floor; suppress to zero so
+        # purely inactive rails do not appear as active draws.
+        if gpu_u == 0.0:
+            gpu_w = 0.0
+        if cpu_u == 0.0:
+            cpu_w = 0.0
+    # A combined-watts knob scales both rails proportionally: a single
+    # powermetrics CPU+GPU observation cannot split them.
+    override = _overrides.knob_value(chip.name, f"gemm.power_w.{impl_key}")
+    if override is not None and (cpu_w + gpu_w) > 0.0:
+        scale = override / (cpu_w + gpu_w)
+        cpu_w *= scale
+        gpu_w *= scale
     return cpu_w, gpu_w, ane_w
 
 
@@ -356,12 +444,18 @@ def gemm_calibration(chip: ChipSpec, impl_key: str) -> GemmCalibration:
     curve = _build_curve(impl_key, target_eff)
     cpu_w, gpu_w, ane_w = _power_targets(chip, impl_key)
     max_n = paper.CPU_LOOP_MAX_N if impl_key in ("cpu-single", "cpu-omp") else None
+    overhead_s = _overrides.knob_value(chip.name, f"gemm.overhead_s.{impl_key}")
+    traffic = _overrides.knob_value(
+        chip.name, f"gemm.traffic_read_factor.{impl_key}"
+    )
     return GemmCalibration(
         impl_key=impl_key,
         engine=engine,
         curve=curve,
-        overhead_s=_OVERHEAD_S[impl_key],
-        traffic_read_factor=_TRAFFIC_READ_FACTOR[impl_key],
+        overhead_s=_OVERHEAD_S[impl_key] if overhead_s is None else overhead_s,
+        traffic_read_factor=(
+            _TRAFFIC_READ_FACTOR[impl_key] if traffic is None else traffic
+        ),
         memory_efficiency=_MEMORY_EFFICIENCY[engine],
         power_cpu_w=cpu_w,
         power_gpu_w=gpu_w,

@@ -13,7 +13,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Mapping
 
+from repro.calibration import overrides as _overrides
 from repro.errors import CalibrationError
+from repro.soc.catalog import base_chip_name
 from repro.soc.chip import ChipSpec
 from repro.soc.power import PowerComponent
 
@@ -111,23 +113,44 @@ def _check_kernel(kernel: str) -> str:
     return key
 
 
+def _apply_bandwidth_knob(
+    chip_name: str, target: str, table: dict[str, float]
+) -> dict[str, float]:
+    """Rescale a per-kernel table so its best kernel equals the knob value.
+
+    Scaling the whole table preserves the inter-kernel ratios (including the
+    M2 Copy/Scale anomaly) while letting one scalar knob fit the Figure-1
+    'up to' bandwidth.
+    """
+    knob = _overrides.knob_value(chip_name, f"stream.gbs.{target}")
+    if knob is None:
+        return table
+    scale = knob / max(table.values())
+    return {k: v * scale for k, v in table.items()}
+
+
 def stream_calibration(chip: ChipSpec) -> StreamCalibration:
-    """Per-kernel targets for a chip (generic fractions off-catalog)."""
-    if chip.name in _CPU_TARGETS_GBS:
-        return StreamCalibration(
-            chip_name=chip.name,
-            cpu_targets_gbs=dict(_CPU_TARGETS_GBS[chip.name]),
-            gpu_targets_gbs=dict(_GPU_TARGETS_GBS[chip.name]),
-        )
-    theoretical = chip.memory.bandwidth_gbs
+    """Per-kernel targets for a chip (generic fractions off-catalog).
+
+    Derived chips (calibration overlays) resolve their base's anchored
+    tables, then apply any ``stream.gbs.*`` knobs.
+    """
+    base_key = base_chip_name(chip.name)
+    if base_key in _CPU_TARGETS_GBS:
+        cpu_targets = dict(_CPU_TARGETS_GBS[base_key])
+        gpu_targets = dict(_GPU_TARGETS_GBS[base_key])
+    else:
+        theoretical = chip.memory.bandwidth_gbs
+        cpu_targets = {
+            k: theoretical * f for k, f in _GENERIC_CPU_FRACTION.items()
+        }
+        gpu_targets = {
+            k: theoretical * f for k, f in _GENERIC_GPU_FRACTION.items()
+        }
     return StreamCalibration(
         chip_name=chip.name,
-        cpu_targets_gbs={
-            k: theoretical * f for k, f in _GENERIC_CPU_FRACTION.items()
-        },
-        gpu_targets_gbs={
-            k: theoretical * f for k, f in _GENERIC_GPU_FRACTION.items()
-        },
+        cpu_targets_gbs=_apply_bandwidth_knob(chip.name, "cpu", cpu_targets),
+        gpu_targets_gbs=_apply_bandwidth_knob(chip.name, "gpu", gpu_targets),
     )
 
 
@@ -160,11 +183,12 @@ def gpu_stream_bandwidth_gbs(chip: ChipSpec, kernel: str, array_bytes: int) -> f
 
 def stream_power_draws(chip: ChipSpec, target: str) -> dict[PowerComponent, float]:
     """Component draws (W) while a STREAM kernel runs on ``"cpu"`` or ``"gpu"``."""
+    base_key = base_chip_name(chip.name)
     if target == "cpu":
-        cpu_w = _CPU_STREAM_POWER_W.get(chip.name, 3.0)
+        cpu_w = _CPU_STREAM_POWER_W.get(base_key, 3.0)
         return {PowerComponent.CPU: cpu_w, PowerComponent.DRAM: _STREAM_DRAM_W}
     if target == "gpu":
-        gpu_w = _GPU_STREAM_POWER_W.get(chip.name, 4.0)
+        gpu_w = _GPU_STREAM_POWER_W.get(base_key, 4.0)
         return {
             PowerComponent.CPU: _GPU_STREAM_HOST_CPU_W,
             PowerComponent.GPU: gpu_w,

@@ -536,6 +536,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     roof.add_argument("--n", type=int, default=16384)
 
+    cal = sub.add_parser(
+        "calibrate",
+        help="fit the simulator against a measured trace; report per-chip MAPE",
+    )
+    cal_src = cal.add_mutually_exclusive_group()
+    cal_src.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="JSON trace file (see MeasuredTrace.save)",
+    )
+    cal_src.add_argument(
+        "--against",
+        default="paper",
+        choices=["paper", "synthetic"],
+        help="built-in trace: the paper's published numbers, or a "
+        "self-calibration trace synthesized from the anchored simulator",
+    )
+    cal.add_argument(
+        "--chips",
+        nargs="+",
+        default=None,
+        choices=list(paper.CHIPS),
+        help="chips to fit (default: all chips in the trace)",
+    )
+    cal.add_argument(
+        "--backend",
+        default=None,
+        choices=["serial", "threads", "vectorized"],
+        help="candidate-sweep backend (default: vectorized; pool backends "
+        "cannot see the in-process derived-chip registry)",
+    )
+    cal.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write calibration.json and the resumable candidate store to DIR",
+    )
+    cal.add_argument(
+        "--points", type=int, default=9, help="grid points per knob per round"
+    )
+    cal.add_argument(
+        "--rounds", type=int, default=4, help="refinement rounds after the coarse grid"
+    )
+    cal.add_argument("--seed", type=int, default=0, help="search seed")
+    cal.add_argument(
+        "--json", action="store_true", help="emit the result artifact JSON"
+    )
+    cal.add_argument(
+        "--quiet", action="store_true", help="suppress per-round progress"
+    )
+
     exp = sub.add_parser(
         "experiments", help="run the reproduction and write EXPERIMENTS.md"
     )
@@ -714,11 +766,13 @@ def _warn_processes_footgun(backend, specs, session) -> None:
 
     BENCH_PR4.json measured the 216-cell model-only grid at 941.3 cells/s
     serial, 661.9 with processes (spawn + IPC overhead swamps the cheap
-    cells) and 15,822.6 vectorized — so when every cell of the grid would
-    actually lower (its workload declares a vectorized body *and* its
-    effective numerics profile is model-only, the gate every lowering
-    applies), processes is strictly the wrong tool and the envelopes would
-    be byte-identical either way.
+    cells) and 15,822.6 vectorized; BENCH_PR8.json adds the million-cell
+    record, where the sharded backend (vectorized lowering inside each
+    worker) sustains 1,329 cells/s against 29.05 serial — so when every
+    cell of the grid would actually lower (its workload declares a
+    vectorized body *and* its effective numerics profile is model-only, the
+    gate every lowering applies), processes is strictly the wrong tool and
+    the envelopes would be byte-identical either way.
     """
     if backend != "processes":
         return
@@ -741,7 +795,10 @@ def _warn_processes_footgun(backend, specs, session) -> None:
             "--backend processes pays process spawn/IPC per cheap model cell "
             "(BENCH_PR4.json: 662 cells/s vs 941 serial vs 15,823 "
             "vectorized). --backend vectorized yields byte-identical "
-            "envelopes ~17x faster.",
+            "envelopes ~17x faster on one core; for grids too large for "
+            "one core, --backend sharded runs the vectorized lowering "
+            "inside each worker (BENCH_PR8.json: 1,329 cells/s vs 29 "
+            "serial on the million-cell grid, 45.8x).",
             file=sys.stderr,
         )
 
@@ -964,6 +1021,8 @@ def _study_render(args) -> None:
             raise ReproError(f"{args.name} has no CSV form; tables render as text")
         if args.name == "table1" and args.chips:
             print(get_table("table1").render(tuple(args.chips)))
+        elif args.name == "calibration-mape" and args.chips:
+            print(get_table(args.name).render(chips=tuple(args.chips)))
         elif args.chips:
             raise ReproError(f"{args.name} does not take --chips")
         else:
@@ -1193,6 +1252,61 @@ def _run_gh200(fast: bool) -> None:
         print(f"  cublasSgemm {label:18s}: {tflops:6.1f} TFLOPS (n={n})")
 
 
+def _run_calibrate(args) -> None:
+    """``repro calibrate``: fit the simulator, print the per-chip MAPE table."""
+    from repro.calibrate import (
+        MeasuredTrace,
+        default_spec,
+        load_trace,
+        run_calibration,
+        synthesize_trace,
+    )
+    from repro.study.defs import render_plain_table
+
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+    elif args.against == "synthetic":
+        trace = synthesize_trace(chips=args.chips, backend=args.backend)
+    else:
+        trace = MeasuredTrace.from_paper(chips=args.chips)
+    chips = tuple(args.chips) if args.chips else trace.chips
+    spec = default_spec(
+        chips=chips,
+        coarse_points=args.points,
+        refine_rounds=args.rounds,
+        seed=args.seed,
+    )
+    log = None if (args.quiet or args.json) else (
+        lambda line: print(line, file=sys.stderr)
+    )
+    result = run_calibration(
+        trace, spec, backend=args.backend, out_dir=args.out, log=log
+    )
+    if args.json:
+        print(result.to_json(), end="")
+    else:
+        headers, rows = result.mape_table()
+        print(
+            render_plain_table(
+                headers,
+                rows,
+                title=f"Calibration MAPE vs {trace.source} trace "
+                f"({result.cells_evaluated} cells, backend {result.backend})",
+            )
+        )
+        print(
+            f"\noverall MAPE: {result.overall_mape_pct:.3f}%  "
+            f"(trace {trace.digest()}, spec {spec.spec_hash()})"
+        )
+    if args.out is not None:
+        import pathlib as _pathlib
+
+        print(
+            f"wrote {_pathlib.Path(args.out) / 'calibration.json'}",
+            file=sys.stderr,
+        )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1297,6 +1411,8 @@ def _dispatch(args) -> int:
             )
             print(render_roofline(machine, points))
             print()
+    elif command == "calibrate":
+        _run_calibrate(args)
     elif command == "experiments":
         from repro.analysis.experiments_report import generate_experiments_report
 

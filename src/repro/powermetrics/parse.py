@@ -43,13 +43,31 @@ class PowerSample:
         return self.combined_mw / 1e3 * self.elapsed_ms / 1e3
 
 
+def _offending_line(block: str, missing: str) -> str:
+    """The line a malformed sample block offers where ``missing`` should be.
+
+    A truncated or corrupted capture usually *has* a line mentioning the
+    rail (e.g. ``"CPU Power: 123"`` with the unit torn off); naming it in
+    the error beats making the user diff the whole block.  Falls back to
+    the block's first non-blank line.
+    """
+    for line in block.splitlines():
+        if missing in line:
+            return line.strip()
+    for line in block.splitlines():
+        if line.strip():
+            return line.strip()
+    return "<empty block>"
+
+
 def parse_samples(text: str) -> list[PowerSample]:
     """All sample blocks in file order.
 
     Raises
     ------
     ParseError
-        If a sample block lacks the CPU or GPU power lines.
+        If a sample block lacks the CPU or GPU power lines; the message
+        names the offending line of the block.
     """
     headers = list(_SAMPLE_RE.finditer(text))
     samples: list[PowerSample] = []
@@ -60,8 +78,10 @@ def parse_samples(text: str) -> list[PowerSample]:
         cpu = _CPU_RE.search(block)
         gpu = _GPU_RE.search(block)
         if cpu is None or gpu is None:
+            missing = "CPU Power" if cpu is None else "GPU Power"
             raise ParseError(
-                f"sample {i}: missing CPU/GPU power lines in powermetrics output"
+                f"sample {i}: no well-formed {missing!r} line in powermetrics "
+                f"output; offending line: {_offending_line(block, missing)!r}"
             )
         ane = _ANE_RE.search(block)
         samples.append(

@@ -13,7 +13,7 @@ from __future__ import annotations
 from types import MappingProxyType
 from typing import Mapping
 
-from repro.errors import UnknownChipError
+from repro.errors import ConfigurationError, UnknownChipError
 from repro.soc.chip import (
     AMXSpec,
     ChipSpec,
@@ -25,7 +25,18 @@ from repro.soc.chip import (
 )
 from repro.soc.precision import Precision
 
-__all__ = ["M1", "M2", "M3", "M4", "CHIP_NAMES", "chip_catalog", "get_chip"]
+__all__ = [
+    "M1",
+    "M2",
+    "M3",
+    "M4",
+    "CHIP_NAMES",
+    "chip_catalog",
+    "get_chip",
+    "register_derived_chip",
+    "derived_chip_base",
+    "base_chip_name",
+]
 
 _AMX_V1 = frozenset({Precision.FP16, Precision.FP32, Precision.FP64})
 _AMX_V2 = frozenset({Precision.FP16, Precision.FP32, Precision.FP64, Precision.BF16})
@@ -125,16 +136,83 @@ def chip_catalog() -> Mapping[str, ChipSpec]:
     return MappingProxyType(_CATALOG)
 
 
+#: Derived chips: renamed variants of a catalog entry, registered at runtime
+#: (the calibration loop's candidate parameter sets resolve through these).
+#: name -> (spec, base catalog name).  Derived chips never appear in
+#: :func:`chip_catalog`; they only resolve through :func:`get_chip`, and the
+#: device/envelope/calibration layers map them back to their base via
+#: :func:`base_chip_name`.
+_DERIVED: dict[str, tuple[ChipSpec, str]] = {}
+
+
+def register_derived_chip(spec: ChipSpec, base: str) -> None:
+    """Register a renamed variant of catalog chip ``base``.
+
+    Registration is idempotent for an identical spec; re-registering a name
+    with a *different* spec raises (names are content-addressed by their
+    creators precisely so this cannot happen by accident).
+
+    Raises
+    ------
+    ConfigurationError
+        If ``base`` is not a catalog chip, the name shadows a catalog
+        entry, or the name is already bound to a different spec.
+    """
+    base_key = base.strip().upper()
+    if base_key not in _CATALOG:
+        raise ConfigurationError(
+            f"derived chips must name a catalog base; {base!r} is not one of "
+            f"{', '.join(CHIP_NAMES)}"
+        )
+    key = spec.name.strip().upper()
+    if key in _CATALOG:
+        raise ConfigurationError(
+            f"derived chip {spec.name!r} would shadow the catalog entry"
+        )
+    existing = _DERIVED.get(key)
+    if existing is not None:
+        if existing[0] != spec or existing[1] != base_key:
+            raise ConfigurationError(
+                f"derived chip {spec.name!r} is already registered with a "
+                f"different spec"
+            )
+        return
+    _DERIVED[key] = (spec, base_key)
+
+
+def derived_chip_base(name: str) -> str | None:
+    """The catalog base of a derived chip, or ``None`` for anything else."""
+    entry = _DERIVED.get(name.strip().upper())
+    return entry[1] if entry is not None else None
+
+
+def base_chip_name(name: str) -> str:
+    """Map a derived chip's name to its catalog base; identity otherwise.
+
+    The calibration tables key on catalog names ("M1".."M4"); everything
+    that looks a chip up by name for *table* purposes resolves through here
+    so derived variants inherit their base's anchors.
+    """
+    base = derived_chip_base(name)
+    return base if base is not None else name
+
+
 def get_chip(name: str) -> ChipSpec:
     """Look up a chip by name (case-insensitive).
+
+    Resolves catalog entries first, then runtime-registered derived chips
+    (:func:`register_derived_chip`).
 
     Raises
     ------
     UnknownChipError
-        If the name is not one of the catalogued chips.
+        If the name is neither catalogued nor derived.
     """
     key = name.strip().upper()
     try:
         return _CATALOG[key]
     except KeyError:
+        derived = _DERIVED.get(key)
+        if derived is not None:
+            return derived[0]
         raise UnknownChipError(name, CHIP_NAMES) from None

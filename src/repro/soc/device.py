@@ -14,7 +14,7 @@ from types import MappingProxyType
 from typing import Mapping
 
 from repro.errors import UnknownDeviceError
-from repro.soc.catalog import get_chip
+from repro.soc.catalog import derived_chip_base, get_chip
 from repro.soc.chip import ChipSpec
 
 __all__ = [
@@ -99,11 +99,19 @@ def device_catalog() -> Mapping[str, DeviceSpec]:
 
 
 def device_for_chip(chip_name: str) -> DeviceSpec:
-    """The device the paper used for a given chip (Table 3)."""
+    """The device the paper used for a given chip (Table 3).
+
+    Derived chips (see :func:`repro.soc.catalog.register_derived_chip`)
+    resolve to their base chip's device, re-labelled with the derived name
+    so the device/chip pairing stays consistent downstream.
+    """
     key = chip_name.strip().upper()
     try:
         return _DEVICES[key]
     except KeyError:
+        base = derived_chip_base(key)
+        if base is not None:
+            return dataclasses.replace(_DEVICES[base], chip_name=key)
         raise UnknownDeviceError(
             f"no study device recorded for chip {chip_name!r}; "
             f"known chips: {', '.join(_DEVICES)}"

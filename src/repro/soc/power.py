@@ -128,7 +128,10 @@ def default_envelope_for(chip_name: str) -> PowerEnvelope:
             PowerComponent.DRAM: ComponentPower(0.06, 2.2),
         },
     }
-    key = chip_name.strip().upper()
+    # Derived chips inherit their base's envelope, not the generic one.
+    from repro.soc.catalog import base_chip_name
+
+    key = base_chip_name(chip_name.strip().upper())
     if key not in tables:
         # A generic envelope keeps custom/user-defined chips usable.
         return PowerEnvelope(

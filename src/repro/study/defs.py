@@ -369,6 +369,31 @@ def _table3_data() -> tuple[list, list]:
     return ["Feature"] + chips, rows
 
 
+def _calibration_mape_data(
+    result: Any | None = None, chips: Sequence[str] | None = None
+) -> tuple[list, list]:
+    """Per-chip calibration MAPE rows.
+
+    With no arguments this runs a small self-calibration (paper-derived
+    synthetic trace, trimmed grid) so ``repro study render calibration-mape``
+    works zero-arg; pass an existing
+    :class:`~repro.calibrate.result.CalibrationResult` to render it instead.
+    The import is lazy: ``repro.calibrate`` sits above the study layer.
+    """
+    if result is None:
+        from repro.calibrate import default_spec, run_calibration, synthesize_trace
+
+        trace = synthesize_trace(chips=chips)
+        spec = default_spec(
+            chips=chips if chips is not None else None,
+            coarse_points=7,
+            refine_rounds=3,
+        )
+        result = run_calibration(trace, spec)
+    headers, rows = result.mape_table()
+    return list(headers), [list(r) for r in rows]
+
+
 @dataclasses.dataclass(frozen=True)
 class TableDef:
     """One paper table as data: a builder from the inventory to rows."""
@@ -404,6 +429,14 @@ TABLES: dict[str, TableDef] = {
             name="table3",
             title="Table 3. Basic information of devices used.",
             build=_table3_data,
+        ),
+        TableDef(
+            name="calibration-mape",
+            title=(
+                "Calibration — per-chip MAPE of the fitted simulator "
+                "(self-calibration against a paper-derived synthetic trace)."
+            ),
+            build=_calibration_mape_data,
         ),
     )
 }

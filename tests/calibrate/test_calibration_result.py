@@ -1,0 +1,78 @@
+"""CalibrationResult: serialization round-trip and the MAPE table."""
+
+import pytest
+
+from repro.calibrate import CalibrationResult, default_spec
+from repro.errors import CalibrationError
+
+
+@pytest.fixture()
+def result():
+    spec = default_spec(["M1"], knobs=["stream.gbs.cpu"])
+    return CalibrationResult(
+        spec=spec.to_dict(),
+        trace_source="paper",
+        trace_digest="abc123",
+        backend="vectorized",
+        fitted={"M1": {"stream.gbs.cpu": 59.0000004}},
+        anchors={"M1": {"stream.gbs.cpu": 59.0}},
+        mape={"M1": {"gbs": 0.0123456789, "overall": 0.0123456789}},
+        overall_mape_pct=0.0123456789,
+        rounds=3,
+        cells_evaluated=42,
+    )
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, result, tmp_path):
+        path = result.save(tmp_path / "out" / "calibration.json")
+        loaded = CalibrationResult.load(path)
+        assert loaded.to_json() == result.to_json()
+
+    def test_rounding_is_stable(self, result):
+        data = result.to_dict()
+        assert data["fitted"]["M1"]["stream.gbs.cpu"] == 59.0
+        assert data["mape"]["M1"]["gbs"] == 0.0123457
+
+    def test_kind_tag_required(self):
+        with pytest.raises(CalibrationError, match="kind"):
+            CalibrationResult.from_dict({"spec": {}})
+
+    def test_malformed_payload(self):
+        with pytest.raises(CalibrationError, match="malformed"):
+            CalibrationResult.from_dict(
+                {"kind": "calibration-result", "spec": {}}
+            )
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(CalibrationError, match="cannot read"):
+            CalibrationResult.load(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        with pytest.raises(CalibrationError, match="not valid JSON"):
+            CalibrationResult.load(bad)
+
+    def test_no_timestamps_in_artifact(self, result):
+        text = result.to_json().lower()
+        for word in ("time", "date", "stamp"):
+            assert word not in text
+
+    def test_frame_not_serialized(self, result):
+        result.frame = object()
+        assert "frame" not in result.to_dict()
+
+
+class TestMapeTable:
+    def test_shape_and_totals(self, result):
+        headers, rows = result.mape_table()
+        assert headers == ["Chip", "gbs MAPE %", "Overall %"]
+        assert rows[0] == ["M1", "0.012", "0.012"]
+        assert rows[-1][0] == "all"
+        assert rows[-1][-1] == "0.012"
+
+    def test_missing_metric_rendered_as_dash(self, result):
+        result.mape["M4"] = {"gflops": 0.5, "overall": 0.5}
+        headers, rows = result.mape_table()
+        assert headers == ["Chip", "gbs MAPE %", "gflops MAPE %", "Overall %"]
+        m4 = next(r for r in rows if r[0] == "M4")
+        assert m4 == ["M4", "-", "0.500", "0.500"]

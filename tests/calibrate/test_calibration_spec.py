@@ -1,0 +1,95 @@
+"""CalibrationSpec: validation, hashing, serialization."""
+
+import dataclasses
+
+import pytest
+
+from repro.calibrate import CalibrationSpec, default_spec
+from repro.calibrate.spec import DEFAULT_KNOBS, ParamSpec
+from repro.errors import CalibrationError, UnknownChipError
+
+
+class TestParamSpec:
+    def test_defaults(self):
+        p = ParamSpec("stream.gbs.cpu")
+        assert (p.lo_rel, p.hi_rel) == (0.5, 1.6)
+
+    def test_malformed_knob_rejected(self):
+        with pytest.raises(CalibrationError, match="knob"):
+            ParamSpec("not.a.knob")
+
+    def test_peak_knob_needs_figure2_anchor(self):
+        with pytest.raises(CalibrationError, match="no Figure-2"):
+            ParamSpec("gemm.peak_gflops.gpu-fp64-emulated")
+
+    def test_bounds_must_be_ordered_positive(self):
+        with pytest.raises(CalibrationError, match="lo_rel < hi_rel"):
+            ParamSpec("stream.gbs.cpu", lo_rel=1.2, hi_rel=0.8)
+        with pytest.raises(CalibrationError, match="lo_rel < hi_rel"):
+            ParamSpec("stream.gbs.cpu", lo_rel=0.0, hi_rel=1.0)
+
+
+class TestCalibrationSpec:
+    def test_default_covers_catalog(self):
+        spec = CalibrationSpec()
+        assert spec.chips == ("M1", "M2", "M3", "M4")
+        assert spec.knobs == DEFAULT_KNOBS
+
+    def test_chips_normalized_and_checked(self):
+        spec = CalibrationSpec(chips=(" m1 ", "m4"))
+        assert spec.chips == ("M1", "M4")
+        with pytest.raises(UnknownChipError):
+            CalibrationSpec(chips=("M9",))
+        with pytest.raises(CalibrationError, match="duplicate chips"):
+            CalibrationSpec(chips=("M1", "m1"))
+
+    def test_needs_chips_and_knobs(self):
+        with pytest.raises(CalibrationError, match="at least one chip"):
+            CalibrationSpec(chips=())
+        with pytest.raises(CalibrationError, match="at least one knob"):
+            CalibrationSpec(params=())
+
+    def test_duplicate_knobs_rejected(self):
+        p = ParamSpec("stream.gbs.cpu")
+        with pytest.raises(CalibrationError, match="duplicate knobs"):
+            CalibrationSpec(params=(p, ParamSpec("stream.gbs.cpu", hi_rel=2.0)))
+
+    def test_grid_validation(self):
+        with pytest.raises(CalibrationError, match=">= 3 points"):
+            CalibrationSpec(coarse_points=2)
+        with pytest.raises(CalibrationError, match="refine_rounds"):
+            CalibrationSpec(refine_rounds=-1)
+        with pytest.raises(CalibrationError, match="tolerance"):
+            CalibrationSpec(tolerance=0.0)
+
+    def test_hash_is_content_addressed(self):
+        a = CalibrationSpec(chips=("M1",))
+        b = CalibrationSpec(chips=("m1",))
+        c = CalibrationSpec(chips=("M1",), seed=1)
+        assert a.spec_hash() == b.spec_hash()
+        assert a.spec_hash() != c.spec_hash()
+
+    def test_frozen_and_hashable(self):
+        spec = CalibrationSpec(chips=("M1",))
+        assert hash(spec) == hash(CalibrationSpec(chips=("M1",)))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.seed = 3  # type: ignore[misc]
+
+    def test_dict_roundtrip(self):
+        spec = default_spec(["M2"], coarse_points=5, refine_rounds=1, seed=7)
+        again = CalibrationSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(CalibrationError, match="malformed"):
+            CalibrationSpec.from_dict({"coarse_points": "many"})
+
+
+class TestDefaultSpec:
+    def test_knob_subset(self):
+        spec = default_spec(["M1"], knobs=["stream.gbs.cpu"])
+        assert spec.knobs == ("stream.gbs.cpu",)
+
+    def test_defaults_match_class_defaults(self):
+        assert default_spec() == CalibrationSpec()

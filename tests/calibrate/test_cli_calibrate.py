@@ -1,0 +1,60 @@
+"""The ``repro calibrate`` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.calibrate import CalibrationResult, synthesize_trace
+from repro.cli import main
+
+FAST = ["--chips", "M1", "--points", "5", "--rounds", "1", "--quiet"]
+
+
+class TestCalibrateVerb:
+    def test_against_paper_prints_mape_table(self, capsys):
+        assert main(["calibrate", "--against", "paper", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "MAPE" in out
+        assert "M1" in out
+        assert "overall MAPE" in out
+
+    def test_against_synthetic_hits_threshold(self, capsys):
+        assert main(
+            ["calibrate", "--against", "synthetic", "--chips", "M1",
+             "--points", "7", "--rounds", "3", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Self-calibration on a 7-point grid sits well under 1 %.
+        overall = float(out.split("overall MAPE:")[1].split("%")[0])
+        assert overall <= 1.0
+
+    def test_trace_file_input(self, tmp_path, capsys):
+        path = synthesize_trace(["M1"]).save(tmp_path / "trace.json")
+        assert main(["calibrate", "--trace", str(path), *FAST]) == 0
+        assert "MAPE" in capsys.readouterr().out
+
+    def test_json_output_parses(self, capsys):
+        assert main(
+            ["calibrate", "--against", "synthetic", *FAST, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "calibration-result"
+        assert "M1" in payload["mape"]
+
+    def test_out_dir_writes_artifact(self, tmp_path):
+        assert main(
+            ["calibrate", "--against", "synthetic", *FAST,
+             "--out", str(tmp_path / "cal")]
+        ) == 0
+        result = CalibrationResult.load(tmp_path / "cal" / "calibration.json")
+        assert result.trace_source == "synthetic"
+
+    def test_trace_and_against_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["calibrate", "--trace", "x.json", "--against", "synthetic"])
+
+    def test_study_table_registered(self, capsys):
+        assert main(
+            ["study", "render", "calibration-mape", "--chips", "M1"]
+        ) == 0
+        assert "MAPE" in capsys.readouterr().out

@@ -1,0 +1,184 @@
+"""MeasuredTrace: loaders, validation, serialization."""
+
+import json
+
+import pytest
+
+from repro.calibrate import MeasuredTrace, load_trace
+from repro.calibrate.trace import METRICS, Observation
+from repro.calibration import paper
+from repro.errors import CalibrationError, UnknownChipError
+from repro.powermetrics import render_sample
+
+
+class TestObservation:
+    def test_valid_gemm(self):
+        obs = Observation("M1", "gemm", "gpu-mps", 16384, "gflops", 1360.0)
+        assert obs.metric == "gflops"
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(CalibrationError, match="unknown chip"):
+            Observation("M99", "gemm", "gpu-mps", 16384, "gflops", 1.0)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(CalibrationError, match="workload"):
+            Observation("M1", "spmv", "gpu-mps", 16384, "gflops", 1.0)
+
+    def test_metric_must_match_workload(self):
+        with pytest.raises(CalibrationError, match="reports"):
+            Observation("M1", "gemm", "gpu-mps", 16384, "power_w", 1.0)
+
+    def test_stream_target_restricted(self):
+        with pytest.raises(CalibrationError, match="'cpu' or 'gpu'"):
+            Observation("M1", "stream", "gpu-mps", 0, "gbs", 50.0)
+
+    def test_gemm_needs_positive_size(self):
+        with pytest.raises(CalibrationError, match="positive size"):
+            Observation("M1", "gemm", "gpu-mps", 0, "gflops", 1.0)
+
+    def test_value_must_be_positive(self):
+        with pytest.raises(CalibrationError, match="positive"):
+            Observation("M1", "stream", "cpu", 0, "gbs", 0.0)
+
+
+class TestMeasuredTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError, match="needs observations"):
+            MeasuredTrace(observations=())
+
+    def test_duplicates_rejected(self):
+        obs = Observation("M1", "stream", "cpu", 0, "gbs", 59.0)
+        dup = Observation("M1", "stream", "cpu", 0, "gbs", 60.0)
+        with pytest.raises(CalibrationError, match="duplicate"):
+            MeasuredTrace(observations=(obs, dup))
+
+    def test_chips_in_catalog_order(self):
+        trace = MeasuredTrace.from_paper(["M4", "M1"])
+        assert trace.chips == ("M1", "M4")
+
+    def test_for_chip_is_case_insensitive(self):
+        trace = MeasuredTrace.from_paper(["M1"])
+        assert trace.for_chip("m1") == trace.for_chip("M1")
+        assert trace.for_chip("M2") == ()
+
+    def test_digest_is_content_addressed(self):
+        a = MeasuredTrace.from_paper(["M1"])
+        b = MeasuredTrace.from_paper(["M1"])
+        c = MeasuredTrace.from_paper(["M2"])
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_merge_unions_and_rejects_duplicates(self):
+        m1 = MeasuredTrace.from_paper(["M1"])
+        m2 = MeasuredTrace.from_paper(["M2"])
+        merged = MeasuredTrace.merge([m1, m2], source="merged")
+        assert merged.chips == ("M1", "M2")
+        with pytest.raises(CalibrationError, match="duplicate"):
+            MeasuredTrace.merge([m1, m1], source="broken")
+
+
+class TestFromPaper:
+    def test_default_covers_all_study_chips(self):
+        trace = MeasuredTrace.from_paper()
+        assert trace.chips == paper.CHIPS
+        assert trace.source == "paper"
+
+    def test_watts_derived_from_figures_2_and_4(self):
+        trace = MeasuredTrace.from_paper(["M1"])
+        watts = {
+            o.impl_key: o.value for o in trace if o.workload == "powered-gemm"
+        }
+        expected = (
+            paper.FIG2_PEAK_GFLOPS["gpu-mps"]["M1"]
+            / paper.FIG4_EFFICIENCY_GFLOPS_PER_W["gpu-mps"]["M1"]
+        )
+        assert watts["gpu-mps"] == pytest.approx(expected)
+
+    def test_stream_values_match_figure_1(self):
+        trace = MeasuredTrace.from_paper(["M3"])
+        gbs = {o.impl_key: o.value for o in trace if o.workload == "stream"}
+        assert gbs == {
+            "cpu": paper.FIG1_CPU_MAX_GBS["M3"],
+            "gpu": paper.FIG1_GPU_MAX_GBS["M3"],
+        }
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(UnknownChipError):
+            MeasuredTrace.from_paper(["M1", "M99"])
+
+
+class TestFromPowermetrics:
+    def test_mean_combined_draw_becomes_power_observation(self):
+        text = render_sample(
+            sample_index=1, elapsed_ms=10.0, cpu_mw=1000.0, gpu_mw=5000.0
+        ) + render_sample(
+            sample_index=2, elapsed_ms=10.0, cpu_mw=2000.0, gpu_mw=6000.0
+        )
+        trace = MeasuredTrace.from_powermetrics(text, chip="m1")
+        (obs,) = trace.observations
+        assert obs.chip == "M1"
+        assert obs.workload == "powered-gemm"
+        assert obs.impl_key == "gpu-mps"
+        assert obs.size == paper.GEMM_SIZES[-1]
+        assert obs.value == pytest.approx(7.0)  # mean of 6 W and 8 W
+
+    def test_malformed_text_wrapped_in_calibration_error(self):
+        broken = (
+            "*** Sampled system activity (sample 1) (10.00ms elapsed) ***\n"
+            "CPU Power: 123\n"
+        )
+        with pytest.raises(CalibrationError, match="unreadable powermetrics"):
+            MeasuredTrace.from_powermetrics(broken, chip="M1")
+
+    def test_sampleless_text_rejected(self):
+        with pytest.raises(CalibrationError, match="no samples"):
+            MeasuredTrace.from_powermetrics("nothing here", chip="M1")
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = MeasuredTrace.from_paper(["M1", "M4"])
+        path = trace.save(tmp_path / "trace.json")
+        loaded = load_trace(path)
+        # save() sorts observations, so compare content, not tuple order.
+        assert set(loaded.observations) == set(trace.observations)
+        assert loaded.source == trace.source
+        assert loaded.digest() == trace.digest()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CalibrationError, match="cannot read"):
+            load_trace(tmp_path / "absent.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CalibrationError, match="not valid JSON"):
+            load_trace(path)
+
+    def test_load_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(CalibrationError, match="JSON object"):
+            load_trace(path)
+
+    def test_from_dict_requires_observations(self):
+        with pytest.raises(CalibrationError, match="observations"):
+            MeasuredTrace.from_dict({"source": "x"})
+        with pytest.raises(CalibrationError, match="must be a list"):
+            MeasuredTrace.from_dict({"observations": {"a": 1}})
+
+    def test_from_dict_names_malformed_entry(self):
+        with pytest.raises(CalibrationError, match="observation 0"):
+            MeasuredTrace.from_dict({"observations": [{"chip": "M1"}]})
+
+    def test_canonical_json_sorts_observations(self):
+        a = MeasuredTrace.from_paper(["M1"])
+        shuffled = MeasuredTrace(
+            observations=tuple(reversed(a.observations)), source="paper"
+        )
+        assert a.canonical_json() == shuffled.canonical_json()
+        assert json.loads(a.canonical_json())["source"] == "paper"
+
+
+def test_metrics_constant():
+    assert METRICS == ("gflops", "power_w", "gbs")

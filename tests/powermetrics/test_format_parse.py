@@ -7,8 +7,11 @@ from hypothesis import strategies as st
 from repro.errors import ParseError
 from repro.powermetrics import parse_samples, render_sample
 from repro.powermetrics.format import render_header
+from repro.soc.catalog import CHIP_NAMES
+from repro.soc.device import device_for_chip
 
 mw = st.floats(min_value=0.0, max_value=50_000.0)
+chip_names = st.sampled_from(CHIP_NAMES)
 
 
 class TestFormat:
@@ -91,3 +94,76 @@ class TestParser:
         )
         sample = parse_samples(text)[0]
         assert sample.ane_mw == pytest.approx(ane, abs=0.51)
+
+
+class TestCatalogRoundTrip:
+    """format -> parse across the whole chip catalog (Table 3 devices)."""
+
+    @given(chip_names, mw, mw, st.floats(min_value=0.01, max_value=1e6))
+    def test_device_header_and_sample_roundtrip(self, chip, cpu, gpu, elapsed):
+        device = device_for_chip(chip)
+        text = render_header(
+            f"{device.model} ({chip})", f"macOS {device.macos_version}"
+        ) + render_sample(
+            sample_index=1, elapsed_ms=elapsed, cpu_mw=cpu, gpu_mw=gpu
+        )
+        samples = parse_samples(text)
+        assert len(samples) == 1
+        assert samples[0].cpu_mw == pytest.approx(cpu, abs=0.51)
+        assert samples[0].gpu_mw == pytest.approx(gpu, abs=0.51)
+        assert samples[0].elapsed_ms == pytest.approx(elapsed, abs=0.006)
+
+    @given(chip_names, st.lists(st.tuples(mw, mw), min_size=1, max_size=6))
+    def test_multi_sample_capture_roundtrip(self, chip, draws):
+        device = device_for_chip(chip)
+        text = render_header(f"{device.model} ({chip})", device.macos_version)
+        for i, (cpu, gpu) in enumerate(draws):
+            text += render_sample(
+                sample_index=i + 1, elapsed_ms=10.0, cpu_mw=cpu, gpu_mw=gpu
+            )
+        samples = parse_samples(text)
+        assert len(samples) == len(draws)
+        for sample, (cpu, gpu) in zip(samples, draws):
+            assert sample.combined_mw == pytest.approx(cpu + gpu, abs=1.02)
+
+
+class TestMalformedBlocks:
+    def test_truncated_block_names_offending_line(self):
+        broken = (
+            "*** Sampled system activity (sample 1) (10.00ms elapsed) ***\n"
+            "CPU Power: 123\n"  # unit torn off mid-write
+            "GPU Power: 456 mW\n"
+        )
+        with pytest.raises(ParseError, match=r"CPU Power: 123"):
+            parse_samples(broken)
+
+    def test_missing_gpu_line_names_offending_line(self):
+        broken = (
+            "*** Sampled system activity (sample 1) (10.00ms elapsed) ***\n"
+            "CPU Power: 123 mW\n"
+            "GPU Power: garbage watts\n"
+        )
+        with pytest.raises(ParseError, match=r"GPU Power: garbage watts"):
+            parse_samples(broken)
+
+    def test_empty_block_reports_empty(self):
+        broken = "*** Sampled system activity (sample 1) (10.00ms elapsed) ***\n\n"
+        with pytest.raises(ParseError, match=r"<empty block>|CPU"):
+            parse_samples(broken)
+
+    def test_error_names_sample_index(self):
+        text = render_sample(
+            sample_index=1, elapsed_ms=10.0, cpu_mw=1.0, gpu_mw=2.0
+        ) + "*** Sampled system activity (sample 2) (10.00ms elapsed) ***\n"
+        with pytest.raises(ParseError, match=r"sample 1"):
+            parse_samples(text)
+
+    def test_truncated_mid_number_still_parses_prefix_blocks(self):
+        # Only the *last* block is torn; the parser must not mask which one.
+        good = render_sample(sample_index=1, elapsed_ms=5.0, cpu_mw=10.0, gpu_mw=20.0)
+        torn = (
+            "*** Sampled system activity (sample 2) (5.00ms elapsed) ***\n"
+            "CPU Pow"
+        )
+        with pytest.raises(ParseError, match=r"offending line"):
+            parse_samples(good + torn)
